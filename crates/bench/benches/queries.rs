@@ -1,0 +1,83 @@
+//! B2: query latency on a prebuilt multiversion database — current lookups,
+//! as-of lookups, snapshot range scans, and version-history scans (the
+//! paper's §2.5/§3.7 query classes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tsb_common::{Key, KeyRange, SplitPolicyKind, SplitTimeChoice, Timestamp};
+use tsb_core::TsbTree;
+use tsb_workload::{generate_ops, Op, WorkloadSpec};
+
+use tsb_bench::measure::experiment_config;
+
+fn build_db(ops_count: usize, keys: u64) -> (TsbTree, Vec<Timestamp>) {
+    let spec = WorkloadSpec::default()
+        .with_ops(ops_count)
+        .with_keys(keys)
+        .with_update_ratio(4.0)
+        .with_value_size(100);
+    let mut tree = TsbTree::new_in_memory(experiment_config(
+        SplitPolicyKind::default(),
+        SplitTimeChoice::LastUpdate,
+    ))
+    .unwrap();
+    let mut stamps = Vec::new();
+    for op in generate_ops(&spec) {
+        match op {
+            Op::Put { key, value } => stamps.push(tree.insert(key, value).unwrap()),
+            Op::Delete { key } => stamps.push(tree.delete(key).unwrap()),
+        }
+    }
+    (tree, stamps)
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let (tree, stamps) = build_db(8_000, 800);
+    let mid_ts = stamps[stamps.len() / 2];
+    let mut group = c.benchmark_group("B2_query_latency");
+    group.sample_size(30);
+
+    group.bench_function("current_get", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 800;
+            tree.get_current(&Key::from_u64(i)).unwrap()
+        })
+    });
+    group.bench_function("as_of_get_mid_history", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 800;
+            tree.get_as_of(&Key::from_u64(i), mid_ts).unwrap()
+        })
+    });
+    group.bench_function("range_scan_64_keys_current", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 13) % 700;
+            let range = KeyRange::bounded(Key::from_u64(i), Key::from_u64(i + 64));
+            tree.scan_current(&range).unwrap()
+        })
+    });
+    group.bench_function("range_scan_64_keys_as_of", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 13) % 700;
+            let range = KeyRange::bounded(Key::from_u64(i), Key::from_u64(i + 64));
+            tree.scan_as_of(&range, mid_ts).unwrap()
+        })
+    });
+    group.bench_function("version_history", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 800;
+            tree.versions(&Key::from_u64(i)).unwrap()
+        })
+    });
+    group.bench_function("full_snapshot_mid_history", |b| {
+        b.iter(|| tree.snapshot_at(mid_ts).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

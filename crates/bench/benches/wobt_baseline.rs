@@ -1,0 +1,85 @@
+//! B4: the WOBT baseline — insertion throughput and query latency on the
+//! same streams used for the TSB-tree benches, so the two structures'
+//! micro-costs can be compared directly.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tsb_common::{Key, Timestamp};
+use tsb_wobt::Wobt;
+use tsb_workload::{generate_ops, Op, WorkloadSpec};
+
+use tsb_bench::measure::wobt_config;
+
+fn workload(n: usize) -> Vec<Op> {
+    generate_ops(
+        &WorkloadSpec::default()
+            .with_ops(n)
+            .with_keys(500)
+            .with_update_ratio(4.0)
+            .with_value_size(100),
+    )
+}
+
+fn bench_wobt(c: &mut Criterion) {
+    let ops = workload(3_000);
+    let mut group = c.benchmark_group("B4_wobt_baseline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ops.len() as u64));
+
+    group.bench_function("insert_throughput", |b| {
+        b.iter(|| {
+            let mut wobt = Wobt::new_in_memory(wobt_config()).unwrap();
+            for op in &ops {
+                match op {
+                    Op::Put { key, value } => {
+                        wobt.insert(key.clone(), value.clone()).unwrap();
+                    }
+                    Op::Delete { key } => {
+                        wobt.delete(key.clone()).unwrap();
+                    }
+                }
+            }
+            wobt
+        })
+    });
+
+    // Prebuild once for the query benches.
+    let mut wobt = Wobt::new_in_memory(wobt_config()).unwrap();
+    for op in &ops {
+        match op {
+            Op::Put { key, value } => {
+                wobt.insert(key.clone(), value.clone()).unwrap();
+            }
+            Op::Delete { key } => {
+                wobt.delete(key.clone()).unwrap();
+            }
+        }
+    }
+    let mid = Timestamp(ops.len() as u64 / 2);
+
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("current_get", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 500;
+            wobt.get_current(&Key::from_u64(i)).unwrap()
+        })
+    });
+    group.bench_function("as_of_get_mid_history", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 500;
+            wobt.get_as_of(&Key::from_u64(i), mid).unwrap()
+        })
+    });
+    group.bench_function("version_history", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 500;
+            wobt.versions(&Key::from_u64(i)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wobt);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! The experiments (E1–E8). Each module builds its workloads, replays them
+//! into the structures under test, and returns printable [`Table`]s. The
+//! mapping from experiment id to paper artifact is in DESIGN.md §4; the
+//! measured results and their interpretation are recorded in EXPERIMENTS.md.
+
+pub mod ablation;
+pub mod baseline;
+pub mod cost_function;
+pub mod policy_space;
+pub mod query_cost;
+pub mod ratio_sweep;
+pub mod worm_utilization;
+
+use crate::measure::Scale;
+use crate::report::Table;
+
+/// Every experiment id the harness knows about.
+pub const ALL_EXPERIMENTS: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
+
+/// Runs one experiment by id, returning its tables.
+pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
+    match id {
+        "e1" | "e2" | "e3" => {
+            // E1–E3 share one set of runs; return only the requested table.
+            let tables = policy_space::run(scale);
+            let index = match id {
+                "e1" => 0,
+                "e2" => 1,
+                _ => 2,
+            };
+            Some(vec![tables.into_iter().nth(index)?])
+        }
+        "e1-3" | "policy-space" => Some(policy_space::run(scale)),
+        "e4" => Some(ratio_sweep::run(scale)),
+        "e5" => Some(cost_function::run(scale)),
+        "e6" => Some(query_cost::run(scale)),
+        "e7" => Some(worm_utilization::run(scale)),
+        "e8" => Some(baseline::run(scale)),
+        "e9" => Some(ablation::run(scale)),
+        _ => None,
+    }
+}
+
+/// Runs every experiment, returning all tables in order.
+pub fn run_all(scale: Scale) -> Vec<Table> {
+    let mut out = Vec::new();
+    out.extend(policy_space::run(scale));
+    out.extend(ratio_sweep::run(scale));
+    out.extend(cost_function::run(scale));
+    out.extend(query_cost::run(scale));
+    out.extend(worm_utilization::run(scale));
+    out.extend(baseline::run(scale));
+    out.extend(ablation::run(scale));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_id_dispatches() {
+        for id in ALL_EXPERIMENTS {
+            let tables = run_experiment(id, Scale::Tiny)
+                .unwrap_or_else(|| panic!("experiment {id} must be runnable"));
+            assert!(!tables.is_empty());
+            for t in &tables {
+                assert!(!t.rows.is_empty(), "{id} produced an empty table");
+            }
+        }
+        assert!(run_experiment("nope", Scale::Tiny).is_none());
+    }
+}

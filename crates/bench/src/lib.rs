@@ -1,0 +1,37 @@
+//! # tsb-bench
+//!
+//! The experiment harness for the TSB-tree reproduction. The SIGMOD '89
+//! paper contains no measured evaluation tables; §5 defines the evaluation
+//! the authors planned — *total space use, space use in the current
+//! database, and amount of redundancy, under different splitting policies
+//! and with different rates of update versus insertion* — and the rest of
+//! the paper motivates query-cost and WORM-utilization comparisons against
+//! the Write-Once B-tree. Each experiment here (E1–E8, indexed in DESIGN.md
+//! and EXPERIMENTS.md) regenerates one of those tables:
+//!
+//! * **E1** total space by splitting policy,
+//! * **E2** current-database (magnetic) space by policy,
+//! * **E3** redundancy by policy and by split-time choice (§3.3 / Figure 6),
+//! * **E4** the update:insert ratio sweep,
+//! * **E5** the storage cost function `CS = SpaceM·CM + SpaceO·CO` under
+//!   different device price ratios, with the cost-based policy,
+//! * **E6** query cost (node accesses and device-weighted time) for current
+//!   lookups, as-of lookups, range scans, and version histories,
+//! * **E7** WORM sector utilization: TSB consolidation vs. the WOBT's
+//!   one-entry-per-sector writes,
+//! * **E8** head-to-head: TSB-tree vs. WOBT vs. a single-store versioned
+//!   B+-tree baseline.
+//!
+//! Run everything with `cargo run -p tsb-bench --bin experiments --release`,
+//! or a single experiment with e.g. `... -- e3`. Criterion micro-benchmarks
+//! (B1–B4) live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod measure;
+pub mod report;
+
+pub use measure::{measure_tsb, measure_wobt, Measurement, Scale};
+pub use report::Table;

@@ -1,0 +1,201 @@
+//! The workspace error type.
+//!
+//! All fallible operations across `tsb-storage`, `tsb-core`, and `tsb-wobt`
+//! return [`TsbResult`]. The error type is hand-written (no `thiserror`) to
+//! keep the dependency set to the approved list.
+
+use std::fmt;
+use std::io;
+
+use crate::key::Key;
+use crate::record::TxnId;
+
+/// Result alias used across the workspace.
+pub type TsbResult<T> = Result<T, TsbError>;
+
+/// Errors produced by the TSB-tree, the WOBT baseline, and the storage
+/// substrate.
+#[derive(Debug)]
+pub enum TsbError {
+    /// An underlying I/O error from a file-backed store.
+    Io(io::Error),
+    /// A page, node, or historical record failed to decode.
+    Corruption(String),
+    /// An entry is too large to ever fit in a node of the configured size.
+    EntryTooLarge {
+        /// Encoded size of the offending entry in bytes.
+        entry_size: usize,
+        /// Usable capacity of a node in bytes.
+        capacity: usize,
+    },
+    /// A key exceeds the configured maximum key length.
+    KeyTooLarge {
+        /// Length of the offending key.
+        len: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+    /// Attempt to rewrite an already-written WORM sector.
+    WormRewrite {
+        /// Index of the sector that was already written.
+        sector: u64,
+    },
+    /// Attempt to read beyond the end of the WORM store or outside a written
+    /// region.
+    WormOutOfBounds {
+        /// Byte offset of the attempted read.
+        offset: u64,
+        /// Length of the attempted read.
+        len: u64,
+    },
+    /// A page id does not refer to an allocated page.
+    PageNotFound(u64),
+    /// The buffer pool has no evictable frame (everything is pinned).
+    BufferPoolExhausted,
+    /// A write-write conflict: another in-flight transaction already has an
+    /// uncommitted version of the key.
+    WriteConflict {
+        /// The contended key.
+        key: Key,
+        /// The transaction currently holding the uncommitted version.
+        holder: TxnId,
+    },
+    /// The transaction id is not active (already committed, aborted, or never
+    /// begun).
+    TxnNotActive(TxnId),
+    /// A structural invariant was violated (reported by the verifier or by
+    /// internal consistency checks).
+    InvariantViolation(String),
+    /// Invalid configuration.
+    Config(String),
+    /// Operation attempted on a historical (write-once) node that requires an
+    /// erasable node.
+    HistoricalNodeImmutable,
+    /// An internal assumption failed; indicates a bug in this library.
+    Internal(String),
+}
+
+impl TsbError {
+    /// Convenience constructor for corruption errors.
+    pub fn corruption(msg: impl Into<String>) -> Self {
+        TsbError::Corruption(msg.into())
+    }
+
+    /// Convenience constructor for invariant violations.
+    pub fn invariant(msg: impl Into<String>) -> Self {
+        TsbError::InvariantViolation(msg.into())
+    }
+
+    /// Convenience constructor for internal errors.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        TsbError::Internal(msg.into())
+    }
+
+    /// Convenience constructor for configuration errors.
+    pub fn config(msg: impl Into<String>) -> Self {
+        TsbError::Config(msg.into())
+    }
+}
+
+impl fmt::Display for TsbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsbError::Io(e) => write!(f, "i/o error: {e}"),
+            TsbError::Corruption(msg) => write!(f, "corruption: {msg}"),
+            TsbError::EntryTooLarge {
+                entry_size,
+                capacity,
+            } => write!(
+                f,
+                "entry of {entry_size} bytes cannot fit in a node of capacity {capacity} bytes"
+            ),
+            TsbError::KeyTooLarge { len, max } => {
+                write!(f, "key of {len} bytes exceeds the maximum of {max} bytes")
+            }
+            TsbError::WormRewrite { sector } => {
+                write!(f, "attempt to rewrite write-once sector {sector}")
+            }
+            TsbError::WormOutOfBounds { offset, len } => write!(
+                f,
+                "read of {len} bytes at offset {offset} is outside the written WORM region"
+            ),
+            TsbError::PageNotFound(id) => write!(f, "page {id} is not allocated"),
+            TsbError::BufferPoolExhausted => {
+                write!(f, "buffer pool exhausted: all frames are pinned")
+            }
+            TsbError::WriteConflict { key, holder } => write!(
+                f,
+                "write-write conflict on key {key}: uncommitted version held by {holder}"
+            ),
+            TsbError::TxnNotActive(id) => write!(f, "transaction {id} is not active"),
+            TsbError::InvariantViolation(msg) => write!(f, "invariant violation: {msg}"),
+            TsbError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            TsbError::HistoricalNodeImmutable => {
+                write!(f, "historical nodes are write-once and cannot be modified")
+            }
+            TsbError::Internal(msg) => write!(f, "internal error (library bug): {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TsbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TsbError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TsbError {
+    fn from(e: io::Error) -> Self {
+        TsbError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TsbError::WormRewrite { sector: 7 };
+        assert!(e.to_string().contains("sector 7"));
+
+        let e = TsbError::WriteConflict {
+            key: Key::from_u64(42),
+            holder: TxnId(3),
+        };
+        assert!(e.to_string().contains("42"));
+        assert!(e.to_string().contains("txn3"));
+
+        let e = TsbError::EntryTooLarge {
+            entry_size: 9000,
+            capacity: 4000,
+        };
+        assert!(e.to_string().contains("9000"));
+        assert!(e.to_string().contains("4000"));
+    }
+
+    #[test]
+    fn io_error_conversion_preserves_source() {
+        let io_err = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e: TsbError = io_err.into();
+        assert!(matches!(e, TsbError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn constructors() {
+        assert!(matches!(
+            TsbError::corruption("bad magic"),
+            TsbError::Corruption(_)
+        ));
+        assert!(matches!(
+            TsbError::invariant("overlap"),
+            TsbError::InvariantViolation(_)
+        ));
+        assert!(matches!(TsbError::internal("bug"), TsbError::Internal(_)));
+        assert!(matches!(TsbError::config("bad"), TsbError::Config(_)));
+    }
+}

@@ -1,0 +1,79 @@
+//! # tsb-core — the Time-Split B-tree
+//!
+//! A reproduction of **Lomet & Salzberg, "Access Methods for Multiversion
+//! Data", SIGMOD 1989**: a single integrated index over a versioned,
+//! timestamped database with a non-deletion policy, in which
+//!
+//! * the **current database** (newest versions) lives on an erasable,
+//!   random-access store ([`tsb_storage::MagneticStore`]), and
+//! * the **historical database** (superseded versions) is consolidated and
+//!   appended to a write-once store ([`tsb_storage::WormStore`]),
+//!
+//! with data migrating incrementally from the former to the latter, one node
+//! at a time, whenever a node is *time split*.
+//!
+//! ## What the crate provides
+//!
+//! * [`TsbTree`] — the index itself: point lookups (current and as-of-time),
+//!   range scans and snapshots at any past time, per-record version
+//!   histories, inserts/updates/logical deletes, and incremental migration
+//!   driven by configurable split policies ([`tsb_common::SplitPolicyKind`],
+//!   [`tsb_common::SplitTimeChoice`]).
+//! * [`SnapshotReader`] — lock-free read-only transactions pinned to a start
+//!   timestamp (§4.1), plus writer transactions whose uncommitted versions
+//!   carry no timestamp, are never migrated, and are erased on abort (§4).
+//! * [`SecondaryIndex`] — `<timestamp, secondary key, primary key>` indexes,
+//!   themselves TSB-trees (§3.6).
+//! * [`TreeStats`] / [`TsbTree::verify`] — the measurements the paper's
+//!   evaluation plan calls for (total space, current-database space,
+//!   redundancy) and a full structural invariant checker.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tsb_common::{Key, KeyRange, TsbConfig};
+//! use tsb_core::TsbTree;
+//!
+//! let mut tree = TsbTree::new_in_memory(TsbConfig::default()).unwrap();
+//!
+//! // A tiny account history (Figure 1's stepwise-constant data).
+//! let t_open = tree.insert("acct-42", b"balance=100".to_vec()).unwrap();
+//! let t_deposit = tree.insert("acct-42", b"balance=250".to_vec()).unwrap();
+//!
+//! // Current state.
+//! assert_eq!(tree.get_current(&Key::from("acct-42")).unwrap().unwrap(), b"balance=250".to_vec());
+//! // The balance as of any moment between the two transactions is the
+//! // earlier one.
+//! assert_eq!(tree.get_as_of(&Key::from("acct-42"), t_open).unwrap().unwrap(), b"balance=100".to_vec());
+//! // Full history of the record.
+//! assert_eq!(tree.versions(&Key::from("acct-42")).unwrap().len(), 2);
+//! // Snapshot of the whole database at a past time, without locks.
+//! let snapshot = tree.snapshot_at(t_deposit).unwrap();
+//! assert_eq!(snapshot.len(), 1);
+//! let _ = (t_open, KeyRange::full());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod node;
+pub mod secondary;
+pub mod split;
+pub mod stats;
+pub mod tree;
+pub mod txn;
+pub mod verify;
+
+pub use node::{DataComposition, DataNode, IndexComposition, IndexEntry, IndexNode, Node, NodeAddr};
+pub use secondary::{composite_key, split_composite_key, SecondaryIndex};
+pub use split::SplitPlan;
+pub use stats::TreeStats;
+pub use tree::TsbTree;
+pub use txn::SnapshotReader;
+
+// Re-export the shared vocabulary so that downstream users only need this
+// crate for typical use.
+pub use tsb_common::{
+    CostParams, Key, KeyBound, KeyRange, SplitPolicyKind, SplitTimeChoice, TimeBound, TimeRange,
+    Timestamp, TsState, TsbConfig, TsbError, TsbResult, TxnId, Version,
+};

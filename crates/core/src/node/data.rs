@@ -1,0 +1,583 @@
+//! Data (leaf) nodes.
+//!
+//! A data node holds record versions for a rectangle of the key × time
+//! plane: a key range (§3.5's *key range*) crossed with a time range. The
+//! current node for a key range has an open-ended time range and lives on
+//! the magnetic store; historical nodes produced by time splits have a
+//! closed time range and live on the WORM store.
+//!
+//! Unlike the WOBT (which must keep entries in insertion order because its
+//! sectors are write-once), TSB-tree current nodes live on an erasable
+//! device, so entries are maintained sorted by `(key, version order)`; that
+//! is what makes "normal" B+-tree-style key splits possible (§3, §5).
+//!
+//! One wrinkle inherited from the time-split rule (§3.1, rule 3): a data
+//! node's entries may include a version whose commit time is *earlier* than
+//! the node's time-range start — the copy of the version that was valid at
+//! the split time. [`DataNode::validate`] checks exactly that shape.
+
+use tsb_common::encode::{size, ByteReader, ByteWriter};
+use tsb_common::{
+    Key, KeyRange, TimeRange, Timestamp, TsState, TsbError, TsbResult, TxnId, Version, VersionOrder,
+};
+
+/// Node type tag burned into the first byte of every encoded node.
+pub const DATA_NODE_TAG: u8 = 1;
+
+/// A leaf node holding record versions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DataNode {
+    /// The key range this node is responsible for.
+    pub key_range: KeyRange,
+    /// The time range this node is responsible for (`hi = +∞` ⇔ current).
+    pub time_range: TimeRange,
+    /// Versions sorted by `(key, version order)`.
+    entries: Vec<Version>,
+}
+
+/// Summary of what a full data node contains, used by the split policy
+/// (§3.2: "the kind of split used depends on what is in the node").
+#[derive(Clone, Debug, PartialEq)]
+pub struct DataComposition {
+    /// Total number of entries.
+    pub total_entries: usize,
+    /// Number of distinct keys.
+    pub distinct_keys: usize,
+    /// Entries that are the newest committed version of their key and not a
+    /// tombstone (the node's share of the *current database*).
+    pub live_entries: usize,
+    /// Committed entries superseded by a newer version (or tombstones):
+    /// candidates for migration to the historical store.
+    pub historical_entries: usize,
+    /// Uncommitted entries (never migrated, erasable).
+    pub uncommitted_entries: usize,
+    /// Encoded bytes of all entries.
+    pub entry_bytes: usize,
+    /// Encoded bytes of the live + uncommitted entries only.
+    pub live_entry_bytes: usize,
+    /// Commit time of the newest version that *superseded* an older version
+    /// of the same key (i.e. the last genuine update, as opposed to a fresh
+    /// insert). `None` if every key has a single version.
+    pub last_update_time: Option<Timestamp>,
+    /// Median of the distinct commit timestamps present.
+    pub median_commit_time: Option<Timestamp>,
+    /// Smallest commit timestamp present.
+    pub min_commit_time: Option<Timestamp>,
+    /// Largest commit timestamp present.
+    pub max_commit_time: Option<Timestamp>,
+}
+
+impl DataComposition {
+    /// Fraction of committed entries that are live, in `[0, 1]`.
+    /// Returns 1.0 for an empty node.
+    pub fn live_fraction(&self) -> f64 {
+        let committed = self.live_entries + self.historical_entries;
+        if committed == 0 {
+            1.0
+        } else {
+            self.live_entries as f64 / committed as f64
+        }
+    }
+}
+
+impl DataNode {
+    /// Creates an empty data node covering `key_range` × `time_range`.
+    pub fn new(key_range: KeyRange, time_range: TimeRange) -> Self {
+        DataNode {
+            key_range,
+            time_range,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates the initial root data node covering the whole plane.
+    pub fn initial_root() -> Self {
+        DataNode::new(KeyRange::full(), TimeRange::full())
+    }
+
+    /// Creates a node from pre-sorted entries (used by splits). The entries
+    /// are re-sorted defensively.
+    pub fn from_entries(
+        key_range: KeyRange,
+        time_range: TimeRange,
+        mut entries: Vec<Version>,
+    ) -> Self {
+        entries.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        DataNode {
+            key_range,
+            time_range,
+            entries,
+        }
+    }
+
+    /// The entries, sorted by `(key, version order)`.
+    pub fn entries(&self) -> &[Version] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the node holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the node is a current node (open-ended time range).
+    pub fn is_current(&self) -> bool {
+        self.time_range.is_current()
+    }
+
+    fn position_of(&self, key: &Key, order: &VersionOrder) -> Result<usize, usize> {
+        self.entries
+            .binary_search_by(|e| e.sort_key().cmp(&(key.clone(), *order)))
+    }
+
+    /// Inserts (or replaces) a version. Replacement happens when an entry
+    /// with the same `(key, state)` already exists — e.g. a transaction
+    /// overwriting its own uncommitted write.
+    ///
+    /// Returns an error if the key lies outside the node's key range (that
+    /// would indicate a routing bug in the caller).
+    pub fn insert(&mut self, version: Version) -> TsbResult<()> {
+        if !self.key_range.contains(&version.key) {
+            return Err(TsbError::internal(format!(
+                "key {} routed to node with key range {}",
+                version.key, self.key_range
+            )));
+        }
+        match self.position_of(&version.key, &version.order()) {
+            Ok(pos) => self.entries[pos] = version,
+            Err(pos) => self.entries.insert(pos, version),
+        }
+        Ok(())
+    }
+
+    /// Removes the uncommitted version of `key` written by `txn`, if any.
+    pub fn remove_uncommitted(&mut self, key: &Key, txn: TxnId) -> Option<Version> {
+        match self.position_of(key, &VersionOrder::Uncommitted(txn)) {
+            Ok(pos) => Some(self.entries.remove(pos)),
+            Err(_) => None,
+        }
+    }
+
+    /// The uncommitted version of `key`, if any (written by any transaction —
+    /// there is at most one, because writers conflict on uncommitted keys).
+    pub fn find_uncommitted(&self, key: &Key) -> Option<&Version> {
+        self.entries
+            .iter()
+            .find(|e| e.key == *key && e.state.is_uncommitted())
+    }
+
+    /// All versions of `key` in this node, in version order.
+    pub fn versions_of(&self, key: &Key) -> impl Iterator<Item = &Version> + '_ {
+        let start = self.entries.partition_point(|e| e.key < *key);
+        let key = key.clone();
+        self.entries[start..]
+            .iter()
+            .take_while(move |e| e.key == key)
+    }
+
+    /// The version of `key` governing time `ts`: the committed version with
+    /// the largest commit time ≤ `ts`. Uncommitted versions are invisible.
+    pub fn find_as_of(&self, key: &Key, ts: Timestamp) -> Option<&Version> {
+        self.versions_of(key)
+            .filter(|v| v.commit_time().map(|t| t <= ts).unwrap_or(false))
+            .last()
+    }
+
+    /// The newest committed version of `key` (which may be a tombstone).
+    pub fn find_latest_committed(&self, key: &Key) -> Option<&Version> {
+        self.versions_of(key)
+            .filter(|v| v.state.is_committed())
+            .last()
+    }
+
+    /// The distinct keys present, in order.
+    pub fn distinct_keys(&self) -> Vec<Key> {
+        let mut keys: Vec<Key> = Vec::new();
+        for e in &self.entries {
+            if keys.last() != Some(&e.key) {
+                keys.push(e.key.clone());
+            }
+        }
+        keys
+    }
+
+    /// Summarizes the node contents for the split policy.
+    pub fn composition(&self) -> DataComposition {
+        let mut distinct_keys = 0usize;
+        let mut live = 0usize;
+        let mut historical = 0usize;
+        let mut uncommitted = 0usize;
+        let mut live_bytes = 0usize;
+        let mut last_update: Option<Timestamp> = None;
+        let mut commit_times: Vec<Timestamp> = Vec::new();
+
+        let mut i = 0;
+        while i < self.entries.len() {
+            let key = &self.entries[i].key;
+            distinct_keys += 1;
+            let group_end = self.entries[i..]
+                .iter()
+                .position(|e| e.key != *key)
+                .map(|p| i + p)
+                .unwrap_or(self.entries.len());
+            let group = &self.entries[i..group_end];
+
+            // Newest committed version in the group, if any.
+            let latest_committed_idx = group.iter().rposition(|e| e.state.is_committed());
+            let mut versions_seen = 0usize;
+            for (j, e) in group.iter().enumerate() {
+                match e.state {
+                    TsState::Committed(t) => {
+                        commit_times.push(t);
+                        versions_seen += 1;
+                        let is_latest = Some(j) == latest_committed_idx;
+                        if is_latest && !e.is_tombstone() {
+                            live += 1;
+                            live_bytes += size::version(e);
+                        } else {
+                            historical += 1;
+                        }
+                        // A version that supersedes an earlier one is an "update".
+                        if versions_seen > 1 {
+                            last_update = Some(last_update.map_or(t, |cur| cur.max(t)));
+                        }
+                    }
+                    TsState::Uncommitted(_) => {
+                        uncommitted += 1;
+                        live_bytes += size::version(e);
+                    }
+                }
+            }
+            i = group_end;
+        }
+
+        commit_times.sort();
+        commit_times.dedup();
+        let median = if commit_times.is_empty() {
+            None
+        } else {
+            Some(commit_times[commit_times.len() / 2])
+        };
+
+        DataComposition {
+            total_entries: self.entries.len(),
+            distinct_keys,
+            live_entries: live,
+            historical_entries: historical,
+            uncommitted_entries: uncommitted,
+            entry_bytes: self.entries.iter().map(size::version).sum(),
+            live_entry_bytes: live_bytes,
+            last_update_time: last_update,
+            median_commit_time: median,
+            min_commit_time: commit_times.first().copied(),
+            max_commit_time: commit_times.last().copied(),
+        }
+    }
+
+    /// Encoded size of the node in bytes.
+    pub fn encoded_size(&self) -> usize {
+        // tag + entry count + key range + time range + entries
+        1 + 4
+            + size::key_range(&self.key_range)
+            + size::time_range(&self.time_range)
+            + self.entries.iter().map(size::version).sum::<usize>()
+    }
+
+    /// Encodes the node.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(self.encoded_size());
+        w.put_u8(DATA_NODE_TAG);
+        w.put_u32(self.entries.len() as u32);
+        w.put_key_range(&self.key_range);
+        w.put_time_range(&self.time_range);
+        for e in &self.entries {
+            w.put_version(e);
+        }
+        debug_assert_eq!(w.len(), self.encoded_size());
+        w.into_vec()
+    }
+
+    /// Decodes a node previously produced by [`Self::encode`].
+    pub fn decode(bytes: &[u8]) -> TsbResult<Self> {
+        let mut r = ByteReader::new(bytes);
+        let tag = r.get_u8()?;
+        if tag != DATA_NODE_TAG {
+            return Err(TsbError::corruption(format!(
+                "expected data node tag {DATA_NODE_TAG}, found {tag}"
+            )));
+        }
+        let count = r.get_u32()? as usize;
+        let key_range = r.get_key_range()?;
+        let time_range = r.get_time_range()?;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            entries.push(r.get_version()?);
+        }
+        Ok(DataNode {
+            key_range,
+            time_range,
+            entries,
+        })
+    }
+
+    /// Checks the node's internal invariants:
+    ///
+    /// * entries are sorted by `(key, version order)` and unique,
+    /// * every key lies in the node's key range,
+    /// * every commit time is below the time range's upper bound,
+    /// * at most one version per key has a commit time below the time range's
+    ///   lower bound, and it is that key's earliest version in the node (the
+    ///   rule-3 duplicate of the version valid at the split time),
+    /// * historical (closed time range) nodes contain no uncommitted entries.
+    pub fn validate(&self) -> TsbResult<()> {
+        for w in self.entries.windows(2) {
+            if w[0].sort_key() >= w[1].sort_key() {
+                return Err(TsbError::invariant(format!(
+                    "data node entries out of order: {} then {}",
+                    w[0], w[1]
+                )));
+            }
+        }
+        let mut earlier_than_lo_per_key: Option<(&Key, usize)> = None;
+        for (idx, e) in self.entries.iter().enumerate() {
+            if !self.key_range.contains(&e.key) {
+                return Err(TsbError::invariant(format!(
+                    "entry {} outside node key range {}",
+                    e, self.key_range
+                )));
+            }
+            if let Some(t) = e.commit_time() {
+                if !self.time_range.hi.is_above(t) {
+                    return Err(TsbError::invariant(format!(
+                        "entry {} at or beyond node time-range end {}",
+                        e, self.time_range
+                    )));
+                }
+                if t < self.time_range.lo {
+                    // Must be the earliest version of its key in this node.
+                    let first_of_key = self
+                        .entries
+                        .iter()
+                        .position(|o| o.key == e.key)
+                        .unwrap_or(idx);
+                    if first_of_key != idx {
+                        return Err(TsbError::invariant(format!(
+                            "entry {} predates node time range {} but is not its key's earliest entry",
+                            e, self.time_range
+                        )));
+                    }
+                    if let Some((k, _)) = earlier_than_lo_per_key {
+                        if k == &e.key {
+                            return Err(TsbError::invariant(format!(
+                                "key {} has two entries before the node time range start",
+                                e.key
+                            )));
+                        }
+                    }
+                    earlier_than_lo_per_key = Some((&e.key, idx));
+                }
+            } else if !self.is_current() {
+                return Err(TsbError::invariant(format!(
+                    "historical node contains uncommitted entry {e}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(key: u64, ts: u64, val: &str) -> Version {
+        Version::committed(key, Timestamp(ts), val.as_bytes().to_vec())
+    }
+
+    fn sample_node() -> DataNode {
+        let mut n = DataNode::initial_root();
+        n.insert(v(50, 1, "Joe")).unwrap();
+        n.insert(v(60, 2, "Pete")).unwrap();
+        n.insert(v(60, 4, "Pete v2")).unwrap();
+        n.insert(v(70, 3, "Mary")).unwrap();
+        n.insert(Version::uncommitted(80u64, TxnId(9), b"Sue".to_vec()))
+            .unwrap();
+        n
+    }
+
+    #[test]
+    fn entries_stay_sorted_and_replace_on_same_state() {
+        let n = sample_node();
+        let keys: Vec<_> = n.entries().iter().map(|e| e.key.clone()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        n.validate().unwrap();
+
+        // Same (key, state) replaces.
+        let mut n = sample_node();
+        n.insert(v(60, 4, "Pete rewritten")).unwrap();
+        assert_eq!(n.len(), 5);
+        assert_eq!(
+            n.find_as_of(&Key::from_u64(60), Timestamp(9)).unwrap().value,
+            Some(b"Pete rewritten".to_vec())
+        );
+    }
+
+    #[test]
+    fn out_of_range_key_is_rejected() {
+        let mut n = DataNode::new(
+            KeyRange::bounded(Key::from_u64(10), Key::from_u64(20)),
+            TimeRange::full(),
+        );
+        assert!(n.insert(v(25, 1, "x")).is_err());
+        assert!(n.insert(v(15, 1, "ok")).is_ok());
+    }
+
+    #[test]
+    fn as_of_semantics_are_stepwise_constant() {
+        let n = sample_node();
+        let k = Key::from_u64(60);
+        // Before the first version: not present.
+        assert!(n.find_as_of(&k, Timestamp(1)).is_none());
+        // Between versions: the earlier version governs (Figure 1).
+        assert_eq!(
+            n.find_as_of(&k, Timestamp(3)).unwrap().value,
+            Some(b"Pete".to_vec())
+        );
+        // At and after the update.
+        assert_eq!(
+            n.find_as_of(&k, Timestamp(4)).unwrap().value,
+            Some(b"Pete v2".to_vec())
+        );
+        assert_eq!(
+            n.find_as_of(&k, Timestamp(100)).unwrap().value,
+            Some(b"Pete v2".to_vec())
+        );
+    }
+
+    #[test]
+    fn uncommitted_versions_are_invisible_to_reads_but_findable() {
+        let n = sample_node();
+        let k = Key::from_u64(80);
+        assert!(n.find_as_of(&k, Timestamp(100)).is_none());
+        assert!(n.find_latest_committed(&k).is_none());
+        assert!(n.find_uncommitted(&k).is_some());
+        assert_eq!(
+            n.find_uncommitted(&k).unwrap().state.txn_id(),
+            Some(TxnId(9))
+        );
+    }
+
+    #[test]
+    fn remove_uncommitted_only_removes_the_right_entry() {
+        let mut n = sample_node();
+        assert!(n.remove_uncommitted(&Key::from_u64(80), TxnId(1)).is_none());
+        let removed = n.remove_uncommitted(&Key::from_u64(80), TxnId(9)).unwrap();
+        assert_eq!(removed.key, Key::from_u64(80));
+        assert_eq!(n.len(), 4);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn composition_reflects_live_vs_historical() {
+        let n = sample_node();
+        let c = n.composition();
+        assert_eq!(c.total_entries, 5);
+        assert_eq!(c.distinct_keys, 4);
+        assert_eq!(c.live_entries, 3); // 50, 60@4, 70
+        assert_eq!(c.historical_entries, 1); // 60@2
+        assert_eq!(c.uncommitted_entries, 1);
+        assert_eq!(c.last_update_time, Some(Timestamp(4)));
+        assert_eq!(c.min_commit_time, Some(Timestamp(1)));
+        assert_eq!(c.max_commit_time, Some(Timestamp(4)));
+        assert!(c.live_fraction() > 0.7 && c.live_fraction() < 0.8);
+
+        // A tombstone as the latest version means the key is not live.
+        let mut n = DataNode::initial_root();
+        n.insert(v(1, 1, "a")).unwrap();
+        n.insert(Version::tombstone(1u64, Timestamp(2))).unwrap();
+        let c = n.composition();
+        assert_eq!(c.live_entries, 0);
+        assert_eq!(c.historical_entries, 2);
+        assert_eq!(c.last_update_time, Some(Timestamp(2)));
+    }
+
+    #[test]
+    fn empty_node_composition() {
+        let n = DataNode::initial_root();
+        let c = n.composition();
+        assert_eq!(c.total_entries, 0);
+        assert_eq!(c.live_fraction(), 1.0);
+        assert_eq!(c.median_commit_time, None);
+        assert!(n.is_empty());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let n = sample_node();
+        let bytes = n.encode();
+        assert_eq!(bytes.len(), n.encoded_size());
+        let decoded = DataNode::decode(&bytes).unwrap();
+        assert_eq!(decoded, n);
+
+        // Wrong tag is rejected.
+        let mut bad = bytes.clone();
+        bad[0] = 99;
+        assert!(DataNode::decode(&bad).is_err());
+        // Truncation is rejected.
+        assert!(DataNode::decode(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn validate_catches_rule3_violations() {
+        // An entry before the time-range start must be its key's earliest
+        // entry; two such entries for one key are invalid.
+        let node = DataNode::from_entries(
+            KeyRange::full(),
+            TimeRange::from(Timestamp(10)),
+            vec![v(1, 3, "a"), v(1, 5, "b"), v(1, 12, "c")],
+        );
+        assert!(node.validate().is_err());
+
+        // A single pre-split entry per key is the legal rule-3 duplicate.
+        let node = DataNode::from_entries(
+            KeyRange::full(),
+            TimeRange::from(Timestamp(10)),
+            vec![v(1, 5, "b"), v(1, 12, "c"), v(2, 11, "d")],
+        );
+        node.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_time_range_end_violation_and_uncommitted_in_historical() {
+        let node = DataNode::from_entries(
+            KeyRange::full(),
+            TimeRange::bounded(Timestamp(0), Timestamp(5)),
+            vec![v(1, 7, "late")],
+        );
+        assert!(node.validate().is_err());
+
+        let node = DataNode::from_entries(
+            KeyRange::full(),
+            TimeRange::bounded(Timestamp(0), Timestamp(5)),
+            vec![Version::uncommitted(1u64, TxnId(1), b"x".to_vec())],
+        );
+        assert!(node.validate().is_err());
+    }
+
+    #[test]
+    fn versions_of_iterates_only_that_key() {
+        let n = sample_node();
+        let versions: Vec<_> = n.versions_of(&Key::from_u64(60)).collect();
+        assert_eq!(versions.len(), 2);
+        assert!(versions.iter().all(|e| e.key == Key::from_u64(60)));
+        assert_eq!(n.versions_of(&Key::from_u64(99)).count(), 0);
+        assert_eq!(n.distinct_keys().len(), 4);
+    }
+}

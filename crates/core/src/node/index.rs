@@ -1,0 +1,587 @@
+//! Index nodes.
+//!
+//! An index entry refers to a lower-level node that "spans a keyspace
+//! interval as well as a time interval" (§3.5). The paper stores entries as
+//! `(key, timestamp, pointer)` triples and derives the spanned rectangle
+//! implicitly from neighbouring entries; we store the rectangle explicitly
+//! (see DESIGN.md), which makes the split rules and the search invariant —
+//! *for any point of the node's rectangle exactly one child entry contains
+//! it* — direct to implement and to verify.
+//!
+//! Index entries referencing **historical** children may stick out of the
+//! node's own key range: the Index Node Keyspace Split Rule (item 4) copies
+//! entries whose key range strictly contains the split value into both new
+//! nodes, which is what makes the TSB-tree a DAG rather than a tree. Entries
+//! referencing **current** children always lie inside the node's rectangle.
+
+use tsb_common::encode::{size, ByteReader, ByteWriter};
+use tsb_common::{Key, KeyRange, TimeRange, Timestamp, TsbError, TsbResult};
+
+use super::addr::NodeAddr;
+
+/// Node type tag burned into the first byte of every encoded node.
+pub const INDEX_NODE_TAG: u8 = 2;
+
+/// One child reference: the child's key × time rectangle plus its address.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IndexEntry {
+    /// Key range spanned by the child.
+    pub key_range: KeyRange,
+    /// Time range spanned by the child (`hi = +∞` ⇔ the child is current).
+    pub time_range: TimeRange,
+    /// Where the child lives.
+    pub child: NodeAddr,
+}
+
+impl IndexEntry {
+    /// Creates an entry.
+    pub fn new(key_range: KeyRange, time_range: TimeRange, child: NodeAddr) -> Self {
+        IndexEntry {
+            key_range,
+            time_range,
+            child,
+        }
+    }
+
+    /// Whether the entry's rectangle contains the point `(key, ts)`.
+    pub fn contains(&self, key: &Key, ts: Timestamp) -> bool {
+        self.key_range.contains(key) && self.time_range.contains(ts)
+    }
+
+    /// Whether the entry's rectangle overlaps `key_range × time_range`.
+    pub fn overlaps(&self, key_range: &KeyRange, time_range: &TimeRange) -> bool {
+        self.key_range.overlaps(key_range) && self.time_range.overlaps(time_range)
+    }
+
+    /// Whether the entry references a current (erasable) child.
+    pub fn is_current(&self) -> bool {
+        self.child.is_current()
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_size(&self) -> usize {
+        size::key_range(&self.key_range)
+            + size::time_range(&self.time_range)
+            + {
+                let mut w = ByteWriter::new();
+                self.child.encode(&mut w);
+                w.len()
+            }
+    }
+
+    /// Encodes the entry.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_key_range(&self.key_range);
+        w.put_time_range(&self.time_range);
+        self.child.encode(w);
+    }
+
+    /// Decodes an entry.
+    pub fn decode(r: &mut ByteReader<'_>) -> TsbResult<Self> {
+        let key_range = r.get_key_range()?;
+        let time_range = r.get_time_range()?;
+        let child = NodeAddr::decode(r)?;
+        Ok(IndexEntry {
+            key_range,
+            time_range,
+            child,
+        })
+    }
+}
+
+/// An index node: a rectangle of the key × time plane plus the child entries
+/// that tile it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IndexNode {
+    /// Key range this node is responsible for.
+    pub key_range: KeyRange,
+    /// Time range this node is responsible for.
+    pub time_range: TimeRange,
+    /// Child entries, sorted by `(key_range.lo, time_range.lo)`.
+    entries: Vec<IndexEntry>,
+}
+
+/// Summary of an index node's contents used when deciding how to split it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexComposition {
+    /// Total entries.
+    pub total_entries: usize,
+    /// Entries referencing current children.
+    pub current_entries: usize,
+    /// Entries referencing historical children.
+    pub historical_entries: usize,
+    /// The earliest `time_range.lo` among entries referencing current
+    /// children, if any — the largest usable local time-split point
+    /// (see §3.5 / Figure 8).
+    pub min_current_start: Option<Timestamp>,
+    /// Number of distinct `key_range.lo` values strictly greater than the
+    /// node's own lower key bound — candidate key-split values.
+    pub key_split_candidates: usize,
+}
+
+impl IndexNode {
+    /// Creates an empty index node covering `key_range` × `time_range`.
+    pub fn new(key_range: KeyRange, time_range: TimeRange) -> Self {
+        IndexNode {
+            key_range,
+            time_range,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an index node from entries (re-sorted defensively).
+    pub fn from_entries(
+        key_range: KeyRange,
+        time_range: TimeRange,
+        mut entries: Vec<IndexEntry>,
+    ) -> Self {
+        entries.sort_by(|a, b| {
+            (a.key_range.lo.clone(), a.time_range.lo).cmp(&(b.key_range.lo.clone(), b.time_range.lo))
+        });
+        IndexNode {
+            key_range,
+            time_range,
+            entries,
+        }
+    }
+
+    /// The entries, sorted by `(key lo, time lo)`.
+    pub fn entries(&self) -> &[IndexEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether this node is current (open-ended time range).
+    pub fn is_current(&self) -> bool {
+        self.time_range.is_current()
+    }
+
+    /// Adds an entry, keeping the sort order.
+    pub fn insert(&mut self, entry: IndexEntry) {
+        let pos = self.entries.partition_point(|e| {
+            (e.key_range.lo.clone(), e.time_range.lo)
+                <= (entry.key_range.lo.clone(), entry.time_range.lo)
+        });
+        self.entries.insert(pos, entry);
+    }
+
+    /// Removes the entry referencing `child` (there is at most one within a
+    /// single index node), returning it.
+    pub fn remove_child(&mut self, child: &NodeAddr) -> Option<IndexEntry> {
+        let pos = self.entries.iter().position(|e| e.child == *child)?;
+        Some(self.entries.remove(pos))
+    }
+
+    /// The entry referencing `child`, if present.
+    pub fn find_child_entry(&self, child: &NodeAddr) -> Option<&IndexEntry> {
+        self.entries.iter().find(|e| e.child == *child)
+    }
+
+    /// Replaces the entry referencing `old_child` with `replacements`
+    /// (2 for a plain split, 3 for a time-then-key split). Returns an error
+    /// if the old child is not present.
+    pub fn replace_child(
+        &mut self,
+        old_child: &NodeAddr,
+        replacements: Vec<IndexEntry>,
+    ) -> TsbResult<()> {
+        if self.remove_child(old_child).is_none() {
+            return Err(TsbError::internal(format!(
+                "index node has no entry for child {old_child}"
+            )));
+        }
+        for e in replacements {
+            self.insert(e);
+        }
+        Ok(())
+    }
+
+    /// The unique entry whose rectangle contains `(key, ts)`.
+    ///
+    /// Returns `None` only if the point lies outside every entry — which for
+    /// a well-formed node means the point is outside the node's own
+    /// rectangle (or in the empty-root corner case).
+    pub fn find_child(&self, key: &Key, ts: Timestamp) -> Option<&IndexEntry> {
+        self.entries.iter().find(|e| e.contains(key, ts))
+    }
+
+    /// All entries whose key range contains `key` (any time), used by
+    /// version-history queries.
+    pub fn children_containing_key(&self, key: &Key) -> Vec<&IndexEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.key_range.contains(key))
+            .collect()
+    }
+
+    /// All entries overlapping the query rectangle, used by range scans and
+    /// snapshots.
+    pub fn children_overlapping(
+        &self,
+        key_range: &KeyRange,
+        time_range: &TimeRange,
+    ) -> Vec<&IndexEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.overlaps(key_range, time_range))
+            .collect()
+    }
+
+    /// Summarizes the node for split decisions.
+    pub fn composition(&self) -> IndexComposition {
+        let current = self.entries.iter().filter(|e| e.is_current()).count();
+        let min_current_start = self
+            .entries
+            .iter()
+            .filter(|e| e.is_current())
+            .map(|e| e.time_range.lo)
+            .min();
+        let mut candidates: Vec<&Key> = self
+            .entries
+            .iter()
+            .map(|e| &e.key_range.lo)
+            .filter(|k| **k > self.key_range.lo)
+            .collect();
+        candidates.sort();
+        candidates.dedup();
+        IndexComposition {
+            total_entries: self.entries.len(),
+            current_entries: current,
+            historical_entries: self.entries.len() - current,
+            min_current_start,
+            key_split_candidates: candidates.len(),
+        }
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_size(&self) -> usize {
+        1 + 4
+            + size::key_range(&self.key_range)
+            + size::time_range(&self.time_range)
+            + self
+                .entries
+                .iter()
+                .map(IndexEntry::encoded_size)
+                .sum::<usize>()
+    }
+
+    /// Encodes the node.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(self.encoded_size());
+        w.put_u8(INDEX_NODE_TAG);
+        w.put_u32(self.entries.len() as u32);
+        w.put_key_range(&self.key_range);
+        w.put_time_range(&self.time_range);
+        for e in &self.entries {
+            e.encode(&mut w);
+        }
+        debug_assert_eq!(w.len(), self.encoded_size());
+        w.into_vec()
+    }
+
+    /// Decodes a node previously produced by [`Self::encode`].
+    pub fn decode(bytes: &[u8]) -> TsbResult<Self> {
+        let mut r = ByteReader::new(bytes);
+        let tag = r.get_u8()?;
+        if tag != INDEX_NODE_TAG {
+            return Err(TsbError::corruption(format!(
+                "expected index node tag {INDEX_NODE_TAG}, found {tag}"
+            )));
+        }
+        let count = r.get_u32()? as usize;
+        let key_range = r.get_key_range()?;
+        let time_range = r.get_time_range()?;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            entries.push(IndexEntry::decode(&mut r)?);
+        }
+        Ok(IndexNode {
+            key_range,
+            time_range,
+            entries,
+        })
+    }
+
+    /// Checks the node's internal invariants:
+    ///
+    /// * entries referencing current children lie inside the node rectangle
+    ///   and have open-ended time ranges,
+    /// * entry rectangles are pairwise disjoint,
+    /// * every point of the node's rectangle is covered by some entry
+    ///   (checked at the corner points of the rectangle subdivision induced
+    ///   by the entries — sufficient because all rectangles are axis-aligned
+    ///   half-open boxes).
+    pub fn validate(&self) -> TsbResult<()> {
+        for e in &self.entries {
+            if e.key_range.is_empty() || e.time_range.is_empty() {
+                return Err(TsbError::invariant(format!(
+                    "index entry with empty rectangle: {} x {}",
+                    e.key_range, e.time_range
+                )));
+            }
+            if e.is_current() != e.time_range.is_current() {
+                return Err(TsbError::invariant(format!(
+                    "entry for child {} has mismatched device/time-range: {} x {}",
+                    e.child, e.key_range, e.time_range
+                )));
+            }
+            if e.is_current() {
+                if !self.key_range.contains_range(&e.key_range)
+                    || !self.time_range.contains_range(&e.time_range)
+                {
+                    return Err(TsbError::invariant(format!(
+                        "current child {} rectangle {} x {} outside node rectangle {} x {}",
+                        e.child, e.key_range, e.time_range, self.key_range, self.time_range
+                    )));
+                }
+            }
+        }
+        // Pairwise disjointness.
+        for i in 0..self.entries.len() {
+            for j in (i + 1)..self.entries.len() {
+                let a = &self.entries[i];
+                let b = &self.entries[j];
+                if a.overlaps(&b.key_range, &b.time_range) {
+                    return Err(TsbError::invariant(format!(
+                        "index entries overlap: {} x {} ({}) and {} x {} ({})",
+                        a.key_range, a.time_range, a.child, b.key_range, b.time_range, b.child
+                    )));
+                }
+            }
+        }
+        // Coverage: every corner point of the induced grid that lies inside
+        // the node rectangle must be inside some entry.
+        if self.entries.is_empty() {
+            return Ok(());
+        }
+        let mut key_points: Vec<Key> = vec![self.key_range.lo.clone()];
+        let mut time_points: Vec<Timestamp> = vec![self.time_range.lo];
+        for e in &self.entries {
+            if self.key_range.contains(&e.key_range.lo) {
+                key_points.push(e.key_range.lo.clone());
+            }
+            if let Some(hi) = e.key_range.hi.as_finite() {
+                if self.key_range.contains(hi) {
+                    key_points.push(hi.clone());
+                }
+            }
+            if self.time_range.contains(e.time_range.lo) {
+                time_points.push(e.time_range.lo);
+            }
+            if let Some(hi) = e.time_range.hi.as_finite() {
+                if self.time_range.contains(hi) {
+                    time_points.push(hi);
+                }
+            }
+        }
+        key_points.sort();
+        key_points.dedup();
+        time_points.sort();
+        time_points.dedup();
+        for k in &key_points {
+            for t in &time_points {
+                if self.find_child(k, *t).is_none() {
+                    return Err(TsbError::invariant(format!(
+                        "point (key {k}, time {t}) inside node rectangle {} x {} is not covered by any entry",
+                        self.key_range, self.time_range
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsb_storage::{HistAddr, PageId};
+
+    fn kr(lo: u64, hi: Option<u64>) -> KeyRange {
+        match hi {
+            Some(h) => KeyRange::bounded(Key::from_u64(lo), Key::from_u64(h)),
+            None => KeyRange::new(Key::from_u64(lo), tsb_common::KeyBound::PlusInfinity),
+        }
+    }
+
+    fn cur(page: u64, key: KeyRange, from: u64) -> IndexEntry {
+        IndexEntry::new(key, TimeRange::from(Timestamp(from)), NodeAddr::Current(PageId(page)))
+    }
+
+    fn hist(off: u64, key: KeyRange, lo: u64, hi: u64) -> IndexEntry {
+        IndexEntry::new(
+            key,
+            TimeRange::bounded(Timestamp(lo), Timestamp(hi)),
+            NodeAddr::Historical(HistAddr::new(off, 100)),
+        )
+    }
+
+    /// Index node shaped like the paper's Figure 7 end state: a historical
+    /// child spanning the whole key range before T=4, plus two current
+    /// children after a key split at 100.
+    fn figure_like_node() -> IndexNode {
+        let full = KeyRange::new(Key::MIN, tsb_common::KeyBound::PlusInfinity);
+        IndexNode::from_entries(
+            full.clone(),
+            TimeRange::full(),
+            vec![
+                hist(0, full, 0, 4),
+                cur(1, kr(0, Some(100)).into_full_lo(), 4),
+                cur(2, kr(100, None), 4),
+            ],
+        )
+    }
+
+    trait IntoFullLo {
+        fn into_full_lo(self) -> KeyRange;
+    }
+    impl IntoFullLo for KeyRange {
+        // Helper: replace the lower bound with -inf (for the leftmost child).
+        fn into_full_lo(self) -> KeyRange {
+            KeyRange::new(Key::MIN, self.hi)
+        }
+    }
+
+    #[test]
+    fn find_child_routes_by_key_and_time() {
+        let n = figure_like_node();
+        n.validate().unwrap();
+        // Old times route to the historical child regardless of key.
+        assert!(n
+            .find_child(&Key::from_u64(500), Timestamp(2))
+            .unwrap()
+            .child
+            .is_historical());
+        // Recent times route by key.
+        assert_eq!(
+            n.find_child(&Key::from_u64(50), Timestamp(9)).unwrap().child,
+            NodeAddr::Current(PageId(1))
+        );
+        assert_eq!(
+            n.find_child(&Key::from_u64(150), Timestamp(9)).unwrap().child,
+            NodeAddr::Current(PageId(2))
+        );
+    }
+
+    #[test]
+    fn children_queries() {
+        let n = figure_like_node();
+        let for_key = n.children_containing_key(&Key::from_u64(150));
+        assert_eq!(for_key.len(), 2); // historical + right current child
+        let overlap = n.children_overlapping(
+            &KeyRange::bounded(Key::from_u64(0), Key::from_u64(10)),
+            &TimeRange::from(Timestamp(0)),
+        );
+        assert_eq!(overlap.len(), 2); // historical + left current child
+        let slice = n.children_overlapping(&KeyRange::full(), &TimeRange::bounded(Timestamp(0), Timestamp(1)));
+        assert_eq!(slice.len(), 1);
+    }
+
+    #[test]
+    fn replace_child_swaps_entries() {
+        let mut n = figure_like_node();
+        let old = NodeAddr::Current(PageId(2));
+        n.replace_child(
+            &old,
+            vec![
+                hist(64, kr(100, None), 4, 9),
+                cur(2, kr(100, None), 9),
+            ],
+        )
+        .unwrap();
+        assert_eq!(n.len(), 4);
+        n.validate().unwrap();
+        assert!(n
+            .replace_child(&NodeAddr::Current(PageId(99)), vec![])
+            .is_err());
+    }
+
+    #[test]
+    fn composition_counts() {
+        let n = figure_like_node();
+        let c = n.composition();
+        assert_eq!(c.total_entries, 3);
+        assert_eq!(c.current_entries, 2);
+        assert_eq!(c.historical_entries, 1);
+        assert_eq!(c.min_current_start, Some(Timestamp(4)));
+        assert_eq!(c.key_split_candidates, 1); // key 100
+    }
+
+    #[test]
+    fn validate_rejects_overlap_and_gaps() {
+        let full = KeyRange::full();
+        // Overlapping current children.
+        let n = IndexNode::from_entries(
+            full.clone(),
+            TimeRange::full(),
+            vec![cur(1, kr(0, Some(100)).into_full_lo(), 0), cur(2, kr(50, None), 0)],
+        );
+        assert!(n.validate().is_err());
+
+        // Gap: nothing covers keys >= 100.
+        let n = IndexNode::from_entries(
+            full.clone(),
+            TimeRange::full(),
+            vec![cur(1, kr(0, Some(100)).into_full_lo(), 0)],
+        );
+        assert!(n.validate().is_err());
+
+        // Current child marked with a finite time range is inconsistent.
+        let n = IndexNode::from_entries(
+            full,
+            TimeRange::full(),
+            vec![IndexEntry::new(
+                KeyRange::full(),
+                TimeRange::bounded(Timestamp(0), Timestamp(5)),
+                NodeAddr::Current(PageId(1)),
+            )],
+        );
+        assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn historical_entries_may_stick_out_of_the_node_key_range() {
+        // After an index keyspace split at 100, the left node owns keys
+        // [-inf, 100) but may carry a historical entry spanning [50, 150).
+        let left = IndexNode::from_entries(
+            KeyRange::new(Key::MIN, tsb_common::KeyBound::Finite(Key::from_u64(100))),
+            TimeRange::full(),
+            vec![
+                hist(0, kr(50, Some(150)), 0, 4),
+                hist(64, KeyRange::new(Key::MIN, tsb_common::KeyBound::Finite(Key::from_u64(50))), 0, 4),
+                cur(1, KeyRange::new(Key::MIN, tsb_common::KeyBound::Finite(Key::from_u64(100))), 4),
+            ],
+        );
+        left.validate().unwrap();
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let n = figure_like_node();
+        let bytes = n.encode();
+        assert_eq!(bytes.len(), n.encoded_size());
+        let decoded = IndexNode::decode(&bytes).unwrap();
+        assert_eq!(decoded, n);
+        let mut bad = bytes.clone();
+        bad[0] = 77;
+        assert!(IndexNode::decode(&bad).is_err());
+        assert!(IndexNode::decode(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn empty_index_node_is_valid_and_has_no_child() {
+        let n = IndexNode::new(KeyRange::full(), TimeRange::full());
+        n.validate().unwrap();
+        assert!(n.find_child(&Key::from_u64(1), Timestamp(1)).is_none());
+        assert!(n.is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! TSB-tree nodes: addresses, data (leaf) nodes, and index nodes.
+//!
+//! Every node spans a rectangle of the key × time plane. A node whose time
+//! range is open-ended (`hi = +∞`) is *current* and lives on the erasable
+//! magnetic store; a node with a closed time range is *historical*,
+//! immutable, and lives on the WORM store.
+
+pub mod addr;
+pub mod data;
+pub mod index;
+
+pub use addr::NodeAddr;
+pub use data::{DataComposition, DataNode, DATA_NODE_TAG};
+pub use index::{IndexComposition, IndexEntry, IndexNode, INDEX_NODE_TAG};
+
+use tsb_common::{TsbError, TsbResult};
+
+/// A decoded node of either kind.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Node {
+    /// A leaf node holding record versions.
+    Data(DataNode),
+    /// An internal node holding child rectangles.
+    Index(IndexNode),
+}
+
+impl Node {
+    /// Decodes a node, dispatching on the type tag in the first byte.
+    pub fn decode(bytes: &[u8]) -> TsbResult<Self> {
+        match bytes.first() {
+            Some(&DATA_NODE_TAG) => Ok(Node::Data(DataNode::decode(bytes)?)),
+            Some(&INDEX_NODE_TAG) => Ok(Node::Index(IndexNode::decode(bytes)?)),
+            Some(&t) => Err(TsbError::corruption(format!("unknown node tag {t}"))),
+            None => Err(TsbError::corruption("empty node image")),
+        }
+    }
+
+    /// Encodes the node.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Node::Data(n) => n.encode(),
+            Node::Index(n) => n.encode(),
+        }
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_size(&self) -> usize {
+        match self {
+            Node::Data(n) => n.encoded_size(),
+            Node::Index(n) => n.encoded_size(),
+        }
+    }
+
+    /// The data node, if this is a leaf.
+    pub fn as_data(&self) -> Option<&DataNode> {
+        match self {
+            Node::Data(n) => Some(n),
+            Node::Index(_) => None,
+        }
+    }
+
+    /// The index node, if this is an internal node.
+    pub fn as_index(&self) -> Option<&IndexNode> {
+        match self {
+            Node::Data(_) => None,
+            Node::Index(n) => Some(n),
+        }
+    }
+
+    /// Runs the node-local invariant checks.
+    pub fn validate(&self) -> TsbResult<()> {
+        match self {
+            Node::Data(n) => n.validate(),
+            Node::Index(n) => n.validate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsb_common::{KeyRange, TimeRange, Timestamp, Version};
+
+    #[test]
+    fn dispatching_decode() {
+        let mut data = DataNode::initial_root();
+        data.insert(Version::committed(1u64, Timestamp(1), b"x".to_vec()))
+            .unwrap();
+        let index = IndexNode::new(KeyRange::full(), TimeRange::full());
+
+        let d = Node::Data(data.clone());
+        let i = Node::Index(index.clone());
+        assert_eq!(Node::decode(&d.encode()).unwrap(), d);
+        assert_eq!(Node::decode(&i.encode()).unwrap(), i);
+        assert_eq!(d.encoded_size(), data.encoded_size());
+        assert_eq!(i.encoded_size(), index.encoded_size());
+        assert!(d.as_data().is_some() && d.as_index().is_none());
+        assert!(i.as_index().is_some() && i.as_data().is_none());
+        d.validate().unwrap();
+        i.validate().unwrap();
+
+        assert!(Node::decode(&[]).is_err());
+        assert!(Node::decode(&[9, 9, 9]).is_err());
+    }
+}

@@ -1,0 +1,394 @@
+//! The Time-Split B-tree proper: tree handle, node I/O over the two devices,
+//! and the on-disk metadata page.
+//!
+//! Sub-modules implement the operations:
+//!
+//! * [`search`](crate::tree) — point lookups (current and as-of),
+//! * [`scan`](crate::tree) — range scans, snapshots, version histories,
+//! * [`insert`](crate::tree) — insertion, update, logical deletion, and the
+//!   split/migration machinery.
+//!
+//! Transactions live in [`crate::txn`], secondary indexes in
+//! [`crate::secondary`], statistics in [`crate::stats`], and the structural
+//! verifier in [`crate::verify`].
+
+pub mod history;
+pub mod insert;
+pub mod scan;
+pub mod search;
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use tsb_common::encode::{ByteReader, ByteWriter};
+use tsb_common::{
+    LogicalClock, Timestamp, TsbConfig, TsbError, TsbResult,
+};
+use tsb_storage::{BufferPool, CostModel, HistAddr, IoStats, MagneticStore, PageId, SpaceSnapshot, WormStore};
+
+use crate::node::{DataNode, IndexNode, Node, NodeAddr};
+use crate::txn::TxnTable;
+
+const META_MAGIC: u64 = 0x5453_4254_5245_4531; // "TSBTREE1"
+
+/// The Time-Split B-tree: a single integrated index over a multiversion
+/// database whose current part lives on an erasable store and whose
+/// historical part lives on a write-once store.
+///
+/// Reads (`get_*`, `scan_*`, snapshots, statistics, verification) take
+/// `&self`; mutations (inserts, deletes, transactions) take `&mut self`.
+///
+/// ```
+/// use tsb_core::TsbTree;
+/// use tsb_common::{Key, TsbConfig};
+///
+/// let mut tree = TsbTree::new_in_memory(TsbConfig::default()).unwrap();
+/// let t1 = tree.insert("acct-1", b"balance=100".to_vec()).unwrap();
+/// let t2 = tree.insert("acct-1", b"balance=250".to_vec()).unwrap();
+/// assert_eq!(tree.get_current(&Key::from("acct-1")).unwrap().unwrap(), b"balance=250".to_vec());
+/// // The old version is still reachable as of its own time (rollback database).
+/// assert_eq!(tree.get_as_of(&Key::from("acct-1"), t1).unwrap().unwrap(), b"balance=100".to_vec());
+/// assert!(t1 < t2);
+/// ```
+pub struct TsbTree {
+    pub(crate) cfg: TsbConfig,
+    pub(crate) magnetic: Arc<MagneticStore>,
+    pub(crate) pool: BufferPool,
+    pub(crate) worm: Arc<WormStore>,
+    pub(crate) stats: Arc<IoStats>,
+    pub(crate) cost: CostModel,
+    pub(crate) clock: LogicalClock,
+    pub(crate) root: NodeAddr,
+    pub(crate) meta_page: PageId,
+    pub(crate) txns: TxnTable,
+    /// Current data pages that blocked a local index time split (Figure 9)
+    /// and should prefer a time split at their next opportunity (§3.5).
+    pub(crate) marked_for_time_split: HashSet<PageId>,
+}
+
+impl std::fmt::Debug for TsbTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TsbTree")
+            .field("root", &self.root)
+            .field("page_size", &self.cfg.page_size)
+            .field("split_policy", &self.cfg.split_policy)
+            .finish()
+    }
+}
+
+impl TsbTree {
+    /// Creates a fresh tree over in-memory stores sized by `cfg`.
+    pub fn new_in_memory(cfg: TsbConfig) -> TsbResult<Self> {
+        cfg.validate()?;
+        let stats = Arc::new(IoStats::new());
+        let magnetic = Arc::new(MagneticStore::in_memory(cfg.page_size, Arc::clone(&stats)));
+        let worm = Arc::new(WormStore::in_memory(cfg.worm_sector_size, Arc::clone(&stats)));
+        Self::create(magnetic, worm, cfg)
+    }
+
+    /// Creates a fresh tree over the provided stores. The magnetic store must
+    /// be empty (use [`Self::open`] to reopen an existing tree).
+    pub fn create(
+        magnetic: Arc<MagneticStore>,
+        worm: Arc<WormStore>,
+        cfg: TsbConfig,
+    ) -> TsbResult<Self> {
+        cfg.validate()?;
+        if magnetic.allocated_pages() != 0 {
+            return Err(TsbError::config(
+                "TsbTree::create requires an empty magnetic store; use TsbTree::open to reopen",
+            ));
+        }
+        if magnetic.page_size() != cfg.page_size {
+            return Err(TsbError::config(format!(
+                "magnetic store page size {} does not match config page size {}",
+                magnetic.page_size(),
+                cfg.page_size
+            )));
+        }
+        let stats = Arc::clone(magnetic.stats());
+        let pool = BufferPool::new(Arc::clone(&magnetic), cfg.buffer_pool_pages);
+        let cost = CostModel::new(cfg.cost);
+        let clock = LogicalClock::new();
+
+        let meta_page = magnetic.allocate()?;
+        let root_page = magnetic.allocate()?;
+        let root = NodeAddr::Current(root_page);
+
+        let mut tree = TsbTree {
+            cfg,
+            magnetic,
+            pool,
+            worm,
+            stats,
+            cost,
+            clock,
+            root,
+            meta_page,
+            txns: TxnTable::new(),
+            marked_for_time_split: HashSet::new(),
+        };
+        let root_node = DataNode::initial_root();
+        tree.write_current(root_page, &Node::Data(root_node))?;
+        tree.write_meta()?;
+        Ok(tree)
+    }
+
+    /// Reopens an existing tree, or creates a fresh one if the magnetic
+    /// store is empty. The metadata page is the lowest allocated page id.
+    pub fn open(
+        magnetic: Arc<MagneticStore>,
+        worm: Arc<WormStore>,
+        cfg: TsbConfig,
+    ) -> TsbResult<Self> {
+        cfg.validate()?;
+        if magnetic.allocated_pages() == 0 {
+            return Self::create(magnetic, worm, cfg);
+        }
+        if magnetic.page_size() != cfg.page_size {
+            return Err(TsbError::config(format!(
+                "magnetic store page size {} does not match config page size {}",
+                magnetic.page_size(),
+                cfg.page_size
+            )));
+        }
+        let meta_page = magnetic
+            .allocated_page_ids()
+            .into_iter()
+            .min()
+            .ok_or_else(|| TsbError::internal("non-empty store with no pages"))?;
+        let meta_bytes = magnetic.read(meta_page)?;
+        let (root, clock_next, next_txn) = Self::decode_meta(&meta_bytes)?;
+
+        let stats = Arc::clone(magnetic.stats());
+        let pool = BufferPool::new(Arc::clone(&magnetic), cfg.buffer_pool_pages);
+        let cost = CostModel::new(cfg.cost);
+        let clock = LogicalClock::starting_at(clock_next);
+
+        Ok(TsbTree {
+            cfg,
+            magnetic,
+            pool,
+            worm,
+            stats,
+            cost,
+            clock,
+            root,
+            meta_page,
+            txns: TxnTable::starting_at(next_txn),
+            marked_for_time_split: HashSet::new(),
+        })
+    }
+
+    /// The tree configuration.
+    pub fn config(&self) -> &TsbConfig {
+        &self.cfg
+    }
+
+    /// The shared I/O statistics counters.
+    pub fn io_stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    /// The device cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The current logical time (the timestamp the next commit would get).
+    pub fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    /// The root node address.
+    pub fn root_addr(&self) -> NodeAddr {
+        self.root
+    }
+
+    /// Space currently occupied on the two devices (the paper's `SpaceM` and
+    /// `SpaceO`).
+    pub fn space(&self) -> SpaceSnapshot {
+        SpaceSnapshot {
+            magnetic_bytes: self.magnetic.device_bytes(),
+            worm_bytes: self.worm.device_bytes(),
+            magnetic_payload_bytes: self.magnetic.payload_bytes(),
+            worm_payload_bytes: self.worm.payload_bytes(),
+        }
+    }
+
+    /// The storage cost `CS = SpaceM·CM + SpaceO·CO` of the current state.
+    pub fn storage_cost(&self) -> f64 {
+        self.cost.storage_cost(&self.space())
+    }
+
+    /// Flushes dirty pages, the metadata page, and both devices.
+    pub fn flush(&mut self) -> TsbResult<()> {
+        self.write_meta()?;
+        self.pool.flush()?;
+        self.magnetic.sync()?;
+        self.worm.sync()?;
+        Ok(())
+    }
+
+    // ----- node I/O -------------------------------------------------------
+
+    /// Usable bytes for an encoded node on a magnetic page.
+    pub(crate) fn page_capacity(&self) -> usize {
+        self.magnetic.capacity()
+    }
+
+    /// The size at which an insertion triggers a split.
+    pub(crate) fn split_threshold(&self) -> usize {
+        (self.page_capacity() as f64 * self.cfg.split_fill_threshold) as usize
+    }
+
+    /// Reads and decodes the node at `addr`, recording a logical node access.
+    pub(crate) fn read_node(&self, addr: NodeAddr) -> TsbResult<Node> {
+        match addr {
+            NodeAddr::Current(page) => {
+                self.stats.record_current_node_access();
+                let bytes = self.pool.get(page)?;
+                Node::decode(&bytes)
+            }
+            NodeAddr::Historical(hist) => {
+                self.stats.record_historical_node_access();
+                let bytes = self.worm.read(hist)?;
+                Node::decode(&bytes)
+            }
+        }
+    }
+
+    /// Reads a node expected to be a data node.
+    pub(crate) fn read_data(&self, addr: NodeAddr) -> TsbResult<DataNode> {
+        match self.read_node(addr)? {
+            Node::Data(n) => Ok(n),
+            Node::Index(_) => Err(TsbError::corruption(format!(
+                "expected a data node at {addr}, found an index node"
+            ))),
+        }
+    }
+
+    /// Reads a node expected to be an index node.
+    #[allow(dead_code)] // kept for symmetry with `read_data`; used by debugging tools
+    pub(crate) fn read_index(&self, addr: NodeAddr) -> TsbResult<IndexNode> {
+        match self.read_node(addr)? {
+            Node::Index(n) => Ok(n),
+            Node::Data(_) => Err(TsbError::corruption(format!(
+                "expected an index node at {addr}, found a data node"
+            ))),
+        }
+    }
+
+    /// Writes a current node image to its page (through the buffer pool).
+    pub(crate) fn write_current(&mut self, page: PageId, node: &Node) -> TsbResult<()> {
+        let bytes = node.encode();
+        if bytes.len() > self.page_capacity() {
+            return Err(TsbError::internal(format!(
+                "attempted to write a {}-byte node into a {}-byte page; splitting should have prevented this",
+                bytes.len(),
+                self.page_capacity()
+            )));
+        }
+        self.pool.put(page, bytes)
+    }
+
+    /// Consolidates a node and appends it to the historical store,
+    /// returning its address (§3.4: the historical node is written once, at
+    /// whatever length it has).
+    pub(crate) fn append_historical(&mut self, node: &Node) -> TsbResult<HistAddr> {
+        self.worm.append(&node.encode())
+    }
+
+    /// Allocates a fresh current page.
+    pub(crate) fn allocate_page(&mut self) -> TsbResult<PageId> {
+        self.magnetic.allocate()
+    }
+
+    // ----- metadata -------------------------------------------------------
+
+    pub(crate) fn write_meta(&mut self) -> TsbResult<()> {
+        let mut w = ByteWriter::new();
+        w.put_u64(META_MAGIC);
+        self.root.encode(&mut w);
+        w.put_u64(self.clock.now().value());
+        w.put_u64(self.txns.next_id_value());
+        self.pool.put(self.meta_page, w.into_vec())
+    }
+
+    fn decode_meta(bytes: &[u8]) -> TsbResult<(NodeAddr, Timestamp, u64)> {
+        let mut r = ByteReader::new(bytes);
+        if r.get_u64()? != META_MAGIC {
+            return Err(TsbError::corruption("bad TSB-tree metadata magic"));
+        }
+        let root = NodeAddr::decode(&mut r)?;
+        let clock_next = Timestamp(r.get_u64()?);
+        let next_txn = r.get_u64()?;
+        Ok((root, clock_next, next_txn))
+    }
+
+    /// Updates the root pointer and persists the metadata page.
+    pub(crate) fn set_root(&mut self, root: NodeAddr) -> TsbResult<()> {
+        self.root = root;
+        self.write_meta()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsb_common::Key;
+
+    #[test]
+    fn create_open_round_trip() {
+        let cfg = TsbConfig::small_pages();
+        let stats = Arc::new(IoStats::new());
+        let magnetic = Arc::new(MagneticStore::in_memory(cfg.page_size, Arc::clone(&stats)));
+        let worm = Arc::new(WormStore::in_memory(cfg.worm_sector_size, Arc::clone(&stats)));
+
+        let root_before;
+        {
+            let mut tree =
+                TsbTree::create(Arc::clone(&magnetic), Arc::clone(&worm), cfg.clone()).unwrap();
+            tree.insert(1u64, b"one".to_vec()).unwrap();
+            tree.insert(2u64, b"two".to_vec()).unwrap();
+            root_before = tree.root_addr();
+            tree.flush().unwrap();
+        }
+        {
+            let tree = TsbTree::open(Arc::clone(&magnetic), Arc::clone(&worm), cfg.clone()).unwrap();
+            assert_eq!(tree.root_addr(), root_before);
+            assert_eq!(
+                tree.get_current(&Key::from_u64(1)).unwrap().unwrap(),
+                b"one".to_vec()
+            );
+            assert_eq!(
+                tree.get_current(&Key::from_u64(2)).unwrap().unwrap(),
+                b"two".to_vec()
+            );
+            // The clock resumes past previously issued timestamps.
+            assert!(tree.now() > Timestamp(2));
+        }
+        // create() refuses a non-empty store.
+        assert!(TsbTree::create(magnetic, worm, cfg).is_err());
+    }
+
+    #[test]
+    fn create_rejects_mismatched_page_size() {
+        let cfg = TsbConfig::small_pages();
+        let stats = Arc::new(IoStats::new());
+        let magnetic = Arc::new(MagneticStore::in_memory(4096, Arc::clone(&stats)));
+        let worm = Arc::new(WormStore::in_memory(cfg.worm_sector_size, Arc::clone(&stats)));
+        assert!(TsbTree::create(magnetic, worm, cfg).is_err());
+    }
+
+    #[test]
+    fn space_and_cost_reflect_the_stores() {
+        let mut tree = TsbTree::new_in_memory(TsbConfig::small_pages()).unwrap();
+        for i in 0..50u64 {
+            tree.insert(i, vec![b'v'; 20]).unwrap();
+        }
+        let space = tree.space();
+        assert!(space.magnetic_bytes > 0);
+        assert!(tree.storage_cost() > 0.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Range scans, database snapshots, and per-record version histories
+//! (§2.5's temporal queries: "find the state of the database as it was at
+//! any given time in the past", "find the records with a given key valid at
+//! a given point in time", "find all past versions of a given record").
+
+use std::collections::{BTreeMap, HashSet};
+
+use tsb_common::{Key, KeyRange, Timestamp, TsbResult, Version};
+
+use crate::node::{Node, NodeAddr};
+
+use super::TsbTree;
+
+impl TsbTree {
+    /// Returns every `(key, value)` pair in `range` as of time `ts`, in key
+    /// order. Tombstoned keys are omitted. This answers the paper's
+    /// "snapshot of the database at any given past time" restricted to a key
+    /// range.
+    pub fn scan_as_of(&self, range: &KeyRange, ts: Timestamp) -> TsbResult<Vec<(Key, Vec<u8>)>> {
+        let mut out: BTreeMap<Key, Vec<u8>> = BTreeMap::new();
+        let mut visited: HashSet<NodeAddr> = HashSet::new();
+        self.scan_node(self.root, range, ts, &mut visited, &mut out)?;
+        Ok(out.into_iter().collect())
+    }
+
+    fn scan_node(
+        &self,
+        addr: NodeAddr,
+        range: &KeyRange,
+        ts: Timestamp,
+        visited: &mut HashSet<NodeAddr>,
+        out: &mut BTreeMap<Key, Vec<u8>>,
+    ) -> TsbResult<()> {
+        if !visited.insert(addr) {
+            return Ok(());
+        }
+        match self.read_node(addr)? {
+            Node::Data(data) => {
+                // Only keys inside both the query range and the node's own
+                // key range are collected; at a fixed time the key ranges of
+                // the leaves containing that time are disjoint, so no leaf
+                // can contribute a stale answer for a key it does not own.
+                for key in data.distinct_keys() {
+                    if !range.contains(&key) || !data.key_range.contains(&key) {
+                        continue;
+                    }
+                    if let Some(v) = data.find_as_of(&key, ts) {
+                        if !v.is_tombstone() {
+                            if let Some(value) = &v.value {
+                                out.insert(key.clone(), value.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            Node::Index(index) => {
+                for entry in index.entries() {
+                    if entry.key_range.overlaps(range) && entry.time_range.contains(ts) {
+                        self.scan_node(entry.child, range, ts, visited, out)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A full-database snapshot as of `ts`: every key alive at that time with
+    /// its governing value, in key order.
+    pub fn snapshot_at(&self, ts: Timestamp) -> TsbResult<Vec<(Key, Vec<u8>)>> {
+        self.scan_as_of(&KeyRange::full(), ts)
+    }
+
+    /// Every key currently alive with its newest committed value, in key
+    /// order.
+    pub fn scan_current(&self, range: &KeyRange) -> TsbResult<Vec<(Key, Vec<u8>)>> {
+        // "Now" routes to the current nodes; any timestamp at or past the
+        // newest commit works, and MAX is simplest.
+        self.scan_as_of(range, Timestamp::MAX)
+    }
+
+    /// Number of keys alive in `range` as of `ts`.
+    pub fn count_as_of(&self, range: &KeyRange, ts: Timestamp) -> TsbResult<usize> {
+        Ok(self.scan_as_of(range, ts)?.len())
+    }
+
+    /// Every committed version of `key`, oldest first, tombstones included —
+    /// the paper's "find all past versions of a given record". Redundant
+    /// copies created by time splits are reported once.
+    pub fn versions(&self, key: &Key) -> TsbResult<Vec<Version>> {
+        let mut leaves: Vec<NodeAddr> = Vec::new();
+        let mut visited: HashSet<NodeAddr> = HashSet::new();
+        self.collect_leaves_for_key(self.root, key, &mut visited, &mut leaves)?;
+
+        let mut seen: HashSet<Timestamp> = HashSet::new();
+        let mut versions: Vec<Version> = Vec::new();
+        for leaf in leaves {
+            let data = self.read_data(leaf)?;
+            for v in data.versions_of(key) {
+                if let Some(ts) = v.commit_time() {
+                    if seen.insert(ts) {
+                        versions.push(v.clone());
+                    }
+                }
+            }
+        }
+        versions.sort_by_key(|v| v.commit_time().unwrap_or(Timestamp::MAX));
+        Ok(versions)
+    }
+
+    fn collect_leaves_for_key(
+        &self,
+        addr: NodeAddr,
+        key: &Key,
+        visited: &mut HashSet<NodeAddr>,
+        leaves: &mut Vec<NodeAddr>,
+    ) -> TsbResult<()> {
+        if !visited.insert(addr) {
+            return Ok(());
+        }
+        match self.read_node(addr)? {
+            Node::Data(_) => leaves.push(addr),
+            Node::Index(index) => {
+                for entry in index.children_containing_key(key) {
+                    self.collect_leaves_for_key(entry.child, key, visited, leaves)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The number of distinct keys ever written (alive or deleted), obtained
+    /// by walking every leaf. Intended for statistics and tests, not hot
+    /// paths.
+    pub fn distinct_key_count(&self) -> TsbResult<usize> {
+        let mut keys: HashSet<Key> = HashSet::new();
+        let mut visited: HashSet<NodeAddr> = HashSet::new();
+        self.collect_all_keys(self.root, &mut visited, &mut keys)?;
+        Ok(keys.len())
+    }
+
+    fn collect_all_keys(
+        &self,
+        addr: NodeAddr,
+        visited: &mut HashSet<NodeAddr>,
+        keys: &mut HashSet<Key>,
+    ) -> TsbResult<()> {
+        if !visited.insert(addr) {
+            return Ok(());
+        }
+        match self.read_node(addr)? {
+            Node::Data(data) => {
+                for k in data.distinct_keys() {
+                    keys.insert(k);
+                }
+            }
+            Node::Index(index) => {
+                for entry in index.entries() {
+                    self.collect_all_keys(entry.child, visited, keys)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsb_common::{SplitPolicyKind, TsbConfig};
+
+    fn build_tree(policy: SplitPolicyKind) -> (TsbTree, Vec<(u64, Timestamp, String)>) {
+        let cfg = TsbConfig::small_pages().with_split_policy(policy);
+        let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+        let mut log = Vec::new();
+        for i in 0..240u64 {
+            let key = i % 24;
+            let value = format!("k{key}-gen{}", i / 24);
+            let ts = tree.insert(key, value.clone().into_bytes()).unwrap();
+            log.push((key, ts, value));
+        }
+        (tree, log)
+    }
+
+    #[test]
+    fn snapshot_reconstructs_past_states() {
+        let (tree, log) = build_tree(SplitPolicyKind::default());
+        // Snapshot at the midpoint of history: keys written at or before the
+        // midpoint are present with their then-current values.
+        let mid_idx = log.len() / 2;
+        let mid_ts = log[mid_idx].1;
+        let snap = tree.snapshot_at(mid_ts).unwrap();
+        let mut expected: BTreeMap<u64, String> = BTreeMap::new();
+        for (key, ts, value) in &log {
+            if *ts <= mid_ts {
+                expected.insert(*key, value.clone());
+            }
+        }
+        assert_eq!(snap.len(), expected.len());
+        for (k, v) in snap {
+            let key = k.as_u64().unwrap();
+            assert_eq!(v, expected[&key].clone().into_bytes());
+        }
+    }
+
+    #[test]
+    fn range_scans_respect_bounds_and_time() {
+        let (tree, _) = build_tree(SplitPolicyKind::TimePreferring);
+        let range = KeyRange::bounded(Key::from_u64(5), Key::from_u64(15));
+        let rows = tree.scan_current(&range).unwrap();
+        assert_eq!(rows.len(), 10);
+        assert!(rows
+            .iter()
+            .all(|(k, _)| range.contains(k)));
+        // Keys come back sorted.
+        let keys: Vec<u64> = rows.iter().map(|(k, _)| k.as_u64().unwrap()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        // Before anything was written the snapshot is empty.
+        assert!(tree.snapshot_at(Timestamp::ZERO).unwrap().is_empty());
+    }
+
+    #[test]
+    fn version_history_is_complete_and_deduplicated() {
+        let (tree, log) = build_tree(SplitPolicyKind::TimePreferring);
+        for key in 0..24u64 {
+            let expected: Vec<_> = log.iter().filter(|(k, _, _)| *k == key).collect();
+            let versions = tree.versions(&Key::from_u64(key)).unwrap();
+            assert_eq!(versions.len(), expected.len(), "key {key}");
+            // Oldest first, and values match the insertion log.
+            for (v, (_, ts, value)) in versions.iter().zip(expected.iter()) {
+                assert_eq!(v.commit_time().unwrap(), *ts);
+                assert_eq!(v.value.as_ref().unwrap(), &value.clone().into_bytes());
+            }
+        }
+        assert!(tree.versions(&Key::from_u64(999)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn deleted_keys_vanish_from_snapshots_but_keep_history() {
+        let cfg = TsbConfig::small_pages();
+        let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+        for i in 0..10u64 {
+            tree.insert(i, format!("v{i}").into_bytes()).unwrap();
+        }
+        let before_delete = tree.now();
+        tree.delete(3u64).unwrap();
+        let current = tree.scan_current(&KeyRange::full()).unwrap();
+        assert_eq!(current.len(), 9);
+        assert!(!current.iter().any(|(k, _)| k.as_u64() == Some(3)));
+        // The snapshot before the delete still has it.
+        let past = tree.snapshot_at(before_delete.prev()).unwrap();
+        assert_eq!(past.len(), 10);
+        // And the tombstone shows up in the version history.
+        let history = tree.versions(&Key::from_u64(3)).unwrap();
+        assert_eq!(history.len(), 2);
+        assert!(history.last().unwrap().is_tombstone());
+        assert_eq!(tree.distinct_key_count().unwrap(), 10);
+    }
+
+    #[test]
+    fn count_as_of_tracks_database_growth() {
+        let (tree, log) = build_tree(SplitPolicyKind::default());
+        let quarter = log[log.len() / 4].1;
+        let half = log[log.len() / 2].1;
+        let c1 = tree.count_as_of(&KeyRange::full(), quarter).unwrap();
+        let c2 = tree.count_as_of(&KeyRange::full(), half).unwrap();
+        let c3 = tree.count_as_of(&KeyRange::full(), Timestamp::MAX).unwrap();
+        assert!(c1 <= c2 && c2 <= c3);
+        assert_eq!(c3, 24);
+    }
+}

@@ -1,0 +1,404 @@
+//! Transaction support (§4).
+//!
+//! The TSB-tree's transaction story follows the paper:
+//!
+//! * **Writer transactions** place *uncommitted* versions directly in the
+//!   current nodes. Uncommitted versions carry no timestamp, only the writer
+//!   transaction id, so they are never migrated to the historical store by a
+//!   time split and can always be erased — which is exactly what abort does.
+//!   Commit stamps every written version with the transaction's commit
+//!   timestamp.
+//! * **Write-write conflicts** are refused eagerly: if another in-flight
+//!   transaction already holds an uncommitted version of a key, a new write
+//!   to it fails with [`TsbError::WriteConflict`].
+//! * **Read-only transactions** (§4.1) take a *start* timestamp when they
+//!   begin and read as of that timestamp. They never block and never see
+//!   uncommitted data: a committed version with a later timestamp is simply
+//!   ignored by the as-of search, and uncommitted versions are invisible to
+//!   it. This is what lets backups and unloads run without locks.
+
+use std::collections::HashMap;
+
+use tsb_common::{Key, KeyRange, Timestamp, TsbError, TsbResult, TxnId, Version};
+
+use crate::node::Node;
+use crate::tree::TsbTree;
+
+/// Book-keeping for in-flight writer transactions.
+#[derive(Debug)]
+pub(crate) struct TxnTable {
+    next_id: u64,
+    active: HashMap<TxnId, Vec<Key>>,
+}
+
+impl TxnTable {
+    pub(crate) fn new() -> Self {
+        TxnTable {
+            next_id: 1,
+            active: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn starting_at(next_id: u64) -> Self {
+        TxnTable {
+            next_id: next_id.max(1),
+            active: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn next_id_value(&self) -> u64 {
+        self.next_id
+    }
+
+    fn begin(&mut self) -> TxnId {
+        let id = TxnId(self.next_id);
+        self.next_id += 1;
+        self.active.insert(id, Vec::new());
+        id
+    }
+
+    fn record_write(&mut self, txn: TxnId, key: Key) -> TsbResult<()> {
+        let writes = self
+            .active
+            .get_mut(&txn)
+            .ok_or(TsbError::TxnNotActive(txn))?;
+        if !writes.contains(&key) {
+            writes.push(key);
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, txn: TxnId) -> TsbResult<Vec<Key>> {
+        self.active
+            .remove(&txn)
+            .ok_or(TsbError::TxnNotActive(txn))
+    }
+
+    fn is_active(&self, txn: TxnId) -> bool {
+        self.active.contains_key(&txn)
+    }
+
+    /// Number of in-flight transactions.
+    pub(crate) fn active_count(&self) -> usize {
+        self.active.len()
+    }
+}
+
+/// A lock-free read-only view of the database as of a fixed timestamp
+/// (§4.1). Obtained from [`TsbTree::begin_snapshot`]; borrows the tree
+/// immutably, so it cannot observe later writes even by accident.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotReader<'a> {
+    tree: &'a TsbTree,
+    ts: Timestamp,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// The snapshot's read timestamp.
+    pub fn timestamp(&self) -> Timestamp {
+        self.ts
+    }
+
+    /// Reads a key as of the snapshot time.
+    pub fn get(&self, key: &Key) -> TsbResult<Option<Vec<u8>>> {
+        self.tree.get_as_of(key, self.ts)
+    }
+
+    /// Scans a key range as of the snapshot time.
+    pub fn scan(&self, range: &KeyRange) -> TsbResult<Vec<(Key, Vec<u8>)>> {
+        self.tree.scan_as_of(range, self.ts)
+    }
+
+    /// Dumps the entire database as of the snapshot time (the lock-free
+    /// backup/unload use case the paper highlights).
+    pub fn dump(&self) -> TsbResult<Vec<(Key, Vec<u8>)>> {
+        self.tree.snapshot_at(self.ts)
+    }
+}
+
+impl TsbTree {
+    /// Begins a writer transaction.
+    pub fn begin_txn(&mut self) -> TxnId {
+        self.txns.begin()
+    }
+
+    /// Number of in-flight writer transactions.
+    pub fn active_txn_count(&self) -> usize {
+        self.txns.active_count()
+    }
+
+    /// Begins a lock-free read-only transaction pinned to the current time
+    /// (§4.1). All of its reads observe the database as of this moment,
+    /// regardless of concurrent committing writers.
+    pub fn begin_snapshot(&self) -> SnapshotReader<'_> {
+        SnapshotReader {
+            tree: self,
+            ts: self.clock.now().prev(),
+        }
+    }
+
+    /// A read-only view pinned to an explicit past timestamp.
+    pub fn snapshot_as_of(&self, ts: Timestamp) -> SnapshotReader<'_> {
+        SnapshotReader { tree: self, ts }
+    }
+
+    /// Writes `key = value` within transaction `txn` (uncommitted until
+    /// [`Self::commit_txn`]). Fails with [`TsbError::WriteConflict`] if
+    /// another in-flight transaction already wrote this key.
+    pub fn txn_insert(
+        &mut self,
+        txn: TxnId,
+        key: impl Into<Key>,
+        value: Vec<u8>,
+    ) -> TsbResult<()> {
+        let key = key.into();
+        self.txn_write(txn, Version::uncommitted(key, txn, value))
+    }
+
+    /// Logically deletes `key` within transaction `txn`.
+    pub fn txn_delete(&mut self, txn: TxnId, key: impl Into<Key>) -> TsbResult<()> {
+        let key = key.into();
+        self.txn_write(txn, Version::uncommitted_tombstone(key, txn))
+    }
+
+    fn txn_write(&mut self, txn: TxnId, version: Version) -> TsbResult<()> {
+        if !self.txns.is_active(txn) {
+            return Err(TsbError::TxnNotActive(txn));
+        }
+        // Eager write-write conflict detection.
+        if let Some(existing) = self.pending_version(&version.key)? {
+            if existing.state.txn_id() != Some(txn) {
+                return Err(TsbError::WriteConflict {
+                    key: version.key.clone(),
+                    holder: existing.state.txn_id().unwrap_or(TxnId(0)),
+                });
+            }
+        }
+        let key = version.key.clone();
+        self.insert_version(version)?;
+        self.txns.record_write(txn, key)
+    }
+
+    /// Reads `key` from inside transaction `txn`: the transaction's own
+    /// uncommitted write if it has one, otherwise the newest committed value.
+    pub fn txn_get(&self, txn: TxnId, key: &Key) -> TsbResult<Option<Vec<u8>>> {
+        if let Some(pending) = self.pending_version(key)? {
+            if pending.state.txn_id() == Some(txn) {
+                // The transaction's own write: a pending tombstone reads as
+                // "gone", a pending value reads as that value.
+                return Ok(pending.value);
+            }
+        }
+        self.get_current(key)
+    }
+
+    /// Commits transaction `txn`: every version it wrote is stamped with a
+    /// single commit timestamp (the transaction's commit time), which is
+    /// returned.
+    pub fn commit_txn(&mut self, txn: TxnId) -> TsbResult<Timestamp> {
+        let writes = self.txns.finish(txn)?;
+        let ts = self.clock.tick();
+        for key in writes {
+            let (page, mut leaf) = self.descend_to_current_leaf(&key)?;
+            let pending = leaf.remove_uncommitted(&key, txn).ok_or_else(|| {
+                TsbError::internal(format!(
+                    "transaction {txn} lost its uncommitted version of key {key}"
+                ))
+            })?;
+            let committed = Version {
+                key: pending.key,
+                state: tsb_common::TsState::Committed(ts),
+                value: pending.value,
+            };
+            leaf.insert(committed)?;
+            self.write_current(page, &Node::Data(leaf))?;
+        }
+        Ok(ts)
+    }
+
+    /// Aborts transaction `txn`: every uncommitted version it wrote is erased
+    /// from the current store. (This erasure is exactly what the write-once
+    /// WOBT cannot do — §2.6, §5.)
+    pub fn abort_txn(&mut self, txn: TxnId) -> TsbResult<()> {
+        let writes = self.txns.finish(txn)?;
+        for key in writes {
+            let (page, mut leaf) = self.descend_to_current_leaf(&key)?;
+            if leaf.remove_uncommitted(&key, txn).is_some() {
+                self.write_current(page, &Node::Data(leaf))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsb_common::{SplitPolicyKind, TsbConfig};
+
+    fn tree() -> TsbTree {
+        TsbTree::new_in_memory(TsbConfig::small_pages()).unwrap()
+    }
+
+    #[test]
+    fn commit_makes_writes_visible_with_one_timestamp() {
+        let mut t = tree();
+        let txn = t.begin_txn();
+        t.txn_insert(txn, 1u64, b"a".to_vec()).unwrap();
+        t.txn_insert(txn, 2u64, b"b".to_vec()).unwrap();
+        // Invisible before commit.
+        assert!(t.get_current(&Key::from_u64(1)).unwrap().is_none());
+        assert!(t.get_current(&Key::from_u64(2)).unwrap().is_none());
+        let ts = t.commit_txn(txn).unwrap();
+        assert_eq!(t.get_current(&Key::from_u64(1)).unwrap().unwrap(), b"a");
+        assert_eq!(t.get_current(&Key::from_u64(2)).unwrap().unwrap(), b"b");
+        // Both versions carry the same commit timestamp.
+        assert_eq!(
+            t.get_version_as_of(&Key::from_u64(1), ts)
+                .unwrap()
+                .unwrap()
+                .commit_time(),
+            Some(ts)
+        );
+        assert_eq!(
+            t.get_version_as_of(&Key::from_u64(2), ts)
+                .unwrap()
+                .unwrap()
+                .commit_time(),
+            Some(ts)
+        );
+        assert_eq!(t.active_txn_count(), 0);
+    }
+
+    #[test]
+    fn abort_erases_uncommitted_data() {
+        let mut t = tree();
+        t.insert(1u64, b"old".to_vec()).unwrap();
+        let txn = t.begin_txn();
+        t.txn_insert(txn, 1u64, b"new".to_vec()).unwrap();
+        t.txn_insert(txn, 99u64, b"fresh".to_vec()).unwrap();
+        t.abort_txn(txn).unwrap();
+        assert_eq!(t.get_current(&Key::from_u64(1)).unwrap().unwrap(), b"old");
+        assert!(t.get_current(&Key::from_u64(99)).unwrap().is_none());
+        assert!(t.pending_version(&Key::from_u64(1)).unwrap().is_none());
+        // The aborted transaction cannot be used again.
+        assert!(matches!(
+            t.txn_insert(txn, 5u64, b"x".to_vec()),
+            Err(TsbError::TxnNotActive(_))
+        ));
+        assert!(matches!(t.commit_txn(txn), Err(TsbError::TxnNotActive(_))));
+    }
+
+    #[test]
+    fn write_write_conflicts_are_detected() {
+        let mut t = tree();
+        let a = t.begin_txn();
+        let b = t.begin_txn();
+        t.txn_insert(a, 7u64, b"from-a".to_vec()).unwrap();
+        let err = t.txn_insert(b, 7u64, b"from-b".to_vec()).unwrap_err();
+        assert!(matches!(err, TsbError::WriteConflict { holder, .. } if holder == a));
+        // A transaction may overwrite its own pending write.
+        t.txn_insert(a, 7u64, b"from-a-v2".to_vec()).unwrap();
+        let ts = t.commit_txn(a).unwrap();
+        assert_eq!(
+            t.get_as_of(&Key::from_u64(7), ts).unwrap().unwrap(),
+            b"from-a-v2".to_vec()
+        );
+        // After a's commit, b can write the key.
+        t.txn_insert(b, 7u64, b"from-b".to_vec()).unwrap();
+        t.commit_txn(b).unwrap();
+        assert_eq!(
+            t.get_current(&Key::from_u64(7)).unwrap().unwrap(),
+            b"from-b".to_vec()
+        );
+    }
+
+    #[test]
+    fn txn_reads_see_own_writes_but_not_others() {
+        let mut t = tree();
+        t.insert(1u64, b"committed".to_vec()).unwrap();
+        let a = t.begin_txn();
+        let b = t.begin_txn();
+        t.txn_insert(a, 1u64, b"a-pending".to_vec()).unwrap();
+        assert_eq!(
+            t.txn_get(a, &Key::from_u64(1)).unwrap().unwrap(),
+            b"a-pending".to_vec()
+        );
+        assert_eq!(
+            t.txn_get(b, &Key::from_u64(1)).unwrap().unwrap(),
+            b"committed".to_vec()
+        );
+        t.abort_txn(a).unwrap();
+        t.abort_txn(b).unwrap();
+    }
+
+    #[test]
+    fn txn_delete_commits_a_tombstone() {
+        let mut t = tree();
+        t.insert(4u64, b"exists".to_vec()).unwrap();
+        let txn = t.begin_txn();
+        t.txn_delete(txn, 4u64).unwrap();
+        assert_eq!(
+            t.get_current(&Key::from_u64(4)).unwrap().unwrap(),
+            b"exists".to_vec(),
+            "delete not visible before commit"
+        );
+        let ts = t.commit_txn(txn).unwrap();
+        assert!(t.get_current(&Key::from_u64(4)).unwrap().is_none());
+        assert!(t.get_as_of(&Key::from_u64(4), ts.prev()).unwrap().is_some());
+    }
+
+    #[test]
+    fn snapshot_readers_are_stable_under_concurrent_commits() {
+        let mut t = tree();
+        for i in 0..20u64 {
+            t.insert(i, b"v1".to_vec()).unwrap();
+        }
+        let snap_ts;
+        {
+            let snap = t.begin_snapshot();
+            snap_ts = snap.timestamp();
+            assert_eq!(snap.dump().unwrap().len(), 20);
+        }
+        // Later writes do not affect a snapshot pinned to the earlier time.
+        for i in 0..20u64 {
+            t.insert(i, b"v2".to_vec()).unwrap();
+        }
+        t.insert(100u64, b"new key".to_vec()).unwrap();
+        let snap = t.snapshot_as_of(snap_ts);
+        let rows = snap.dump().unwrap();
+        assert_eq!(rows.len(), 20);
+        assert!(rows.iter().all(|(_, v)| v == b"v1"));
+        assert_eq!(
+            snap.get(&Key::from_u64(3)).unwrap().unwrap(),
+            b"v1".to_vec()
+        );
+        assert!(snap.get(&Key::from_u64(100)).unwrap().is_none());
+        let range = KeyRange::bounded(Key::from_u64(0), Key::from_u64(5));
+        assert_eq!(snap.scan(&range).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn uncommitted_data_survives_splits_and_never_migrates() {
+        let cfg = TsbConfig::small_pages().with_split_policy(SplitPolicyKind::TimePreferring);
+        let mut t = TsbTree::new_in_memory(cfg).unwrap();
+        let txn = t.begin_txn();
+        t.txn_insert(txn, 500u64, b"pending-through-splits".to_vec())
+            .unwrap();
+        // Flood the tree so that many splits (including time splits) happen
+        // around the pending write.
+        for i in 0..300u64 {
+            t.insert(i % 30, format!("v{i}").into_bytes()).unwrap();
+        }
+        // The pending version is still present, still uncommitted, and still
+        // erasable.
+        let pending = t.pending_version(&Key::from_u64(500)).unwrap().unwrap();
+        assert!(pending.state.is_uncommitted());
+        let ts = t.commit_txn(txn).unwrap();
+        assert_eq!(
+            t.get_as_of(&Key::from_u64(500), ts).unwrap().unwrap(),
+            b"pending-through-splits".to_vec()
+        );
+        t.verify().unwrap();
+    }
+}

@@ -1,0 +1,272 @@
+//! A buffer pool (page cache) over the magnetic store.
+//!
+//! Current nodes are read and rewritten constantly (searches, in-place key
+//! splits, time splits, commit stamping), so the engine caches page images in
+//! memory. The pool is a classic fixed-capacity LRU cache with write-back:
+//!
+//! * `get` returns the page image, reading from the device only on a miss;
+//! * `put` installs a new image and marks the frame dirty;
+//! * eviction writes dirty frames back to the device;
+//! * `flush` writes all dirty frames (called on checkpoint / close).
+//!
+//! The pool is intentionally simple — the reproduction's experiments count
+//! *logical* node accesses and *device* I/O separately, and the pool is what
+//! separates the two.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use tsb_common::{TsbError, TsbResult};
+
+use crate::magnetic::MagneticStore;
+use crate::page::PageId;
+
+struct Frame {
+    data: Arc<Vec<u8>>,
+    dirty: bool,
+    /// LRU clock: larger = more recently used.
+    last_used: u64,
+}
+
+struct Inner {
+    frames: HashMap<PageId, Frame>,
+    tick: u64,
+}
+
+/// A fixed-capacity LRU page cache with write-back.
+pub struct BufferPool {
+    store: Arc<MagneticStore>,
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity)
+            .field("resident", &self.resident_pages())
+            .finish()
+    }
+}
+
+impl BufferPool {
+    /// Creates a pool of `capacity` frames over `store`.
+    pub fn new(store: Arc<MagneticStore>, capacity: usize) -> Self {
+        BufferPool {
+            store,
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                frames: HashMap::new(),
+                tick: 0,
+            }),
+        }
+    }
+
+    /// The underlying magnetic store.
+    pub fn store(&self) -> &Arc<MagneticStore> {
+        &self.store
+    }
+
+    /// Number of frames currently resident.
+    pub fn resident_pages(&self) -> usize {
+        self.inner.lock().frames.len()
+    }
+
+    /// The pool capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn evict_if_needed(&self, inner: &mut Inner) -> TsbResult<()> {
+        while inner.frames.len() > self.capacity {
+            let victim = inner
+                .frames
+                .iter()
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(id, _)| *id)
+                .ok_or_else(|| TsbError::internal("buffer pool over capacity but empty"))?;
+            let frame = inner
+                .frames
+                .remove(&victim)
+                .ok_or_else(|| TsbError::internal("victim frame vanished"))?;
+            if frame.dirty {
+                self.store.write(victim, &frame.data)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the cached image of `page`, reading from the device on a miss.
+    pub fn get(&self, page: PageId) -> TsbResult<Arc<Vec<u8>>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(frame) = inner.frames.get_mut(&page) {
+            frame.last_used = tick;
+            self.store.stats().record_cache_hit();
+            return Ok(Arc::clone(&frame.data));
+        }
+        self.store.stats().record_cache_miss();
+        let data = Arc::new(self.store.read(page)?);
+        inner.frames.insert(
+            page,
+            Frame {
+                data: Arc::clone(&data),
+                dirty: false,
+                last_used: tick,
+            },
+        );
+        self.evict_if_needed(&mut inner)?;
+        Ok(data)
+    }
+
+    /// Installs a new image for `page` and marks it dirty. The write reaches
+    /// the device on eviction or [`Self::flush`].
+    pub fn put(&self, page: PageId, data: Vec<u8>) -> TsbResult<()> {
+        if data.len() > self.store.capacity() {
+            return Err(TsbError::EntryTooLarge {
+                entry_size: data.len(),
+                capacity: self.store.capacity(),
+            });
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.frames.insert(
+            page,
+            Frame {
+                data: Arc::new(data),
+                dirty: true,
+                last_used: tick,
+            },
+        );
+        self.evict_if_needed(&mut inner)?;
+        Ok(())
+    }
+
+    /// Drops a page from the cache without writing it back (used when the
+    /// page has been freed on the device, e.g. after an abort erasure or a
+    /// node consolidation).
+    pub fn discard(&self, page: PageId) {
+        self.inner.lock().frames.remove(&page);
+    }
+
+    /// Writes every dirty frame back to the device.
+    pub fn flush(&self) -> TsbResult<()> {
+        let mut inner = self.inner.lock();
+        // Collect first to avoid borrowing issues while writing.
+        let dirty: Vec<(PageId, Arc<Vec<u8>>)> = inner
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(id, f)| (*id, Arc::clone(&f.data)))
+            .collect();
+        for (id, data) in dirty {
+            self.store.write(id, &data)?;
+            if let Some(frame) = inner.frames.get_mut(&id) {
+                frame.dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes and then empties the cache.
+    pub fn flush_and_clear(&self) -> TsbResult<()> {
+        self.flush()?;
+        self.inner.lock().frames.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::IoStats;
+
+    fn setup(capacity: usize) -> (Arc<IoStats>, Arc<MagneticStore>, BufferPool) {
+        let stats = Arc::new(IoStats::new());
+        let store = Arc::new(MagneticStore::in_memory(1024, Arc::clone(&stats)));
+        let pool = BufferPool::new(Arc::clone(&store), capacity);
+        (stats, store, pool)
+    }
+
+    #[test]
+    fn read_your_writes_through_the_cache() {
+        let (_, store, pool) = setup(8);
+        let p = store.allocate().unwrap();
+        pool.put(p, b"cached image".to_vec()).unwrap();
+        assert_eq!(*pool.get(p).unwrap(), b"cached image".to_vec());
+        // Not yet on the device.
+        assert_eq!(store.read(p).unwrap(), Vec::<u8>::new());
+        pool.flush().unwrap();
+        assert_eq!(store.read(p).unwrap(), b"cached image".to_vec());
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let (_, store, pool) = setup(2);
+        let mut pages = Vec::new();
+        for i in 0..5u8 {
+            let p = store.allocate().unwrap();
+            pool.put(p, vec![i; 10]).unwrap();
+            pages.push(p);
+        }
+        assert!(pool.resident_pages() <= 2);
+        // Every page readable through the pool regardless of eviction.
+        for (i, p) in pages.iter().enumerate() {
+            assert_eq!(*pool.get(*p).unwrap(), vec![i as u8; 10]);
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let (stats, store, pool) = setup(4);
+        let p = store.allocate().unwrap();
+        store.write(p, b"on disk").unwrap();
+        stats.reset();
+        pool.get(p).unwrap(); // miss
+        pool.get(p).unwrap(); // hit
+        pool.get(p).unwrap(); // hit
+        let s = stats.snapshot();
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.magnetic_reads, 1, "only the miss touched the device");
+    }
+
+    #[test]
+    fn discard_drops_without_writeback() {
+        let (_, store, pool) = setup(4);
+        let p = store.allocate().unwrap();
+        store.write(p, b"original").unwrap();
+        pool.put(p, b"scratch".to_vec()).unwrap();
+        pool.discard(p);
+        pool.flush().unwrap();
+        assert_eq!(store.read(p).unwrap(), b"original".to_vec());
+    }
+
+    #[test]
+    fn oversized_put_is_rejected() {
+        let (_, store, pool) = setup(4);
+        let p = store.allocate().unwrap();
+        let big = vec![0u8; store.capacity() + 1];
+        assert!(pool.put(p, big).is_err());
+    }
+
+    #[test]
+    fn flush_and_clear_persists_everything() {
+        let (_, store, pool) = setup(16);
+        let mut pages = Vec::new();
+        for i in 0..10u8 {
+            let p = store.allocate().unwrap();
+            pool.put(p, vec![i; 5]).unwrap();
+            pages.push(p);
+        }
+        pool.flush_and_clear().unwrap();
+        assert_eq!(pool.resident_pages(), 0);
+        for (i, p) in pages.iter().enumerate() {
+            assert_eq!(store.read(*p).unwrap(), vec![i as u8; 5]);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # tsb-storage
+//!
+//! The two-device storage substrate required by the Time-Split B-tree
+//! (Lomet & Salzberg, SIGMOD 1989):
+//!
+//! * [`MagneticStore`] — the **current database** device: an erasable,
+//!   random-access, page-addressed store (in-memory or file-backed). Pages
+//!   can be allocated, rewritten in place, and freed, which is what permits
+//!   "normal" B-tree node splitting and the erasure of aborted-transaction
+//!   data (§1, §5).
+//! * [`WormStore`] — the **historical database** device: an append-only,
+//!   sector-granular write-once store. Any attempt to rewrite a sector is an
+//!   error ([`tsb_common::TsbError::WormRewrite`]), reproducing the "burned
+//!   error-correcting code" property the paper describes (§1). Historical
+//!   nodes of arbitrary length are appended and addressed by
+//!   `(offset, length)` exactly as §3.4 prescribes; the store tracks payload
+//!   bytes vs. sectors consumed so experiments can report sector utilization.
+//! * [`BufferPool`] — an LRU page cache over the magnetic store with pin
+//!   counts and write-back of dirty pages.
+//! * [`IoStats`] — cross-cutting I/O counters (reads, writes, appends, cache
+//!   hits/misses) used by the access-cost experiments.
+//! * [`CostModel`] — the paper's storage cost function
+//!   `CS = SpaceM · CM + SpaceO · CO` (§3.2) plus a simple device access-time
+//!   model (optical seeks ≈ 3× magnetic, optional robot mount time).
+//!
+//! Everything is deliberately synchronous and simulator-grade: the goal is
+//! faithful *behaviour* (erasability, write-once-ness, sector granularity,
+//! space accounting), not kernel-bypass performance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod cost;
+pub mod magnetic;
+pub mod page;
+pub mod stats;
+pub mod worm;
+
+pub use buffer::BufferPool;
+pub use cost::{AccessCost, CostModel, SpaceSnapshot};
+pub use magnetic::MagneticStore;
+pub use page::{HistAddr, PageId};
+pub use stats::{IoSnapshot, IoStats};
+pub use worm::{SectorId, WormStore};

@@ -1,0 +1,280 @@
+//! Cross-cutting I/O statistics.
+//!
+//! Counters are updated by the stores and the buffer pool and read by the
+//! experiment harness to report node accesses per query and device traffic
+//! per workload. All counters are atomic so that read-only transactions can
+//! run concurrently with a writer without any shared locking (matching the
+//! lock-free read-only transactions of §4.1).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Mutable, shareable I/O counters.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    /// Page reads that reached the magnetic store (buffer-pool misses).
+    pub magnetic_reads: AtomicU64,
+    /// Page writes that reached the magnetic store (write-back of dirty pages).
+    pub magnetic_writes: AtomicU64,
+    /// Pages allocated on the magnetic store.
+    pub magnetic_allocs: AtomicU64,
+    /// Pages freed on the magnetic store.
+    pub magnetic_frees: AtomicU64,
+    /// Historical-node appends to the WORM store.
+    pub worm_appends: AtomicU64,
+    /// Individual sector writes on the WORM store (WOBT-style incremental writes).
+    pub worm_sector_writes: AtomicU64,
+    /// Reads from the WORM store.
+    pub worm_reads: AtomicU64,
+    /// Buffer-pool hits (logical page reads served from memory).
+    pub cache_hits: AtomicU64,
+    /// Buffer-pool misses.
+    pub cache_misses: AtomicU64,
+    /// Logical node accesses performed by tree operations (one per node
+    /// visited on a search path, regardless of caching).
+    pub node_accesses_current: AtomicU64,
+    /// Logical node accesses that touched historical (WORM-resident) nodes.
+    pub node_accesses_historical: AtomicU64,
+}
+
+impl IoStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to a counter.
+    fn bump(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a magnetic page read.
+    pub fn record_magnetic_read(&self) {
+        Self::bump(&self.magnetic_reads, 1);
+    }
+
+    /// Records a magnetic page write.
+    pub fn record_magnetic_write(&self) {
+        Self::bump(&self.magnetic_writes, 1);
+    }
+
+    /// Records a magnetic page allocation.
+    pub fn record_magnetic_alloc(&self) {
+        Self::bump(&self.magnetic_allocs, 1);
+    }
+
+    /// Records a magnetic page free.
+    pub fn record_magnetic_free(&self) {
+        Self::bump(&self.magnetic_frees, 1);
+    }
+
+    /// Records a WORM append.
+    pub fn record_worm_append(&self) {
+        Self::bump(&self.worm_appends, 1);
+    }
+
+    /// Records a WORM single-sector write.
+    pub fn record_worm_sector_write(&self) {
+        Self::bump(&self.worm_sector_writes, 1);
+    }
+
+    /// Records a WORM read.
+    pub fn record_worm_read(&self) {
+        Self::bump(&self.worm_reads, 1);
+    }
+
+    /// Records a buffer-pool hit.
+    pub fn record_cache_hit(&self) {
+        Self::bump(&self.cache_hits, 1);
+    }
+
+    /// Records a buffer-pool miss.
+    pub fn record_cache_miss(&self) {
+        Self::bump(&self.cache_misses, 1);
+    }
+
+    /// Records a logical access to a current (magnetic) node.
+    pub fn record_current_node_access(&self) {
+        Self::bump(&self.node_accesses_current, 1);
+    }
+
+    /// Records a logical access to a historical (WORM) node.
+    pub fn record_historical_node_access(&self) {
+        Self::bump(&self.node_accesses_historical, 1);
+    }
+
+    /// Takes a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            magnetic_reads: self.magnetic_reads.load(Ordering::Relaxed),
+            magnetic_writes: self.magnetic_writes.load(Ordering::Relaxed),
+            magnetic_allocs: self.magnetic_allocs.load(Ordering::Relaxed),
+            magnetic_frees: self.magnetic_frees.load(Ordering::Relaxed),
+            worm_appends: self.worm_appends.load(Ordering::Relaxed),
+            worm_sector_writes: self.worm_sector_writes.load(Ordering::Relaxed),
+            worm_reads: self.worm_reads.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            node_accesses_current: self.node_accesses_current.load(Ordering::Relaxed),
+            node_accesses_historical: self.node_accesses_historical.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        for c in [
+            &self.magnetic_reads,
+            &self.magnetic_writes,
+            &self.magnetic_allocs,
+            &self.magnetic_frees,
+            &self.worm_appends,
+            &self.worm_sector_writes,
+            &self.worm_reads,
+            &self.cache_hits,
+            &self.cache_misses,
+            &self.node_accesses_current,
+            &self.node_accesses_historical,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time copy of [`IoStats`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct IoSnapshot {
+    /// See [`IoStats::magnetic_reads`].
+    pub magnetic_reads: u64,
+    /// See [`IoStats::magnetic_writes`].
+    pub magnetic_writes: u64,
+    /// See [`IoStats::magnetic_allocs`].
+    pub magnetic_allocs: u64,
+    /// See [`IoStats::magnetic_frees`].
+    pub magnetic_frees: u64,
+    /// See [`IoStats::worm_appends`].
+    pub worm_appends: u64,
+    /// See [`IoStats::worm_sector_writes`].
+    pub worm_sector_writes: u64,
+    /// See [`IoStats::worm_reads`].
+    pub worm_reads: u64,
+    /// See [`IoStats::cache_hits`].
+    pub cache_hits: u64,
+    /// See [`IoStats::cache_misses`].
+    pub cache_misses: u64,
+    /// See [`IoStats::node_accesses_current`].
+    pub node_accesses_current: u64,
+    /// See [`IoStats::node_accesses_historical`].
+    pub node_accesses_historical: u64,
+}
+
+impl IoSnapshot {
+    /// Counter-wise difference `self - earlier` (saturating), used to measure
+    /// the cost of a single operation or batch.
+    pub fn delta_since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            magnetic_reads: self.magnetic_reads.saturating_sub(earlier.magnetic_reads),
+            magnetic_writes: self.magnetic_writes.saturating_sub(earlier.magnetic_writes),
+            magnetic_allocs: self.magnetic_allocs.saturating_sub(earlier.magnetic_allocs),
+            magnetic_frees: self.magnetic_frees.saturating_sub(earlier.magnetic_frees),
+            worm_appends: self.worm_appends.saturating_sub(earlier.worm_appends),
+            worm_sector_writes: self
+                .worm_sector_writes
+                .saturating_sub(earlier.worm_sector_writes),
+            worm_reads: self.worm_reads.saturating_sub(earlier.worm_reads),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            node_accesses_current: self
+                .node_accesses_current
+                .saturating_sub(earlier.node_accesses_current),
+            node_accesses_historical: self
+                .node_accesses_historical
+                .saturating_sub(earlier.node_accesses_historical),
+        }
+    }
+
+    /// Total logical node accesses (current + historical).
+    pub fn total_node_accesses(&self) -> u64 {
+        self.node_accesses_current + self.node_accesses_historical
+    }
+
+    /// Buffer-pool hit rate in `[0, 1]`; `None` if no lookups happened.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.cache_hits as f64 / total as f64)
+        }
+    }
+}
+
+impl fmt::Display for IoSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "magnetic r/w/alloc/free {}/{}/{}/{}  worm append/sector/read {}/{}/{}  cache hit/miss {}/{}  node accesses cur/hist {}/{}",
+            self.magnetic_reads,
+            self.magnetic_writes,
+            self.magnetic_allocs,
+            self.magnetic_frees,
+            self.worm_appends,
+            self.worm_sector_writes,
+            self.worm_reads,
+            self.cache_hits,
+            self.cache_misses,
+            self.node_accesses_current,
+            self.node_accesses_historical,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let s = IoStats::new();
+        s.record_magnetic_read();
+        s.record_magnetic_read();
+        s.record_magnetic_write();
+        s.record_worm_append();
+        s.record_cache_hit();
+        s.record_cache_miss();
+        s.record_current_node_access();
+        s.record_historical_node_access();
+
+        let snap = s.snapshot();
+        assert_eq!(snap.magnetic_reads, 2);
+        assert_eq!(snap.magnetic_writes, 1);
+        assert_eq!(snap.worm_appends, 1);
+        assert_eq!(snap.total_node_accesses(), 2);
+        assert_eq!(snap.cache_hit_rate(), Some(0.5));
+
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+        assert_eq!(IoSnapshot::default().cache_hit_rate(), None);
+    }
+
+    #[test]
+    fn delta_since_measures_a_window() {
+        let s = IoStats::new();
+        s.record_magnetic_read();
+        let before = s.snapshot();
+        s.record_magnetic_read();
+        s.record_worm_read();
+        let after = s.snapshot();
+        let d = after.delta_since(&before);
+        assert_eq!(d.magnetic_reads, 1);
+        assert_eq!(d.worm_reads, 1);
+        assert_eq!(d.magnetic_writes, 0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = IoStats::new();
+        s.record_cache_hit();
+        let text = s.snapshot().to_string();
+        assert!(text.contains("cache hit/miss 1/0"));
+    }
+}

@@ -1,0 +1,507 @@
+//! The WORM (write-once, read-many) optical-disk simulator.
+//!
+//! The historical database device. Two properties of the real hardware drive
+//! the paper's design and are enforced here:
+//!
+//! 1. **Write-once sectors.** "When a sector or block is written, an
+//!    error-correcting code is appended to the sector ... burned into the
+//!    disk. Thus, even when a small amount of data is written, the rest of
+//!    the sector is unusable" (§1). A sector can be written exactly once;
+//!    rewriting returns [`TsbError::WormRewrite`].
+//! 2. **Sequential append of consolidated nodes.** The TSB-tree "consolidates
+//!    and appends" historical nodes to the end of the historical database
+//!    (§1, §3.4); the node address is just `(offset, length)`.
+//!
+//! The store exposes both interfaces:
+//!
+//! * [`WormStore::append`] — used by the TSB-tree's migration path: a
+//!   variable-length historical node is placed on the next free sector
+//!   boundary and the exact payload length is recorded, so utilization is
+//!   `payload / (sectors × sector_size)` and approaches 1 for large nodes.
+//! * [`WormStore::allocate_extent`] / [`WormStore::write_sector`] — used by
+//!   the Write-Once B-tree baseline, which allocates fixed-size node extents
+//!   and burns one *new entry per sector* as the paper describes (§2.1).
+//!
+//! Both interfaces share the same sector space, the same write-once
+//! enforcement, and the same utilization accounting, so TSB-vs-WOBT space
+//! comparisons are apples-to-apples.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use tsb_common::{TsbError, TsbResult};
+
+use crate::page::HistAddr;
+use crate::stats::IoStats;
+
+/// Index of a sector on the WORM device.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SectorId(pub u64);
+
+impl SectorId {
+    /// The raw sector number.
+    pub const fn value(&self) -> u64 {
+        self.0
+    }
+
+    /// Byte offset of the start of this sector.
+    pub const fn byte_offset(&self, sector_size: usize) -> u64 {
+        self.0 * sector_size as u64
+    }
+}
+
+enum Backend {
+    Memory { data: Vec<u8> },
+    File { file: File },
+}
+
+struct Inner {
+    backend: Backend,
+    /// Next sector that has never been allocated.
+    next_free_sector: u64,
+    /// Per-sector written flag (a sector may be allocated but not yet burned,
+    /// e.g. the tail of a WOBT node extent).
+    written: Vec<bool>,
+    /// Total bytes of real payload burned (excluding padding).
+    payload_bytes: u64,
+}
+
+/// The append-only, sector-granular historical store.
+pub struct WormStore {
+    sector_size: usize,
+    inner: Mutex<Inner>,
+    stats: Arc<IoStats>,
+}
+
+impl std::fmt::Debug for WormStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WormStore")
+            .field("sector_size", &self.sector_size)
+            .field("sectors_allocated", &self.sectors_allocated())
+            .field("payload_bytes", &self.payload_bytes())
+            .finish()
+    }
+}
+
+impl WormStore {
+    /// Creates an in-memory WORM store.
+    pub fn in_memory(sector_size: usize, stats: Arc<IoStats>) -> Self {
+        WormStore {
+            sector_size,
+            inner: Mutex::new(Inner {
+                backend: Backend::Memory { data: Vec::new() },
+                next_free_sector: 0,
+                written: Vec::new(),
+                payload_bytes: 0,
+            }),
+            stats,
+        }
+    }
+
+    /// Opens (or creates) a file-backed WORM store.
+    ///
+    /// The written-sector map is reconstructed conservatively on reopen: all
+    /// sectors present in the file are considered written (the device never
+    /// shrinks), which preserves the write-once guarantee across restarts.
+    pub fn open_file(
+        path: impl AsRef<Path>,
+        sector_size: usize,
+        stats: Arc<IoStats>,
+    ) -> TsbResult<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        let sectors = len.div_ceil(sector_size as u64);
+        Ok(WormStore {
+            sector_size,
+            inner: Mutex::new(Inner {
+                backend: Backend::File { file },
+                next_free_sector: sectors,
+                written: vec![true; sectors as usize],
+                payload_bytes: len,
+            }),
+            stats,
+        })
+    }
+
+    /// The configured sector size in bytes.
+    pub fn sector_size(&self) -> usize {
+        self.sector_size
+    }
+
+    /// The shared I/O statistics sink.
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    fn write_at(inner: &mut Inner, offset: u64, bytes: &[u8]) -> TsbResult<()> {
+        match &mut inner.backend {
+            Backend::Memory { data } => {
+                let end = (offset + bytes.len() as u64) as usize;
+                if data.len() < end {
+                    data.resize(end, 0);
+                }
+                data[offset as usize..end].copy_from_slice(bytes);
+                Ok(())
+            }
+            Backend::File { file } => {
+                file.seek(SeekFrom::Start(offset))?;
+                file.write_all(bytes)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn read_at(inner: &mut Inner, offset: u64, len: usize) -> TsbResult<Vec<u8>> {
+        match &mut inner.backend {
+            Backend::Memory { data } => {
+                let end = offset as usize + len;
+                if end > data.len() {
+                    return Err(TsbError::WormOutOfBounds {
+                        offset,
+                        len: len as u64,
+                    });
+                }
+                Ok(data[offset as usize..end].to_vec())
+            }
+            Backend::File { file } => {
+                let mut buf = vec![0u8; len];
+                file.seek(SeekFrom::Start(offset))?;
+                file.read_exact(&mut buf)
+                    .map_err(|_| TsbError::WormOutOfBounds {
+                        offset,
+                        len: len as u64,
+                    })?;
+                Ok(buf)
+            }
+        }
+    }
+
+    /// Appends a consolidated historical node to the end of the store.
+    ///
+    /// The node is placed at the next sector boundary and padded to a whole
+    /// number of sectors (that padding is the only space lost — §3.4: "it is
+    /// possible to come close" to perfect utilization). Returns the
+    /// `(offset, length)` address used by index entries.
+    pub fn append(&self, payload: &[u8]) -> TsbResult<HistAddr> {
+        if payload.is_empty() {
+            return Err(TsbError::internal("appending an empty historical node"));
+        }
+        if payload.len() > u32::MAX as usize {
+            return Err(TsbError::EntryTooLarge {
+                entry_size: payload.len(),
+                capacity: u32::MAX as usize,
+            });
+        }
+        let mut inner = self.inner.lock();
+        let sectors_needed = payload.len().div_ceil(self.sector_size) as u64;
+        let first_sector = inner.next_free_sector;
+        let offset = first_sector * self.sector_size as u64;
+
+        let mut padded = payload.to_vec();
+        padded.resize((sectors_needed as usize) * self.sector_size, 0);
+        Self::write_at(&mut inner, offset, &padded)?;
+
+        inner.next_free_sector += sectors_needed;
+        let new_len = inner.next_free_sector as usize;
+        if inner.written.len() < new_len {
+            inner.written.resize(new_len, false);
+        }
+        for s in first_sector..first_sector + sectors_needed {
+            inner.written[s as usize] = true;
+        }
+        inner.payload_bytes += payload.len() as u64;
+        self.stats.record_worm_append();
+        Ok(HistAddr::new(offset, payload.len() as u32))
+    }
+
+    /// Reads a historical node previously written by [`Self::append`].
+    pub fn read(&self, addr: HistAddr) -> TsbResult<Vec<u8>> {
+        let mut inner = self.inner.lock();
+        self.stats.record_worm_read();
+        let first_sector = addr.offset / self.sector_size as u64;
+        if addr.offset % self.sector_size as u64 != 0 {
+            return Err(TsbError::corruption(format!(
+                "historical address {addr} is not sector-aligned"
+            )));
+        }
+        let last_sector =
+            (addr.offset + addr.len.max(1) as u64 - 1) / self.sector_size as u64;
+        for s in first_sector..=last_sector {
+            if !inner.written.get(s as usize).copied().unwrap_or(false) {
+                return Err(TsbError::WormOutOfBounds {
+                    offset: addr.offset,
+                    len: addr.len as u64,
+                });
+            }
+        }
+        Self::read_at(&mut inner, addr.offset, addr.len as usize)
+    }
+
+    /// Allocates `n_sectors` consecutive sectors without writing them (the
+    /// WOBT's fixed-size node extents). Returns the first sector id.
+    pub fn allocate_extent(&self, n_sectors: u64) -> TsbResult<SectorId> {
+        if n_sectors == 0 {
+            return Err(TsbError::internal("allocating a zero-sector extent"));
+        }
+        let mut inner = self.inner.lock();
+        let first = inner.next_free_sector;
+        inner.next_free_sector += n_sectors;
+        let new_len = inner.next_free_sector as usize;
+        if inner.written.len() < new_len {
+            inner.written.resize(new_len, false);
+        }
+        Ok(SectorId(first))
+    }
+
+    /// Burns a single sector. The payload must fit in one sector and the
+    /// sector must never have been written before — the write-once property.
+    pub fn write_sector(&self, sector: SectorId, payload: &[u8]) -> TsbResult<()> {
+        if payload.len() > self.sector_size {
+            return Err(TsbError::EntryTooLarge {
+                entry_size: payload.len(),
+                capacity: self.sector_size,
+            });
+        }
+        let mut inner = self.inner.lock();
+        let idx = sector.0 as usize;
+        if idx >= inner.written.len() {
+            return Err(TsbError::WormOutOfBounds {
+                offset: sector.byte_offset(self.sector_size),
+                len: payload.len() as u64,
+            });
+        }
+        if inner.written[idx] {
+            return Err(TsbError::WormRewrite { sector: sector.0 });
+        }
+        let mut padded = payload.to_vec();
+        padded.resize(self.sector_size, 0);
+        Self::write_at(&mut inner, sector.byte_offset(self.sector_size), &padded)?;
+        inner.written[idx] = true;
+        inner.payload_bytes += payload.len() as u64;
+        self.stats.record_worm_sector_write();
+        Ok(())
+    }
+
+    /// Reads a single sector (the full sector, including padding).
+    pub fn read_sector(&self, sector: SectorId) -> TsbResult<Vec<u8>> {
+        let mut inner = self.inner.lock();
+        self.stats.record_worm_read();
+        let idx = sector.0 as usize;
+        if idx >= inner.written.len() || !inner.written[idx] {
+            return Err(TsbError::WormOutOfBounds {
+                offset: sector.byte_offset(self.sector_size),
+                len: self.sector_size as u64,
+            });
+        }
+        Self::read_at(
+            &mut inner,
+            sector.byte_offset(self.sector_size),
+            self.sector_size,
+        )
+    }
+
+    /// Whether a sector has been burned.
+    pub fn is_sector_written(&self, sector: SectorId) -> bool {
+        let inner = self.inner.lock();
+        inner
+            .written
+            .get(sector.0 as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Total sectors allocated (written or reserved in extents).
+    pub fn sectors_allocated(&self) -> u64 {
+        self.inner.lock().next_free_sector
+    }
+
+    /// Sectors actually burned.
+    pub fn sectors_written(&self) -> u64 {
+        self.inner.lock().written.iter().filter(|w| **w).count() as u64
+    }
+
+    /// Device bytes occupied (allocated sectors × sector size). This is the
+    /// paper's `SpaceO`.
+    pub fn device_bytes(&self) -> u64 {
+        self.sectors_allocated() * self.sector_size as u64
+    }
+
+    /// Bytes of real payload burned (excluding sector padding).
+    pub fn payload_bytes(&self) -> u64 {
+        self.inner.lock().payload_bytes
+    }
+
+    /// Space utilization: payload bytes / allocated device bytes, in `[0, 1]`.
+    /// Returns `None` when nothing has been allocated yet.
+    pub fn utilization(&self) -> Option<f64> {
+        let device = self.device_bytes();
+        if device == 0 {
+            None
+        } else {
+            Some(self.payload_bytes() as f64 / device as f64)
+        }
+    }
+
+    /// Flushes the file backend (no-op for the in-memory backend).
+    pub fn sync(&self) -> TsbResult<()> {
+        let mut inner = self.inner.lock();
+        if let Backend::File { file } = &mut inner.backend {
+            file.sync_all()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(sector: usize) -> WormStore {
+        WormStore::in_memory(sector, Arc::new(IoStats::new()))
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let w = store(64);
+        let a1 = w.append(b"first historical node").unwrap();
+        let a2 = w.append(&vec![7u8; 130]).unwrap();
+        assert_eq!(w.read(a1).unwrap(), b"first historical node");
+        assert_eq!(w.read(a2).unwrap(), vec![7u8; 130]);
+        // a1 occupies 1 sector, a2 starts on the next boundary and occupies 3.
+        assert_eq!(a1.offset, 0);
+        assert_eq!(a2.offset, 64);
+        assert_eq!(w.sectors_allocated(), 4);
+        assert_eq!(w.payload_bytes(), 21 + 130);
+        let util = w.utilization().unwrap();
+        assert!((util - (151.0 / 256.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn appends_never_overwrite() {
+        let w = store(32);
+        let mut addrs = Vec::new();
+        for i in 0..50u8 {
+            addrs.push((i, w.append(&vec![i; 10 + i as usize]).unwrap()));
+        }
+        for (i, a) in addrs {
+            assert_eq!(w.read(a).unwrap(), vec![i; 10 + i as usize]);
+        }
+    }
+
+    #[test]
+    fn sector_rewrite_is_rejected() {
+        let w = store(64);
+        let ext = w.allocate_extent(4).unwrap();
+        w.write_sector(ext, b"entry one").unwrap();
+        let err = w.write_sector(ext, b"entry two").unwrap_err();
+        assert!(matches!(err, TsbError::WormRewrite { sector: 0 }));
+        // Other sectors of the extent are still writable, once each.
+        w.write_sector(SectorId(ext.0 + 1), b"entry two").unwrap();
+        assert!(w.is_sector_written(ext));
+        assert!(w.is_sector_written(SectorId(ext.0 + 1)));
+        assert!(!w.is_sector_written(SectorId(ext.0 + 2)));
+    }
+
+    #[test]
+    fn unwritten_or_out_of_bounds_reads_fail() {
+        let w = store(64);
+        let ext = w.allocate_extent(2).unwrap();
+        assert!(w.read_sector(ext).is_err(), "allocated but not burned");
+        assert!(w.read_sector(SectorId(99)).is_err());
+        assert!(w
+            .read(HistAddr::new(0, 10))
+            .is_err(), "append-style read of unwritten region");
+        // Unaligned historical address is corruption.
+        w.write_sector(ext, b"x").unwrap();
+        assert!(w.read(HistAddr::new(3, 4)).is_err());
+    }
+
+    #[test]
+    fn oversized_writes_are_rejected() {
+        let w = store(64);
+        let ext = w.allocate_extent(1).unwrap();
+        assert!(w.write_sector(ext, &vec![0u8; 65]).is_err());
+        assert!(w.append(&[]).is_err());
+    }
+
+    #[test]
+    fn extent_and_append_interleave_without_overlap() {
+        let w = store(64);
+        let a = w.append(&vec![1u8; 100]).unwrap(); // sectors 0-1
+        let ext = w.allocate_extent(3).unwrap(); // sectors 2-4
+        let b = w.append(&vec![2u8; 10]).unwrap(); // sector 5
+        assert_eq!(a.offset, 0);
+        assert_eq!(ext.0, 2);
+        assert_eq!(b.offset, 5 * 64);
+        w.write_sector(SectorId(3), b"inside extent").unwrap();
+        assert_eq!(w.read(a).unwrap(), vec![1u8; 100]);
+        assert_eq!(w.read(b).unwrap(), vec![2u8; 10]);
+    }
+
+    #[test]
+    fn utilization_reflects_one_entry_per_sector_waste() {
+        // The WOBT failure mode: small entries burned one per sector.
+        let w = store(1024);
+        let ext = w.allocate_extent(10).unwrap();
+        for i in 0..10u64 {
+            w.write_sector(SectorId(ext.0 + i), &vec![9u8; 40]).unwrap();
+        }
+        let util = w.utilization().unwrap();
+        assert!(util < 0.05, "40/1024 per sector, got {util}");
+
+        // The TSB consolidation path: the same 400 bytes appended at once.
+        let w2 = store(1024);
+        w2.append(&vec![9u8; 400]).unwrap();
+        assert!(w2.utilization().unwrap() > 0.35);
+    }
+
+    #[test]
+    fn stats_recorded() {
+        let stats = Arc::new(IoStats::new());
+        let w = WormStore::in_memory(64, Arc::clone(&stats));
+        let a = w.append(b"abc").unwrap();
+        w.read(a).unwrap();
+        let ext = w.allocate_extent(1).unwrap();
+        w.write_sector(ext, b"z").unwrap();
+        w.read_sector(ext).unwrap();
+        let s = stats.snapshot();
+        assert_eq!(s.worm_appends, 1);
+        assert_eq!(s.worm_sector_writes, 1);
+        assert_eq!(s.worm_reads, 2);
+    }
+
+    #[test]
+    fn file_backend_round_trips_and_stays_write_once_after_reopen() {
+        let dir = std::env::temp_dir().join(format!("tsb-worm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hist.worm");
+        let _ = std::fs::remove_file(&path);
+
+        let stats = Arc::new(IoStats::new());
+        let a1;
+        {
+            let w = WormStore::open_file(&path, 128, Arc::clone(&stats)).unwrap();
+            a1 = w.append(b"persisted historical node").unwrap();
+            w.sync().unwrap();
+        }
+        {
+            let w = WormStore::open_file(&path, 128, Arc::clone(&stats)).unwrap();
+            assert_eq!(w.read(a1).unwrap(), b"persisted historical node");
+            // Sector 0 was written in the previous session; it stays burned.
+            assert!(w.write_sector(SectorId(0), b"overwrite").is_err());
+            // New appends land after the existing data.
+            let a2 = w.append(b"second").unwrap();
+            assert!(a2.offset >= 128);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

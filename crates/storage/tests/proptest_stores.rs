@@ -1,0 +1,137 @@
+//! Model-based property tests for the two device simulators.
+//!
+//! * The magnetic store behaves like a map from allocated page ids to the
+//!   last bytes written: rewrites win, freed pages disappear, recycled pages
+//!   start fresh.
+//! * The WORM store behaves like an append-only log: every appended record
+//!   stays readable forever at its returned address, addresses never
+//!   overlap, utilization accounting matches the payload written, and no
+//!   burned sector can ever be rewritten.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use tsb_storage::{IoStats, MagneticStore, SectorId, WormStore};
+
+#[derive(Clone, Debug)]
+enum MagneticOp {
+    Allocate,
+    Write { slot: usize, len: usize },
+    Free { slot: usize },
+    Read { slot: usize },
+}
+
+fn magnetic_op() -> impl Strategy<Value = MagneticOp> {
+    prop_oneof![
+        2 => Just(MagneticOp::Allocate),
+        4 => (any::<usize>(), 0usize..200).prop_map(|(slot, len)| MagneticOp::Write { slot, len }),
+        1 => any::<usize>().prop_map(|slot| MagneticOp::Free { slot }),
+        3 => any::<usize>().prop_map(|slot| MagneticOp::Read { slot }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn magnetic_store_behaves_like_a_page_map(ops in prop::collection::vec(magnetic_op(), 1..120)) {
+        let store = MagneticStore::in_memory(256, Arc::new(IoStats::new()));
+        // Model: allocated pages and their last written contents.
+        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+        let mut live: Vec<u64> = Vec::new();
+        let mut fill: u8 = 0;
+
+        for op in ops {
+            match op {
+                MagneticOp::Allocate => {
+                    let page = store.allocate().unwrap();
+                    prop_assert!(!model.contains_key(&page.0), "allocation returned a live page");
+                    model.insert(page.0, Vec::new());
+                    live.push(page.0);
+                }
+                MagneticOp::Write { slot, len } => {
+                    if live.is_empty() { continue; }
+                    let page = live[slot % live.len()];
+                    fill = fill.wrapping_add(1);
+                    let data = vec![fill; len.min(store.capacity())];
+                    store.write(tsb_storage::PageId(page), &data).unwrap();
+                    model.insert(page, data);
+                }
+                MagneticOp::Free { slot } => {
+                    if live.is_empty() { continue; }
+                    let idx = slot % live.len();
+                    let page = live.swap_remove(idx);
+                    store.free(tsb_storage::PageId(page)).unwrap();
+                    model.remove(&page);
+                    // Reads of freed pages fail.
+                    prop_assert!(store.read(tsb_storage::PageId(page)).is_err());
+                }
+                MagneticOp::Read { slot } => {
+                    if live.is_empty() { continue; }
+                    let page = live[slot % live.len()];
+                    prop_assert_eq!(&store.read(tsb_storage::PageId(page)).unwrap(), &model[&page]);
+                }
+            }
+            prop_assert_eq!(store.allocated_pages() as usize, model.len());
+        }
+        // Final sweep: every live page reads back its model contents.
+        for (page, contents) in &model {
+            prop_assert_eq!(&store.read(tsb_storage::PageId(*page)).unwrap(), contents);
+        }
+        let total_payload: usize = model.values().map(Vec::len).sum();
+        prop_assert_eq!(store.payload_bytes() as usize, total_payload);
+    }
+
+    #[test]
+    fn worm_store_is_append_only_and_accounts_exactly(
+        records in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..300), 1..40),
+        extent_sectors in 1u64..5,
+    ) {
+        let sector = 64usize;
+        let store = WormStore::in_memory(sector, Arc::new(IoStats::new()));
+        let mut written: Vec<(tsb_storage::HistAddr, Vec<u8>)> = Vec::new();
+        let mut payload = 0u64;
+
+        for (i, record) in records.iter().enumerate() {
+            if i % 5 == 4 {
+                // Occasionally interleave a raw extent allocation plus one
+                // sector burn (the WOBT-style interface).
+                let ext = store.allocate_extent(extent_sectors).unwrap();
+                store.write_sector(ext, &record[..record.len().min(sector)]).unwrap();
+                payload += record.len().min(sector) as u64;
+                // The burned sector can never be rewritten.
+                prop_assert!(store.write_sector(ext, b"again").is_err());
+            } else {
+                let addr = store.append(record).unwrap();
+                // Addresses are sector aligned and never overlap earlier records.
+                prop_assert_eq!(addr.offset % sector as u64, 0);
+                for (prev, _) in &written {
+                    let prev_end = prev.offset + (prev.len as u64).div_ceil(sector as u64) * sector as u64;
+                    prop_assert!(addr.offset >= prev_end || prev.offset >= addr.offset + record.len() as u64);
+                }
+                payload += record.len() as u64;
+                written.push((addr, record.clone()));
+            }
+        }
+        // Everything ever appended is still readable, bit for bit.
+        for (addr, record) in &written {
+            prop_assert_eq!(&store.read(*addr).unwrap(), record);
+        }
+        prop_assert_eq!(store.payload_bytes(), payload);
+        // Utilization is payload / (allocated sectors * sector size), in (0, 1].
+        let util = store.utilization().unwrap();
+        prop_assert!(util > 0.0 && util <= 1.0);
+        prop_assert_eq!(
+            store.device_bytes(),
+            store.sectors_allocated() * sector as u64
+        );
+        // No sector that was ever burned accepts another write.
+        for s in 0..store.sectors_allocated() {
+            if store.is_sector_written(SectorId(s)) {
+                prop_assert!(store.write_sector(SectorId(s), b"x").is_err());
+            }
+        }
+    }
+}

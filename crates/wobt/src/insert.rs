@@ -1,0 +1,364 @@
+//! WOBT insertion and node splitting (§2.3, §2.4).
+//!
+//! An insertion burns one new sector in the leaf responsible for the key.
+//! When the leaf's extent is exhausted, the node is split: the current
+//! versions of its records (plus the record being inserted) are consolidated
+//! into one or more *new* nodes — the old node remains on the write-once
+//! device — and new index entries are appended to the parent, which may
+//! itself split in the same way. When the root splits, a new root is created
+//! whose first entry (minimum key, minimum time) points to the old root
+//! (§2.4), so that searches for old data descend through successive roots.
+
+use tsb_common::{Key, Timestamp, TsbError, TsbResult, Version};
+
+use crate::node::{
+    encode_data_sector, encode_index_sector, pack_data_sectors, pack_index_sectors, ExtentId,
+    WobtEntries, WobtIndexEntry, WobtNode, WobtNodeKind,
+};
+use crate::tree::Wobt;
+
+impl Wobt {
+    /// Inserts a new version of `key` with the next commit timestamp. An
+    /// existing key is updated by inserting the new version; the old version
+    /// remains readable as of its own time.
+    pub fn insert(&mut self, key: impl Into<Key>, value: Vec<u8>) -> TsbResult<Timestamp> {
+        let ts = self.clock.tick();
+        self.insert_version(Version::committed(key, ts, value))?;
+        Ok(ts)
+    }
+
+    /// Inserts a new version with an explicit timestamp (replay / workload
+    /// parity with the TSB-tree). The clock is advanced past `ts`.
+    pub fn insert_at(&mut self, key: impl Into<Key>, value: Vec<u8>, ts: Timestamp) -> TsbResult<()> {
+        if ts == Timestamp::ZERO {
+            return Err(TsbError::config("timestamp 0 is reserved"));
+        }
+        self.clock.advance_to(ts.next());
+        self.insert_version(Version::committed(key, ts, value))
+    }
+
+    /// Logically deletes `key` by inserting a tombstone version.
+    pub fn delete(&mut self, key: impl Into<Key>) -> TsbResult<Timestamp> {
+        let ts = self.clock.tick();
+        self.insert_version(Version::tombstone(key, ts))?;
+        Ok(ts)
+    }
+
+    fn check_entry_size(&self, version: &Version) -> TsbResult<()> {
+        if version.key.len() > self.cfg.max_key_len {
+            return Err(TsbError::KeyTooLarge {
+                len: version.key.len(),
+                max: self.cfg.max_key_len,
+            });
+        }
+        let single = encode_data_sector(std::slice::from_ref(version), Some(ExtentId(0)));
+        if single.len() > self.cfg.sector_size {
+            return Err(TsbError::EntryTooLarge {
+                entry_size: single.len(),
+                capacity: self.cfg.sector_size,
+            });
+        }
+        Ok(())
+    }
+
+    fn insert_version(&mut self, version: Version) -> TsbResult<()> {
+        self.check_entry_size(&version)?;
+        // "The current time must be used to timestamp the new index terms"
+        // (§2.5): the current time of this insertion is the inserted
+        // version's own commit time, so that a search as of exactly that
+        // time still follows the new index entries.
+        let now = version.commit_time().unwrap_or_else(|| self.clock.now());
+        let path = self.descend_path(&version.key, Timestamp::MAX)?;
+        let (leaf, leaf_separator) = path.last().expect("non-empty path").clone();
+        let leaf_node = self.read_node(leaf)?;
+
+        if leaf_node.sectors_used < self.cfg.node_sectors {
+            // The normal case: burn one sector holding the single new record.
+            let image = encode_data_sector(std::slice::from_ref(&version), None);
+            return self.append_sector(leaf, leaf_node.sectors_used, &image);
+        }
+
+        // The leaf is full: split it, consolidating its current versions plus
+        // the incoming record into new node(s), and post the new index
+        // entries to the parent.
+        let new_entries =
+            self.split_data_node(&leaf_node, leaf, &leaf_separator, &[version], now)?;
+        self.post_to_parent(&path[..path.len() - 1], new_entries, now)
+    }
+
+    /// Splits a full data node: consolidates its current versions (plus
+    /// `extra` incoming records) into one or more new nodes and returns the
+    /// index entries to post to the parent.
+    fn split_data_node(
+        &mut self,
+        node: &WobtNode,
+        old_extent: ExtentId,
+        old_separator: &Key,
+        extra: &[Version],
+        now: Timestamp,
+    ) -> TsbResult<Vec<WobtIndexEntry>> {
+        // Current versions as the paper defines them: the last entry per key,
+        // with the incoming records appended (they are the newest of all).
+        let mut combined = node.data_entries()?.to_vec();
+        combined.extend_from_slice(extra);
+        let snapshot_node = WobtNode {
+            kind: WobtNodeKind::Data,
+            entries: WobtEntries::Data(combined),
+            sectors_used: node.sectors_used,
+            back_pointer: node.back_pointer,
+        };
+        let mut current = snapshot_node.current_data_versions(Timestamp::MAX)?;
+        current.sort_by(|a, b| a.key.cmp(&b.key));
+
+        // Chunk by key so that each new node's consolidated content fits in
+        // half an extent (leaving the other half for future insertions).
+        // One chunk = the paper's "split by current time only"; several
+        // chunks = "split by key value and current time".
+        let budget = self.cfg.consolidation_budget();
+        let chunks = chunk_by_size(&current, |batch| {
+            pack_data_sectors(batch, Some(old_extent), self.cfg.sector_size)
+                .map(|sectors| sectors.len() * self.cfg.sector_size)
+        }, budget)?;
+
+        let mut entries = Vec::new();
+        for (i, chunk) in chunks.iter().enumerate() {
+            let images = pack_data_sectors(chunk, Some(old_extent), self.cfg.sector_size)?;
+            let extent = self.write_new_node(&images)?;
+            let key = if i == 0 {
+                old_separator.clone()
+            } else {
+                chunk
+                    .first()
+                    .map(|v| v.key.clone())
+                    .unwrap_or_else(|| old_separator.clone())
+            };
+            entries.push(WobtIndexEntry {
+                key,
+                ts: now,
+                child: extent,
+            });
+        }
+        Ok(entries)
+    }
+
+    /// Posts freshly created index entries to the parent at the end of
+    /// `path` (or grows a new root if the split node was the root). The
+    /// entries are packed together — they are written at the same time, so
+    /// they can share sectors (§2.1's consolidation applies to them too).
+    fn post_to_parent(
+        &mut self,
+        path: &[(ExtentId, Key)],
+        entries: Vec<WobtIndexEntry>,
+        now: Timestamp,
+    ) -> TsbResult<()> {
+        let Some((parent, parent_separator)) = path.last().cloned() else {
+            return self.grow_root(entries);
+        };
+        let parent_node = self.read_node(parent)?;
+        let images = pack_index_sectors(&entries, self.cfg.sector_size)?;
+        let free = self.cfg.node_sectors - parent_node.sectors_used;
+        if (images.len() as u64) <= free {
+            for (i, image) in images.iter().enumerate() {
+                self.append_sector(parent, parent_node.sectors_used + i as u64, image)?;
+            }
+            return Ok(());
+        }
+
+        // Parent full: split it. The current index entries plus the entries
+        // being posted are consolidated into new index node(s).
+        let new_parent_entries =
+            self.split_index_node(&parent_node, &parent_separator, &entries, now)?;
+        self.post_to_parent(&path[..path.len() - 1], new_parent_entries, now)
+    }
+
+    /// Splits a full index node analogously to a data node.
+    fn split_index_node(
+        &mut self,
+        node: &WobtNode,
+        old_separator: &Key,
+        extra: &[WobtIndexEntry],
+        now: Timestamp,
+    ) -> TsbResult<Vec<WobtIndexEntry>> {
+        let mut combined = node.index_entries()?.to_vec();
+        combined.extend_from_slice(extra);
+        let snapshot_node = WobtNode {
+            kind: WobtNodeKind::Index,
+            entries: WobtEntries::Index(combined),
+            sectors_used: node.sectors_used,
+            back_pointer: None,
+        };
+        let mut current = snapshot_node.current_index_entries(Timestamp::MAX)?;
+        current.sort_by(|a, b| a.key.cmp(&b.key));
+
+        let budget = self.cfg.consolidation_budget();
+        let chunks = chunk_by_size(&current, |batch| {
+            pack_index_sectors(batch, self.cfg.sector_size)
+                .map(|sectors| sectors.len() * self.cfg.sector_size)
+        }, budget)?;
+
+        let mut entries = Vec::new();
+        for (i, chunk) in chunks.iter().enumerate() {
+            let images = pack_index_sectors(chunk, self.cfg.sector_size)?;
+            let extent = self.write_new_node(&images)?;
+            let key = if i == 0 {
+                old_separator.clone()
+            } else {
+                chunk
+                    .first()
+                    .map(|e| e.key.clone())
+                    .unwrap_or_else(|| old_separator.clone())
+            };
+            entries.push(WobtIndexEntry {
+                key,
+                ts: now,
+                child: extent,
+            });
+        }
+        Ok(entries)
+    }
+
+    /// Creates a new root above the old one (§2.4). The new root's first
+    /// entry has the lowest key value and the lowest time value and points to
+    /// the old root; the freshly posted entries follow.
+    fn grow_root(&mut self, entries: Vec<WobtIndexEntry>) -> TsbResult<()> {
+        let mut root_entries = vec![WobtIndexEntry {
+            key: Key::MIN,
+            ts: Timestamp::ZERO,
+            child: self.root,
+        }];
+        root_entries.extend(entries);
+        let image = encode_index_sector(&root_entries);
+        if image.len() > self.cfg.sector_size {
+            let images = pack_index_sectors(&root_entries, self.cfg.sector_size)?;
+            let extent = self.write_new_node(&images)?;
+            self.root = extent;
+        } else {
+            let extent = self.write_new_node(&[image])?;
+            self.root = extent;
+        }
+        self.root_history.push(self.root);
+        Ok(())
+    }
+}
+
+/// Greedily chunks `items` so that each chunk's measured size stays within
+/// `budget`. Every chunk is non-empty; a single item larger than the budget
+/// gets a chunk of its own (its own node), which keeps the structure able to
+/// make progress.
+fn chunk_by_size<T: Clone, F>(items: &[T], measure: F, budget: usize) -> TsbResult<Vec<Vec<T>>>
+where
+    F: Fn(&[T]) -> TsbResult<usize>,
+{
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut batch: Vec<T> = Vec::new();
+    for item in items {
+        batch.push(item.clone());
+        if batch.len() > 1 && measure(&batch)? > budget {
+            let overflow = batch.pop().expect("just pushed");
+            chunks.push(std::mem::take(&mut batch));
+            batch.push(overflow);
+        }
+    }
+    if !batch.is_empty() || chunks.is_empty() {
+        chunks.push(batch);
+    }
+    Ok(chunks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::WobtConfig;
+
+    #[test]
+    fn insert_and_read_back_across_many_splits() {
+        let mut w = Wobt::new_in_memory(WobtConfig::small()).unwrap();
+        for i in 0..200u64 {
+            w.insert(i, format!("value-{i}").into_bytes()).unwrap();
+        }
+        for i in 0..200u64 {
+            assert_eq!(
+                w.get_current(&Key::from_u64(i)).unwrap().unwrap(),
+                format!("value-{i}").into_bytes(),
+                "key {i}"
+            );
+        }
+        assert!(w.root_history().len() > 1, "the root must have split");
+    }
+
+    #[test]
+    fn updates_keep_old_versions_readable_as_of_their_time() {
+        let mut w = Wobt::new_in_memory(WobtConfig::small()).unwrap();
+        let mut log = Vec::new();
+        for round in 0..40u64 {
+            for key in 0..5u64 {
+                let value = format!("k{key}-r{round}");
+                let ts = w.insert(key, value.clone().into_bytes()).unwrap();
+                log.push((key, ts, value));
+            }
+        }
+        for (key, ts, value) in &log {
+            assert_eq!(
+                w.get_as_of(&Key::from_u64(*key), *ts).unwrap().unwrap(),
+                value.clone().into_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn each_insert_burns_at_least_one_sector() {
+        let mut w = Wobt::new_in_memory(WobtConfig::small()).unwrap();
+        let before = w.worm().sectors_written();
+        for i in 0..20u64 {
+            w.insert(i, b"x".to_vec()).unwrap();
+        }
+        let after = w.worm().sectors_written();
+        assert!(
+            after - before >= 20,
+            "one new entry per sector: {} sectors for 20 inserts",
+            after - before
+        );
+    }
+
+    #[test]
+    fn deletes_hide_keys_from_current_reads_only() {
+        let mut w = Wobt::new_in_memory(WobtConfig::small()).unwrap();
+        let t1 = w.insert(9u64, b"here".to_vec()).unwrap();
+        w.delete(9u64).unwrap();
+        assert!(w.get_current(&Key::from_u64(9)).unwrap().is_none());
+        assert_eq!(
+            w.get_as_of(&Key::from_u64(9), t1).unwrap().unwrap(),
+            b"here".to_vec()
+        );
+    }
+
+    #[test]
+    fn oversized_entries_are_rejected() {
+        let mut w = Wobt::new_in_memory(WobtConfig::small()).unwrap();
+        assert!(matches!(
+            w.insert(1u64, vec![0u8; 1000]),
+            Err(TsbError::EntryTooLarge { .. })
+        ));
+        assert!(matches!(
+            w.insert(vec![b'k'; 100], b"v".to_vec()),
+            Err(TsbError::KeyTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn chunking_respects_budget_and_loses_nothing() {
+        let items: Vec<u32> = (0..50).collect();
+        let chunks = chunk_by_size(&items, |batch| Ok(batch.len() * 10), 100).unwrap();
+        assert!(chunks.iter().all(|c| c.len() <= 10));
+        let flattened: Vec<u32> = chunks.into_iter().flatten().collect();
+        assert_eq!(flattened, items);
+
+        // A single over-budget item still gets its own chunk.
+        let chunks = chunk_by_size(&[1u32], |_| Ok(1000), 100).unwrap();
+        assert_eq!(chunks, vec![vec![1u32]]);
+
+        // Empty input yields one empty chunk (the caller writes an empty node).
+        let chunks = chunk_by_size(&[] as &[u32], |_| Ok(0), 100).unwrap();
+        assert_eq!(chunks.len(), 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! # tsb-wobt — the Write-Once B-tree baseline
+//!
+//! Easton's Write-Once B-tree (WOBT), as described in §2 of Lomet &
+//! Salzberg's *Access Methods for Multiversion Data* (SIGMOD 1989). The WOBT
+//! is the structure the Time-Split B-tree improves upon, and it is the
+//! baseline every space/redundancy experiment in this workspace compares
+//! against.
+//!
+//! The WOBT lives **entirely on the write-once store**
+//! ([`tsb_storage::WormStore`]). Its defining behaviours — all reproduced
+//! here — are:
+//!
+//! * nodes are fixed-size extents of WORM sectors; entries are kept in
+//!   **insertion order** (nothing can ever be rearranged in place);
+//! * every individual insertion burns **one new sector** holding a single
+//!   entry, because the sector is the smallest writable unit — this is the
+//!   space waste §1 and §2.6 describe;
+//! * a full node is split **by key value and current time** (two new nodes)
+//!   or **by current time only** (one new node); only the *current* versions
+//!   of records are copied, consolidated into packed sectors, and the old
+//!   node remains in place — so every "reorganization" duplicates all
+//!   current data;
+//! * the structure is a DAG: old and new index nodes may reference the same
+//!   children; a list of successive root addresses is kept;
+//! * new data nodes carry a **backward pointer** to the node they were split
+//!   from, which is how all past versions of a record are collected (§2.5).
+//!
+//! The query surface mirrors the TSB-tree's: current lookups, as-of lookups,
+//! snapshots at a past time, and full version histories, so the two
+//! structures can run identical workloads in the experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod insert;
+pub mod node;
+pub mod query;
+pub mod stats;
+pub mod tree;
+
+pub use node::{ExtentId, WobtIndexEntry, WobtNode, WobtNodeKind};
+pub use stats::WobtStats;
+pub use tree::{Wobt, WobtConfig};

@@ -1,0 +1,472 @@
+//! WOBT nodes: fixed-size WORM extents holding insertion-ordered entries.
+//!
+//! A node occupies `node_sectors` consecutive sectors. Sector 0 is written
+//! when the node is created (by a split, or the initial root) and carries
+//! the node header plus the consolidated entries copied from the old node;
+//! each later insertion burns the next free sector with a single new entry
+//! (§2.1: "there is exactly one newly inserted record in a sector of a leaf
+//! node, even if there is room for more than one record in a sector").
+//!
+//! Because sectors are write-once, the in-memory [`WobtNode`] is a read-only
+//! reconstruction: the concatenation of all written sectors' entries in
+//! order. Mutation happens only by burning further sectors (see
+//! [`crate::insert`]).
+
+use tsb_common::encode::{ByteReader, ByteWriter};
+use tsb_common::{Key, Timestamp, TsbError, TsbResult, Version};
+use tsb_storage::SectorId;
+
+/// Identifier of a WOBT node: the first sector of its extent.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ExtentId(pub u64);
+
+impl ExtentId {
+    /// The first sector of the extent.
+    pub fn first_sector(&self) -> SectorId {
+        SectorId(self.0)
+    }
+
+    /// The `i`-th sector of the extent.
+    pub fn sector(&self, i: u64) -> SectorId {
+        SectorId(self.0 + i)
+    }
+}
+
+impl std::fmt::Display for ExtentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "extent:{}", self.0)
+    }
+}
+
+/// Kind of a WOBT node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WobtNodeKind {
+    /// Leaf node holding record versions.
+    Data,
+    /// Internal node holding `(key, timestamp, child)` triples.
+    Index,
+}
+
+/// An index entry: `(key, timestamp, child extent)`, in insertion order. The
+/// same key may occur several times; the *last* occurrence for a key is the
+/// current one (Figure 2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WobtIndexEntry {
+    /// Separator key: the child holds keys `>=` this key (for its time).
+    pub key: Key,
+    /// Timestamp of the entry (the split time that created the reference).
+    pub ts: Timestamp,
+    /// The referenced child node.
+    pub child: ExtentId,
+}
+
+/// Entries stored in a node, preserving insertion order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WobtEntries {
+    /// Record versions of a data node.
+    Data(Vec<Version>),
+    /// Index entries of an index node.
+    Index(Vec<WobtIndexEntry>),
+}
+
+impl WobtEntries {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            WobtEntries::Data(v) => v.len(),
+            WobtEntries::Index(v) => v.len(),
+        }
+    }
+
+    /// Whether there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An in-memory reconstruction of a WOBT node.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WobtNode {
+    /// The node kind.
+    pub kind: WobtNodeKind,
+    /// Entries in insertion order across all written sectors.
+    pub entries: WobtEntries,
+    /// Number of sectors of the extent that have been written.
+    pub sectors_used: u64,
+    /// For data nodes created by a split: the node they were split from
+    /// (§2.5's backward pointer).
+    pub back_pointer: Option<ExtentId>,
+}
+
+impl WobtNode {
+    /// The data versions, failing if this is an index node.
+    pub fn data_entries(&self) -> TsbResult<&[Version]> {
+        match &self.entries {
+            WobtEntries::Data(v) => Ok(v),
+            WobtEntries::Index(_) => Err(TsbError::corruption(
+                "expected a WOBT data node, found an index node",
+            )),
+        }
+    }
+
+    /// The index entries, failing if this is a data node.
+    pub fn index_entries(&self) -> TsbResult<&[WobtIndexEntry]> {
+        match &self.entries {
+            WobtEntries::Index(v) => Ok(v),
+            WobtEntries::Data(_) => Err(TsbError::corruption(
+                "expected a WOBT index node, found a data node",
+            )),
+        }
+    }
+
+    /// The newest version of each key, in the order keys first appear —
+    /// "the most recent versions of records", which are what splits copy.
+    /// Versions with commit time greater than `as_of` are ignored.
+    pub fn current_data_versions(&self, as_of: Timestamp) -> TsbResult<Vec<Version>> {
+        let entries = self.data_entries()?;
+        let mut latest: Vec<Version> = Vec::new();
+        for v in entries {
+            let t = match v.commit_time() {
+                Some(t) if t <= as_of => t,
+                _ => continue,
+            };
+            let _ = t;
+            match latest.iter_mut().find(|e| e.key == v.key) {
+                Some(slot) => *slot = v.clone(),
+                None => latest.push(v.clone()),
+            }
+        }
+        Ok(latest)
+    }
+
+    /// The last (current) index entry per key value, preserving first-seen
+    /// key order, ignoring entries newer than `as_of`.
+    pub fn current_index_entries(&self, as_of: Timestamp) -> TsbResult<Vec<WobtIndexEntry>> {
+        let entries = self.index_entries()?;
+        let mut latest: Vec<WobtIndexEntry> = Vec::new();
+        for e in entries {
+            if e.ts > as_of {
+                continue;
+            }
+            match latest.iter_mut().find(|x| x.key == e.key) {
+                Some(slot) => *slot = e.clone(),
+                None => latest.push(e.clone()),
+            }
+        }
+        Ok(latest)
+    }
+
+    /// The child to follow when searching for `key` as of `as_of`: the last
+    /// entry listed with the largest key not exceeding `key` (the paper's
+    /// search rule, §2.2 / §2.5).
+    pub fn route(&self, key: &Key, as_of: Timestamp) -> TsbResult<Option<ExtentId>> {
+        let entries = self.index_entries()?;
+        let mut best: Option<&WobtIndexEntry> = None;
+        for e in entries {
+            if e.ts > as_of || e.key > *key {
+                continue;
+            }
+            match best {
+                None => best = Some(e),
+                Some(b) => {
+                    // Larger key wins; equal key: later in insertion order wins.
+                    if e.key >= b.key {
+                        best = Some(e);
+                    }
+                }
+            }
+        }
+        Ok(best.map(|e| e.child))
+    }
+}
+
+// ----- sector encoding ------------------------------------------------------
+
+/// Tag for a sector belonging to a data node.
+pub const SECTOR_DATA_TAG: u8 = 0x11;
+/// Tag for a sector belonging to an index node.
+pub const SECTOR_INDEX_TAG: u8 = 0x22;
+
+/// Encodes one sector's worth of data entries.
+pub fn encode_data_sector(entries: &[Version], back_pointer: Option<ExtentId>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(SECTOR_DATA_TAG);
+    match back_pointer {
+        Some(e) => {
+            w.put_u8(1);
+            w.put_u64(e.0);
+        }
+        None => w.put_u8(0),
+    }
+    w.put_u16(entries.len() as u16);
+    for v in entries {
+        w.put_version(v);
+    }
+    w.into_vec()
+}
+
+/// Encodes one sector's worth of index entries.
+pub fn encode_index_sector(entries: &[WobtIndexEntry]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(SECTOR_INDEX_TAG);
+    w.put_u8(0);
+    w.put_u16(entries.len() as u16);
+    for e in entries {
+        w.put_key(&e.key);
+        w.put_timestamp(e.ts);
+        w.put_u64(e.child.0);
+    }
+    w.into_vec()
+}
+
+/// A decoded sector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodedSector {
+    /// The node kind this sector belongs to.
+    pub kind: WobtNodeKind,
+    /// Back pointer recorded in this sector (normally only in sector 0).
+    pub back_pointer: Option<ExtentId>,
+    /// Entries in this sector, in order.
+    pub entries: WobtEntries,
+}
+
+/// Decodes a sector image.
+pub fn decode_sector(bytes: &[u8]) -> TsbResult<DecodedSector> {
+    let mut r = ByteReader::new(bytes);
+    let tag = r.get_u8()?;
+    let bp = match r.get_u8()? {
+        0 => None,
+        1 => Some(ExtentId(r.get_u64()?)),
+        t => return Err(TsbError::corruption(format!("invalid back-pointer tag {t}"))),
+    };
+    let count = r.get_u16()? as usize;
+    match tag {
+        SECTOR_DATA_TAG => {
+            let mut out = Vec::with_capacity(count);
+            for _ in 0..count {
+                out.push(r.get_version()?);
+            }
+            Ok(DecodedSector {
+                kind: WobtNodeKind::Data,
+                back_pointer: bp,
+                entries: WobtEntries::Data(out),
+            })
+        }
+        SECTOR_INDEX_TAG => {
+            let mut out = Vec::with_capacity(count);
+            for _ in 0..count {
+                let key = r.get_key()?;
+                let ts = r.get_timestamp()?;
+                let child = ExtentId(r.get_u64()?);
+                out.push(WobtIndexEntry { key, ts, child });
+            }
+            Ok(DecodedSector {
+                kind: WobtNodeKind::Index,
+                back_pointer: bp,
+                entries: WobtEntries::Index(out),
+            })
+        }
+        t => Err(TsbError::corruption(format!("unknown WOBT sector tag {t}"))),
+    }
+}
+
+/// Packs entries into as few sector images as possible, greedily filling each
+/// sector up to `sector_size` (consolidation, used when a split copies the
+/// current versions into a new node).
+pub fn pack_data_sectors(
+    entries: &[Version],
+    back_pointer: Option<ExtentId>,
+    sector_size: usize,
+) -> TsbResult<Vec<Vec<u8>>> {
+    let mut sectors = Vec::new();
+    let mut batch: Vec<Version> = Vec::new();
+    let mut first = true;
+    for v in entries {
+        batch.push(v.clone());
+        let bp = if first { back_pointer } else { None };
+        if encode_data_sector(&batch, bp).len() > sector_size {
+            let overflow = batch.pop().expect("just pushed");
+            if batch.is_empty() {
+                return Err(TsbError::EntryTooLarge {
+                    entry_size: encode_data_sector(&[overflow], bp).len(),
+                    capacity: sector_size,
+                });
+            }
+            sectors.push(encode_data_sector(&batch, bp));
+            first = false;
+            batch = vec![overflow];
+        }
+    }
+    if !batch.is_empty() || sectors.is_empty() {
+        let bp = if first { back_pointer } else { None };
+        sectors.push(encode_data_sector(&batch, bp));
+    }
+    Ok(sectors)
+}
+
+/// Packs index entries into as few sector images as possible.
+pub fn pack_index_sectors(
+    entries: &[WobtIndexEntry],
+    sector_size: usize,
+) -> TsbResult<Vec<Vec<u8>>> {
+    let mut sectors = Vec::new();
+    let mut batch: Vec<WobtIndexEntry> = Vec::new();
+    for e in entries {
+        batch.push(e.clone());
+        if encode_index_sector(&batch).len() > sector_size {
+            let overflow = batch.pop().expect("just pushed");
+            if batch.is_empty() {
+                return Err(TsbError::EntryTooLarge {
+                    entry_size: encode_index_sector(&[overflow]).len(),
+                    capacity: sector_size,
+                });
+            }
+            sectors.push(encode_index_sector(&batch));
+            batch = vec![overflow];
+        }
+    }
+    if !batch.is_empty() || sectors.is_empty() {
+        sectors.push(encode_index_sector(&batch));
+    }
+    Ok(sectors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(key: u64, ts: u64, val: &str) -> Version {
+        Version::committed(key, Timestamp(ts), val.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn sector_round_trip_data_and_index() {
+        let data = vec![v(50, 1, "Joe"), v(60, 2, "Pete"), v(60, 4, "Pete2")];
+        let bytes = encode_data_sector(&data, Some(ExtentId(9)));
+        let decoded = decode_sector(&bytes).unwrap();
+        assert_eq!(decoded.kind, WobtNodeKind::Data);
+        assert_eq!(decoded.back_pointer, Some(ExtentId(9)));
+        assert_eq!(decoded.entries, WobtEntries::Data(data));
+
+        let index = vec![
+            WobtIndexEntry {
+                key: Key::MIN,
+                ts: Timestamp(0),
+                child: ExtentId(1),
+            },
+            WobtIndexEntry {
+                key: Key::from_u64(70),
+                ts: Timestamp(5),
+                child: ExtentId(4),
+            },
+        ];
+        let bytes = encode_index_sector(&index);
+        let decoded = decode_sector(&bytes).unwrap();
+        assert_eq!(decoded.kind, WobtNodeKind::Index);
+        assert_eq!(decoded.back_pointer, None);
+        assert_eq!(decoded.entries, WobtEntries::Index(index));
+
+        assert!(decode_sector(&[0x99, 0, 0, 0]).is_err());
+        assert!(decode_sector(&bytes[..3]).is_err());
+    }
+
+    #[test]
+    fn packing_consolidates_multiple_entries_per_sector() {
+        let entries: Vec<Version> = (0..10).map(|i| v(i, i + 1, "x")).collect();
+        let sectors = pack_data_sectors(&entries, Some(ExtentId(3)), 128).unwrap();
+        assert!(
+            sectors.len() < entries.len(),
+            "consolidation should put several entries per sector"
+        );
+        // Round trip through decoding preserves order and count.
+        let mut decoded = Vec::new();
+        let mut bp = None;
+        for (i, s) in sectors.iter().enumerate() {
+            let d = decode_sector(s).unwrap();
+            if i == 0 {
+                bp = d.back_pointer;
+            }
+            match d.entries {
+                WobtEntries::Data(mut vs) => decoded.append(&mut vs),
+                WobtEntries::Index(_) => panic!("wrong kind"),
+            }
+        }
+        assert_eq!(decoded, entries);
+        assert_eq!(bp, Some(ExtentId(3)));
+        // Every sector respects the size limit.
+        for s in &sectors {
+            assert!(s.len() <= 128);
+        }
+    }
+
+    #[test]
+    fn packing_rejects_an_entry_larger_than_a_sector() {
+        let huge = Version::committed(1u64, Timestamp(1), vec![0u8; 500]);
+        assert!(pack_data_sectors(&[huge], None, 64).is_err());
+        let entries = vec![WobtIndexEntry {
+            key: Key::from_bytes(vec![b'k'; 200]),
+            ts: Timestamp(1),
+            child: ExtentId(0),
+        }];
+        assert!(pack_index_sectors(&entries, 64).is_err());
+    }
+
+    #[test]
+    fn current_versions_take_the_last_entry_per_key() {
+        let node = WobtNode {
+            kind: WobtNodeKind::Data,
+            entries: WobtEntries::Data(vec![
+                v(50, 1, "Joe"),
+                v(60, 2, "Pete"),
+                v(60, 4, "Mary"),
+                v(70, 3, "Sue"),
+            ]),
+            sectors_used: 4,
+            back_pointer: None,
+        };
+        let current = node.current_data_versions(Timestamp::MAX).unwrap();
+        assert_eq!(current.len(), 3);
+        assert_eq!(current[1].value, Some(b"Mary".to_vec()));
+        // As of T=2 the current version of 60 is Pete and 70 doesn't exist yet.
+        let as_of_2 = node.current_data_versions(Timestamp(2)).unwrap();
+        assert_eq!(as_of_2.len(), 2);
+        assert_eq!(as_of_2[1].value, Some(b"Pete".to_vec()));
+    }
+
+    #[test]
+    fn routing_follows_the_paper_rule() {
+        // Figure 2: entries in insertion order, same key may repeat; the last
+        // pair with the largest key <= search key wins.
+        let node = WobtNode {
+            kind: WobtNodeKind::Index,
+            entries: WobtEntries::Index(vec![
+                WobtIndexEntry { key: Key::from_u64(50), ts: Timestamp(1), child: ExtentId(1) },
+                WobtIndexEntry { key: Key::from_u64(100), ts: Timestamp(1), child: ExtentId(2) },
+                WobtIndexEntry { key: Key::from_u64(50), ts: Timestamp(5), child: ExtentId(3) },
+                WobtIndexEntry { key: Key::from_u64(100), ts: Timestamp(5), child: ExtentId(4) },
+            ]),
+            sectors_used: 2,
+            back_pointer: None,
+        };
+        // Key 60 as of now: largest key <= 60 is 50, last listed 50-entry is extent 3.
+        assert_eq!(
+            node.route(&Key::from_u64(60), Timestamp::MAX).unwrap(),
+            Some(ExtentId(3))
+        );
+        // Key 60 as of T=2: entries with ts>2 ignored, so extent 1.
+        assert_eq!(
+            node.route(&Key::from_u64(60), Timestamp(2)).unwrap(),
+            Some(ExtentId(1))
+        );
+        // Key 200 as of now: routes through the last 100-entry.
+        assert_eq!(
+            node.route(&Key::from_u64(200), Timestamp::MAX).unwrap(),
+            Some(ExtentId(4))
+        );
+        // A key below every separator finds nothing.
+        assert_eq!(
+            node.route(&Key::from_u64(10), Timestamp::MAX).unwrap(),
+            None
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! WOBT temporal queries (§2.5): database snapshots at a past time and full
+//! version histories via backward pointers.
+
+use std::collections::{BTreeMap, HashSet};
+
+use tsb_common::{Key, KeyBound, KeyRange, Timestamp, TsbResult, Version};
+
+use crate::node::{ExtentId, WobtNodeKind};
+use crate::tree::Wobt;
+
+impl Wobt {
+    /// A snapshot of the database as of `ts`: every key alive at that time
+    /// with its governing value, in key order (§2.5: "obtain the last
+    /// entries in each index node for each key before or at T, and finally
+    /// the last copies of each record before or at T").
+    pub fn snapshot_at(&self, ts: Timestamp) -> TsbResult<Vec<(Key, Vec<u8>)>> {
+        self.scan_as_of(&KeyRange::full(), ts)
+    }
+
+    /// Every `(key, value)` in `range` as of `ts`, in key order.
+    pub fn scan_as_of(&self, range: &KeyRange, ts: Timestamp) -> TsbResult<Vec<(Key, Vec<u8>)>> {
+        let mut out = BTreeMap::new();
+        self.scan_node(self.root, range.clone(), ts, &mut out)?;
+        Ok(out.into_iter().collect())
+    }
+
+    /// Every key currently alive with its newest value.
+    pub fn scan_current(&self, range: &KeyRange) -> TsbResult<Vec<(Key, Vec<u8>)>> {
+        self.scan_as_of(range, Timestamp::MAX)
+    }
+
+    fn scan_node(
+        &self,
+        extent: ExtentId,
+        range: KeyRange,
+        ts: Timestamp,
+        out: &mut BTreeMap<Key, Vec<u8>>,
+    ) -> TsbResult<()> {
+        if range.is_empty() {
+            return Ok(());
+        }
+        let node = self.read_node(extent)?;
+        match node.kind {
+            WobtNodeKind::Data => {
+                for v in node.current_data_versions(ts)? {
+                    if range.contains(&v.key) && !v.is_tombstone() {
+                        if let Some(value) = v.value {
+                            out.insert(v.key, value);
+                        }
+                    }
+                }
+            }
+            WobtNodeKind::Index => {
+                // The current entries as of `ts` partition the key space at
+                // that time; child i is responsible for [key_i, key_{i+1}).
+                // Clipping each child to its responsibility range prevents
+                // stale copies in older nodes from overriding newer versions
+                // owned by a sibling.
+                let mut current = node.current_index_entries(ts)?;
+                current.sort_by(|a, b| a.key.cmp(&b.key));
+                for (i, entry) in current.iter().enumerate() {
+                    let upper = match current.get(i + 1) {
+                        Some(next) => KeyBound::Finite(next.key.clone()),
+                        None => KeyBound::PlusInfinity,
+                    };
+                    let child_range = KeyRange::new(entry.key.clone(), upper);
+                    let clipped = child_range.intersection(&range);
+                    self.scan_node(entry.child, clipped, ts, out)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of keys alive in `range` as of `ts`.
+    pub fn count_as_of(&self, range: &KeyRange, ts: Timestamp) -> TsbResult<usize> {
+        Ok(self.scan_as_of(range, ts)?.len())
+    }
+
+    /// All committed versions of `key`, oldest first, found by following the
+    /// backward pointers from the current leaf (§2.5). Duplicated copies are
+    /// reported once.
+    pub fn versions(&self, key: &Key) -> TsbResult<Vec<Version>> {
+        let path = self.descend_path(key, Timestamp::MAX)?;
+        let (leaf, _) = *path.last().expect("non-empty path");
+        let mut seen_extents: HashSet<ExtentId> = HashSet::new();
+        let mut seen_times: HashSet<Timestamp> = HashSet::new();
+        let mut versions: Vec<Version> = Vec::new();
+
+        let mut cursor = Some(leaf);
+        while let Some(extent) = cursor {
+            if !seen_extents.insert(extent) {
+                break;
+            }
+            let node = self.read_node(extent)?;
+            let entries = node.data_entries()?;
+            let mut found_any = false;
+            for v in entries.iter().filter(|v| v.key == *key) {
+                found_any = true;
+                if let Some(t) = v.commit_time() {
+                    if seen_times.insert(t) {
+                        versions.push(v.clone());
+                    }
+                }
+            }
+            // "Follow the backwards pointers until a leaf node is encountered
+            // which contains no earlier version of the record." The first
+            // node of the chain may legitimately not contain the key yet
+            // (brand-new key), so only stop early after the key has appeared.
+            if !found_any && !versions.is_empty() {
+                break;
+            }
+            cursor = node.back_pointer;
+        }
+        versions.sort_by_key(|v| v.commit_time().unwrap_or(Timestamp::MAX));
+        Ok(versions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::WobtConfig;
+
+    fn build() -> (Wobt, Vec<(u64, Timestamp, String)>) {
+        let mut w = Wobt::new_in_memory(WobtConfig::small()).unwrap();
+        let mut log = Vec::new();
+        for i in 0..200u64 {
+            let key = i % 20;
+            let value = format!("k{key}-gen{}", i / 20);
+            let ts = w.insert(key, value.clone().into_bytes()).unwrap();
+            log.push((key, ts, value));
+        }
+        (w, log)
+    }
+
+    #[test]
+    fn snapshots_reconstruct_past_states() {
+        let (w, log) = build();
+        let mid_ts = log[log.len() / 2].1;
+        let snap = w.snapshot_at(mid_ts).unwrap();
+        let mut expected: BTreeMap<u64, String> = BTreeMap::new();
+        for (key, ts, value) in &log {
+            if *ts <= mid_ts {
+                expected.insert(*key, value.clone());
+            }
+        }
+        assert_eq!(snap.len(), expected.len());
+        for (k, v) in snap {
+            assert_eq!(v, expected[&k.as_u64().unwrap()].clone().into_bytes());
+        }
+        // The current scan sees the final generation of every key.
+        let current = w.scan_current(&KeyRange::full()).unwrap();
+        assert_eq!(current.len(), 20);
+        assert!(current
+            .iter()
+            .all(|(_, v)| String::from_utf8_lossy(v).contains("gen9")));
+    }
+
+    #[test]
+    fn range_scans_clip_to_bounds() {
+        let (w, _) = build();
+        let range = KeyRange::bounded(Key::from_u64(5), Key::from_u64(12));
+        let rows = w.scan_current(&range).unwrap();
+        assert_eq!(rows.len(), 7);
+        assert!(rows.iter().all(|(k, _)| range.contains(k)));
+        assert_eq!(w.count_as_of(&range, Timestamp::MAX).unwrap(), 7);
+        assert_eq!(w.count_as_of(&range, Timestamp::ZERO).unwrap(), 0);
+    }
+
+    #[test]
+    fn version_histories_follow_backward_pointers() {
+        let (w, log) = build();
+        for key in 0..20u64 {
+            let expected: Vec<_> = log.iter().filter(|(k, _, _)| *k == key).collect();
+            let versions = w.versions(&Key::from_u64(key)).unwrap();
+            assert_eq!(versions.len(), expected.len(), "key {key}");
+            for (v, (_, ts, value)) in versions.iter().zip(expected.iter()) {
+                assert_eq!(v.commit_time().unwrap(), *ts);
+                assert_eq!(v.value.as_ref().unwrap(), &value.clone().into_bytes());
+            }
+        }
+        assert!(w.versions(&Key::from_u64(999)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn deleted_keys_disappear_from_snapshots_after_their_tombstone() {
+        let mut w = Wobt::new_in_memory(WobtConfig::small()).unwrap();
+        for i in 0..10u64 {
+            w.insert(i, format!("v{i}").into_bytes()).unwrap();
+        }
+        let before = w.now();
+        w.delete(4u64).unwrap();
+        assert_eq!(w.scan_current(&KeyRange::full()).unwrap().len(), 9);
+        assert_eq!(w.snapshot_at(before.prev()).unwrap().len(), 10);
+    }
+}

@@ -1,0 +1,178 @@
+//! Key-choice distributions for workload generation.
+
+use rand::Rng;
+
+/// How keys are chosen from a key space of `n` items.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KeyDistribution {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian with the given skew parameter `theta` (0 < theta < 1 typical;
+    /// larger = more skew towards low-numbered keys).
+    Zipfian {
+        /// Skew parameter.
+        theta: f64,
+    },
+    /// Keys are produced in increasing order (append-style insertion).
+    Sequential,
+    /// A fraction of the key space is "hot" and receives most of the
+    /// accesses.
+    Hotspot {
+        /// Fraction of the key space that is hot (e.g. 0.1).
+        hot_fraction: f64,
+        /// Probability that an access targets the hot set (e.g. 0.9).
+        hot_probability: f64,
+    },
+}
+
+impl Default for KeyDistribution {
+    fn default() -> Self {
+        KeyDistribution::Uniform
+    }
+}
+
+/// A sampler over `0..n` following a [`KeyDistribution`].
+#[derive(Clone, Debug)]
+pub struct KeySampler {
+    distribution: KeyDistribution,
+    n: u64,
+    /// Zipfian normalization constant (sum of 1/i^theta).
+    zeta_n: f64,
+    /// Sequential cursor.
+    next_sequential: u64,
+}
+
+impl KeySampler {
+    /// Creates a sampler over the key indices `0..n`.
+    pub fn new(distribution: KeyDistribution, n: u64) -> Self {
+        let n = n.max(1);
+        let zeta_n = match distribution {
+            KeyDistribution::Zipfian { theta } => {
+                (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+            }
+            _ => 0.0,
+        };
+        KeySampler {
+            distribution,
+            n,
+            zeta_n,
+            next_sequential: 0,
+        }
+    }
+
+    /// The size of the key space.
+    pub fn key_space(&self) -> u64 {
+        self.n
+    }
+
+    /// Samples a key index in `0..n`.
+    pub fn sample(&mut self, rng: &mut impl Rng) -> u64 {
+        match self.distribution {
+            KeyDistribution::Uniform => rng.gen_range(0..self.n),
+            KeyDistribution::Sequential => {
+                let k = self.next_sequential;
+                self.next_sequential = (self.next_sequential + 1) % self.n;
+                k
+            }
+            KeyDistribution::Zipfian { theta } => {
+                // Inverse-CDF sampling over the precomputed zeta sum.
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let target = u * self.zeta_n;
+                let mut acc = 0.0;
+                for i in 1..=self.n {
+                    acc += 1.0 / (i as f64).powf(theta);
+                    if acc >= target {
+                        return i - 1;
+                    }
+                }
+                self.n - 1
+            }
+            KeyDistribution::Hotspot {
+                hot_fraction,
+                hot_probability,
+            } => {
+                let hot_keys = ((self.n as f64) * hot_fraction).ceil().max(1.0) as u64;
+                let hot_keys = hot_keys.min(self.n);
+                if rng.gen_bool(hot_probability.clamp(0.0, 1.0)) {
+                    rng.gen_range(0..hot_keys)
+                } else if hot_keys < self.n {
+                    rng.gen_range(hot_keys..self.n)
+                } else {
+                    rng.gen_range(0..self.n)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(dist: KeyDistribution, n: u64, samples: usize) -> Vec<u64> {
+        let mut sampler = KeySampler::new(dist, n);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut hist = vec![0u64; n as usize];
+        for _ in 0..samples {
+            hist[sampler.sample(&mut rng) as usize] += 1;
+        }
+        hist
+    }
+
+    #[test]
+    fn uniform_spreads_evenly() {
+        let hist = histogram(KeyDistribution::Uniform, 10, 10_000);
+        assert!(hist.iter().all(|&c| c > 500 && c < 1500), "{hist:?}");
+    }
+
+    #[test]
+    fn zipfian_is_skewed_towards_low_keys() {
+        let hist = histogram(KeyDistribution::Zipfian { theta: 0.99 }, 100, 20_000);
+        assert!(hist[0] > hist[50] * 5, "{} vs {}", hist[0], hist[50]);
+        // Every key can still be drawn (no hard truncation).
+        assert!(hist.iter().filter(|&&c| c > 0).count() > 50);
+    }
+
+    #[test]
+    fn sequential_cycles_in_order() {
+        let mut sampler = KeySampler::new(KeyDistribution::Sequential, 5, );
+        let mut rng = StdRng::seed_from_u64(1);
+        let drawn: Vec<u64> = (0..12).map(|_| sampler.sample(&mut rng)).collect();
+        assert_eq!(drawn, vec![0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1]);
+    }
+
+    #[test]
+    fn hotspot_concentrates_accesses() {
+        let hist = histogram(
+            KeyDistribution::Hotspot {
+                hot_fraction: 0.1,
+                hot_probability: 0.9,
+            },
+            100,
+            20_000,
+        );
+        let hot: u64 = hist[..10].iter().sum();
+        let cold: u64 = hist[10..].iter().sum();
+        assert!(hot > cold * 5, "hot {hot} vs cold {cold}");
+    }
+
+    #[test]
+    fn degenerate_key_spaces_are_safe() {
+        let mut sampler = KeySampler::new(KeyDistribution::Uniform, 0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(sampler.sample(&mut rng), 0);
+        assert_eq!(sampler.key_space(), 1);
+        let mut sampler = KeySampler::new(
+            KeyDistribution::Hotspot {
+                hot_fraction: 1.0,
+                hot_probability: 1.0,
+            },
+            3,
+        );
+        for _ in 0..10 {
+            assert!(sampler.sample(&mut rng) < 3);
+        }
+    }
+}

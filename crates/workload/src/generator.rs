@@ -1,0 +1,264 @@
+//! Parameterized operation-stream generation.
+//!
+//! The central knob is the **update : insert ratio** (§5: the authors planned
+//! to measure space and redundancy "with different rates of update versus
+//! insertion"). A [`WorkloadSpec`] fixes that ratio, the key distribution,
+//! the value sizes, and a seed; [`generate_ops`] expands it into a
+//! deterministic operation stream that can be replayed against the TSB-tree,
+//! the WOBT baseline, and the [`crate::Oracle`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tsb_common::Key;
+
+use crate::distributions::{KeyDistribution, KeySampler};
+
+/// A single logical operation against the multiversion store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Write a value for a key: an *insert* if the key has never been
+    /// written, an *update* otherwise (both are version insertions in the
+    /// store).
+    Put {
+        /// The record key.
+        key: Key,
+        /// The record payload.
+        value: Vec<u8>,
+    },
+    /// Logically delete the key (tombstone version).
+    Delete {
+        /// The record key.
+        key: Key,
+    },
+}
+
+impl Op {
+    /// The key the operation touches.
+    pub fn key(&self) -> &Key {
+        match self {
+            Op::Put { key, .. } | Op::Delete { key } => key,
+        }
+    }
+}
+
+/// A parameterized workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Total operations to generate.
+    pub num_ops: usize,
+    /// Size of the key space (`0..num_keys` mapped to u64 keys).
+    pub num_keys: u64,
+    /// Probability that a write targets a key that already exists (an
+    /// update) rather than a fresh key (an insert). The effective
+    /// update:insert ratio of the stream.
+    pub update_fraction: f64,
+    /// Probability that an operation is a delete (applied after the
+    /// update/insert decision; deletes always target existing keys).
+    pub delete_fraction: f64,
+    /// Inclusive range of value sizes in bytes.
+    pub value_size: (usize, usize),
+    /// How keys are selected when updating existing records.
+    pub distribution: KeyDistribution,
+    /// RNG seed (the stream is deterministic given the spec).
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            num_ops: 10_000,
+            num_keys: 1_000,
+            update_fraction: 0.8,
+            delete_fraction: 0.0,
+            value_size: (64, 64),
+            distribution: KeyDistribution::Uniform,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Convenience constructor fixing the update:insert ratio `u : 1`.
+    /// `ratio = 0` produces an insert-only stream.
+    pub fn with_update_ratio(mut self, updates_per_insert: f64) -> Self {
+        self.update_fraction = if updates_per_insert <= 0.0 {
+            0.0
+        } else {
+            updates_per_insert / (updates_per_insert + 1.0)
+        };
+        self
+    }
+
+    /// Builder for the number of operations.
+    pub fn with_ops(mut self, num_ops: usize) -> Self {
+        self.num_ops = num_ops;
+        self
+    }
+
+    /// Builder for the key-space size.
+    pub fn with_keys(mut self, num_keys: u64) -> Self {
+        self.num_keys = num_keys;
+        self
+    }
+
+    /// Builder for the value size (fixed).
+    pub fn with_value_size(mut self, size: usize) -> Self {
+        self.value_size = (size, size);
+        self
+    }
+
+    /// Builder for the key distribution.
+    pub fn with_distribution(mut self, distribution: KeyDistribution) -> Self {
+        self.distribution = distribution;
+        self
+    }
+
+    /// Builder for the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Expands a spec into a deterministic operation stream.
+pub fn generate_ops(spec: &WorkloadSpec) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut sampler = KeySampler::new(spec.distribution, spec.num_keys);
+    let mut existing: Vec<u64> = Vec::new();
+    let mut next_fresh: u64 = 0;
+    let mut ops = Vec::with_capacity(spec.num_ops);
+
+    for i in 0..spec.num_ops {
+        let value_len = if spec.value_size.0 >= spec.value_size.1 {
+            spec.value_size.0
+        } else {
+            rng.gen_range(spec.value_size.0..=spec.value_size.1)
+        };
+        let delete = !existing.is_empty() && rng.gen_bool(spec.delete_fraction.clamp(0.0, 1.0));
+        if delete {
+            let idx = rng.gen_range(0..existing.len());
+            ops.push(Op::Delete {
+                key: Key::from_u64(existing[idx]),
+            });
+            continue;
+        }
+        let update = !existing.is_empty()
+            && (next_fresh >= spec.num_keys
+                || rng.gen_bool(spec.update_fraction.clamp(0.0, 1.0)));
+        let key_index = if update {
+            // Choose among existing keys following the configured
+            // distribution (clamped to the number of keys created so far).
+            let raw = sampler.sample(&mut rng);
+            existing[(raw % existing.len() as u64) as usize]
+        } else {
+            let k = next_fresh.min(spec.num_keys.saturating_sub(1));
+            if next_fresh < spec.num_keys {
+                existing.push(k);
+                next_fresh += 1;
+            }
+            k
+        };
+        let mut value = vec![0u8; value_len];
+        // Deterministic, compressible-but-distinct payload.
+        let tag = format!("op{i}-k{key_index}");
+        let tag = tag.as_bytes();
+        value[..tag.len().min(value_len)].copy_from_slice(&tag[..tag.len().min(value_len)]);
+        ops.push(Op::Put {
+            key: Key::from_u64(key_index),
+            value,
+        });
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn stream_is_deterministic_for_a_seed() {
+        let spec = WorkloadSpec::default().with_ops(500);
+        assert_eq!(generate_ops(&spec), generate_ops(&spec));
+        let other = spec.clone().with_seed(1);
+        assert_ne!(generate_ops(&spec), generate_ops(&other));
+    }
+
+    #[test]
+    fn update_ratio_controls_fresh_vs_existing_writes() {
+        let insert_only = WorkloadSpec::default()
+            .with_ops(1000)
+            .with_keys(2000)
+            .with_update_ratio(0.0);
+        let ops = generate_ops(&insert_only);
+        let distinct: HashSet<_> = ops.iter().map(|o| o.key().clone()).collect();
+        assert_eq!(distinct.len(), 1000, "insert-only: every op a fresh key");
+
+        let update_heavy = WorkloadSpec::default()
+            .with_ops(1000)
+            .with_keys(2000)
+            .with_update_ratio(9.0); // 9 updates per insert
+        let ops = generate_ops(&update_heavy);
+        let distinct: HashSet<_> = ops.iter().map(|o| o.key().clone()).collect();
+        assert!(
+            distinct.len() < 250,
+            "update-heavy stream touched {} distinct keys",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn key_space_is_respected_even_when_exhausted() {
+        let spec = WorkloadSpec::default()
+            .with_ops(500)
+            .with_keys(20)
+            .with_update_ratio(0.0); // wants fresh keys but only 20 exist
+        let ops = generate_ops(&spec);
+        assert_eq!(ops.len(), 500);
+        assert!(ops
+            .iter()
+            .all(|o| o.key().as_u64().unwrap() < 20));
+    }
+
+    #[test]
+    fn deletes_appear_at_roughly_the_requested_rate() {
+        let spec = WorkloadSpec {
+            delete_fraction: 0.2,
+            ..WorkloadSpec::default().with_ops(2000)
+        };
+        let ops = generate_ops(&spec);
+        let deletes = ops.iter().filter(|o| matches!(o, Op::Delete { .. })).count();
+        assert!(deletes > 250 && deletes < 550, "deletes = {deletes}");
+        // Deletes only target keys that have been written.
+        let mut written: HashSet<Key> = HashSet::new();
+        for op in &ops {
+            match op {
+                Op::Put { key, .. } => {
+                    written.insert(key.clone());
+                }
+                Op::Delete { key } => assert!(written.contains(key)),
+            }
+        }
+    }
+
+    #[test]
+    fn values_respect_the_size_range() {
+        let spec = WorkloadSpec {
+            value_size: (16, 128),
+            ..WorkloadSpec::default().with_ops(300)
+        };
+        for op in generate_ops(&spec) {
+            if let Op::Put { value, .. } = op {
+                assert!(value.len() >= 16 && value.len() <= 128);
+            }
+        }
+        // Fixed-size values.
+        let spec = WorkloadSpec::default().with_ops(50).with_value_size(99);
+        for op in generate_ops(&spec) {
+            if let Op::Put { value, .. } = op {
+                assert_eq!(value.len(), 99);
+            }
+        }
+    }
+}

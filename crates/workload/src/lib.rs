@@ -1,0 +1,35 @@
+//! # tsb-workload
+//!
+//! Workload generation and ground truth for the TSB-tree reproduction.
+//!
+//! The paper's planned evaluation (§5) varies the **rate of update versus
+//! insertion** and measures space and redundancy under different splitting
+//! policies; its motivating examples are stepwise-constant histories such as
+//! account balances (Figure 1) and non-deleting record keeping (transcripts,
+//! engineering design versions, medical records). This crate provides:
+//!
+//! * [`KeyDistribution`] — uniform / zipfian / sequential / hotspot key
+//!   choice,
+//! * [`WorkloadSpec`] / [`generate_ops`] — parameterized operation streams
+//!   (insert : update : delete mix, value sizes, deterministic seeds),
+//! * [`scenarios`] — the named scenarios used by the examples and
+//!   experiments (bank ledger, personnel records, engineering versions),
+//! * [`QueryMix`] / [`generate_queries`] — read workloads (current lookups,
+//!   as-of lookups, range scans, version histories) sampled from an executed
+//!   history,
+//! * [`Oracle`] — an in-memory multiversion map answering the same queries
+//!   as the TSB-tree; integration and property tests use it as ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod generator;
+pub mod oracle;
+pub mod queries;
+pub mod scenarios;
+
+pub use distributions::KeyDistribution;
+pub use generator::{generate_ops, Op, WorkloadSpec};
+pub use oracle::Oracle;
+pub use queries::{generate_queries, Query, QueryMix};

@@ -1,0 +1,150 @@
+//! A reference multiversion store used as ground truth.
+//!
+//! The oracle keeps every version of every key in a plain in-memory map and
+//! answers the same temporal queries as the TSB-tree and the WOBT with the
+//! obvious (inefficient) algorithms. Integration and property tests replay a
+//! workload into a real structure and the oracle and require identical
+//! answers for every query — which is what "no version is ever lost and every
+//! snapshot is consistent" means operationally.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use tsb_common::{Key, KeyRange, Timestamp};
+
+/// In-memory multiversion map: for each key, the full list of
+/// `(commit time, value-or-tombstone)` in commit order.
+#[derive(Clone, Debug, Default)]
+pub struct Oracle {
+    history: BTreeMap<Key, Vec<(Timestamp, Option<Vec<u8>>)>>,
+}
+
+impl Oracle {
+    /// Creates an empty oracle.
+    pub fn new() -> Self {
+        Oracle::default()
+    }
+
+    /// Records a committed write (value or tombstone) at `ts`.
+    pub fn apply_put(&mut self, key: Key, ts: Timestamp, value: Option<Vec<u8>>) {
+        self.history.entry(key).or_default().push((ts, value));
+    }
+
+    /// Records a committed value write.
+    pub fn put(&mut self, key: impl Into<Key>, ts: Timestamp, value: Vec<u8>) {
+        self.apply_put(key.into(), ts, Some(value));
+    }
+
+    /// Records a committed delete.
+    pub fn delete(&mut self, key: impl Into<Key>, ts: Timestamp) {
+        self.apply_put(key.into(), ts, None);
+    }
+
+    /// Number of distinct keys ever written.
+    pub fn distinct_keys(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Total number of versions recorded.
+    pub fn total_versions(&self) -> usize {
+        self.history.values().map(Vec::len).sum()
+    }
+
+    /// The value of `key` as of `ts` (`None` if absent or deleted).
+    pub fn get_as_of(&self, key: &Key, ts: Timestamp) -> Option<Vec<u8>> {
+        let versions = self.history.get(key)?;
+        versions
+            .iter()
+            .rev()
+            .find(|(t, _)| *t <= ts)
+            .and_then(|(_, v)| v.clone())
+    }
+
+    /// The newest value of `key`.
+    pub fn get_current(&self, key: &Key) -> Option<Vec<u8>> {
+        self.get_as_of(key, Timestamp::MAX)
+    }
+
+    /// Every `(key, value)` alive in `range` as of `ts`, in key order.
+    pub fn scan_as_of(&self, range: &KeyRange, ts: Timestamp) -> Vec<(Key, Vec<u8>)> {
+        let lower = Bound::Included(range.lo.clone());
+        let upper = match &range.hi {
+            tsb_common::KeyBound::Finite(k) => Bound::Excluded(k.clone()),
+            tsb_common::KeyBound::PlusInfinity => Bound::Unbounded,
+        };
+        self.history
+            .range((lower, upper))
+            .filter_map(|(k, _)| self.get_as_of(k, ts).map(|v| (k.clone(), v)))
+            .collect()
+    }
+
+    /// A full snapshot as of `ts`.
+    pub fn snapshot_at(&self, ts: Timestamp) -> Vec<(Key, Vec<u8>)> {
+        self.scan_as_of(&KeyRange::full(), ts)
+    }
+
+    /// Number of keys alive as of `ts`.
+    pub fn count_as_of(&self, range: &KeyRange, ts: Timestamp) -> usize {
+        self.scan_as_of(range, ts).len()
+    }
+
+    /// The committed history of `key`, oldest first, tombstones included.
+    pub fn versions(&self, key: &Key) -> Vec<(Timestamp, Option<Vec<u8>>)> {
+        self.history.get(key).cloned().unwrap_or_default()
+    }
+
+    /// Every key ever written, in order.
+    pub fn keys(&self) -> impl Iterator<Item = &Key> {
+        self.history.keys()
+    }
+
+    /// Every commit timestamp recorded, in ascending order (useful for
+    /// picking as-of query times in tests and experiments).
+    pub fn all_timestamps(&self) -> Vec<Timestamp> {
+        let mut ts: Vec<Timestamp> = self
+            .history
+            .values()
+            .flat_map(|v| v.iter().map(|(t, _)| *t))
+            .collect();
+        ts.sort();
+        ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stepwise_constant_reads() {
+        let mut o = Oracle::new();
+        o.put(1u64, Timestamp(5), b"a".to_vec());
+        o.put(1u64, Timestamp(10), b"b".to_vec());
+        o.delete(1u64, Timestamp(20));
+        assert_eq!(o.get_as_of(&Key::from_u64(1), Timestamp(4)), None);
+        assert_eq!(o.get_as_of(&Key::from_u64(1), Timestamp(5)), Some(b"a".to_vec()));
+        assert_eq!(o.get_as_of(&Key::from_u64(1), Timestamp(9)), Some(b"a".to_vec()));
+        assert_eq!(o.get_as_of(&Key::from_u64(1), Timestamp(10)), Some(b"b".to_vec()));
+        assert_eq!(o.get_as_of(&Key::from_u64(1), Timestamp(25)), None);
+        assert_eq!(o.get_current(&Key::from_u64(1)), None);
+        assert_eq!(o.versions(&Key::from_u64(1)).len(), 3);
+        assert_eq!(o.total_versions(), 3);
+        assert_eq!(o.distinct_keys(), 1);
+        assert_eq!(o.all_timestamps(), vec![Timestamp(5), Timestamp(10), Timestamp(20)]);
+    }
+
+    #[test]
+    fn snapshots_and_ranges() {
+        let mut o = Oracle::new();
+        for i in 0..10u64 {
+            o.put(i, Timestamp(i + 1), format!("v{i}").into_bytes());
+        }
+        o.delete(3u64, Timestamp(50));
+        assert_eq!(o.snapshot_at(Timestamp(5)).len(), 5);
+        assert_eq!(o.snapshot_at(Timestamp(100)).len(), 9);
+        let range = KeyRange::bounded(Key::from_u64(2), Key::from_u64(6));
+        assert_eq!(o.count_as_of(&range, Timestamp(100)), 3); // 2, 4, 5
+        assert_eq!(o.count_as_of(&range, Timestamp(6)), 4); // 2..=5 alive then
+        assert!(o.scan_as_of(&range, Timestamp(100)).iter().all(|(k, _)| range.contains(k)));
+    }
+}

@@ -1,0 +1,181 @@
+//! Read-workload generation.
+//!
+//! The query shapes are the temporal queries the paper's structures support
+//! (§2.2, §2.5, §3.7): the current version of a record, the version valid at
+//! a past time, a snapshot/range scan at a past time, and the full version
+//! history of a record. Queries are sampled from an executed write history so
+//! that they hit existing keys and meaningful timestamps.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tsb_common::{Key, KeyRange, Timestamp};
+
+use crate::oracle::Oracle;
+
+/// A single read query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Query {
+    /// The newest version of a key.
+    CurrentGet {
+        /// The key to read.
+        key: Key,
+    },
+    /// The version of a key valid at a past time.
+    AsOfGet {
+        /// The key to read.
+        key: Key,
+        /// The read timestamp.
+        ts: Timestamp,
+    },
+    /// A key-range scan at a past time.
+    RangeScan {
+        /// The key range.
+        range: KeyRange,
+        /// The read timestamp.
+        ts: Timestamp,
+    },
+    /// The full version history of a key.
+    VersionHistory {
+        /// The key whose history is requested.
+        key: Key,
+    },
+}
+
+/// Relative frequencies of the query shapes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueryMix {
+    /// Weight of current-version lookups.
+    pub current_get: u32,
+    /// Weight of as-of lookups.
+    pub as_of_get: u32,
+    /// Weight of range scans at a past time.
+    pub range_scan: u32,
+    /// Weight of version-history queries.
+    pub version_history: u32,
+}
+
+impl Default for QueryMix {
+    fn default() -> Self {
+        // The paper's motivation: "one usually wants faster access to the
+        // most recent records while tolerating slower access to the older,
+        // historical records" — current reads dominate.
+        QueryMix {
+            current_get: 70,
+            as_of_get: 20,
+            range_scan: 5,
+            version_history: 5,
+        }
+    }
+}
+
+impl QueryMix {
+    fn total(&self) -> u32 {
+        self.current_get + self.as_of_get + self.range_scan + self.version_history
+    }
+}
+
+/// Samples `count` queries against the write history captured by `oracle`.
+pub fn generate_queries(oracle: &Oracle, mix: &QueryMix, count: usize, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keys: Vec<Key> = oracle.keys().cloned().collect();
+    let timestamps = oracle.all_timestamps();
+    if keys.is_empty() || timestamps.is_empty() || mix.total() == 0 {
+        return Vec::new();
+    }
+    let mut queries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let key = keys[rng.gen_range(0..keys.len())].clone();
+        let ts = timestamps[rng.gen_range(0..timestamps.len())];
+        let roll = rng.gen_range(0..mix.total());
+        let q = if roll < mix.current_get {
+            Query::CurrentGet { key }
+        } else if roll < mix.current_get + mix.as_of_get {
+            Query::AsOfGet { key, ts }
+        } else if roll < mix.current_get + mix.as_of_get + mix.range_scan {
+            // A range spanning a handful of adjacent keys.
+            let other = keys[rng.gen_range(0..keys.len())].clone();
+            let (lo, hi) = if key <= other {
+                (key, other)
+            } else {
+                (other, key)
+            };
+            Query::RangeScan {
+                range: KeyRange::new(lo, tsb_common::KeyBound::Finite(hi)),
+                ts,
+            }
+        } else {
+            Query::VersionHistory { key }
+        };
+        queries.push(q);
+    }
+    queries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle_with_history() -> Oracle {
+        let mut o = Oracle::new();
+        for i in 0..50u64 {
+            o.put(i % 10, Timestamp(i + 1), format!("v{i}").into_bytes());
+        }
+        o
+    }
+
+    #[test]
+    fn queries_are_deterministic_and_respect_the_mix() {
+        let o = oracle_with_history();
+        let mix = QueryMix::default();
+        let a = generate_queries(&o, &mix, 500, 7);
+        let b = generate_queries(&o, &mix, 500, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        let current = a.iter().filter(|q| matches!(q, Query::CurrentGet { .. })).count();
+        let historical = a.len() - current;
+        assert!(current > historical, "current reads should dominate by default");
+    }
+
+    #[test]
+    fn single_shape_mixes_work() {
+        let o = oracle_with_history();
+        let only_history = QueryMix {
+            current_get: 0,
+            as_of_get: 0,
+            range_scan: 0,
+            version_history: 1,
+        };
+        let qs = generate_queries(&o, &only_history, 50, 1);
+        assert!(qs.iter().all(|q| matches!(q, Query::VersionHistory { .. })));
+
+        let zero = QueryMix {
+            current_get: 0,
+            as_of_get: 0,
+            range_scan: 0,
+            version_history: 0,
+        };
+        assert!(generate_queries(&o, &zero, 50, 1).is_empty());
+        assert!(generate_queries(&Oracle::new(), &QueryMix::default(), 50, 1).is_empty());
+    }
+
+    #[test]
+    fn range_scans_have_ordered_bounds() {
+        let o = oracle_with_history();
+        let mix = QueryMix {
+            current_get: 0,
+            as_of_get: 0,
+            range_scan: 1,
+            version_history: 0,
+        };
+        for q in generate_queries(&o, &mix, 100, 3) {
+            match q {
+                Query::RangeScan { range, .. } => match &range.hi {
+                    tsb_common::KeyBound::Finite(hi) => assert!(range.lo <= *hi),
+                    tsb_common::KeyBound::PlusInfinity => {}
+                },
+                _ => panic!("unexpected query shape"),
+            }
+        }
+    }
+}

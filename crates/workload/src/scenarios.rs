@@ -1,0 +1,155 @@
+//! Named scenarios drawn from the paper's motivating applications (§1):
+//! financial transactions, personnel/transcript archives, and multiple
+//! version histories in engineering design. Each scenario is just a
+//! [`WorkloadSpec`] preset (plus a helper for the bank scenario's
+//! human-readable payloads), so the examples, the integration tests, and the
+//! experiment harness all replay exactly the same streams.
+
+use crate::distributions::KeyDistribution;
+use crate::generator::WorkloadSpec;
+
+/// Account-balance ledger (Figure 1): a modest number of accounts receiving
+/// a long stream of balance updates — stepwise-constant data with a high
+/// update:insert ratio.
+pub fn bank_ledger(num_accounts: u64, num_transactions: usize, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        num_ops: num_transactions,
+        num_keys: num_accounts,
+        update_fraction: 0.95,
+        delete_fraction: 0.0,
+        value_size: (32, 32),
+        distribution: KeyDistribution::Zipfian { theta: 0.8 },
+        seed,
+    }
+}
+
+/// Encodes a human-readable account-balance payload (used by the examples so
+/// that the stored values are recognizable).
+pub fn balance_payload(balance_cents: i64) -> Vec<u8> {
+    format!("balance_cents={balance_cents}")
+        .into_bytes()
+}
+
+/// Personnel records: most activity is hiring (inserts) with occasional
+/// salary/department updates, and rare terminations recorded as deletes of
+/// the *current* record (history retained).
+pub fn personnel(num_employees: u64, num_ops: usize, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        num_ops,
+        num_keys: num_employees,
+        update_fraction: 0.4,
+        delete_fraction: 0.02,
+        value_size: (48, 96),
+        distribution: KeyDistribution::Uniform,
+        seed,
+    }
+}
+
+/// Engineering design versions: a small set of design documents, each
+/// revised many times; revisions are comparatively large and accesses are
+/// hot on a few actively edited documents.
+pub fn engineering_versions(num_documents: u64, num_ops: usize, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        num_ops,
+        num_keys: num_documents,
+        update_fraction: 0.98,
+        delete_fraction: 0.0,
+        value_size: (200, 400),
+        distribution: KeyDistribution::Hotspot {
+            hot_fraction: 0.1,
+            hot_probability: 0.8,
+        },
+        seed,
+    }
+}
+
+/// The §5 parameter sweep: a family of specs that differ only in the
+/// update:insert ratio, suitable for the E4 experiment.
+///
+/// The key space of each spec is sized to `num_ops / (1 + ratio)` so that the
+/// stream genuinely has the requested mix: a `0:1` (insert-only) stream never
+/// runs out of fresh keys, and a `9:1` stream has enough distinct records for
+/// the updates to spread over.
+pub fn update_ratio_sweep(num_ops: usize, ratios: &[f64], seed: u64) -> Vec<(f64, WorkloadSpec)> {
+    ratios
+        .iter()
+        .map(|&r| {
+            let num_keys = ((num_ops as f64) / (1.0 + r.max(0.0))).ceil().max(1.0) as u64;
+            (
+                r,
+                WorkloadSpec {
+                    num_ops,
+                    num_keys,
+                    delete_fraction: 0.0,
+                    value_size: (64, 64),
+                    distribution: KeyDistribution::Uniform,
+                    seed,
+                    ..WorkloadSpec::default()
+                }
+                .with_update_ratio(r),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_ops, Op};
+    use std::collections::HashSet;
+
+    #[test]
+    fn bank_ledger_is_update_heavy() {
+        let spec = bank_ledger(50, 2000, 1);
+        let ops = generate_ops(&spec);
+        let distinct: HashSet<_> = ops.iter().map(|o| o.key().clone()).collect();
+        assert!(distinct.len() <= 50);
+        assert!(ops.len() == 2000);
+        assert!(distinct.len() < ops.len() / 10, "mostly updates");
+        assert_eq!(balance_payload(12345), b"balance_cents=12345".to_vec());
+    }
+
+    #[test]
+    fn personnel_contains_deletes_and_inserts() {
+        let spec = personnel(500, 3000, 2);
+        let ops = generate_ops(&spec);
+        let deletes = ops.iter().filter(|o| matches!(o, Op::Delete { .. })).count();
+        assert!(deletes > 0);
+        let distinct: HashSet<_> = ops.iter().map(|o| o.key().clone()).collect();
+        assert!(distinct.len() > 300, "hiring keeps adding new employees");
+    }
+
+    #[test]
+    fn engineering_versions_have_large_payloads_and_few_keys() {
+        let spec = engineering_versions(20, 1000, 3);
+        let ops = generate_ops(&spec);
+        let distinct: HashSet<_> = ops.iter().map(|o| o.key().clone()).collect();
+        assert!(distinct.len() <= 20);
+        for op in &ops {
+            if let Op::Put { value, .. } = op {
+                assert!(value.len() >= 200 && value.len() <= 400);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_produces_one_spec_per_ratio() {
+        let sweep = update_ratio_sweep(100, &[0.0, 1.0, 4.0, 20.0], 7);
+        assert_eq!(sweep.len(), 4);
+        // Higher ratios produce fewer distinct keys.
+        let distinct_counts: Vec<usize> = sweep
+            .iter()
+            .map(|(_, spec)| {
+                generate_ops(spec)
+                    .iter()
+                    .map(|o| o.key().clone())
+                    .collect::<HashSet<_>>()
+                    .len()
+            })
+            .collect();
+        // The 0:1 stream is genuinely insert-only: every op a fresh key.
+        assert_eq!(distinct_counts[0], 100);
+        assert!(distinct_counts[0] >= distinct_counts[2]);
+        assert!(distinct_counts[2] >= distinct_counts[3]);
+    }
+}

@@ -1,0 +1,4 @@
+//! The `tsb-examples` package exists to host the runnable examples in this
+//! directory (`cargo run -p tsb-examples --example <name>`); it exports
+//! nothing itself.
+#![forbid(unsafe_code)]

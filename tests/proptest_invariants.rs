@@ -1,0 +1,219 @@
+//! Property-based tests over the core invariants:
+//!
+//! * **Oracle equivalence**: for arbitrary operation sequences and arbitrary
+//!   policy configurations, the TSB-tree answers every point/as-of/current
+//!   query exactly like the reference multiversion map, and the structural
+//!   verifier passes after every batch.
+//! * **Time-split rule**: for arbitrary version multisets and split times,
+//!   the partition loses nothing, puts strictly-older versions in the
+//!   historical half, and always carries the version valid at the split time
+//!   into the current half.
+//! * **Index keyspace split rule**: partitions preserve every entry,
+//!   duplicate only straddling entries, and route every key to exactly one
+//!   side.
+//! * **Composite-key encoding** (secondary indexes): order-preserving and
+//!   loss-free.
+
+use proptest::prelude::*;
+
+use tsb_common::{Key, SplitPolicyKind, SplitTimeChoice, Timestamp, TsbConfig, Version};
+use tsb_core::split::{partition_by_key, partition_by_time};
+use tsb_core::{composite_key, split_composite_key, TsbTree};
+use tsb_workload::Oracle;
+
+// ---------- generators -------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum PropOp {
+    Put { key: u8, len: u8 },
+    Delete { key: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = PropOp> {
+    prop_oneof![
+        4 => (any::<u8>(), any::<u8>()).prop_map(|(key, len)| PropOp::Put { key: key % 32, len }),
+        1 => any::<u8>().prop_map(|key| PropOp::Delete { key: key % 32 }),
+    ]
+}
+
+fn policy_strategy() -> impl Strategy<Value = (SplitPolicyKind, SplitTimeChoice)> {
+    let policy = prop_oneof![
+        Just(SplitPolicyKind::WobtLike),
+        Just(SplitPolicyKind::TimePreferring),
+        Just(SplitPolicyKind::KeyPreferring),
+        Just(SplitPolicyKind::KeyOnly),
+        Just(SplitPolicyKind::CostBased),
+        (0.1f64..0.95).prop_map(|f| SplitPolicyKind::Threshold {
+            key_split_live_fraction: f,
+        }),
+    ];
+    let choice = prop_oneof![
+        Just(SplitTimeChoice::CurrentTime),
+        Just(SplitTimeChoice::LastUpdate),
+        Just(SplitTimeChoice::MedianVersion),
+    ];
+    (policy, choice)
+}
+
+fn version_strategy() -> impl Strategy<Value = Version> {
+    (0u64..16, 1u64..64, prop::option::of(prop::collection::vec(any::<u8>(), 0..12))).prop_map(
+        |(key, ts, value)| Version {
+            key: Key::from_u64(key),
+            state: tsb_common::TsState::Committed(Timestamp(ts)),
+            value,
+        },
+    )
+}
+
+fn sorted_versions(mut v: Vec<Version>) -> Vec<Version> {
+    v.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    v.dedup_by(|a, b| a.sort_key() == b.sort_key());
+    v
+}
+
+// ---------- properties -------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary operation sequences under arbitrary policies behave exactly
+    /// like the in-memory oracle, and the structure verifies throughout.
+    #[test]
+    fn tree_matches_oracle_for_arbitrary_ops(
+        ops in prop::collection::vec(op_strategy(), 1..250),
+        (policy, choice) in policy_strategy(),
+    ) {
+        let cfg = TsbConfig::small_pages()
+            .with_split_policy(policy)
+            .with_split_time_choice(choice);
+        let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+        let mut oracle = Oracle::new();
+        let mut log = Vec::new();
+        for op in &ops {
+            match op {
+                PropOp::Put { key, len } => {
+                    let value = vec![*key; (*len % 24) as usize];
+                    let ts = tree.insert(Key::from_u64(*key as u64), value.clone()).unwrap();
+                    oracle.put(*key as u64, ts, value.clone());
+                    log.push((Key::from_u64(*key as u64), ts, Some(value)));
+                }
+                PropOp::Delete { key } => {
+                    let ts = tree.delete(Key::from_u64(*key as u64)).unwrap();
+                    oracle.delete(*key as u64, ts);
+                    log.push((Key::from_u64(*key as u64), ts, None));
+                }
+            }
+        }
+        tree.verify().unwrap();
+        // As-of reads at every recorded commit time.
+        for (key, ts, value) in &log {
+            prop_assert_eq!(&tree.get_as_of(key, *ts).unwrap(), value);
+        }
+        // Current reads and histories for every key.
+        for key in oracle.keys() {
+            prop_assert_eq!(tree.get_current(key).unwrap(), oracle.get_current(key));
+            let got: Vec<Timestamp> = tree
+                .versions(key).unwrap()
+                .iter()
+                .map(|v| v.commit_time().unwrap())
+                .collect();
+            let expected: Vec<Timestamp> = oracle.versions(key).iter().map(|(t, _)| *t).collect();
+            prop_assert_eq!(got, expected);
+        }
+        // A snapshot at the median commit time.
+        let times = oracle.all_timestamps();
+        if !times.is_empty() {
+            let mid = times[times.len() / 2];
+            prop_assert_eq!(tree.snapshot_at(mid).unwrap(), oracle.snapshot_at(mid));
+        }
+    }
+
+    /// The TIME-SPLIT RULE: nothing is lost, the historical half holds
+    /// exactly the strictly-older versions, and for every key alive at the
+    /// split time the governing version is present in the current half.
+    #[test]
+    fn time_split_rule_properties(
+        versions in prop::collection::vec(version_strategy(), 1..40),
+        split in 1u64..80,
+    ) {
+        let entries = sorted_versions(versions);
+        let split_time = Timestamp(split);
+        let parts = partition_by_time(&entries, split_time);
+
+        // Nothing lost.
+        for e in &entries {
+            prop_assert!(parts.historical.contains(e) || parts.current.contains(e));
+        }
+        // Historical = strictly older.
+        for e in &parts.historical {
+            prop_assert!(e.commit_time().unwrap() < split_time);
+        }
+        // The version valid at the split time is in the current half (unless
+        // it is a tombstone, which may be elided).
+        let mut keys: Vec<Key> = entries.iter().map(|e| e.key.clone()).collect();
+        keys.dedup();
+        for key in keys {
+            let governing = entries
+                .iter()
+                .filter(|e| e.key == key)
+                .filter(|e| e.commit_time().unwrap() <= split_time)
+                .last();
+            if let Some(g) = governing {
+                if !g.is_tombstone() {
+                    prop_assert!(
+                        parts.current.contains(g),
+                        "version valid at the split time must be in the current node"
+                    );
+                }
+            }
+        }
+        // Redundancy accounting is exact.
+        let both = parts
+            .historical
+            .iter()
+            .filter(|e| parts.current.contains(e))
+            .count();
+        prop_assert_eq!(both, parts.duplicated);
+    }
+
+    /// Key splits partition by key with no loss and no duplication.
+    #[test]
+    fn key_split_partitions_cleanly(
+        versions in prop::collection::vec(version_strategy(), 1..40),
+        split_key in 0u64..16,
+    ) {
+        let entries = sorted_versions(versions);
+        let split = Key::from_u64(split_key);
+        let (left, right) = partition_by_key(&entries, &split);
+        prop_assert_eq!(left.len() + right.len(), entries.len());
+        prop_assert!(left.iter().all(|e| e.key < split));
+        prop_assert!(right.iter().all(|e| e.key >= split));
+    }
+
+    /// The composite (secondary, primary) encoding is loss-free and
+    /// order-preserving — the property the secondary index relies on for its
+    /// prefix scans.
+    #[test]
+    fn composite_key_encoding_round_trips_and_preserves_order(
+        pairs in prop::collection::vec(
+            (prop::collection::vec(any::<u8>(), 0..12), prop::collection::vec(any::<u8>(), 0..12)),
+            1..30
+        ),
+    ) {
+        let mut tuples: Vec<(Key, Key)> = pairs
+            .into_iter()
+            .map(|(s, p)| (Key::from_bytes(s), Key::from_bytes(p)))
+            .collect();
+        for (s, p) in &tuples {
+            let c = composite_key(s, p);
+            let (s2, p2) = split_composite_key(&c).unwrap();
+            prop_assert_eq!(&s2, s);
+            prop_assert_eq!(&p2, p);
+        }
+        // Order preservation: sorting by tuple equals sorting by encoding.
+        let mut by_encoding: Vec<(Key, Key)> = tuples.clone();
+        by_encoding.sort_by_key(|(s, p)| composite_key(s, p));
+        tuples.sort();
+        prop_assert_eq!(by_encoding, tuples);
+    }
+}
