@@ -58,21 +58,17 @@ fn bench_inserts(c: &mut Criterion) {
     for (wl_name, ops) in &workloads {
         group.throughput(Throughput::Elements(ops.len() as u64));
         for (policy_name, policy) in &policies {
-            group.bench_with_input(
-                BenchmarkId::new(*wl_name, policy_name),
-                ops,
-                |b, ops| {
-                    b.iter(|| {
-                        let mut tree = TsbTree::new_in_memory(experiment_config(
-                            *policy,
-                            SplitTimeChoice::LastUpdate,
-                        ))
-                        .unwrap();
-                        apply(&mut tree, ops);
-                        tree
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(*wl_name, policy_name), ops, |b, ops| {
+                b.iter(|| {
+                    let mut tree = TsbTree::new_in_memory(experiment_config(
+                        *policy,
+                        SplitTimeChoice::LastUpdate,
+                    ))
+                    .unwrap();
+                    apply(&mut tree, ops);
+                    tree
+                })
+            });
         }
     }
     group.finish();

@@ -27,19 +27,46 @@ fn bench_split_policies(c: &mut Criterion) {
     group.throughput(Throughput::Elements(ops.len() as u64));
 
     let variants: Vec<(String, SplitPolicyKind, SplitTimeChoice)> = vec![
-        ("threshold/last-update".into(), SplitPolicyKind::default(), SplitTimeChoice::LastUpdate),
-        ("threshold/current-time".into(), SplitPolicyKind::default(), SplitTimeChoice::CurrentTime),
-        ("threshold/median".into(), SplitPolicyKind::default(), SplitTimeChoice::MedianVersion),
-        ("time-preferring".into(), SplitPolicyKind::TimePreferring, SplitTimeChoice::LastUpdate),
-        ("key-preferring".into(), SplitPolicyKind::KeyPreferring, SplitTimeChoice::LastUpdate),
-        ("cost-based".into(), SplitPolicyKind::CostBased, SplitTimeChoice::LastUpdate),
-        ("wobt-like".into(), SplitPolicyKind::WobtLike, SplitTimeChoice::CurrentTime),
+        (
+            "threshold/last-update".into(),
+            SplitPolicyKind::default(),
+            SplitTimeChoice::LastUpdate,
+        ),
+        (
+            "threshold/current-time".into(),
+            SplitPolicyKind::default(),
+            SplitTimeChoice::CurrentTime,
+        ),
+        (
+            "threshold/median".into(),
+            SplitPolicyKind::default(),
+            SplitTimeChoice::MedianVersion,
+        ),
+        (
+            "time-preferring".into(),
+            SplitPolicyKind::TimePreferring,
+            SplitTimeChoice::LastUpdate,
+        ),
+        (
+            "key-preferring".into(),
+            SplitPolicyKind::KeyPreferring,
+            SplitTimeChoice::LastUpdate,
+        ),
+        (
+            "cost-based".into(),
+            SplitPolicyKind::CostBased,
+            SplitTimeChoice::LastUpdate,
+        ),
+        (
+            "wobt-like".into(),
+            SplitPolicyKind::WobtLike,
+            SplitTimeChoice::CurrentTime,
+        ),
     ];
     for (name, policy, choice) in variants {
         group.bench_with_input(BenchmarkId::from_parameter(&name), &ops, |b, ops| {
             b.iter(|| {
-                let mut tree =
-                    TsbTree::new_in_memory(experiment_config(policy, choice)).unwrap();
+                let mut tree = TsbTree::new_in_memory(experiment_config(policy, choice)).unwrap();
                 for op in ops {
                     match op {
                         Op::Put { key, value } => {
@@ -87,7 +114,8 @@ fn bench_transactions(c: &mut Criterion) {
             while i < batch {
                 let txn = tree.begin_txn();
                 for j in 0..10 {
-                    tree.txn_insert(txn, (i + j) % 200, vec![b'x'; 100]).unwrap();
+                    tree.txn_insert(txn, (i + j) % 200, vec![b'x'; 100])
+                        .unwrap();
                 }
                 tree.commit_txn(txn).unwrap();
                 i += 10;

@@ -2,7 +2,7 @@
 //! as-of lookups, snapshot range scans, and version-history scans (the
 //! paper's §2.5/§3.7 query classes).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use tsb_common::{Key, KeyRange, SplitPolicyKind, SplitTimeChoice, Timestamp};
 use tsb_core::TsbTree;
 use tsb_workload::{generate_ops, Op, WorkloadSpec};
@@ -79,5 +79,72 @@ fn bench_queries(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_queries);
+/// Descent cost with and without the decoded-node cache: the warm path is a
+/// hash lookup per node, the cold path re-reads and re-decodes every page
+/// image on the root-to-leaf walk (the engine's behaviour before the cache
+/// existed).
+fn bench_descent_cache(c: &mut Criterion) {
+    let (tree, _) = build_db(8_000, 800);
+    let mut group = c.benchmark_group("B2_descent_node_cache");
+    group.sample_size(30);
+
+    group.bench_function("warm_cache_descent", |b| {
+        let mut i = 0u64;
+        // Pre-warm every current path once.
+        for k in 0..800 {
+            tree.get_current(&Key::from_u64(k)).unwrap();
+        }
+        b.iter(|| {
+            i = (i + 7) % 800;
+            tree.get_current(&Key::from_u64(i)).unwrap()
+        })
+    });
+    group.bench_function("decode_per_access_descent", |b| {
+        let mut i = 0u64;
+        // The engine's behaviour before the node cache existed: buffer pool
+        // warm, but every node access pays a decode. Teardown is untimed.
+        b.iter_batched(
+            || tree.drop_node_cache().unwrap(),
+            |()| {
+                i = (i + 7) % 800;
+                tree.get_current(&Key::from_u64(i)).unwrap()
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("fully_cold_descent", |b| {
+        let mut i = 0u64;
+        // Page cache and node cache both empty: device re-reads + decodes.
+        b.iter_batched(
+            || tree.drop_caches().unwrap(),
+            |()| {
+                i = (i + 7) % 800;
+                tree.get_current(&Key::from_u64(i)).unwrap()
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+
+    // The headline number for the cache: hit rate and decodes over a warm
+    // query sweep.
+    let stats = tree.io_stats();
+    tree.drop_caches().unwrap();
+    for k in 0..800 {
+        tree.get_current(&Key::from_u64(k)).unwrap();
+    }
+    let before = stats.snapshot();
+    for k in 0..800 {
+        tree.get_current(&Key::from_u64(k)).unwrap();
+    }
+    let delta = stats.snapshot().delta_since(&before);
+    println!(
+        "warm sweep over 800 keys: node-cache hit rate {:.3}, {} decodes, {} node accesses",
+        delta.node_cache_hit_rate().unwrap_or(0.0),
+        delta.node_decodes,
+        delta.total_node_accesses(),
+    );
+}
+
+criterion_group!(benches, bench_queries, bench_descent_cache);
 criterion_main!(benches);

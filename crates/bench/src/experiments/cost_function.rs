@@ -97,7 +97,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
                 crate::report::kib(mag),
                 crate::report::kib(worm),
                 format!("{cs:.0}"),
-                if (cs - min_cost).abs() < 1e-9 { "*".into() } else { "".into() },
+                if (cs - min_cost).abs() < 1e-9 {
+                    "*".into()
+                } else {
+                    "".into()
+                },
             ]);
         }
     }

@@ -136,9 +136,18 @@ pub fn run(scale: Scale) -> Vec<Table> {
         ]);
     }
     for (label, choice) in [
-        ("time-preferring / split @ now", SplitTimeChoice::CurrentTime),
-        ("time-preferring / split @ last update", SplitTimeChoice::LastUpdate),
-        ("time-preferring / split @ median", SplitTimeChoice::MedianVersion),
+        (
+            "time-preferring / split @ now",
+            SplitTimeChoice::CurrentTime,
+        ),
+        (
+            "time-preferring / split @ last update",
+            SplitTimeChoice::LastUpdate,
+        ),
+        (
+            "time-preferring / split @ median",
+            SplitTimeChoice::MedianVersion,
+        ),
     ] {
         let (_t, m) = measure_tsb(label, SplitPolicyKind::TimePreferring, choice, &ops);
         e3.push_row(vec![

@@ -15,7 +15,7 @@ use crate::measure::{
     default_workload, measure_tsb, measure_wobt, query_batches, tsb_query_cost, wobt_query_cost,
     Scale,
 };
-use crate::report::Table;
+use crate::report::{node_cache_cells, Table, NODE_CACHE_HEADERS};
 
 /// Runs the query-cost experiment.
 pub fn run(scale: Scale) -> Vec<Table> {
@@ -47,16 +47,20 @@ pub fn run(scale: Scale) -> Vec<Table> {
     );
     let (wobt, _) = measure_wobt("WOBT", &ops);
 
+    let headers: Vec<&str> = [
+        "query class",
+        "structure",
+        "magnetic accesses",
+        "optical accesses",
+        "est. ms/query",
+    ]
+    .into_iter()
+    .chain(NODE_CACHE_HEADERS)
+    .collect();
     let mut table = Table::new(
         "E6: query cost by query class (mean node accesses per query)",
         note,
-        &[
-            "query class",
-            "structure",
-            "magnetic accesses",
-            "optical accesses",
-            "est. ms/query",
-        ],
+        &headers,
     );
     for (class, queries) in query_batches(&ops, scale.queries()) {
         let tsb_cost = tsb_query_cost(&tsb, &queries, &params);
@@ -67,13 +71,15 @@ pub fn run(scale: Scale) -> Vec<Table> {
             ("single-store versioned B+-tree", naive_cost),
             ("WOBT (all on optical)", wobt_cost),
         ] {
-            table.push_row(vec![
+            let mut row = vec![
                 class.to_string(),
                 structure.to_string(),
                 format!("{:.2}", cost.mean_current_accesses),
                 format!("{:.2}", cost.mean_historical_accesses),
                 format!("{:.1}", cost.mean_ms),
-            ]);
+            ];
+            row.extend(node_cache_cells(&cost.io_delta));
+            table.push_row(row);
         }
     }
     vec![table]

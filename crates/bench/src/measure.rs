@@ -1,7 +1,9 @@
 //! Shared measurement plumbing: build a structure, replay a workload, and
 //! collect exactly the quantities the paper's evaluation names.
 
-use tsb_common::{CostParams, Key, KeyRange, SplitPolicyKind, SplitTimeChoice, Timestamp, TsbConfig};
+use tsb_common::{
+    CostParams, Key, KeyRange, SplitPolicyKind, SplitTimeChoice, Timestamp, TsbConfig,
+};
 use tsb_core::{TreeStats, TsbTree};
 use tsb_wobt::{Wobt, WobtConfig, WobtStats};
 use tsb_workload::{generate_queries, Op, Oracle, Query, QueryMix, WorkloadSpec};
@@ -209,11 +211,18 @@ pub struct QueryCost {
     /// Estimated mean access time per query in milliseconds (device-weighted
     /// with the experiment cost parameters).
     pub mean_ms: f64,
+    /// Raw counter delta over the batch (node-cache hits/misses, decodes,
+    /// device traffic) for the cache-behaviour columns of the reports.
+    pub io_delta: tsb_storage::IoSnapshot,
 }
 
 /// Runs a query batch against a TSB-tree and reports mean node accesses.
 pub fn tsb_query_cost(tree: &TsbTree, queries: &[Query], params: &CostParams) -> QueryCost {
     let stats = tree.io_stats();
+    // Settle deferred build-phase encodes first: a query-time cache miss
+    // can evict a dirty node left over from building the database, and
+    // that encode + page write belongs to the build, not the queries.
+    tree.flush_node_cache().expect("node-cache flush");
     let before = stats.snapshot();
     for q in queries {
         run_tsb_query(tree, q);
@@ -228,6 +237,7 @@ pub fn tsb_query_cost(tree: &TsbTree, queries: &[Query], params: &CostParams) ->
         mean_historical_accesses: mean_hist,
         mean_ms: mean_current * params.magnetic_access_ms
             + mean_hist * (params.worm_access_ms + params.worm_mount_ms),
+        io_delta: delta,
     }
 }
 
@@ -277,6 +287,7 @@ pub fn wobt_query_cost(wobt: &Wobt, queries: &[Query], params: &CostParams) -> Q
         mean_current_accesses: 0.0,
         mean_historical_accesses: mean_hist,
         mean_ms: mean_hist * (params.worm_access_ms + params.worm_mount_ms),
+        io_delta: delta,
     }
 }
 
@@ -390,7 +401,10 @@ mod tests {
 
     #[test]
     fn oracle_for_mirrors_tree_timestamps() {
-        let spec = WorkloadSpec::default().with_ops(100).with_keys(20).with_value_size(16);
+        let spec = WorkloadSpec::default()
+            .with_ops(100)
+            .with_keys(20)
+            .with_value_size(16);
         let ops = generate_ops(&spec);
         let (tree, _) = measure_tsb(
             "check",

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use tsb_storage::IoSnapshot;
+
 /// A printable experiment table.
 #[derive(Clone, Debug)]
 pub struct Table {
@@ -83,6 +85,23 @@ pub fn ratio(r: f64) -> String {
     format!("{r:.3}")
 }
 
+/// Column headers matching [`node_cache_cells`].
+pub const NODE_CACHE_HEADERS: [&str; 3] = ["nc hit rate", "nc hits/misses", "decodes"];
+
+/// Formats the decoded-node cache columns of an experiment row from a
+/// counter delta: hit rate, hit/miss counts, and the decodes actually paid.
+/// Structures without a node cache (the WOBT) report `"-"` cells.
+pub fn node_cache_cells(delta: &IoSnapshot) -> Vec<String> {
+    match delta.node_cache_hit_rate() {
+        Some(rate) => vec![
+            ratio(rate),
+            format!("{}/{}", delta.node_cache_hits, delta.node_cache_misses),
+            delta.node_decodes.to_string(),
+        ],
+        None => vec!["-".into(), "-".into(), "-".into()],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,7 +110,11 @@ mod tests {
     fn table_renders_aligned_columns() {
         let mut t = Table::new("E0: demo", "note line", &["policy", "space", "redundancy"]);
         t.push_row(vec!["wobt-like".into(), "123.4".into(), "1.280".into()]);
-        t.push_row(vec!["key-preferring-long-name".into(), "5.0".into(), "0".into()]);
+        t.push_row(vec![
+            "key-preferring-long-name".into(),
+            "5.0".into(),
+            "0".into(),
+        ]);
         let text = t.to_string();
         assert!(text.contains("E0: demo"));
         assert!(text.contains("note line"));
@@ -100,5 +123,19 @@ mod tests {
         assert!(text.contains("---"));
         assert_eq!(kib(2048), "2.0");
         assert_eq!(ratio(0.5), "0.500");
+    }
+
+    #[test]
+    fn node_cache_cells_format_hits_and_absence() {
+        let delta = IoSnapshot {
+            node_cache_hits: 30,
+            node_cache_misses: 10,
+            node_decodes: 10,
+            ..IoSnapshot::default()
+        };
+        assert_eq!(node_cache_cells(&delta), vec!["0.750", "30/10", "10"]);
+        let empty = IoSnapshot::default();
+        assert_eq!(node_cache_cells(&empty), vec!["-", "-", "-"]);
+        assert_eq!(NODE_CACHE_HEADERS.len(), node_cache_cells(&empty).len());
     }
 }

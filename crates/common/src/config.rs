@@ -126,6 +126,10 @@ pub struct TsbConfig {
     pub worm_sector_size: usize,
     /// Number of pages the buffer pool caches. Default 256.
     pub buffer_pool_pages: usize,
+    /// Number of decoded nodes the node cache holds (current pages and
+    /// immutable historical nodes). Descents served from this cache perform
+    /// no decode at all. Default 512.
+    pub node_cache_entries: usize,
     /// Maximum key length in bytes. Default 512.
     pub max_key_len: usize,
     /// How full (fraction of usable page bytes) a data node must be before an
@@ -151,6 +155,7 @@ impl Default for TsbConfig {
             page_size: 4096,
             worm_sector_size: 1024,
             buffer_pool_pages: 256,
+            node_cache_entries: 512,
             max_key_len: 512,
             split_fill_threshold: 1.0,
             split_policy: SplitPolicyKind::default(),
@@ -169,6 +174,7 @@ impl TsbConfig {
             page_size: 256,
             worm_sector_size: 64,
             buffer_pool_pages: 64,
+            node_cache_entries: 128,
             max_key_len: 64,
             ..TsbConfig::default()
         }
@@ -199,6 +205,12 @@ impl TsbConfig {
             return Err(TsbError::config(format!(
                 "buffer_pool_pages must be at least 8, got {}",
                 self.buffer_pool_pages
+            )));
+        }
+        if self.node_cache_entries < 8 {
+            return Err(TsbError::config(format!(
+                "node_cache_entries must be at least 8, got {}",
+                self.node_cache_entries
             )));
         }
         if self.max_key_len == 0 || self.max_key_len > self.page_size / 4 {
@@ -261,6 +273,12 @@ impl TsbConfig {
         self.cost = cost;
         self
     }
+
+    /// Builder-style setter for the decoded-node cache capacity.
+    pub fn with_node_cache_entries(mut self, entries: usize) -> Self {
+        self.node_cache_entries = entries;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -275,35 +293,49 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = TsbConfig::default();
-        c.page_size = 16;
-        assert!(c.validate().is_err());
-
-        let mut c = TsbConfig::default();
-        c.worm_sector_size = 4;
-        assert!(c.validate().is_err());
-
-        let mut c = TsbConfig::default();
-        c.buffer_pool_pages = 1;
-        assert!(c.validate().is_err());
-
-        let mut c = TsbConfig::default();
-        c.max_key_len = c.page_size; // larger than page_size / 4
-        assert!(c.validate().is_err());
-
-        let mut c = TsbConfig::default();
-        c.split_fill_threshold = 0.0;
-        assert!(c.validate().is_err());
-
-        let mut c = TsbConfig::default();
-        c.split_policy = SplitPolicyKind::Threshold {
-            key_split_live_fraction: 1.5,
-        };
-        assert!(c.validate().is_err());
-
-        let mut c = TsbConfig::default();
-        c.cost.worm_cost_per_byte = -1.0;
-        assert!(c.validate().is_err());
+        let cases: Vec<TsbConfig> = vec![
+            TsbConfig {
+                page_size: 16,
+                ..TsbConfig::default()
+            },
+            TsbConfig {
+                worm_sector_size: 4,
+                ..TsbConfig::default()
+            },
+            TsbConfig {
+                buffer_pool_pages: 1,
+                ..TsbConfig::default()
+            },
+            TsbConfig {
+                // Larger than page_size / 4.
+                max_key_len: TsbConfig::default().page_size,
+                ..TsbConfig::default()
+            },
+            TsbConfig {
+                node_cache_entries: 2,
+                ..TsbConfig::default()
+            },
+            TsbConfig {
+                split_fill_threshold: 0.0,
+                ..TsbConfig::default()
+            },
+            TsbConfig {
+                split_policy: SplitPolicyKind::Threshold {
+                    key_split_live_fraction: 1.5,
+                },
+                ..TsbConfig::default()
+            },
+            TsbConfig {
+                cost: CostParams {
+                    worm_cost_per_byte: -1.0,
+                    ..CostParams::default()
+                },
+                ..TsbConfig::default()
+            },
+        ];
+        for (i, c) in cases.iter().enumerate() {
+            assert!(c.validate().is_err(), "case {i} should be rejected");
+        }
     }
 
     #[test]

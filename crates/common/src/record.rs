@@ -185,13 +185,7 @@ impl Version {
 impl fmt::Display for Version {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.value {
-            Some(v) => write!(
-                f,
-                "{} {} ({} bytes)",
-                self.key,
-                self.state,
-                v.len()
-            ),
+            Some(v) => write!(f, "{} {} ({} bytes)", self.key, self.state, v.len()),
             None => write!(f, "{} {} <tombstone>", self.key, self.state),
         }
     }

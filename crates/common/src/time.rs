@@ -216,10 +216,7 @@ impl TimeRange {
         if t <= self.lo || !self.hi.is_above(t) {
             return None;
         }
-        Some((
-            TimeRange::bounded(self.lo, t),
-            TimeRange::new(t, self.hi),
-        ))
+        Some((TimeRange::bounded(self.lo, t), TimeRange::new(t, self.hi)))
     }
 
     /// The intersection of two ranges (possibly empty).

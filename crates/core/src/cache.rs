@@ -1,0 +1,293 @@
+//! The decoded-node cache: `NodeAddr -> Arc<Node>`.
+//!
+//! The buffer pool caches page *images*; before this layer existed every
+//! logical node access still paid a full `Node::decode` of that image — and
+//! every `write_current` a full `Node::encode` — even when the page was
+//! resident. The paper's access-cost argument (§2.2, §2.5) counts a search
+//! as one root-to-leaf path of node accesses; this cache makes a warm
+//! access what the model says it is: a hash lookup handing out a shared,
+//! already-decoded node.
+//!
+//! Design points:
+//!
+//! * **Both devices.** Current pages and immutable historical (WORM) nodes
+//!   share one cache, keyed by [`NodeAddr`]. Historical nodes never change,
+//!   so cached copies are valid forever; current entries are replaced by
+//!   every [`insert_dirty`](NodeCache::insert_dirty) on their page.
+//! * **Write-back of nodes, not bytes.** A current-node write installs the
+//!   decoded node marked dirty; the encode is deferred until the entry is
+//!   evicted or the tree flushes. Repeated rewrites of a hot leaf (the
+//!   common insert pattern) therefore encode once, not once per insert.
+//! * **No I/O in this module.** The cache returns evicted dirty nodes to
+//!   the caller ([`TsbTree`](crate::TsbTree)), which owns the buffer pool
+//!   and performs the encode + page write. This keeps the storage boundary
+//!   clean: `tsb-storage` moves bytes, `tsb-core` decides what they mean.
+//!
+//! Interior mutability (a mutex around the map + LRU list) lets reads keep
+//! taking `&self`, matching the lock-free read-only transaction story of
+//! §4.1 at this layer of the reproduction.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use tsb_storage::{LruList, PageId};
+
+use crate::node::{Node, NodeAddr};
+
+struct CacheEntry {
+    node: Arc<Node>,
+    /// Dirty entries are current nodes whose newest image exists only here;
+    /// they are encoded into the buffer pool on eviction or flush.
+    /// Historical entries are never dirty.
+    dirty: bool,
+}
+
+struct Inner {
+    entries: HashMap<NodeAddr, CacheEntry>,
+    lru: LruList<NodeAddr>,
+}
+
+/// A fixed-capacity LRU cache of decoded nodes spanning both devices.
+pub(crate) struct NodeCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+/// Dirty nodes displaced by an insertion; the caller must encode and write
+/// each to its page.
+pub(crate) type Evicted = Vec<(PageId, Arc<Node>)>;
+
+impl std::fmt::Debug for NodeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeCache")
+            .field("capacity", &self.capacity)
+            .field("resident", &self.len())
+            .finish()
+    }
+}
+
+impl NodeCache {
+    /// Creates a cache holding at most `capacity` decoded nodes.
+    pub(crate) fn new(capacity: usize) -> Self {
+        NodeCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                lru: LruList::new(),
+            }),
+        }
+    }
+
+    /// Number of cached nodes.
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Returns the cached node at `addr`, marking it most recently used.
+    pub(crate) fn get(&self, addr: NodeAddr) -> Option<Arc<Node>> {
+        let mut inner = self.inner.lock();
+        let node = Arc::clone(&inner.entries.get(&addr)?.node);
+        inner.lru.touch(addr);
+        Some(node)
+    }
+
+    /// Caches a node freshly decoded from its device image.
+    #[must_use = "evicted dirty nodes must be written back"]
+    pub(crate) fn insert_clean(&self, addr: NodeAddr, node: Arc<Node>) -> Evicted {
+        self.insert(addr, node, false)
+    }
+
+    /// Installs the newest version of a current node, superseding the page
+    /// image until eviction/flush re-encodes it.
+    #[must_use = "evicted dirty nodes must be written back"]
+    pub(crate) fn insert_dirty(&self, page: PageId, node: Arc<Node>) -> Evicted {
+        self.insert(NodeAddr::Current(page), node, true)
+    }
+
+    fn insert(&self, addr: NodeAddr, node: Arc<Node>, dirty: bool) -> Evicted {
+        let mut inner = self.inner.lock();
+        let previous = inner.entries.insert(addr, CacheEntry { node, dirty });
+        debug_assert!(
+            dirty || previous.is_none_or(|e| !e.dirty),
+            "insert_clean would replace the dirty node at {addr}, losing its deferred encode"
+        );
+        inner.lru.touch(addr);
+        let mut evicted = Vec::new();
+        while inner.entries.len() > self.capacity {
+            let victim = inner
+                .lru
+                .pop_lru()
+                .expect("cache over capacity implies a nonempty LRU list");
+            let entry = inner
+                .entries
+                .remove(&victim)
+                .expect("LRU list tracks exactly the cached addresses");
+            if entry.dirty {
+                let page = victim.as_page().expect("only current nodes are ever dirty");
+                evicted.push((page, entry.node));
+            }
+        }
+        evicted
+    }
+
+    /// Invalidates one address (page freed, node superseded out of band).
+    /// Any dirty state is dropped — the caller decides whether the page
+    /// image is still meaningful.
+    pub(crate) fn discard(&self, addr: NodeAddr) {
+        let mut inner = self.inner.lock();
+        inner.entries.remove(&addr);
+        inner.lru.remove(&addr);
+    }
+
+    /// Drops every cached node. The caller must have flushed dirty entries
+    /// first (see [`TsbTree::drop_caches`](crate::TsbTree::drop_caches)).
+    pub(crate) fn clear(&self) {
+        let mut inner = self.inner.lock();
+        debug_assert!(
+            inner.entries.values().all(|e| !e.dirty),
+            "clearing a node cache with dirty entries loses writes"
+        );
+        inner.entries.clear();
+        inner.lru.clear();
+    }
+
+    /// Flushes one entry's dirty state: if `addr` is cached and dirty,
+    /// marks it clean and returns the node for write-back. Keeps every
+    /// other deferred encode deferred (single-address invalidation must
+    /// not act as a full flush).
+    #[must_use = "a returned dirty node must be written back"]
+    pub(crate) fn take_dirty_at(&self, addr: NodeAddr) -> Option<(PageId, Arc<Node>)> {
+        let mut inner = self.inner.lock();
+        let entry = inner.entries.get_mut(&addr)?;
+        if !entry.dirty {
+            return None;
+        }
+        entry.dirty = false;
+        let page = addr.as_page().expect("only current nodes are ever dirty");
+        Some((page, Arc::clone(&entry.node)))
+    }
+
+    /// Removes and returns every dirty node, in ascending `PageId` order
+    /// (deterministic write traces); the entries stay cached, now clean.
+    pub(crate) fn take_dirty(&self) -> Evicted {
+        let mut inner = self.inner.lock();
+        let mut dirty: Evicted = inner
+            .entries
+            .iter_mut()
+            .filter(|(_, e)| e.dirty)
+            .map(|(addr, e)| {
+                e.dirty = false;
+                let page = addr.as_page().expect("only current nodes are ever dirty");
+                (page, Arc::clone(&e.node))
+            })
+            .collect();
+        dirty.sort_by_key(|(page, _)| *page);
+        dirty
+    }
+
+    /// Whether `addr` is cached and dirty (test/diagnostic helper).
+    #[cfg(test)]
+    pub(crate) fn is_dirty(&self, addr: NodeAddr) -> bool {
+        self.inner
+            .lock()
+            .entries
+            .get(&addr)
+            .map(|e| e.dirty)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::DataNode;
+
+    fn node() -> Arc<Node> {
+        Arc::new(Node::Data(DataNode::initial_root()))
+    }
+
+    #[test]
+    fn hit_returns_the_shared_node() {
+        let cache = NodeCache::new(4);
+        let addr = NodeAddr::Current(PageId(1));
+        assert!(cache.get(addr).is_none());
+        let n = node();
+        assert!(cache.insert_clean(addr, Arc::clone(&n)).is_empty());
+        let got = cache.get(addr).unwrap();
+        assert!(Arc::ptr_eq(&got, &n));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn eviction_surfaces_only_dirty_nodes() {
+        let cache = NodeCache::new(2);
+        let d1 = cache.insert_dirty(PageId(1), node());
+        let d2 = cache.insert_clean(NodeAddr::Current(PageId(2)), node());
+        assert!(d1.is_empty() && d2.is_empty());
+        // Third insert evicts page 1 (the LRU entry), which is dirty.
+        let evicted = cache.insert_clean(NodeAddr::Current(PageId(3)), node());
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, PageId(1));
+        // Fourth insert evicts page 2, which is clean: nothing to write.
+        let evicted = cache.insert_clean(NodeAddr::Current(PageId(4)), node());
+        assert!(evicted.is_empty());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn take_dirty_is_sorted_and_marks_clean() {
+        let cache = NodeCache::new(8);
+        for page in [5u64, 1, 3] {
+            let _ = cache.insert_dirty(PageId(page), node());
+        }
+        let _ = cache.insert_clean(NodeAddr::Current(PageId(2)), node());
+        let dirty = cache.take_dirty();
+        let pages: Vec<u64> = dirty.iter().map(|(p, _)| p.0).collect();
+        assert_eq!(pages, vec![1, 3, 5]);
+        assert!(cache.take_dirty().is_empty(), "entries are clean now");
+        assert_eq!(cache.len(), 4, "take_dirty does not evict");
+        assert!(!cache.is_dirty(NodeAddr::Current(PageId(5))));
+    }
+
+    #[test]
+    fn take_dirty_at_flushes_only_the_target() {
+        let cache = NodeCache::new(8);
+        let _ = cache.insert_dirty(PageId(1), node());
+        let _ = cache.insert_dirty(PageId(2), node());
+        let (page, _) = cache.take_dirty_at(NodeAddr::Current(PageId(1))).unwrap();
+        assert_eq!(page, PageId(1));
+        assert!(!cache.is_dirty(NodeAddr::Current(PageId(1))));
+        assert!(
+            cache.is_dirty(NodeAddr::Current(PageId(2))),
+            "other deferred encodes stay deferred"
+        );
+        assert!(cache.take_dirty_at(NodeAddr::Current(PageId(1))).is_none());
+        assert!(cache.take_dirty_at(NodeAddr::Current(PageId(99))).is_none());
+    }
+
+    #[test]
+    fn discard_invalidates_without_writeback() {
+        let cache = NodeCache::new(4);
+        let addr = NodeAddr::Current(PageId(9));
+        let _ = cache.insert_dirty(PageId(9), node());
+        assert!(cache.is_dirty(addr));
+        cache.discard(addr);
+        assert!(cache.get(addr).is_none());
+        assert!(cache.take_dirty().is_empty());
+    }
+
+    #[test]
+    fn rewriting_a_page_replaces_its_entry() {
+        let cache = NodeCache::new(4);
+        let addr = NodeAddr::Current(PageId(1));
+        let first = node();
+        let second = node();
+        let _ = cache.insert_clean(addr, Arc::clone(&first));
+        let _ = cache.insert_dirty(PageId(1), Arc::clone(&second));
+        assert_eq!(cache.len(), 1);
+        assert!(Arc::ptr_eq(&cache.get(addr).unwrap(), &second));
+        assert!(cache.is_dirty(addr));
+    }
+}

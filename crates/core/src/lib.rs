@@ -56,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 pub mod node;
 pub mod secondary;
 pub mod split;
@@ -64,7 +65,9 @@ pub mod tree;
 pub mod txn;
 pub mod verify;
 
-pub use node::{DataComposition, DataNode, IndexComposition, IndexEntry, IndexNode, Node, NodeAddr};
+pub use node::{
+    DataComposition, DataNode, IndexComposition, IndexEntry, IndexNode, Node, NodeAddr,
+};
 pub use secondary::{composite_key, split_composite_key, SecondaryIndex};
 pub use split::SplitPlan;
 pub use stats::TreeStats;

@@ -102,7 +102,7 @@ impl DataNode {
         time_range: TimeRange,
         mut entries: Vec<Version>,
     ) -> Self {
-        entries.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        entries.sort_by_key(|a| a.sort_key());
         DataNode {
             key_range,
             time_range,
@@ -424,7 +424,9 @@ mod tests {
         n.insert(v(60, 4, "Pete rewritten")).unwrap();
         assert_eq!(n.len(), 5);
         assert_eq!(
-            n.find_as_of(&Key::from_u64(60), Timestamp(9)).unwrap().value,
+            n.find_as_of(&Key::from_u64(60), Timestamp(9))
+                .unwrap()
+                .value,
             Some(b"Pete rewritten".to_vec())
         );
     }

@@ -60,13 +60,11 @@ impl IndexEntry {
 
     /// Encoded size in bytes.
     pub fn encoded_size(&self) -> usize {
-        size::key_range(&self.key_range)
-            + size::time_range(&self.time_range)
-            + {
-                let mut w = ByteWriter::new();
-                self.child.encode(&mut w);
-                w.len()
-            }
+        size::key_range(&self.key_range) + size::time_range(&self.time_range) + {
+            let mut w = ByteWriter::new();
+            self.child.encode(&mut w);
+            w.len()
+        }
     }
 
     /// Encodes the entry.
@@ -136,7 +134,8 @@ impl IndexNode {
         mut entries: Vec<IndexEntry>,
     ) -> Self {
         entries.sort_by(|a, b| {
-            (a.key_range.lo.clone(), a.time_range.lo).cmp(&(b.key_range.lo.clone(), b.time_range.lo))
+            (a.key_range.lo.clone(), a.time_range.lo)
+                .cmp(&(b.key_range.lo.clone(), b.time_range.lo))
         });
         IndexNode {
             key_range,
@@ -334,15 +333,14 @@ impl IndexNode {
                     e.child, e.key_range, e.time_range
                 )));
             }
-            if e.is_current() {
-                if !self.key_range.contains_range(&e.key_range)
-                    || !self.time_range.contains_range(&e.time_range)
-                {
-                    return Err(TsbError::invariant(format!(
-                        "current child {} rectangle {} x {} outside node rectangle {} x {}",
-                        e.child, e.key_range, e.time_range, self.key_range, self.time_range
-                    )));
-                }
+            if e.is_current()
+                && (!self.key_range.contains_range(&e.key_range)
+                    || !self.time_range.contains_range(&e.time_range))
+            {
+                return Err(TsbError::invariant(format!(
+                    "current child {} rectangle {} x {} outside node rectangle {} x {}",
+                    e.child, e.key_range, e.time_range, self.key_range, self.time_range
+                )));
             }
         }
         // Pairwise disjointness.
@@ -414,7 +412,11 @@ mod tests {
     }
 
     fn cur(page: u64, key: KeyRange, from: u64) -> IndexEntry {
-        IndexEntry::new(key, TimeRange::from(Timestamp(from)), NodeAddr::Current(PageId(page)))
+        IndexEntry::new(
+            key,
+            TimeRange::from(Timestamp(from)),
+            NodeAddr::Current(PageId(page)),
+        )
     }
 
     fn hist(off: u64, key: KeyRange, lo: u64, hi: u64) -> IndexEntry {
@@ -463,11 +465,15 @@ mod tests {
             .is_historical());
         // Recent times route by key.
         assert_eq!(
-            n.find_child(&Key::from_u64(50), Timestamp(9)).unwrap().child,
+            n.find_child(&Key::from_u64(50), Timestamp(9))
+                .unwrap()
+                .child,
             NodeAddr::Current(PageId(1))
         );
         assert_eq!(
-            n.find_child(&Key::from_u64(150), Timestamp(9)).unwrap().child,
+            n.find_child(&Key::from_u64(150), Timestamp(9))
+                .unwrap()
+                .child,
             NodeAddr::Current(PageId(2))
         );
     }
@@ -482,7 +488,10 @@ mod tests {
             &TimeRange::from(Timestamp(0)),
         );
         assert_eq!(overlap.len(), 2); // historical + left current child
-        let slice = n.children_overlapping(&KeyRange::full(), &TimeRange::bounded(Timestamp(0), Timestamp(1)));
+        let slice = n.children_overlapping(
+            &KeyRange::full(),
+            &TimeRange::bounded(Timestamp(0), Timestamp(1)),
+        );
         assert_eq!(slice.len(), 1);
     }
 
@@ -492,10 +501,7 @@ mod tests {
         let old = NodeAddr::Current(PageId(2));
         n.replace_child(
             &old,
-            vec![
-                hist(64, kr(100, None), 4, 9),
-                cur(2, kr(100, None), 9),
-            ],
+            vec![hist(64, kr(100, None), 4, 9), cur(2, kr(100, None), 9)],
         )
         .unwrap();
         assert_eq!(n.len(), 4);
@@ -523,7 +529,10 @@ mod tests {
         let n = IndexNode::from_entries(
             full.clone(),
             TimeRange::full(),
-            vec![cur(1, kr(0, Some(100)).into_full_lo(), 0), cur(2, kr(50, None), 0)],
+            vec![
+                cur(1, kr(0, Some(100)).into_full_lo(), 0),
+                cur(2, kr(50, None), 0),
+            ],
         );
         assert!(n.validate().is_err());
 
@@ -557,8 +566,17 @@ mod tests {
             TimeRange::full(),
             vec![
                 hist(0, kr(50, Some(150)), 0, 4),
-                hist(64, KeyRange::new(Key::MIN, tsb_common::KeyBound::Finite(Key::from_u64(50))), 0, 4),
-                cur(1, KeyRange::new(Key::MIN, tsb_common::KeyBound::Finite(Key::from_u64(100))), 4),
+                hist(
+                    64,
+                    KeyRange::new(Key::MIN, tsb_common::KeyBound::Finite(Key::from_u64(50))),
+                    0,
+                    4,
+                ),
+                cur(
+                    1,
+                    KeyRange::new(Key::MIN, tsb_common::KeyBound::Finite(Key::from_u64(100))),
+                    4,
+                ),
             ],
         );
         left.validate().unwrap();

@@ -213,7 +213,10 @@ mod tests {
             (Key::from("boston"), Key::from_u64(1)),
             (Key::from("boston"), Key::from_u64(2)),
             (Key::from("nashua"), Key::from_u64(1)),
-            (Key::from_bytes(vec![0x00, 0x01]), Key::from_bytes(vec![0x00])),
+            (
+                Key::from_bytes(vec![0x00, 0x01]),
+                Key::from_bytes(vec![0x00]),
+            ),
             (Key::from_bytes(vec![0x00, 0x00, 0xFF]), Key::from("x")),
             (Key::MIN, Key::from("primary-only")),
         ];
@@ -238,7 +241,10 @@ mod tests {
     fn prefix_range_covers_exactly_one_secondary_value() {
         let range = secondary_prefix_range(&Key::from("boston"));
         assert!(range.contains(&composite_key(&Key::from("boston"), &Key::from_u64(1))));
-        assert!(range.contains(&composite_key(&Key::from("boston"), &Key::from_u64(u64::MAX))));
+        assert!(range.contains(&composite_key(
+            &Key::from("boston"),
+            &Key::from_u64(u64::MAX)
+        )));
         assert!(!range.contains(&composite_key(&Key::from("bostona"), &Key::from_u64(1))));
         assert!(!range.contains(&composite_key(&Key::from("bosto"), &Key::from_u64(1))));
         assert!(!range.contains(&composite_key(&Key::from("nashua"), &Key::from_u64(1))));
@@ -282,8 +288,13 @@ mod tests {
             vec![Key::from_u64(1), Key::from_u64(2), Key::from_u64(3)]
         );
         // No-op change is accepted and changes nothing.
-        idx.record_change(Some(&boston), Some(&boston), &Key::from_u64(1), Timestamp(40))
-            .unwrap();
+        idx.record_change(
+            Some(&boston),
+            Some(&boston),
+            &Key::from_u64(1),
+            Timestamp(40),
+        )
+        .unwrap();
         assert_eq!(idx.count_as_of(&boston, Timestamp(45)).unwrap(), 1);
         idx.tree().verify().unwrap();
     }
@@ -303,8 +314,13 @@ mod tests {
         for emp in (0..200u64).filter(|e| e % 2 == 0) {
             let old = &dept_names[(emp % 5) as usize];
             if *old != dept_names[0] {
-                idx.record_change(Some(old), Some(&dept_names[0]), &Key::from_u64(emp), Timestamp(ts))
-                    .unwrap();
+                idx.record_change(
+                    Some(old),
+                    Some(&dept_names[0]),
+                    &Key::from_u64(emp),
+                    Timestamp(ts),
+                )
+                .unwrap();
                 ts += 1;
             }
         }

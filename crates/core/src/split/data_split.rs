@@ -83,8 +83,7 @@ pub fn partition_by_time(entries: &[Version], split_time: Timestamp) -> TimeSpli
         // == split_time is already current by rule 2).
         let valid_at_split = group
             .iter()
-            .filter(|e| e.commit_time().map(|t| t <= split_time).unwrap_or(false))
-            .last();
+            .rfind(|e| e.commit_time().map(|t| t <= split_time).unwrap_or(false));
         if let Some(v) = valid_at_split {
             let t = v.commit_time().expect("filtered to committed");
             if t < split_time && !v.is_tombstone() {
@@ -95,8 +94,8 @@ pub fn partition_by_time(entries: &[Version], split_time: Timestamp) -> TimeSpli
         i = group_end;
     }
 
-    historical.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
-    current.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    historical.sort_by_key(|a| a.sort_key());
+    current.sort_by_key(|a| a.sort_key());
     TimeSplitParts {
         historical,
         current,
@@ -131,7 +130,10 @@ pub fn choose_split_key(entries: &[Version]) -> Option<Key> {
             .position(|e| e.key != *key)
             .map(|p| i + p)
             .unwrap_or(entries.len());
-        cumulative += entries[i..group_end].iter().map(size::version).sum::<usize>();
+        cumulative += entries[i..group_end]
+            .iter()
+            .map(size::version)
+            .sum::<usize>();
         i = group_end;
     }
     match split {
@@ -160,7 +162,7 @@ mod tests {
     }
 
     fn sorted(mut entries: Vec<Version>) -> Vec<Version> {
-        entries.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        entries.sort_by_key(|a| a.sort_key());
         entries
     }
 
@@ -224,14 +226,8 @@ mod tests {
         let mut entries = sorted(vec![v(1, 1), v(1, 3)]);
         entries.push(Version::uncommitted(1u64, TxnId(7), b"pending".to_vec()));
         let parts = partition_by_time(&entries, Timestamp(5));
-        assert!(parts
-            .historical
-            .iter()
-            .all(|e| e.state.is_committed()));
-        assert!(parts
-            .current
-            .iter()
-            .any(|e| e.state.is_uncommitted()));
+        assert!(parts.historical.iter().all(|e| e.state.is_committed()));
+        assert!(parts.current.iter().any(|e| e.state.is_uncommitted()));
     }
 
     #[test]

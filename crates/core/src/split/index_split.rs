@@ -131,7 +131,10 @@ pub struct IndexTimeSplitParts {
 /// The caller must have obtained `T` from [`local_time_split_point`], which
 /// guarantees that every entry intersecting `[.., T)` references a
 /// historical child.
-pub fn partition_index_by_time(entries: &[IndexEntry], split_time: Timestamp) -> IndexTimeSplitParts {
+pub fn partition_index_by_time(
+    entries: &[IndexEntry],
+    split_time: Timestamp,
+) -> IndexTimeSplitParts {
     let mut historical = Vec::new();
     let mut current = Vec::new();
     let mut duplicated = 0usize;
@@ -199,8 +202,8 @@ mod tests {
             KeyRange::full(),
             TimeRange::full(),
             vec![
-                hist(0, kr(None, Some(50)), 0, 8),   // old left part
-                hist(64, kr(Some(50), None), 0, 7),  // old right part (straddles 100)
+                hist(0, kr(None, Some(50)), 0, 8),  // old left part
+                hist(64, kr(Some(50), None), 0, 7), // old right part (straddles 100)
                 cur(1, kr(None, Some(50)), 8),
                 cur(2, kr(Some(50), Some(100)), 7),
                 cur(3, kr(Some(100), None), 7),
@@ -293,13 +296,14 @@ mod tests {
         let t = local_time_split_point(&node).unwrap();
         assert_eq!(t, Timestamp(7));
         let parts = partition_index_by_time(node.entries(), t);
-        assert!(parts
-            .historical
-            .iter()
-            .all(|e| e.child.is_historical()));
+        assert!(parts.historical.iter().all(|e| e.child.is_historical()));
         // Every current reference stays in the current node.
         assert_eq!(
-            parts.current.iter().filter(|e| e.child.is_current()).count(),
+            parts
+                .current
+                .iter()
+                .filter(|e| e.child.is_current())
+                .count(),
             3
         );
         // The historical entry [0, 8) spans T=7 and is duplicated.
@@ -316,7 +320,8 @@ mod tests {
         let e_end_at_t = hist(0, kr(None, None), 0, 5);
         // An entry starting exactly at T belongs only to the current half.
         let e_start_at_t = cur(1, kr(None, None), 5);
-        let parts = partition_index_by_time(&[e_end_at_t.clone(), e_start_at_t.clone()], Timestamp(5));
+        let parts =
+            partition_index_by_time(&[e_end_at_t.clone(), e_start_at_t.clone()], Timestamp(5));
         assert_eq!(parts.historical, vec![e_end_at_t]);
         assert_eq!(parts.current, vec![e_start_at_t]);
         assert_eq!(parts.duplicated, 0);

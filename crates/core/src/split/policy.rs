@@ -15,7 +15,9 @@
 //! [`plan_data_split`] applies the boundary conditions first and then the
 //! configured [`SplitPolicyKind`].
 
-use tsb_common::{Key, SplitPolicyKind, SplitTimeChoice, Timestamp, TsbConfig, TsbError, TsbResult};
+use tsb_common::{
+    Key, SplitPolicyKind, SplitTimeChoice, Timestamp, TsbConfig, TsbError, TsbResult,
+};
 
 use crate::node::DataNode;
 
@@ -99,9 +101,7 @@ pub fn plan_data_split(
                         SplitPlan::Time { split_time }
                     }
                 }
-                SplitPolicyKind::CostBased => {
-                    cost_based_plan(node, cfg, split_key, split_time)
-                }
+                SplitPolicyKind::CostBased => cost_based_plan(node, cfg, split_key, split_time),
             };
             Ok(plan)
         }
@@ -130,8 +130,7 @@ fn cost_based_plan(
         .map(size::version)
         .sum();
     let hist_sectors = hist_bytes.div_ceil(cfg.worm_sector_size);
-    let time_cost =
-        cfg.cost.worm_cost_per_byte * (hist_sectors * cfg.worm_sector_size) as f64;
+    let time_cost = cfg.cost.worm_cost_per_byte * (hist_sectors * cfg.worm_sector_size) as f64;
     let key_cost = cfg.cost.magnetic_cost_per_byte * cfg.page_size as f64;
     if time_cost <= key_cost {
         SplitPlan::Time { split_time }
@@ -311,13 +310,8 @@ mod tests {
             tsb_common::TxnId(1),
             vec![0u8; 500],
         )]);
-        let err = plan_data_split(
-            &node,
-            &cfg(SplitPolicyKind::default()),
-            Timestamp(10),
-            256,
-        )
-        .unwrap_err();
+        let err = plan_data_split(&node, &cfg(SplitPolicyKind::default()), Timestamp(10), 256)
+            .unwrap_err();
         assert!(matches!(err, TsbError::EntryTooLarge { .. }));
     }
 }

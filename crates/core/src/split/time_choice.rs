@@ -59,11 +59,7 @@ pub fn choose_split_time(
 mod tests {
     use super::*;
 
-    fn comp(
-        min: Option<u64>,
-        median: Option<u64>,
-        last_update: Option<u64>,
-    ) -> DataComposition {
+    fn comp(min: Option<u64>, median: Option<u64>, last_update: Option<u64>) -> DataComposition {
         DataComposition {
             total_entries: 4,
             distinct_keys: 2,
@@ -83,18 +79,33 @@ mod tests {
     fn current_time_choice_requires_history_before_now() {
         let c = comp(Some(3), Some(5), Some(6));
         assert_eq!(
-            choose_split_time(SplitTimeChoice::CurrentTime, &c, Timestamp(0), Timestamp(10)),
+            choose_split_time(
+                SplitTimeChoice::CurrentTime,
+                &c,
+                Timestamp(0),
+                Timestamp(10)
+            ),
             Some(Timestamp(10))
         );
         // Node freshly time-split at 10: now == node_lo, no valid time.
         assert_eq!(
-            choose_split_time(SplitTimeChoice::CurrentTime, &c, Timestamp(10), Timestamp(10)),
+            choose_split_time(
+                SplitTimeChoice::CurrentTime,
+                &c,
+                Timestamp(10),
+                Timestamp(10)
+            ),
             None
         );
         // No committed history at all.
         let empty = comp(None, None, None);
         assert_eq!(
-            choose_split_time(SplitTimeChoice::CurrentTime, &empty, Timestamp(0), Timestamp(10)),
+            choose_split_time(
+                SplitTimeChoice::CurrentTime,
+                &empty,
+                Timestamp(0),
+                Timestamp(10)
+            ),
             None
         );
     }
@@ -135,12 +146,22 @@ mod tests {
     fn median_choice() {
         let c = comp(Some(1), Some(5), Some(8));
         assert_eq!(
-            choose_split_time(SplitTimeChoice::MedianVersion, &c, Timestamp(0), Timestamp(10)),
+            choose_split_time(
+                SplitTimeChoice::MedianVersion,
+                &c,
+                Timestamp(0),
+                Timestamp(10)
+            ),
             Some(Timestamp(5))
         );
         // Median not above the node's start: fall back to now.
         assert_eq!(
-            choose_split_time(SplitTimeChoice::MedianVersion, &c, Timestamp(5), Timestamp(10)),
+            choose_split_time(
+                SplitTimeChoice::MedianVersion,
+                &c,
+                Timestamp(5),
+                Timestamp(10)
+            ),
             Some(Timestamp(10))
         );
     }
@@ -150,7 +171,12 @@ mod tests {
         let c = comp(Some(1), Some(20), Some(15));
         // Median (20) is beyond "now" (10): falls back to now.
         assert_eq!(
-            choose_split_time(SplitTimeChoice::MedianVersion, &c, Timestamp(0), Timestamp(10)),
+            choose_split_time(
+                SplitTimeChoice::MedianVersion,
+                &c,
+                Timestamp(0),
+                Timestamp(10)
+            ),
             Some(Timestamp(10))
         );
         for choice in [

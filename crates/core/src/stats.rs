@@ -132,7 +132,7 @@ impl TsbTree {
         if !visited.insert(addr) {
             return Ok(());
         }
-        match self.read_node(addr)? {
+        match &*self.read_node(addr)? {
             Node::Data(data) => {
                 if addr.is_current() {
                     stats.current_data_nodes += 1;
@@ -169,7 +169,7 @@ impl TsbTree {
         let mut addr = self.root;
         let mut depth = 1;
         loop {
-            match self.read_node(addr)? {
+            match &*self.read_node(addr)? {
                 Node::Data(_) => return Ok(depth),
                 Node::Index(ix) => {
                     let next = ix

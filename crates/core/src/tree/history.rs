@@ -40,11 +40,7 @@ impl TsbTree {
     /// Every committed version of every key in `keys` whose commit time lies
     /// in `window`, ordered by key and then commit time. Redundant copies
     /// created by time splits are reported once.
-    pub fn scan_versions(
-        &self,
-        keys: &KeyRange,
-        window: TimeRange,
-    ) -> TsbResult<Vec<Version>> {
+    pub fn scan_versions(&self, keys: &KeyRange, window: TimeRange) -> TsbResult<Vec<Version>> {
         let mut visited: HashSet<NodeAddr> = HashSet::new();
         let mut seen: HashSet<(Key, Timestamp)> = HashSet::new();
         let mut out: Vec<Version> = Vec::new();
@@ -68,11 +64,13 @@ impl TsbTree {
         if !visited.insert(addr) {
             return Ok(());
         }
-        match self.read_node(addr)? {
+        match &*self.read_node(addr)? {
             Node::Data(data) => {
                 for v in data.entries() {
                     let Some(t) = v.commit_time() else { continue };
-                    if keys.contains(&v.key) && window.contains(t) && seen.insert((v.key.clone(), t))
+                    if keys.contains(&v.key)
+                        && window.contains(t)
+                        && seen.insert((v.key.clone(), t))
                     {
                         out.push(v.clone());
                     }
@@ -96,11 +94,7 @@ impl TsbTree {
 
     /// The distinct keys in `keys` that had at least one committed change
     /// (insert, update, or delete) during `window`, in key order.
-    pub fn changed_keys_between(
-        &self,
-        keys: &KeyRange,
-        window: TimeRange,
-    ) -> TsbResult<Vec<Key>> {
+    pub fn changed_keys_between(&self, keys: &KeyRange, window: TimeRange) -> TsbResult<Vec<Key>> {
         let mut changed: Vec<Key> = self
             .scan_versions(keys, window)?
             .into_iter()
@@ -146,7 +140,10 @@ mod tests {
         let history = tree.history_between(&key, window).unwrap();
         assert_eq!(history.len(), 3);
         assert_eq!(
-            history.iter().map(|v| v.commit_time().unwrap().value()).collect::<Vec<_>>(),
+            history
+                .iter()
+                .map(|v| v.commit_time().unwrap().value())
+                .collect::<Vec<_>>(),
             vec![44, 64, 84]
         );
         // Empty window.
@@ -155,7 +152,10 @@ mod tests {
             .unwrap()
             .is_empty());
         // Full window returns the whole history.
-        assert_eq!(tree.history_between(&key, TimeRange::full()).unwrap().len(), 10);
+        assert_eq!(
+            tree.history_between(&key, TimeRange::full()).unwrap().len(),
+            10
+        );
         assert_eq!(tree.version_count(&key).unwrap(), 10);
     }
 

@@ -122,22 +122,28 @@ impl TsbTree {
 
     /// Recursive insertion. `addr` must reference a current node (new data
     /// is never routed to the write-once historical store).
+    ///
+    /// Nodes are read through the decoded-node cache and cloned only on the
+    /// actual write path: the leaf absorbing the version, and each ancestor
+    /// whose child actually split.
     fn insert_into(&mut self, addr: NodeAddr, version: Version) -> TsbResult<InsertOutcome> {
         let page = addr.as_page().ok_or_else(|| {
             TsbError::internal("insertion routed to a historical (write-once) node")
         })?;
-        match self.read_node(addr)? {
-            Node::Data(mut data) => {
+        let node = self.read_node(addr)?;
+        match &*node {
+            Node::Data(data) => {
+                let mut data = data.clone();
                 data.insert(version)?;
                 if data.encoded_size() <= self.split_threshold() {
-                    self.write_current(page, &Node::Data(data))?;
+                    self.write_current(page, Node::Data(data))?;
                     Ok(InsertOutcome::Fit)
                 } else {
                     let entries = self.split_data_node(data, page, false)?;
                     Ok(InsertOutcome::Split(entries))
                 }
             }
-            Node::Index(mut index) => {
+            Node::Index(index) => {
                 // New versions are routed as of "the end of time": the
                 // current child for this key.
                 let entry = index
@@ -152,9 +158,10 @@ impl TsbTree {
                 match self.insert_into(entry.child, version)? {
                     InsertOutcome::Fit => Ok(InsertOutcome::Fit),
                     InsertOutcome::Split(replacements) => {
+                        let mut index = index.clone();
                         index.replace_child(&entry.child, replacements)?;
                         if index.encoded_size() <= self.split_threshold() {
-                            self.write_current(page, &Node::Index(index))?;
+                            self.write_current(page, Node::Index(index))?;
                             Ok(InsertOutcome::Fit)
                         } else {
                             let entries = self.split_index_node(index, page, false)?;
@@ -170,7 +177,7 @@ impl TsbTree {
     fn grow_new_root(&mut self, entries: Vec<IndexEntry>) -> TsbResult<()> {
         let page = self.allocate_page()?;
         let root = IndexNode::from_entries(KeyRange::full(), TimeRange::full(), entries);
-        self.write_current(page, &Node::Index(root))?;
+        self.write_current(page, Node::Index(root))?;
         self.set_root(NodeAddr::Current(page))
     }
 
@@ -292,12 +299,10 @@ impl TsbTree {
             TimeRange::bounded(node.time_range.lo, split_time),
             parts.historical,
         );
-        let hist_addr = self.append_historical(&Node::Data(hist_node.clone()))?;
-        let hist_entry = IndexEntry::new(
-            hist_node.key_range.clone(),
-            hist_node.time_range,
-            NodeAddr::Historical(hist_addr),
-        );
+        let hist_kr = hist_node.key_range.clone();
+        let hist_tr = hist_node.time_range;
+        let hist_addr = self.append_historical(Node::Data(hist_node))?;
+        let hist_entry = IndexEntry::new(hist_kr, hist_tr, NodeAddr::Historical(hist_addr));
 
         let current = DataNode::from_entries(
             node.key_range.clone(),
@@ -307,7 +312,7 @@ impl TsbTree {
 
         let mut out = vec![hist_entry];
         if current.encoded_size() <= self.split_threshold() {
-            self.write_current(page, &Node::Data(current))?;
+            self.write_current(page, Node::Data(current))?;
             out.push(IndexEntry::new(
                 node.key_range,
                 TimeRange::new(split_time, node.time_range.hi),
@@ -330,7 +335,7 @@ impl TsbTree {
                 node.time_range,
                 NodeAddr::Current(page),
             );
-            self.write_current(page, &Node::Data(node))?;
+            self.write_current(page, Node::Data(node))?;
             Ok(vec![entry])
         } else {
             self.split_data_node(node, page, false)
@@ -462,12 +467,10 @@ impl TsbTree {
             TimeRange::bounded(node.time_range.lo, t),
             parts.historical,
         );
-        let hist_addr = self.append_historical(&Node::Index(hist.clone()))?;
-        let hist_entry = IndexEntry::new(
-            hist.key_range.clone(),
-            hist.time_range,
-            NodeAddr::Historical(hist_addr),
-        );
+        let hist_kr = hist.key_range.clone();
+        let hist_tr = hist.time_range;
+        let hist_addr = self.append_historical(Node::Index(hist))?;
+        let hist_entry = IndexEntry::new(hist_kr, hist_tr, NodeAddr::Historical(hist_addr));
 
         let current = IndexNode::from_entries(
             node.key_range.clone(),
@@ -477,7 +480,7 @@ impl TsbTree {
 
         let mut out = vec![hist_entry];
         if current.encoded_size() <= self.split_threshold() {
-            self.write_current(page, &Node::Index(current))?;
+            self.write_current(page, Node::Index(current))?;
             out.push(IndexEntry::new(
                 node.key_range,
                 TimeRange::new(t, node.time_range.hi),
@@ -497,7 +500,7 @@ impl TsbTree {
                 node.time_range,
                 NodeAddr::Current(page),
             );
-            self.write_current(page, &Node::Index(node))?;
+            self.write_current(page, Node::Index(node))?;
             Ok(vec![entry])
         } else {
             self.split_index_node(node, page, false)
@@ -537,9 +540,7 @@ mod tests {
         let mut tree = small_tree(SplitPolicyKind::TimePreferring);
         let mut stamps = Vec::new();
         for round in 0..30u64 {
-            let ts = tree
-                .insert(7u64, format!("v{round}").into_bytes())
-                .unwrap();
+            let ts = tree.insert(7u64, format!("v{round}").into_bytes()).unwrap();
             stamps.push((ts, round));
         }
         // Every historical version is still reachable as of its own time.
@@ -579,7 +580,9 @@ mod tests {
         );
         // The clock has moved past the replayed timestamps.
         assert!(tree.now() > Timestamp(20));
-        assert!(tree.insert_at(2u64, b"x".to_vec(), Timestamp::ZERO).is_err());
+        assert!(tree
+            .insert_at(2u64, b"x".to_vec(), Timestamp::ZERO)
+            .is_err());
     }
 
     #[test]

@@ -18,14 +18,16 @@ pub mod scan;
 pub mod search;
 
 use std::collections::HashSet;
+use std::ops::Deref;
 use std::sync::Arc;
 
 use tsb_common::encode::{ByteReader, ByteWriter};
-use tsb_common::{
-    LogicalClock, Timestamp, TsbConfig, TsbError, TsbResult,
+use tsb_common::{LogicalClock, Timestamp, TsbConfig, TsbError, TsbResult};
+use tsb_storage::{
+    BufferPool, CostModel, HistAddr, IoStats, MagneticStore, PageId, SpaceSnapshot, WormStore,
 };
-use tsb_storage::{BufferPool, CostModel, HistAddr, IoStats, MagneticStore, PageId, SpaceSnapshot, WormStore};
 
+use crate::cache::{Evicted, NodeCache};
 use crate::node::{DataNode, IndexNode, Node, NodeAddr};
 use crate::txn::TxnTable;
 
@@ -54,6 +56,7 @@ pub struct TsbTree {
     pub(crate) cfg: TsbConfig,
     pub(crate) magnetic: Arc<MagneticStore>,
     pub(crate) pool: BufferPool,
+    pub(crate) cache: NodeCache,
     pub(crate) worm: Arc<WormStore>,
     pub(crate) stats: Arc<IoStats>,
     pub(crate) cost: CostModel,
@@ -82,7 +85,10 @@ impl TsbTree {
         cfg.validate()?;
         let stats = Arc::new(IoStats::new());
         let magnetic = Arc::new(MagneticStore::in_memory(cfg.page_size, Arc::clone(&stats)));
-        let worm = Arc::new(WormStore::in_memory(cfg.worm_sector_size, Arc::clone(&stats)));
+        let worm = Arc::new(WormStore::in_memory(
+            cfg.worm_sector_size,
+            Arc::clone(&stats),
+        ));
         Self::create(magnetic, worm, cfg)
     }
 
@@ -108,6 +114,7 @@ impl TsbTree {
         }
         let stats = Arc::clone(magnetic.stats());
         let pool = BufferPool::new(Arc::clone(&magnetic), cfg.buffer_pool_pages);
+        let cache = NodeCache::new(cfg.node_cache_entries);
         let cost = CostModel::new(cfg.cost);
         let clock = LogicalClock::new();
 
@@ -119,6 +126,7 @@ impl TsbTree {
             cfg,
             magnetic,
             pool,
+            cache,
             worm,
             stats,
             cost,
@@ -129,7 +137,7 @@ impl TsbTree {
             marked_for_time_split: HashSet::new(),
         };
         let root_node = DataNode::initial_root();
-        tree.write_current(root_page, &Node::Data(root_node))?;
+        tree.write_current(root_page, Node::Data(root_node))?;
         tree.write_meta()?;
         Ok(tree)
     }
@@ -162,6 +170,7 @@ impl TsbTree {
 
         let stats = Arc::clone(magnetic.stats());
         let pool = BufferPool::new(Arc::clone(&magnetic), cfg.buffer_pool_pages);
+        let cache = NodeCache::new(cfg.node_cache_entries);
         let cost = CostModel::new(cfg.cost);
         let clock = LogicalClock::starting_at(clock_next);
 
@@ -169,6 +178,7 @@ impl TsbTree {
             cfg,
             magnetic,
             pool,
+            cache,
             worm,
             stats,
             cost,
@@ -221,9 +231,11 @@ impl TsbTree {
         self.cost.storage_cost(&self.space())
     }
 
-    /// Flushes dirty pages, the metadata page, and both devices.
+    /// Flushes dirty nodes, dirty pages, the metadata page, and both
+    /// devices.
     pub fn flush(&mut self) -> TsbResult<()> {
         self.write_meta()?;
+        self.flush_node_cache()?;
         self.pool.flush()?;
         self.magnetic.sync()?;
         self.worm.sync()?;
@@ -242,26 +254,56 @@ impl TsbTree {
         (self.page_capacity() as f64 * self.cfg.split_fill_threshold) as usize
     }
 
-    /// Reads and decodes the node at `addr`, recording a logical node access.
-    pub(crate) fn read_node(&self, addr: NodeAddr) -> TsbResult<Node> {
+    /// Reads the node at `addr`, recording a logical node access. Served
+    /// from the decoded-node cache when possible — a hit performs no decode
+    /// and no page-image copy, just a shared handle.
+    pub(crate) fn read_node(&self, addr: NodeAddr) -> TsbResult<Arc<Node>> {
+        match addr {
+            NodeAddr::Current(_) => self.stats.record_current_node_access(),
+            NodeAddr::Historical(_) => self.stats.record_historical_node_access(),
+        }
+        if let Some(node) = self.cache.get(addr) {
+            self.stats.record_node_cache_hit();
+            return Ok(node);
+        }
+        self.stats.record_node_cache_miss();
+        let node = Arc::new(self.decode_node_at(addr)?);
+        let evicted = self.cache.insert_clean(addr, Arc::clone(&node));
+        self.write_back_evicted(evicted)?;
+        Ok(node)
+    }
+
+    /// Decodes the node at `addr` from its device image (buffer pool for
+    /// current pages, WORM store for historical nodes), bypassing the
+    /// decoded-node cache.
+    fn decode_node_at(&self, addr: NodeAddr) -> TsbResult<Node> {
+        self.stats.record_node_decode();
         match addr {
             NodeAddr::Current(page) => {
-                self.stats.record_current_node_access();
                 let bytes = self.pool.get(page)?;
                 Node::decode(&bytes)
             }
             NodeAddr::Historical(hist) => {
-                self.stats.record_historical_node_access();
                 let bytes = self.worm.read(hist)?;
                 Node::decode(&bytes)
             }
         }
     }
 
+    /// Reads and decodes the node at `addr` directly from the devices. Any
+    /// pending dirty state *for that address* is flushed first so its
+    /// device image is the newest one (other deferred encodes stay
+    /// deferred). Diagnostic surface used to check cache coherence.
+    pub fn read_node_bypass(&self, addr: NodeAddr) -> TsbResult<Node> {
+        self.flush_dirty_node_at(addr)?;
+        self.decode_node_at(addr)
+    }
+
     /// Reads a node expected to be a data node.
-    pub(crate) fn read_data(&self, addr: NodeAddr) -> TsbResult<DataNode> {
-        match self.read_node(addr)? {
-            Node::Data(n) => Ok(n),
+    pub(crate) fn read_data(&self, addr: NodeAddr) -> TsbResult<DataRef> {
+        let node = self.read_node(addr)?;
+        match &*node {
+            Node::Data(_) => Ok(DataRef(node)),
             Node::Index(_) => Err(TsbError::corruption(format!(
                 "expected a data node at {addr}, found an index node"
             ))),
@@ -270,33 +312,129 @@ impl TsbTree {
 
     /// Reads a node expected to be an index node.
     #[allow(dead_code)] // kept for symmetry with `read_data`; used by debugging tools
-    pub(crate) fn read_index(&self, addr: NodeAddr) -> TsbResult<IndexNode> {
-        match self.read_node(addr)? {
-            Node::Index(n) => Ok(n),
+    pub(crate) fn read_index(&self, addr: NodeAddr) -> TsbResult<IndexRef> {
+        let node = self.read_node(addr)?;
+        match &*node {
+            Node::Index(_) => Ok(IndexRef(node)),
             Node::Data(_) => Err(TsbError::corruption(format!(
                 "expected an index node at {addr}, found a data node"
             ))),
         }
     }
 
-    /// Writes a current node image to its page (through the buffer pool).
-    pub(crate) fn write_current(&mut self, page: PageId, node: &Node) -> TsbResult<()> {
-        let bytes = node.encode();
-        if bytes.len() > self.page_capacity() {
+    /// Installs the newest version of a current node. The node goes into
+    /// the decoded-node cache marked dirty; the encode into its page image
+    /// is deferred until the entry is evicted or the tree flushes, so a hot
+    /// leaf rewritten many times between flushes encodes once.
+    pub(crate) fn write_current(&mut self, page: PageId, node: Node) -> TsbResult<()> {
+        let size = node.encoded_size();
+        if size > self.page_capacity() {
             return Err(TsbError::internal(format!(
                 "attempted to write a {}-byte node into a {}-byte page; splitting should have prevented this",
-                bytes.len(),
+                size,
                 self.page_capacity()
             )));
         }
-        self.pool.put(page, bytes)
+        let evicted = self.cache.insert_dirty(page, Arc::new(node));
+        self.write_back_evicted(evicted)
+    }
+
+    /// Encodes and writes dirty nodes displaced from the decoded-node cache.
+    fn write_back_evicted(&self, evicted: Evicted) -> TsbResult<()> {
+        for (page, node) in evicted {
+            self.stats.record_node_encode();
+            self.pool.put(page, node.encode())?;
+        }
+        Ok(())
+    }
+
+    /// Encodes every dirty cached node into its page image (ascending
+    /// `PageId` order). The entries stay cached, now clean. Public so
+    /// measurement harnesses can draw a line between build-phase and
+    /// query-phase encode/write traffic without a full device flush.
+    pub fn flush_node_cache(&self) -> TsbResult<()> {
+        self.write_back_evicted(self.cache.take_dirty())
+    }
+
+    /// Encodes one address's dirty cached node into its page image, if it
+    /// has one; every other deferred encode stays deferred.
+    fn flush_dirty_node_at(&self, addr: NodeAddr) -> TsbResult<()> {
+        match self.cache.take_dirty_at(addr) {
+            Some(entry) => self.write_back_evicted(vec![entry]),
+            None => Ok(()),
+        }
     }
 
     /// Consolidates a node and appends it to the historical store,
     /// returning its address (§3.4: the historical node is written once, at
-    /// whatever length it has).
-    pub(crate) fn append_historical(&mut self, node: &Node) -> TsbResult<HistAddr> {
-        self.worm.append(&node.encode())
+    /// whatever length it has). The node is retained in the decoded-node
+    /// cache — freshly migrated history is the history most likely to be
+    /// queried.
+    pub(crate) fn append_historical(&mut self, node: Node) -> TsbResult<HistAddr> {
+        self.stats.record_node_encode();
+        let addr = self.worm.append(&node.encode())?;
+        let evicted = self
+            .cache
+            .insert_clean(NodeAddr::Historical(addr), Arc::new(node));
+        self.write_back_evicted(evicted)?;
+        Ok(addr)
+    }
+
+    /// Drops every cached decoded node and page frame, writing dirty state
+    /// to the devices first. Subsequent reads re-read pages from the device
+    /// *and* re-decode them — the fully-cold baseline.
+    pub fn drop_caches(&self) -> TsbResult<()> {
+        self.drop_node_cache()?;
+        self.pool.flush_and_clear()
+    }
+
+    /// Drops only the decoded-node cache (after flushing its dirty state),
+    /// leaving the buffer pool warm. Subsequent reads pay one `Node::decode`
+    /// per access but no device I/O — exactly the engine's behaviour before
+    /// the decoded-node cache existed, which makes this the baseline for
+    /// measuring what the cache itself buys.
+    pub fn drop_node_cache(&self) -> TsbResult<()> {
+        self.flush_node_cache()?;
+        self.cache.clear();
+        Ok(())
+    }
+
+    /// Invalidates the decoded-node cache entry for `addr`, if any. That
+    /// entry's dirty state is flushed first, so no write is lost — and
+    /// *only* that entry's, so invalidating one node does not act as a
+    /// full flush; the next read re-decodes the device image.
+    pub fn invalidate_cached_node(&self, addr: NodeAddr) -> TsbResult<()> {
+        self.flush_dirty_node_at(addr)?;
+        self.cache.discard(addr);
+        Ok(())
+    }
+
+    /// Walks every node reachable from the root and checks that the cached
+    /// copy equals what decoding the device image produces (pending dirty
+    /// nodes are flushed first). Returns the first divergence found.
+    pub fn verify_cache_coherence(&self) -> TsbResult<()> {
+        self.flush_node_cache()?;
+        let mut visited: HashSet<NodeAddr> = HashSet::new();
+        self.check_coherence(self.root, &mut visited)
+    }
+
+    fn check_coherence(&self, addr: NodeAddr, visited: &mut HashSet<NodeAddr>) -> TsbResult<()> {
+        if !visited.insert(addr) {
+            return Ok(());
+        }
+        let cached = self.read_node(addr)?;
+        let direct = self.decode_node_at(addr)?;
+        if *cached != direct {
+            return Err(TsbError::invariant(format!(
+                "decoded-node cache diverges from the device image at {addr}"
+            )));
+        }
+        if let Node::Index(index) = &*cached {
+            for entry in index.entries() {
+                self.check_coherence(entry.child, visited)?;
+            }
+        }
+        Ok(())
     }
 
     /// Allocates a fresh current page.
@@ -333,6 +471,34 @@ impl TsbTree {
     }
 }
 
+/// A shared read handle to a cached data node. Dereferences to
+/// [`DataNode`]; cloning the target (`DataNode::clone(&r)`) yields an owned
+/// node for mutation paths.
+pub(crate) struct DataRef(pub(crate) Arc<Node>);
+
+impl Deref for DataRef {
+    type Target = DataNode;
+    fn deref(&self) -> &DataNode {
+        match &*self.0 {
+            Node::Data(n) => n,
+            Node::Index(_) => unreachable!("DataRef only wraps data nodes"),
+        }
+    }
+}
+
+/// A shared read handle to a cached index node.
+pub(crate) struct IndexRef(Arc<Node>);
+
+impl Deref for IndexRef {
+    type Target = IndexNode;
+    fn deref(&self) -> &IndexNode {
+        match &*self.0 {
+            Node::Index(n) => n,
+            Node::Data(_) => unreachable!("IndexRef only wraps index nodes"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,7 +509,10 @@ mod tests {
         let cfg = TsbConfig::small_pages();
         let stats = Arc::new(IoStats::new());
         let magnetic = Arc::new(MagneticStore::in_memory(cfg.page_size, Arc::clone(&stats)));
-        let worm = Arc::new(WormStore::in_memory(cfg.worm_sector_size, Arc::clone(&stats)));
+        let worm = Arc::new(WormStore::in_memory(
+            cfg.worm_sector_size,
+            Arc::clone(&stats),
+        ));
 
         let root_before;
         {
@@ -355,7 +524,8 @@ mod tests {
             tree.flush().unwrap();
         }
         {
-            let tree = TsbTree::open(Arc::clone(&magnetic), Arc::clone(&worm), cfg.clone()).unwrap();
+            let tree =
+                TsbTree::open(Arc::clone(&magnetic), Arc::clone(&worm), cfg.clone()).unwrap();
             assert_eq!(tree.root_addr(), root_before);
             assert_eq!(
                 tree.get_current(&Key::from_u64(1)).unwrap().unwrap(),
@@ -377,7 +547,10 @@ mod tests {
         let cfg = TsbConfig::small_pages();
         let stats = Arc::new(IoStats::new());
         let magnetic = Arc::new(MagneticStore::in_memory(4096, Arc::clone(&stats)));
-        let worm = Arc::new(WormStore::in_memory(cfg.worm_sector_size, Arc::clone(&stats)));
+        let worm = Arc::new(WormStore::in_memory(
+            cfg.worm_sector_size,
+            Arc::clone(&stats),
+        ));
         assert!(TsbTree::create(magnetic, worm, cfg).is_err());
     }
 
@@ -390,5 +563,109 @@ mod tests {
         let space = tree.space();
         assert!(space.magnetic_bytes > 0);
         assert!(tree.storage_cost() > 0.0);
+    }
+
+    #[test]
+    fn warm_descents_perform_zero_decodes() {
+        let cfg = TsbConfig::small_pages().with_node_cache_entries(4096);
+        let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+        for i in 0..300u64 {
+            tree.insert(i % 30, format!("v{i}").into_bytes()).unwrap();
+        }
+        // First pass warms the cache for every current path.
+        for key in 0..30u64 {
+            tree.get_current(&Key::from_u64(key)).unwrap();
+        }
+        let before = tree.io_stats().snapshot();
+        for key in 0..30u64 {
+            tree.get_current(&Key::from_u64(key)).unwrap();
+        }
+        let delta = tree.io_stats().snapshot().delta_since(&before);
+        assert!(delta.node_cache_hits > 0, "warm reads must hit the cache");
+        assert_eq!(delta.node_cache_misses, 0, "every node was already cached");
+        assert_eq!(delta.node_decodes, 0, "cache hits perform no decode");
+        assert!(
+            delta.node_accesses_current >= 30,
+            "logical accesses are still counted on hits"
+        );
+    }
+
+    #[test]
+    fn encode_is_deferred_until_flush() {
+        // Large pages: no splits, so the root leaf absorbs every insert.
+        let mut tree = TsbTree::new_in_memory(TsbConfig::default()).unwrap();
+        let before = tree.io_stats().snapshot();
+        for i in 0..20u64 {
+            tree.insert(i, vec![b'x'; 16]).unwrap();
+        }
+        let delta = tree.io_stats().snapshot().delta_since(&before);
+        assert_eq!(
+            delta.node_encodes, 0,
+            "20 rewrites of the hot leaf must not encode until flush"
+        );
+        tree.flush().unwrap();
+        let delta = tree.io_stats().snapshot().delta_since(&before);
+        assert_eq!(delta.node_encodes, 1, "flush encodes the leaf exactly once");
+    }
+
+    #[test]
+    fn bypass_reads_and_cache_invalidation_agree_with_the_cache() {
+        let cfg = TsbConfig::small_pages();
+        let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+        for i in 0..300u64 {
+            tree.insert(i % 25, format!("value-{i}").into_bytes())
+                .unwrap();
+        }
+        tree.verify_cache_coherence().unwrap();
+
+        // A bypass read of the root decodes the same node the cache holds.
+        let via_cache = tree.read_node(tree.root_addr()).unwrap();
+        let via_device = tree.read_node_bypass(tree.root_addr()).unwrap();
+        assert_eq!(*via_cache, via_device);
+
+        // Invalidation forces a re-decode, which still agrees.
+        tree.invalidate_cached_node(tree.root_addr()).unwrap();
+        let before = tree.io_stats().snapshot();
+        let reread = tree.read_node(tree.root_addr()).unwrap();
+        let delta = tree.io_stats().snapshot().delta_since(&before);
+        assert_eq!(delta.node_cache_misses, 1);
+        assert_eq!(*reread, via_device);
+
+        // Dropping every cache cold-starts reads without losing anything.
+        tree.drop_caches().unwrap();
+        let before = tree.io_stats().snapshot();
+        for key in 0..25u64 {
+            assert!(tree.get_current(&Key::from_u64(key)).unwrap().is_some());
+        }
+        let delta = tree.io_stats().snapshot().delta_since(&before);
+        assert!(delta.node_decodes > 0, "cold reads decode again");
+        tree.verify_cache_coherence().unwrap();
+    }
+
+    #[test]
+    fn persistence_survives_deferred_encodes() {
+        let cfg = TsbConfig::small_pages();
+        let stats = Arc::new(IoStats::new());
+        let magnetic = Arc::new(MagneticStore::in_memory(cfg.page_size, Arc::clone(&stats)));
+        let worm = Arc::new(WormStore::in_memory(
+            cfg.worm_sector_size,
+            Arc::clone(&stats),
+        ));
+        {
+            let mut tree =
+                TsbTree::create(Arc::clone(&magnetic), Arc::clone(&worm), cfg.clone()).unwrap();
+            for i in 0..200u64 {
+                tree.insert(i % 20, format!("gen-{i}").into_bytes())
+                    .unwrap();
+            }
+            tree.flush().unwrap();
+        }
+        // A reopened tree (fresh, empty caches) sees every write.
+        let tree = TsbTree::open(magnetic, worm, cfg).unwrap();
+        for key in 0..20u64 {
+            let got = tree.get_current(&Key::from_u64(key)).unwrap().unwrap();
+            assert_eq!(got, format!("gen-{}", 180 + key).into_bytes());
+        }
+        tree.verify().unwrap();
     }
 }

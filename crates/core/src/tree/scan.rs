@@ -34,7 +34,7 @@ impl TsbTree {
         if !visited.insert(addr) {
             return Ok(());
         }
-        match self.read_node(addr)? {
+        match &*self.read_node(addr)? {
             Node::Data(data) => {
                 // Only keys inside both the query range and the node's own
                 // key range are collected; at a fixed time the key ranges of
@@ -117,7 +117,7 @@ impl TsbTree {
         if !visited.insert(addr) {
             return Ok(());
         }
-        match self.read_node(addr)? {
+        match &*self.read_node(addr)? {
             Node::Data(_) => leaves.push(addr),
             Node::Index(index) => {
                 for entry in index.children_containing_key(key) {
@@ -147,7 +147,7 @@ impl TsbTree {
         if !visited.insert(addr) {
             return Ok(());
         }
-        match self.read_node(addr)? {
+        match &*self.read_node(addr)? {
             Node::Data(data) => {
                 for k in data.distinct_keys() {
                     keys.insert(k);
@@ -208,9 +208,7 @@ mod tests {
         let range = KeyRange::bounded(Key::from_u64(5), Key::from_u64(15));
         let rows = tree.scan_current(&range).unwrap();
         assert_eq!(rows.len(), 10);
-        assert!(rows
-            .iter()
-            .all(|(k, _)| range.contains(k)));
+        assert!(rows.iter().all(|(k, _)| range.contains(k)));
         // Keys come back sorted.
         let keys: Vec<u64> = rows.iter().map(|(k, _)| k.as_u64().unwrap()).collect();
         let mut sorted = keys.clone();

@@ -10,17 +10,19 @@
 use tsb_common::{Key, Timestamp, TsbError, TsbResult, Version};
 use tsb_storage::PageId;
 
-use crate::node::{DataNode, Node, NodeAddr};
+use crate::node::{Node, NodeAddr};
 
-use super::TsbTree;
+use super::{DataRef, TsbTree};
 
 impl TsbTree {
-    /// Descends to the data node responsible for `(key, ts)`, returning it.
-    pub(crate) fn descend(&self, key: &Key, ts: Timestamp) -> TsbResult<DataNode> {
+    /// Descends to the data node responsible for `(key, ts)`, returning a
+    /// shared handle to it (no decode, no copy, when the path is cached).
+    pub(crate) fn descend(&self, key: &Key, ts: Timestamp) -> TsbResult<DataRef> {
         let mut addr = self.root;
         loop {
-            match self.read_node(addr)? {
-                Node::Data(data) => return Ok(data),
+            let node = self.read_node(addr)?;
+            let next = match &*node {
+                Node::Data(_) => None,
                 Node::Index(index) => {
                     let entry = index.find_child(key, ts).ok_or_else(|| {
                         TsbError::corruption(format!(
@@ -28,8 +30,12 @@ impl TsbTree {
                             index.key_range, index.time_range
                         ))
                     })?;
-                    addr = entry.child;
+                    Some(entry.child)
                 }
+            };
+            match next {
+                Some(child) => addr = child,
+                None => return Ok(DataRef(node)),
             }
         }
     }
@@ -37,16 +43,12 @@ impl TsbTree {
     /// Descends to the *current* data node responsible for `key`, returning
     /// the page id alongside the node (used by transaction commit/abort,
     /// which must rewrite the leaf in place).
-    pub(crate) fn descend_to_current_leaf(&self, key: &Key) -> TsbResult<(PageId, DataNode)> {
+    pub(crate) fn descend_to_current_leaf(&self, key: &Key) -> TsbResult<(PageId, DataRef)> {
         let mut addr = self.root;
         loop {
-            match self.read_node(addr)? {
-                Node::Data(data) => {
-                    let page = addr.as_page().ok_or_else(|| {
-                        TsbError::internal("current-leaf descent ended at a historical node")
-                    })?;
-                    return Ok((page, data));
-                }
+            let node = self.read_node(addr)?;
+            let next = match &*node {
+                Node::Data(_) => None,
                 Node::Index(index) => {
                     let entry = index.find_child(key, Timestamp::MAX).ok_or_else(|| {
                         TsbError::corruption(format!(
@@ -54,7 +56,16 @@ impl TsbTree {
                             index.key_range, index.time_range
                         ))
                     })?;
-                    addr = entry.child;
+                    Some(entry.child)
+                }
+            };
+            match next {
+                Some(child) => addr = child,
+                None => {
+                    let page = addr.as_page().ok_or_else(|| {
+                        TsbError::internal("current-leaf descent ended at a historical node")
+                    })?;
+                    return Ok((page, DataRef(node)));
                 }
             }
         }
@@ -112,7 +123,7 @@ impl TsbTree {
         let mut visited = 0usize;
         loop {
             visited += 1;
-            match self.read_node(addr)? {
+            match &*self.read_node(addr)? {
                 Node::Data(data) => {
                     let value = data
                         .find_as_of(key, ts)
@@ -140,7 +151,7 @@ impl TsbTree {
         let mut addr = self.root;
         let mut path = vec![addr];
         loop {
-            match self.read_node(addr)? {
+            match &*self.read_node(addr)? {
                 Node::Data(_) => return Ok(path),
                 Node::Index(index) => {
                     let entry = index.find_child(key, ts).ok_or_else(|| {
@@ -240,14 +251,15 @@ mod tests {
         let (tree, log) = tree_with_history();
         let (key, ts, _) = &log[log.len() / 2];
         let path = tree.lookup_path(&Key::from_u64(*key), *ts).unwrap();
-        let (_, visited) = tree
-            .get_as_of_counting(&Key::from_u64(*key), *ts)
-            .unwrap();
+        let (_, visited) = tree.get_as_of_counting(&Key::from_u64(*key), *ts).unwrap();
         assert_eq!(path.len(), visited);
-        assert!(visited >= 2, "the tree should have grown at least one level");
+        assert!(
+            visited >= 2,
+            "the tree should have grown at least one level"
+        );
         // The last element of the path is a data node.
         let last = *path.last().unwrap();
-        assert!(matches!(tree.read_node(last).unwrap(), Node::Data(_)));
+        assert!(matches!(&*tree.read_node(last).unwrap(), Node::Data(_)));
     }
 
     #[test]

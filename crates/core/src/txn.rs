@@ -69,9 +69,7 @@ impl TxnTable {
     }
 
     fn finish(&mut self, txn: TxnId) -> TsbResult<Vec<Key>> {
-        self.active
-            .remove(&txn)
-            .ok_or(TsbError::TxnNotActive(txn))
+        self.active.remove(&txn).ok_or(TsbError::TxnNotActive(txn))
     }
 
     fn is_active(&self, txn: TxnId) -> bool {
@@ -145,12 +143,7 @@ impl TsbTree {
     /// Writes `key = value` within transaction `txn` (uncommitted until
     /// [`Self::commit_txn`]). Fails with [`TsbError::WriteConflict`] if
     /// another in-flight transaction already wrote this key.
-    pub fn txn_insert(
-        &mut self,
-        txn: TxnId,
-        key: impl Into<Key>,
-        value: Vec<u8>,
-    ) -> TsbResult<()> {
+    pub fn txn_insert(&mut self, txn: TxnId, key: impl Into<Key>, value: Vec<u8>) -> TsbResult<()> {
         let key = key.into();
         self.txn_write(txn, Version::uncommitted(key, txn, value))
     }
@@ -199,7 +192,8 @@ impl TsbTree {
         let writes = self.txns.finish(txn)?;
         let ts = self.clock.tick();
         for key in writes {
-            let (page, mut leaf) = self.descend_to_current_leaf(&key)?;
+            let (page, leaf) = self.descend_to_current_leaf(&key)?;
+            let mut leaf = crate::node::DataNode::clone(&leaf);
             let pending = leaf.remove_uncommitted(&key, txn).ok_or_else(|| {
                 TsbError::internal(format!(
                     "transaction {txn} lost its uncommitted version of key {key}"
@@ -211,7 +205,7 @@ impl TsbTree {
                 value: pending.value,
             };
             leaf.insert(committed)?;
-            self.write_current(page, &Node::Data(leaf))?;
+            self.write_current(page, Node::Data(leaf))?;
         }
         Ok(ts)
     }
@@ -222,9 +216,10 @@ impl TsbTree {
     pub fn abort_txn(&mut self, txn: TxnId) -> TsbResult<()> {
         let writes = self.txns.finish(txn)?;
         for key in writes {
-            let (page, mut leaf) = self.descend_to_current_leaf(&key)?;
+            let (page, leaf) = self.descend_to_current_leaf(&key)?;
+            let mut leaf = crate::node::DataNode::clone(&leaf);
             if leaf.remove_uncommitted(&key, txn).is_some() {
-                self.write_current(page, &Node::Data(leaf))?;
+                self.write_current(page, Node::Data(leaf))?;
             }
         }
         Ok(())

@@ -92,7 +92,7 @@ impl TsbTree {
         }
         let node = self.read_node(addr)?;
         node.validate()?;
-        match node {
+        match &*node {
             Node::Data(data) => {
                 leaf_depths.insert(depth);
                 if addr.is_current() != data.is_current() {
@@ -124,7 +124,7 @@ impl TsbTree {
                         )));
                     }
                     let child = self.read_node(entry.child)?;
-                    let (child_kr, child_tr) = match &child {
+                    let (child_kr, child_tr) = match &*child {
                         Node::Data(d) => (&d.key_range, &d.time_range),
                         Node::Index(i) => (&i.key_range, &i.time_range),
                     };
@@ -137,7 +137,13 @@ impl TsbTree {
                     if let Some(page) = entry.child.as_page() {
                         *current_page_refs.entry(page).or_insert(0) += 1;
                     }
-                    self.verify_node(entry.child, depth + 1, visited, current_page_refs, leaf_depths)?;
+                    self.verify_node(
+                        entry.child,
+                        depth + 1,
+                        visited,
+                        current_page_refs,
+                        leaf_depths,
+                    )?;
                 }
             }
         }

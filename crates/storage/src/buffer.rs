@@ -7,11 +7,12 @@
 //! * `get` returns the page image, reading from the device only on a miss;
 //! * `put` installs a new image and marks the frame dirty;
 //! * eviction writes dirty frames back to the device;
-//! * `flush` writes all dirty frames (called on checkpoint / close).
+//! * `flush` writes all dirty frames (called on checkpoint / close), in
+//!   ascending `PageId` order so device write traces are deterministic.
 //!
-//! The pool is intentionally simple — the reproduction's experiments count
-//! *logical* node accesses and *device* I/O separately, and the pool is what
-//! separates the two.
+//! Recency is tracked with the O(1) [`LruList`] rather than a per-frame
+//! clock, so eviction does not scan the pool. The pool is what separates
+//! *logical* page reads from *device* I/O in the experiments.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -20,19 +21,18 @@ use parking_lot::Mutex;
 
 use tsb_common::{TsbError, TsbResult};
 
+use crate::lru::LruList;
 use crate::magnetic::MagneticStore;
 use crate::page::PageId;
 
 struct Frame {
     data: Arc<Vec<u8>>,
     dirty: bool,
-    /// LRU clock: larger = more recently used.
-    last_used: u64,
 }
 
 struct Inner {
     frames: HashMap<PageId, Frame>,
-    tick: u64,
+    lru: LruList<PageId>,
 }
 
 /// A fixed-capacity LRU page cache with write-back.
@@ -59,7 +59,7 @@ impl BufferPool {
             capacity: capacity.max(1),
             inner: Mutex::new(Inner {
                 frames: HashMap::new(),
-                tick: 0,
+                lru: LruList::new(),
             }),
         }
     }
@@ -82,10 +82,8 @@ impl BufferPool {
     fn evict_if_needed(&self, inner: &mut Inner) -> TsbResult<()> {
         while inner.frames.len() > self.capacity {
             let victim = inner
-                .frames
-                .iter()
-                .min_by_key(|(_, f)| f.last_used)
-                .map(|(id, _)| *id)
+                .lru
+                .pop_lru()
                 .ok_or_else(|| TsbError::internal("buffer pool over capacity but empty"))?;
             let frame = inner
                 .frames
@@ -101,12 +99,11 @@ impl BufferPool {
     /// Returns the cached image of `page`, reading from the device on a miss.
     pub fn get(&self, page: PageId) -> TsbResult<Arc<Vec<u8>>> {
         let mut inner = self.inner.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        if let Some(frame) = inner.frames.get_mut(&page) {
-            frame.last_used = tick;
+        if let Some(frame) = inner.frames.get(&page) {
+            let data = Arc::clone(&frame.data);
+            inner.lru.touch(page);
             self.store.stats().record_cache_hit();
-            return Ok(Arc::clone(&frame.data));
+            return Ok(data);
         }
         self.store.stats().record_cache_miss();
         let data = Arc::new(self.store.read(page)?);
@@ -115,9 +112,9 @@ impl BufferPool {
             Frame {
                 data: Arc::clone(&data),
                 dirty: false,
-                last_used: tick,
             },
         );
+        inner.lru.touch(page);
         self.evict_if_needed(&mut inner)?;
         Ok(data)
     }
@@ -132,16 +129,14 @@ impl BufferPool {
             });
         }
         let mut inner = self.inner.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
         inner.frames.insert(
             page,
             Frame {
                 data: Arc::new(data),
                 dirty: true,
-                last_used: tick,
             },
         );
+        inner.lru.touch(page);
         self.evict_if_needed(&mut inner)?;
         Ok(())
     }
@@ -150,19 +145,22 @@ impl BufferPool {
     /// page has been freed on the device, e.g. after an abort erasure or a
     /// node consolidation).
     pub fn discard(&self, page: PageId) {
-        self.inner.lock().frames.remove(&page);
+        let mut inner = self.inner.lock();
+        inner.frames.remove(&page);
+        inner.lru.remove(&page);
     }
 
-    /// Writes every dirty frame back to the device.
+    /// Writes every dirty frame back to the device, in ascending `PageId`
+    /// order so repeated runs produce identical write traces.
     pub fn flush(&self) -> TsbResult<()> {
         let mut inner = self.inner.lock();
-        // Collect first to avoid borrowing issues while writing.
-        let dirty: Vec<(PageId, Arc<Vec<u8>>)> = inner
+        let mut dirty: Vec<(PageId, Arc<Vec<u8>>)> = inner
             .frames
             .iter()
             .filter(|(_, f)| f.dirty)
             .map(|(id, f)| (*id, Arc::clone(&f.data)))
             .collect();
+        dirty.sort_by_key(|(id, _)| *id);
         for (id, data) in dirty {
             self.store.write(id, &data)?;
             if let Some(frame) = inner.frames.get_mut(&id) {
@@ -175,7 +173,9 @@ impl BufferPool {
     /// Flushes and then empties the cache.
     pub fn flush_and_clear(&self) -> TsbResult<()> {
         self.flush()?;
-        self.inner.lock().frames.clear();
+        let mut inner = self.inner.lock();
+        inner.frames.clear();
+        inner.lru.clear();
         Ok(())
     }
 }
@@ -218,6 +218,25 @@ mod tests {
         for (i, p) in pages.iter().enumerate() {
             assert_eq!(*pool.get(*p).unwrap(), vec![i as u8; 10]);
         }
+    }
+
+    #[test]
+    fn eviction_victims_follow_recency_not_insertion() {
+        let (_, store, pool) = setup(2);
+        let a = store.allocate().unwrap();
+        let b = store.allocate().unwrap();
+        let c = store.allocate().unwrap();
+        pool.put(a, b"a".to_vec()).unwrap();
+        pool.put(b, b"b".to_vec()).unwrap();
+        pool.get(a).unwrap(); // 'b' is now the LRU frame
+        pool.put(c, b"c".to_vec()).unwrap(); // evicts 'b'
+        let stats = store.stats();
+        stats.reset();
+        pool.get(a).unwrap();
+        pool.get(c).unwrap();
+        assert_eq!(stats.snapshot().cache_misses, 0, "a and c stayed resident");
+        pool.get(b).unwrap();
+        assert_eq!(stats.snapshot().cache_misses, 1, "b was the victim");
     }
 
     #[test]

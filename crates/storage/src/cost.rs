@@ -197,7 +197,10 @@ mod tests {
         };
         let c = m.device_cost(&io);
         assert!(c.magnetic_ms > 0.0);
-        assert!(c.worm_ms > c.magnetic_ms, "optical ops cost more per access");
+        assert!(
+            c.worm_ms > c.magnetic_ms,
+            "optical ops cost more per access"
+        );
     }
 
     #[test]

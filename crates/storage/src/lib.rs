@@ -32,6 +32,7 @@
 
 pub mod buffer;
 pub mod cost;
+pub mod lru;
 pub mod magnetic;
 pub mod page;
 pub mod stats;
@@ -39,6 +40,7 @@ pub mod worm;
 
 pub use buffer::BufferPool;
 pub use cost::{AccessCost, CostModel, SpaceSnapshot};
+pub use lru::LruList;
 pub use magnetic::MagneticStore;
 pub use page::{HistAddr, PageId};
 pub use stats::{IoSnapshot, IoStats};

@@ -35,6 +35,16 @@ pub struct IoStats {
     pub node_accesses_current: AtomicU64,
     /// Logical node accesses that touched historical (WORM-resident) nodes.
     pub node_accesses_historical: AtomicU64,
+    /// Decoded-node cache hits (node accesses served without any decode).
+    pub node_cache_hits: AtomicU64,
+    /// Decoded-node cache misses (node accesses that had to decode a page
+    /// or WORM image).
+    pub node_cache_misses: AtomicU64,
+    /// Full node decodes (page/WORM image -> in-memory node).
+    pub node_decodes: AtomicU64,
+    /// Full node encodes (in-memory node -> page image), deferred to
+    /// node-cache eviction and flush.
+    pub node_encodes: AtomicU64,
 }
 
 impl IoStats {
@@ -103,6 +113,26 @@ impl IoStats {
         Self::bump(&self.node_accesses_historical, 1);
     }
 
+    /// Records a decoded-node cache hit.
+    pub fn record_node_cache_hit(&self) {
+        Self::bump(&self.node_cache_hits, 1);
+    }
+
+    /// Records a decoded-node cache miss.
+    pub fn record_node_cache_miss(&self) {
+        Self::bump(&self.node_cache_misses, 1);
+    }
+
+    /// Records a full node decode.
+    pub fn record_node_decode(&self) {
+        Self::bump(&self.node_decodes, 1);
+    }
+
+    /// Records a full node encode.
+    pub fn record_node_encode(&self) {
+        Self::bump(&self.node_encodes, 1);
+    }
+
     /// Takes a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -117,6 +147,10 @@ impl IoStats {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             node_accesses_current: self.node_accesses_current.load(Ordering::Relaxed),
             node_accesses_historical: self.node_accesses_historical.load(Ordering::Relaxed),
+            node_cache_hits: self.node_cache_hits.load(Ordering::Relaxed),
+            node_cache_misses: self.node_cache_misses.load(Ordering::Relaxed),
+            node_decodes: self.node_decodes.load(Ordering::Relaxed),
+            node_encodes: self.node_encodes.load(Ordering::Relaxed),
         }
     }
 
@@ -134,6 +168,10 @@ impl IoStats {
             &self.cache_misses,
             &self.node_accesses_current,
             &self.node_accesses_historical,
+            &self.node_cache_hits,
+            &self.node_cache_misses,
+            &self.node_decodes,
+            &self.node_encodes,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -165,6 +203,14 @@ pub struct IoSnapshot {
     pub node_accesses_current: u64,
     /// See [`IoStats::node_accesses_historical`].
     pub node_accesses_historical: u64,
+    /// See [`IoStats::node_cache_hits`].
+    pub node_cache_hits: u64,
+    /// See [`IoStats::node_cache_misses`].
+    pub node_cache_misses: u64,
+    /// See [`IoStats::node_decodes`].
+    pub node_decodes: u64,
+    /// See [`IoStats::node_encodes`].
+    pub node_encodes: u64,
 }
 
 impl IoSnapshot {
@@ -189,6 +235,12 @@ impl IoSnapshot {
             node_accesses_historical: self
                 .node_accesses_historical
                 .saturating_sub(earlier.node_accesses_historical),
+            node_cache_hits: self.node_cache_hits.saturating_sub(earlier.node_cache_hits),
+            node_cache_misses: self
+                .node_cache_misses
+                .saturating_sub(earlier.node_cache_misses),
+            node_decodes: self.node_decodes.saturating_sub(earlier.node_decodes),
+            node_encodes: self.node_encodes.saturating_sub(earlier.node_encodes),
         }
     }
 
@@ -206,13 +258,23 @@ impl IoSnapshot {
             Some(self.cache_hits as f64 / total as f64)
         }
     }
+
+    /// Decoded-node cache hit rate in `[0, 1]`; `None` if no node was read.
+    pub fn node_cache_hit_rate(&self) -> Option<f64> {
+        let total = self.node_cache_hits + self.node_cache_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.node_cache_hits as f64 / total as f64)
+        }
+    }
 }
 
 impl fmt::Display for IoSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "magnetic r/w/alloc/free {}/{}/{}/{}  worm append/sector/read {}/{}/{}  cache hit/miss {}/{}  node accesses cur/hist {}/{}",
+            "magnetic r/w/alloc/free {}/{}/{}/{}  worm append/sector/read {}/{}/{}  cache hit/miss {}/{}  node accesses cur/hist {}/{}  node cache hit/miss {}/{}  decode/encode {}/{}",
             self.magnetic_reads,
             self.magnetic_writes,
             self.magnetic_allocs,
@@ -224,6 +286,10 @@ impl fmt::Display for IoSnapshot {
             self.cache_misses,
             self.node_accesses_current,
             self.node_accesses_historical,
+            self.node_cache_hits,
+            self.node_cache_misses,
+            self.node_decodes,
+            self.node_encodes,
         )
     }
 }

@@ -228,13 +228,12 @@ impl WormStore {
         let mut inner = self.inner.lock();
         self.stats.record_worm_read();
         let first_sector = addr.offset / self.sector_size as u64;
-        if addr.offset % self.sector_size as u64 != 0 {
+        if !addr.offset.is_multiple_of(self.sector_size as u64) {
             return Err(TsbError::corruption(format!(
                 "historical address {addr} is not sector-aligned"
             )));
         }
-        let last_sector =
-            (addr.offset + addr.len.max(1) as u64 - 1) / self.sector_size as u64;
+        let last_sector = (addr.offset + addr.len.max(1) as u64 - 1) / self.sector_size as u64;
         for s in first_sector..=last_sector {
             if !inner.written.get(s as usize).copied().unwrap_or(false) {
                 return Err(TsbError::WormOutOfBounds {
@@ -373,7 +372,7 @@ mod tests {
     fn append_and_read_back() {
         let w = store(64);
         let a1 = w.append(b"first historical node").unwrap();
-        let a2 = w.append(&vec![7u8; 130]).unwrap();
+        let a2 = w.append(&[7u8; 130]).unwrap();
         assert_eq!(w.read(a1).unwrap(), b"first historical node");
         assert_eq!(w.read(a2).unwrap(), vec![7u8; 130]);
         // a1 occupies 1 sector, a2 starts on the next boundary and occupies 3.
@@ -417,9 +416,10 @@ mod tests {
         let ext = w.allocate_extent(2).unwrap();
         assert!(w.read_sector(ext).is_err(), "allocated but not burned");
         assert!(w.read_sector(SectorId(99)).is_err());
-        assert!(w
-            .read(HistAddr::new(0, 10))
-            .is_err(), "append-style read of unwritten region");
+        assert!(
+            w.read(HistAddr::new(0, 10)).is_err(),
+            "append-style read of unwritten region"
+        );
         // Unaligned historical address is corruption.
         w.write_sector(ext, b"x").unwrap();
         assert!(w.read(HistAddr::new(3, 4)).is_err());
@@ -429,16 +429,16 @@ mod tests {
     fn oversized_writes_are_rejected() {
         let w = store(64);
         let ext = w.allocate_extent(1).unwrap();
-        assert!(w.write_sector(ext, &vec![0u8; 65]).is_err());
+        assert!(w.write_sector(ext, &[0u8; 65]).is_err());
         assert!(w.append(&[]).is_err());
     }
 
     #[test]
     fn extent_and_append_interleave_without_overlap() {
         let w = store(64);
-        let a = w.append(&vec![1u8; 100]).unwrap(); // sectors 0-1
+        let a = w.append(&[1u8; 100]).unwrap(); // sectors 0-1
         let ext = w.allocate_extent(3).unwrap(); // sectors 2-4
-        let b = w.append(&vec![2u8; 10]).unwrap(); // sector 5
+        let b = w.append(&[2u8; 10]).unwrap(); // sector 5
         assert_eq!(a.offset, 0);
         assert_eq!(ext.0, 2);
         assert_eq!(b.offset, 5 * 64);
@@ -453,7 +453,7 @@ mod tests {
         let w = store(1024);
         let ext = w.allocate_extent(10).unwrap();
         for i in 0..10u64 {
-            w.write_sector(SectorId(ext.0 + i), &vec![9u8; 40]).unwrap();
+            w.write_sector(SectorId(ext.0 + i), &[9u8; 40]).unwrap();
         }
         let util = w.utilization().unwrap();
         assert!(util < 0.05, "40/1024 per sector, got {util}");

@@ -29,7 +29,12 @@ impl Wobt {
 
     /// Inserts a new version with an explicit timestamp (replay / workload
     /// parity with the TSB-tree). The clock is advanced past `ts`.
-    pub fn insert_at(&mut self, key: impl Into<Key>, value: Vec<u8>, ts: Timestamp) -> TsbResult<()> {
+    pub fn insert_at(
+        &mut self,
+        key: impl Into<Key>,
+        value: Vec<u8>,
+        ts: Timestamp,
+    ) -> TsbResult<()> {
         if ts == Timestamp::ZERO {
             return Err(TsbError::config("timestamp 0 is reserved"));
         }
@@ -115,10 +120,14 @@ impl Wobt {
         // One chunk = the paper's "split by current time only"; several
         // chunks = "split by key value and current time".
         let budget = self.cfg.consolidation_budget();
-        let chunks = chunk_by_size(&current, |batch| {
-            pack_data_sectors(batch, Some(old_extent), self.cfg.sector_size)
-                .map(|sectors| sectors.len() * self.cfg.sector_size)
-        }, budget)?;
+        let chunks = chunk_by_size(
+            &current,
+            |batch| {
+                pack_data_sectors(batch, Some(old_extent), self.cfg.sector_size)
+                    .map(|sectors| sectors.len() * self.cfg.sector_size)
+            },
+            budget,
+        )?;
 
         let mut entries = Vec::new();
         for (i, chunk) in chunks.iter().enumerate() {
@@ -191,10 +200,14 @@ impl Wobt {
         current.sort_by(|a, b| a.key.cmp(&b.key));
 
         let budget = self.cfg.consolidation_budget();
-        let chunks = chunk_by_size(&current, |batch| {
-            pack_index_sectors(batch, self.cfg.sector_size)
-                .map(|sectors| sectors.len() * self.cfg.sector_size)
-        }, budget)?;
+        let chunks = chunk_by_size(
+            &current,
+            |batch| {
+                pack_index_sectors(batch, self.cfg.sector_size)
+                    .map(|sectors| sectors.len() * self.cfg.sector_size)
+            },
+            budget,
+        )?;
 
         let mut entries = Vec::new();
         for (i, chunk) in chunks.iter().enumerate() {

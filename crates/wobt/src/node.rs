@@ -237,7 +237,11 @@ pub fn decode_sector(bytes: &[u8]) -> TsbResult<DecodedSector> {
     let bp = match r.get_u8()? {
         0 => None,
         1 => Some(ExtentId(r.get_u64()?)),
-        t => return Err(TsbError::corruption(format!("invalid back-pointer tag {t}"))),
+        t => {
+            return Err(TsbError::corruption(format!(
+                "invalid back-pointer tag {t}"
+            )))
+        }
     };
     let count = r.get_u16()? as usize;
     match tag {
@@ -440,10 +444,26 @@ mod tests {
         let node = WobtNode {
             kind: WobtNodeKind::Index,
             entries: WobtEntries::Index(vec![
-                WobtIndexEntry { key: Key::from_u64(50), ts: Timestamp(1), child: ExtentId(1) },
-                WobtIndexEntry { key: Key::from_u64(100), ts: Timestamp(1), child: ExtentId(2) },
-                WobtIndexEntry { key: Key::from_u64(50), ts: Timestamp(5), child: ExtentId(3) },
-                WobtIndexEntry { key: Key::from_u64(100), ts: Timestamp(5), child: ExtentId(4) },
+                WobtIndexEntry {
+                    key: Key::from_u64(50),
+                    ts: Timestamp(1),
+                    child: ExtentId(1),
+                },
+                WobtIndexEntry {
+                    key: Key::from_u64(100),
+                    ts: Timestamp(1),
+                    child: ExtentId(2),
+                },
+                WobtIndexEntry {
+                    key: Key::from_u64(50),
+                    ts: Timestamp(5),
+                    child: ExtentId(3),
+                },
+                WobtIndexEntry {
+                    key: Key::from_u64(100),
+                    ts: Timestamp(5),
+                    child: ExtentId(4),
+                },
             ]),
             sectors_used: 2,
             back_pointer: None,

@@ -291,8 +291,7 @@ impl Wobt {
         let governing = entries
             .iter()
             .filter(|v| v.key == *key)
-            .filter(|v| v.commit_time().map(|t| t <= ts).unwrap_or(false))
-            .last();
+            .rfind(|v| v.commit_time().map(|t| t <= ts).unwrap_or(false));
         Ok(governing
             .filter(|v| !v.is_tombstone())
             .and_then(|v| v.value.clone()))
@@ -312,14 +311,20 @@ mod tests {
     fn config_validation() {
         WobtConfig::default().validate().unwrap();
         WobtConfig::small().validate().unwrap();
-        let mut c = WobtConfig::default();
-        c.sector_size = 4;
+        let c = WobtConfig {
+            sector_size: 4,
+            ..WobtConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = WobtConfig::default();
-        c.node_sectors = 1;
+        let c = WobtConfig {
+            node_sectors: 1,
+            ..WobtConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = WobtConfig::default();
-        c.max_key_len = c.sector_size;
+        let c = WobtConfig {
+            max_key_len: WobtConfig::default().sector_size,
+            ..WobtConfig::default()
+        };
         assert!(c.validate().is_err());
         assert_eq!(WobtConfig::small().consolidation_budget(), 2 * 128);
     }
@@ -344,6 +349,10 @@ mod tests {
             .unwrap()
             .is_none());
         assert_eq!(w.root_history().len(), 1);
-        assert_eq!(w.lookup_node_accesses(&Key::from_u64(1), Timestamp::MAX).unwrap(), 1);
+        assert_eq!(
+            w.lookup_node_accesses(&Key::from_u64(1), Timestamp::MAX)
+                .unwrap(),
+            1
+        );
     }
 }

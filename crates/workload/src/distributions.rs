@@ -3,9 +3,10 @@
 use rand::Rng;
 
 /// How keys are chosen from a key space of `n` items.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub enum KeyDistribution {
     /// Every key equally likely.
+    #[default]
     Uniform,
     /// Zipfian with the given skew parameter `theta` (0 < theta < 1 typical;
     /// larger = more skew towards low-numbered keys).
@@ -23,12 +24,6 @@ pub enum KeyDistribution {
         /// Probability that an access targets the hot set (e.g. 0.9).
         hot_probability: f64,
     },
-}
-
-impl Default for KeyDistribution {
-    fn default() -> Self {
-        KeyDistribution::Uniform
-    }
 }
 
 /// A sampler over `0..n` following a [`KeyDistribution`].
@@ -137,7 +132,7 @@ mod tests {
 
     #[test]
     fn sequential_cycles_in_order() {
-        let mut sampler = KeySampler::new(KeyDistribution::Sequential, 5, );
+        let mut sampler = KeySampler::new(KeyDistribution::Sequential, 5);
         let mut rng = StdRng::seed_from_u64(1);
         let drawn: Vec<u64> = (0..12).map(|_| sampler.sample(&mut rng)).collect();
         assert_eq!(drawn, vec![0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1]);

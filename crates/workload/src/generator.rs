@@ -144,8 +144,7 @@ pub fn generate_ops(spec: &WorkloadSpec) -> Vec<Op> {
             continue;
         }
         let update = !existing.is_empty()
-            && (next_fresh >= spec.num_keys
-                || rng.gen_bool(spec.update_fraction.clamp(0.0, 1.0)));
+            && (next_fresh >= spec.num_keys || rng.gen_bool(spec.update_fraction.clamp(0.0, 1.0)));
         let key_index = if update {
             // Choose among existing keys following the configured
             // distribution (clamped to the number of keys created so far).
@@ -216,9 +215,7 @@ mod tests {
             .with_update_ratio(0.0); // wants fresh keys but only 20 exist
         let ops = generate_ops(&spec);
         assert_eq!(ops.len(), 500);
-        assert!(ops
-            .iter()
-            .all(|o| o.key().as_u64().unwrap() < 20));
+        assert!(ops.iter().all(|o| o.key().as_u64().unwrap() < 20));
     }
 
     #[test]
@@ -228,7 +225,10 @@ mod tests {
             ..WorkloadSpec::default().with_ops(2000)
         };
         let ops = generate_ops(&spec);
-        let deletes = ops.iter().filter(|o| matches!(o, Op::Delete { .. })).count();
+        let deletes = ops
+            .iter()
+            .filter(|o| matches!(o, Op::Delete { .. }))
+            .count();
         assert!(deletes > 250 && deletes < 550, "deletes = {deletes}");
         // Deletes only target keys that have been written.
         let mut written: HashSet<Key> = HashSet::new();

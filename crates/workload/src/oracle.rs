@@ -12,11 +12,14 @@ use std::ops::Bound;
 
 use tsb_common::{Key, KeyRange, Timestamp};
 
+/// One committed change: the commit time and the value (`None` = tombstone).
+type VersionEntry = (Timestamp, Option<Vec<u8>>);
+
 /// In-memory multiversion map: for each key, the full list of
 /// `(commit time, value-or-tombstone)` in commit order.
 #[derive(Clone, Debug, Default)]
 pub struct Oracle {
-    history: BTreeMap<Key, Vec<(Timestamp, Option<Vec<u8>>)>>,
+    history: BTreeMap<Key, Vec<VersionEntry>>,
 }
 
 impl Oracle {
@@ -122,15 +125,27 @@ mod tests {
         o.put(1u64, Timestamp(10), b"b".to_vec());
         o.delete(1u64, Timestamp(20));
         assert_eq!(o.get_as_of(&Key::from_u64(1), Timestamp(4)), None);
-        assert_eq!(o.get_as_of(&Key::from_u64(1), Timestamp(5)), Some(b"a".to_vec()));
-        assert_eq!(o.get_as_of(&Key::from_u64(1), Timestamp(9)), Some(b"a".to_vec()));
-        assert_eq!(o.get_as_of(&Key::from_u64(1), Timestamp(10)), Some(b"b".to_vec()));
+        assert_eq!(
+            o.get_as_of(&Key::from_u64(1), Timestamp(5)),
+            Some(b"a".to_vec())
+        );
+        assert_eq!(
+            o.get_as_of(&Key::from_u64(1), Timestamp(9)),
+            Some(b"a".to_vec())
+        );
+        assert_eq!(
+            o.get_as_of(&Key::from_u64(1), Timestamp(10)),
+            Some(b"b".to_vec())
+        );
         assert_eq!(o.get_as_of(&Key::from_u64(1), Timestamp(25)), None);
         assert_eq!(o.get_current(&Key::from_u64(1)), None);
         assert_eq!(o.versions(&Key::from_u64(1)).len(), 3);
         assert_eq!(o.total_versions(), 3);
         assert_eq!(o.distinct_keys(), 1);
-        assert_eq!(o.all_timestamps(), vec![Timestamp(5), Timestamp(10), Timestamp(20)]);
+        assert_eq!(
+            o.all_timestamps(),
+            vec![Timestamp(5), Timestamp(10), Timestamp(20)]
+        );
     }
 
     #[test]
@@ -145,6 +160,9 @@ mod tests {
         let range = KeyRange::bounded(Key::from_u64(2), Key::from_u64(6));
         assert_eq!(o.count_as_of(&range, Timestamp(100)), 3); // 2, 4, 5
         assert_eq!(o.count_as_of(&range, Timestamp(6)), 4); // 2..=5 alive then
-        assert!(o.scan_as_of(&range, Timestamp(100)).iter().all(|(k, _)| range.contains(k)));
+        assert!(o
+            .scan_as_of(&range, Timestamp(100))
+            .iter()
+            .all(|(k, _)| range.contains(k)));
     }
 }

@@ -132,9 +132,15 @@ mod tests {
         let b = generate_queries(&o, &mix, 500, 7);
         assert_eq!(a, b);
         assert_eq!(a.len(), 500);
-        let current = a.iter().filter(|q| matches!(q, Query::CurrentGet { .. })).count();
+        let current = a
+            .iter()
+            .filter(|q| matches!(q, Query::CurrentGet { .. }))
+            .count();
         let historical = a.len() - current;
-        assert!(current > historical, "current reads should dominate by default");
+        assert!(
+            current > historical,
+            "current reads should dominate by default"
+        );
     }
 
     #[test]

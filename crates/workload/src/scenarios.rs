@@ -26,8 +26,7 @@ pub fn bank_ledger(num_accounts: u64, num_transactions: usize, seed: u64) -> Wor
 /// Encodes a human-readable account-balance payload (used by the examples so
 /// that the stored values are recognizable).
 pub fn balance_payload(balance_cents: i64) -> Vec<u8> {
-    format!("balance_cents={balance_cents}")
-        .into_bytes()
+    format!("balance_cents={balance_cents}").into_bytes()
 }
 
 /// Personnel records: most activity is hiring (inserts) with occasional
@@ -113,7 +112,10 @@ mod tests {
     fn personnel_contains_deletes_and_inserts() {
         let spec = personnel(500, 3000, 2);
         let ops = generate_ops(&spec);
-        let deletes = ops.iter().filter(|o| matches!(o, Op::Delete { .. })).count();
+        let deletes = ops
+            .iter()
+            .filter(|o| matches!(o, Op::Delete { .. }))
+            .count();
         assert!(deletes > 0);
         let distinct: HashSet<_> = ops.iter().map(|o| o.key().clone()).collect();
         assert!(distinct.len() > 300, "hiring keeps adding new employees");

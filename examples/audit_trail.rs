@@ -14,11 +14,12 @@ use tsb_core::{Key, KeyRange, SplitPolicyKind, TimeRange, TsbConfig, TsbTree};
 use tsb_workload::{generate_ops, scenarios, Op};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = TsbConfig::default()
-        .with_page_size(2048)
-        .with_split_policy(SplitPolicyKind::Threshold {
-            key_split_live_fraction: 0.6,
-        });
+    let cfg =
+        TsbConfig::default()
+            .with_page_size(2048)
+            .with_split_policy(SplitPolicyKind::Threshold {
+                key_split_live_fraction: 0.6,
+            });
     let mut ledger = TsbTree::new_in_memory(cfg)?;
 
     // Replay a year of activity over 150 accounts, remembering the timestamp

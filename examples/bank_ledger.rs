@@ -18,11 +18,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let accounts = 200u64;
     let transactions = 8_000usize;
 
-    let cfg = TsbConfig::default()
-        .with_page_size(2048)
-        .with_split_policy(SplitPolicyKind::Threshold {
-            key_split_live_fraction: 0.6,
-        });
+    let cfg =
+        TsbConfig::default()
+            .with_page_size(2048)
+            .with_split_policy(SplitPolicyKind::Threshold {
+                key_split_live_fraction: 0.6,
+            });
     let mut ledger = TsbTree::new_in_memory(cfg)?;
     let mut oracle = Oracle::new();
 
@@ -54,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let key = Key::from_u64(account);
             let ledger_view = ledger.get_as_of(&key, *ts)?;
             let oracle_view = oracle.get_as_of(&key, *ts);
-            assert_eq!(ledger_view, oracle_view, "audit mismatch for account {account}");
+            assert_eq!(
+                ledger_view, oracle_view,
+                "audit mismatch for account {account}"
+            );
             print!(
                 " acct{account}={}",
                 ledger_view
@@ -70,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let last_quarter = *quarter_marks.last().expect("at least one quarter");
     let snapshot = ledger.snapshot_at(last_quarter)?;
     assert_eq!(snapshot, oracle.snapshot_at(last_quarter));
-    println!("\nsnapshot at T={last_quarter}: {} accounts, consistent with the oracle", snapshot.len());
+    println!(
+        "\nsnapshot at T={last_quarter}: {} accounts, consistent with the oracle",
+        snapshot.len()
+    );
 
     // --- account statement: the full history of one busy account ---------------
     let busy = Key::from_u64(0);

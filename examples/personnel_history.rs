@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let dept = DEPARTMENTS[(emp % 3) as usize];
         let ts = people.insert(
             Key::from_u64(emp),
-            record(&format!("employee-{emp}"), dept, 50_000 + (emp as u32) * 100),
+            record(
+                &format!("employee-{emp}"),
+                dept,
+                50_000 + (emp as u32) * 100,
+            ),
         )?;
         by_dept.insert_entry(&Key::from(dept), &Key::from_u64(emp), ts)?;
     }
@@ -58,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- department head-counts through time ---------------------------------------
     println!("\nhead-count by department:");
-    println!("{:<14} {:>10} {:>12} {:>8}", "department", "after hire", "after reorg", "now");
+    println!(
+        "{:<14} {:>10} {:>12} {:>8}",
+        "department", "after hire", "after reorg", "now"
+    );
     for dept in DEPARTMENTS {
         let d = Key::from(*dept);
         println!(
@@ -69,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             by_dept.count_as_of(&d, Timestamp::MAX)?,
         );
     }
-    assert_eq!(by_dept.count_as_of(&Key::from("engineering"), after_hiring)?, 30);
+    assert_eq!(
+        by_dept.count_as_of(&Key::from("engineering"), after_hiring)?,
+        30
+    );
     assert_eq!(
         by_dept.count_as_of(&Key::from("engineering"), after_reorg)?,
         30 - moved as usize
@@ -77,11 +87,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- who was in engineering right after hiring? ----------------------------------
     let engineers_then = by_dept.primaries_as_of(&Key::from("engineering"), after_hiring)?;
-    println!("\nengineering after hiring: {} people", engineers_then.len());
+    println!(
+        "\nengineering after hiring: {} people",
+        engineers_then.len()
+    );
 
     // --- cross-check one employee's own history ---------------------------------------
     let emp0_history = people.versions(&Key::from_u64(0))?;
-    println!("employee 0 has {} record versions (hire + reorg)", emp0_history.len());
+    println!(
+        "employee 0 has {} record versions (hire + reorg)",
+        emp0_history.len()
+    );
     assert_eq!(emp0_history.len(), 2);
 
     people.verify()?;

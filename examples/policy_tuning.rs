@@ -49,14 +49,46 @@ fn main() {
         "policy", "magnetic KB", "worm KB", "total KB", "redundancy", "cost CS"
     );
     let policies: Vec<(String, SplitPolicyKind, SplitTimeChoice)> = vec![
-        ("wobt-like (time@now)".into(), SplitPolicyKind::WobtLike, SplitTimeChoice::CurrentTime),
-        ("time-preferring/now".into(), SplitPolicyKind::TimePreferring, SplitTimeChoice::CurrentTime),
-        ("time-preferring/last-update".into(), SplitPolicyKind::TimePreferring, SplitTimeChoice::LastUpdate),
-        ("time-preferring/median".into(), SplitPolicyKind::TimePreferring, SplitTimeChoice::MedianVersion),
-        ("threshold 2/3".into(), SplitPolicyKind::default(), SplitTimeChoice::LastUpdate),
-        ("cost-based".into(), SplitPolicyKind::CostBased, SplitTimeChoice::LastUpdate),
-        ("key-preferring".into(), SplitPolicyKind::KeyPreferring, SplitTimeChoice::LastUpdate),
-        ("key-only (naive B+-tree)".into(), SplitPolicyKind::KeyOnly, SplitTimeChoice::LastUpdate),
+        (
+            "wobt-like (time@now)".into(),
+            SplitPolicyKind::WobtLike,
+            SplitTimeChoice::CurrentTime,
+        ),
+        (
+            "time-preferring/now".into(),
+            SplitPolicyKind::TimePreferring,
+            SplitTimeChoice::CurrentTime,
+        ),
+        (
+            "time-preferring/last-update".into(),
+            SplitPolicyKind::TimePreferring,
+            SplitTimeChoice::LastUpdate,
+        ),
+        (
+            "time-preferring/median".into(),
+            SplitPolicyKind::TimePreferring,
+            SplitTimeChoice::MedianVersion,
+        ),
+        (
+            "threshold 2/3".into(),
+            SplitPolicyKind::default(),
+            SplitTimeChoice::LastUpdate,
+        ),
+        (
+            "cost-based".into(),
+            SplitPolicyKind::CostBased,
+            SplitTimeChoice::LastUpdate,
+        ),
+        (
+            "key-preferring".into(),
+            SplitPolicyKind::KeyPreferring,
+            SplitTimeChoice::LastUpdate,
+        ),
+        (
+            "key-only (naive B+-tree)".into(),
+            SplitPolicyKind::KeyOnly,
+            SplitTimeChoice::LastUpdate,
+        ),
     ];
 
     for (label, policy, choice) in policies {

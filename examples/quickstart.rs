@@ -19,15 +19,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- current lookups ---------------------------------------------------
     let now_1001 = tree.get_current(&Key::from("acct-1001"))?.unwrap();
-    println!("acct-1001 now:           {}", String::from_utf8_lossy(&now_1001));
+    println!(
+        "acct-1001 now:           {}",
+        String::from_utf8_lossy(&now_1001)
+    );
     assert!(tree.get_current(&Key::from("acct-1002"))?.is_none());
     println!("acct-1002 now:           <deleted>");
 
     // --- as-of lookups (rollback database) ----------------------------------
     let at_open = tree.get_as_of(&Key::from("acct-1001"), t_open)?.unwrap();
-    println!("acct-1001 as of T={t_open}:    {}", String::from_utf8_lossy(&at_open));
-    let before_close = tree.get_as_of(&Key::from("acct-1002"), t_close.prev())?.unwrap();
-    println!("acct-1002 just before close: {}", String::from_utf8_lossy(&before_close));
+    println!(
+        "acct-1001 as of T={t_open}:    {}",
+        String::from_utf8_lossy(&at_open)
+    );
+    let before_close = tree
+        .get_as_of(&Key::from("acct-1002"), t_close.prev())?
+        .unwrap();
+    println!(
+        "acct-1002 just before close: {}",
+        String::from_utf8_lossy(&before_close)
+    );
 
     // --- snapshots and range scans ------------------------------------------
     let snapshot = tree.snapshot_at(t_deposit)?;

@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Seed the database.
     for i in 0..500u64 {
-        store.insert(Key::from_u64(i), format!("document {i}, revision 1").into_bytes())?;
+        store.insert(
+            Key::from_u64(i),
+            format!("document {i}, revision 1").into_bytes(),
+        )?;
     }
 
     // A writer transaction is in flight when the backup starts; its data must
@@ -32,10 +35,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Meanwhile, normal traffic continues: revisions, new documents, deletes,
     // and the in-flight transaction commits.
     for i in 0..250u64 {
-        store.insert(Key::from_u64(i), format!("document {i}, revision 2").into_bytes())?;
+        store.insert(
+            Key::from_u64(i),
+            format!("document {i}, revision 2").into_bytes(),
+        )?;
     }
     for i in 500..600u64 {
-        store.insert(Key::from_u64(i), format!("document {i}, revision 1").into_bytes())?;
+        store.insert(
+            Key::from_u64(i),
+            format!("document {i}, revision 1").into_bytes(),
+        )?;
     }
     store.delete(Key::from_u64(42))?;
     let late_commit = store.commit_txn(in_flight)?;
@@ -46,9 +55,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("backup contains {} documents", backup.len());
 
     // The backup is exactly the pre-activity state.
-    assert_eq!(backup.len(), 500, "new documents and late commits are excluded");
+    assert_eq!(
+        backup.len(),
+        500,
+        "new documents and late commits are excluded"
+    );
     assert!(
-        backup.iter().all(|(_, v)| String::from_utf8_lossy(v).contains("revision 1")),
+        backup
+            .iter()
+            .all(|(_, v)| String::from_utf8_lossy(v).contains("revision 1")),
         "the backup never observes revision 2"
     );
     assert!(
@@ -70,8 +85,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (key, value) in &backup {
         restored.insert(key.clone(), value.clone())?;
     }
-    assert_eq!(restored.scan_current(&tsb_core::KeyRange::full())?.len(), backup.len());
-    println!("restore into a fresh tree verified ({} documents)", backup.len());
+    assert_eq!(
+        restored.scan_current(&tsb_core::KeyRange::full())?.len(),
+        backup.len()
+    );
+    println!(
+        "restore into a fresh tree verified ({} documents)",
+        backup.len()
+    );
 
     store.verify()?;
     Ok(())

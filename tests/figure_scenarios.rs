@@ -23,9 +23,12 @@ fn v(key: u64, ts: u64, name: &str) -> Version {
 #[test]
 fn figure1_stepwise_constant_account_balance() {
     let mut tree = TsbTree::new_in_memory(TsbConfig::default()).unwrap();
-    tree.insert_at("account", b"100".to_vec(), Timestamp(10)).unwrap();
-    tree.insert_at("account", b"250".to_vec(), Timestamp(20)).unwrap();
-    tree.insert_at("account", b"80".to_vec(), Timestamp(30)).unwrap();
+    tree.insert_at("account", b"100".to_vec(), Timestamp(10))
+        .unwrap();
+    tree.insert_at("account", b"250".to_vec(), Timestamp(20))
+        .unwrap();
+    tree.insert_at("account", b"80".to_vec(), Timestamp(30))
+        .unwrap();
 
     let key = Key::from("account");
     assert_eq!(tree.get_as_of(&key, Timestamp(9)).unwrap(), None);
@@ -51,7 +54,10 @@ fn figures3_and_4_wobt_splits_duplicate_current_data() {
         wobt.insert(i, format!("record-{i}").into_bytes()).unwrap();
     }
     let stats = wobt.stats().unwrap();
-    assert!(stats.data_nodes > 1, "key+time splits created new data nodes");
+    assert!(
+        stats.data_nodes > 1,
+        "key+time splits created new data nodes"
+    );
     assert!(
         stats.redundant_copies > 0,
         "current versions were copied into the new nodes while the old nodes remain"
@@ -62,14 +68,17 @@ fn figures3_and_4_wobt_splits_duplicate_current_data() {
     // but the old versions still occupy their original sectors.
     let mut wobt = Wobt::new_in_memory(WobtConfig::small()).unwrap();
     for round in 0..40u64 {
-        wobt.insert(7u64, format!("round-{round}").into_bytes()).unwrap();
+        wobt.insert(7u64, format!("round-{round}").into_bytes())
+            .unwrap();
     }
     let stats = wobt.stats().unwrap();
     assert_eq!(stats.distinct_versions, 40);
     assert!(stats.data_nodes > 1);
     // Every version remains readable as of its time.
     assert_eq!(
-        wobt.get_as_of(&Key::from_u64(7), Timestamp(1)).unwrap().unwrap(),
+        wobt.get_as_of(&Key::from_u64(7), Timestamp(1))
+            .unwrap()
+            .unwrap(),
         b"round-0".to_vec()
     );
 }
@@ -98,7 +107,11 @@ fn figure5_pure_key_split_for_insert_only_nodes() {
     for i in 0..200u64 {
         tree.insert(i, format!("ins-{i}").into_bytes()).unwrap();
     }
-    assert_eq!(tree.space().worm_bytes, 0, "insert-only data never migrates");
+    assert_eq!(
+        tree.space().worm_bytes,
+        0,
+        "insert-only data never migrates"
+    );
     tree.verify().unwrap();
 }
 
@@ -107,7 +120,12 @@ fn figure5_pure_key_split_for_insert_only_nodes() {
 /// copied into both the historical and the current node.
 #[test]
 fn figure6_split_time_choice_controls_redundancy() {
-    let entries = vec![v(60, 1, "Joe"), v(60, 2, "Pete"), v(60, 4, "Mary"), v(90, 6, "Alice")];
+    let entries = vec![
+        v(60, 1, "Joe"),
+        v(60, 2, "Pete"),
+        v(60, 4, "Mary"),
+        v(90, 6, "Alice"),
+    ];
 
     let at_4 = partition_by_time(&entries, Timestamp(4));
     assert_eq!(at_4.duplicated, 0, "T=4: no redundancy (Figure 6 top)");
@@ -115,7 +133,10 @@ fn figure6_split_time_choice_controls_redundancy() {
     assert_eq!(at_4.current.len(), 2);
 
     let at_5 = partition_by_time(&entries, Timestamp(5));
-    assert_eq!(at_5.duplicated, 1, "T=5: Mary is in both nodes (Figure 6 bottom)");
+    assert_eq!(
+        at_5.duplicated, 1,
+        "T=5: Mary is in both nodes (Figure 6 bottom)"
+    );
     assert!(at_5
         .historical
         .iter()
@@ -169,8 +190,16 @@ fn figure7_index_keyspace_split_duplicates_straddling_historical_entries() {
     assert_eq!(split_key, Key::from_u64(100));
     let parts = partition_index_by_key(node.entries(), &split_key);
     assert_eq!(parts.duplicated, 1);
-    let dup: Vec<_> = parts.left.iter().filter(|e| parts.right.contains(e)).collect();
-    assert_eq!(dup, vec![&hist_wide], "only the straddling historical entry is duplicated");
+    let dup: Vec<_> = parts
+        .left
+        .iter()
+        .filter(|e| parts.right.contains(e))
+        .collect();
+    assert_eq!(
+        dup,
+        vec![&hist_wide],
+        "only the straddling historical entry is duplicated"
+    );
 }
 
 /// Figures 8 and 9: an index node can be time split *locally* only when
@@ -235,7 +264,8 @@ fn figures8_and_9_local_index_time_split_condition() {
 #[test]
 fn consolidation_beats_one_entry_per_sector() {
     let mut tree = TsbTree::new_in_memory(
-        TsbConfig::small_pages().with_split_policy(SplitPolicyKind::TimePreferring)
+        TsbConfig::small_pages()
+            .with_split_policy(SplitPolicyKind::TimePreferring)
             .with_split_time_choice(SplitTimeChoice::CurrentTime),
     )
     .unwrap();

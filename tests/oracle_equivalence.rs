@@ -167,7 +167,10 @@ fn wobt_baseline_matches_the_oracle_on_the_same_history() {
     // Both structures also agree with each other on snapshots at recorded times.
     let times = oracle.all_timestamps();
     let mid = times[times.len() / 2];
-    assert_eq!(tree.snapshot_at(mid).unwrap(), wobt.snapshot_at(mid).unwrap());
+    assert_eq!(
+        tree.snapshot_at(mid).unwrap(),
+        wobt.snapshot_at(mid).unwrap()
+    );
     assert_eq!(
         tree.snapshot_at(tsb_common::Timestamp::MAX).unwrap(),
         wobt.snapshot_at(tsb_common::Timestamp::MAX).unwrap()

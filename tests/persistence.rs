@@ -102,7 +102,10 @@ fn historical_store_stays_write_once_across_sessions() {
             tree.insert(i % 10, format!("v{i}").into_bytes()).unwrap();
         }
         tree.flush().unwrap();
-        assert!(tree.space().worm_bytes > 0, "time splits must have migrated data");
+        assert!(
+            tree.space().worm_bytes > 0,
+            "time splits must have migrated data"
+        );
     }
     {
         let (_magnetic, worm) = open_stores(&dir, &cfg);
@@ -110,7 +113,9 @@ fn historical_store_stays_write_once_across_sessions() {
         assert!(worm.sectors_allocated() > 0);
         for s in 0..worm.sectors_allocated() {
             if worm.is_sector_written(SectorId(s)) {
-                assert!(worm.write_sector(SectorId(s), b"overwrite attempt").is_err());
+                assert!(worm
+                    .write_sector(SectorId(s), b"overwrite attempt")
+                    .is_err());
             }
         }
     }

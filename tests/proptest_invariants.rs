@@ -56,17 +56,20 @@ fn policy_strategy() -> impl Strategy<Value = (SplitPolicyKind, SplitTimeChoice)
 }
 
 fn version_strategy() -> impl Strategy<Value = Version> {
-    (0u64..16, 1u64..64, prop::option::of(prop::collection::vec(any::<u8>(), 0..12))).prop_map(
-        |(key, ts, value)| Version {
+    (
+        0u64..16,
+        1u64..64,
+        prop::option::of(prop::collection::vec(any::<u8>(), 0..12)),
+    )
+        .prop_map(|(key, ts, value)| Version {
             key: Key::from_u64(key),
             state: tsb_common::TsState::Committed(Timestamp(ts)),
             value,
-        },
-    )
+        })
 }
 
 fn sorted_versions(mut v: Vec<Version>) -> Vec<Version> {
-    v.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    v.sort_by_key(|a| a.sort_key());
     v.dedup_by(|a, b| a.sort_key() == b.sort_key());
     v
 }
@@ -155,9 +158,7 @@ proptest! {
         for key in keys {
             let governing = entries
                 .iter()
-                .filter(|e| e.key == key)
-                .filter(|e| e.commit_time().unwrap() <= split_time)
-                .last();
+                .rfind(|e| e.key == key && e.commit_time().unwrap() <= split_time);
             if let Some(g) = governing {
                 if !g.is_tombstone() {
                     prop_assert!(
@@ -188,6 +189,61 @@ proptest! {
         prop_assert_eq!(left.len() + right.len(), entries.len());
         prop_assert!(left.iter().all(|e| e.key < split));
         prop_assert!(right.iter().all(|e| e.key >= split));
+    }
+
+    /// The decoded-node cache is coherent: after arbitrary operation
+    /// sequences (with splits and interleaved invalidations), every cached
+    /// node equals what decoding its device image produces, cache-bypassing
+    /// reads return the same answers as cached reads, and re-running the
+    /// same warm queries performs zero decodes.
+    #[test]
+    fn node_cache_is_coherent_under_arbitrary_ops(
+        ops in prop::collection::vec(op_strategy(), 1..200),
+        (policy, choice) in policy_strategy(),
+        invalidate_every in 5usize..40,
+    ) {
+        let cfg = TsbConfig::small_pages()
+            .with_split_policy(policy)
+            .with_split_time_choice(choice)
+            .with_node_cache_entries(4096);
+        let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                PropOp::Put { key, len } => {
+                    let value = vec![*key; (*len % 24) as usize];
+                    tree.insert(Key::from_u64(*key as u64), value).unwrap();
+                }
+                PropOp::Delete { key } => {
+                    tree.delete(Key::from_u64(*key as u64)).unwrap();
+                }
+            }
+            // Sprinkle invalidations through the stream: they must never
+            // change any answer, only force re-decodes.
+            if i % invalidate_every == invalidate_every - 1 {
+                tree.invalidate_cached_node(tree.root_addr()).unwrap();
+            }
+        }
+        // Every reachable cached node equals its decoded device image.
+        tree.verify_cache_coherence().unwrap();
+
+        // Answers through the warm cache...
+        let cached_answers: Vec<_> = (0..32u64)
+            .map(|key| tree.get_current(&Key::from_u64(key)).unwrap())
+            .collect();
+        // ...survive a full cold start (bypass: everything re-decoded).
+        tree.drop_caches().unwrap();
+        for (key, expected) in (0..32u64).zip(&cached_answers) {
+            prop_assert_eq!(&tree.get_current(&Key::from_u64(key)).unwrap(), expected);
+        }
+        // And the now-warm paths decode nothing on a repeat pass.
+        let before = tree.io_stats().snapshot();
+        for key in 0..32u64 {
+            tree.get_current(&Key::from_u64(key)).unwrap();
+        }
+        let delta = tree.io_stats().snapshot().delta_since(&before);
+        prop_assert_eq!(delta.node_decodes, 0);
+        prop_assert_eq!(delta.node_cache_misses, 0);
+        prop_assert!(delta.node_cache_hits > 0);
     }
 
     /// The composite (secondary, primary) encoding is loss-free and

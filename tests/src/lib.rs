@@ -40,7 +40,9 @@ pub fn replay(tree: &mut TsbTree, oracle: &mut Oracle, ops: &[Op]) -> CommitLog 
 pub fn replay_into_wobt(wobt: &mut Wobt, log: &CommitLog) {
     for (key, ts, value) in log {
         match value {
-            Some(v) => wobt.insert_at(key.clone(), v.clone(), *ts).expect("wobt insert"),
+            Some(v) => wobt
+                .insert_at(key.clone(), v.clone(), *ts)
+                .expect("wobt insert"),
             None => {
                 // The WOBT has no explicit timestamped delete helper; replay
                 // deletes as tombstones at the next tick, which the

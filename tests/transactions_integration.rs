@@ -19,7 +19,8 @@ fn interleaved_transactions_with_aborts_match_the_oracle() {
         let txn = t.begin_txn();
         let keys: Vec<u64> = (0..4).map(|i| (round * 3 + i) % 25).collect();
         for &k in &keys {
-            t.txn_insert(txn, k, format!("r{round}-k{k}").into_bytes()).unwrap();
+            t.txn_insert(txn, k, format!("r{round}-k{k}").into_bytes())
+                .unwrap();
         }
         if round % 3 == 2 {
             t.abort_txn(txn).unwrap();
@@ -80,7 +81,9 @@ fn atomicity_all_of_a_transactions_writes_share_one_timestamp() {
         assert_eq!(version.value, Some(b"multi-leaf commit".to_vec()));
         // Just before the commit timestamp, the old value is still visible.
         assert_eq!(
-            t.get_as_of(&Key::from_u64(k), commit_ts.prev()).unwrap().unwrap(),
+            t.get_as_of(&Key::from_u64(k), commit_ts.prev())
+                .unwrap()
+                .unwrap(),
             b"seed".to_vec()
         );
     }
@@ -95,7 +98,8 @@ fn snapshot_backup_is_unaffected_by_later_commits_and_in_flight_writers() {
     }
     // An in-flight writer exists when the backup begins.
     let writer = t.begin_txn();
-    t.txn_insert(writer, 500u64, b"uncommitted at backup time".to_vec()).unwrap();
+    t.txn_insert(writer, 500u64, b"uncommitted at backup time".to_vec())
+        .unwrap();
 
     let backup_ts = t.begin_snapshot().timestamp();
 
@@ -103,7 +107,8 @@ fn snapshot_backup_is_unaffected_by_later_commits_and_in_flight_writers() {
     // enough churn to force splits and migration.
     for round in 0..5u64 {
         for i in 0..100u64 {
-            t.insert(i, format!("v2-round{round}").into_bytes()).unwrap();
+            t.insert(i, format!("v2-round{round}").into_bytes())
+                .unwrap();
         }
     }
     t.commit_txn(writer).unwrap();
@@ -134,7 +139,10 @@ fn write_conflicts_resolve_after_commit_or_abort() {
     // After the abort, b can write and commit the key.
     t.txn_insert(b, 1u64, b"b".to_vec()).unwrap();
     t.commit_txn(b).unwrap();
-    assert_eq!(t.get_current(&Key::from_u64(1)).unwrap().unwrap(), b"b".to_vec());
+    assert_eq!(
+        t.get_current(&Key::from_u64(1)).unwrap().unwrap(),
+        b"b".to_vec()
+    );
 
     // Single-shot writes (auto-commit) conflict with in-flight transactions
     // only through the uncommitted-version check; they are independent here.
