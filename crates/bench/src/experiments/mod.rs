@@ -5,6 +5,7 @@
 
 pub mod ablation;
 pub mod baseline;
+pub mod concurrency;
 pub mod cost_function;
 pub mod policy_space;
 pub mod query_cost;
@@ -15,7 +16,7 @@ use crate::measure::Scale;
 use crate::report::Table;
 
 /// Every experiment id the harness knows about.
-pub const ALL_EXPERIMENTS: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
+pub const ALL_EXPERIMENTS: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
 
 /// Runs one experiment by id, returning its tables.
 pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
@@ -37,6 +38,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "e7" => Some(worm_utilization::run(scale)),
         "e8" => Some(baseline::run(scale)),
         "e9" => Some(ablation::run(scale)),
+        "e10" | "concurrency" => Some(concurrency::run(scale)),
         _ => None,
     }
 }
@@ -48,6 +50,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     out.extend(ratio_sweep::run(scale));
     out.extend(cost_function::run(scale));
     out.extend(query_cost::run(scale));
+    out.extend(concurrency::run(scale));
     out.extend(worm_utilization::run(scale));
     out.extend(baseline::run(scale));
     out.extend(ablation::run(scale));

@@ -15,19 +15,39 @@
 //!   so cached copies are valid forever; current entries are replaced by
 //!   every [`insert_dirty`](NodeCache::insert_dirty) on their page.
 //! * **Write-back of nodes, not bytes.** A current-node write installs the
-//!   decoded node marked dirty; the encode is deferred until the entry is
-//!   evicted or the tree flushes. Repeated rewrites of a hot leaf (the
-//!   common insert pattern) therefore encode once, not once per insert.
-//! * **No I/O in this module.** The cache returns evicted dirty nodes to
-//!   the caller ([`TsbTree`](crate::TsbTree)), which owns the buffer pool
-//!   and performs the encode + page write. This keeps the storage boundary
-//!   clean: `tsb-storage` moves bytes, `tsb-core` decides what they mean.
-//!
-//! Interior mutability (a mutex around the map + LRU list) lets reads keep
-//! taking `&self`, matching the lock-free read-only transaction story of
-//! §4.1 at this layer of the reproduction.
+//!   decoded node marked dirty; the encode is deferred until the tree
+//!   flushes. Repeated rewrites of a hot leaf (the common insert pattern)
+//!   therefore encode once, not once per insert. Dirty entries are
+//!   **pinned**: eviction skips them, because a dirty entry is the sole
+//!   copy of its node's newest state, and removing it before its encode
+//!   reaches the buffer pool would let a concurrent reader decode a stale
+//!   page image (the shard may temporarily exceed its capacity by the
+//!   writer's dirty working set between flushes).
+//! * **No I/O in this module.** The cache hands dirty nodes back through
+//!   [`dirty_entries`](NodeCache::dirty_entries) /
+//!   [`dirty_at`](NodeCache::dirty_at) to the caller
+//!   ([`TsbTree`](crate::TsbTree)), which owns the buffer pool, performs
+//!   the encode + page write, and confirms per entry with
+//!   [`mark_clean`](NodeCache::mark_clean). This keeps the storage
+//!   boundary clean: `tsb-storage` moves bytes, `tsb-core` decides what
+//!   they mean.
+//! * **Lock-sharded for concurrent readers.** A warm concurrent read
+//!   ([`crate::ConcurrentTsb`]) touches nothing but this cache and the
+//!   atomic [`tsb_storage::IoStats`] counters, so a single global mutex
+//!   would serialize every reader on every node access. The cache is
+//!   therefore split into [`SHARD_COUNT`] independent shards (hash of the
+//!   address picks the shard), each with its own mutex, map, and LRU list;
+//!   readers on disjoint paths proceed in parallel. A hit holds its shard
+//!   latch only for the hash lookup and LRU touch — never across I/O,
+//!   decode, or another node. Eviction is per-shard (each shard holds
+//!   `capacity / SHARD_COUNT` entries), which approximates global LRU the
+//!   same way any sharded cache does. [`NodeCache::new`] keeps a single
+//!   shard — exact LRU, used by tests that assert eviction order;
+//!   [`NodeCache::sharded`] is what [`TsbTree`](crate::TsbTree) uses.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -36,153 +56,322 @@ use tsb_storage::{LruList, PageId};
 
 use crate::node::{Node, NodeAddr};
 
+/// Shards used by [`NodeCache::sharded`]. Sixteen keeps the chance of two
+/// concurrent descents colliding on a shard low while the per-shard
+/// capacity stays large enough for exact-LRU behaviour not to matter.
+pub(crate) const SHARD_COUNT: usize = 16;
+
 struct CacheEntry {
     node: Arc<Node>,
     /// Dirty entries are current nodes whose newest image exists only here;
-    /// they are encoded into the buffer pool on eviction or flush.
-    /// Historical entries are never dirty.
+    /// they are encoded into the buffer pool when the tree flushes (and
+    /// are pinned against eviction until then). Historical entries are
+    /// never dirty.
     dirty: bool,
 }
 
-struct Inner {
+struct Shard {
     entries: HashMap<NodeAddr, CacheEntry>,
     lru: LruList<NodeAddr>,
+    /// Recency order over the *dirty* entries only. Dirty entries are
+    /// pinned (not evictable), so eviction bounds `entries.len() -
+    /// dirty_lru.len()` — the clean residency — by the shard capacity;
+    /// the writer drains this list's LRU end through
+    /// [`NodeCache::dirty_overflow_victim`] to bound the dirty residency
+    /// too.
+    dirty_lru: LruList<NodeAddr>,
+    /// Bumped by every content-changing operation on this shard
+    /// ([`NodeCache::insert_dirty`], [`NodeCache::discard`], `clear`). A
+    /// reader's miss→decode→fill window ([`NodeCache::begin_fill`] /
+    /// [`NodeCache::complete_fill`]) validates against it: a fill that
+    /// raced a content change must not install its (possibly stale)
+    /// decode as the canonical cached node.
+    stamp: u64,
 }
 
-/// A fixed-capacity LRU cache of decoded nodes spanning both devices.
+/// A fixed-capacity LRU cache of decoded nodes spanning both devices,
+/// lock-sharded for concurrent readers.
 pub(crate) struct NodeCache {
-    capacity: usize,
-    inner: Mutex<Inner>,
+    /// Maximum entries per shard.
+    shard_capacity: usize,
+    shards: Vec<Mutex<Shard>>,
 }
-
-/// Dirty nodes displaced by an insertion; the caller must encode and write
-/// each to its page.
-pub(crate) type Evicted = Vec<(PageId, Arc<Node>)>;
 
 impl std::fmt::Debug for NodeCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NodeCache")
-            .field("capacity", &self.capacity)
+            .field("shards", &self.shards.len())
+            .field("capacity", &(self.shard_capacity * self.shards.len()))
             .field("resident", &self.len())
             .finish()
     }
 }
 
 impl NodeCache {
-    /// Creates a cache holding at most `capacity` decoded nodes.
+    /// Creates a single-shard cache holding at most `capacity` decoded
+    /// nodes, with exact global LRU eviction (tests that assert eviction
+    /// order use this; the tree itself uses [`Self::sharded`]).
+    #[cfg(test)]
     pub(crate) fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, 1)
+    }
+
+    /// Creates a cache of [`SHARD_COUNT`] shards holding at most `capacity`
+    /// decoded nodes in total.
+    pub(crate) fn sharded(capacity: usize) -> Self {
+        Self::with_shards(capacity, SHARD_COUNT)
+    }
+
+    fn with_shards(capacity: usize, shards: usize) -> Self {
+        // Every shard must hold at least one entry; small capacities
+        // collapse to fewer shards rather than growing beyond the target.
+        // Floor division keeps the aggregate clean residency at or below
+        // the configured capacity (the clamp guarantees a quotient ≥ 1).
+        let shards = shards.clamp(1, capacity.max(1));
+        let shard_capacity = capacity.max(1) / shards;
         NodeCache {
-            capacity: capacity.max(1),
-            inner: Mutex::new(Inner {
-                entries: HashMap::new(),
-                lru: LruList::new(),
-            }),
+            shard_capacity,
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                        lru: LruList::new(),
+                        dirty_lru: LruList::new(),
+                        stamp: 0,
+                    })
+                })
+                .collect(),
         }
+    }
+
+    fn shard(&self, addr: &NodeAddr) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        addr.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
     /// Number of cached nodes.
     pub(crate) fn len(&self) -> usize {
-        self.inner.lock().entries.len()
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
     }
 
     /// Returns the cached node at `addr`, marking it most recently used.
+    /// (The tree's read path uses [`Self::begin_fill`] /
+    /// [`Self::complete_fill`] instead, which combine the lookup with a
+    /// stamp-validated fill window.)
+    #[cfg(test)]
     pub(crate) fn get(&self, addr: NodeAddr) -> Option<Arc<Node>> {
-        let mut inner = self.inner.lock();
-        let node = Arc::clone(&inner.entries.get(&addr)?.node);
-        inner.lru.touch(addr);
+        let mut shard = self.shard(&addr).lock();
+        let node = Arc::clone(&shard.entries.get(&addr)?.node);
+        shard.lru.touch(addr);
         Some(node)
     }
 
-    /// Caches a node freshly decoded from its device image.
-    #[must_use = "evicted dirty nodes must be written back"]
-    pub(crate) fn insert_clean(&self, addr: NodeAddr, node: Arc<Node>) -> Evicted {
-        self.insert(addr, node, false)
+    /// Opens a fill window for `addr`: returns the resident node on a hit
+    /// (`Ok`), or the shard's content stamp on a miss (`Err`) for the
+    /// caller to pass back through [`Self::complete_fill`] after decoding.
+    pub(crate) fn begin_fill(&self, addr: NodeAddr) -> Result<Arc<Node>, u64> {
+        let mut shard = self.shard(&addr).lock();
+        match shard.entries.get(&addr) {
+            Some(entry) => {
+                let node = Arc::clone(&entry.node);
+                shard.lru.touch(addr);
+                Ok(node)
+            }
+            None => Err(shard.stamp),
+        }
+    }
+
+    /// Completes a fill opened by [`Self::begin_fill`], returning the
+    /// canonical node for the caller to use.
+    ///
+    /// A fill races: between the miss and this call, the writer may have
+    /// installed a newer dirty version of the same address and that entry
+    /// may even have been written back and evicted again — the caller's
+    /// decode would then be stale, and caching it would poison every later
+    /// read (including the writer's own read-modify-write). Two guards
+    /// close the window: a resident entry always wins, and a shard whose
+    /// content stamp moved since `begin_fill` refuses the install (the
+    /// caller still gets *its* decode back, which is a legal answer for a
+    /// read that began before the racing write installed — it just never
+    /// becomes canonical).
+    pub(crate) fn complete_fill(&self, addr: NodeAddr, node: Arc<Node>, stamp: u64) -> Arc<Node> {
+        let mut shard = self.shard(&addr).lock();
+        if let Some(existing) = shard.entries.get(&addr) {
+            let existing = Arc::clone(&existing.node);
+            shard.lru.touch(addr);
+            return existing;
+        }
+        if shard.stamp != stamp {
+            return node;
+        }
+        shard.entries.insert(
+            addr,
+            CacheEntry {
+                node: Arc::clone(&node),
+                dirty: false,
+            },
+        );
+        shard.lru.touch(addr);
+        self.evict_clean_overflow(&mut shard);
+        node
+    }
+
+    /// Caches an *immutable* node (a historical WORM append, whose address
+    /// can never hold different content) without a fill window. Also used
+    /// by tests. The resident entry wins if one exists.
+    pub(crate) fn insert_clean(&self, addr: NodeAddr, node: Arc<Node>) -> Arc<Node> {
+        let stamp = match self.begin_fill(addr) {
+            Ok(existing) => return existing,
+            Err(stamp) => stamp,
+        };
+        self.complete_fill(addr, node, stamp)
     }
 
     /// Installs the newest version of a current node, superseding the page
-    /// image until eviction/flush re-encodes it.
-    #[must_use = "evicted dirty nodes must be written back"]
-    pub(crate) fn insert_dirty(&self, page: PageId, node: Arc<Node>) -> Evicted {
-        self.insert(NodeAddr::Current(page), node, true)
+    /// image until a flush or overflow write-back re-encodes it. The entry
+    /// is pinned resident (and dirty) until then. Writer-only: callers
+    /// serialize mutations.
+    pub(crate) fn insert_dirty(&self, page: PageId, node: Arc<Node>) {
+        let addr = NodeAddr::Current(page);
+        let mut shard = self.shard(&addr).lock();
+        shard.stamp += 1;
+        shard.entries.insert(addr, CacheEntry { node, dirty: true });
+        shard.dirty_lru.touch(addr);
+        shard.lru.touch(addr);
+        self.evict_clean_overflow(&mut shard);
     }
 
-    fn insert(&self, addr: NodeAddr, node: Arc<Node>, dirty: bool) -> Evicted {
-        let mut inner = self.inner.lock();
-        let previous = inner.entries.insert(addr, CacheEntry { node, dirty });
-        debug_assert!(
-            dirty || previous.is_none_or(|e| !e.dirty),
-            "insert_clean would replace the dirty node at {addr}, losing its deferred encode"
-        );
-        inner.lru.touch(addr);
-        let mut evicted = Vec::new();
-        while inner.entries.len() > self.capacity {
-            let victim = inner
-                .lru
-                .pop_lru()
-                .expect("cache over capacity implies a nonempty LRU list");
-            let entry = inner
-                .entries
-                .remove(&victim)
-                .expect("LRU list tracks exactly the cached addresses");
-            if entry.dirty {
-                let page = victim.as_page().expect("only current nodes are ever dirty");
-                evicted.push((page, entry.node));
+    /// Writer-side dirty residency control. If `addr`'s shard holds more
+    /// dirty entries than its capacity, returns the least recently written
+    /// one for write-back. The entry **stays resident and stays dirty**
+    /// until the caller has installed its encode in the buffer pool and
+    /// calls [`Self::mark_clean`] — marking it clean (and therefore
+    /// evictable) any earlier would reopen the stale-decode window this
+    /// cache pins dirty entries to avoid. Single-writer only: the caller's
+    /// serialization guarantees nobody re-dirties the entry in between.
+    pub(crate) fn dirty_overflow_victim(&self, addr: NodeAddr) -> Option<(PageId, Arc<Node>)> {
+        let shard = self.shard(&addr).lock();
+        if shard.dirty_lru.len() <= self.shard_capacity {
+            return None;
+        }
+        // Peek, don't pop: the victim leaves the dirty set only in
+        // `mark_clean`, after the caller's write-back succeeded. If the
+        // write-back errors, the accounting is untouched and the same
+        // victim is offered again on the next write.
+        let victim = *shard.dirty_lru.peek_lru()?;
+        let node = Arc::clone(&shard.entries.get(&victim)?.node);
+        let page = victim.as_page().expect("only current nodes are ever dirty");
+        Some((page, node))
+    }
+
+    /// Marks `addr` clean after its newest encode reached the buffer pool
+    /// (the second half of [`Self::dirty_overflow_victim`]).
+    pub(crate) fn mark_clean(&self, addr: NodeAddr) {
+        let mut shard = self.shard(&addr).lock();
+        if let Some(entry) = shard.entries.get_mut(&addr) {
+            entry.dirty = false;
+        }
+        shard.dirty_lru.remove(&addr);
+    }
+
+    /// Evicts clean entries until the shard's clean residency fits its
+    /// capacity. Dirty entries are skipped: a dirty entry is the *sole*
+    /// copy of its node's newest state, and removing it from the cache
+    /// before its encode reaches the buffer pool would open a window in
+    /// which a concurrent reader misses here and decodes a stale (or
+    /// still-empty) page image — a torn read on a content-only path the
+    /// structure epoch does not cover. Dirty entries stay pinned until an
+    /// explicit flush ([`Self::dirty_entries`] + [`Self::mark_clean`],
+    /// always writer-serialized) marks them clean; the shard may
+    /// temporarily exceed its capacity by the writer's dirty working set.
+    /// This also keeps the read path free of page I/O entirely.
+    fn evict_clean_overflow(&self, shard: &mut Shard) {
+        let mut pinned_dirty = Vec::new();
+        while shard.entries.len().saturating_sub(shard.dirty_lru.len()) > self.shard_capacity {
+            let Some(victim) = shard.lru.pop_lru() else {
+                break;
+            };
+            if shard.entries.get(&victim).is_some_and(|e| e.dirty) {
+                pinned_dirty.push(victim);
+            } else {
+                shard.entries.remove(&victim);
             }
         }
-        evicted
+        // Pinned dirty entries rejoin the recency order as most recently
+        // used: the next eviction scan finds clean victims first, so
+        // repeated inserts do not rescan the dirty set.
+        for addr in pinned_dirty {
+            shard.lru.touch(addr);
+        }
     }
 
     /// Invalidates one address (page freed, node superseded out of band).
     /// Any dirty state is dropped — the caller decides whether the page
     /// image is still meaningful.
     pub(crate) fn discard(&self, addr: NodeAddr) {
-        let mut inner = self.inner.lock();
-        inner.entries.remove(&addr);
-        inner.lru.remove(&addr);
+        let mut shard = self.shard(&addr).lock();
+        shard.stamp += 1;
+        shard.entries.remove(&addr);
+        shard.lru.remove(&addr);
+        shard.dirty_lru.remove(&addr);
     }
 
     /// Drops every cached node. The caller must have flushed dirty entries
     /// first (see [`TsbTree::drop_caches`](crate::TsbTree::drop_caches)).
     pub(crate) fn clear(&self) {
-        let mut inner = self.inner.lock();
-        debug_assert!(
-            inner.entries.values().all(|e| !e.dirty),
-            "clearing a node cache with dirty entries loses writes"
-        );
-        inner.entries.clear();
-        inner.lru.clear();
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            debug_assert!(
+                shard.entries.values().all(|e| !e.dirty),
+                "clearing a node cache with dirty entries loses writes"
+            );
+            shard.stamp += 1;
+            shard.entries.clear();
+            shard.lru.clear();
+            shard.dirty_lru.clear();
+        }
     }
 
-    /// Flushes one entry's dirty state: if `addr` is cached and dirty,
-    /// marks it clean and returns the node for write-back. Keeps every
-    /// other deferred encode deferred (single-address invalidation must
-    /// not act as a full flush).
-    #[must_use = "a returned dirty node must be written back"]
-    pub(crate) fn take_dirty_at(&self, addr: NodeAddr) -> Option<(PageId, Arc<Node>)> {
-        let mut inner = self.inner.lock();
-        let entry = inner.entries.get_mut(&addr)?;
+    /// Returns `addr`'s node if it is cached and dirty, *without* changing
+    /// any state. The caller writes the encode to the buffer pool and then
+    /// confirms with [`Self::mark_clean`] — the same peek/write/confirm
+    /// protocol as [`Self::dirty_overflow_victim`], so the entry stays
+    /// pinned (dirty, unevictable) until its image is durably in the pool
+    /// and a concurrent reader can never evict-then-refill it from a stale
+    /// page image.
+    pub(crate) fn dirty_at(&self, addr: NodeAddr) -> Option<(PageId, Arc<Node>)> {
+        let shard = self.shard(&addr).lock();
+        let entry = shard.entries.get(&addr)?;
         if !entry.dirty {
             return None;
         }
-        entry.dirty = false;
+        let node = Arc::clone(&entry.node);
         let page = addr.as_page().expect("only current nodes are ever dirty");
-        Some((page, Arc::clone(&entry.node)))
+        Some((page, node))
     }
 
-    /// Removes and returns every dirty node, in ascending `PageId` order
-    /// (deterministic write traces); the entries stay cached, now clean.
-    pub(crate) fn take_dirty(&self) -> Evicted {
-        let mut inner = self.inner.lock();
-        let mut dirty: Evicted = inner
-            .entries
-            .iter_mut()
-            .filter(|(_, e)| e.dirty)
-            .map(|(addr, e)| {
-                e.dirty = false;
-                let page = addr.as_page().expect("only current nodes are ever dirty");
-                (page, Arc::clone(&e.node))
-            })
-            .collect();
+    /// Returns every dirty node in ascending `PageId` order (deterministic
+    /// write traces) *without changing any state* — the flush protocol
+    /// writes each encode to the buffer pool and then confirms per entry
+    /// with [`Self::mark_clean`]. Flipping everything clean up front would
+    /// unpin not-yet-written entries, and a concurrent reader could evict
+    /// one and refill it from its stale pre-flush page image.
+    pub(crate) fn dirty_entries(&self) -> Vec<(PageId, Arc<Node>)> {
+        let mut dirty: Vec<(PageId, Arc<Node>)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            dirty.extend(
+                shard
+                    .entries
+                    .iter()
+                    .filter(|(_, e)| e.dirty)
+                    .map(|(addr, e)| {
+                        let page = addr.as_page().expect("only current nodes are ever dirty");
+                        (page, Arc::clone(&e.node))
+                    }),
+            );
+        }
         dirty.sort_by_key(|(page, _)| *page);
         dirty
     }
@@ -190,7 +379,7 @@ impl NodeCache {
     /// Whether `addr` is cached and dirty (test/diagnostic helper).
     #[cfg(test)]
     pub(crate) fn is_dirty(&self, addr: NodeAddr) -> bool {
-        self.inner
+        self.shard(&addr)
             .lock()
             .entries
             .get(&addr)
@@ -208,74 +397,102 @@ mod tests {
         Arc::new(Node::Data(DataNode::initial_root()))
     }
 
+    /// The flush protocol as the tree drives it: peek the dirty set, then
+    /// confirm each entry (here without the pool write in between).
+    fn flush_all(cache: &NodeCache) -> Vec<PageId> {
+        let dirty = cache.dirty_entries();
+        let pages: Vec<PageId> = dirty.iter().map(|(p, _)| *p).collect();
+        for page in &pages {
+            cache.mark_clean(NodeAddr::Current(*page));
+        }
+        pages
+    }
+
     #[test]
     fn hit_returns_the_shared_node() {
         let cache = NodeCache::new(4);
         let addr = NodeAddr::Current(PageId(1));
         assert!(cache.get(addr).is_none());
         let n = node();
-        assert!(cache.insert_clean(addr, Arc::clone(&n)).is_empty());
+        cache.insert_clean(addr, Arc::clone(&n));
         let got = cache.get(addr).unwrap();
         assert!(Arc::ptr_eq(&got, &n));
         assert_eq!(cache.len(), 1);
     }
 
     #[test]
-    fn eviction_surfaces_only_dirty_nodes() {
+    fn eviction_skips_pinned_dirty_entries() {
         let cache = NodeCache::new(2);
-        let d1 = cache.insert_dirty(PageId(1), node());
-        let d2 = cache.insert_clean(NodeAddr::Current(PageId(2)), node());
-        assert!(d1.is_empty() && d2.is_empty());
-        // Third insert evicts page 1 (the LRU entry), which is dirty.
-        let evicted = cache.insert_clean(NodeAddr::Current(PageId(3)), node());
-        assert_eq!(evicted.len(), 1);
-        assert_eq!(evicted[0].0, PageId(1));
-        // Fourth insert evicts page 2, which is clean: nothing to write.
-        let evicted = cache.insert_clean(NodeAddr::Current(PageId(4)), node());
-        assert!(evicted.is_empty());
-        assert_eq!(cache.len(), 2);
+        cache.insert_dirty(PageId(1), node());
+        cache.insert_clean(NodeAddr::Current(PageId(2)), node());
+        cache.insert_clean(NodeAddr::Current(PageId(3)), node());
+        cache.insert_clean(NodeAddr::Current(PageId(4)), node());
+        // Dirty page 1 is pinned (it rides along outside the capacity);
+        // the clean overflow evicted the least recent clean entry.
+        assert!(cache.get(NodeAddr::Current(PageId(1))).is_some());
+        assert!(cache.get(NodeAddr::Current(PageId(2))).is_none());
+        assert!(cache.get(NodeAddr::Current(PageId(3))).is_some());
+        assert!(cache.get(NodeAddr::Current(PageId(4))).is_some());
+        assert!(cache.is_dirty(NodeAddr::Current(PageId(1))));
+        assert_eq!(cache.len(), 3, "capacity 2 clean + 1 pinned dirty");
+        // Once flushed (clean), the entry becomes evictable again.
+        let flushed = flush_all(&cache);
+        assert_eq!(flushed, vec![PageId(1)]);
+        cache.insert_clean(NodeAddr::Current(PageId(5)), node());
+        cache.insert_clean(NodeAddr::Current(PageId(6)), node());
+        assert_eq!(cache.len(), 2, "clean entries respect the capacity");
     }
 
     #[test]
-    fn take_dirty_is_sorted_and_marks_clean() {
+    fn dirty_entries_is_sorted_and_mark_clean_confirms() {
         let cache = NodeCache::new(8);
         for page in [5u64, 1, 3] {
-            let _ = cache.insert_dirty(PageId(page), node());
+            cache.insert_dirty(PageId(page), node());
         }
-        let _ = cache.insert_clean(NodeAddr::Current(PageId(2)), node());
-        let dirty = cache.take_dirty();
+        cache.insert_clean(NodeAddr::Current(PageId(2)), node());
+        // Peeking does not change state: the entries stay dirty (pinned)
+        // until each write-back is confirmed.
+        let dirty = cache.dirty_entries();
         let pages: Vec<u64> = dirty.iter().map(|(p, _)| p.0).collect();
         assert_eq!(pages, vec![1, 3, 5]);
-        assert!(cache.take_dirty().is_empty(), "entries are clean now");
-        assert_eq!(cache.len(), 4, "take_dirty does not evict");
+        assert!(cache.is_dirty(NodeAddr::Current(PageId(5))));
+        let flushed = flush_all(&cache);
+        assert_eq!(flushed.len(), 3);
+        assert!(cache.dirty_entries().is_empty(), "entries are clean now");
+        assert_eq!(cache.len(), 4, "flushing does not evict");
         assert!(!cache.is_dirty(NodeAddr::Current(PageId(5))));
     }
 
     #[test]
-    fn take_dirty_at_flushes_only_the_target() {
+    fn dirty_at_peeks_only_the_target() {
         let cache = NodeCache::new(8);
-        let _ = cache.insert_dirty(PageId(1), node());
-        let _ = cache.insert_dirty(PageId(2), node());
-        let (page, _) = cache.take_dirty_at(NodeAddr::Current(PageId(1))).unwrap();
+        cache.insert_dirty(PageId(1), node());
+        cache.insert_dirty(PageId(2), node());
+        let (page, _) = cache.dirty_at(NodeAddr::Current(PageId(1))).unwrap();
         assert_eq!(page, PageId(1));
+        assert!(
+            cache.is_dirty(NodeAddr::Current(PageId(1))),
+            "peeking keeps the entry pinned until mark_clean"
+        );
+        cache.mark_clean(NodeAddr::Current(PageId(1)));
         assert!(!cache.is_dirty(NodeAddr::Current(PageId(1))));
         assert!(
             cache.is_dirty(NodeAddr::Current(PageId(2))),
             "other deferred encodes stay deferred"
         );
-        assert!(cache.take_dirty_at(NodeAddr::Current(PageId(1))).is_none());
-        assert!(cache.take_dirty_at(NodeAddr::Current(PageId(99))).is_none());
+        assert!(cache.dirty_at(NodeAddr::Current(PageId(1))).is_none());
+        assert!(cache.dirty_at(NodeAddr::Current(PageId(99))).is_none());
     }
 
     #[test]
     fn discard_invalidates_without_writeback() {
         let cache = NodeCache::new(4);
         let addr = NodeAddr::Current(PageId(9));
-        let _ = cache.insert_dirty(PageId(9), node());
+        cache.insert_dirty(PageId(9), node());
         assert!(cache.is_dirty(addr));
         cache.discard(addr);
         assert!(cache.get(addr).is_none());
-        assert!(cache.take_dirty().is_empty());
+        assert!(cache.dirty_entries().is_empty());
     }
 
     #[test]
@@ -284,10 +501,160 @@ mod tests {
         let addr = NodeAddr::Current(PageId(1));
         let first = node();
         let second = node();
-        let _ = cache.insert_clean(addr, Arc::clone(&first));
-        let _ = cache.insert_dirty(PageId(1), Arc::clone(&second));
+        cache.insert_clean(addr, Arc::clone(&first));
+        cache.insert_dirty(PageId(1), Arc::clone(&second));
         assert_eq!(cache.len(), 1);
         assert!(Arc::ptr_eq(&cache.get(addr).unwrap(), &second));
         assert!(cache.is_dirty(addr));
+    }
+
+    #[test]
+    fn dirty_overflow_victim_drains_lru_dirty_without_unpinning() {
+        let cache = NodeCache::new(2);
+        for page in [1u64, 2, 3, 4] {
+            cache.insert_dirty(PageId(page), node());
+        }
+        // 4 dirty > capacity 2: the victim is the least recently written.
+        let (page, _) = cache
+            .dirty_overflow_victim(NodeAddr::Current(PageId(1)))
+            .unwrap();
+        assert_eq!(page, PageId(1));
+        // Still resident and dirty until the caller confirms the
+        // write-back — the stale-decode window never opens.
+        assert!(cache.is_dirty(NodeAddr::Current(PageId(1))));
+        cache.mark_clean(NodeAddr::Current(PageId(1)));
+        assert!(!cache.is_dirty(NodeAddr::Current(PageId(1))));
+        assert!(
+            cache.get(NodeAddr::Current(PageId(1))).is_some(),
+            "write-back does not evict"
+        );
+        // The flushed entry is no longer part of the dirty set.
+        assert_eq!(cache.dirty_entries().len(), 3);
+        assert_eq!(flush_all(&cache).len(), 3);
+        assert!(cache
+            .dirty_overflow_victim(NodeAddr::Current(PageId(1)))
+            .is_none());
+    }
+
+    #[test]
+    fn a_fill_that_raced_a_write_is_not_cached() {
+        let cache = NodeCache::new(4);
+        let addr = NodeAddr::Current(PageId(1));
+        let stamp = cache.begin_fill(addr).unwrap_err();
+        // While the "reader" decodes, the writer installs v2, which is
+        // flushed and then leaves the cache entirely.
+        let v2 = node();
+        cache.insert_dirty(PageId(1), Arc::clone(&v2));
+        flush_all(&cache);
+        cache.discard(addr);
+        // The stale fill is handed back to its caller but refused as the
+        // canonical cached node — caching it would hide v2 forever.
+        let stale = node();
+        let returned = cache.complete_fill(addr, Arc::clone(&stale), stamp);
+        assert!(Arc::ptr_eq(&returned, &stale));
+        assert!(
+            cache.get(addr).is_none(),
+            "a raced fill must not become canonical"
+        );
+        // A fresh fill with a current stamp installs normally.
+        let stamp = cache.begin_fill(addr).unwrap_err();
+        let fresh = node();
+        cache.complete_fill(addr, Arc::clone(&fresh), stamp);
+        assert!(Arc::ptr_eq(&cache.get(addr).unwrap(), &fresh));
+    }
+
+    #[test]
+    fn racing_clean_fill_never_displaces_a_dirty_entry() {
+        // A reader's miss-decode-fill can interleave with the writer
+        // installing a newer dirty version of the same page. The stale
+        // fill must lose: the dirty entry (the sole copy of the newest
+        // state) stays resident, stays dirty, and is what the fill
+        // returns.
+        let cache = NodeCache::new(4);
+        let addr = NodeAddr::Current(PageId(1));
+        let newer = node();
+        cache.insert_dirty(PageId(1), Arc::clone(&newer));
+        let stale = node();
+        let resident = cache.insert_clean(addr, Arc::clone(&stale));
+        assert!(Arc::ptr_eq(&resident, &newer), "resident entry wins");
+        assert!(Arc::ptr_eq(&cache.get(addr).unwrap(), &newer));
+        assert!(cache.is_dirty(addr), "deferred encode is preserved");
+        assert_eq!(
+            cache.dirty_entries().len(),
+            1,
+            "the newest state still flushes"
+        );
+
+        // Racing fills between two readers agree on one canonical handle.
+        let first = cache.insert_clean(NodeAddr::Current(PageId(2)), node());
+        let second = cache.insert_clean(NodeAddr::Current(PageId(2)), node());
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn sharded_capacity_never_exceeds_the_configured_total() {
+        // Floor division: 100 entries over 16 shards must bound the clean
+        // residency by 100, not round it up per shard.
+        let cache = NodeCache::sharded(100);
+        for page in 0..10_000u64 {
+            cache.insert_clean(NodeAddr::Current(PageId(page)), node());
+        }
+        assert!(
+            cache.len() <= 100,
+            "resident {} > configured 100",
+            cache.len()
+        );
+    }
+
+    #[test]
+    fn sharded_cache_round_trips_across_shards() {
+        let cache = NodeCache::sharded(256);
+        for page in 0..100u64 {
+            cache.insert_dirty(PageId(page), node());
+        }
+        assert_eq!(cache.len(), 100);
+        for page in 0..100u64 {
+            assert!(cache.get(NodeAddr::Current(PageId(page))).is_some());
+        }
+        // dirty_entries spans every shard, globally page-sorted.
+        let dirty = cache.dirty_entries();
+        let pages: Vec<u64> = dirty.iter().map(|(p, _)| p.0).collect();
+        assert_eq!(pages, (0..100u64).collect::<Vec<_>>());
+        flush_all(&cache);
+        cache.clear();
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn sharded_eviction_bounds_clean_entries_and_pins_dirty_ones() {
+        // Clean inserts respect the capacity across shards.
+        let cache = NodeCache::sharded(32);
+        for page in 0..1000u64 {
+            cache.insert_clean(NodeAddr::Current(PageId(page)), node());
+        }
+        assert!(cache.len() <= 32);
+
+        // Dirty inserts are pinned until flushed — nothing may be lost.
+        let cache = NodeCache::sharded(32);
+        for page in 0..1000u64 {
+            cache.insert_dirty(PageId(page), node());
+        }
+        assert_eq!(cache.len(), 1000, "dirty entries are pinned resident");
+        assert_eq!(flush_all(&cache).len(), 1000, "and all flushable");
+        // Flushed clean, the overflow drains as new inserts evict.
+        for page in 1000..2000u64 {
+            cache.insert_clean(NodeAddr::Current(PageId(page)), node());
+        }
+        assert!(cache.len() < 1000 + 32);
+    }
+
+    #[test]
+    fn tiny_capacity_collapses_shards() {
+        // capacity 2 with 16 requested shards must still hold 2 entries.
+        let cache = NodeCache::with_shards(2, 16);
+        cache.insert_clean(NodeAddr::Current(PageId(1)), node());
+        cache.insert_clean(NodeAddr::Current(PageId(2)), node());
+        assert!(cache.len() <= 2);
+        assert!(cache.len() >= 1);
     }
 }

@@ -22,6 +22,11 @@
 //! * [`SnapshotReader`] — lock-free read-only transactions pinned to a start
 //!   timestamp (§4.1), plus writer transactions whose uncommitted versions
 //!   carry no timestamp, are never migrated, and are erased on abort (§4).
+//! * [`ConcurrentTsb`] — a `Send + Sync` single-writer / many-reader engine:
+//!   serialized writes, lock-free concurrent reads against immutable
+//!   historical nodes with seqlock-validated descents, and owning
+//!   [`ConcurrentSnapshot`] readers pinned behind an install fence (see
+//!   [`concurrent`]).
 //! * [`SecondaryIndex`] — `<timestamp, secondary key, primary key>` indexes,
 //!   themselves TSB-trees (§3.6).
 //! * [`TreeStats`] / [`TsbTree::verify`] — the measurements the paper's
@@ -57,6 +62,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod concurrent;
 pub mod node;
 pub mod secondary;
 pub mod split;
@@ -65,6 +71,7 @@ pub mod tree;
 pub mod txn;
 pub mod verify;
 
+pub use concurrent::{ConcurrentSnapshot, ConcurrentTsb};
 pub use node::{
     DataComposition, DataNode, IndexComposition, IndexEntry, IndexNode, Node, NodeAddr,
 };

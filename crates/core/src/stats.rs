@@ -115,7 +115,7 @@ impl TsbTree {
             depth: 0,
         };
         let mut distinct: HashSet<(Vec<u8>, Timestamp)> = HashSet::new();
-        self.census(self.root, &mut visited, &mut distinct, &mut stats)?;
+        self.census(self.current_root(), &mut visited, &mut distinct, &mut stats)?;
         stats.distinct_versions = distinct.len();
         stats.redundant_copies = stats.version_copies - stats.distinct_versions;
         stats.depth = self.current_depth()?;
@@ -166,7 +166,7 @@ impl TsbTree {
 
     /// Depth of the current search path (1 for a tree whose root is a leaf).
     pub fn current_depth(&self) -> TsbResult<usize> {
-        let mut addr = self.root;
+        let mut addr = self.current_root();
         let mut depth = 1;
         loop {
             match &*self.read_node(addr)? {

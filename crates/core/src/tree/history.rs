@@ -44,7 +44,14 @@ impl TsbTree {
         let mut visited: HashSet<NodeAddr> = HashSet::new();
         let mut seen: HashSet<(Key, Timestamp)> = HashSet::new();
         let mut out: Vec<Version> = Vec::new();
-        self.scan_versions_node(self.root, keys, &window, &mut visited, &mut seen, &mut out)?;
+        self.scan_versions_node(
+            self.current_root(),
+            keys,
+            &window,
+            &mut visited,
+            &mut seen,
+            &mut out,
+        )?;
         out.sort_by(|a, b| {
             (a.key.clone(), a.commit_time().unwrap_or(Timestamp::MAX))
                 .cmp(&(b.key.clone(), b.commit_time().unwrap_or(Timestamp::MAX)))

@@ -43,6 +43,16 @@ impl TsbTree {
     /// returning that timestamp. If the key already exists this records an
     /// update (the old version remains readable as of its own time).
     pub fn insert(&mut self, key: impl Into<Key>, value: Vec<u8>) -> TsbResult<Timestamp> {
+        self.insert_shared(key, value)
+    }
+
+    /// [`Self::insert`] against `&self`, for callers that serialize writers
+    /// externally ([`crate::ConcurrentTsb`]).
+    pub(crate) fn insert_shared(
+        &self,
+        key: impl Into<Key>,
+        value: Vec<u8>,
+    ) -> TsbResult<Timestamp> {
         let ts = self.clock.tick();
         self.insert_version(Version::committed(key, ts, value))?;
         Ok(ts)
@@ -60,6 +70,16 @@ impl TsbTree {
         value: Vec<u8>,
         ts: Timestamp,
     ) -> TsbResult<()> {
+        self.insert_at_shared(key, value, ts)
+    }
+
+    /// [`Self::insert_at`] against `&self` (externally serialized writers).
+    pub(crate) fn insert_at_shared(
+        &self,
+        key: impl Into<Key>,
+        value: Vec<u8>,
+        ts: Timestamp,
+    ) -> TsbResult<()> {
         if ts == Timestamp::ZERO {
             return Err(TsbError::config("timestamp 0 is reserved"));
         }
@@ -71,6 +91,11 @@ impl TsbTree {
     /// commit timestamp. History remains readable; only reads at or after
     /// the returned timestamp observe the deletion.
     pub fn delete(&mut self, key: impl Into<Key>) -> TsbResult<Timestamp> {
+        self.delete_shared(key)
+    }
+
+    /// [`Self::delete`] against `&self` (externally serialized writers).
+    pub(crate) fn delete_shared(&self, key: impl Into<Key>) -> TsbResult<Timestamp> {
         let ts = self.clock.tick();
         self.insert_version(Version::tombstone(key, ts))?;
         Ok(ts)
@@ -78,6 +103,11 @@ impl TsbTree {
 
     /// Logically deletes `key` at an explicit timestamp (see [`Self::insert_at`]).
     pub fn delete_at(&mut self, key: impl Into<Key>, ts: Timestamp) -> TsbResult<()> {
+        self.delete_at_shared(key, ts)
+    }
+
+    /// [`Self::delete_at`] against `&self` (externally serialized writers).
+    pub(crate) fn delete_at_shared(&self, key: impl Into<Key>, ts: Timestamp) -> TsbResult<()> {
         if ts == Timestamp::ZERO {
             return Err(TsbError::config("timestamp 0 is reserved"));
         }
@@ -86,10 +116,20 @@ impl TsbTree {
     }
 
     /// Inserts a fully formed version (committed or uncommitted) into the
-    /// current node responsible for its key, splitting as needed.
-    pub(crate) fn insert_version(&mut self, version: Version) -> TsbResult<()> {
+    /// current node responsible for its key, splitting as needed. When the
+    /// insertion splits nodes, the structure epoch is odd from the first
+    /// structural write until this method returns (success or error), so
+    /// optimistic concurrent readers know to retry.
+    pub(crate) fn insert_version(&self, version: Version) -> TsbResult<()> {
+        let result = self.insert_version_inner(version);
+        self.settle_structure_after(result.is_err());
+        result
+    }
+
+    fn insert_version_inner(&self, version: Version) -> TsbResult<()> {
+        self.check_not_poisoned()?;
         self.check_entry_size(&version)?;
-        let root = self.root;
+        let root = self.current_root();
         match self.insert_into(root, version)? {
             InsertOutcome::Fit => Ok(()),
             InsertOutcome::Split(entries) => self.grow_new_root(entries),
@@ -126,7 +166,7 @@ impl TsbTree {
     /// Nodes are read through the decoded-node cache and cloned only on the
     /// actual write path: the leaf absorbing the version, and each ancestor
     /// whose child actually split.
-    fn insert_into(&mut self, addr: NodeAddr, version: Version) -> TsbResult<InsertOutcome> {
+    fn insert_into(&self, addr: NodeAddr, version: Version) -> TsbResult<InsertOutcome> {
         let page = addr.as_page().ok_or_else(|| {
             TsbError::internal("insertion routed to a historical (write-once) node")
         })?;
@@ -174,8 +214,13 @@ impl TsbTree {
     }
 
     /// Creates a new root index node above the split pieces of the old root.
-    fn grow_new_root(&mut self, entries: Vec<IndexEntry>) -> TsbResult<()> {
+    fn grow_new_root(&self, entries: Vec<IndexEntry>) -> TsbResult<()> {
         let page = self.allocate_page()?;
+        // The epoch goes odd at the first structural *write* — after every
+        // fallible pure step (planning, allocation) — so an error that
+        // wrote nothing stays a recoverable per-operation error instead of
+        // poisoning the tree. Same pattern in every execute_* split path.
+        self.note_structural_write();
         let root = IndexNode::from_entries(KeyRange::full(), TimeRange::full(), entries);
         self.write_current(page, Node::Index(root))?;
         self.set_root(NodeAddr::Current(page))
@@ -190,7 +235,7 @@ impl TsbTree {
     /// `forbid_time` breaks potential non-termination when a time split
     /// failed to shrink the node (every entry was duplicated forward).
     pub(crate) fn split_data_node(
-        &mut self,
+        &self,
         node: DataNode,
         page: PageId,
         forbid_time: bool,
@@ -206,7 +251,8 @@ impl TsbTree {
             self.cfg.split_policy,
             tsb_common::SplitPolicyKind::KeyOnly | tsb_common::SplitPolicyKind::KeyPreferring
         );
-        if self.marked_for_time_split.contains(&page) {
+        let marked = self.marked_for_time_split.lock().contains(&page);
+        if marked {
             if policy_migrates {
                 if let SplitPlan::Key { .. } = plan {
                     let comp = node.composition();
@@ -226,7 +272,7 @@ impl TsbTree {
                     }
                 }
             }
-            self.marked_for_time_split.remove(&page);
+            self.marked_for_time_split.lock().remove(&page);
         }
         if forbid_time {
             if let SplitPlan::Time { .. } = plan {
@@ -247,7 +293,7 @@ impl TsbTree {
     /// range (Figure 5: "the timestamp in the new index entry is the same as
     /// the timestamp of the previous index entry").
     fn execute_data_key_split(
-        &mut self,
+        &self,
         node: DataNode,
         page: PageId,
         split_key: Key,
@@ -266,6 +312,7 @@ impl TsbTree {
         let left = DataNode::from_entries(left_range, node.time_range, left_entries);
         let right = DataNode::from_entries(right_range, node.time_range, right_entries);
         let right_page = self.allocate_page()?;
+        self.note_structural_write();
 
         let mut out = Vec::new();
         out.extend(self.place_data_node(left, page)?);
@@ -277,7 +324,7 @@ impl TsbTree {
     /// historical node appended to the WORM store; the newer versions (and
     /// the rule-3 duplicates) stay in the same magnetic page.
     fn execute_data_time_split(
-        &mut self,
+        &self,
         node: DataNode,
         page: PageId,
         split_time: Timestamp,
@@ -301,6 +348,7 @@ impl TsbTree {
         );
         let hist_kr = hist_node.key_range.clone();
         let hist_tr = hist_node.time_range;
+        self.note_structural_write();
         let hist_addr = self.append_historical(Node::Data(hist_node))?;
         let hist_entry = IndexEntry::new(hist_kr, hist_tr, NodeAddr::Historical(hist_addr));
 
@@ -328,7 +376,7 @@ impl TsbTree {
     }
 
     /// Writes a data node to `page`, splitting it further if it does not fit.
-    fn place_data_node(&mut self, node: DataNode, page: PageId) -> TsbResult<Vec<IndexEntry>> {
+    fn place_data_node(&self, node: DataNode, page: PageId) -> TsbResult<Vec<IndexEntry>> {
         if node.encoded_size() <= self.split_threshold() {
             let entry = IndexEntry::new(
                 node.key_range.clone(),
@@ -347,7 +395,7 @@ impl TsbTree {
     /// Splits an overflowing index node, returning the replacement entries
     /// for its parent.
     pub(crate) fn split_index_node(
-        &mut self,
+        &self,
         node: IndexNode,
         page: PageId,
         forbid_time: bool,
@@ -392,7 +440,7 @@ impl TsbTree {
 
     /// Marks the current children whose old start times block a local index
     /// time split (Figure 9) so that they prefer a time split next time.
-    fn mark_blocking_children(&mut self, node: &IndexNode) {
+    fn mark_blocking_children(&self, node: &IndexNode) {
         let min_start = node
             .entries()
             .iter()
@@ -400,10 +448,11 @@ impl TsbTree {
             .map(|e| e.time_range.lo)
             .min();
         if let Some(min_start) = min_start {
+            let mut marked = self.marked_for_time_split.lock();
             for e in node.entries() {
                 if e.is_current() && e.time_range.lo == min_start {
                     if let Some(p) = e.child.as_page() {
-                        self.marked_for_time_split.insert(p);
+                        marked.insert(p);
                     }
                 }
             }
@@ -414,7 +463,7 @@ impl TsbTree {
     /// are copied to both halves; the replacement entries inherit the node's
     /// time range.
     fn execute_index_key_split(
-        &mut self,
+        &self,
         node: IndexNode,
         page: PageId,
         split_key: Key,
@@ -433,6 +482,7 @@ impl TsbTree {
         let left = IndexNode::from_entries(left_range, node.time_range, parts.left);
         let right = IndexNode::from_entries(right_range, node.time_range, parts.right);
         let right_page = self.allocate_page()?;
+        self.note_structural_write();
 
         let mut out = Vec::new();
         out.extend(self.place_index_node(left, page)?);
@@ -444,7 +494,7 @@ impl TsbTree {
     /// migrate into a historical index node; no current reference may end up
     /// there (guaranteed by the choice of `t`).
     fn execute_index_time_split(
-        &mut self,
+        &self,
         node: IndexNode,
         page: PageId,
         t: Timestamp,
@@ -469,6 +519,7 @@ impl TsbTree {
         );
         let hist_kr = hist.key_range.clone();
         let hist_tr = hist.time_range;
+        self.note_structural_write();
         let hist_addr = self.append_historical(Node::Index(hist))?;
         let hist_entry = IndexEntry::new(hist_kr, hist_tr, NodeAddr::Historical(hist_addr));
 
@@ -493,7 +544,7 @@ impl TsbTree {
     }
 
     /// Writes an index node to `page`, splitting further if needed.
-    fn place_index_node(&mut self, node: IndexNode, page: PageId) -> TsbResult<Vec<IndexEntry>> {
+    fn place_index_node(&self, node: IndexNode, page: PageId) -> TsbResult<Vec<IndexEntry>> {
         if node.encoded_size() <= self.split_threshold() {
             let entry = IndexEntry::new(
                 node.key_range.clone(),

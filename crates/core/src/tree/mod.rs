@@ -19,7 +19,10 @@ pub mod search;
 
 use std::collections::HashSet;
 use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
 
 use tsb_common::encode::{ByteReader, ByteWriter};
 use tsb_common::{LogicalClock, Timestamp, TsbConfig, TsbError, TsbResult};
@@ -27,7 +30,7 @@ use tsb_storage::{
     BufferPool, CostModel, HistAddr, IoStats, MagneticStore, PageId, SpaceSnapshot, WormStore,
 };
 
-use crate::cache::{Evicted, NodeCache};
+use crate::cache::NodeCache;
 use crate::node::{DataNode, IndexNode, Node, NodeAddr};
 use crate::txn::TxnTable;
 
@@ -39,6 +42,13 @@ const META_MAGIC: u64 = 0x5453_4254_5245_4531; // "TSBTREE1"
 ///
 /// Reads (`get_*`, `scan_*`, snapshots, statistics, verification) take
 /// `&self`; mutations (inserts, deletes, transactions) take `&mut self`.
+///
+/// Internally every mutation is implemented against `&self` with the tree's
+/// mutable state behind locks and atomics, under the invariant that **at
+/// most one mutation runs at a time**. The single-threaded API enforces
+/// that invariant with `&mut self`; [`crate::ConcurrentTsb`] enforces it
+/// with a writer lock and may run any number of readers concurrently (see
+/// the module docs of [`crate::concurrent`]).
 ///
 /// ```
 /// use tsb_core::TsbTree;
@@ -61,18 +71,43 @@ pub struct TsbTree {
     pub(crate) stats: Arc<IoStats>,
     pub(crate) cost: CostModel,
     pub(crate) clock: LogicalClock,
-    pub(crate) root: NodeAddr,
+    /// The root pointer, behind a short-latch lock: readers copy it out at
+    /// the top of each descent, the (single) writer replaces it when the
+    /// root splits.
+    pub(crate) root: RwLock<NodeAddr>,
     pub(crate) meta_page: PageId,
-    pub(crate) txns: TxnTable,
+    pub(crate) txns: Mutex<TxnTable>,
     /// Current data pages that blocked a local index time split (Figure 9)
     /// and should prefer a time split at their next opportunity (§3.5).
-    pub(crate) marked_for_time_split: HashSet<PageId>,
+    pub(crate) marked_for_time_split: Mutex<HashSet<PageId>>,
+    /// Set when a *structural* mutation (split / migration / root growth)
+    /// failed part-way through: some nodes were rewritten, others were
+    /// not, and no retry signal can make the tree consistent again. All
+    /// subsequent reads and writes refuse with an error instead of
+    /// silently serving the torn structure. Unreachable on in-memory
+    /// stores (their writes cannot fail mid-split); it exists for the
+    /// file-backed I/O error paths.
+    pub(crate) poisoned: std::sync::atomic::AtomicBool,
+    /// Seqlock-style structure epoch for optimistic concurrent readers.
+    ///
+    /// Even = the tree's multi-node invariants hold; odd = the single
+    /// writer is mid-way through a structural change (split, migration,
+    /// root growth) and a concurrent descent may observe a torn state. The
+    /// writer bumps even→odd at the first structural write of a mutation
+    /// ([`TsbTree::note_structural_write`]) and odd→even when the mutation
+    /// has fully installed ([`TsbTree::settle_structure`]). Content-only
+    /// leaf rewrites never bump it: replacing a leaf is atomic through the
+    /// decoded-node cache, and multiversion reads at a pinned past
+    /// timestamp are unaffected by new versions. Readers that need a
+    /// consistent multi-node view (see [`crate::ConcurrentTsb`]) sample
+    /// the epoch before and after and retry on change.
+    pub(crate) structure_seq: AtomicU64,
 }
 
 impl std::fmt::Debug for TsbTree {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TsbTree")
-            .field("root", &self.root)
+            .field("root", &self.current_root())
             .field("page_size", &self.cfg.page_size)
             .field("split_policy", &self.cfg.split_policy)
             .finish()
@@ -114,7 +149,7 @@ impl TsbTree {
         }
         let stats = Arc::clone(magnetic.stats());
         let pool = BufferPool::new(Arc::clone(&magnetic), cfg.buffer_pool_pages);
-        let cache = NodeCache::new(cfg.node_cache_entries);
+        let cache = NodeCache::sharded(cfg.node_cache_entries);
         let cost = CostModel::new(cfg.cost);
         let clock = LogicalClock::new();
 
@@ -122,7 +157,7 @@ impl TsbTree {
         let root_page = magnetic.allocate()?;
         let root = NodeAddr::Current(root_page);
 
-        let mut tree = TsbTree {
+        let tree = TsbTree {
             cfg,
             magnetic,
             pool,
@@ -131,10 +166,12 @@ impl TsbTree {
             stats,
             cost,
             clock,
-            root,
+            root: RwLock::new(root),
             meta_page,
-            txns: TxnTable::new(),
-            marked_for_time_split: HashSet::new(),
+            txns: Mutex::new(TxnTable::new()),
+            marked_for_time_split: Mutex::new(HashSet::new()),
+            poisoned: std::sync::atomic::AtomicBool::new(false),
+            structure_seq: AtomicU64::new(0),
         };
         let root_node = DataNode::initial_root();
         tree.write_current(root_page, Node::Data(root_node))?;
@@ -170,7 +207,7 @@ impl TsbTree {
 
         let stats = Arc::clone(magnetic.stats());
         let pool = BufferPool::new(Arc::clone(&magnetic), cfg.buffer_pool_pages);
-        let cache = NodeCache::new(cfg.node_cache_entries);
+        let cache = NodeCache::sharded(cfg.node_cache_entries);
         let cost = CostModel::new(cfg.cost);
         let clock = LogicalClock::starting_at(clock_next);
 
@@ -183,10 +220,12 @@ impl TsbTree {
             stats,
             cost,
             clock,
-            root,
+            root: RwLock::new(root),
             meta_page,
-            txns: TxnTable::starting_at(next_txn),
-            marked_for_time_split: HashSet::new(),
+            txns: Mutex::new(TxnTable::starting_at(next_txn)),
+            marked_for_time_split: Mutex::new(HashSet::new()),
+            poisoned: std::sync::atomic::AtomicBool::new(false),
+            structure_seq: AtomicU64::new(0),
         })
     }
 
@@ -212,7 +251,69 @@ impl TsbTree {
 
     /// The root node address.
     pub fn root_addr(&self) -> NodeAddr {
-        self.root
+        self.current_root()
+    }
+
+    /// Copies the root pointer out of its latch (a short shared latch, held
+    /// only for the copy).
+    pub(crate) fn current_root(&self) -> NodeAddr {
+        *self.root.read()
+    }
+
+    // ----- structure epoch (single-writer seqlock) ------------------------
+
+    /// The current structure epoch (even = stable, odd = a structural
+    /// change is in flight). Readers needing a consistent multi-node view
+    /// sample this before and after their descent and retry on change.
+    pub(crate) fn structure_epoch(&self) -> u64 {
+        self.structure_seq.load(Ordering::Acquire)
+    }
+
+    /// Marks the beginning of a structural change (first split / migration /
+    /// root replacement of the current mutation). Idempotent within one
+    /// mutation: only the even→odd transition stores. Must only be called
+    /// by the single writer.
+    pub(crate) fn note_structural_write(&self) {
+        let seq = self.structure_seq.load(Ordering::Relaxed);
+        if seq.is_multiple_of(2) {
+            self.structure_seq.store(seq + 1, Ordering::Release);
+        }
+    }
+
+    /// Marks the end of the current mutation: if a structural change was
+    /// noted, the epoch settles back to even. Must only be called by the
+    /// single writer.
+    pub(crate) fn settle_structure(&self) {
+        let seq = self.structure_seq.load(Ordering::Relaxed);
+        if seq % 2 == 1 {
+            self.structure_seq.store(seq + 1, Ordering::Release);
+        }
+    }
+
+    /// Ends a mutation that may have performed structural writes. If the
+    /// mutation `failed` while the epoch was odd — i.e. after at least one
+    /// structural write landed but before the change fully installed — the
+    /// tree is permanently poisoned: some nodes were rewritten and others
+    /// were not, and neither the writer nor a retrying reader can
+    /// reconstruct a consistent view. All subsequent operations then
+    /// refuse (see [`Self::check_not_poisoned`]) instead of silently
+    /// serving the torn structure.
+    pub(crate) fn settle_structure_after(&self, failed: bool) {
+        if failed && self.structure_seq.load(Ordering::Relaxed) % 2 == 1 {
+            self.poisoned.store(true, Ordering::Release);
+        }
+        self.settle_structure();
+    }
+
+    /// Errors if a previous structural mutation failed part-way through.
+    pub(crate) fn check_not_poisoned(&self) -> TsbResult<()> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(TsbError::invariant(
+                "the tree is poisoned: a structural change (split/migration) failed \
+                 part-way through and the on-device structure is torn",
+            ));
+        }
+        Ok(())
     }
 
     /// Space currently occupied on the two devices (the paper's `SpaceM` and
@@ -234,6 +335,12 @@ impl TsbTree {
     /// Flushes dirty nodes, dirty pages, the metadata page, and both
     /// devices.
     pub fn flush(&mut self) -> TsbResult<()> {
+        self.flush_shared()
+    }
+
+    /// [`Self::flush`] against `&self`, for callers that serialize writers
+    /// externally ([`crate::ConcurrentTsb`]).
+    pub(crate) fn flush_shared(&self) -> TsbResult<()> {
         self.write_meta()?;
         self.flush_node_cache()?;
         self.pool.flush()?;
@@ -258,19 +365,28 @@ impl TsbTree {
     /// from the decoded-node cache when possible — a hit performs no decode
     /// and no page-image copy, just a shared handle.
     pub(crate) fn read_node(&self, addr: NodeAddr) -> TsbResult<Arc<Node>> {
+        self.check_not_poisoned()?;
         match addr {
             NodeAddr::Current(_) => self.stats.record_current_node_access(),
             NodeAddr::Historical(_) => self.stats.record_historical_node_access(),
         }
-        if let Some(node) = self.cache.get(addr) {
-            self.stats.record_node_cache_hit();
-            return Ok(node);
-        }
+        let fill_stamp = match self.cache.begin_fill(addr) {
+            Ok(node) => {
+                self.stats.record_node_cache_hit();
+                return Ok(node);
+            }
+            Err(stamp) => stamp,
+        };
         self.stats.record_node_cache_miss();
-        let node = Arc::new(self.decode_node_at(addr)?);
-        let evicted = self.cache.insert_clean(addr, Arc::clone(&node));
-        self.write_back_evicted(evicted)?;
-        Ok(node)
+        let decoded = Arc::new(self.decode_node_at(addr)?);
+        // Caching a clean node is pure in-memory bookkeeping (dirty entries
+        // are pinned against eviction), so the read path performs no page
+        // I/O beyond the decode above. The fill is stamp-validated: if the
+        // writer changed this cache shard's contents while we were
+        // decoding, our decode may be stale and is returned *uncached*
+        // (still a legal answer for a read that began before the write
+        // installed); a resident entry always wins.
+        Ok(self.cache.complete_fill(addr, decoded, fill_stamp))
     }
 
     /// Decodes the node at `addr` from its device image (buffer pool for
@@ -326,7 +442,7 @@ impl TsbTree {
     /// the decoded-node cache marked dirty; the encode into its page image
     /// is deferred until the entry is evicted or the tree flushes, so a hot
     /// leaf rewritten many times between flushes encodes once.
-    pub(crate) fn write_current(&mut self, page: PageId, node: Node) -> TsbResult<()> {
+    pub(crate) fn write_current(&self, page: PageId, node: Node) -> TsbResult<()> {
         let size = node.encoded_size();
         if size > self.page_capacity() {
             return Err(TsbError::internal(format!(
@@ -335,16 +451,29 @@ impl TsbTree {
                 self.page_capacity()
             )));
         }
-        let evicted = self.cache.insert_dirty(page, Arc::new(node));
-        self.write_back_evicted(evicted)
+        self.cache.insert_dirty(page, Arc::new(node));
+        // Bound the dirty residency: when this page's cache shard holds
+        // more deferred encodes than its capacity, write the least recently
+        // written one back now (writer context, so this is race-free). The
+        // victim stays resident and is marked clean only after its image is
+        // in the pool — a concurrent reader therefore never sees a gap.
+        if let Some((victim_page, victim_node)) =
+            self.cache.dirty_overflow_victim(NodeAddr::Current(page))
+        {
+            self.write_back_dirty(victim_page, &victim_node)?;
+        }
+        Ok(())
     }
 
-    /// Encodes and writes dirty nodes displaced from the decoded-node cache.
-    fn write_back_evicted(&self, evicted: Evicted) -> TsbResult<()> {
-        for (page, node) in evicted {
-            self.stats.record_node_encode();
-            self.pool.put(page, node.encode())?;
-        }
+    /// Encodes and writes one dirty cached node into its page image, then
+    /// confirms the write-back so the cache unpins the entry. The entry
+    /// stays dirty — pinned against eviction — until its image is in the
+    /// pool, so a concurrent reader can never evict-then-refill it from a
+    /// stale page image mid-flush.
+    fn write_back_dirty(&self, page: PageId, node: &Node) -> TsbResult<()> {
+        self.stats.record_node_encode();
+        self.pool.put(page, node.encode())?;
+        self.cache.mark_clean(NodeAddr::Current(page));
         Ok(())
     }
 
@@ -353,14 +482,17 @@ impl TsbTree {
     /// measurement harnesses can draw a line between build-phase and
     /// query-phase encode/write traffic without a full device flush.
     pub fn flush_node_cache(&self) -> TsbResult<()> {
-        self.write_back_evicted(self.cache.take_dirty())
+        for (page, node) in self.cache.dirty_entries() {
+            self.write_back_dirty(page, &node)?;
+        }
+        Ok(())
     }
 
     /// Encodes one address's dirty cached node into its page image, if it
     /// has one; every other deferred encode stays deferred.
     fn flush_dirty_node_at(&self, addr: NodeAddr) -> TsbResult<()> {
-        match self.cache.take_dirty_at(addr) {
-            Some(entry) => self.write_back_evicted(vec![entry]),
+        match self.cache.dirty_at(addr) {
+            Some((page, node)) => self.write_back_dirty(page, &node),
             None => Ok(()),
         }
     }
@@ -370,13 +502,11 @@ impl TsbTree {
     /// whatever length it has). The node is retained in the decoded-node
     /// cache — freshly migrated history is the history most likely to be
     /// queried.
-    pub(crate) fn append_historical(&mut self, node: Node) -> TsbResult<HistAddr> {
+    pub(crate) fn append_historical(&self, node: Node) -> TsbResult<HistAddr> {
         self.stats.record_node_encode();
         let addr = self.worm.append(&node.encode())?;
-        let evicted = self
-            .cache
+        self.cache
             .insert_clean(NodeAddr::Historical(addr), Arc::new(node));
-        self.write_back_evicted(evicted)?;
         Ok(addr)
     }
 
@@ -415,7 +545,7 @@ impl TsbTree {
     pub fn verify_cache_coherence(&self) -> TsbResult<()> {
         self.flush_node_cache()?;
         let mut visited: HashSet<NodeAddr> = HashSet::new();
-        self.check_coherence(self.root, &mut visited)
+        self.check_coherence(self.current_root(), &mut visited)
     }
 
     fn check_coherence(&self, addr: NodeAddr, visited: &mut HashSet<NodeAddr>) -> TsbResult<()> {
@@ -438,18 +568,18 @@ impl TsbTree {
     }
 
     /// Allocates a fresh current page.
-    pub(crate) fn allocate_page(&mut self) -> TsbResult<PageId> {
+    pub(crate) fn allocate_page(&self) -> TsbResult<PageId> {
         self.magnetic.allocate()
     }
 
     // ----- metadata -------------------------------------------------------
 
-    pub(crate) fn write_meta(&mut self) -> TsbResult<()> {
+    pub(crate) fn write_meta(&self) -> TsbResult<()> {
         let mut w = ByteWriter::new();
         w.put_u64(META_MAGIC);
-        self.root.encode(&mut w);
+        self.current_root().encode(&mut w);
         w.put_u64(self.clock.now().value());
-        w.put_u64(self.txns.next_id_value());
+        w.put_u64(self.txns.lock().next_id_value());
         self.pool.put(self.meta_page, w.into_vec())
     }
 
@@ -464,9 +594,11 @@ impl TsbTree {
         Ok((root, clock_next, next_txn))
     }
 
-    /// Updates the root pointer and persists the metadata page.
-    pub(crate) fn set_root(&mut self, root: NodeAddr) -> TsbResult<()> {
-        self.root = root;
+    /// Updates the root pointer and persists the metadata page. A root
+    /// replacement is a structural change, so the caller (the insert path)
+    /// must have noted the structure epoch as in-flight.
+    pub(crate) fn set_root(&self, root: NodeAddr) -> TsbResult<()> {
+        *self.root.write() = root;
         self.write_meta()
     }
 }
@@ -606,6 +738,50 @@ mod tests {
         tree.flush().unwrap();
         let delta = tree.io_stats().snapshot().delta_since(&before);
         assert_eq!(delta.node_encodes, 1, "flush encodes the leaf exactly once");
+    }
+
+    #[test]
+    fn a_poisoned_tree_refuses_reads_and_writes() {
+        let mut tree = TsbTree::new_in_memory(TsbConfig::small_pages()).unwrap();
+        tree.insert(1u64, b"v".to_vec()).unwrap();
+        // Simulate a structural mutation failing part-way through (only
+        // reachable through file-backed I/O errors in production).
+        tree.note_structural_write();
+        tree.settle_structure_after(true);
+        assert!(tree.get_current(&Key::from_u64(1)).is_err());
+        assert!(tree.insert(2u64, b"w".to_vec()).is_err());
+        // A clean failure outside a structural window does not poison.
+        let tree = TsbTree::new_in_memory(TsbConfig::small_pages()).unwrap();
+        tree.settle_structure_after(true);
+        assert!(tree.get_current(&Key::from_u64(1)).is_ok());
+    }
+
+    #[test]
+    fn dirty_residency_is_bounded_without_explicit_flush() {
+        // KeyOnly: no WORM migration, so every node encode in this run can
+        // only come from the dirty-overflow write-back. A long unflushed
+        // insert run must not let deferred encodes pile up past the cache
+        // capacity — the overflow path drains them as it goes.
+        let cfg = TsbConfig::small_pages()
+            .with_node_cache_entries(64)
+            .with_split_policy(tsb_common::SplitPolicyKind::KeyOnly);
+        let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+        let before = tree.io_stats().snapshot();
+        for i in 0..2000u64 {
+            tree.insert(i, vec![b'v'; 24]).unwrap();
+        }
+        let delta = tree.io_stats().snapshot().delta_since(&before);
+        assert_eq!(delta.worm_appends, 0, "KeyOnly must not migrate");
+        assert!(
+            delta.node_encodes > 0,
+            "dirty overflow write-back never fired across 2000 unflushed inserts"
+        );
+        tree.verify().unwrap();
+        tree.verify_cache_coherence().unwrap();
+        // Nothing was lost to the early write-backs.
+        for i in (0..2000u64).step_by(97) {
+            assert!(tree.get_current(&Key::from_u64(i)).unwrap().is_some());
+        }
     }
 
     #[test]

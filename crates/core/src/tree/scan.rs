@@ -19,7 +19,7 @@ impl TsbTree {
     pub fn scan_as_of(&self, range: &KeyRange, ts: Timestamp) -> TsbResult<Vec<(Key, Vec<u8>)>> {
         let mut out: BTreeMap<Key, Vec<u8>> = BTreeMap::new();
         let mut visited: HashSet<NodeAddr> = HashSet::new();
-        self.scan_node(self.root, range, ts, &mut visited, &mut out)?;
+        self.scan_node(self.current_root(), range, ts, &mut visited, &mut out)?;
         Ok(out.into_iter().collect())
     }
 
@@ -89,7 +89,7 @@ impl TsbTree {
     pub fn versions(&self, key: &Key) -> TsbResult<Vec<Version>> {
         let mut leaves: Vec<NodeAddr> = Vec::new();
         let mut visited: HashSet<NodeAddr> = HashSet::new();
-        self.collect_leaves_for_key(self.root, key, &mut visited, &mut leaves)?;
+        self.collect_leaves_for_key(self.current_root(), key, &mut visited, &mut leaves)?;
 
         let mut seen: HashSet<Timestamp> = HashSet::new();
         let mut versions: Vec<Version> = Vec::new();
@@ -134,7 +134,7 @@ impl TsbTree {
     pub fn distinct_key_count(&self) -> TsbResult<usize> {
         let mut keys: HashSet<Key> = HashSet::new();
         let mut visited: HashSet<NodeAddr> = HashSet::new();
-        self.collect_all_keys(self.root, &mut visited, &mut keys)?;
+        self.collect_all_keys(self.current_root(), &mut visited, &mut keys)?;
         Ok(keys.len())
     }
 

@@ -18,7 +18,7 @@ impl TsbTree {
     /// Descends to the data node responsible for `(key, ts)`, returning a
     /// shared handle to it (no decode, no copy, when the path is cached).
     pub(crate) fn descend(&self, key: &Key, ts: Timestamp) -> TsbResult<DataRef> {
-        let mut addr = self.root;
+        let mut addr = self.current_root();
         loop {
             let node = self.read_node(addr)?;
             let next = match &*node {
@@ -44,7 +44,7 @@ impl TsbTree {
     /// the page id alongside the node (used by transaction commit/abort,
     /// which must rewrite the leaf in place).
     pub(crate) fn descend_to_current_leaf(&self, key: &Key) -> TsbResult<(PageId, DataRef)> {
-        let mut addr = self.root;
+        let mut addr = self.current_root();
         loop {
             let node = self.read_node(addr)?;
             let next = match &*node {
@@ -119,7 +119,7 @@ impl TsbTree {
         key: &Key,
         ts: Timestamp,
     ) -> TsbResult<(Option<Vec<u8>>, usize)> {
-        let mut addr = self.root;
+        let mut addr = self.current_root();
         let mut visited = 0usize;
         loop {
             visited += 1;
@@ -148,7 +148,7 @@ impl TsbTree {
     /// `(key, ts)`, root first. Diagnostic helper used by tests, the
     /// verifier, and the experiments.
     pub fn lookup_path(&self, key: &Key, ts: Timestamp) -> TsbResult<Vec<NodeAddr>> {
-        let mut addr = self.root;
+        let mut addr = self.current_root();
         let mut path = vec![addr];
         loop {
             match &*self.read_node(addr)? {

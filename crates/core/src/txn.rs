@@ -117,12 +117,18 @@ impl<'a> SnapshotReader<'a> {
 impl TsbTree {
     /// Begins a writer transaction.
     pub fn begin_txn(&mut self) -> TxnId {
-        self.txns.begin()
+        self.begin_txn_shared()
+    }
+
+    /// [`Self::begin_txn`] against `&self`, for callers that serialize
+    /// writers externally ([`crate::ConcurrentTsb`]).
+    pub(crate) fn begin_txn_shared(&self) -> TxnId {
+        self.txns.lock().begin()
     }
 
     /// Number of in-flight writer transactions.
     pub fn active_txn_count(&self) -> usize {
-        self.txns.active_count()
+        self.txns.lock().active_count()
     }
 
     /// Begins a lock-free read-only transaction pinned to the current time
@@ -144,18 +150,33 @@ impl TsbTree {
     /// [`Self::commit_txn`]). Fails with [`TsbError::WriteConflict`] if
     /// another in-flight transaction already wrote this key.
     pub fn txn_insert(&mut self, txn: TxnId, key: impl Into<Key>, value: Vec<u8>) -> TsbResult<()> {
+        self.txn_insert_shared(txn, key, value)
+    }
+
+    /// [`Self::txn_insert`] against `&self` (externally serialized writers).
+    pub(crate) fn txn_insert_shared(
+        &self,
+        txn: TxnId,
+        key: impl Into<Key>,
+        value: Vec<u8>,
+    ) -> TsbResult<()> {
         let key = key.into();
         self.txn_write(txn, Version::uncommitted(key, txn, value))
     }
 
     /// Logically deletes `key` within transaction `txn`.
     pub fn txn_delete(&mut self, txn: TxnId, key: impl Into<Key>) -> TsbResult<()> {
+        self.txn_delete_shared(txn, key)
+    }
+
+    /// [`Self::txn_delete`] against `&self` (externally serialized writers).
+    pub(crate) fn txn_delete_shared(&self, txn: TxnId, key: impl Into<Key>) -> TsbResult<()> {
         let key = key.into();
         self.txn_write(txn, Version::uncommitted_tombstone(key, txn))
     }
 
-    fn txn_write(&mut self, txn: TxnId, version: Version) -> TsbResult<()> {
-        if !self.txns.is_active(txn) {
+    fn txn_write(&self, txn: TxnId, version: Version) -> TsbResult<()> {
+        if !self.txns.lock().is_active(txn) {
             return Err(TsbError::TxnNotActive(txn));
         }
         // Eager write-write conflict detection.
@@ -169,7 +190,7 @@ impl TsbTree {
         }
         let key = version.key.clone();
         self.insert_version(version)?;
-        self.txns.record_write(txn, key)
+        self.txns.lock().record_write(txn, key)
     }
 
     /// Reads `key` from inside transaction `txn`: the transaction's own
@@ -189,40 +210,75 @@ impl TsbTree {
     /// single commit timestamp (the transaction's commit time), which is
     /// returned.
     pub fn commit_txn(&mut self, txn: TxnId) -> TsbResult<Timestamp> {
-        let writes = self.txns.finish(txn)?;
+        self.commit_txn_shared(txn)
+    }
+
+    /// [`Self::commit_txn`] against `&self` (externally serialized writers).
+    ///
+    /// A commit stamps one leaf per written key. Even though the versions
+    /// only become *visible* at the single commit timestamp, the unpinned
+    /// current-state readers of [`crate::ConcurrentTsb`] could otherwise
+    /// observe a prefix of the stamped leaves — a torn commit — so a
+    /// multi-key commit holds the structure epoch odd for the span of the
+    /// loop, making the whole stamping pass atomic to concurrent readers.
+    pub(crate) fn commit_txn_shared(&self, txn: TxnId) -> TsbResult<Timestamp> {
+        let writes = self.txns.lock().finish(txn)?;
         let ts = self.clock.tick();
-        for key in writes {
-            let (page, leaf) = self.descend_to_current_leaf(&key)?;
-            let mut leaf = crate::node::DataNode::clone(&leaf);
-            let pending = leaf.remove_uncommitted(&key, txn).ok_or_else(|| {
-                TsbError::internal(format!(
-                    "transaction {txn} lost its uncommitted version of key {key}"
-                ))
-            })?;
-            let committed = Version {
-                key: pending.key,
-                state: tsb_common::TsState::Committed(ts),
-                value: pending.value,
-            };
-            leaf.insert(committed)?;
-            self.write_current(page, Node::Data(leaf))?;
+        if writes.len() > 1 {
+            self.note_structural_write();
         }
-        Ok(ts)
+        let result = (|| {
+            for key in writes {
+                let (page, leaf) = self.descend_to_current_leaf(&key)?;
+                let mut leaf = crate::node::DataNode::clone(&leaf);
+                let pending = leaf.remove_uncommitted(&key, txn).ok_or_else(|| {
+                    TsbError::internal(format!(
+                        "transaction {txn} lost its uncommitted version of key {key}"
+                    ))
+                })?;
+                let committed = Version {
+                    key: pending.key,
+                    state: tsb_common::TsState::Committed(ts),
+                    value: pending.value,
+                };
+                leaf.insert(committed)?;
+                self.write_current(page, Node::Data(leaf))?;
+            }
+            Ok(ts)
+        })();
+        self.settle_structure_after(result.is_err());
+        result
     }
 
     /// Aborts transaction `txn`: every uncommitted version it wrote is erased
     /// from the current store. (This erasure is exactly what the write-once
     /// WOBT cannot do — §2.6, §5.)
     pub fn abort_txn(&mut self, txn: TxnId) -> TsbResult<()> {
-        let writes = self.txns.finish(txn)?;
-        for key in writes {
-            let (page, leaf) = self.descend_to_current_leaf(&key)?;
-            let mut leaf = crate::node::DataNode::clone(&leaf);
-            if leaf.remove_uncommitted(&key, txn).is_some() {
-                self.write_current(page, Node::Data(leaf))?;
-            }
+        self.abort_txn_shared(txn)
+    }
+
+    /// [`Self::abort_txn`] against `&self` (externally serialized writers).
+    /// Multi-key erasure is made atomic to concurrent readers the same way
+    /// as [`Self::commit_txn_shared`]. (Uncommitted versions are invisible
+    /// to reads anyway; the epoch guard protects diagnostic surfaces like
+    /// `pending_version` from observing a half-erased transaction.)
+    pub(crate) fn abort_txn_shared(&self, txn: TxnId) -> TsbResult<()> {
+        let writes = self.txns.lock().finish(txn)?;
+        if writes.len() > 1 {
+            self.note_structural_write();
         }
-        Ok(())
+        let result = (|| {
+            for key in writes {
+                let (page, leaf) = self.descend_to_current_leaf(&key)?;
+                let mut leaf = crate::node::DataNode::clone(&leaf);
+                if leaf.remove_uncommitted(&key, txn).is_some() {
+                    self.write_current(page, Node::Data(leaf))?;
+                }
+            }
+            Ok(())
+        })();
+        self.settle_structure_after(result.is_err());
+        result
     }
 }
 

@@ -36,13 +36,14 @@ impl TsbTree {
         let mut leaf_depths: HashSet<usize> = HashSet::new();
 
         // The root must be a current node.
-        let root_page = self.root.as_page().ok_or_else(|| {
+        let root = self.current_root();
+        let root_page = root.as_page().ok_or_else(|| {
             TsbError::invariant("the root must live on the erasable current store")
         })?;
         current_page_refs.insert(root_page, 1);
 
         self.verify_node(
-            self.root,
+            root,
             1,
             &mut visited,
             &mut current_page_refs,

@@ -133,6 +133,15 @@ impl<K: Eq + Hash + Clone> LruList<K> {
         }
     }
 
+    /// Returns the least recently used key without removing it.
+    pub fn peek_lru(&self) -> Option<&K> {
+        if self.tail == NIL {
+            None
+        } else {
+            Some(&self.slots[self.tail].key)
+        }
+    }
+
     /// Removes and returns the least recently used key.
     pub fn pop_lru(&mut self) -> Option<K> {
         if self.tail == NIL {

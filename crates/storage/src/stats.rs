@@ -5,6 +5,16 @@
 //! per workload. All counters are atomic so that read-only transactions can
 //! run concurrently with a writer without any shared locking (matching the
 //! lock-free read-only transactions of §4.1).
+//!
+//! Concurrency contract (audited for the shared-tree engine): every update
+//! is a single `fetch_add` — an atomic read-modify-write — never a
+//! load/store pair, so increments from any number of threads are exact
+//! (asserted by `counters_are_exact_under_contention`). `Relaxed` ordering
+//! suffices because the counters carry no synchronization duty: snapshots
+//! are "consistent enough" for reporting, and exactness of the *totals* is
+//! all the tests rely on. [`IoStats::reset`] and [`IoStats::snapshot`] are
+//! safe anytime but only meaningful at quiescent points (no in-flight
+//! operations), since they read/write each counter independently.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -334,6 +344,43 @@ mod tests {
         assert_eq!(d.magnetic_reads, 1);
         assert_eq!(d.worm_reads, 1);
         assert_eq!(d.magnetic_writes, 0);
+    }
+
+    /// Regression guard for the shared-tree engine: counters hammered from
+    /// 8 threads must land on exact totals. A load/store pair instead of an
+    /// atomic `fetch_add` would lose increments under this contention.
+    #[test]
+    fn counters_are_exact_under_contention() {
+        use std::sync::Arc;
+
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 10_000;
+
+        let stats = Arc::new(IoStats::new());
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let stats = Arc::clone(&stats);
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        stats.record_current_node_access();
+                        stats.record_node_cache_hit();
+                        stats.record_magnetic_read();
+                        // Mix in a second counter on a thread-dependent
+                        // cadence so the interleavings differ per run.
+                        if (i + t) % 2 == 0 {
+                            stats.record_node_decode();
+                        }
+                    }
+                });
+            }
+        });
+
+        let snap = stats.snapshot();
+        assert_eq!(snap.node_accesses_current, THREADS * PER_THREAD);
+        assert_eq!(snap.node_cache_hits, THREADS * PER_THREAD);
+        assert_eq!(snap.magnetic_reads, THREADS * PER_THREAD);
+        assert_eq!(snap.node_decodes, THREADS * PER_THREAD / 2);
+        assert_eq!(snap.node_cache_misses, 0);
     }
 
     #[test]

@@ -18,17 +18,23 @@
 //!   as-of lookups, range scans, version histories) sampled from an executed
 //!   history,
 //! * [`Oracle`] — an in-memory multiversion map answering the same queries
-//!   as the TSB-tree; integration and property tests use it as ground truth.
+//!   as the TSB-tree; integration and property tests use it as ground truth,
+//! * [`ConcurrentSpec`] — deterministic concurrent scenarios: one scripted
+//!   writer stream plus per-reader query plans whose read times are pinned
+//!   as fractions of the installed history, so multi-threaded runs stay
+//!   oracle-checkable (see [`concurrent`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrent;
 pub mod distributions;
 pub mod generator;
 pub mod oracle;
 pub mod queries;
 pub mod scenarios;
 
+pub use concurrent::{pin_fraction, ConcurrentSpec, ReaderQuery, ReaderQueryKind};
 pub use distributions::KeyDistribution;
 pub use generator::{generate_ops, Op, WorkloadSpec};
 pub use oracle::Oracle;
