@@ -1,0 +1,126 @@
+//! E11: index-node routing cost vs fanout — partitioned binary search
+//! against the linear reference scan.
+//!
+//! The paper's access-cost model (§2.2, §2.5) prices a search as one
+//! root-to-leaf path of node accesses; once warm accesses are decode-free
+//! (node cache) and lock-free (seqlock descents), what remains is the work
+//! *inside* each node. This experiment times `IndexNode::find_child` — the
+//! partitioned O(log fanout) routing — against `find_child_linear` (the
+//! O(fanout) scan every descent paid before) on synthetic nodes shaped
+//! like the engine's own: `fanout` current children tiling the key space
+//! plus `fanout` historical children one time band below. Both the
+//! `ts == MAX` descent (inserts, current lookups, commits) and a past-time
+//! descent are measured.
+
+use std::time::Instant;
+
+use tsb_common::{Key, KeyBound, KeyRange, TimeRange, Timestamp};
+use tsb_core::{IndexEntry, IndexNode, NodeAddr};
+use tsb_storage::{HistAddr, PageId};
+
+use crate::measure::Scale;
+use crate::report::{descent_cells, Table};
+
+/// Key-space width assigned to each current child of [`synthetic_node`].
+pub const STRIDE: u64 = 16;
+
+/// Fanouts measured (entries per region; the node holds 2x this).
+const FANOUTS: &[u64] = &[16, 64, 256];
+
+/// Builds an index node with `fanout` current children tiling the key
+/// space and `fanout` historical children one time band below them —
+/// the shape a long insert/update stream produces. Shared with the
+/// `B3_descent_fanout` criterion bench so the E11 table and the bench
+/// always measure the same node.
+pub fn synthetic_node(fanout: u64) -> IndexNode {
+    let mut entries = Vec::new();
+    for i in 0..fanout {
+        let lo = if i == 0 {
+            Key::MIN
+        } else {
+            Key::from_u64(i * STRIDE)
+        };
+        let hi = if i == fanout - 1 {
+            KeyBound::PlusInfinity
+        } else {
+            KeyBound::Finite(Key::from_u64((i + 1) * STRIDE))
+        };
+        let range = KeyRange::new(lo, hi);
+        entries.push(IndexEntry::new(
+            range.clone(),
+            TimeRange::from(Timestamp(100)),
+            NodeAddr::Current(PageId(i + 1)),
+        ));
+        entries.push(IndexEntry::new(
+            range,
+            TimeRange::bounded(Timestamp(0), Timestamp(100)),
+            NodeAddr::Historical(HistAddr::new(i * 256, 128)),
+        ));
+    }
+    let node = IndexNode::from_entries(KeyRange::full(), TimeRange::full(), entries);
+    node.validate().expect("synthetic node must be valid");
+    node
+}
+
+/// Times `f` over `iters` probe rounds, returning mean ns per call.
+fn time_ns(probes: &[Key], iters: usize, mut f: impl FnMut(&Key)) -> f64 {
+    let start = Instant::now();
+    let mut done = 0usize;
+    while done < iters {
+        for p in probes {
+            f(p);
+        }
+        done += probes.len();
+    }
+    start.elapsed().as_nanos() as f64 / done as f64
+}
+
+/// Runs the routing measurement.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let iters = match scale {
+        Scale::Tiny => 2_000,
+        Scale::Small => 50_000,
+        Scale::Full => 400_000,
+    };
+    let mut table = Table::new(
+        "E11: index routing cost vs fanout (binary-search regions vs linear scan)",
+        format!(
+            "{iters} probes per cell; node = fanout current + fanout historical entries; \
+             'current' probes at ts=MAX (insert/lookup/commit path), 'past' mid-history"
+        ),
+        &[
+            "fanout",
+            "cur linear ns",
+            "cur binary ns",
+            "cur speedup",
+            "past linear ns",
+            "past binary ns",
+            "past speedup",
+        ],
+    );
+    for &fanout in FANOUTS {
+        let node = synthetic_node(fanout);
+        let keyspace = fanout * STRIDE;
+        let probes: Vec<Key> = (0..keyspace).step_by(7).map(Key::from_u64).collect();
+        let past = Timestamp(50);
+
+        let cur_linear = time_ns(&probes, iters, |k| {
+            std::hint::black_box(node.find_child_linear(k, Timestamp::MAX));
+        });
+        let cur_binary = time_ns(&probes, iters, |k| {
+            std::hint::black_box(node.find_child(k, Timestamp::MAX));
+        });
+        let past_linear = time_ns(&probes, iters, |k| {
+            std::hint::black_box(node.find_child_linear(k, past));
+        });
+        let past_binary = time_ns(&probes, iters, |k| {
+            std::hint::black_box(node.find_child(k, past));
+        });
+
+        let mut row = vec![fanout.to_string()];
+        row.extend(descent_cells(cur_linear, cur_binary));
+        row.extend(descent_cells(past_linear, past_binary));
+        table.push_row(row);
+    }
+    vec![table]
+}

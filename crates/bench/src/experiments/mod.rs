@@ -7,6 +7,7 @@ pub mod ablation;
 pub mod baseline;
 pub mod concurrency;
 pub mod cost_function;
+pub mod descent_fanout;
 pub mod policy_space;
 pub mod query_cost;
 pub mod ratio_sweep;
@@ -16,7 +17,9 @@ use crate::measure::Scale;
 use crate::report::Table;
 
 /// Every experiment id the harness knows about.
-pub const ALL_EXPERIMENTS: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+];
 
 /// Runs one experiment by id, returning its tables.
 pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
@@ -39,6 +42,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "e8" => Some(baseline::run(scale)),
         "e9" => Some(ablation::run(scale)),
         "e10" | "concurrency" => Some(concurrency::run(scale)),
+        "e11" | "descent-fanout" => Some(descent_fanout::run(scale)),
         _ => None,
     }
 }
@@ -51,6 +55,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     out.extend(cost_function::run(scale));
     out.extend(query_cost::run(scale));
     out.extend(concurrency::run(scale));
+    out.extend(descent_fanout::run(scale));
     out.extend(worm_utilization::run(scale));
     out.extend(baseline::run(scale));
     out.extend(ablation::run(scale));

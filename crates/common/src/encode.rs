@@ -293,9 +293,11 @@ impl<'a> ByteReader<'a> {
         Ok(self.take(len)?.to_vec())
     }
 
-    /// Reads a key.
+    /// Reads a key. Decodes straight from the input slice, so small keys
+    /// are materialized inline without a heap allocation.
     pub fn get_key(&mut self) -> TsbResult<Key> {
-        Ok(Key::from_bytes(self.get_bytes()?))
+        let len = self.get_u32()? as usize;
+        Ok(Key::from_bytes(self.take(len)?))
     }
 
     /// Reads a key bound.

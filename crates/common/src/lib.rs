@@ -32,6 +32,6 @@ pub mod time;
 
 pub use config::{CostParams, SplitPolicyKind, SplitTimeChoice, TsbConfig};
 pub use error::{TsbError, TsbResult};
-pub use key::{Key, KeyBound, KeyRange};
+pub use key::{Key, KeyBound, KeyRange, KEY_INLINE_CAP};
 pub use record::{TsState, TxnId, Version, VersionOrder};
 pub use time::{LogicalClock, TimeBound, TimeRange, Timestamp};

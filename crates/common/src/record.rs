@@ -170,9 +170,18 @@ impl Version {
         self.state.into()
     }
 
-    /// The intra-node sort key `(key, order)`.
-    pub fn sort_key(&self) -> (Key, VersionOrder) {
-        (self.key.clone(), self.order())
+    /// The intra-node sort key `(key, order)`, borrowed — comparing two
+    /// sort keys never clones or allocates.
+    pub fn sort_key(&self) -> (&Key, VersionOrder) {
+        (&self.key, self.order())
+    }
+
+    /// Compares two versions by their intra-node sort order
+    /// `(key, version order)` without cloning either.
+    pub fn sort_cmp(&self, other: &Version) -> std::cmp::Ordering {
+        self.key
+            .cmp(&other.key)
+            .then_with(|| self.order().cmp(&other.order()))
     }
 
     /// Approximate in-memory / on-page size of the version (used by split

@@ -102,7 +102,7 @@ impl DataNode {
         time_range: TimeRange,
         mut entries: Vec<Version>,
     ) -> Self {
-        entries.sort_by_key(|a| a.sort_key());
+        entries.sort_by(Version::sort_cmp);
         DataNode {
             key_range,
             time_range,
@@ -130,9 +130,11 @@ impl DataNode {
         self.time_range.is_current()
     }
 
-    fn position_of(&self, key: &Key, order: &VersionOrder) -> Result<usize, usize> {
+    /// Binary search for `(key, order)` with a fully borrowed comparator:
+    /// no probe ever clones the search key or an entry's key.
+    fn position_of(&self, key: &Key, order: VersionOrder) -> Result<usize, usize> {
         self.entries
-            .binary_search_by(|e| e.sort_key().cmp(&(key.clone(), *order)))
+            .binary_search_by(|e| e.key.cmp(key).then_with(|| e.order().cmp(&order)))
     }
 
     /// Inserts (or replaces) a version. Replacement happens when an entry
@@ -148,7 +150,7 @@ impl DataNode {
                 version.key, self.key_range
             )));
         }
-        match self.position_of(&version.key, &version.order()) {
+        match self.position_of(&version.key, version.order()) {
             Ok(pos) => self.entries[pos] = version,
             Err(pos) => self.entries.insert(pos, version),
         }
@@ -157,7 +159,7 @@ impl DataNode {
 
     /// Removes the uncommitted version of `key` written by `txn`, if any.
     pub fn remove_uncommitted(&mut self, key: &Key, txn: TxnId) -> Option<Version> {
-        match self.position_of(key, &VersionOrder::Uncommitted(txn)) {
+        match self.position_of(key, VersionOrder::Uncommitted(txn)) {
             Ok(pos) => Some(self.entries.remove(pos)),
             Err(_) => None,
         }
@@ -166,18 +168,17 @@ impl DataNode {
     /// The uncommitted version of `key`, if any (written by any transaction —
     /// there is at most one, because writers conflict on uncommitted keys).
     pub fn find_uncommitted(&self, key: &Key) -> Option<&Version> {
-        self.entries
-            .iter()
-            .find(|e| e.key == *key && e.state.is_uncommitted())
+        self.versions_of(key).find(|e| e.state.is_uncommitted())
     }
 
-    /// All versions of `key` in this node, in version order.
+    /// All versions of `key` in this node, in version order. The key's
+    /// contiguous group is located by two binary searches up front, so the
+    /// returned iterator borrows only the node — the probe key is neither
+    /// cloned nor captured.
     pub fn versions_of(&self, key: &Key) -> impl Iterator<Item = &Version> + '_ {
         let start = self.entries.partition_point(|e| e.key < *key);
-        let key = key.clone();
-        self.entries[start..]
-            .iter()
-            .take_while(move |e| e.key == key)
+        let end = self.entries.partition_point(|e| e.key <= *key);
+        self.entries[start..end].iter()
     }
 
     /// The version of `key` governing time `ts`: the committed version with

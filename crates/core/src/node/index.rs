@@ -89,14 +89,41 @@ impl IndexEntry {
 
 /// An index node: a rectangle of the key × time plane plus the child entries
 /// that tile it.
+///
+/// # Partition invariant (routing layout)
+///
+/// Entries are stored in two regions inside one vector, maintained
+/// incrementally by [`IndexNode::insert`] / [`IndexNode::replace_child`]
+/// rather than rebuilt per descent:
+///
+/// * `entries[..current_start]` — the **historical region**: entries with a
+///   closed time range, sorted by `(key_range.lo, time_range.lo)`;
+/// * `entries[current_start..]` — the **current region**: entries with an
+///   open-ended time range, sorted by `key_range.lo`.
+///
+/// Current entries all extend to `+∞` in time, so any two of them overlap
+/// in the time projection; pairwise rectangle disjointness therefore forces
+/// their *key ranges* to be pairwise disjoint. That makes the current
+/// region binary-searchable by key alone: only the entry whose
+/// `key_range.lo` is the greatest lower bound `<= key` can contain the key.
+/// A `ts == Timestamp::MAX` descent — every insert, current lookup, and
+/// transaction commit — is thus O(log fanout) with zero allocations, where
+/// it used to be an O(fanout) linear scan. Past-time descents binary-search
+/// the current region first, then seek into the historical region at the
+/// `(key, ts)` partition point and scan only entries that could contain
+/// the probe. [`IndexNode::validate`] checks the region layout alongside
+/// the geometric invariants, and `find_child` cross-checks the partitioned
+/// answer against the linear reference scan under `debug_assertions`.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct IndexNode {
     /// Key range this node is responsible for.
     pub key_range: KeyRange,
     /// Time range this node is responsible for.
     pub time_range: TimeRange,
-    /// Child entries, sorted by `(key_range.lo, time_range.lo)`.
+    /// Child entries, laid out per the partition invariant above.
     entries: Vec<IndexEntry>,
+    /// Boundary between the historical and current regions.
+    current_start: usize,
 }
 
 /// Summary of an index node's contents used when deciding how to split it.
@@ -117,6 +144,14 @@ pub struct IndexComposition {
     pub key_split_candidates: usize,
 }
 
+/// Region sort order: `(key_range.lo, time_range.lo)`, fully borrowed.
+fn region_cmp(a: &IndexEntry, b: &IndexEntry) -> std::cmp::Ordering {
+    a.key_range
+        .lo
+        .cmp(&b.key_range.lo)
+        .then_with(|| a.time_range.lo.cmp(&b.time_range.lo))
+}
+
 impl IndexNode {
     /// Creates an empty index node covering `key_range` × `time_range`.
     pub fn new(key_range: KeyRange, time_range: TimeRange) -> Self {
@@ -124,29 +159,49 @@ impl IndexNode {
             key_range,
             time_range,
             entries: Vec::new(),
+            current_start: 0,
         }
     }
 
-    /// Creates an index node from entries (re-sorted defensively).
+    /// Creates an index node from entries (re-partitioned and re-sorted
+    /// defensively into the historical-then-current region layout).
     pub fn from_entries(
         key_range: KeyRange,
         time_range: TimeRange,
-        mut entries: Vec<IndexEntry>,
+        entries: Vec<IndexEntry>,
     ) -> Self {
-        entries.sort_by(|a, b| {
-            (a.key_range.lo.clone(), a.time_range.lo)
-                .cmp(&(b.key_range.lo.clone(), b.time_range.lo))
-        });
+        let (mut historical, mut current): (Vec<_>, Vec<_>) = entries
+            .into_iter()
+            .partition(|e| !e.time_range.is_current());
+        historical.sort_by(region_cmp);
+        current.sort_by(region_cmp);
+        let current_start = historical.len();
+        historical.extend(current);
         IndexNode {
             key_range,
             time_range,
-            entries,
+            entries: historical,
+            current_start,
         }
     }
 
-    /// The entries, sorted by `(key lo, time lo)`.
+    /// The entries: the historical region (sorted by `(key lo, time lo)`)
+    /// followed by the current region (sorted by `key lo`).
     pub fn entries(&self) -> &[IndexEntry] {
         &self.entries
+    }
+
+    /// The historical-region entries (closed time ranges), sorted by
+    /// `(key_range.lo, time_range.lo)`.
+    pub fn historical_region(&self) -> &[IndexEntry] {
+        &self.entries[..self.current_start]
+    }
+
+    /// The current-region entries (open time ranges), sorted by
+    /// `key_range.lo`; their key ranges are pairwise disjoint in any valid
+    /// node.
+    pub fn current_region(&self) -> &[IndexEntry] {
+        &self.entries[self.current_start..]
     }
 
     /// Number of entries.
@@ -164,19 +219,29 @@ impl IndexNode {
         self.time_range.is_current()
     }
 
-    /// Adds an entry, keeping the sort order.
+    /// Adds an entry, keeping the region partition and per-region sort
+    /// order (incremental maintenance — no rebuild, no key clones).
     pub fn insert(&mut self, entry: IndexEntry) {
-        let pos = self.entries.partition_point(|e| {
-            (e.key_range.lo.clone(), e.time_range.lo)
-                <= (entry.key_range.lo.clone(), entry.time_range.lo)
-        });
-        self.entries.insert(pos, entry);
+        let (region_lo, region_hi) = if entry.time_range.is_current() {
+            (self.current_start, self.entries.len())
+        } else {
+            (0, self.current_start)
+        };
+        let offset = self.entries[region_lo..region_hi]
+            .partition_point(|e| region_cmp(e, &entry) != std::cmp::Ordering::Greater);
+        if !entry.time_range.is_current() {
+            self.current_start += 1;
+        }
+        self.entries.insert(region_lo + offset, entry);
     }
 
     /// Removes the entry referencing `child` (there is at most one within a
     /// single index node), returning it.
     pub fn remove_child(&mut self, child: &NodeAddr) -> Option<IndexEntry> {
         let pos = self.entries.iter().position(|e| e.child == *child)?;
+        if pos < self.current_start {
+            self.current_start -= 1;
+        }
         Some(self.entries.remove(pos))
     }
 
@@ -209,7 +274,56 @@ impl IndexNode {
     /// Returns `None` only if the point lies outside every entry — which for
     /// a well-formed node means the point is outside the node's own
     /// rectangle (or in the empty-root corner case).
+    ///
+    /// Routing is O(log fanout) over the region layout (see the type-level
+    /// docs): the current region is binary-searched by `key`, and — for
+    /// past timestamps — the historical region is entered at the
+    /// `(key, ts)` partition point. Under `debug_assertions` the result is
+    /// cross-checked against [`Self::find_child_linear`].
     pub fn find_child(&self, key: &Key, ts: Timestamp) -> Option<&IndexEntry> {
+        let found = self.find_child_partitioned(key, ts);
+        debug_assert_eq!(
+            found.map(|e| e.child),
+            self.find_child_linear(key, ts).map(|e| e.child),
+            "partitioned routing diverged from the linear reference scan \
+             for (key {key}, ts {ts}) in node {} x {}",
+            self.key_range,
+            self.time_range,
+        );
+        found
+    }
+
+    fn find_child_partitioned(&self, key: &Key, ts: Timestamp) -> Option<&IndexEntry> {
+        // Current region: key ranges are pairwise disjoint and sorted by
+        // lower bound, so the only candidate is the predecessor of the
+        // first entry whose lower bound exceeds the probe key.
+        let current = self.current_region();
+        let p = current.partition_point(|e| e.key_range.lo <= *key);
+        if p > 0 {
+            let e = &current[p - 1];
+            if e.contains(key, ts) {
+                return Some(e);
+            }
+        }
+        // Open time ranges contain MAX, closed ones never do — so a MAX
+        // probe (every insert / current lookup / commit) ends here.
+        if ts == Timestamp::MAX {
+            return None;
+        }
+        // Historical region: entries are sorted by (key lo, time lo), so
+        // every entry at or past the (key, ts) partition point either
+        // starts above the probe key or starts (in time) after the probe
+        // instant — neither can contain the point. Seek there and scan
+        // backwards; the first containing entry is unique by disjointness.
+        let historical = self.historical_region();
+        let p = historical.partition_point(|e| (&e.key_range.lo, e.time_range.lo) <= (key, ts));
+        historical[..p].iter().rev().find(|e| e.contains(key, ts))
+    }
+
+    /// Reference implementation of [`Self::find_child`]: a linear scan over
+    /// every entry. Kept for the property tests and benchmarks that check
+    /// and measure the partitioned routing against it.
+    pub fn find_child_linear(&self, key: &Key, ts: Timestamp) -> Option<&IndexEntry> {
         self.entries.iter().find(|e| e.contains(key, ts))
     }
 
@@ -303,15 +417,16 @@ impl IndexNode {
         for _ in 0..count {
             entries.push(IndexEntry::decode(&mut r)?);
         }
-        Ok(IndexNode {
-            key_range,
-            time_range,
-            entries,
-        })
+        // Re-partitioning is a stable identity on the encoded (already
+        // partitioned) order, so decode(encode(n)) == n.
+        Ok(IndexNode::from_entries(key_range, time_range, entries))
     }
 
     /// Checks the node's internal invariants:
     ///
+    /// * the region partition holds: historical entries (closed time
+    ///   ranges) before `current_start` sorted by `(key lo, time lo)`,
+    ///   current entries (open time ranges) after it sorted by `key lo`,
     /// * entries referencing current children lie inside the node rectangle
     ///   and have open-ended time ranges,
     /// * entry rectangles are pairwise disjoint,
@@ -320,6 +435,32 @@ impl IndexNode {
     ///   by the entries — sufficient because all rectangles are axis-aligned
     ///   half-open boxes).
     pub fn validate(&self) -> TsbResult<()> {
+        if self.current_start > self.entries.len() {
+            return Err(TsbError::invariant(format!(
+                "index region boundary {} past entry count {}",
+                self.current_start,
+                self.entries.len()
+            )));
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            let in_current_region = i >= self.current_start;
+            if e.time_range.is_current() != in_current_region {
+                return Err(TsbError::invariant(format!(
+                    "entry for child {} ({} x {}) is in the wrong index region",
+                    e.child, e.key_range, e.time_range
+                )));
+            }
+        }
+        for region in [self.historical_region(), self.current_region()] {
+            for w in region.windows(2) {
+                if region_cmp(&w[0], &w[1]) == std::cmp::Ordering::Greater {
+                    return Err(TsbError::invariant(format!(
+                        "index region out of order: {} x {} before {} x {}",
+                        w[0].key_range, w[0].time_range, w[1].key_range, w[1].time_range
+                    )));
+                }
+            }
+        }
         for e in &self.entries {
             if e.key_range.is_empty() || e.time_range.is_empty() {
                 return Err(TsbError::invariant(format!(

@@ -69,7 +69,7 @@ pub fn composite_key(secondary: &Key, primary: &Key) -> Key {
     let mut out = Vec::with_capacity(secondary.len() + primary.len() + 4);
     escape_component(&mut out, secondary.as_bytes());
     escape_component(&mut out, primary.as_bytes());
-    Key::from_bytes(out)
+    Key::from_vec(out)
 }
 
 /// Splits a composite key back into `(secondary, primary)`.
@@ -79,7 +79,7 @@ pub fn split_composite_key(key: &Key) -> TsbResult<(Key, Key)> {
     if !rest.is_empty() {
         return Err(TsbError::corruption("trailing bytes after composite key"));
     }
-    Ok((Key::from_bytes(secondary), Key::from_bytes(primary)))
+    Ok((Key::from_vec(secondary), Key::from_vec(primary)))
 }
 
 /// The key range covering every composite key whose secondary component is
@@ -92,7 +92,7 @@ fn secondary_prefix_range(secondary: &Key) -> KeyRange {
     let mut hi = lo.clone();
     let last = hi.len() - 1;
     hi[last] = 0x01;
-    KeyRange::new(Key::from_bytes(lo), KeyBound::Finite(Key::from_bytes(hi)))
+    KeyRange::new(Key::from_vec(lo), KeyBound::Finite(Key::from_vec(hi)))
 }
 
 /// A secondary index over some attribute of the primary records, implemented

@@ -94,8 +94,8 @@ pub fn partition_by_time(entries: &[Version], split_time: Timestamp) -> TimeSpli
         i = group_end;
     }
 
-    historical.sort_by_key(|a| a.sort_key());
-    current.sort_by_key(|a| a.sort_key());
+    historical.sort_by(Version::sort_cmp);
+    current.sort_by(Version::sort_cmp);
     TimeSplitParts {
         historical,
         current,
@@ -162,7 +162,7 @@ mod tests {
     }
 
     fn sorted(mut entries: Vec<Version>) -> Vec<Version> {
-        entries.sort_by_key(|a| a.sort_key());
+        entries.sort_by(Version::sort_cmp);
         entries
     }
 

@@ -53,8 +53,11 @@ impl TsbTree {
             &mut out,
         )?;
         out.sort_by(|a, b| {
-            (a.key.clone(), a.commit_time().unwrap_or(Timestamp::MAX))
-                .cmp(&(b.key.clone(), b.commit_time().unwrap_or(Timestamp::MAX)))
+            a.key.cmp(&b.key).then_with(|| {
+                a.commit_time()
+                    .unwrap_or(Timestamp::MAX)
+                    .cmp(&b.commit_time().unwrap_or(Timestamp::MAX))
+            })
         });
         Ok(out)
     }

@@ -185,21 +185,23 @@ impl TsbTree {
             }
             Node::Index(index) => {
                 // New versions are routed as of "the end of time": the
-                // current child for this key.
-                let entry = index
+                // current child for this key. Only the child address (a
+                // `Copy` word pair) leaves the borrow — the entry's key
+                // ranges are never cloned on the descent.
+                let child = index
                     .find_child(&version.key, Timestamp::MAX)
-                    .cloned()
+                    .map(|e| e.child)
                     .ok_or_else(|| {
                         TsbError::corruption(format!(
                             "index node {} x {} has no child for key {} at +inf",
                             index.key_range, index.time_range, version.key
                         ))
                     })?;
-                match self.insert_into(entry.child, version)? {
+                match self.insert_into(child, version)? {
                     InsertOutcome::Fit => Ok(InsertOutcome::Fit),
                     InsertOutcome::Split(replacements) => {
                         let mut index = index.clone();
-                        index.replace_child(&entry.child, replacements)?;
+                        index.replace_child(&child, replacements)?;
                         if index.encoded_size() <= self.split_threshold() {
                             self.write_current(page, Node::Index(index))?;
                             Ok(InsertOutcome::Fit)
@@ -341,16 +343,15 @@ impl TsbTree {
         }
         let shrank = parts.current.len() < node.len();
 
-        let hist_node = DataNode::from_entries(
-            node.key_range.clone(),
-            TimeRange::bounded(node.time_range.lo, split_time),
-            parts.historical,
-        );
-        let hist_kr = hist_node.key_range.clone();
-        let hist_tr = hist_node.time_range;
+        let hist_tr = TimeRange::bounded(node.time_range.lo, split_time);
+        let hist_node = DataNode::from_entries(node.key_range.clone(), hist_tr, parts.historical);
         self.note_structural_write();
         let hist_addr = self.append_historical(Node::Data(hist_node))?;
-        let hist_entry = IndexEntry::new(hist_kr, hist_tr, NodeAddr::Historical(hist_addr));
+        let hist_entry = IndexEntry::new(
+            node.key_range.clone(),
+            hist_tr,
+            NodeAddr::Historical(hist_addr),
+        );
 
         let current = DataNode::from_entries(
             node.key_range.clone(),
@@ -512,16 +513,15 @@ impl TsbTree {
         }
         let shrank = parts.current.len() < node.len();
 
-        let hist = IndexNode::from_entries(
-            node.key_range.clone(),
-            TimeRange::bounded(node.time_range.lo, t),
-            parts.historical,
-        );
-        let hist_kr = hist.key_range.clone();
-        let hist_tr = hist.time_range;
+        let hist_tr = TimeRange::bounded(node.time_range.lo, t);
+        let hist = IndexNode::from_entries(node.key_range.clone(), hist_tr, parts.historical);
         self.note_structural_write();
         let hist_addr = self.append_historical(Node::Index(hist))?;
-        let hist_entry = IndexEntry::new(hist_kr, hist_tr, NodeAddr::Historical(hist_addr));
+        let hist_entry = IndexEntry::new(
+            node.key_range.clone(),
+            hist_tr,
+            NodeAddr::Historical(hist_addr),
+        );
 
         let current = IndexNode::from_entries(
             node.key_range.clone(),

@@ -47,7 +47,8 @@ impl TsbTree {
                     if let Some(v) = data.find_as_of(&key, ts) {
                         if !v.is_tombstone() {
                             if let Some(value) = &v.value {
-                                out.insert(key.clone(), value.clone());
+                                let value = value.clone();
+                                out.insert(key, value);
                             }
                         }
                     }

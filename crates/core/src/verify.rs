@@ -4,7 +4,9 @@
 //! parts) and checks the invariants that make the TSB-tree correct:
 //!
 //! * every node passes its local validation (entry ordering, rectangles,
-//!   rule-3 shape, no uncommitted data in historical nodes);
+//!   rule-3 shape, no uncommitted data in historical nodes, and — for index
+//!   nodes — the historical/current region partition that backs the
+//!   binary-search routing, see [`crate::node::IndexNode`]);
 //! * every index entry's rectangle equals the rectangle stored in the child
 //!   node it references, and the entry's device (current vs. historical)
 //!   matches the child's address and open/closed time range;
