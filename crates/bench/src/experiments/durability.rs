@@ -1,0 +1,251 @@
+//! E12: the price of durability — WAL fsync policies and recovery time.
+//!
+//! The paper's two-device design leaves the current (magnetic) database
+//! volatile; PR 4's write-ahead log closes that gap. This experiment prices
+//! it. The first table replays one insert/update stream into file-backed
+//! trees that differ only in logging: no WAL at all (the pre-durability
+//! engine), then a WAL under each [`FsyncPolicy`] — `Os` (appends only),
+//! group commit (`EveryN(64)`, `EveryN(8)`), and `Always` (fsync per
+//! commit). Reported: sustained write throughput, WAL traffic, and fsyncs —
+//! the classic durability/throughput trade, measurable per policy.
+//!
+//! The second table measures crash-consistent reopen: a tree is built and
+//! dropped *without* a checkpoint (everything since create lives only in
+//! the log), then [`TsbTree::open_durable`] must replay, purge, verify, and
+//! re-fence. Recovery time is reported against the number of ops since the
+//! last checkpoint — the knob an operator turns (checkpoint cadence) to
+//! bound restart time.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use tsb_common::{FsyncPolicy, SplitPolicyKind, SplitTimeChoice, TsbConfig};
+use tsb_core::TsbTree;
+use tsb_workload::{generate_ops, Op, WorkloadSpec};
+
+use crate::measure::{experiment_config, Scale};
+use crate::report::Table;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "tsb-e12-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn e12_config(policy: Option<FsyncPolicy>) -> TsbConfig {
+    let mut cfg = experiment_config(SplitPolicyKind::TimePreferring, SplitTimeChoice::LastUpdate);
+    if let Some(policy) = policy {
+        cfg.fsync_policy = policy;
+    }
+    cfg
+}
+
+fn e12_workload(scale: Scale) -> WorkloadSpec {
+    WorkloadSpec::default()
+        .with_ops(match scale {
+            Scale::Tiny => 400,
+            Scale::Small => 3_000,
+            Scale::Full => 15_000,
+        })
+        .with_keys(scale.keys())
+        .with_update_ratio(4.0)
+        .with_value_size(48)
+}
+
+fn replay(tree: &mut TsbTree, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Put { key, value } => {
+                tree.insert(key.clone(), value.clone()).expect("insert");
+            }
+            Op::Delete { key } => {
+                tree.delete(key.clone()).expect("delete");
+            }
+        }
+    }
+}
+
+/// Runs the fsync-policy throughput table and the recovery-time table.
+pub fn run(scale: Scale) -> Vec<Table> {
+    vec![fsync_policy_table(scale), recovery_table(scale)]
+}
+
+fn fsync_policy_table(scale: Scale) -> Table {
+    let ops = generate_ops(&e12_workload(scale));
+    let mut table = Table::new(
+        "E12a: write throughput by durability level (file-backed stores)",
+        format!(
+            "{} ops, 4 updates per insert; 'none' is the pre-WAL engine (crash loses \
+             everything unflushed), each WAL row survives any crash up to its fsync horizon",
+            ops.len()
+        ),
+        &[
+            "durability",
+            "inserts/s",
+            "vs none",
+            "wal appends",
+            "wal fsyncs",
+            "wal KiB",
+        ],
+    );
+
+    let rows: &[(&str, Option<FsyncPolicy>)] = &[
+        ("none (no WAL)", None),
+        ("wal + Os", Some(FsyncPolicy::Os)),
+        ("wal + EveryN(64)", Some(FsyncPolicy::EveryN(64))),
+        ("wal + EveryN(8)", Some(FsyncPolicy::EveryN(8))),
+        ("wal + Always", Some(FsyncPolicy::Always)),
+    ];
+    let mut baseline: Option<f64> = None;
+    for (label, policy) in rows {
+        let dir = TempDir::new(&format!("tput-{}", label.replace([' ', '(', ')'], "")));
+        let cfg = e12_config(*policy);
+        let mut tree = if policy.is_some() {
+            TsbTree::open_durable(&dir.0, cfg).expect("durable tree")
+        } else {
+            open_plain_file_tree(&dir, cfg)
+        };
+        let before = tree.io_stats().snapshot();
+        let start = Instant::now();
+        replay(&mut tree, &ops);
+        let elapsed = start.elapsed().as_secs_f64();
+        let delta = tree.io_stats().snapshot().delta_since(&before);
+        let throughput = ops.len() as f64 / elapsed.max(1e-9);
+        let relative = match baseline {
+            None => {
+                baseline = Some(throughput);
+                1.0
+            }
+            Some(base) if base > 0.0 => throughput / base,
+            _ => 0.0,
+        };
+        table.push_row(vec![
+            label.to_string(),
+            format!("{throughput:.0}"),
+            format!("{relative:.2}x"),
+            delta.wal_appends.to_string(),
+            delta.wal_syncs.to_string(),
+            wal_kib(&dir),
+        ]);
+    }
+    table
+}
+
+fn recovery_table(scale: Scale) -> Table {
+    let depths: &[usize] = match scale {
+        Scale::Tiny => &[100, 400],
+        Scale::Small => &[500, 2_000, 4_000],
+        Scale::Full => &[1_000, 5_000, 20_000],
+    };
+    let mut table = Table::new(
+        "E12b: crash-consistent reopen time vs ops since the last checkpoint",
+        "tree built then dropped with no checkpoint; open_durable replays the WAL, \
+         erases in-flight txns, verifies, and re-fences"
+            .to_string(),
+        &[
+            "ops since checkpoint",
+            "recovery ms",
+            "wal KiB replayed",
+            "keys recovered",
+        ],
+    );
+    for depth in depths {
+        let dir = TempDir::new(&format!("rec-{depth}"));
+        let cfg = e12_config(Some(FsyncPolicy::Os));
+        let spec = e12_workload(scale).with_ops(*depth);
+        let ops = generate_ops(&spec);
+        {
+            let mut tree = TsbTree::open_durable(&dir.0, cfg.clone()).expect("durable tree");
+            replay(&mut tree, &ops);
+            // Dropped hot: every post-create write exists only in the WAL.
+        }
+        let wal_kib = wal_kib(&dir);
+        let start = Instant::now();
+        let tree = TsbTree::open_durable(&dir.0, cfg).expect("recovery");
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        let keys = tree
+            .scan_current(&tsb_common::KeyRange::full())
+            .expect("scan")
+            .len();
+        table.push_row(vec![
+            depth.to_string(),
+            format!("{elapsed_ms:.1}"),
+            wal_kib,
+            keys.to_string(),
+        ]);
+    }
+    table
+}
+
+/// A file-backed tree with no WAL: the pre-durability baseline.
+fn open_plain_file_tree(dir: &TempDir, cfg: TsbConfig) -> TsbTree {
+    use std::sync::Arc;
+    use tsb_storage::{IoStats, MagneticStore, WormStore};
+    let stats = Arc::new(IoStats::new());
+    let magnetic = Arc::new(
+        MagneticStore::open_file(
+            dir.0.join("current.pages"),
+            cfg.page_size,
+            Arc::clone(&stats),
+        )
+        .expect("magnetic store"),
+    );
+    let worm = Arc::new(
+        WormStore::open_file(dir.0.join("history.worm"), cfg.worm_sector_size, stats)
+            .expect("worm store"),
+    );
+    TsbTree::create(magnetic, worm, cfg).expect("tree")
+}
+
+fn wal_kib(dir: &TempDir) -> String {
+    match std::fs::metadata(dir.0.join("redo.wal")) {
+        Ok(meta) => format!("{:.1}", meta.len() as f64 / 1024.0),
+        Err(_) => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e12_produces_both_tables() {
+        let tables = run(Scale::Tiny);
+        assert_eq!(tables.len(), 2);
+        // Throughput table: one row per durability level, baseline first.
+        assert_eq!(tables[0].rows.len(), 5);
+        assert_eq!(tables[0].rows[0][2], "1.00x");
+        let baseline_appends: u64 = tables[0].rows[0][3].parse().unwrap();
+        assert_eq!(baseline_appends, 0, "no WAL, no appends");
+        for row in &tables[0].rows[1..] {
+            let appends: u64 = row[3].parse().unwrap();
+            assert!(appends > 0, "durable rows log every mutation");
+        }
+        // Always fsyncs at least as often as EveryN(8), which beats EveryN(64).
+        let syncs: Vec<u64> = tables[0].rows[1..]
+            .iter()
+            .map(|r| r[4].parse().unwrap())
+            .collect();
+        assert!(syncs[0] <= syncs[1] && syncs[1] <= syncs[2] && syncs[2] <= syncs[3]);
+        // Recovery table: rows report a positive key count.
+        for row in &tables[1].rows {
+            let keys: usize = row[3].parse().unwrap();
+            assert!(keys > 0, "recovery must surface the written keys");
+        }
+    }
+}

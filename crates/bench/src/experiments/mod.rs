@@ -8,6 +8,7 @@ pub mod baseline;
 pub mod concurrency;
 pub mod cost_function;
 pub mod descent_fanout;
+pub mod durability;
 pub mod policy_space;
 pub mod query_cost;
 pub mod ratio_sweep;
@@ -18,7 +19,7 @@ use crate::report::Table;
 
 /// Every experiment id the harness knows about.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
 ];
 
 /// Runs one experiment by id, returning its tables.
@@ -43,6 +44,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "e9" => Some(ablation::run(scale)),
         "e10" | "concurrency" => Some(concurrency::run(scale)),
         "e11" | "descent-fanout" => Some(descent_fanout::run(scale)),
+        "e12" | "durability" => Some(durability::run(scale)),
         _ => None,
     }
 }
@@ -56,6 +58,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     out.extend(query_cost::run(scale));
     out.extend(concurrency::run(scale));
     out.extend(descent_fanout::run(scale));
+    out.extend(durability::run(scale));
     out.extend(worm_utilization::run(scale));
     out.extend(baseline::run(scale));
     out.extend(ablation::run(scale));

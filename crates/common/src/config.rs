@@ -74,6 +74,29 @@ pub enum SplitTimeChoice {
     MedianVersion,
 }
 
+/// When the write-ahead log forces its buffered records to stable storage
+/// (`fsync`). Every policy keeps the *append* synchronous — a commit's
+/// records are always written to the log file before the engine touches the
+/// page store — the policy only chooses how often the file is fsynced, which
+/// is where the durability-versus-throughput trade lives (measured by the
+/// E12 experiment).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FsyncPolicy {
+    /// Fsync after every commit record. No acknowledged commit can be lost
+    /// to a power failure; the slowest policy.
+    #[default]
+    Always,
+    /// Group commit: fsync once every `N` commit records (and at every
+    /// checkpoint). A crash can lose up to the last `N - 1` acknowledged
+    /// commits; amortizes the fsync across a batch of writers.
+    EveryN(u32),
+    /// Never fsync explicitly; leave flushing to the operating system.
+    /// A process crash loses nothing (the records are in the OS page
+    /// cache); a power failure can lose everything since the last
+    /// checkpoint. The fastest policy.
+    Os,
+}
+
 /// Per-byte storage prices used by the cost function `CS` and by the
 /// cost-based split policy. Units are arbitrary; only the ratio matters.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -147,6 +170,10 @@ pub struct TsbConfig {
     /// time split at its next split opportunity. This is the optimization the
     /// paper sketches at the end of §3.5.
     pub mark_recalcitrant_children: bool,
+    /// How often the write-ahead log fsyncs its commit records (only
+    /// meaningful for trees opened with a WAL attached; in-memory trees
+    /// ignore it). Default [`FsyncPolicy::Always`].
+    pub fsync_policy: FsyncPolicy,
 }
 
 impl Default for TsbConfig {
@@ -162,6 +189,7 @@ impl Default for TsbConfig {
             split_time_choice: SplitTimeChoice::default(),
             cost: CostParams::default(),
             mark_recalcitrant_children: true,
+            fsync_policy: FsyncPolicy::default(),
         }
     }
 }
@@ -241,6 +269,13 @@ impl TsbConfig {
                 "storage costs must be non-negative".to_string(),
             ));
         }
+        if let FsyncPolicy::EveryN(n) = self.fsync_policy {
+            if n == 0 {
+                return Err(TsbError::config(
+                    "FsyncPolicy::EveryN(0) never syncs; use FsyncPolicy::Os to say that",
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -277,6 +312,12 @@ impl TsbConfig {
     /// Builder-style setter for the decoded-node cache capacity.
     pub fn with_node_cache_entries(mut self, entries: usize) -> Self {
         self.node_cache_entries = entries;
+        self
+    }
+
+    /// Builder-style setter for the WAL fsync policy.
+    pub fn with_fsync_policy(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync_policy = policy;
         self
     }
 }

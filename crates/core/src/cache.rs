@@ -265,6 +265,30 @@ impl NodeCache {
         Some((page, node))
     }
 
+    /// [`Self::dirty_overflow_victim`] across every shard: returns an
+    /// overflow victim from *any* shard holding more dirty entries than its
+    /// capacity, or `None` when all shards fit. Used by the durable write
+    /// path, which defers overflow write-back to the end of the mutation
+    /// (after the WAL commit fence) and therefore cannot rely on knowing
+    /// which shard the overflowing page hashed to. The same
+    /// peek/write/confirm protocol applies: the victim stays resident and
+    /// dirty until [`Self::mark_clean`].
+    pub(crate) fn any_dirty_overflow_victim(&self) -> Option<(PageId, Arc<Node>)> {
+        for shard in &self.shards {
+            let shard = shard.lock();
+            if shard.dirty_lru.len() <= self.shard_capacity {
+                continue;
+            }
+            let Some(victim) = shard.dirty_lru.peek_lru().copied() else {
+                continue;
+            };
+            let node = Arc::clone(&shard.entries.get(&victim)?.node);
+            let page = victim.as_page().expect("only current nodes are ever dirty");
+            return Some((page, node));
+        }
+        None
+    }
+
     /// Marks `addr` clean after its newest encode reached the buffer pool
     /// (the second half of [`Self::dirty_overflow_victim`]).
     pub(crate) fn mark_clean(&self, addr: NodeAddr) {

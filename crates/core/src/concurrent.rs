@@ -61,7 +61,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use tsb_common::{Key, KeyRange, TimeRange, Timestamp, TsbConfig, TsbResult, TxnId, Version};
-use tsb_storage::{IoStats, MagneticStore, SpaceSnapshot, WormStore};
+use tsb_storage::{IoStats, MagneticStore, SpaceSnapshot, Wal, WormStore};
 
 use crate::tree::TsbTree;
 
@@ -153,6 +153,35 @@ impl ConcurrentTsb {
         cfg: TsbConfig,
     ) -> TsbResult<Self> {
         Ok(Self::from_tree(TsbTree::open(magnetic, worm, cfg)?))
+    }
+
+    /// Creates a fresh **durable** engine: mutations are redo-logged before
+    /// they may dirty a page (see [`TsbTree::create_durable`]).
+    ///
+    /// Durability composes with the single-writer pipeline as **group
+    /// commit**: writers queue on the writer lock, each appends its records
+    /// to the WAL while holding it, and `cfg.fsync_policy` decides how
+    /// often a commit record forces the log to stable storage —
+    /// [`tsb_common::FsyncPolicy::Always`] fsyncs every commit,
+    /// `EveryN(n)` amortizes one fsync over `n` queued commits, `Os` leaves
+    /// flushing to the operating system. The E12 experiment measures the
+    /// resulting throughput/durability trade.
+    pub fn create_durable(
+        magnetic: Arc<MagneticStore>,
+        worm: Arc<WormStore>,
+        wal: Wal,
+        cfg: TsbConfig,
+    ) -> TsbResult<Self> {
+        Ok(Self::from_tree(TsbTree::create_durable(
+            magnetic, worm, wal, cfg,
+        )?))
+    }
+
+    /// Opens (or creates) a durable engine rooted at directory `dir`,
+    /// running crash-consistent recovery when the directory holds a
+    /// previous session's state (see [`TsbTree::open_durable`]).
+    pub fn open_durable(dir: impl AsRef<std::path::Path>, cfg: TsbConfig) -> TsbResult<Self> {
+        Ok(Self::from_tree(TsbTree::open_durable(dir, cfg)?))
     }
 
     /// Unwraps the engine back into the single-threaded tree, if this is
@@ -272,9 +301,28 @@ impl ConcurrentTsb {
         self.write_op(|t| t.abort_txn_shared(txn), |_| None)
     }
 
-    /// Flushes dirty nodes, pages, metadata, and both devices.
+    /// Flushes dirty nodes, pages, metadata, and both devices. On a
+    /// durable engine this is a checkpoint: it fences the redo log so the
+    /// next recovery replays nothing that precedes it.
     pub fn flush(&self) -> TsbResult<()> {
         self.write_op(|t| t.flush_shared(), |_| None)
+    }
+
+    /// Synonym for [`Self::flush`] under its durability name.
+    pub fn checkpoint(&self) -> TsbResult<()> {
+        self.flush()
+    }
+
+    /// See [`TsbTree::last_durable_commit`]: the replay cut of a recovered
+    /// engine, `None` if this engine was not produced by recovery.
+    pub fn last_durable_commit(&self) -> Option<Timestamp> {
+        self.inner.tree.last_durable_commit()
+    }
+
+    /// Whether the engine redo-logs its mutations (see
+    /// [`TsbTree::is_durable`]).
+    pub fn is_durable(&self) -> bool {
+        self.inner.tree.is_durable()
     }
 
     /// Runs `f` on the underlying tree with the writer pipeline stalled —

@@ -29,6 +29,15 @@
 //!   [`concurrent`]).
 //! * [`SecondaryIndex`] — `<timestamp, secondary key, primary key>` indexes,
 //!   themselves TSB-trees (§3.6).
+//! * **Durability** — [`TsbTree::open_durable`] / [`TsbTree::recover`] /
+//!   [`TsbTree::checkpoint`]: a write-ahead redo log
+//!   ([`tsb_storage::Wal`]) makes the erasable current database
+//!   crash-consistent (the WORM side is durable by hardware). Every
+//!   mutation's page images are logged before they may dirty a page, a
+//!   commit fence ends each mutation, checkpoints fence replay, and
+//!   recovery replays the log, erases in-flight transactions, and
+//!   verifies before serving. [`ConcurrentTsb`] layers group commit
+//!   ([`tsb_common::FsyncPolicy`]) on top.
 //! * [`TreeStats`] / [`TsbTree::verify`] — the measurements the paper's
 //!   evaluation plan calls for (total space, current-database space,
 //!   redundancy) and a full structural invariant checker.
@@ -84,6 +93,9 @@ pub use txn::SnapshotReader;
 // Re-export the shared vocabulary so that downstream users only need this
 // crate for typical use.
 pub use tsb_common::{
-    CostParams, Key, KeyBound, KeyRange, SplitPolicyKind, SplitTimeChoice, TimeBound, TimeRange,
-    Timestamp, TsState, TsbConfig, TsbError, TsbResult, TxnId, Version,
+    CostParams, FsyncPolicy, Key, KeyBound, KeyRange, SplitPolicyKind, SplitTimeChoice, TimeBound,
+    TimeRange, Timestamp, TsState, TsbConfig, TsbError, TsbResult, TxnId, Version,
 };
+// Durability vocabulary: the log handed to `create_durable` and the fault
+// plumbing the recovery test matrix drives.
+pub use tsb_storage::{CrashPoint, FaultInjector, Wal};

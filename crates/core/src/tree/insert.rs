@@ -120,8 +120,16 @@ impl TsbTree {
     /// insertion splits nodes, the structure epoch is odd from the first
     /// structural write until this method returns (success or error), so
     /// optimistic concurrent readers know to retry.
+    ///
+    /// On a durable tree the mutation ends with a WAL commit fence
+    /// ([`TsbTree::wal_commit`]): all of its page images precede the fence
+    /// in the log, so recovery either replays the mutation completely or
+    /// discards it completely.
     pub(crate) fn insert_version(&self, version: Version) -> TsbResult<()> {
-        let result = self.insert_version_inner(version);
+        let fence_ts = version.state.commit_time();
+        let result = self
+            .insert_version_inner(version)
+            .and_then(|()| self.wal_commit(fence_ts.unwrap_or_else(|| self.clock.now().prev())));
         self.settle_structure_after(result.is_err());
         result
     }

@@ -19,6 +19,7 @@ pub mod search;
 
 use std::collections::HashSet;
 use std::ops::Deref;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -27,7 +28,8 @@ use parking_lot::{Mutex, RwLock};
 use tsb_common::encode::{ByteReader, ByteWriter};
 use tsb_common::{LogicalClock, Timestamp, TsbConfig, TsbError, TsbResult};
 use tsb_storage::{
-    BufferPool, CostModel, HistAddr, IoStats, MagneticStore, PageId, SpaceSnapshot, WormStore,
+    BufferPool, CostModel, HistAddr, IoStats, Lsn, MagneticStore, PageId, SpaceSnapshot, Wal,
+    WalPageTable, WalRecord, WalScan, WormStore,
 };
 
 use crate::cache::NodeCache;
@@ -35,6 +37,33 @@ use crate::node::{DataNode, IndexNode, Node, NodeAddr};
 use crate::txn::TxnTable;
 
 const META_MAGIC: u64 = 0x5453_4254_5245_4531; // "TSBTREE1"
+
+/// File names used by [`TsbTree::open_durable`] inside its directory.
+const MAGNETIC_FILE: &str = "current.pages";
+const WORM_FILE: &str = "history.worm";
+const WAL_FILE: &str = "redo.wal";
+
+/// The durability state of a WAL-attached tree.
+///
+/// Present on trees opened through [`TsbTree::create_durable`] /
+/// [`TsbTree::open_durable`] / [`TsbTree::recover`]; absent (and
+/// zero-cost) on plain in-memory or file-backed trees. See the
+/// [`tsb_storage::wal`] module docs for the log format and the fence /
+/// commit-cut protocol this drives.
+pub(crate) struct Durability {
+    /// The redo log. Appends happen *before* the node cache may hold the
+    /// corresponding node dirty (WAL-before-page).
+    wal: Arc<Wal>,
+    /// Dirty-page table backing the WAL-before-page barrier at every
+    /// write-back site (shared with the buffer pool, which runs the
+    /// flushed-LSN rule through it before any device page write).
+    pages: Arc<WalPageTable>,
+    /// WORM device length known to be on stable storage. A commit fence
+    /// whose mutation grew the WORM past this must sync the WORM device
+    /// first (under non-`Os` policies), or the fsynced commit could
+    /// outlive the history it references.
+    worm_synced: AtomicU64,
+}
 
 /// The Time-Split B-tree: a single integrated index over a multiversion
 /// database whose current part lives on an erasable store and whose
@@ -88,6 +117,12 @@ pub struct TsbTree {
     /// stores (their writes cannot fail mid-split); it exists for the
     /// file-backed I/O error paths.
     pub(crate) poisoned: std::sync::atomic::AtomicBool,
+    /// Write-ahead log state; `None` for non-durable trees.
+    pub(crate) durability: Option<Durability>,
+    /// Set by [`TsbTree::recover`]: the commit timestamp of the newest
+    /// mutation the recovered tree contains (the replay *cut*). `None` on
+    /// trees that were not produced by recovery.
+    pub(crate) recovered_to: Option<Timestamp>,
     /// Seqlock-style structure epoch for optimistic concurrent readers.
     ///
     /// Even = the tree's multi-node invariants hold; odd = the single
@@ -134,6 +169,33 @@ impl TsbTree {
         worm: Arc<WormStore>,
         cfg: TsbConfig,
     ) -> TsbResult<Self> {
+        Self::create_with(magnetic, worm, cfg, None)
+    }
+
+    /// Creates a fresh **durable** tree: every mutation is redo-logged to
+    /// `wal` before it may dirty a page, and the initial state is fenced
+    /// with a checkpoint, so the tree is crash-consistent from its first
+    /// instant. Use [`Self::open_durable`] for the directory-based
+    /// convenience API and [`Self::recover`] to reopen after a crash.
+    pub fn create_durable(
+        magnetic: Arc<MagneticStore>,
+        worm: Arc<WormStore>,
+        wal: Wal,
+        cfg: TsbConfig,
+    ) -> TsbResult<Self> {
+        let tree = Self::create_with(magnetic, worm, cfg, Some(wal))?;
+        // Fence the initial root + metadata so recovery always has a
+        // checkpoint to replay from.
+        tree.flush_shared()?;
+        Ok(tree)
+    }
+
+    fn create_with(
+        magnetic: Arc<MagneticStore>,
+        worm: Arc<WormStore>,
+        cfg: TsbConfig,
+        wal: Option<Wal>,
+    ) -> TsbResult<Self> {
         cfg.validate()?;
         if magnetic.allocated_pages() != 0 {
             return Err(TsbError::config(
@@ -156,6 +218,7 @@ impl TsbTree {
         let meta_page = magnetic.allocate()?;
         let root_page = magnetic.allocate()?;
         let root = NodeAddr::Current(root_page);
+        let durability = wal.map(|wal| Self::attach_wal(wal, &pool, meta_page));
 
         let tree = TsbTree {
             cfg,
@@ -171,12 +234,31 @@ impl TsbTree {
             txns: Mutex::new(TxnTable::new()),
             marked_for_time_split: Mutex::new(HashSet::new()),
             poisoned: std::sync::atomic::AtomicBool::new(false),
+            durability,
+            recovered_to: None,
             structure_seq: AtomicU64::new(0),
         };
         let root_node = DataNode::initial_root();
         tree.write_current(root_page, Node::Data(root_node))?;
         tree.write_meta()?;
         Ok(tree)
+    }
+
+    /// Builds the [`Durability`] state for a WAL-attached tree: exempts the
+    /// metadata page (its content is reconstructed from commit records, not
+    /// page images) and installs the dirty-page table into the buffer pool
+    /// so its write-back sites can assert the WAL-before-page ordering.
+    fn attach_wal(wal: Wal, pool: &BufferPool, meta_page: PageId) -> Durability {
+        let wal = Arc::new(wal);
+        let pages = Arc::new(WalPageTable::new());
+        pages.exempt(meta_page);
+        pages.attach_wal(Arc::clone(&wal));
+        pool.set_wal_table(Arc::clone(&pages));
+        Durability {
+            wal,
+            pages,
+            worm_synced: AtomicU64::new(0),
+        }
     }
 
     /// Reopens an existing tree, or creates a fresh one if the magnetic
@@ -225,8 +307,278 @@ impl TsbTree {
             txns: Mutex::new(TxnTable::starting_at(next_txn)),
             marked_for_time_split: Mutex::new(HashSet::new()),
             poisoned: std::sync::atomic::AtomicBool::new(false),
+            durability: None,
+            recovered_to: None,
             structure_seq: AtomicU64::new(0),
         })
+    }
+
+    /// Opens (or creates) a **durable** tree rooted at directory `dir`,
+    /// holding the magnetic store (`current.pages`), the WORM store
+    /// (`history.worm`), and the redo log (`redo.wal`).
+    ///
+    /// * A fresh directory creates a new tree ([`Self::create_durable`]).
+    /// * A directory with durable state runs crash-consistent recovery
+    ///   ([`Self::recover`]) — this is the same code path whether the last
+    ///   session shut down cleanly (the log's tail is a checkpoint; replay
+    ///   is empty) or died mid-write.
+    /// * A directory where *nothing* was ever durably committed (a fresh
+    ///   directory, or a crash inside the very first create before its
+    ///   checkpoint fence) is recreated; no acknowledged state can be lost
+    ///   because none ever existed. A directory that holds *real store
+    ///   data* but no usable log — a pre-WAL database, or a lost/deleted
+    ///   `redo.wal` — is a hard error instead: recreating it would destroy
+    ///   data this method cannot prove disposable.
+    pub fn open_durable(dir: impl AsRef<Path>, cfg: TsbConfig) -> TsbResult<Self> {
+        cfg.validate()?;
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let stats = Arc::new(IoStats::new());
+        let wal_path = dir.join(WAL_FILE);
+        let (wal, scan) = Wal::open(&wal_path, cfg.fsync_policy, Arc::clone(&stats))?;
+        let has_fence = scan
+            .records
+            .iter()
+            .any(|(_, r)| matches!(r, WalRecord::Commit { .. } | WalRecord::Checkpoint { .. }));
+        let magnetic = Arc::new(MagneticStore::open_file(
+            dir.join(MAGNETIC_FILE),
+            cfg.page_size,
+            Arc::clone(&stats),
+        )?);
+        let worm = Arc::new(WormStore::open_file(
+            dir.join(WORM_FILE),
+            cfg.worm_sector_size,
+            Arc::clone(&stats),
+        )?);
+        if has_fence {
+            return Self::recover(magnetic, worm, wal, scan, cfg);
+        }
+        // No fence: nothing was ever durably committed through this log.
+        // Starting fresh is only safe when the stores hold no data of
+        // their own...
+        if magnetic.allocated_pages() == 0 && worm.device_bytes() == 0 {
+            drop(wal);
+            let wal = Wal::create(&wal_path, cfg.fsync_policy, stats)?;
+            return Self::create_durable(magnetic, worm, wal, cfg);
+        }
+        // ...or when every byte in them provably came from an unfinished
+        // first create: a non-empty, fence-less log can only be the first
+        // create's page images (every completed create or mutation appends
+        // a fence, and a torn tail that ate *every* fence must lie at or
+        // before the first one). Recreate from scratch.
+        if !scan.records.is_empty() {
+            drop(wal);
+            drop(magnetic);
+            drop(worm);
+            std::fs::remove_file(dir.join(MAGNETIC_FILE))?;
+            std::fs::remove_file(dir.join(WORM_FILE))?;
+            let wal = Wal::create(&wal_path, cfg.fsync_policy, Arc::clone(&stats))?;
+            let magnetic = Arc::new(MagneticStore::open_file(
+                dir.join(MAGNETIC_FILE),
+                cfg.page_size,
+                Arc::clone(&stats),
+            )?);
+            let worm = Arc::new(WormStore::open_file(
+                dir.join(WORM_FILE),
+                cfg.worm_sector_size,
+                stats,
+            )?);
+            return Self::create_durable(magnetic, worm, wal, cfg);
+        }
+        // Real store data, empty log: a pre-WAL database or a lost
+        // redo.wal. Refuse rather than guess.
+        Err(TsbError::corruption(format!(
+            "directory {} holds store data but its write-ahead log has no usable \
+             fence; refusing to recreate (use TsbTree::open for a non-durable \
+             reopen, or restore the missing redo.wal)",
+            dir.display()
+        )))
+    }
+
+    /// Crash-consistent reopen: replays the redo log over the magnetic
+    /// store and rebuilds a verified tree.
+    ///
+    /// The protocol ("repeating history", then discarding the un-fenced
+    /// tail):
+    ///
+    /// 1. **Base.** Replay starts after the newest `Checkpoint` record (the
+    ///    fence LSN) — the magnetic device is known to equal that state. A
+    ///    log with commits but no checkpoint replays from the empty store
+    ///    the first session started with.
+    /// 2. **Cut.** The replay target is the newest `Commit` record such
+    ///    that every commit up to it has its WORM history intact
+    ///    (`worm_len` within the surviving WORM file). Records after the
+    ///    cut belong to a mutation that never finished logging; its page
+    ///    images are discarded and any WORM sectors it burned are dead
+    ///    space (write-once media cannot be un-burned — §1).
+    /// 3. **Repeat history.** Every `PageImage` between base and cut is
+    ///    installed into the magnetic store in LSN order
+    ///    ([`MagneticStore::restore`] force-allocates pages the on-disk
+    ///    superblock predates). This overwrites any torn or half-flushed
+    ///    device state — correctness does not depend on *which* writes
+    ///    happened to reach the device before the crash.
+    /// 4. **Metadata.** The root pointer, logical clock, and transaction
+    ///    counter come from the cut's metadata payload, not from the
+    ///    (possibly stale) on-device metadata page.
+    /// 5. **Implicit abort.** Uncommitted versions that made it into
+    ///    replayed pages are erased — in-flight writer transactions died
+    ///    with the process, exactly the erasure §4 makes possible on the
+    ///    erasable store.
+    /// 6. **Verify, then fence.** The rebuilt tree must pass [`Self::verify`]
+    ///    before serving, and a fresh checkpoint fences the next recovery.
+    ///
+    /// The recovered tree answers every query exactly as the oracle's
+    /// replay of the committed prefix up to [`Self::last_durable_commit`].
+    pub fn recover(
+        magnetic: Arc<MagneticStore>,
+        worm: Arc<WormStore>,
+        wal: Wal,
+        scan: WalScan,
+        cfg: TsbConfig,
+    ) -> TsbResult<Self> {
+        cfg.validate()?;
+        if magnetic.page_size() != cfg.page_size {
+            return Err(TsbError::config(format!(
+                "magnetic store page size {} does not match config page size {}",
+                magnetic.page_size(),
+                cfg.page_size
+            )));
+        }
+        // 1. Base: the newest checkpoint, if any.
+        let chk_idx = scan
+            .records
+            .iter()
+            .rposition(|(_, r)| matches!(r, WalRecord::Checkpoint { .. }));
+        let mut cut_meta: Option<Vec<u8>> = match chk_idx.map(|i| &scan.records[i].1) {
+            Some(WalRecord::Checkpoint { meta, .. }) => Some(meta.clone()),
+            Some(_) => unreachable!("rposition matched a checkpoint"),
+            None => None,
+        };
+        // 2. Cut: the longest post-base prefix of commits whose WORM
+        //    history survived.
+        let replay_from = chk_idx.map(|i| i + 1).unwrap_or(0);
+        let worm_len_actual = worm.device_bytes();
+        let mut cut_idx = None;
+        let mut cut_ts = None;
+        for (idx, (_, record)) in scan.records.iter().enumerate().skip(replay_from) {
+            if let WalRecord::Commit { ts, worm_len, meta } = record {
+                if *worm_len > worm_len_actual {
+                    break;
+                }
+                cut_idx = Some(idx);
+                cut_ts = Some(Timestamp(*ts));
+                cut_meta = Some(meta.clone());
+            }
+        }
+        let cut_meta = cut_meta.ok_or_else(|| {
+            TsbError::corruption(
+                "write-ahead log has no usable fence (no checkpoint, and no commit \
+                 whose WORM history survived); nothing was ever durable",
+            )
+        })?;
+        // 3. Repeat history up to the cut.
+        if let Some(cut_idx) = cut_idx {
+            for (_, record) in &scan.records[replay_from..=cut_idx] {
+                if let WalRecord::PageImage { page, bytes } = record {
+                    magnetic.restore(*page, bytes)?;
+                }
+            }
+        }
+        // 4. Install the cut's metadata.
+        let (root, clock_next, next_txn) = Self::decode_meta(&cut_meta)?;
+        let meta_page = magnetic
+            .allocated_page_ids()
+            .into_iter()
+            .min()
+            .ok_or_else(|| TsbError::corruption("recovered store has no pages"))?;
+        let stats = Arc::clone(magnetic.stats());
+        let pool = BufferPool::new(Arc::clone(&magnetic), cfg.buffer_pool_pages);
+        let cache = NodeCache::sharded(cfg.node_cache_entries);
+        let cost = CostModel::new(cfg.cost);
+        let clock = LogicalClock::starting_at(clock_next);
+        let recovered_to = cut_ts.unwrap_or_else(|| clock_next.prev());
+        let durability = Some(Self::attach_wal(wal, &pool, meta_page));
+
+        let tree = TsbTree {
+            cfg,
+            magnetic,
+            pool,
+            cache,
+            worm,
+            stats,
+            cost,
+            clock,
+            root: RwLock::new(root),
+            meta_page,
+            txns: Mutex::new(TxnTable::starting_at(next_txn)),
+            marked_for_time_split: Mutex::new(HashSet::new()),
+            poisoned: std::sync::atomic::AtomicBool::new(false),
+            durability,
+            recovered_to: Some(recovered_to),
+            structure_seq: AtomicU64::new(0),
+        };
+        // The WORM bytes the cut references survived, so they are as
+        // stable as they will ever be.
+        if let Some(d) = &tree.durability {
+            d.worm_synced.store(worm_len_actual, Ordering::Release);
+        }
+        tree.write_meta()?;
+        // 5. In-flight transactions died with the process: erase their
+        //    uncommitted versions.
+        tree.purge_uncommitted()?;
+        // 6. Never serve an unverified recovery; then fence it.
+        tree.verify()?;
+        tree.flush_shared()?;
+        Ok(tree)
+    }
+
+    /// The commit timestamp of the newest mutation this tree contains, when
+    /// the tree was produced by [`Self::recover`] — the durable prefix's
+    /// upper bound. `None` for trees not born from recovery.
+    pub fn last_durable_commit(&self) -> Option<Timestamp> {
+        self.recovered_to
+    }
+
+    /// Whether this tree redo-logs its mutations to a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Walks the current database and erases every uncommitted version
+    /// (recovery's implicit abort of in-flight transactions; uncommitted
+    /// versions never migrate, so historical nodes need no visit).
+    fn purge_uncommitted(&self) -> TsbResult<()> {
+        self.purge_uncommitted_at(self.current_root())
+    }
+
+    fn purge_uncommitted_at(&self, addr: NodeAddr) -> TsbResult<()> {
+        let Some(page) = addr.as_page() else {
+            return Ok(());
+        };
+        let node = self.read_node(addr)?;
+        match &*node {
+            Node::Data(data) => {
+                if data.entries().iter().any(|v| v.state.is_uncommitted()) {
+                    let committed: Vec<_> = data
+                        .entries()
+                        .iter()
+                        .filter(|v| !v.state.is_uncommitted())
+                        .cloned()
+                        .collect();
+                    let cleaned =
+                        DataNode::from_entries(data.key_range.clone(), data.time_range, committed);
+                    self.write_current(page, Node::Data(cleaned))?;
+                }
+                Ok(())
+            }
+            Node::Index(index) => {
+                let children: Vec<NodeAddr> = index.entries().iter().map(|e| e.child).collect();
+                for child in children {
+                    self.purge_uncommitted_at(child)?;
+                }
+                Ok(())
+            }
+        }
     }
 
     /// The tree configuration.
@@ -333,19 +685,110 @@ impl TsbTree {
     }
 
     /// Flushes dirty nodes, dirty pages, the metadata page, and both
-    /// devices.
+    /// devices. On a durable tree this is a full **checkpoint**: once the
+    /// devices are synced, a checkpoint record fences the redo log, so the
+    /// next recovery replays nothing that precedes this call.
     pub fn flush(&mut self) -> TsbResult<()> {
+        self.flush_shared()
+    }
+
+    /// Synonym for [`Self::flush`] under its durability name.
+    pub fn checkpoint(&mut self) -> TsbResult<()> {
         self.flush_shared()
     }
 
     /// [`Self::flush`] against `&self`, for callers that serialize writers
     /// externally ([`crate::ConcurrentTsb`]).
+    ///
+    /// Checkpoint ordering is what makes the fence sound: the checkpoint
+    /// record is appended (and fsynced) only *after* every dirty node is
+    /// encoded, every dirty page written, and both devices synced. A crash
+    /// anywhere inside this sequence leaves the log without the new
+    /// checkpoint, so recovery replays from the previous fence — and
+    /// because every page image since that fence is in the log, replay
+    /// overwrites whatever subset of the flush had landed.
     pub(crate) fn flush_shared(&self) -> TsbResult<()> {
         self.write_meta()?;
         self.flush_node_cache()?;
         self.pool.flush()?;
         self.magnetic.sync()?;
         self.worm.sync()?;
+        if let Some(d) = &self.durability {
+            let worm_len = self.worm.device_bytes();
+            let record = WalRecord::Checkpoint {
+                worm_len,
+                meta: self.encode_meta_bytes(),
+            };
+            // A completed checkpoint fences everything before it, so the
+            // log is atomically *replaced* by the new fence record
+            // (write-new-then-rename inside `reset_with`, fsynced) instead
+            // of growing without bound: the log stays one checkpoint
+            // interval long, and reopen cost is O(since last checkpoint).
+            d.wal.reset_with(&record).inspect_err(|_| {
+                self.poisoned.store(true, Ordering::Release);
+            })?;
+            // Everything the devices held is now stable; the replaced
+            // log's pre-fence page coverage is obsolete but harmless (the
+            // table only gates write-backs, which the flush just drained).
+            d.worm_synced.store(worm_len, Ordering::Release);
+        }
+        Ok(())
+    }
+
+    // ----- write-ahead logging --------------------------------------------
+
+    /// Appends one record to the WAL. A failed append **poisons the tree**:
+    /// the in-memory state is ahead of what can ever be made durable again,
+    /// and continuing to serve (or mutate) it would silently widen the gap,
+    /// so every subsequent operation refuses instead.
+    fn wal_append(&self, record: &WalRecord) -> TsbResult<Lsn> {
+        let d = self
+            .durability
+            .as_ref()
+            .expect("wal_append is only called on durable trees");
+        d.wal.append(record).inspect_err(|_| {
+            self.poisoned.store(true, Ordering::Release);
+        })
+    }
+
+    /// Appends the commit fence ending a mutation: a `Commit` record whose
+    /// metadata describes the resulting tree state, promising that every
+    /// page image the mutation produced precedes it in the log. The WAL's
+    /// fsync policy (group commit) decides whether this forces stable
+    /// storage. No-op on non-durable trees.
+    ///
+    /// Overflow write-back deferred by [`Self::write_current`] drains here,
+    /// *after* the fence: a page image may only reach the device once a
+    /// commit record covers it, otherwise a crash could leave the device
+    /// holding state that recovery's replay cut discards (see
+    /// [`Self::recover`], step 3).
+    pub(crate) fn wal_commit(&self, ts: Timestamp) -> TsbResult<()> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        let worm_len = self.worm.device_bytes();
+        // If this mutation migrated history, the WORM bytes must be stable
+        // *before* a commit record referencing them can be: otherwise a
+        // power failure after the commit's fsync but before the OS flushed
+        // the WORM tail would force recovery to cut before this commit —
+        // violating `Always`'s no-acknowledged-loss contract. `Os` opts out
+        // of that contract wholesale, so it skips the sync (recovery's
+        // worm-length check degrades it to an earlier cut instead).
+        if self.cfg.fsync_policy != tsb_common::FsyncPolicy::Os
+            && worm_len > d.worm_synced.load(Ordering::Acquire)
+        {
+            self.worm.sync()?;
+            d.worm_synced.store(worm_len, Ordering::Release);
+        }
+        let record = WalRecord::Commit {
+            ts: ts.value(),
+            worm_len,
+            meta: self.encode_meta_bytes(),
+        };
+        self.wal_append(&record)?;
+        while let Some((page, node)) = self.cache.any_dirty_overflow_victim() {
+            self.write_back_dirty(page, &node)?;
+        }
         Ok(())
     }
 
@@ -451,16 +894,39 @@ impl TsbTree {
                 self.page_capacity()
             )));
         }
+        // WAL-before-page: the image goes into the redo log *before* the
+        // cache may hold the node dirty. If the append fails nothing has
+        // changed in memory, so the error is clean (though the tree is
+        // poisoned — the log device is gone). This encode is in addition
+        // to the deferred one at write-back; durability pays it once per
+        // mutation by design (E12 prices it), where fusing the two would
+        // tie the cache's lifetime to the log's.
+        if let Some(d) = &self.durability {
+            let record = WalRecord::PageImage {
+                page,
+                bytes: node.encode(),
+            };
+            let lsn = self.wal_append(&record)?;
+            d.pages.record(page, lsn);
+        }
         self.cache.insert_dirty(page, Arc::new(node));
         // Bound the dirty residency: when this page's cache shard holds
         // more deferred encodes than its capacity, write the least recently
         // written one back now (writer context, so this is race-free). The
         // victim stays resident and is marked clean only after its image is
         // in the pool — a concurrent reader therefore never sees a gap.
-        if let Some((victim_page, victim_node)) =
-            self.cache.dirty_overflow_victim(NodeAddr::Current(page))
-        {
-            self.write_back_dirty(victim_page, &victim_node)?;
+        //
+        // Durable trees defer this to the end of the mutation
+        // ([`Self::wal_commit`]): writing a victim back here could push an
+        // image from the *in-flight* mutation toward the device before its
+        // commit fence exists, and recovery discards un-fenced images — the
+        // device would hold state replay cannot reproduce.
+        if self.durability.is_none() {
+            if let Some((victim_page, victim_node)) =
+                self.cache.dirty_overflow_victim(NodeAddr::Current(page))
+            {
+                self.write_back_dirty(victim_page, &victim_node)?;
+            }
         }
         Ok(())
     }
@@ -471,6 +937,13 @@ impl TsbTree {
     /// pool, so a concurrent reader can never evict-then-refill it from a
     /// stale page image mid-flush.
     fn write_back_dirty(&self, page: PageId, node: &Node) -> TsbResult<()> {
+        // WAL-before-page invariant: a dirty node may only start its way to
+        // the device if its image was logged when the node was installed
+        // (`write_current`). The buffer pool asserts the same contract at
+        // its own write-back sites via the shared WalPageTable.
+        if let Some(d) = &self.durability {
+            d.pages.assert_covered(page);
+        }
         self.stats.record_node_encode();
         self.pool.put(page, node.encode())?;
         self.cache.mark_clean(NodeAddr::Current(page));
@@ -574,13 +1047,20 @@ impl TsbTree {
 
     // ----- metadata -------------------------------------------------------
 
-    pub(crate) fn write_meta(&self) -> TsbResult<()> {
+    /// The metadata encoding shared by the on-device metadata page and the
+    /// WAL's commit / checkpoint records (recovery trusts the latter; the
+    /// page is a convenience for non-durable reopen).
+    fn encode_meta_bytes(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         w.put_u64(META_MAGIC);
         self.current_root().encode(&mut w);
         w.put_u64(self.clock.now().value());
         w.put_u64(self.txns.lock().next_id_value());
-        self.pool.put(self.meta_page, w.into_vec())
+        w.into_vec()
+    }
+
+    pub(crate) fn write_meta(&self) -> TsbResult<()> {
+        self.pool.put(self.meta_page, self.encode_meta_bytes())
     }
 
     fn decode_meta(bytes: &[u8]) -> TsbResult<(NodeAddr, Timestamp, u64)> {
@@ -635,6 +1115,128 @@ impl Deref for IndexRef {
 mod tests {
     use super::*;
     use tsb_common::Key;
+
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "tsb-tree-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn durable_tree_recovers_unflushed_writes_from_the_wal() {
+        let dir = TempDir::new("wal-recover");
+        let cfg =
+            TsbConfig::small_pages().with_split_policy(tsb_common::SplitPolicyKind::TimePreferring);
+        let mut stamps = Vec::new();
+        {
+            let tree = TsbTree::open_durable(&dir.0, cfg.clone()).unwrap();
+            assert!(tree.is_durable());
+            for i in 0..120u64 {
+                let ts = tree
+                    .insert_shared(i % 12, format!("v{i}").into_bytes())
+                    .unwrap();
+                stamps.push((i % 12, ts, format!("v{i}").into_bytes()));
+            }
+            // No flush, no checkpoint: everything durable lives in the WAL.
+            // Dropping the tree models a crash of the caches.
+        }
+        let tree = TsbTree::open_durable(&dir.0, cfg).unwrap();
+        let cut = tree
+            .last_durable_commit()
+            .expect("recovered tree has a cut");
+        assert!(cut >= stamps.last().unwrap().1, "every commit was logged");
+        for (key, ts, value) in &stamps {
+            assert_eq!(
+                tree.get_as_of(&Key::from_u64(*key), *ts).unwrap().unwrap(),
+                *value,
+                "key {key} as of {ts}"
+            );
+        }
+        tree.verify().unwrap();
+    }
+
+    #[test]
+    fn durable_tree_survives_clean_checkpoint_and_reopen() {
+        let dir = TempDir::new("wal-clean");
+        let cfg = TsbConfig::small_pages();
+        {
+            let mut tree = TsbTree::open_durable(&dir.0, cfg.clone()).unwrap();
+            for i in 0..60u64 {
+                tree.insert(i, format!("x{i}").into_bytes()).unwrap();
+            }
+            tree.checkpoint().unwrap();
+        }
+        let tree = TsbTree::open_durable(&dir.0, cfg).unwrap();
+        for i in 0..60u64 {
+            assert_eq!(
+                tree.get_current(&Key::from_u64(i)).unwrap().unwrap(),
+                format!("x{i}").into_bytes()
+            );
+        }
+        tree.verify().unwrap();
+    }
+
+    #[test]
+    fn recovery_erases_in_flight_transactions() {
+        let dir = TempDir::new("wal-txn");
+        let cfg = TsbConfig::small_pages();
+        {
+            let mut tree = TsbTree::open_durable(&dir.0, cfg.clone()).unwrap();
+            tree.insert(1u64, b"committed".to_vec()).unwrap();
+            let txn = tree.begin_txn();
+            tree.txn_insert(txn, 1u64, b"pending-update".to_vec())
+                .unwrap();
+            tree.txn_insert(txn, 99u64, b"pending-new".to_vec())
+                .unwrap();
+            // Crash with the transaction still open.
+        }
+        let tree = TsbTree::open_durable(&dir.0, cfg).unwrap();
+        assert_eq!(
+            tree.get_current(&Key::from_u64(1)).unwrap().unwrap(),
+            b"committed".to_vec()
+        );
+        assert!(tree.get_current(&Key::from_u64(99)).unwrap().is_none());
+        assert!(
+            tree.pending_version(&Key::from_u64(1)).unwrap().is_none(),
+            "recovery aborts in-flight transactions"
+        );
+        tree.verify().unwrap();
+    }
+
+    #[test]
+    fn a_directory_with_nothing_durable_is_recreated() {
+        let dir = TempDir::new("wal-fresh");
+        let cfg = TsbConfig::small_pages();
+        // Simulate a crash during the very first create: a WAL holding only
+        // un-fenced page images (no commit, no checkpoint).
+        {
+            let stats = Arc::new(IoStats::new());
+            let wal = Wal::create(dir.0.join(WAL_FILE), cfg.fsync_policy, stats).unwrap();
+            wal.append(&WalRecord::PageImage {
+                page: PageId(1),
+                bytes: vec![1, 2, 3],
+            })
+            .unwrap();
+        }
+        let tree = TsbTree::open_durable(&dir.0, cfg).unwrap();
+        assert!(tree.get_current(&Key::from_u64(1)).unwrap().is_none());
+        tree.verify().unwrap();
+    }
 
     #[test]
     fn create_open_round_trip() {

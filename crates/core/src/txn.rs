@@ -245,7 +245,14 @@ impl TsbTree {
                 self.write_current(page, Node::Data(leaf))?;
             }
             Ok(ts)
-        })();
+        })()
+        // The commit fence covers every stamped leaf: recovery replays the
+        // whole commit or none of it, so a crashed multi-key commit can
+        // never resurface half-stamped.
+        .and_then(|ts| {
+            self.wal_commit(ts)?;
+            Ok(ts)
+        });
         self.settle_structure_after(result.is_err());
         result
     }
@@ -276,7 +283,8 @@ impl TsbTree {
                 }
             }
             Ok(())
-        })();
+        })()
+        .and_then(|()| self.wal_commit(self.clock.now().prev()));
         self.settle_structure_after(result.is_err());
         result
     }

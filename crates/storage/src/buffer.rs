@@ -14,6 +14,24 @@
 //! clock, so eviction does not scan the pool. The pool is what separates
 //! *logical* page reads from *device* I/O in the experiments.
 //!
+//! ## Durability ordering (WAL-before-page)
+//!
+//! When the engine runs with a write-ahead log, a dirty frame must never
+//! reach the device before its page image is in the log — otherwise a
+//! crash could leave the store holding state the log cannot reproduce.
+//! The pool does not know about the log; it enforces the ordering
+//! structurally through an optional [`WalPageTable`]
+//! ([`BufferPool::set_wal_table`]): both write-back sites (eviction in
+//! `evict_if_needed` and [`BufferPool::flush`]) run the table's
+//! `ensure_durable` barrier, which `debug_assert`s that every dirty page
+//! being written was previously logged (or explicitly exempted, e.g. the
+//! tree's metadata page, which is reconstructed from commit records
+//! instead) and then forces the log to stable storage through its newest
+//! record — the flushed-LSN rule. The assert cannot fire in the shipped
+//! write path — the tree appends a page's image before its cache may
+//! hold the node dirty — so it exists to catch any future write path
+//! that skips the log.
+//!
 //! ## Thread safety and frame pinning
 //!
 //! The pool is `Send + Sync`: all state sits behind one mutex, and every
@@ -39,6 +57,7 @@ use tsb_common::{TsbError, TsbResult};
 use crate::lru::LruList;
 use crate::magnetic::MagneticStore;
 use crate::page::PageId;
+use crate::wal::WalPageTable;
 
 struct Frame {
     data: Arc<Vec<u8>>,
@@ -48,6 +67,9 @@ struct Frame {
 struct Inner {
     frames: HashMap<PageId, Frame>,
     lru: LruList<PageId>,
+    /// When present, every dirty write-back debug-asserts the
+    /// WAL-before-page invariant against this table.
+    wal_table: Option<Arc<WalPageTable>>,
 }
 
 /// A fixed-capacity LRU page cache with write-back.
@@ -75,8 +97,15 @@ impl BufferPool {
             inner: Mutex::new(Inner {
                 frames: HashMap::new(),
                 lru: LruList::new(),
+                wal_table: None,
             }),
         }
+    }
+
+    /// Installs the WAL page table used to assert the WAL-before-page
+    /// ordering on every dirty write-back (see the module docs).
+    pub fn set_wal_table(&self, table: Arc<WalPageTable>) {
+        self.inner.lock().wal_table = Some(table);
     }
 
     /// The underlying magnetic store.
@@ -105,6 +134,9 @@ impl BufferPool {
                 .remove(&victim)
                 .ok_or_else(|| TsbError::internal("victim frame vanished"))?;
             if frame.dirty {
+                if let Some(table) = &inner.wal_table {
+                    table.ensure_durable(victim)?;
+                }
                 self.store.write(victim, &frame.data)?;
             }
         }
@@ -186,6 +218,9 @@ impl BufferPool {
             .collect();
         dirty.sort_by_key(|(id, _)| *id);
         for (id, data) in dirty {
+            if let Some(table) = &inner.wal_table {
+                table.ensure_durable(id)?;
+            }
             self.store.write(id, &data)?;
             if let Some(frame) = inner.frames.get_mut(&id) {
                 frame.dirty = false;

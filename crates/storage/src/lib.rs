@@ -22,6 +22,14 @@
 //! * [`CostModel`] — the paper's storage cost function
 //!   `CS = SpaceM · CM + SpaceO · CO` (§3.2) plus a simple device access-time
 //!   model (optical seeks ≈ 3× magnetic, optional robot mount time).
+//! * [`Wal`] — a checksummed, length-prefixed physical redo log for the
+//!   magnetic store, with torn-tail repair, checkpoint fencing, and a
+//!   configurable commit fsync policy (see [`wal`]). The WORM store needs
+//!   no log — write-once hardware is its own durability — so the WAL is
+//!   what makes the *erasable* half of the two-device design crash-safe.
+//! * [`FaultInjector`] / [`CrashPoint`] — deterministic crash injection
+//!   consulted by every durable write site, so recovery is adversarially
+//!   testable rather than hopefully correct.
 //!
 //! Everything is deliberately synchronous and simulator-grade: the goal is
 //! faithful *behaviour* (erasability, write-once-ness, sector granularity,
@@ -32,16 +40,20 @@
 
 pub mod buffer;
 pub mod cost;
+pub mod fault;
 pub mod lru;
 pub mod magnetic;
 pub mod page;
 pub mod stats;
+pub mod wal;
 pub mod worm;
 
 pub use buffer::BufferPool;
 pub use cost::{AccessCost, CostModel, SpaceSnapshot};
+pub use fault::{CrashPoint, FaultInjector, ALL_CRASH_POINTS};
 pub use lru::LruList;
 pub use magnetic::MagneticStore;
 pub use page::{HistAddr, PageId};
 pub use stats::{IoSnapshot, IoStats};
+pub use wal::{Lsn, Wal, WalPageTable, WalRecord, WalScan};
 pub use worm::{SectorId, WormStore};

@@ -26,6 +26,7 @@ use parking_lot::Mutex;
 
 use tsb_common::{TsbError, TsbResult};
 
+use crate::fault::{CrashPoint, FaultInjector};
 use crate::page::PageId;
 use crate::stats::IoStats;
 
@@ -56,6 +57,8 @@ struct Inner {
     /// Bytes of real payload currently stored per allocated page (used for
     /// space accounting; pages always *occupy* `page_size` on the device).
     payload_bytes: u64,
+    /// Optional crash-injection hook consulted by `write` and `sync`.
+    injector: Option<Arc<FaultInjector>>,
 }
 
 /// The erasable, random-access current-database store.
@@ -83,6 +86,7 @@ impl MagneticStore {
                 backend: Backend::Memory { pages: Vec::new() },
                 free_list: Vec::new(),
                 payload_bytes: 0,
+                injector: None,
             }),
             stats,
         }
@@ -125,9 +129,15 @@ impl MagneticStore {
                 },
                 free_list,
                 payload_bytes: 0,
+                injector: None,
             }),
             stats,
         })
+    }
+
+    /// Wires a fault injector into the write and sync paths (tests only).
+    pub fn set_fault_injector(&self, injector: Arc<FaultInjector>) {
+        self.inner.lock().injector = Some(injector);
     }
 
     fn write_superblock(
@@ -250,6 +260,9 @@ impl MagneticStore {
             });
         }
         let mut inner = self.inner.lock();
+        if let Some(injector) = &inner.injector {
+            injector.check(CrashPoint::MagneticWrite)?;
+        }
         self.stats.record_magnetic_write();
         match &mut inner.backend {
             Backend::Memory { pages } => {
@@ -285,6 +298,53 @@ impl MagneticStore {
                 Ok(())
             }
         }
+    }
+
+    /// Installs `data` at page `id` during crash recovery, force-allocating
+    /// the page if the superblock's allocation map does not know it.
+    ///
+    /// Pages allocated after the last checkpoint exist only in the crashed
+    /// process's memory — the superblock on disk predates them — yet the
+    /// redo log carries their images. Replay calls this instead of
+    /// [`Self::write`], which would reject the unknown page id. Outside
+    /// recovery, [`Self::allocate`] + [`Self::write`] is the correct pair.
+    pub fn restore(&self, id: PageId, data: &[u8]) -> TsbResult<()> {
+        if data.len() > self.capacity() {
+            return Err(TsbError::EntryTooLarge {
+                entry_size: data.len(),
+                capacity: self.capacity(),
+            });
+        }
+        if id.0 == 0 {
+            return Err(TsbError::internal(
+                "page 0 is the superblock and cannot be restored",
+            ));
+        }
+        let mut inner = self.inner.lock();
+        inner.free_list.retain(|f| *f != id.0);
+        match &mut inner.backend {
+            Backend::Memory { pages } => {
+                if pages.len() <= id.0 as usize {
+                    pages.resize(id.0 as usize + 1, None);
+                }
+                // Leave an already-allocated slot in place so the payload
+                // accounting in `write` sees its true old length.
+                let slot = &mut pages[id.0 as usize];
+                if slot.is_none() {
+                    *slot = Some(Vec::new());
+                }
+            }
+            Backend::File {
+                page_count,
+                allocated,
+                ..
+            } => {
+                *page_count = (*page_count).max(id.0 + 1);
+                allocated.insert(id.0);
+            }
+        }
+        drop(inner);
+        self.write(id, data)
     }
 
     /// Reads the page contents.
@@ -357,6 +417,9 @@ impl MagneticStore {
     /// Persists allocation metadata (file backend only; no-op in memory).
     pub fn sync(&self) -> TsbResult<()> {
         let mut inner = self.inner.lock();
+        if let Some(injector) = &inner.injector {
+            injector.check(CrashPoint::MagneticSync)?;
+        }
         let free_list = inner.free_list.clone();
         if let Backend::File {
             file, page_count, ..
@@ -502,6 +565,42 @@ mod tests {
             assert!(MagneticStore::open_file(&path, 1024, Arc::new(IoStats::new())).is_err());
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn restore_force_allocates_unknown_pages() {
+        let store = mem_store();
+        // Page 5 was never allocated here (it existed only in the crashed
+        // process's memory); replay can still install its image.
+        store.restore(PageId(5), b"replayed image").unwrap();
+        assert_eq!(store.read(PageId(5)).unwrap(), b"replayed image");
+        // Restoring over an allocated page behaves like a write.
+        let p = store.allocate().unwrap();
+        store.write(p, b"old").unwrap();
+        store.restore(p, b"new").unwrap();
+        assert_eq!(store.read(p).unwrap(), b"new");
+        // A restored page is no longer on the free list.
+        let q = store.allocate().unwrap();
+        store.free(q).unwrap();
+        store.restore(q, b"back").unwrap();
+        let next = store.allocate().unwrap();
+        assert_ne!(next, q, "restored page must not be recycled");
+        // The superblock page is off limits.
+        assert!(store.restore(PageId(0), b"x").is_err());
+    }
+
+    #[test]
+    fn fault_injector_kills_writes_and_sync() {
+        use crate::fault::{CrashPoint, FaultInjector};
+        let store = mem_store();
+        let p = store.allocate().unwrap();
+        let injector = Arc::new(FaultInjector::new());
+        store.set_fault_injector(Arc::clone(&injector));
+        store.write(p, b"before").unwrap();
+        injector.crash_at(CrashPoint::MagneticWrite, 0);
+        assert!(store.write(p, b"after").is_err());
+        assert!(store.sync().is_err(), "tripped injector kills every site");
+        assert_eq!(store.read(p).unwrap(), b"before", "reads still served");
     }
 
     #[test]

@@ -55,6 +55,10 @@ pub struct IoStats {
     /// Full node encodes (in-memory node -> page image), deferred to
     /// node-cache eviction and flush.
     pub node_encodes: AtomicU64,
+    /// Records appended to the write-ahead log.
+    pub wal_appends: AtomicU64,
+    /// Fsyncs issued by the write-ahead log (commit-policy and checkpoint).
+    pub wal_syncs: AtomicU64,
 }
 
 impl IoStats {
@@ -143,6 +147,16 @@ impl IoStats {
         Self::bump(&self.node_encodes, 1);
     }
 
+    /// Records a WAL record append.
+    pub fn record_wal_append(&self) {
+        Self::bump(&self.wal_appends, 1);
+    }
+
+    /// Records a WAL fsync.
+    pub fn record_wal_sync(&self) {
+        Self::bump(&self.wal_syncs, 1);
+    }
+
     /// Takes a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -161,6 +175,8 @@ impl IoStats {
             node_cache_misses: self.node_cache_misses.load(Ordering::Relaxed),
             node_decodes: self.node_decodes.load(Ordering::Relaxed),
             node_encodes: self.node_encodes.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
         }
     }
 
@@ -182,6 +198,8 @@ impl IoStats {
             &self.node_cache_misses,
             &self.node_decodes,
             &self.node_encodes,
+            &self.wal_appends,
+            &self.wal_syncs,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -221,6 +239,10 @@ pub struct IoSnapshot {
     pub node_decodes: u64,
     /// See [`IoStats::node_encodes`].
     pub node_encodes: u64,
+    /// See [`IoStats::wal_appends`].
+    pub wal_appends: u64,
+    /// See [`IoStats::wal_syncs`].
+    pub wal_syncs: u64,
 }
 
 impl IoSnapshot {
@@ -251,6 +273,8 @@ impl IoSnapshot {
                 .saturating_sub(earlier.node_cache_misses),
             node_decodes: self.node_decodes.saturating_sub(earlier.node_decodes),
             node_encodes: self.node_encodes.saturating_sub(earlier.node_encodes),
+            wal_appends: self.wal_appends.saturating_sub(earlier.wal_appends),
+            wal_syncs: self.wal_syncs.saturating_sub(earlier.wal_syncs),
         }
     }
 
@@ -284,7 +308,7 @@ impl fmt::Display for IoSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "magnetic r/w/alloc/free {}/{}/{}/{}  worm append/sector/read {}/{}/{}  cache hit/miss {}/{}  node accesses cur/hist {}/{}  node cache hit/miss {}/{}  decode/encode {}/{}",
+            "magnetic r/w/alloc/free {}/{}/{}/{}  worm append/sector/read {}/{}/{}  cache hit/miss {}/{}  node accesses cur/hist {}/{}  node cache hit/miss {}/{}  decode/encode {}/{}  wal append/sync {}/{}",
             self.magnetic_reads,
             self.magnetic_writes,
             self.magnetic_allocs,
@@ -300,6 +324,8 @@ impl fmt::Display for IoSnapshot {
             self.node_cache_misses,
             self.node_decodes,
             self.node_encodes,
+            self.wal_appends,
+            self.wal_syncs,
         )
     }
 }

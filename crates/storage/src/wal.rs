@@ -1,0 +1,819 @@
+//! The write-ahead (redo) log for the current database.
+//!
+//! The paper's two-device design is only half durable by construction: the
+//! WORM side is write-once hardware, so migrated history can never be lost,
+//! but the magnetic current database is rewritten in place and buffered in
+//! two volatile caches (the decoded-node cache and the buffer pool). This
+//! module closes that gap with a classic physical **redo log**: every new
+//! page image is appended here *before* the engine's caches may hold it
+//! dirty, so a crash can always be repaired by replaying the log over the
+//! magnetic store ("repeating history").
+//!
+//! ## Record format
+//!
+//! The log is a flat file of length-prefixed, checksummed records:
+//!
+//! ```text
+//! +----------+----------+===========================+
+//! | len: u32 | crc: u32 |  body (len bytes)         |
+//! +----------+----------+===========================+
+//! body = lsn: u64 | kind: u8 | payload
+//!
+//! kind 1  PageImage   payload = page: u64 | bytes (u32-len-prefixed)
+//! kind 2  Commit      payload = ts: u64 | worm_len: u64 | meta (u32-len-prefixed)
+//! kind 3  Checkpoint  payload = worm_len: u64 | meta (u32-len-prefixed)
+//! ```
+//!
+//! `crc` is CRC-32 (IEEE polynomial) over the body. On reopen the file is
+//! scanned from the start; the first record whose length prefix runs past
+//! the end of the file or whose CRC does not match marks a **torn tail**
+//! (the machine died mid-append): the file is truncated there and replay
+//! uses only the intact prefix. Nothing after a tear can be trusted — a
+//! later record being intact does not mean the skipped one was benign.
+//!
+//! ## LSNs and the fence
+//!
+//! Every record carries a monotonically increasing **log sequence number**.
+//! Two record kinds fence replay:
+//!
+//! * A **`Checkpoint`** record is appended (and always fsynced) only after
+//!   a full flush — every dirty node encoded, every dirty page written,
+//!   both devices synced. It promises "the magnetic store, as a device, is
+//!   exactly the tree state described by my `meta` bytes". Recovery starts
+//!   from the newest checkpoint and replays only records after it; its LSN
+//!   is the *fence LSN* — nothing at or before it is ever replayed again.
+//! * A **`Commit`** record is appended at the end of every mutation, after
+//!   all of the mutation's page images. It promises "every image needed
+//!   for the tree state described by my `meta` bytes precedes me in the
+//!   log". Recovery replays page images up to the newest usable commit
+//!   (the *cut*) and installs that commit's metadata (root pointer,
+//!   logical clock, transaction counter). Images after the cut belong to a
+//!   mutation that never finished logging and are discarded.
+//!
+//! A commit also records the WORM store's length at commit time: a commit
+//! whose referenced history extends past the surviving WORM file cannot be
+//! used as a cut (its index entries would dangle), so recovery stops at
+//! the last commit whose `worm_len` fits.
+//!
+//! ## Fsync policy (group commit)
+//!
+//! Appends are always synchronous `write_all`s — the bytes are in the file
+//! (OS cache) before the caller proceeds, which is what the
+//! WAL-before-page ordering needs. [`tsb_common::FsyncPolicy`] chooses how
+//! often commit records additionally force the file to stable storage;
+//! checkpoints always do.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use tsb_common::encode::{ByteReader, ByteWriter};
+use tsb_common::{FsyncPolicy, TsbError, TsbResult};
+
+use crate::fault::{CrashPoint, FaultInjector};
+use crate::page::PageId;
+use crate::stats::IoStats;
+
+/// A log sequence number: the position of a record in the total order of
+/// the log. Starts at 1; 0 means "nothing logged".
+pub type Lsn = u64;
+
+/// Upper bound on a single record body. Anything larger in a length prefix
+/// is treated as a torn tail rather than an allocation request.
+const MAX_RECORD_BODY: u32 = 64 << 20;
+
+/// One redo-log record.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WalRecord {
+    /// The newest image of a magnetic page (an encoded node). Appended by
+    /// the tree *before* its node cache holds the node dirty.
+    PageImage {
+        /// The magnetic page this image belongs to.
+        page: PageId,
+        /// The full page payload (what `MagneticStore::write` would store).
+        bytes: Vec<u8>,
+    },
+    /// A mutation fully logged: every page image it produced precedes this
+    /// record. Carries the tree metadata describing the resulting state.
+    Commit {
+        /// The newest commit timestamp as of this mutation.
+        ts: u64,
+        /// WORM device length at commit time; recovery refuses to cut at a
+        /// commit whose history extends past the surviving WORM file.
+        worm_len: u64,
+        /// Opaque tree metadata (root pointer, clock, txn counter) in the
+        /// tree's own meta-page encoding.
+        meta: Vec<u8>,
+    },
+    /// A completed flush: the magnetic device equals the state in `meta`.
+    /// Replay starts after the newest checkpoint (the fence LSN).
+    Checkpoint {
+        /// WORM device length at checkpoint time.
+        worm_len: u64,
+        /// Opaque tree metadata, as in [`WalRecord::Commit`].
+        meta: Vec<u8>,
+    },
+}
+
+impl WalRecord {
+    fn kind(&self) -> u8 {
+        match self {
+            WalRecord::PageImage { .. } => 1,
+            WalRecord::Commit { .. } => 2,
+            WalRecord::Checkpoint { .. } => 3,
+        }
+    }
+
+    fn encode_body(&self, lsn: Lsn) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(lsn);
+        w.put_u8(self.kind());
+        match self {
+            WalRecord::PageImage { page, bytes } => {
+                w.put_u64(page.0);
+                w.put_bytes(bytes);
+            }
+            WalRecord::Commit { ts, worm_len, meta } => {
+                w.put_u64(*ts);
+                w.put_u64(*worm_len);
+                w.put_bytes(meta);
+            }
+            WalRecord::Checkpoint { worm_len, meta } => {
+                w.put_u64(*worm_len);
+                w.put_bytes(meta);
+            }
+        }
+        w.into_vec()
+    }
+
+    fn decode_body(body: &[u8]) -> TsbResult<(Lsn, WalRecord)> {
+        let mut r = ByteReader::new(body);
+        let lsn = r.get_u64()?;
+        let record = match r.get_u8()? {
+            1 => WalRecord::PageImage {
+                page: PageId(r.get_u64()?),
+                bytes: r.get_bytes()?,
+            },
+            2 => WalRecord::Commit {
+                ts: r.get_u64()?,
+                worm_len: r.get_u64()?,
+                meta: r.get_bytes()?,
+            },
+            3 => WalRecord::Checkpoint {
+                worm_len: r.get_u64()?,
+                meta: r.get_bytes()?,
+            },
+            t => return Err(TsbError::corruption(format!("invalid WAL record kind {t}"))),
+        };
+        Ok((lsn, record))
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven. Hand-rolled to
+/// keep the dependency set first-party.
+fn crc32(bytes: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    }
+    const TABLE: [u32; 256] = table();
+    let mut crc = !0u32;
+    for b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ *b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+struct WalInner {
+    file: File,
+    next_lsn: Lsn,
+    /// Bytes of intact log (the append position).
+    len: u64,
+    /// Newest LSN known to be on stable storage (fsynced).
+    synced_lsn: Lsn,
+    commits_since_sync: u32,
+    injector: Option<Arc<FaultInjector>>,
+}
+
+/// The write-ahead log: an append-only, checksummed redo log over one file.
+pub struct Wal {
+    inner: Mutex<WalInner>,
+    policy: FsyncPolicy,
+    path: PathBuf,
+    stats: Arc<IoStats>,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Wal")
+            .field("next_lsn", &inner.next_lsn)
+            .field("bytes", &inner.len)
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+/// What [`Wal::open`] found on disk: the intact records (torn tail already
+/// truncated) and whether a tear was repaired.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Every intact record, in LSN order.
+    pub records: Vec<(Lsn, WalRecord)>,
+    /// Whether a torn tail (partial or corrupt trailing record) was cut off.
+    pub truncated_torn_tail: bool,
+}
+
+impl Wal {
+    /// Creates a fresh, empty log at `path` (truncating any existing file).
+    pub fn create(
+        path: impl AsRef<Path>,
+        policy: FsyncPolicy,
+        stats: Arc<IoStats>,
+    ) -> TsbResult<Wal> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(Wal {
+            inner: Mutex::new(WalInner {
+                file,
+                next_lsn: 1,
+                len: 0,
+                synced_lsn: 0,
+                commits_since_sync: 0,
+                injector: None,
+            }),
+            policy,
+            path,
+            stats,
+        })
+    }
+
+    /// Opens (or creates) the log at `path`, scanning every record and
+    /// truncating a torn tail. The returned [`WalScan`] is the replay input;
+    /// the `Wal` is positioned to append after the intact prefix.
+    pub fn open(
+        path: impl AsRef<Path>,
+        policy: FsyncPolicy,
+        stats: Arc<IoStats>,
+    ) -> TsbResult<(Wal, WalScan)> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut buf = Vec::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut buf)?;
+
+        let mut records: Vec<(Lsn, WalRecord)> = Vec::new();
+        let mut pos = 0usize;
+        let mut next_lsn: Lsn = 1;
+        let mut torn = false;
+        while pos < buf.len() {
+            let Some((record_len, body)) = Self::frame_at(&buf, pos) else {
+                torn = true;
+                break;
+            };
+            let Ok((lsn, record)) = WalRecord::decode_body(body) else {
+                torn = true;
+                break;
+            };
+            // The first record may carry any LSN (checkpoint truncation
+            // keeps the sequence running across log generations); after
+            // that a discontinuity means the file was spliced or a tear
+            // was overwritten — nothing from there on is trustworthy.
+            if !records.is_empty() && lsn != next_lsn {
+                torn = true;
+                break;
+            }
+            next_lsn = lsn + 1;
+            records.push((lsn, record));
+            pos += record_len;
+        }
+        if torn {
+            file.set_len(pos as u64)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(pos as u64))?;
+        Ok((
+            Wal {
+                inner: Mutex::new(WalInner {
+                    file,
+                    next_lsn,
+                    len: pos as u64,
+                    // Everything that survived on disk is as durable as it
+                    // will ever be.
+                    synced_lsn: next_lsn - 1,
+                    commits_since_sync: 0,
+                    injector: None,
+                }),
+                policy,
+                path,
+                stats,
+            },
+            WalScan {
+                records,
+                truncated_torn_tail: torn,
+            },
+        ))
+    }
+
+    /// Frames the record starting at `pos`: returns `(total frame length,
+    /// body slice)` if the frame is complete and its CRC matches.
+    fn frame_at(buf: &[u8], pos: usize) -> Option<(usize, &[u8])> {
+        let header = buf.get(pos..pos + 8)?;
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        if len == 0 || len > MAX_RECORD_BODY {
+            return None;
+        }
+        let body = buf.get(pos + 8..pos + 8 + len as usize)?;
+        if crc32(body) != crc {
+            return None;
+        }
+        Some((8 + len as usize, body))
+    }
+
+    /// The configured fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// The LSN the next append will receive.
+    pub fn next_lsn(&self) -> Lsn {
+        self.inner.lock().next_lsn
+    }
+
+    /// The LSN of the newest appended record (0 if the log is empty).
+    pub fn last_lsn(&self) -> Lsn {
+        self.inner.lock().next_lsn - 1
+    }
+
+    /// Bytes of intact log on disk.
+    pub fn bytes(&self) -> u64 {
+        self.inner.lock().len
+    }
+
+    /// Wires a fault injector into the append and sync paths (tests only).
+    pub fn set_fault_injector(&self, injector: Arc<FaultInjector>) {
+        self.inner.lock().injector = Some(injector);
+    }
+
+    /// Appends one record, returning its LSN. The bytes are written to the
+    /// file before this returns; commit records additionally fsync per the
+    /// policy, checkpoint records always fsync.
+    pub fn append(&self, record: &WalRecord) -> TsbResult<Lsn> {
+        let mut inner = self.inner.lock();
+        let point = match record {
+            WalRecord::Checkpoint { .. } => CrashPoint::WalCheckpoint,
+            _ => CrashPoint::WalAppend,
+        };
+        if let Some(injector) = &inner.injector {
+            injector.check(point)?;
+        }
+        let lsn = inner.next_lsn;
+        let body = record.encode_body(lsn);
+        let mut frame = Vec::with_capacity(8 + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        inner.file.write_all(&frame)?;
+        inner.next_lsn += 1;
+        inner.len += frame.len() as u64;
+        self.stats.record_wal_append();
+
+        let sync_now = match record {
+            WalRecord::Checkpoint { .. } => true,
+            WalRecord::Commit { .. } => {
+                inner.commits_since_sync += 1;
+                match self.policy {
+                    FsyncPolicy::Always => true,
+                    FsyncPolicy::EveryN(n) => inner.commits_since_sync >= n.max(1),
+                    FsyncPolicy::Os => false,
+                }
+            }
+            WalRecord::PageImage { .. } => false,
+        };
+        if sync_now {
+            Self::sync_locked(&mut inner, &self.stats)?;
+        }
+        Ok(lsn)
+    }
+
+    fn sync_locked(inner: &mut WalInner, stats: &IoStats) -> TsbResult<()> {
+        if let Some(injector) = &inner.injector {
+            injector.check(CrashPoint::WalSync)?;
+        }
+        inner.file.sync_all()?;
+        inner.synced_lsn = inner.next_lsn - 1;
+        inner.commits_since_sync = 0;
+        stats.record_wal_sync();
+        Ok(())
+    }
+
+    /// Forces everything appended so far to stable storage.
+    pub fn sync(&self) -> TsbResult<()> {
+        let mut inner = self.inner.lock();
+        Self::sync_locked(&mut inner, &self.stats)
+    }
+
+    /// Forces the log to stable storage only if records were appended since
+    /// the last fsync. This is the **flushed-LSN rule** barrier: a dirty
+    /// page may reach the page device only when every log record that could
+    /// be needed to reproduce (or supersede) its content is already stable,
+    /// whatever the commit fsync policy says. No-op when nothing is pending.
+    pub fn ensure_all_synced(&self) -> TsbResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.synced_lsn + 1 >= inner.next_lsn {
+            return Ok(());
+        }
+        Self::sync_locked(&mut inner, &self.stats)
+    }
+
+    /// Atomically replaces the whole log with a single `record` (a
+    /// checkpoint), bounding the log to one generation: everything before a
+    /// checkpoint fence is unreplayable by construction, so a completed
+    /// checkpoint may discard it.
+    ///
+    /// Crash safety comes from write-new-then-rename: the replacement file
+    /// is fully written and fsynced *before* it atomically takes the log's
+    /// name, so a crash anywhere leaves either the complete old log or the
+    /// complete new one — never a fence-less hybrid. LSNs keep counting
+    /// across generations (the scanner accepts any starting LSN).
+    pub fn reset_with(&self, record: &WalRecord) -> TsbResult<Lsn> {
+        let mut inner = self.inner.lock();
+        if let Some(injector) = &inner.injector {
+            injector.check(CrashPoint::WalCheckpoint)?;
+        }
+        let lsn = inner.next_lsn;
+        let body = record.encode_body(lsn);
+        let mut frame = Vec::with_capacity(8 + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+
+        let tmp = self.path.with_extension("wal.tmp");
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        file.write_all(&frame)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, &self.path)?;
+        self.stats.record_wal_append();
+        self.stats.record_wal_sync();
+        inner.file = file;
+        inner.next_lsn = lsn + 1;
+        inner.len = frame.len() as u64;
+        inner.synced_lsn = lsn;
+        inner.commits_since_sync = 0;
+        Ok(lsn)
+    }
+}
+
+/// The dirty-page table backing the **WAL-before-page** invariant.
+///
+/// Before a dirty page may be written back to the magnetic store — by the
+/// tree's flush, by the decoded-node cache's overflow write-back, or by a
+/// buffer-pool eviction — the page's newest image must already be in the
+/// WAL. The tree records every `PageImage` append here
+/// ([`record`](Self::record)); every *device* write-back site runs the
+/// full barrier ([`ensure_durable`](Self::ensure_durable)): a coverage
+/// `debug_assert` plus the flushed-LSN rule — the log is forced to stable
+/// storage through its newest record before the page bytes may land on
+/// the device, so a power failure can never leave the device holding
+/// state the surviving log cannot reproduce or supersede. Pages that are
+/// legitimately outside the log (the tree's metadata page, whose content
+/// is reconstructed from commit records) are registered with
+/// [`exempt`](Self::exempt).
+#[derive(Debug, Default)]
+pub struct WalPageTable {
+    /// page -> LSN of the page's newest logged image.
+    pages: Mutex<HashMap<u64, Lsn>>,
+    /// The log to force before device write-backs (set once at attach).
+    wal: Mutex<Option<Arc<Wal>>>,
+}
+
+impl WalPageTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wires in the log [`ensure_durable`](Self::ensure_durable) forces.
+    pub fn attach_wal(&self, wal: Arc<Wal>) {
+        *self.wal.lock() = Some(wal);
+    }
+
+    /// The write-back barrier: asserts WAL coverage of `page` and forces
+    /// the log to stable storage through its newest record. Called by
+    /// every site about to write a dirty page image to the device.
+    pub fn ensure_durable(&self, page: PageId) -> TsbResult<()> {
+        self.assert_covered(page);
+        let wal = self.wal.lock().clone();
+        match wal {
+            Some(wal) => wal.ensure_all_synced(),
+            None => Ok(()),
+        }
+    }
+
+    /// Records that `page`'s newest image was appended at `lsn`.
+    pub fn record(&self, page: PageId, lsn: Lsn) {
+        self.pages.lock().insert(page.0, lsn);
+    }
+
+    /// Marks `page` as legitimately un-logged (metadata pages).
+    pub fn exempt(&self, page: PageId) {
+        self.pages.lock().insert(page.0, 0);
+    }
+
+    /// The LSN of `page`'s newest logged image (`Some(0)` for exempt pages).
+    pub fn lsn_of(&self, page: PageId) -> Option<Lsn> {
+        self.pages.lock().get(&page.0).copied()
+    }
+
+    /// Whether `page` may be written back (logged or exempt).
+    pub fn is_covered(&self, page: PageId) -> bool {
+        self.pages.lock().contains_key(&page.0)
+    }
+
+    /// Debug-asserts the WAL-before-page invariant for `page`.
+    pub fn assert_covered(&self, page: PageId) {
+        debug_assert!(
+            self.is_covered(page),
+            "WAL-before-page violation: page {page} is being written back to the \
+             magnetic store but no PageImage record for it was ever appended to the WAL"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_wal_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tsb-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("test.wal")
+    }
+
+    fn page_image(page: u64, fill: u8) -> WalRecord {
+        WalRecord::PageImage {
+            page: PageId(page),
+            bytes: vec![fill; 32],
+        }
+    }
+
+    fn commit(ts: u64) -> WalRecord {
+        WalRecord::Commit {
+            ts,
+            worm_len: 0,
+            meta: vec![0xAB; 16],
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_the_file() {
+        let path = temp_wal_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let stats = Arc::new(IoStats::new());
+        let written = [
+            page_image(7, 1),
+            page_image(9, 2),
+            commit(42),
+            WalRecord::Checkpoint {
+                worm_len: 128,
+                meta: vec![1, 2, 3],
+            },
+        ];
+        {
+            let wal = Wal::create(&path, FsyncPolicy::Always, Arc::clone(&stats)).unwrap();
+            for (i, rec) in written.iter().enumerate() {
+                assert_eq!(wal.append(rec).unwrap(), (i + 1) as Lsn);
+            }
+            assert_eq!(wal.last_lsn(), 4);
+        }
+        let (wal, scan) = Wal::open(&path, FsyncPolicy::Always, stats).unwrap();
+        assert!(!scan.truncated_torn_tail);
+        assert_eq!(scan.records.len(), written.len());
+        for (i, (lsn, rec)) in scan.records.iter().enumerate() {
+            assert_eq!(*lsn, (i + 1) as Lsn);
+            assert_eq!(rec, &written[i]);
+        }
+        // Appending continues the LSN sequence.
+        assert_eq!(wal.append(&page_image(1, 3)).unwrap(), 5);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_the_intact_prefix() {
+        let path = temp_wal_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let stats = Arc::new(IoStats::new());
+        {
+            let wal = Wal::create(&path, FsyncPolicy::Os, Arc::clone(&stats)).unwrap();
+            wal.append(&page_image(1, 1)).unwrap();
+            wal.append(&commit(1)).unwrap();
+            wal.append(&page_image(2, 2)).unwrap();
+        }
+        // Tear the last record: cut 3 bytes off the end.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 3).unwrap();
+        drop(file);
+
+        let (wal, scan) = Wal::open(&path, FsyncPolicy::Os, Arc::clone(&stats)).unwrap();
+        assert!(scan.truncated_torn_tail);
+        assert_eq!(scan.records.len(), 2, "intact prefix only");
+        assert!(matches!(scan.records[1].1, WalRecord::Commit { ts: 1, .. }));
+        // The torn bytes are gone from the file; appends restart cleanly.
+        wal.append(&page_image(3, 3)).unwrap();
+        drop(wal);
+        let (_, rescan) = Wal::open(&path, FsyncPolicy::Os, stats).unwrap();
+        assert!(!rescan.truncated_torn_tail);
+        assert_eq!(rescan.records.len(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_crc_mid_log_discards_everything_after() {
+        let path = temp_wal_path("crc");
+        let _ = std::fs::remove_file(&path);
+        let stats = Arc::new(IoStats::new());
+        {
+            let wal = Wal::create(&path, FsyncPolicy::Os, Arc::clone(&stats)).unwrap();
+            wal.append(&commit(1)).unwrap();
+            wal.append(&commit(2)).unwrap();
+            wal.append(&commit(3)).unwrap();
+        }
+        // Flip one byte in the middle record's body.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let record_len = bytes.len() / 3;
+        bytes[record_len + 12] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_, scan) = Wal::open(&path, FsyncPolicy::Os, stats).unwrap();
+        assert!(scan.truncated_torn_tail);
+        assert_eq!(
+            scan.records.len(),
+            1,
+            "records after a corrupt one are untrustworthy"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fsync_policy_governs_commit_syncs() {
+        let cases: &[(FsyncPolicy, u64)] = &[
+            // 6 commits: Always syncs each; EveryN(3) twice; Os never.
+            (FsyncPolicy::Always, 6),
+            (FsyncPolicy::EveryN(3), 2),
+            (FsyncPolicy::Os, 0),
+        ];
+        for (policy, expected_syncs) in cases {
+            let path = temp_wal_path(&format!("policy-{expected_syncs}"));
+            let _ = std::fs::remove_file(&path);
+            let stats = Arc::new(IoStats::new());
+            let wal = Wal::create(&path, *policy, Arc::clone(&stats)).unwrap();
+            for ts in 0..6 {
+                wal.append(&page_image(ts, 0)).unwrap(); // images never sync
+                wal.append(&commit(ts)).unwrap();
+            }
+            assert_eq!(
+                stats.snapshot().wal_syncs,
+                *expected_syncs,
+                "policy {policy:?}"
+            );
+            // A checkpoint always syncs.
+            wal.append(&WalRecord::Checkpoint {
+                worm_len: 0,
+                meta: vec![],
+            })
+            .unwrap();
+            assert_eq!(stats.snapshot().wal_syncs, *expected_syncs + 1);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn reset_with_bounds_the_log_and_keeps_lsns_continuous() {
+        let path = temp_wal_path("reset");
+        let _ = std::fs::remove_file(&path);
+        let stats = Arc::new(IoStats::new());
+        {
+            let wal = Wal::create(&path, FsyncPolicy::Os, Arc::clone(&stats)).unwrap();
+            for ts in 0..20 {
+                wal.append(&page_image(ts, 0)).unwrap();
+                wal.append(&commit(ts)).unwrap();
+            }
+            let grown = wal.bytes();
+            let fence_lsn = wal
+                .reset_with(&WalRecord::Checkpoint {
+                    worm_len: 7,
+                    meta: vec![9; 8],
+                })
+                .unwrap();
+            assert_eq!(fence_lsn, 41, "LSNs keep counting across generations");
+            assert!(wal.bytes() < grown / 10, "the log shrank to one record");
+            // Appends continue on the new generation.
+            assert_eq!(wal.append(&commit(99)).unwrap(), 42);
+        }
+        let (_, scan) = Wal::open(&path, FsyncPolicy::Os, stats).unwrap();
+        assert!(!scan.truncated_torn_tail);
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records[0].0, 41, "first record keeps its high LSN");
+        assert!(matches!(
+            scan.records[0].1,
+            WalRecord::Checkpoint { worm_len: 7, .. }
+        ));
+        assert_eq!(scan.records[1].0, 42);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ensure_all_synced_is_a_noop_when_clean() {
+        let path = temp_wal_path("ensure");
+        let _ = std::fs::remove_file(&path);
+        let stats = Arc::new(IoStats::new());
+        let wal = Wal::create(&path, FsyncPolicy::Os, Arc::clone(&stats)).unwrap();
+        wal.append(&page_image(1, 1)).unwrap();
+        wal.ensure_all_synced().unwrap();
+        assert_eq!(
+            stats.snapshot().wal_syncs,
+            1,
+            "pending record forced a sync"
+        );
+        wal.ensure_all_synced().unwrap();
+        wal.ensure_all_synced().unwrap();
+        assert_eq!(stats.snapshot().wal_syncs, 1, "nothing pending, no syncs");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fault_injector_kills_appends() {
+        let path = temp_wal_path("fault");
+        let _ = std::fs::remove_file(&path);
+        let stats = Arc::new(IoStats::new());
+        let wal = Wal::create(&path, FsyncPolicy::Os, stats).unwrap();
+        let injector = Arc::new(FaultInjector::new());
+        wal.set_fault_injector(Arc::clone(&injector));
+        injector.crash_at(CrashPoint::WalAppend, 1);
+        wal.append(&commit(1)).unwrap();
+        assert!(wal.append(&commit(2)).is_err());
+        assert!(wal.append(&commit(3)).is_err(), "dead forever");
+        assert_eq!(wal.last_lsn(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn page_table_tracks_coverage() {
+        let table = WalPageTable::new();
+        assert!(!table.is_covered(PageId(5)));
+        table.record(PageId(5), 17);
+        assert!(table.is_covered(PageId(5)));
+        assert_eq!(table.lsn_of(PageId(5)), Some(17));
+        table.exempt(PageId(0));
+        assert!(table.is_covered(PageId(0)));
+        table.assert_covered(PageId(5));
+        table.assert_covered(PageId(0));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

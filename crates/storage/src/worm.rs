@@ -35,6 +35,7 @@ use parking_lot::Mutex;
 
 use tsb_common::{TsbError, TsbResult};
 
+use crate::fault::{CrashPoint, FaultInjector};
 use crate::page::HistAddr;
 use crate::stats::IoStats;
 
@@ -61,6 +62,8 @@ enum Backend {
 
 struct Inner {
     backend: Backend,
+    /// Optional crash-injection hook consulted by `append`.
+    injector: Option<Arc<FaultInjector>>,
     /// Next sector that has never been allocated.
     next_free_sector: u64,
     /// Per-sector written flag (a sector may be allocated but not yet burned,
@@ -94,6 +97,7 @@ impl WormStore {
             sector_size,
             inner: Mutex::new(Inner {
                 backend: Backend::Memory { data: Vec::new() },
+                injector: None,
                 next_free_sector: 0,
                 written: Vec::new(),
                 payload_bytes: 0,
@@ -124,6 +128,7 @@ impl WormStore {
             sector_size,
             inner: Mutex::new(Inner {
                 backend: Backend::File { file },
+                injector: None,
                 next_free_sector: sectors,
                 written: vec![true; sectors as usize],
                 payload_bytes: len,
@@ -140,6 +145,11 @@ impl WormStore {
     /// The shared I/O statistics sink.
     pub fn stats(&self) -> &Arc<IoStats> {
         &self.stats
+    }
+
+    /// Wires a fault injector into the append path (tests only).
+    pub fn set_fault_injector(&self, injector: Arc<FaultInjector>) {
+        self.inner.lock().injector = Some(injector);
     }
 
     fn write_at(inner: &mut Inner, offset: u64, bytes: &[u8]) -> TsbResult<()> {
@@ -202,6 +212,9 @@ impl WormStore {
             });
         }
         let mut inner = self.inner.lock();
+        if let Some(injector) = &inner.injector {
+            injector.check(CrashPoint::WormAppend)?;
+        }
         let sectors_needed = payload.len().div_ceil(self.sector_size) as u64;
         let first_sector = inner.next_free_sector;
         let offset = first_sector * self.sector_size as u64;

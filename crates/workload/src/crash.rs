@@ -1,0 +1,153 @@
+//! Crash scenarios for the durability subsystem.
+//!
+//! A crash scenario is an ordinary deterministic [`WorkloadSpec`] stream
+//! plus a *crash trigger*: either "the device dies after N write
+//! operations" or "the device dies the k-th time execution reaches a
+//! specific [`CrashPoint`]" (a named stage in the engine's durable write
+//! path — WAL append, page write-back, checkpoint record, ...). The test
+//! driver arms a [`tsb_storage::FaultInjector`] from the trigger, replays
+//! the stream into a durable tree until the injected crash kills it, then
+//! reopens from the surviving files and demands the recovered tree equal
+//! the oracle's replay of the durable prefix.
+//!
+//! [`crash_matrix`] enumerates the standard adversarial matrix the
+//! recovery-stress CI job runs: every crash point crossed with several
+//! write budgets, for a given seed.
+
+use tsb_storage::{CrashPoint, FaultInjector, ALL_CRASH_POINTS};
+
+use crate::generator::WorkloadSpec;
+
+/// When the injected crash fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashTrigger {
+    /// The device stack dies after this many successful write operations
+    /// (of any kind) — the "FailingStore kills writes after N ops" model.
+    AfterWrites(u64),
+    /// The device stack dies the `skip + 1`-th time execution reaches
+    /// `point`.
+    AtPoint {
+        /// The instrumented stage to die at.
+        point: CrashPoint,
+        /// How many occurrences to let through first.
+        skip: u64,
+    },
+}
+
+impl CrashTrigger {
+    /// Arms `injector` according to this trigger.
+    pub fn arm(&self, injector: &FaultInjector) {
+        match self {
+            CrashTrigger::AfterWrites(n) => injector.fail_after_writes(*n),
+            CrashTrigger::AtPoint { point, skip } => injector.crash_at(*point, *skip),
+        }
+    }
+}
+
+/// One crash scenario: a deterministic op stream and the point at which
+/// the devices die under it.
+#[derive(Clone, Debug)]
+pub struct CrashSpec {
+    /// The operation stream to replay until the crash.
+    pub workload: WorkloadSpec,
+    /// When the injected crash fires.
+    pub trigger: CrashTrigger,
+}
+
+impl CrashSpec {
+    /// A scenario with the default durability workload (update-heavy so
+    /// time splits migrate history to the WORM store before the crash).
+    pub fn new(seed: u64, trigger: CrashTrigger) -> Self {
+        CrashSpec {
+            workload: base_workload(seed),
+            trigger,
+        }
+    }
+}
+
+/// The op stream shared by the matrix: update-heavy with deletes, small
+/// values, enough ops to split and migrate many times on small pages.
+fn base_workload(seed: u64) -> WorkloadSpec {
+    let mut spec = WorkloadSpec::default()
+        .with_ops(400)
+        .with_keys(40)
+        .with_update_ratio(4.0)
+        .with_value_size(24)
+        .with_seed(seed);
+    spec.delete_fraction = 0.05;
+    spec
+}
+
+/// The standard fault-injection matrix for one seed: every instrumented
+/// crash point at several depths into the workload, plus write-budget
+/// crashes at several depths. `scale` multiplies the write budgets (the
+/// scheduled long-stress CI job passes a larger scale).
+pub fn crash_matrix(seed: u64, scale: u64) -> Vec<CrashSpec> {
+    let mut specs = Vec::new();
+    for point in ALL_CRASH_POINTS {
+        for skip in [0u64, 7, 40] {
+            specs.push(CrashSpec::new(
+                seed,
+                CrashTrigger::AtPoint {
+                    point: *point,
+                    skip: skip * scale.max(1),
+                },
+            ));
+        }
+    }
+    for writes in [1u64, 25, 120, 600] {
+        specs.push(CrashSpec::new(
+            seed,
+            CrashTrigger::AfterWrites(writes * scale.max(1)),
+        ));
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate_ops;
+
+    #[test]
+    fn matrix_covers_every_crash_point() {
+        let specs = crash_matrix(1, 1);
+        for point in ALL_CRASH_POINTS {
+            assert!(
+                specs.iter().any(
+                    |s| matches!(s.trigger, CrashTrigger::AtPoint { point: p, .. } if p == *point)
+                ),
+                "matrix misses {point:?}"
+            );
+        }
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s.trigger, CrashTrigger::AfterWrites(_))));
+        // The workload is deterministic per seed.
+        assert_eq!(
+            generate_ops(&specs[0].workload),
+            generate_ops(&crash_matrix(1, 1)[0].workload)
+        );
+        assert_ne!(
+            generate_ops(&specs[0].workload),
+            generate_ops(&crash_matrix(2, 1)[0].workload)
+        );
+    }
+
+    #[test]
+    fn triggers_arm_the_injector() {
+        let injector = FaultInjector::new();
+        CrashTrigger::AfterWrites(2).arm(&injector);
+        injector.check(CrashPoint::WalAppend).unwrap();
+        injector.check(CrashPoint::WalAppend).unwrap();
+        assert!(injector.check(CrashPoint::WalAppend).is_err());
+
+        let injector = FaultInjector::new();
+        CrashTrigger::AtPoint {
+            point: CrashPoint::WormAppend,
+            skip: 0,
+        }
+        .arm(&injector);
+        assert!(injector.check(CrashPoint::WormAppend).is_err());
+    }
+}

@@ -22,12 +22,17 @@
 //! * [`ConcurrentSpec`] — deterministic concurrent scenarios: one scripted
 //!   writer stream plus per-reader query plans whose read times are pinned
 //!   as fractions of the installed history, so multi-threaded runs stay
-//!   oracle-checkable (see [`concurrent`]).
+//!   oracle-checkable (see [`concurrent`]),
+//! * [`CrashSpec`] / [`crash_matrix`] — crash scenarios for the durability
+//!   subsystem: a deterministic op stream plus an injected device death
+//!   (write budget or named crash point), driven against a WAL-attached
+//!   tree by the recovery test suite (see [`crash`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod concurrent;
+pub mod crash;
 pub mod distributions;
 pub mod generator;
 pub mod oracle;
@@ -35,6 +40,7 @@ pub mod queries;
 pub mod scenarios;
 
 pub use concurrent::{pin_fraction, ConcurrentSpec, ReaderQuery, ReaderQueryKind};
+pub use crash::{crash_matrix, CrashSpec, CrashTrigger};
 pub use distributions::KeyDistribution;
 pub use generator::{generate_ops, Op, WorkloadSpec};
 pub use oracle::Oracle;
