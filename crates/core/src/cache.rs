@@ -89,6 +89,33 @@ struct Shard {
     stamp: u64,
 }
 
+impl Shard {
+    /// The dirty-overflow drain step shared by
+    /// [`NodeCache::dirty_overflow_victim`] and
+    /// [`NodeCache::any_dirty_overflow_victim`]: while more than
+    /// `capacity` entries are dirty, offer the least recently written one
+    /// for write-back. Peek, don't pop — the victim leaves the dirty set
+    /// only in [`NodeCache::mark_clean`], after the caller's write-back
+    /// succeeded, so an errored write-back leaves the accounting intact
+    /// and the same victim is offered again. A dirty-LRU address with no
+    /// cache entry violates the shard invariant; the orphan is shed and
+    /// the drain continues rather than letting it wedge overflow control.
+    fn dirty_overflow_victim(&mut self, capacity: usize) -> Option<(PageId, Arc<Node>)> {
+        while self.dirty_lru.len() > capacity {
+            let victim = *self.dirty_lru.peek_lru()?;
+            let Some(entry) = self.entries.get(&victim) else {
+                debug_assert!(false, "dirty-LRU victim {victim} has no cache entry");
+                self.dirty_lru.remove(&victim);
+                continue;
+            };
+            let node = Arc::clone(&entry.node);
+            let page = victim.as_page().expect("only current nodes are ever dirty");
+            return Some((page, node));
+        }
+        None
+    }
+}
+
 /// A fixed-capacity LRU cache of decoded nodes spanning both devices,
 /// lock-sharded for concurrent readers.
 pub(crate) struct NodeCache {
@@ -251,18 +278,9 @@ impl NodeCache {
     /// cache pins dirty entries to avoid. Single-writer only: the caller's
     /// serialization guarantees nobody re-dirties the entry in between.
     pub(crate) fn dirty_overflow_victim(&self, addr: NodeAddr) -> Option<(PageId, Arc<Node>)> {
-        let shard = self.shard(&addr).lock();
-        if shard.dirty_lru.len() <= self.shard_capacity {
-            return None;
-        }
-        // Peek, don't pop: the victim leaves the dirty set only in
-        // `mark_clean`, after the caller's write-back succeeded. If the
-        // write-back errors, the accounting is untouched and the same
-        // victim is offered again on the next write.
-        let victim = *shard.dirty_lru.peek_lru()?;
-        let node = Arc::clone(&shard.entries.get(&victim)?.node);
-        let page = victim.as_page().expect("only current nodes are ever dirty");
-        Some((page, node))
+        self.shard(&addr)
+            .lock()
+            .dirty_overflow_victim(self.shard_capacity)
     }
 
     /// [`Self::dirty_overflow_victim`] across every shard: returns an
@@ -274,19 +292,11 @@ impl NodeCache {
     /// peek/write/confirm protocol applies: the victim stays resident and
     /// dirty until [`Self::mark_clean`].
     pub(crate) fn any_dirty_overflow_victim(&self) -> Option<(PageId, Arc<Node>)> {
-        for shard in &self.shards {
-            let shard = shard.lock();
-            if shard.dirty_lru.len() <= self.shard_capacity {
-                continue;
-            }
-            let Some(victim) = shard.dirty_lru.peek_lru().copied() else {
-                continue;
-            };
-            let node = Arc::clone(&shard.entries.get(&victim)?.node);
-            let page = victim.as_page().expect("only current nodes are ever dirty");
-            return Some((page, node));
-        }
-        None
+        // One shard coming up empty (fits, or inconsistent) must not end
+        // the whole drain — every later shard still gets its turn.
+        self.shards
+            .iter()
+            .find_map(|shard| shard.lock().dirty_overflow_victim(self.shard_capacity))
     }
 
     /// Marks `addr` clean after its newest encode reached the buffer pool

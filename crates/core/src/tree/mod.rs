@@ -60,8 +60,10 @@ pub(crate) struct Durability {
     pages: Arc<WalPageTable>,
     /// WORM device length known to be on stable storage. A commit fence
     /// whose mutation grew the WORM past this must sync the WORM device
-    /// first (under non-`Os` policies), or the fsynced commit could
-    /// outlive the history it references.
+    /// first (under *every* fsync policy), or the commit — fsynced
+    /// directly, or dragged to stable storage by the flushed-LSN barrier
+    /// before a page write-back — could outlive the history it
+    /// references.
     worm_synced: AtomicU64,
 }
 
@@ -424,7 +426,13 @@ impl TsbTree {
     ///    replayed pages are erased — in-flight writer transactions died
     ///    with the process, exactly the erasure §4 makes possible on the
     ///    erasable store.
-    /// 6. **Verify, then fence.** The rebuilt tree must pass [`Self::verify`]
+    /// 6. **Reclaim.** The magnetic free list is rebuilt from reachability:
+    ///    any allocated page the recovered root cannot reach is freed. The
+    ///    log has no record kind for page frees, so replay can only ever
+    ///    allocate — without this step a page freed since the checkpoint
+    ///    would come back allocated-but-unreachable and stay leaked across
+    ///    every later session.
+    /// 7. **Verify, then fence.** The rebuilt tree must pass [`Self::verify`]
     ///    before serving, and a fresh checkpoint fences the next recovery.
     ///
     /// The recovered tree answers every query exactly as the oracle's
@@ -526,7 +534,9 @@ impl TsbTree {
         // 5. In-flight transactions died with the process: erase their
         //    uncommitted versions.
         tree.purge_uncommitted()?;
-        // 6. Never serve an unverified recovery; then fence it.
+        // 6. Free whatever the recovered root cannot reach.
+        tree.reclaim_unreachable_pages()?;
+        // 7. Never serve an unverified recovery; then fence it.
         tree.verify()?;
         tree.flush_shared()?;
         Ok(tree)
@@ -579,6 +589,49 @@ impl TsbTree {
                 Ok(())
             }
         }
+    }
+
+    /// Rebuilds the magnetic free list from reachability: frees every
+    /// allocated page that is neither the metadata page nor reachable from
+    /// the recovered root. The redo log has no record kind for page frees,
+    /// so replay can only ever *allocate* ([`MagneticStore::restore`] even
+    /// pulls replayed pages off the on-disk free list): a page freed since
+    /// the last checkpoint would come back allocated-but-unreachable after
+    /// recovery and stay leaked across every later session — which
+    /// [`Self::verify`] treats as a hard error, turning a space leak into
+    /// an unrecoverable store. Deriving the free list from the recovered
+    /// tree closes that gap for any free site, present or future, without
+    /// a `PageFree` record.
+    fn reclaim_unreachable_pages(&self) -> TsbResult<()> {
+        let mut reachable: HashSet<PageId> = HashSet::new();
+        reachable.insert(self.meta_page);
+        self.collect_current_pages(self.current_root(), &mut reachable)?;
+        for page in self.magnetic.allocated_page_ids() {
+            if !reachable.contains(&page) {
+                self.cache.discard(NodeAddr::Current(page));
+                self.pool.discard(page);
+                self.magnetic.free(page)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Collects into `out` every magnetic page reachable from `addr`
+    /// (historical children live on the WORM and are skipped).
+    fn collect_current_pages(&self, addr: NodeAddr, out: &mut HashSet<PageId>) -> TsbResult<()> {
+        let Some(page) = addr.as_page() else {
+            return Ok(());
+        };
+        if !out.insert(page) {
+            return Ok(());
+        }
+        let node = self.read_node(addr)?;
+        if let Node::Index(index) = &*node {
+            for entry in index.entries() {
+                self.collect_current_pages(entry.child, out)?;
+            }
+        }
+        Ok(())
     }
 
     /// The tree configuration.
@@ -768,15 +821,21 @@ impl TsbTree {
         };
         let worm_len = self.worm.device_bytes();
         // If this mutation migrated history, the WORM bytes must be stable
-        // *before* a commit record referencing them can be: otherwise a
-        // power failure after the commit's fsync but before the OS flushed
-        // the WORM tail would force recovery to cut before this commit —
-        // violating `Always`'s no-acknowledged-loss contract. `Os` opts out
-        // of that contract wholesale, so it skips the sync (recovery's
-        // worm-length check degrades it to an earlier cut instead).
-        if self.cfg.fsync_policy != tsb_common::FsyncPolicy::Os
-            && worm_len > d.worm_synced.load(Ordering::Acquire)
-        {
+        // *before* a commit record referencing them can be — under every
+        // fsync policy, not just the ones that fsync the commit itself.
+        // For `Always` the reason is the acknowledgement contract: a power
+        // failure after the commit's fsync but before the OS flushed the
+        // WORM tail would force recovery to cut before this commit. For
+        // `EveryN`/`Os` the reason is device consistency: the flushed-LSN
+        // barrier forces the *WAL* (not the WORM) before page write-backs,
+        // so without this sync the device could hold page images from a
+        // commit whose WORM history was lost — a commit past the replay
+        // cut, whose surviving device pages (dangling historical
+        // addresses) replay has no image in [base, cut] to overwrite.
+        // Syncing here restores the invariant that any commit in the
+        // durable log has its history intact, so the cut always covers
+        // whatever reached the page device.
+        if worm_len > d.worm_synced.load(Ordering::Acquire) {
             self.worm.sync()?;
             d.worm_synced.store(worm_len, Ordering::Release);
         }

@@ -173,6 +173,21 @@ impl WalRecord {
     }
 }
 
+/// Forces the directory entry for `path` to stable storage. Creating or
+/// renaming a file is durable only once its *parent directory* is fsynced:
+/// the file's own `sync_all` covers its data and inode, not the name
+/// pointing at it, and on many filesystems a crash can otherwise resurrect
+/// the directory's previous contents (the pre-checkpoint log generation, or
+/// no log at all).
+fn sync_parent_dir(path: &Path) -> TsbResult<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(parent)?.sync_all()?;
+    Ok(())
+}
+
 /// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven. Hand-rolled to
 /// keep the dependency set first-party.
 fn crc32(bytes: &[u8]) -> u32 {
@@ -251,12 +266,28 @@ impl Wal {
         stats: Arc<IoStats>,
     ) -> TsbResult<Wal> {
         let path = path.as_ref().to_path_buf();
+        // A fresh log invalidates any generation that came before it —
+        // including a reset temp file a previous incarnation died holding.
+        // Left in place, an intact fenced `*.wal.tmp` would be rolled
+        // forward by the next `open`, clobbering this log with the dead
+        // generation's checkpoint.
+        match std::fs::remove_file(path.with_extension("wal.tmp")) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
         let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
             .open(&path)?;
+        // Make the file's *existence* durable before anything is logged
+        // into it: without the directory fsync a crash could drop the
+        // directory entry while keeping acknowledged, fsynced commits in
+        // the now-unreachable inode.
+        file.sync_all()?;
+        sync_parent_dir(&path)?;
         Ok(Wal {
             inner: Mutex::new(WalInner {
                 file,
@@ -281,41 +312,26 @@ impl Wal {
         stats: Arc<IoStats>,
     ) -> TsbResult<(Wal, WalScan)> {
         let path = path.as_ref().to_path_buf();
+        Self::resolve_pending_reset(&path)?;
+        let existed = path.exists();
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
             .open(&path)?;
+        if !existed {
+            // See `create`: a file whose directory entry is not durable
+            // can vanish in a crash along with everything fsynced into it.
+            file.sync_all()?;
+            sync_parent_dir(&path)?;
+        }
         let mut buf = Vec::new();
         file.seek(SeekFrom::Start(0))?;
         file.read_to_end(&mut buf)?;
 
-        let mut records: Vec<(Lsn, WalRecord)> = Vec::new();
-        let mut pos = 0usize;
-        let mut next_lsn: Lsn = 1;
-        let mut torn = false;
-        while pos < buf.len() {
-            let Some((record_len, body)) = Self::frame_at(&buf, pos) else {
-                torn = true;
-                break;
-            };
-            let Ok((lsn, record)) = WalRecord::decode_body(body) else {
-                torn = true;
-                break;
-            };
-            // The first record may carry any LSN (checkpoint truncation
-            // keeps the sequence running across log generations); after
-            // that a discontinuity means the file was spliced or a tear
-            // was overwritten — nothing from there on is trustworthy.
-            if !records.is_empty() && lsn != next_lsn {
-                torn = true;
-                break;
-            }
-            next_lsn = lsn + 1;
-            records.push((lsn, record));
-            pos += record_len;
-        }
+        let (records, pos, torn) = Self::scan_buf(&buf);
+        let next_lsn = records.last().map(|(lsn, _)| lsn + 1).unwrap_or(1);
         if torn {
             file.set_len(pos as u64)?;
             file.sync_all()?;
@@ -342,6 +358,78 @@ impl Wal {
                 truncated_torn_tail: torn,
             },
         ))
+    }
+
+    /// Scans `buf` from the start: returns the intact records in LSN order,
+    /// the byte position of the first bad frame (== `buf.len()` when the
+    /// whole buffer is intact), and whether a torn tail was found. The
+    /// first record may carry any LSN (checkpoint truncation keeps the
+    /// sequence running across log generations); after that a
+    /// discontinuity means the file was spliced or a tear was overwritten
+    /// — nothing from there on is trustworthy.
+    fn scan_buf(buf: &[u8]) -> (Vec<(Lsn, WalRecord)>, usize, bool) {
+        let mut records: Vec<(Lsn, WalRecord)> = Vec::new();
+        let mut pos = 0usize;
+        let mut next_lsn: Lsn = 1;
+        let mut torn = false;
+        while pos < buf.len() {
+            let Some((record_len, body)) = Self::frame_at(buf, pos) else {
+                torn = true;
+                break;
+            };
+            let Ok((lsn, record)) = WalRecord::decode_body(body) else {
+                torn = true;
+                break;
+            };
+            if !records.is_empty() && lsn != next_lsn {
+                torn = true;
+                break;
+            }
+            next_lsn = lsn + 1;
+            records.push((lsn, record));
+            pos += record_len;
+        }
+        (records, pos, torn)
+    }
+
+    /// Settles a checkpoint reset the previous process died inside of.
+    ///
+    /// A leftover `*.wal.tmp` next to the log means the crash landed in
+    /// [`Self::reset_with`]'s write-new-then-rename window: the
+    /// replacement log was (at least partially) written, and the rename
+    /// making it the real log may or may not have reached the directory.
+    /// Before the log is scanned, the temp file's fate is decided:
+    ///
+    /// * A fully intact temp file whose records carry a fence is **rolled
+    ///   forward** (the rename is completed). Its content was written and
+    ///   fsynced before the rename was ever attempted, so its checkpoint
+    ///   promise holds — and the main log can only be an *older*
+    ///   generation (nothing appends between the temp write and the
+    ///   rename, and a completed rename is directory-fsynced before any
+    ///   later append is acknowledged). This also keeps a first create's
+    ///   interrupted checkpoint from leaving a fence-less main log that
+    ///   reads as "nothing was ever durable".
+    /// * Anything else — short, torn, or fence-less — is an unfinished
+    ///   temp write; it is **rolled back** (deleted) and the main log
+    ///   stands.
+    fn resolve_pending_reset(path: &Path) -> TsbResult<()> {
+        let tmp = path.with_extension("wal.tmp");
+        let buf = match std::fs::read(&tmp) {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        let (records, pos, _) = Self::scan_buf(&buf);
+        let intact = pos == buf.len() && !records.is_empty();
+        let fenced = records
+            .iter()
+            .any(|(_, r)| matches!(r, WalRecord::Commit { .. } | WalRecord::Checkpoint { .. }));
+        if intact && fenced {
+            std::fs::rename(&tmp, path)?;
+        } else {
+            std::fs::remove_file(&tmp)?;
+        }
+        sync_parent_dir(path)
     }
 
     /// Frames the record starting at `pos`: returns `(total frame length,
@@ -463,9 +551,14 @@ impl Wal {
     ///
     /// Crash safety comes from write-new-then-rename: the replacement file
     /// is fully written and fsynced *before* it atomically takes the log's
-    /// name, so a crash anywhere leaves either the complete old log or the
-    /// complete new one — never a fence-less hybrid. LSNs keep counting
-    /// across generations (the scanner accepts any starting LSN).
+    /// name, and the parent directory is fsynced before this returns — a
+    /// rename is durable only once the directory holding the entry is, so
+    /// without that sync a crash could resurrect the pre-checkpoint
+    /// generation and silently drop commits fsynced into the new inode
+    /// after it. A crash anywhere leaves either the complete old log, the
+    /// complete new one, or the old log plus an intact temp file that
+    /// [`Self::open`] rolls forward — never a fence-less hybrid. LSNs keep
+    /// counting across generations (the scanner accepts any starting LSN).
     pub fn reset_with(&self, record: &WalRecord) -> TsbResult<Lsn> {
         let mut inner = self.inner.lock();
         if let Some(injector) = &inner.injector {
@@ -488,6 +581,7 @@ impl Wal {
         file.write_all(&frame)?;
         file.sync_all()?;
         std::fs::rename(&tmp, &self.path)?;
+        sync_parent_dir(&self.path)?;
         self.stats.record_wal_append();
         self.stats.record_wal_sync();
         inner.file = file;
@@ -760,6 +854,90 @@ mod tests {
         ));
         assert_eq!(scan.records[1].0, 42);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn leftover_intact_fenced_reset_tmp_is_rolled_forward() {
+        let path = temp_wal_path("tmp-fwd");
+        let tmp = path.with_extension("wal.tmp");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&tmp);
+        let stats = Arc::new(IoStats::new());
+        {
+            // An old fence-less generation (a first create's page images)…
+            let wal = Wal::create(&path, FsyncPolicy::Os, Arc::clone(&stats)).unwrap();
+            wal.append(&page_image(1, 1)).unwrap();
+            // …and a fully written replacement the crash kept from being
+            // renamed: reset_with's temp file, holding the checkpoint.
+            let replacement = Wal::create(&tmp, FsyncPolicy::Os, Arc::clone(&stats)).unwrap();
+            replacement
+                .append(&WalRecord::Checkpoint {
+                    worm_len: 11,
+                    meta: vec![7; 8],
+                })
+                .unwrap();
+        }
+        let (_, scan) = Wal::open(&path, FsyncPolicy::Os, stats).unwrap();
+        assert!(!tmp.exists(), "the rename was completed");
+        assert_eq!(scan.records.len(), 1);
+        assert!(
+            matches!(
+                scan.records[0].1,
+                WalRecord::Checkpoint { worm_len: 11, .. }
+            ),
+            "the fenced replacement generation won, not the fence-less old one"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn create_discards_a_stale_reset_tmp_from_a_dead_generation() {
+        let path = temp_wal_path("tmp-create");
+        let tmp = path.with_extension("wal.tmp");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&tmp);
+        let stats = Arc::new(IoStats::new());
+        {
+            // An intact, fenced temp file a dead incarnation left behind…
+            let stale = Wal::create(&tmp, FsyncPolicy::Os, Arc::clone(&stats)).unwrap();
+            stale
+                .append(&WalRecord::Checkpoint {
+                    worm_len: 99,
+                    meta: vec![3; 8],
+                })
+                .unwrap();
+            // …must not outlive a fresh create: rolled forward later, it
+            // would clobber the new log with the dead generation's fence.
+            let wal = Wal::create(&path, FsyncPolicy::Os, Arc::clone(&stats)).unwrap();
+            assert!(!tmp.exists(), "create removed the stale temp file");
+            wal.append(&commit(1)).unwrap();
+        }
+        let (_, scan) = Wal::open(&path, FsyncPolicy::Os, stats).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert!(matches!(scan.records[0].1, WalRecord::Commit { ts: 1, .. }));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn leftover_unusable_reset_tmp_is_rolled_back() {
+        for garbage in [&b"torn mid-write"[..], &[][..]] {
+            let path = temp_wal_path("tmp-back");
+            let tmp = path.with_extension("wal.tmp");
+            let _ = std::fs::remove_file(&path);
+            let stats = Arc::new(IoStats::new());
+            {
+                let wal = Wal::create(&path, FsyncPolicy::Os, Arc::clone(&stats)).unwrap();
+                wal.append(&page_image(1, 1)).unwrap();
+                wal.append(&commit(5)).unwrap();
+            }
+            std::fs::write(&tmp, garbage).unwrap();
+            let (_, scan) = Wal::open(&path, FsyncPolicy::Os, stats).unwrap();
+            assert!(!tmp.exists(), "the unfinished temp write was discarded");
+            assert!(!scan.truncated_torn_tail);
+            assert_eq!(scan.records.len(), 2, "the main log stands untouched");
+            assert!(matches!(scan.records[1].1, WalRecord::Commit { ts: 5, .. }));
+            let _ = std::fs::remove_file(&path);
+        }
     }
 
     #[test]
