@@ -6,8 +6,10 @@
 //! trees that differ only in logging: no WAL at all (the pre-durability
 //! engine), then a WAL under each [`FsyncPolicy`] — `Os` (appends only),
 //! group commit (`EveryN(64)`, `EveryN(8)`), and `Always` (fsync per
-//! commit). Reported: sustained write throughput, WAL traffic, and fsyncs —
-//! the classic durability/throughput trade, measurable per policy.
+//! commit). Reported: sustained write throughput, WAL traffic, and fsyncs,
+//! plus the per-op normalizations (`wal B/op`, `syncs/op`) the slim-log
+//! work is judged by — the classic durability/throughput trade, measurable
+//! per policy.
 //!
 //! The second table measures crash-consistent reopen: a tree is built and
 //! dropped *without* a checkpoint (everything since create lives only in
@@ -101,6 +103,8 @@ fn fsync_policy_table(scale: Scale) -> Table {
             "wal appends",
             "wal fsyncs",
             "wal KiB",
+            "wal B/op",
+            "syncs/op",
         ],
     );
 
@@ -141,6 +145,8 @@ fn fsync_policy_table(scale: Scale) -> Table {
             delta.wal_appends.to_string(),
             delta.wal_syncs.to_string(),
             wal_kib(&dir),
+            format!("{:.1}", delta.wal_bytes_appended as f64 / ops.len() as f64),
+            format!("{:.3}", delta.wal_syncs as f64 / ops.len() as f64),
         ]);
     }
     table

@@ -97,6 +97,29 @@ pub enum FsyncPolicy {
     Os,
 }
 
+/// What the write-ahead log records for a content-only node rewrite.
+///
+/// Structural rewrites (splits, root growth, node initialization) always
+/// log the full page image — they replace a page's content wholesale, so
+/// there is nothing smaller to say. The mode only governs the hot path: a
+/// leaf absorbing one more version.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum WalMode {
+    /// ARIES-style slim logging: the *first* dirtying of a page per
+    /// checkpoint interval logs its full image; every later content-only
+    /// rewrite logs only a compact logical `PageDelta` (insert-version /
+    /// remove-uncommitted). Recovery replays images, then re-applies the
+    /// deltas in LSN order. Steady-state log traffic drops from one page
+    /// image per mutation to tens of bytes.
+    #[default]
+    Hybrid,
+    /// Log a full page image on every rewrite (the PR 4 behaviour). Kept
+    /// as the off-switch: byte-for-byte the simplest replay, and the
+    /// reference the `delta_replay_equals_image_replay` property tests
+    /// hybrid mode against.
+    ImagesOnly,
+}
+
 /// Per-byte storage prices used by the cost function `CS` and by the
 /// cost-based split policy. Units are arbitrary; only the ratio matters.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -174,6 +197,10 @@ pub struct TsbConfig {
     /// meaningful for trees opened with a WAL attached; in-memory trees
     /// ignore it). Default [`FsyncPolicy::Always`].
     pub fsync_policy: FsyncPolicy,
+    /// What the write-ahead log records for content-only rewrites (only
+    /// meaningful for trees opened with a WAL attached). Default
+    /// [`WalMode::Hybrid`].
+    pub wal_mode: WalMode,
 }
 
 impl Default for TsbConfig {
@@ -190,6 +217,7 @@ impl Default for TsbConfig {
             cost: CostParams::default(),
             mark_recalcitrant_children: true,
             fsync_policy: FsyncPolicy::default(),
+            wal_mode: WalMode::default(),
         }
     }
 }
@@ -318,6 +346,12 @@ impl TsbConfig {
     /// Builder-style setter for the WAL fsync policy.
     pub fn with_fsync_policy(mut self, policy: FsyncPolicy) -> Self {
         self.fsync_policy = policy;
+        self
+    }
+
+    /// Builder-style setter for the WAL record mode.
+    pub fn with_wal_mode(mut self, mode: WalMode) -> Self {
+        self.wal_mode = mode;
         self
     }
 }

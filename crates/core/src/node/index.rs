@@ -336,6 +336,29 @@ impl IndexNode {
             .collect()
     }
 
+    /// The current-region entries whose key ranges overlap `range`, as a
+    /// contiguous slice located by two binary searches.
+    ///
+    /// The current region is sorted by `key_range.lo` with pairwise
+    /// disjoint key ranges, so the overlapping entries form one run: it
+    /// ends at the first entry whose lower bound is at or past the query's
+    /// upper bound, and it starts either at the first entry whose lower
+    /// bound is inside the query or one earlier (the unique predecessor
+    /// that can span the query's lower bound). Range scans and snapshots
+    /// route through this instead of filtering every entry — and at
+    /// `ts == MAX` they skip the historical region entirely, so a
+    /// current-time scan's per-node cost no longer grows with migrated
+    /// history.
+    pub fn current_children_overlapping(&self, range: &KeyRange) -> &[IndexEntry] {
+        let current = self.current_region();
+        let end = current.partition_point(|e| range.hi.is_above(&e.key_range.lo));
+        let mut start = current[..end].partition_point(|e| e.key_range.lo <= range.lo);
+        if start > 0 && current[start - 1].key_range.overlaps(range) {
+            start -= 1;
+        }
+        &current[start.min(end)..end]
+    }
+
     /// All entries overlapping the query rectangle, used by range scans and
     /// snapshots.
     pub fn children_overlapping(

@@ -19,7 +19,7 @@
 
 use tsb_common::encode::size;
 use tsb_common::{Key, KeyRange, TimeRange, Timestamp, TsbError, TsbResult, Version};
-use tsb_storage::PageId;
+use tsb_storage::{PageId, PageOp};
 
 use crate::node::{DataNode, IndexEntry, IndexNode, Node, NodeAddr};
 use crate::split::{
@@ -130,6 +130,12 @@ impl TsbTree {
         let result = self
             .insert_version_inner(version)
             .and_then(|()| self.wal_commit(fence_ts.unwrap_or_else(|| self.clock.now().prev())));
+        if result.is_err() {
+            // A recoverable failure (no structural write landed) may still
+            // have logged pending split deltas; disown them so the next
+            // fence supersedes them instead of making them replayable.
+            self.quarantine_pending_deltas();
+        }
         self.settle_structure_after(result.is_err());
         result
     }
@@ -181,12 +187,27 @@ impl TsbTree {
         let node = self.read_node(addr)?;
         match &*node {
             Node::Data(data) => {
+                // The whole mutation is this one version landing in this
+                // one leaf — exactly what a logical redo delta can say in
+                // tens of bytes. Built only when the WAL will consume it
+                // (the clone prices one version, not the page).
+                let ops = if self.logs_deltas() {
+                    vec![PageOp::InsertVersion(version.clone())]
+                } else {
+                    Vec::new()
+                };
                 let mut data = data.clone();
                 data.insert(version)?;
                 if data.encoded_size() <= self.split_threshold() {
-                    self.write_current(page, Node::Data(data))?;
+                    self.write_current_delta(page, Node::Data(data), ops)?;
                     Ok(InsertOutcome::Fit)
                 } else {
+                    // The split's own deltas describe partitions of the
+                    // *post-insert* node, so the insert must be in the log
+                    // first (as a pending delta of the in-flight state).
+                    if self.pending_ops_allowed(page) {
+                        self.wal_append_ops(page, ops)?;
+                    }
                     let entries = self.split_data_node(data, page, false)?;
                     Ok(InsertOutcome::Split(entries))
                 }
@@ -209,11 +230,24 @@ impl TsbTree {
                     InsertOutcome::Fit => Ok(InsertOutcome::Fit),
                     InsertOutcome::Split(replacements) => {
                         let mut index = index.clone();
+                        // A child replacement is a content edit of this
+                        // index page: one compact delta instead of
+                        // re-imaging the whole (typically fullest) node.
+                        let ops = if self.logs_deltas() {
+                            vec![PageOp::IndexReplaceChild {
+                                payload: super::encode_replace_child(&child, &replacements),
+                            }]
+                        } else {
+                            Vec::new()
+                        };
                         index.replace_child(&child, replacements)?;
                         if index.encoded_size() <= self.split_threshold() {
-                            self.write_current(page, Node::Index(index))?;
+                            self.write_current_delta(page, Node::Index(index), ops)?;
                             Ok(InsertOutcome::Fit)
                         } else {
+                            if self.pending_ops_allowed(page) {
+                                self.wal_append_ops(page, ops)?;
+                            }
                             let entries = self.split_index_node(index, page, false)?;
                             Ok(InsertOutcome::Split(entries))
                         }
@@ -324,9 +358,26 @@ impl TsbTree {
         let right_page = self.allocate_page()?;
         self.note_structural_write();
 
+        // The old page keeps the low half: derivable from its logged state,
+        // so a delta suffices. The new page has no logged base (fresh or
+        // recycled), so its op is moot — first touch logs the full image.
         let mut out = Vec::new();
-        out.extend(self.place_data_node(left, page)?);
-        out.extend(self.place_data_node(right, right_page)?);
+        out.extend(self.place_data_node(
+            left,
+            page,
+            Some(PageOp::DataKeySplit {
+                split_key: split_key.clone(),
+                keep_low: true,
+            }),
+        )?);
+        out.extend(self.place_data_node(
+            right,
+            right_page,
+            Some(PageOp::DataKeySplit {
+                split_key,
+                keep_low: false,
+            }),
+        )?);
         Ok(out)
     }
 
@@ -367,9 +418,12 @@ impl TsbTree {
             parts.current,
         );
 
+        // The survivor is a pure partition of the (already logged) overflowing
+        // node: one tiny delta carries the whole rewrite.
+        let op = PageOp::DataTimeSplit { split_time };
         let mut out = vec![hist_entry];
         if current.encoded_size() <= self.split_threshold() {
-            self.write_current(page, Node::Data(current))?;
+            self.write_current_delta(page, Node::Data(current), vec![op])?;
             out.push(IndexEntry::new(
                 node.key_range,
                 TimeRange::new(split_time, node.time_range.hi),
@@ -378,23 +432,41 @@ impl TsbTree {
         } else {
             // Still too big (lots of live data): follow with a further split
             // of the surviving current node — the WOBT's "split by key value
-            // and current time" corresponds to this path.
+            // and current time" corresponds to this path. The follow-up
+            // split's deltas partition the *survivor*, so the time split
+            // goes into the log first as a pending delta.
+            if self.pending_ops_allowed(page) {
+                self.wal_append_ops(page, vec![op])?;
+            }
             out.extend(self.split_data_node(current, page, !shrank)?);
         }
         Ok(out)
     }
 
-    /// Writes a data node to `page`, splitting it further if it does not fit.
-    fn place_data_node(&self, node: DataNode, page: PageId) -> TsbResult<Vec<IndexEntry>> {
+    /// Writes a data node to `page`, splitting it further if it does not
+    /// fit. `op` is the logical delta describing how the node was derived
+    /// from the page's previous (logged) state, when it was; pages with no
+    /// logged base ignore it and log a full image on first touch.
+    fn place_data_node(
+        &self,
+        node: DataNode,
+        page: PageId,
+        op: Option<PageOp>,
+    ) -> TsbResult<Vec<IndexEntry>> {
         if node.encoded_size() <= self.split_threshold() {
             let entry = IndexEntry::new(
                 node.key_range.clone(),
                 node.time_range,
                 NodeAddr::Current(page),
             );
-            self.write_current(page, Node::Data(node))?;
+            self.write_current_delta(page, Node::Data(node), op.into_iter().collect())?;
             Ok(vec![entry])
         } else {
+            if let Some(op) = op {
+                if self.pending_ops_allowed(page) {
+                    self.wal_append_ops(page, vec![op])?;
+                }
+            }
             self.split_data_node(node, page, false)
         }
     }
@@ -494,8 +566,22 @@ impl TsbTree {
         self.note_structural_write();
 
         let mut out = Vec::new();
-        out.extend(self.place_index_node(left, page)?);
-        out.extend(self.place_index_node(right, right_page)?);
+        out.extend(self.place_index_node(
+            left,
+            page,
+            Some(PageOp::IndexKeySplit {
+                split_key: split_key.clone(),
+                keep_low: true,
+            }),
+        )?);
+        out.extend(self.place_index_node(
+            right,
+            right_page,
+            Some(PageOp::IndexKeySplit {
+                split_key,
+                keep_low: false,
+            }),
+        )?);
         Ok(out)
     }
 
@@ -537,31 +623,46 @@ impl TsbTree {
             parts.current,
         );
 
+        let op = PageOp::IndexTimeSplit { split_time: t };
         let mut out = vec![hist_entry];
         if current.encoded_size() <= self.split_threshold() {
-            self.write_current(page, Node::Index(current))?;
+            self.write_current_delta(page, Node::Index(current), vec![op])?;
             out.push(IndexEntry::new(
                 node.key_range,
                 TimeRange::new(t, node.time_range.hi),
                 NodeAddr::Current(page),
             ));
         } else {
+            if self.pending_ops_allowed(page) {
+                self.wal_append_ops(page, vec![op])?;
+            }
             out.extend(self.split_index_node(current, page, !shrank)?);
         }
         Ok(out)
     }
 
-    /// Writes an index node to `page`, splitting further if needed.
-    fn place_index_node(&self, node: IndexNode, page: PageId) -> TsbResult<Vec<IndexEntry>> {
+    /// Writes an index node to `page`, splitting further if needed. `op`
+    /// as in [`Self::place_data_node`].
+    fn place_index_node(
+        &self,
+        node: IndexNode,
+        page: PageId,
+        op: Option<PageOp>,
+    ) -> TsbResult<Vec<IndexEntry>> {
         if node.encoded_size() <= self.split_threshold() {
             let entry = IndexEntry::new(
                 node.key_range.clone(),
                 node.time_range,
                 NodeAddr::Current(page),
             );
-            self.write_current(page, Node::Index(node))?;
+            self.write_current_delta(page, Node::Index(node), op.into_iter().collect())?;
             Ok(vec![entry])
         } else {
+            if let Some(op) = op {
+                if self.pending_ops_allowed(page) {
+                    self.wal_append_ops(page, vec![op])?;
+                }
+            }
             self.split_index_node(node, page, false)
         }
     }

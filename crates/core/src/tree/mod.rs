@@ -17,7 +17,7 @@ pub mod insert;
 pub mod scan;
 pub mod search;
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::ops::Deref;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -26,14 +26,14 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use tsb_common::encode::{ByteReader, ByteWriter};
-use tsb_common::{LogicalClock, Timestamp, TsbConfig, TsbError, TsbResult};
+use tsb_common::{LogicalClock, Timestamp, TsbConfig, TsbError, TsbResult, WalMode};
 use tsb_storage::{
-    BufferPool, CostModel, HistAddr, IoStats, Lsn, MagneticStore, PageId, SpaceSnapshot, Wal,
-    WalPageTable, WalRecord, WalScan, WormStore,
+    BufferPool, CostModel, HistAddr, IoStats, Lsn, MagneticStore, PageId, PageOp, SpaceSnapshot,
+    Wal, WalPageTable, WalRecord, WalScan, WormStore,
 };
 
 use crate::cache::NodeCache;
-use crate::node::{DataNode, IndexNode, Node, NodeAddr};
+use crate::node::{DataNode, IndexEntry, IndexNode, Node, NodeAddr};
 use crate::txn::TxnTable;
 
 const META_MAGIC: u64 = 0x5453_4254_5245_4531; // "TSBTREE1"
@@ -58,13 +58,174 @@ pub(crate) struct Durability {
     /// write-back site (shared with the buffer pool, which runs the
     /// flushed-LSN rule through it before any device page write).
     pages: Arc<WalPageTable>,
-    /// WORM device length known to be on stable storage. A commit fence
-    /// whose mutation grew the WORM past this must sync the WORM device
-    /// first (under *every* fsync policy), or the commit — fsynced
-    /// directly, or dragged to stable storage by the flushed-LSN barrier
-    /// before a page write-back — could outlive the history it
-    /// references.
-    worm_synced: AtomicU64,
+    /// WORM device length known to be on stable storage (shared with the
+    /// WAL's pre-sync hook). No commit record may become *durable* while
+    /// it references history past this mark, or the commit could outlive
+    /// the history it points at; the WAL's pre-sync hook restores the
+    /// invariant at exactly the moments commits become durable — before
+    /// every log fsync (policy-triggered, flushed-LSN barrier, or
+    /// checkpoint) — instead of charging every migrating commit an eager
+    /// WORM fsync under `Os`/`EveryN`.
+    worm_synced: Arc<AtomicU64>,
+    /// The `(root, next txn id)` carried by the newest fence record whose
+    /// metadata was written out in full. A commit whose state is fully
+    /// predictable from it — same root, same txn counter, clock following
+    /// the commit timestamp — elides its metadata payload (recovery
+    /// re-derives it), shaving a third off the steady-state commit record.
+    /// `None` until the current log generation holds a full-meta fence.
+    last_fence: Mutex<Option<(NodeAddr, u64)>>,
+    /// Pages that received mid-split *pending* deltas
+    /// ([`TsbTree::wal_append_ops`]) during the current mutation. Cleared
+    /// at the commit fence (success: the split's later records composed
+    /// with them); on failure they move to [`Self::needs_reimage`] — the
+    /// deltas are then *phantoms*, describing state the mutation rolled
+    /// back.
+    pending_delta_pages: Mutex<HashSet<PageId>>,
+    /// Pages whose newest logged records are phantom deltas from a failed
+    /// (but non-poisoning) mutation. The next commit fence must supersede
+    /// each with a full image of the page's true state *before* the fence
+    /// makes the phantoms replayable — otherwise recovery would apply a
+    /// change the caller was told failed.
+    needs_reimage: Mutex<HashSet<PageId>>,
+}
+
+/// A page being rebuilt by recovery's replay: the newest logged image,
+/// decoded lazily — only when a delta actually has to be applied, so
+/// pages whose last record is an image (structural rewrites, ImagesOnly
+/// mode) are restored without a decode/encode round trip.
+enum ReplayPage {
+    /// The image bytes as logged; no delta has touched them yet.
+    Raw(Vec<u8>),
+    /// The decoded node with at least one delta applied.
+    Decoded(Node),
+}
+
+impl ReplayPage {
+    /// Re-applies one logged delta, decoding the base image on first use.
+    ///
+    /// Content ops replay as slot assignments; structural ops re-run the
+    /// same pure partition functions the forward split path ran, against
+    /// the identical node state the log has rebuilt, so they land on the
+    /// identical outcome.
+    fn apply(&mut self, op: &PageOp) -> TsbResult<()> {
+        if let ReplayPage::Raw(bytes) = self {
+            *self = ReplayPage::Decoded(Node::decode(bytes)?);
+        }
+        let ReplayPage::Decoded(node) = self else {
+            unreachable!("Raw was just decoded");
+        };
+        fn data_op(node: &mut Node) -> TsbResult<&mut DataNode> {
+            match node {
+                Node::Data(data) => Ok(data),
+                Node::Index(_) => Err(TsbError::corruption("WAL data delta targets an index node")),
+            }
+        }
+        fn index_op(node: &mut Node) -> TsbResult<&mut IndexNode> {
+            match node {
+                Node::Index(index) => Ok(index),
+                Node::Data(_) => Err(TsbError::corruption("WAL index delta targets a data node")),
+            }
+        }
+        match op {
+            PageOp::InsertVersion(version) => data_op(node)?.insert(version.clone()),
+            PageOp::RemoveUncommitted { key, txn } => {
+                data_op(node)?.remove_uncommitted(key, *txn);
+                Ok(())
+            }
+            PageOp::DataTimeSplit { split_time } => {
+                let data = data_op(node)?;
+                let parts = crate::split::partition_by_time(data.entries(), *split_time);
+                *data = DataNode::from_entries(
+                    data.key_range.clone(),
+                    tsb_common::TimeRange::new(*split_time, data.time_range.hi),
+                    parts.current,
+                );
+                Ok(())
+            }
+            PageOp::DataKeySplit {
+                split_key,
+                keep_low,
+            } => {
+                let data = data_op(node)?;
+                let (left, right) = crate::split::partition_by_key(data.entries(), split_key);
+                let (left_range, right_range) =
+                    data.key_range.split_at(split_key).ok_or_else(|| {
+                        TsbError::corruption("WAL key-split delta outside the node key range")
+                    })?;
+                *data = if *keep_low {
+                    DataNode::from_entries(left_range, data.time_range, left)
+                } else {
+                    DataNode::from_entries(right_range, data.time_range, right)
+                };
+                Ok(())
+            }
+            PageOp::IndexTimeSplit { split_time } => {
+                let index = index_op(node)?;
+                let parts = crate::split::partition_index_by_time(index.entries(), *split_time);
+                *index = IndexNode::from_entries(
+                    index.key_range.clone(),
+                    tsb_common::TimeRange::new(*split_time, index.time_range.hi),
+                    parts.current,
+                );
+                Ok(())
+            }
+            PageOp::IndexKeySplit {
+                split_key,
+                keep_low,
+            } => {
+                let index = index_op(node)?;
+                let parts = crate::split::partition_index_by_key(index.entries(), split_key);
+                let (left_range, right_range) =
+                    index.key_range.split_at(split_key).ok_or_else(|| {
+                        TsbError::corruption("WAL index key-split delta outside the node key range")
+                    })?;
+                *index = if *keep_low {
+                    IndexNode::from_entries(left_range, index.time_range, parts.left)
+                } else {
+                    IndexNode::from_entries(right_range, index.time_range, parts.right)
+                };
+                Ok(())
+            }
+            PageOp::IndexReplaceChild { payload } => {
+                let index = index_op(node)?;
+                let (old_child, replacements) = decode_replace_child(payload)?;
+                index.replace_child(&old_child, replacements)
+            }
+        }
+    }
+
+    /// The page's final image for [`MagneticStore::restore`].
+    fn into_bytes(self) -> Vec<u8> {
+        match self {
+            ReplayPage::Raw(bytes) => bytes,
+            ReplayPage::Decoded(node) => node.encode(),
+        }
+    }
+}
+
+/// Encodes the payload of a [`PageOp::IndexReplaceChild`] delta: the old
+/// child address followed by the replacement entries. Opaque to
+/// `tsb-storage` (like `Commit.meta`); only this module and
+/// [`decode_replace_child`] know the layout.
+pub(crate) fn encode_replace_child(old_child: &NodeAddr, replacements: &[IndexEntry]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    old_child.encode(&mut w);
+    w.put_u32(replacements.len() as u32);
+    for entry in replacements {
+        entry.encode(&mut w);
+    }
+    w.into_vec()
+}
+
+fn decode_replace_child(payload: &[u8]) -> TsbResult<(NodeAddr, Vec<IndexEntry>)> {
+    let mut r = ByteReader::new(payload);
+    let old_child = NodeAddr::decode(&mut r)?;
+    let count = r.get_u32()? as usize;
+    let mut replacements = Vec::with_capacity(count);
+    for _ in 0..count {
+        replacements.push(IndexEntry::decode(&mut r)?);
+    }
+    Ok((old_child, replacements))
 }
 
 /// The Time-Split B-tree: a single integrated index over a multiversion
@@ -220,7 +381,7 @@ impl TsbTree {
         let meta_page = magnetic.allocate()?;
         let root_page = magnetic.allocate()?;
         let root = NodeAddr::Current(root_page);
-        let durability = wal.map(|wal| Self::attach_wal(wal, &pool, meta_page));
+        let durability = wal.map(|wal| Self::attach_wal(wal, &pool, &worm, meta_page));
 
         let tree = TsbTree {
             cfg,
@@ -248,18 +409,41 @@ impl TsbTree {
 
     /// Builds the [`Durability`] state for a WAL-attached tree: exempts the
     /// metadata page (its content is reconstructed from commit records, not
-    /// page images) and installs the dirty-page table into the buffer pool
-    /// so its write-back sites can assert the WAL-before-page ordering.
-    fn attach_wal(wal: Wal, pool: &BufferPool, meta_page: PageId) -> Durability {
+    /// page images), installs the dirty-page table into the buffer pool so
+    /// its write-back sites can assert the WAL-before-page ordering, and
+    /// hooks the WORM settle-before-durability rule into the log's fsync
+    /// path (see [`Durability::worm_synced`]).
+    fn attach_wal(
+        wal: Wal,
+        pool: &BufferPool,
+        worm: &Arc<WormStore>,
+        meta_page: PageId,
+    ) -> Durability {
         let wal = Arc::new(wal);
         let pages = Arc::new(WalPageTable::new());
         pages.exempt(meta_page);
         pages.attach_wal(Arc::clone(&wal));
         pool.set_wal_table(Arc::clone(&pages));
+        let worm_synced = Arc::new(AtomicU64::new(0));
+        {
+            let worm = Arc::clone(worm);
+            let synced = Arc::clone(&worm_synced);
+            wal.set_pre_sync_hook(Box::new(move || {
+                let len = worm.device_bytes();
+                if len > synced.load(Ordering::Acquire) {
+                    worm.sync()?;
+                    synced.store(len, Ordering::Release);
+                }
+                Ok(())
+            }));
+        }
         Durability {
             wal,
             pages,
-            worm_synced: AtomicU64::new(0),
+            worm_synced,
+            last_fence: Mutex::new(None),
+            pending_delta_pages: Mutex::new(HashSet::new()),
+            needs_reimage: Mutex::new(HashSet::new()),
         }
     }
 
@@ -457,13 +641,17 @@ impl TsbTree {
             .records
             .iter()
             .rposition(|(_, r)| matches!(r, WalRecord::Checkpoint { .. }));
-        let mut cut_meta: Option<Vec<u8>> = match chk_idx.map(|i| &scan.records[i].1) {
-            Some(WalRecord::Checkpoint { meta, .. }) => Some(meta.clone()),
-            Some(_) => unreachable!("rposition matched a checkpoint"),
-            None => None,
-        };
+        let mut cut_state: Option<(NodeAddr, Timestamp, u64)> =
+            match chk_idx.map(|i| &scan.records[i].1) {
+                Some(WalRecord::Checkpoint { meta, .. }) => Some(Self::decode_meta(meta)?),
+                Some(_) => unreachable!("rposition matched a checkpoint"),
+                None => None,
+            };
         // 2. Cut: the longest post-base prefix of commits whose WORM
-        //    history survived.
+        //    history survived. A commit with an elided (empty) metadata
+        //    payload inherits root and txn counter from the previous fence
+        //    and derives its clock from its own timestamp — exactly the
+        //    predictability `wal_commit` checked before eliding.
         let replay_from = chk_idx.map(|i| i + 1).unwrap_or(0);
         let worm_len_actual = worm.device_bytes();
         let mut cut_idx = None;
@@ -473,27 +661,58 @@ impl TsbTree {
                 if *worm_len > worm_len_actual {
                     break;
                 }
+                let state = if meta.is_empty() {
+                    let (root, _, next_txn) = cut_state.ok_or_else(|| {
+                        TsbError::corruption(
+                            "WAL commit with elided metadata has no prior fence to inherit from",
+                        )
+                    })?;
+                    (root, Timestamp(*ts).next(), next_txn)
+                } else {
+                    Self::decode_meta(meta)?
+                };
                 cut_idx = Some(idx);
                 cut_ts = Some(Timestamp(*ts));
-                cut_meta = Some(meta.clone());
+                cut_state = Some(state);
             }
         }
-        let cut_meta = cut_meta.ok_or_else(|| {
+        let cut_state = cut_state.ok_or_else(|| {
             TsbError::corruption(
                 "write-ahead log has no usable fence (no checkpoint, and no commit \
                  whose WORM history survived); nothing was ever durable",
             )
         })?;
-        // 3. Repeat history up to the cut.
+        // 3. Repeat history up to the cut: collect each page's newest
+        //    logged image, re-apply its deltas in LSN order, and install
+        //    the final state. Deltas never read the device — the
+        //    first-touch rule guarantees an in-log image precedes every
+        //    delta of its page within the generation, so a torn or
+        //    never-flushed device page can't poison replay.
         if let Some(cut_idx) = cut_idx {
+            let mut replayed: HashMap<PageId, ReplayPage> = HashMap::new();
             for (_, record) in &scan.records[replay_from..=cut_idx] {
-                if let WalRecord::PageImage { page, bytes } = record {
-                    magnetic.restore(*page, bytes)?;
+                match record {
+                    WalRecord::PageImage { page, bytes } => {
+                        replayed.insert(*page, ReplayPage::Raw(bytes.clone()));
+                    }
+                    WalRecord::PageDelta { page, op } => {
+                        let state = replayed.get_mut(page).ok_or_else(|| {
+                            TsbError::corruption(format!(
+                                "WAL delta for page {page} precedes the page's image \
+                                 in this log generation (first-touch rule violated)"
+                            ))
+                        })?;
+                        state.apply(op)?;
+                    }
+                    WalRecord::Commit { .. } | WalRecord::Checkpoint { .. } => {}
                 }
+            }
+            for (page, state) in replayed {
+                magnetic.restore(page, &state.into_bytes())?;
             }
         }
         // 4. Install the cut's metadata.
-        let (root, clock_next, next_txn) = Self::decode_meta(&cut_meta)?;
+        let (root, clock_next, next_txn) = cut_state;
         let meta_page = magnetic
             .allocated_page_ids()
             .into_iter()
@@ -505,7 +724,7 @@ impl TsbTree {
         let cost = CostModel::new(cfg.cost);
         let clock = LogicalClock::starting_at(clock_next);
         let recovered_to = cut_ts.unwrap_or_else(|| clock_next.prev());
-        let durability = Some(Self::attach_wal(wal, &pool, meta_page));
+        let durability = Some(Self::attach_wal(wal, &pool, &worm, meta_page));
 
         let tree = TsbTree {
             cfg,
@@ -780,9 +999,18 @@ impl TsbTree {
             d.wal.reset_with(&record).inspect_err(|_| {
                 self.poisoned.store(true, Ordering::Release);
             })?;
-            // Everything the devices held is now stable; the replaced
-            // log's pre-fence page coverage is obsolete but harmless (the
-            // table only gates write-backs, which the flush just drained).
+            // A fresh log generation holds no page bases: the first-touch
+            // set resets so every page logs a full image again before its
+            // next delta, and the write-back coverage map starts over (the
+            // flush above drained every dirty page).
+            d.pages.begin_interval();
+            // The log reset obsoleted any quarantined phantoms along with
+            // everything else pre-fence.
+            d.needs_reimage.lock().clear();
+            d.pending_delta_pages.lock().clear();
+            // The checkpoint is a full-meta fence: later commits may elide
+            // their metadata against it.
+            *d.last_fence.lock() = Some((self.current_root(), self.txns.lock().next_id_value()));
             d.worm_synced.store(worm_len, Ordering::Release);
         }
         Ok(())
@@ -819,30 +1047,71 @@ impl TsbTree {
         let Some(d) = &self.durability else {
             return Ok(());
         };
+        // Neutralize phantoms quarantined by an earlier failed mutation
+        // *before* this fence makes them replayable: each page gets a full
+        // image of its true current state, which supersedes the phantom
+        // deltas at replay (a later image always wins). Pages a successful
+        // write already re-imaged (their first touch after the quarantine)
+        // need nothing. The set is only emptied after every corrective
+        // image landed, so an error here retries at the next fence.
+        let stale: Vec<PageId> = d.needs_reimage.lock().iter().copied().collect();
+        if !stale.is_empty() {
+            for &page in &stale {
+                if d.pages.is_imaged(page) {
+                    continue;
+                }
+                let node = self.read_node(NodeAddr::Current(page))?;
+                let record = WalRecord::PageImage {
+                    page,
+                    bytes: node.encode(),
+                };
+                let lsn = self.wal_append(&record)?;
+                d.pages.record(page, lsn);
+                d.pages.first_touch(page);
+            }
+            let mut set = d.needs_reimage.lock();
+            for page in &stale {
+                set.remove(page);
+            }
+        }
+        // This mutation reached its fence: its pending deltas (if any)
+        // composed with the split records that followed them.
+        d.pending_delta_pages.lock().clear();
         let worm_len = self.worm.device_bytes();
         // If this mutation migrated history, the WORM bytes must be stable
-        // *before* a commit record referencing them can be — under every
-        // fsync policy, not just the ones that fsync the commit itself.
-        // For `Always` the reason is the acknowledgement contract: a power
-        // failure after the commit's fsync but before the OS flushed the
-        // WORM tail would force recovery to cut before this commit. For
-        // `EveryN`/`Os` the reason is device consistency: the flushed-LSN
-        // barrier forces the *WAL* (not the WORM) before page write-backs,
-        // so without this sync the device could hold page images from a
-        // commit whose WORM history was lost — a commit past the replay
-        // cut, whose surviving device pages (dangling historical
-        // addresses) replay has no image in [base, cut] to overwrite.
-        // Syncing here restores the invariant that any commit in the
-        // durable log has its history intact, so the cut always covers
-        // whatever reached the page device.
-        if worm_len > d.worm_synced.load(Ordering::Acquire) {
-            self.worm.sync()?;
-            d.worm_synced.store(worm_len, Ordering::Release);
-        }
+        // before a commit record referencing them can be *durable* — under
+        // every fsync policy. For `Always` the reason is the
+        // acknowledgement contract: a power failure after the commit's
+        // fsync but before the OS flushed the WORM tail would force
+        // recovery to cut before this commit. For `EveryN`/`Os` the reason
+        // is device consistency: the flushed-LSN barrier forces the *WAL*
+        // (not the WORM) before page write-backs, so the page device could
+        // otherwise hold images from a commit whose WORM history was lost.
+        // The WAL's pre-sync hook (installed by `attach_wal`) settles the
+        // WORM immediately before *every* fsync of the log — the only
+        // moments a commit record can become durable — so an `Os` or
+        // mid-group `EveryN` commit no longer pays an eager WORM fsync
+        // here; `Always` pays it inside its own commit fsync, as before.
+        // Elide the metadata payload when recovery can re-derive it from
+        // the previous fence: same root, same txn counter, and the logical
+        // clock sitting exactly one past the commit timestamp (true for
+        // every plain insert/delete/commit; an out-of-order `insert_at`
+        // leaves the clock ahead and falls back to full metadata).
+        let root = self.current_root();
+        let next_txn = self.txns.lock().next_id_value();
+        let meta = {
+            let mut last = d.last_fence.lock();
+            if self.clock.now() == ts.next() && *last == Some((root, next_txn)) {
+                Vec::new()
+            } else {
+                *last = Some((root, next_txn));
+                self.encode_meta_bytes()
+            }
+        };
         let record = WalRecord::Commit {
             ts: ts.value(),
             worm_len,
-            meta: self.encode_meta_bytes(),
+            meta,
         };
         self.wal_append(&record)?;
         while let Some((page, node)) = self.cache.any_dirty_overflow_victim() {
@@ -940,11 +1209,104 @@ impl TsbTree {
         }
     }
 
-    /// Installs the newest version of a current node. The node goes into
-    /// the decoded-node cache marked dirty; the encode into its page image
-    /// is deferred until the entry is evicted or the tree flushes, so a hot
-    /// leaf rewritten many times between flushes encodes once.
+    /// Whether content-only rewrites on this tree should describe
+    /// themselves as logical [`PageOp`] deltas for the redo log. Callers
+    /// on the hot path use this to skip building the ops (and the version
+    /// clone they cost) entirely when nothing would consume them.
+    pub(crate) fn logs_deltas(&self) -> bool {
+        self.durability.is_some() && self.cfg.wal_mode == WalMode::Hybrid
+    }
+
+    /// Whether a *pending* delta for `page` — one logged mid-split, before
+    /// the page's final node is installed — would have a base to apply to.
+    /// False when the page has no image in the current log generation: the
+    /// pending op is then skipped entirely, because the page's next full
+    /// write will first-touch an image that subsumes it.
+    pub(crate) fn pending_ops_allowed(&self, page: PageId) -> bool {
+        match &self.durability {
+            Some(d) => self.logs_deltas() && d.pages.is_imaged(page),
+            None => false,
+        }
+    }
+
+    /// Appends standalone delta records for `page` without installing a
+    /// node — the split path's way of logging an in-flight intermediate
+    /// state (the triggering insert, a survivor partition) that the next
+    /// delta of the same mutation builds on. Caller contract: the page's
+    /// logged state ⊕ `ops` equals the in-memory node the next logged
+    /// record assumes, and [`Self::pending_ops_allowed`] returned true.
+    pub(crate) fn wal_append_ops(&self, page: PageId, ops: Vec<PageOp>) -> TsbResult<()> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        // Tracked before the append: should the mutation die anywhere past
+        // this point without poisoning the tree, these records are
+        // phantoms and must be superseded before the next fence (see
+        // [`Self::quarantine_pending_deltas`]).
+        d.pending_delta_pages.lock().insert(page);
+        for op in ops {
+            let record = WalRecord::PageDelta { page, op };
+            let lsn = self.wal_append(&record)?;
+            d.pages.record(page, lsn);
+        }
+        Ok(())
+    }
+
+    /// Disowns the current mutation's pending deltas after it failed
+    /// without poisoning the tree — a split that errored in pure planning
+    /// or allocation *after* its triggering delta was already logged. The
+    /// in-memory tree rolled the mutation back (all work happened on
+    /// clones), but the log now ends in deltas describing state that never
+    /// happened; once any later commit fences them, recovery would replay
+    /// them. Each such page loses its delta base (next write logs a full
+    /// image) and is queued for a corrective image at the next fence, so
+    /// the phantoms are superseded before they can ever become replayable.
+    pub(crate) fn quarantine_pending_deltas(&self) {
+        let Some(d) = &self.durability else {
+            return;
+        };
+        let mut pending = d.pending_delta_pages.lock();
+        if pending.is_empty() {
+            return;
+        }
+        let mut stale = d.needs_reimage.lock();
+        for page in pending.drain() {
+            d.pages.unimage(page);
+            stale.insert(page);
+        }
+    }
+
+    /// Installs the newest version of a current node after a **structural**
+    /// rewrite (split piece, migration survivor, root growth, node
+    /// initialization, wholesale repair): the redo log always receives the
+    /// full page image. Content-only rewrites should use
+    /// [`Self::write_current_delta`] instead.
     pub(crate) fn write_current(&self, page: PageId, node: Node) -> TsbResult<()> {
+        self.write_current_inner(page, node, Vec::new())
+    }
+
+    /// Installs the newest version of a current node after a
+    /// **content-only** rewrite fully described by `ops` (the logical redo
+    /// deltas that turn the node's previous state into `node`). Under
+    /// [`WalMode::Hybrid`], the first dirtying of the page per checkpoint
+    /// interval still logs the full image (the replay base); every later
+    /// call logs only `ops` — tens of bytes instead of a page. `ops` may
+    /// be empty on non-durable or [`WalMode::ImagesOnly`] trees (see
+    /// [`Self::logs_deltas`]).
+    pub(crate) fn write_current_delta(
+        &self,
+        page: PageId,
+        node: Node,
+        ops: Vec<PageOp>,
+    ) -> TsbResult<()> {
+        self.write_current_inner(page, node, ops)
+    }
+
+    /// Shared write-install path. The node goes into the decoded-node
+    /// cache marked dirty; the encode into its page image is deferred
+    /// until the entry is evicted or the tree flushes, so a hot leaf
+    /// rewritten many times between flushes encodes once.
+    fn write_current_inner(&self, page: PageId, node: Node, ops: Vec<PageOp>) -> TsbResult<()> {
         let size = node.encoded_size();
         if size > self.page_capacity() {
             return Err(TsbError::internal(format!(
@@ -953,20 +1315,65 @@ impl TsbTree {
                 self.page_capacity()
             )));
         }
-        // WAL-before-page: the image goes into the redo log *before* the
-        // cache may hold the node dirty. If the append fails nothing has
+        // WAL-before-page: the redo record(s) go into the log *before* the
+        // cache may hold the node dirty. If an append fails nothing has
         // changed in memory, so the error is clean (though the tree is
-        // poisoned — the log device is gone). This encode is in addition
-        // to the deferred one at write-back; durability pays it once per
-        // mutation by design (E12 prices it), where fusing the two would
-        // tie the cache's lifetime to the log's.
+        // poisoned — the log device is gone).
+        //
+        // First-touch rule: a page's first dirtying per checkpoint
+        // interval logs its full image whatever the caller offered —
+        // recovery replays deltas against in-log images only, never the
+        // (possibly torn, possibly never-written) device page. After that,
+        // a content-only rewrite with ops logs just the deltas; the full
+        // encode this path used to pay per mutation happens only on first
+        // touch and structural rewrites.
         if let Some(d) = &self.durability {
-            let record = WalRecord::PageImage {
-                page,
-                bytes: node.encode(),
-            };
-            let lsn = self.wal_append(&record)?;
-            d.pages.record(page, lsn);
+            let first_touch = d.pages.first_touch(page);
+            if first_touch || ops.is_empty() || self.cfg.wal_mode == WalMode::ImagesOnly {
+                let record = WalRecord::PageImage {
+                    page,
+                    bytes: node.encode(),
+                };
+                let lsn = self.wal_append(&record)?;
+                d.pages.record(page, lsn);
+            } else {
+                // Caller contract, cross-checked in debug builds: the ops
+                // must derive `node` from the page's logged state. Checked
+                // only for pure content ops — there the logged state *is*
+                // the cached prior node; a split survivor's ops instead
+                // build on pending deltas logged mid-mutation
+                // ([`Self::wal_append_ops`]), which the cache never held.
+                #[cfg(debug_assertions)]
+                {
+                    let content_only = ops.iter().all(|op| {
+                        matches!(
+                            op,
+                            PageOp::InsertVersion(_)
+                                | PageOp::RemoveUncommitted { .. }
+                                | PageOp::IndexReplaceChild { .. }
+                        )
+                    });
+                    if content_only {
+                        if let Ok(prior) = self.read_node(NodeAddr::Current(page)) {
+                            let mut derived = ReplayPage::Decoded(Node::clone(&prior));
+                            let applied = ops.iter().try_for_each(|op| derived.apply(op));
+                            if let (Ok(()), ReplayPage::Decoded(derived)) = (applied, derived) {
+                                debug_assert_eq!(
+                                    derived, node,
+                                    "WAL delta contract violated for page {page}: the \
+                                     logged ops do not derive the installed node from \
+                                     its prior state"
+                                );
+                            }
+                        }
+                    }
+                }
+                for op in ops {
+                    let record = WalRecord::PageDelta { page, op };
+                    let lsn = self.wal_append(&record)?;
+                    d.pages.record(page, lsn);
+                }
+            }
         }
         self.cache.insert_dirty(page, Arc::new(node));
         // Bound the dirty residency: when this page's cache shard holds
@@ -1099,9 +1506,16 @@ impl TsbTree {
         Ok(())
     }
 
-    /// Allocates a fresh current page.
+    /// Allocates a fresh current page. Under durability, anything the WAL
+    /// page table knew about a recycled page is forgotten: its old image
+    /// is not a redo base for its new life, so the first write of new
+    /// content logs a fresh full image.
     pub(crate) fn allocate_page(&self) -> TsbResult<PageId> {
-        self.magnetic.allocate()
+        let page = self.magnetic.allocate()?;
+        if let Some(d) = &self.durability {
+            d.pages.forget(page);
+        }
+        Ok(page)
     }
 
     // ----- metadata -------------------------------------------------------
@@ -1275,6 +1689,59 @@ mod tests {
             "recovery aborts in-flight transactions"
         );
         tree.verify().unwrap();
+    }
+
+    #[test]
+    fn phantom_deltas_from_a_failed_mutation_never_reach_recovery() {
+        // A split can log its triggering delta as a *pending* record and
+        // then fail in pure planning or allocation — before any structural
+        // write, so the tree is not poisoned and keeps serving. Those
+        // deltas describe state the mutation rolled back; the next
+        // successful fence must supersede them with a corrective full
+        // image, or recovery would replay a change the caller was told
+        // failed. This drives the quarantine machinery directly (the
+        // failure window itself needs ENOSPC-grade faults to reach).
+        let dir = TempDir::new("wal-phantom");
+        let cfg = TsbConfig::small_pages();
+        {
+            let tree = TsbTree::open_durable(&dir.0, cfg.clone()).unwrap();
+            tree.insert_shared(1u64, b"real".to_vec()).unwrap();
+            let page = tree.root_addr().as_page().expect("root is a leaf page");
+            assert!(tree.pending_ops_allowed(page), "leaf has a delta base");
+            // The failed mutation: a pending delta lands in the log…
+            tree.wal_append_ops(
+                page,
+                vec![PageOp::InsertVersion(tsb_common::Version::committed(
+                    99u64,
+                    Timestamp(77),
+                    b"phantom".to_vec(),
+                ))],
+            )
+            .unwrap();
+            // …then the split dies without a structural write.
+            tree.quarantine_pending_deltas();
+            assert!(
+                !tree.pending_ops_allowed(page),
+                "a quarantined page loses its delta base"
+            );
+            // The next successful mutation fences; its corrective image
+            // must win over the phantom at replay.
+            tree.insert_shared(2u64, b"after".to_vec()).unwrap();
+        }
+        let tree = TsbTree::open_durable(&dir.0, cfg).unwrap();
+        tree.verify().unwrap();
+        assert!(
+            tree.get_current(&Key::from_u64(99)).unwrap().is_none(),
+            "the phantom version must not survive recovery"
+        );
+        assert_eq!(
+            tree.get_current(&Key::from_u64(1)).unwrap().unwrap(),
+            b"real".to_vec()
+        );
+        assert_eq!(
+            tree.get_current(&Key::from_u64(2)).unwrap().unwrap(),
+            b"after".to_vec()
+        );
     }
 
     #[test]

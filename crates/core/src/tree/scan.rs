@@ -40,24 +40,57 @@ impl TsbTree {
                 // key range are collected; at a fixed time the key ranges of
                 // the leaves containing that time are disjoint, so no leaf
                 // can contribute a stale answer for a key it does not own.
-                for key in data.distinct_keys() {
-                    if !range.contains(&key) || !data.key_range.contains(&key) {
-                        continue;
+                //
+                // Entries are sorted by (key, version order): binary-search
+                // to the query's start, then walk each key's contiguous
+                // version group once — no per-leaf key-list allocation, no
+                // per-key re-search of the whole node.
+                let entries = data.entries();
+                let mut i = entries.partition_point(|e| e.key < range.lo);
+                while i < entries.len() {
+                    let key = &entries[i].key;
+                    if !range.hi.is_above(key) {
+                        break;
                     }
-                    if let Some(v) = data.find_as_of(&key, ts) {
-                        if !v.is_tombstone() {
-                            if let Some(value) = &v.value {
-                                let value = value.clone();
-                                out.insert(key, value);
+                    let mut end = i + 1;
+                    while end < entries.len() && entries[end].key == *key {
+                        end += 1;
+                    }
+                    if data.key_range.contains(key) {
+                        // The governing version: newest commit at or below
+                        // `ts` within this key's group.
+                        let governing = entries[i..end]
+                            .iter()
+                            .rfind(|v| v.commit_time().map(|t| t <= ts).unwrap_or(false));
+                        if let Some(v) = governing {
+                            if !v.is_tombstone() {
+                                if let Some(value) = &v.value {
+                                    out.insert(key.clone(), value.clone());
+                                }
                             }
                         }
                     }
+                    i = end;
                 }
             }
             Node::Index(index) => {
-                for entry in index.entries() {
-                    if entry.key_range.overlaps(range) && entry.time_range.contains(ts) {
+                // Current children: one binary-searched contiguous run
+                // instead of a filter over every entry. The descent into an
+                // adjacent leaf therefore reuses this node's routing work —
+                // no per-key-group re-descent, no historical-region scan at
+                // all for a current-time query.
+                for entry in index.current_children_overlapping(range) {
+                    if entry.time_range.contains(ts) {
                         self.scan_node(entry.child, range, ts, visited, out)?;
+                    }
+                }
+                // Historical children can only govern past-time queries:
+                // their closed time ranges never contain MAX.
+                if ts != Timestamp::MAX {
+                    for entry in index.historical_region() {
+                        if entry.key_range.overlaps(range) && entry.time_range.contains(ts) {
+                            self.scan_node(entry.child, range, ts, visited, out)?;
+                        }
                     }
                 }
             }

@@ -20,6 +20,7 @@
 use std::collections::HashMap;
 
 use tsb_common::{Key, KeyRange, Timestamp, TsbError, TsbResult, TxnId, Version};
+use tsb_storage::PageOp;
 
 use crate::node::Node;
 use crate::tree::TsbTree;
@@ -241,8 +242,21 @@ impl TsbTree {
                     state: tsb_common::TsState::Committed(ts),
                     value: pending.value,
                 };
+                // Stamping one key = erase the uncommitted slot, install
+                // the committed one: two logical deltas, not a page image.
+                let ops = if self.logs_deltas() {
+                    vec![
+                        PageOp::RemoveUncommitted {
+                            key: key.clone(),
+                            txn,
+                        },
+                        PageOp::InsertVersion(committed.clone()),
+                    ]
+                } else {
+                    Vec::new()
+                };
                 leaf.insert(committed)?;
-                self.write_current(page, Node::Data(leaf))?;
+                self.write_current_delta(page, Node::Data(leaf), ops)?;
             }
             Ok(ts)
         })()
@@ -279,7 +293,15 @@ impl TsbTree {
                 let (page, leaf) = self.descend_to_current_leaf(&key)?;
                 let mut leaf = crate::node::DataNode::clone(&leaf);
                 if leaf.remove_uncommitted(&key, txn).is_some() {
-                    self.write_current(page, Node::Data(leaf))?;
+                    let ops = if self.logs_deltas() {
+                        vec![PageOp::RemoveUncommitted {
+                            key: key.clone(),
+                            txn,
+                        }]
+                    } else {
+                        Vec::new()
+                    };
+                    self.write_current_delta(page, Node::Data(leaf), ops)?;
                 }
             }
             Ok(())

@@ -55,5 +55,5 @@ pub use lru::LruList;
 pub use magnetic::MagneticStore;
 pub use page::{HistAddr, PageId};
 pub use stats::{IoSnapshot, IoStats};
-pub use wal::{Lsn, Wal, WalPageTable, WalRecord, WalScan};
+pub use wal::{Lsn, PageOp, Wal, WalPageTable, WalRecord, WalScan};
 pub use worm::{SectorId, WormStore};

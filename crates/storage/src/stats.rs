@@ -59,6 +59,9 @@ pub struct IoStats {
     pub wal_appends: AtomicU64,
     /// Fsyncs issued by the write-ahead log (commit-policy and checkpoint).
     pub wal_syncs: AtomicU64,
+    /// Bytes appended to the write-ahead log (frame bytes, including the
+    /// length/CRC header), the E12a `wal B/op` numerator.
+    pub wal_bytes_appended: AtomicU64,
 }
 
 impl IoStats {
@@ -157,6 +160,11 @@ impl IoStats {
         Self::bump(&self.wal_syncs, 1);
     }
 
+    /// Records `n` bytes appended to the WAL.
+    pub fn record_wal_bytes(&self, n: u64) {
+        Self::bump(&self.wal_bytes_appended, n);
+    }
+
     /// Takes a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -177,6 +185,7 @@ impl IoStats {
             node_encodes: self.node_encodes.load(Ordering::Relaxed),
             wal_appends: self.wal_appends.load(Ordering::Relaxed),
             wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
+            wal_bytes_appended: self.wal_bytes_appended.load(Ordering::Relaxed),
         }
     }
 
@@ -200,6 +209,7 @@ impl IoStats {
             &self.node_encodes,
             &self.wal_appends,
             &self.wal_syncs,
+            &self.wal_bytes_appended,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -243,6 +253,8 @@ pub struct IoSnapshot {
     pub wal_appends: u64,
     /// See [`IoStats::wal_syncs`].
     pub wal_syncs: u64,
+    /// See [`IoStats::wal_bytes_appended`].
+    pub wal_bytes_appended: u64,
 }
 
 impl IoSnapshot {
@@ -275,6 +287,9 @@ impl IoSnapshot {
             node_encodes: self.node_encodes.saturating_sub(earlier.node_encodes),
             wal_appends: self.wal_appends.saturating_sub(earlier.wal_appends),
             wal_syncs: self.wal_syncs.saturating_sub(earlier.wal_syncs),
+            wal_bytes_appended: self
+                .wal_bytes_appended
+                .saturating_sub(earlier.wal_bytes_appended),
         }
     }
 
@@ -308,7 +323,7 @@ impl fmt::Display for IoSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "magnetic r/w/alloc/free {}/{}/{}/{}  worm append/sector/read {}/{}/{}  cache hit/miss {}/{}  node accesses cur/hist {}/{}  node cache hit/miss {}/{}  decode/encode {}/{}  wal append/sync {}/{}",
+            "magnetic r/w/alloc/free {}/{}/{}/{}  worm append/sector/read {}/{}/{}  cache hit/miss {}/{}  node accesses cur/hist {}/{}  node cache hit/miss {}/{}  decode/encode {}/{}  wal append/sync/bytes {}/{}/{}",
             self.magnetic_reads,
             self.magnetic_writes,
             self.magnetic_allocs,
@@ -326,6 +341,7 @@ impl fmt::Display for IoSnapshot {
             self.node_encodes,
             self.wal_appends,
             self.wal_syncs,
+            self.wal_bytes_appended,
         )
     }
 }

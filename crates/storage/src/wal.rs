@@ -4,10 +4,13 @@
 //! WORM side is write-once hardware, so migrated history can never be lost,
 //! but the magnetic current database is rewritten in place and buffered in
 //! two volatile caches (the decoded-node cache and the buffer pool). This
-//! module closes that gap with a classic physical **redo log**: every new
-//! page image is appended here *before* the engine's caches may hold it
-//! dirty, so a crash can always be repaired by replaying the log over the
-//! magnetic store ("repeating history").
+//! module closes that gap with a **hybrid redo log**: the *first* dirtying
+//! of a page per checkpoint interval appends its full image here *before*
+//! the engine's caches may hold it dirty; every later content-only rewrite
+//! of the same page appends only a compact logical [`PageOp`] delta. A
+//! crash can always be repaired by replaying the images and re-applying
+//! the deltas, in LSN order, over the magnetic store ("repeating
+//! history").
 //!
 //! ## Record format
 //!
@@ -22,7 +25,17 @@
 //! kind 1  PageImage   payload = page: u64 | bytes (u32-len-prefixed)
 //! kind 2  Commit      payload = ts: u64 | worm_len: u64 | meta (u32-len-prefixed)
 //! kind 3  Checkpoint  payload = worm_len: u64 | meta (u32-len-prefixed)
+//! kind 4  PageDelta   payload = page: u64 | op (see PageOp::encode)
 //! ```
+//!
+//! A `PageDelta` is meaningful only relative to the page state built up by
+//! the records before it: within one log generation, the engine guarantees
+//! a `PageImage` of the page precedes the page's first delta (the
+//! first-touch rule), so replay never has to trust — or even read — the
+//! possibly-torn device image of a delta'd page. Deltas are *slot
+//! assignments* (insert-or-replace a version, remove an uncommitted
+//! version), so re-applying a replayed prefix over device state that
+//! already contains it is idempotent.
 //!
 //! `crc` is CRC-32 (IEEE polynomial) over the body. On reopen the file is
 //! scanned from the start; the first record whose length prefix runs past
@@ -55,15 +68,21 @@
 //! used as a cut (its index entries would dangle), so recovery stops at
 //! the last commit whose `worm_len` fits.
 //!
-//! ## Fsync policy (group commit)
+//! ## Group commit: one coalesced write per mutation
 //!
-//! Appends are always synchronous `write_all`s — the bytes are in the file
-//! (OS cache) before the caller proceeds, which is what the
-//! WAL-before-page ordering needs. [`tsb_common::FsyncPolicy`] chooses how
-//! often commit records additionally force the file to stable storage;
-//! checkpoints always do.
+//! Appends land in an in-process append buffer; the buffer is flushed to
+//! the file with a single `write_all` when a fence record (`Commit` /
+//! `Checkpoint`) is appended, when the flushed-LSN barrier or an fsync
+//! needs the bytes in the file, or when it outgrows
+//! [`APPEND_BUFFER_FLUSH_BYTES`]. One mutation — its page images, its
+//! deltas, and its commit fence — therefore issues **one** write syscall
+//! instead of one per record. Buffered bytes are always un-fenced (every
+//! fence append flushes), so a process crash loses nothing acknowledged:
+//! recovery's replay cut discards un-fenced records anyway.
+//! [`tsb_common::FsyncPolicy`] chooses how often commit records
+//! additionally force the file to stable storage; checkpoints always do.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -72,7 +91,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use tsb_common::encode::{ByteReader, ByteWriter};
-use tsb_common::{FsyncPolicy, TsbError, TsbResult};
+use tsb_common::{FsyncPolicy, Key, Timestamp, TsbError, TsbResult, TxnId, Version};
 
 use crate::fault::{CrashPoint, FaultInjector};
 use crate::page::PageId;
@@ -85,6 +104,162 @@ pub type Lsn = u64;
 /// Upper bound on a single record body. Anything larger in a length prefix
 /// is treated as a torn tail rather than an allocation request.
 const MAX_RECORD_BODY: u32 = 64 << 20;
+
+/// The append buffer is flushed to the file once it holds this many bytes,
+/// even mid-mutation, bounding the process memory a huge split can pin.
+const APPEND_BUFFER_FLUSH_BYTES: usize = 1 << 20;
+
+/// A compact logical redo operation against one data (leaf) node — the
+/// payload of a [`WalRecord::PageDelta`].
+///
+/// The content ops ([`InsertVersion`](Self::InsertVersion),
+/// [`RemoveUncommitted`](Self::RemoveUncommitted)) are *slot assignments*
+/// on the node's `(key, version-order)` entry map: applying one twice
+/// equals applying it once. The structural ops record the *outcome* of a
+/// split decision (the chosen split time or key); replay re-runs the same
+/// pure partition function the forward path ran, against the same node
+/// state the log rebuilt, so it reproduces the same result. Both families
+/// replay deterministically in LSN order against the page's last logged
+/// image — recovery never reads (or trusts) the device copy of a delta'd
+/// page.
+///
+/// Wholesale content that cannot be derived from the page's prior state —
+/// a freshly initialized node, a split piece landing on a new (or
+/// recycled) page, a recovery repair — is never expressed as an op; it
+/// logs a full [`WalRecord::PageImage`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PageOp {
+    /// Insert a version into the leaf, replacing any existing entry with
+    /// the same `(key, version order)` — the redo image of an insert,
+    /// update, logical delete (tombstone), uncommitted transactional
+    /// write, or commit-time stamping.
+    InsertVersion(Version),
+    /// Remove the uncommitted version of `key` written by `txn`, if
+    /// present — the redo image of a transaction abort and of the removal
+    /// half of commit-time stamping.
+    RemoveUncommitted {
+        /// The key whose uncommitted version is erased.
+        key: Key,
+        /// The transaction that wrote it.
+        txn: TxnId,
+    },
+    /// Data-node time split at `split_time`: the page keeps the split's
+    /// *current* partition (versions at or after the split time, the
+    /// rule-3 duplicates valid at it, and uncommitted entries) and its
+    /// time range now starts at `split_time`. The migrated half lives on
+    /// the WORM, which needs no redo.
+    DataTimeSplit {
+        /// The chosen split time.
+        split_time: Timestamp,
+    },
+    /// Data-node key split at `split_key`: the page keeps the low half
+    /// (`keep_low`) or the high half, and its key range shrinks to the
+    /// matching side. The other half's page logs its own image (it is a
+    /// fresh or recycled page with no usable base).
+    DataKeySplit {
+        /// The chosen split key.
+        split_key: Key,
+        /// Whether this page keeps the `< split_key` half.
+        keep_low: bool,
+    },
+    /// Index-node local time split at `split_time` (§3.5): the page keeps
+    /// the entries whose rectangles reach `split_time` or later, and its
+    /// time range now starts there.
+    IndexTimeSplit {
+        /// The chosen split time.
+        split_time: Timestamp,
+    },
+    /// Index-node keyspace split at `split_key`: the page keeps the low or
+    /// high side (straddling historical entries are duplicated into both
+    /// by the partition rule, so each side is self-contained).
+    IndexKeySplit {
+        /// The chosen split key.
+        split_key: Key,
+        /// Whether this page keeps the low side.
+        keep_low: bool,
+    },
+    /// Index-node child replacement: the entry for one child is swapped
+    /// for the entries describing its split pieces. The payload is the
+    /// tree's own encoding of `(old child address, replacement entries)` —
+    /// opaque at this layer, exactly like the tree metadata carried by
+    /// [`WalRecord::Commit`].
+    IndexReplaceChild {
+        /// Core-encoded `(old child, replacements)` tuple.
+        payload: Vec<u8>,
+    },
+}
+
+impl PageOp {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            PageOp::InsertVersion(v) => {
+                w.put_u8(1);
+                w.put_version(v);
+            }
+            PageOp::RemoveUncommitted { key, txn } => {
+                w.put_u8(2);
+                w.put_key(key);
+                w.put_u64(txn.0);
+            }
+            PageOp::DataTimeSplit { split_time } => {
+                w.put_u8(3);
+                w.put_timestamp(*split_time);
+            }
+            PageOp::DataKeySplit {
+                split_key,
+                keep_low,
+            } => {
+                w.put_u8(4);
+                w.put_key(split_key);
+                w.put_u8(*keep_low as u8);
+            }
+            PageOp::IndexTimeSplit { split_time } => {
+                w.put_u8(5);
+                w.put_timestamp(*split_time);
+            }
+            PageOp::IndexKeySplit {
+                split_key,
+                keep_low,
+            } => {
+                w.put_u8(6);
+                w.put_key(split_key);
+                w.put_u8(*keep_low as u8);
+            }
+            PageOp::IndexReplaceChild { payload } => {
+                w.put_u8(7);
+                w.put_bytes(payload);
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> TsbResult<Self> {
+        match r.get_u8()? {
+            1 => Ok(PageOp::InsertVersion(r.get_version()?)),
+            2 => Ok(PageOp::RemoveUncommitted {
+                key: r.get_key()?,
+                txn: TxnId(r.get_u64()?),
+            }),
+            3 => Ok(PageOp::DataTimeSplit {
+                split_time: r.get_timestamp()?,
+            }),
+            4 => Ok(PageOp::DataKeySplit {
+                split_key: r.get_key()?,
+                keep_low: r.get_u8()? != 0,
+            }),
+            5 => Ok(PageOp::IndexTimeSplit {
+                split_time: r.get_timestamp()?,
+            }),
+            6 => Ok(PageOp::IndexKeySplit {
+                split_key: r.get_key()?,
+                keep_low: r.get_u8()? != 0,
+            }),
+            7 => Ok(PageOp::IndexReplaceChild {
+                payload: r.get_bytes()?,
+            }),
+            t => Err(TsbError::corruption(format!("invalid WAL page op {t}"))),
+        }
+    }
+}
 
 /// One redo-log record.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -117,6 +292,17 @@ pub enum WalRecord {
         /// Opaque tree metadata, as in [`WalRecord::Commit`].
         meta: Vec<u8>,
     },
+    /// A logical redo delta against one page: the page's content after an
+    /// already-logged base ([`WalRecord::PageImage`], first-touch rule)
+    /// plus this op, instead of a fresh full image. Appended by the tree
+    /// for content-only leaf rewrites after the page's first dirtying in
+    /// the current checkpoint interval.
+    PageDelta {
+        /// The magnetic page the op applies to.
+        page: PageId,
+        /// The logical mutation.
+        op: PageOp,
+    },
 }
 
 impl WalRecord {
@@ -125,6 +311,7 @@ impl WalRecord {
             WalRecord::PageImage { .. } => 1,
             WalRecord::Commit { .. } => 2,
             WalRecord::Checkpoint { .. } => 3,
+            WalRecord::PageDelta { .. } => 4,
         }
     }
 
@@ -146,6 +333,10 @@ impl WalRecord {
                 w.put_u64(*worm_len);
                 w.put_bytes(meta);
             }
+            WalRecord::PageDelta { page, op } => {
+                w.put_u64(page.0);
+                op.encode(&mut w);
+            }
         }
         w.into_vec()
     }
@@ -166,6 +357,10 @@ impl WalRecord {
             3 => WalRecord::Checkpoint {
                 worm_len: r.get_u64()?,
                 meta: r.get_bytes()?,
+            },
+            4 => WalRecord::PageDelta {
+                page: PageId(r.get_u64()?),
+                op: PageOp::decode(&mut r)?,
             },
             t => return Err(TsbError::corruption(format!("invalid WAL record kind {t}"))),
         };
@@ -221,12 +416,39 @@ fn crc32(bytes: &[u8]) -> u32 {
 struct WalInner {
     file: File,
     next_lsn: Lsn,
-    /// Bytes of intact log (the append position).
+    /// Bytes of intact log (the append position), buffered bytes included.
     len: u64,
     /// Newest LSN known to be on stable storage (fsynced).
     synced_lsn: Lsn,
     commits_since_sync: u32,
+    /// Appended frames not yet written to the file: the group-commit
+    /// append buffer. Drained by one coalesced `write_all` at every fence
+    /// append, before every fsync, and at [`APPEND_BUFFER_FLUSH_BYTES`].
+    /// Always un-fenced content (fence appends flush), so losing it to a
+    /// process kill loses nothing recovery would have kept.
+    pending: Vec<u8>,
+    /// Runs immediately before every fsync of the log — the engine's spot
+    /// to settle cross-device ordering (sync the WORM store so no commit
+    /// in the about-to-be-durable prefix references history that could
+    /// fail to survive). Deferring that work here, instead of paying it
+    /// per commit, is what keeps `Os`/`EveryN` commits fsync-free.
+    pre_sync: Option<PreSyncHook>,
     injector: Option<Arc<FaultInjector>>,
+}
+
+/// See [`WalInner::pre_sync`] / [`Wal::set_pre_sync_hook`].
+pub type PreSyncHook = Box<dyn Fn() -> TsbResult<()> + Send + Sync>;
+
+impl WalInner {
+    /// Writes the append buffer to the file in one syscall.
+    fn flush_pending(&mut self) -> TsbResult<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        self.file.write_all(&self.pending)?;
+        self.pending.clear();
+        Ok(())
+    }
 }
 
 /// The write-ahead log: an append-only, checksummed redo log over one file.
@@ -295,6 +517,8 @@ impl Wal {
                 len: 0,
                 synced_lsn: 0,
                 commits_since_sync: 0,
+                pending: Vec::new(),
+                pre_sync: None,
                 injector: None,
             }),
             policy,
@@ -347,6 +571,8 @@ impl Wal {
                     // will ever be.
                     synced_lsn: next_lsn - 1,
                     commits_since_sync: 0,
+                    pending: Vec::new(),
+                    pre_sync: None,
                     injector: None,
                 }),
                 policy,
@@ -473,9 +699,17 @@ impl Wal {
         self.inner.lock().injector = Some(injector);
     }
 
-    /// Appends one record, returning its LSN. The bytes are written to the
-    /// file before this returns; commit records additionally fsync per the
-    /// policy, checkpoint records always fsync.
+    /// Installs the hook that runs before every fsync of the log (see
+    /// [`WalInner::pre_sync`]); the sync is abandoned if the hook errors.
+    pub fn set_pre_sync_hook(&self, hook: PreSyncHook) {
+        self.inner.lock().pre_sync = Some(hook);
+    }
+
+    /// Appends one record, returning its LSN. The frame lands in the
+    /// append buffer; fence records (`Commit` / `Checkpoint`) drain the
+    /// buffer to the file in one coalesced `write_all` — the whole
+    /// mutation group in one syscall — and additionally fsync per the
+    /// policy (checkpoints always).
     pub fn append(&self, record: &WalRecord) -> TsbResult<Lsn> {
         let mut inner = self.inner.lock();
         let point = match record {
@@ -487,15 +721,26 @@ impl Wal {
         }
         let lsn = inner.next_lsn;
         let body = record.encode_body(lsn);
-        let mut frame = Vec::with_capacity(8 + body.len());
-        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(&body).to_le_bytes());
-        frame.extend_from_slice(&body);
-        inner.file.write_all(&frame)?;
+        let frame_len = 8 + body.len();
+        inner.pending.reserve(frame_len);
+        inner
+            .pending
+            .extend_from_slice(&(body.len() as u32).to_le_bytes());
+        let crc = crc32(&body);
+        inner.pending.extend_from_slice(&crc.to_le_bytes());
+        inner.pending.extend_from_slice(&body);
         inner.next_lsn += 1;
-        inner.len += frame.len() as u64;
+        inner.len += frame_len as u64;
         self.stats.record_wal_append();
+        self.stats.record_wal_bytes(frame_len as u64);
 
+        let is_fence = matches!(
+            record,
+            WalRecord::Commit { .. } | WalRecord::Checkpoint { .. }
+        );
+        if is_fence || inner.pending.len() >= APPEND_BUFFER_FLUSH_BYTES {
+            inner.flush_pending()?;
+        }
         let sync_now = match record {
             WalRecord::Checkpoint { .. } => true,
             WalRecord::Commit { .. } => {
@@ -506,7 +751,7 @@ impl Wal {
                     FsyncPolicy::Os => false,
                 }
             }
-            WalRecord::PageImage { .. } => false,
+            WalRecord::PageImage { .. } | WalRecord::PageDelta { .. } => false,
         };
         if sync_now {
             Self::sync_locked(&mut inner, &self.stats)?;
@@ -518,6 +763,10 @@ impl Wal {
         if let Some(injector) = &inner.injector {
             injector.check(CrashPoint::WalSync)?;
         }
+        if let Some(hook) = &inner.pre_sync {
+            hook()?;
+        }
+        inner.flush_pending()?;
         inner.file.sync_all()?;
         inner.synced_lsn = inner.next_lsn - 1;
         inner.commits_since_sync = 0;
@@ -583,13 +832,27 @@ impl Wal {
         std::fs::rename(&tmp, &self.path)?;
         sync_parent_dir(&self.path)?;
         self.stats.record_wal_append();
+        self.stats.record_wal_bytes(frame.len() as u64);
         self.stats.record_wal_sync();
         inner.file = file;
         inner.next_lsn = lsn + 1;
         inner.len = frame.len() as u64;
         inner.synced_lsn = lsn;
         inner.commits_since_sync = 0;
+        // Anything the old generation still buffered precedes the new
+        // fence and is unreplayable by construction.
+        inner.pending.clear();
         Ok(lsn)
+    }
+}
+
+impl Drop for Wal {
+    /// Best-effort drain of the append buffer: a *clean* shutdown keeps
+    /// every appended record reachable on reopen, exactly as when appends
+    /// wrote through. (A killed process loses only un-fenced buffered
+    /// records, which recovery's replay cut would discard regardless.)
+    fn drop(&mut self) {
+        let _ = self.inner.lock().flush_pending();
     }
 }
 
@@ -610,8 +873,15 @@ impl Wal {
 /// [`exempt`](Self::exempt).
 #[derive(Debug, Default)]
 pub struct WalPageTable {
-    /// page -> LSN of the page's newest logged image.
+    /// page -> LSN of the page's newest logged record (image or delta).
     pages: Mutex<HashMap<u64, Lsn>>,
+    /// Pages whose full image was logged in the current checkpoint
+    /// interval (log generation) — the **first-touch** set. A content-only
+    /// rewrite of a page in this set may log a delta; a page outside it
+    /// must log its full image first, so replay always has an in-log base
+    /// for every delta. Cleared by [`begin_interval`](Self::begin_interval)
+    /// when a checkpoint resets the log.
+    imaged: Mutex<HashSet<u64>>,
     /// The log to force before device write-backs (set once at attach).
     wal: Mutex<Option<Arc<Wal>>>,
 }
@@ -639,9 +909,55 @@ impl WalPageTable {
         }
     }
 
-    /// Records that `page`'s newest image was appended at `lsn`.
+    /// Records that `page`'s newest record (image or delta) was appended
+    /// at `lsn`.
     pub fn record(&self, page: PageId, lsn: Lsn) {
         self.pages.lock().insert(page.0, lsn);
+    }
+
+    /// Whether `page` still needs a full image in the current checkpoint
+    /// interval, marking it imaged. Returns `true` exactly once per page
+    /// per interval: the caller that sees `true` must log a
+    /// [`WalRecord::PageImage`]; later callers may log deltas.
+    pub fn first_touch(&self, page: PageId) -> bool {
+        self.imaged.lock().insert(page.0)
+    }
+
+    /// Whether `page` already has an image (a delta base) in the current
+    /// checkpoint interval, without marking anything. Callers about to log
+    /// standalone deltas (mid-split pending ops) consult this: a page with
+    /// no base skips the delta entirely — its next full write will log an
+    /// image that subsumes it.
+    pub fn is_imaged(&self, page: PageId) -> bool {
+        self.imaged.lock().contains(&page.0)
+    }
+
+    /// Drops everything known about `page`. Called when the page is
+    /// (re)allocated: a recycled page's old image is not a base for its
+    /// new life — content landing on it must log a fresh full image.
+    pub fn forget(&self, page: PageId) {
+        self.imaged.lock().remove(&page.0);
+        self.pages.lock().remove(&page.0);
+    }
+
+    /// Revokes `page`'s delta base without touching its write-back
+    /// coverage: the page's next logged record must be a full image.
+    /// Called when a failed mutation left pending deltas in the log that
+    /// no longer describe the page's real state (see the tree's phantom
+    /// quarantine in `wal_commit`).
+    pub fn unimage(&self, page: PageId) {
+        self.imaged.lock().remove(&page.0);
+    }
+
+    /// Starts a fresh checkpoint interval after the log was reset: every
+    /// page must log a full image again before its next delta (the new log
+    /// generation holds no bases), and the write-back coverage map starts
+    /// over (the checkpoint's flush drained every dirty page). Exempt
+    /// pages stay exempt — their content is reconstructed from fence
+    /// records, never from page records.
+    pub fn begin_interval(&self) {
+        self.imaged.lock().clear();
+        self.pages.lock().retain(|_, lsn| *lsn == 0);
     }
 
     /// Marks `page` as legitimately un-logged (metadata pages).
@@ -729,6 +1045,140 @@ mod tests {
         // Appending continues the LSN sequence.
         assert_eq!(wal.append(&page_image(1, 3)).unwrap(), 5);
         let _ = std::fs::remove_file(&path);
+    }
+
+    fn delta(page: u64, key: u64, ts: u64) -> WalRecord {
+        WalRecord::PageDelta {
+            page: PageId(page),
+            op: PageOp::InsertVersion(Version::committed(key, Timestamp(ts), vec![b'v'; 12])),
+        }
+    }
+
+    #[test]
+    fn every_page_op_round_trips() {
+        let ops = [
+            PageOp::InsertVersion(Version::committed(9u64, Timestamp(4), b"val".to_vec())),
+            PageOp::RemoveUncommitted {
+                key: Key::from_u64(7),
+                txn: TxnId(3),
+            },
+            PageOp::DataTimeSplit {
+                split_time: Timestamp(17),
+            },
+            PageOp::DataKeySplit {
+                split_key: Key::from_u64(100),
+                keep_low: true,
+            },
+            PageOp::IndexTimeSplit {
+                split_time: Timestamp(23),
+            },
+            PageOp::IndexKeySplit {
+                split_key: Key::from_u64(50),
+                keep_low: false,
+            },
+            PageOp::IndexReplaceChild {
+                payload: vec![1, 2, 3, 4],
+            },
+        ];
+        for op in ops {
+            let record = WalRecord::PageDelta {
+                page: PageId(11),
+                op: op.clone(),
+            };
+            let body = record.encode_body(5);
+            let (lsn, decoded) = WalRecord::decode_body(&body).unwrap();
+            assert_eq!(lsn, 5);
+            assert_eq!(decoded, record, "op {op:?}");
+        }
+    }
+
+    #[test]
+    fn torn_tail_mid_delta_run_keeps_the_image_and_drops_trailing_deltas() {
+        // A delta run: image base, commit, then three deltas and a commit.
+        // Tearing into the *middle* delta must keep the image and the first
+        // delta (everything before the tear) and drop the rest — a delta
+        // run truncates record-by-record like any other tail.
+        let path = temp_wal_path("torn-delta");
+        let _ = std::fs::remove_file(&path);
+        let stats = Arc::new(IoStats::new());
+        {
+            let wal = Wal::create(&path, FsyncPolicy::Os, Arc::clone(&stats)).unwrap();
+            wal.append(&page_image(1, 1)).unwrap();
+            wal.append(&commit(1)).unwrap();
+            wal.append(&delta(1, 10, 2)).unwrap();
+            wal.append(&delta(1, 11, 3)).unwrap();
+            wal.append(&delta(1, 12, 4)).unwrap();
+            wal.append(&commit(4)).unwrap();
+        }
+        // Cut into the third delta: the commit and the tail of that delta
+        // vanish; the second delta's frame stays intact.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let commit_len = 8 + commit(4).encode_body(6).len() as u64;
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - commit_len - 5).unwrap();
+        drop(file);
+
+        let (_, scan) = Wal::open(&path, FsyncPolicy::Os, stats).unwrap();
+        assert!(scan.truncated_torn_tail);
+        assert_eq!(scan.records.len(), 4, "image, commit, two intact deltas");
+        assert!(matches!(scan.records[0].1, WalRecord::PageImage { .. }));
+        assert!(matches!(scan.records[2].1, WalRecord::PageDelta { .. }));
+        assert!(matches!(scan.records[3].1, WalRecord::PageDelta { .. }));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mutation_group_coalesces_into_one_file_write() {
+        // Appends buffer in process memory until a fence record lands; the
+        // file grows only at the commit append (one write_all per group).
+        let path = temp_wal_path("coalesce");
+        let _ = std::fs::remove_file(&path);
+        let stats = Arc::new(IoStats::new());
+        let wal = Wal::create(&path, FsyncPolicy::Os, Arc::clone(&stats)).unwrap();
+        wal.append(&page_image(1, 1)).unwrap();
+        wal.append(&delta(1, 5, 1)).unwrap();
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            0,
+            "non-fence records stay buffered"
+        );
+        wal.append(&commit(1)).unwrap();
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            wal.bytes(),
+            "the commit flushed the whole group"
+        );
+        // The flushed-LSN barrier also drains the buffer (before fsync).
+        wal.append(&page_image(2, 2)).unwrap();
+        wal.ensure_all_synced().unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), wal.bytes());
+        assert_eq!(stats.snapshot().wal_bytes_appended, wal.bytes());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn page_table_first_touch_and_interval_reset() {
+        let table = WalPageTable::new();
+        assert!(!table.is_imaged(PageId(3)));
+        assert!(table.first_touch(PageId(3)), "first touch logs the image");
+        assert!(!table.first_touch(PageId(3)), "second touch logs deltas");
+        assert!(table.is_imaged(PageId(3)));
+        table.record(PageId(3), 9);
+        table.exempt(PageId(0));
+        // A checkpoint resets the interval: bases are gone, exemptions stay.
+        table.begin_interval();
+        assert!(!table.is_imaged(PageId(3)));
+        assert!(!table.is_covered(PageId(3)));
+        assert!(
+            table.is_covered(PageId(0)),
+            "exempt pages survive the reset"
+        );
+        // Reallocation forgets a page's base entirely.
+        assert!(table.first_touch(PageId(3)));
+        table.record(PageId(3), 12);
+        table.forget(PageId(3));
+        assert!(!table.is_imaged(PageId(3)));
+        assert!(!table.is_covered(PageId(3)));
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   (e.g. `WalAppend`); unset runs all of them.
 //! * `TSB_STRESS_SCALE` — multiplies workload size and crash depths
 //!   (the scheduled long-stress job passes a larger value).
+//! * `TSB_WAL_MODE` — `hybrid` (default) or `images`: the `WalMode` every
+//!   scenario in this file runs under, so the whole matrix can be replayed
+//!   against the images-only off-switch.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -53,7 +56,13 @@ impl Drop for TempDir {
 }
 
 fn crash_cfg() -> TsbConfig {
-    TsbConfig::small_pages().with_split_policy(SplitPolicyKind::TimePreferring)
+    let mode = match std::env::var("TSB_WAL_MODE").as_deref() {
+        Ok("images") => tsb_common::WalMode::ImagesOnly,
+        _ => tsb_common::WalMode::Hybrid,
+    };
+    TsbConfig::small_pages()
+        .with_split_policy(SplitPolicyKind::TimePreferring)
+        .with_wal_mode(mode)
 }
 
 /// Opens the three durable files with a shared fault injector wired into
@@ -492,6 +501,98 @@ fn concurrent_engine_recovers_after_concurrent_traffic() {
     }
 }
 
+#[test]
+fn torn_tail_mid_delta_run_recovers_the_logged_prefix() {
+    // Hammer a handful of keys so the log tail is a pure delta run (one
+    // first-touch image per page, then InsertVersion deltas), then tear the
+    // file at several depths that land *inside* delta records. The page
+    // image survives, the trailing deltas are dropped, and recovery still
+    // verifies and equals the durable prefix.
+    let cfg = crash_cfg();
+    for cut_bytes in [2u64, 9, 33, 70, 141] {
+        let dir = TempDir::new(&format!("torn-delta-{cut_bytes}"));
+        let (mut tree, _injector) = create_durable_with_injector(&dir, &cfg);
+        let mut log: AttemptLog = Vec::new();
+        let mut wrote_deltas = false;
+        for i in 0..160u64 {
+            let key = i % 4; // few keys: updates, not splits, dominate
+            let ts = Timestamp(i + 1);
+            let value = format!("d{i}").into_bytes();
+            let before = tree.io_stats().snapshot();
+            log.push((Key::from_u64(key), ts, Some(value.clone())));
+            tree.insert_at(key, value, ts).unwrap();
+            let delta = tree.io_stats().snapshot().delta_since(&before);
+            // One commit + at least one page record; when only deltas were
+            // appended, the op logged no page image.
+            wrote_deltas |= delta.wal_bytes_appended < 200;
+        }
+        assert!(wrote_deltas, "the workload must exercise the delta path");
+        drop(tree);
+
+        let wal_path = dir.path("redo.wal");
+        let len = std::fs::metadata(&wal_path).unwrap().len();
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal_path)
+            .unwrap();
+        file.set_len(len - cut_bytes.min(len)).unwrap();
+        drop(file);
+
+        let recovered = TsbTree::open_durable(&dir.0, cfg.clone()).unwrap();
+        assert_recovered_matches_durable_prefix(&recovered, &log, true);
+    }
+}
+
+/// Steady-state WAL traffic guard (also run by the CI recovery-stress job):
+/// after warmup, the hybrid log must stay under a checked-in byte budget
+/// per mutation. `TSB_WAL_BYTES_PER_OP_BUDGET` overrides the budget for
+/// noisy containers or deliberate format experiments.
+#[test]
+fn steady_state_wal_bytes_per_op_stays_within_budget() {
+    const DEFAULT_BUDGET: f64 = 300.0;
+    let budget: f64 = std::env::var("TSB_WAL_BYTES_PER_OP_BUDGET")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_BUDGET);
+    let mut cfg = TsbConfig::default()
+        .with_page_size(1024)
+        .with_split_policy(SplitPolicyKind::TimePreferring)
+        .with_fsync_policy(FsyncPolicy::Os);
+    cfg.max_key_len = 64;
+    let dir = TempDir::new("wal-budget");
+    let (mut tree, _injector) = create_durable_with_injector(&dir, &cfg);
+    let spec = WorkloadSpec::default()
+        .with_ops(2_000)
+        .with_keys(200)
+        .with_update_ratio(4.0)
+        .with_value_size(48)
+        .with_seed(5);
+    let ops = generate_ops(&spec);
+    let (warmup, steady) = ops.split_at(ops.len() / 4);
+    fn replay(tree: &mut TsbTree, ops: &[Op]) {
+        for op in ops {
+            match op {
+                Op::Put { key, value } => {
+                    tree.insert(key.clone(), value.clone()).unwrap();
+                }
+                Op::Delete { key } => {
+                    tree.delete(key.clone()).unwrap();
+                }
+            }
+        }
+    }
+    replay(&mut tree, warmup);
+    let before = tree.io_stats().snapshot();
+    replay(&mut tree, steady);
+    let delta = tree.io_stats().snapshot().delta_since(&before);
+    let bytes_per_op = delta.wal_bytes_appended as f64 / steady.len() as f64;
+    assert!(
+        bytes_per_op <= budget,
+        "steady-state WAL traffic regressed: {bytes_per_op:.1} B/op > budget {budget:.1} \
+         (override with TSB_WAL_BYTES_PER_OP_BUDGET only for deliberate format changes)"
+    );
+}
+
 // ---------- property: recovery is prefix-consistent --------------------------
 
 #[derive(Clone, Debug)]
@@ -560,5 +661,75 @@ proptest! {
         drop(tree);
         let recovered = TsbTree::open_durable(&dir.0, cfg).unwrap();
         assert_recovered_matches_durable_prefix(&recovered, &log, crashed);
+    }
+}
+
+// ---------- property: hybrid deltas replay exactly like full images ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The `WalMode` off-switch is only trustworthy if both modes are
+    /// *interchangeable*: an arbitrary op stream crashed at an arbitrary
+    /// depth (optionally checkpointed mid-stream, so deltas straddle a log
+    /// reset) must recover to the identical tree whether the log carried
+    /// logical deltas (`Hybrid`) or a full page image per rewrite
+    /// (`ImagesOnly`).
+    #[test]
+    fn delta_replay_equals_image_replay(
+        ops in prop_ops(),
+        crash_depth in 1usize..200,
+        checkpoint_at in prop::option::of(0usize..150),
+    ) {
+        let mut recovered: Vec<TsbTree> = Vec::new();
+        let mut dirs = Vec::new(); // keep tempdirs alive until compared
+        let mut attempted = 0usize;
+        for mode in [tsb_common::WalMode::Hybrid, tsb_common::WalMode::ImagesOnly] {
+            let cfg = crash_cfg().with_wal_mode(mode);
+            let dir = TempDir::new(&format!("mode-{mode:?}"));
+            let (mut tree, _injector) = create_durable_with_injector(&dir, &cfg);
+            attempted = 0;
+            for (i, op) in ops.iter().take(crash_depth).enumerate() {
+                if Some(i) == checkpoint_at {
+                    tree.checkpoint().unwrap();
+                }
+                let ts = Timestamp(i as u64 + 1);
+                match op {
+                    PropOp::Put { key, len } => {
+                        tree.insert_at(*key as u64, vec![*key; *len as usize + 1], ts).unwrap()
+                    }
+                    PropOp::Delete { key } => tree.delete_at(*key as u64, ts).unwrap(),
+                }
+                attempted = i + 1;
+            }
+            drop(tree); // crash: caches gone, only the WAL speaks
+            recovered.push(TsbTree::open_durable(&dir.0, cfg).unwrap());
+            dirs.push(dir);
+        }
+        let (hybrid, images) = (&recovered[0], &recovered[1]);
+        hybrid.verify().unwrap();
+        images.verify().unwrap();
+        prop_assert_eq!(hybrid.last_durable_commit(), images.last_durable_commit());
+        // Identical answers across all of history: every attempted
+        // timestamp, the cut, and the end of time.
+        for probe in 0..=attempted as u64 {
+            prop_assert_eq!(
+                hybrid.snapshot_at(Timestamp(probe)).unwrap(),
+                images.snapshot_at(Timestamp(probe)).unwrap(),
+                "snapshots diverge at ts {}", probe
+            );
+        }
+        prop_assert_eq!(
+            hybrid.snapshot_at(Timestamp::MAX).unwrap(),
+            images.snapshot_at(Timestamp::MAX).unwrap()
+        );
+        for key in 0..24u64 {
+            let key = Key::from_u64(key);
+            prop_assert_eq!(
+                hybrid.versions(&key).unwrap(),
+                images.versions(&key).unwrap(),
+                "version history diverges for {}", key
+            );
+        }
     }
 }
