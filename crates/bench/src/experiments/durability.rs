@@ -17,13 +17,22 @@
 //! re-fence. Recovery time is reported against the number of ops since the
 //! last checkpoint — the knob an operator turns (checkpoint cadence) to
 //! bound restart time.
+//!
+//! The third table (E12c) prices the **pipelined group commit**: closed-loop
+//! writer threads share the group-commit thread's fsyncs, so `Always`-policy
+//! committed throughput scales with thread count while fsyncs/op falls.
+//! Because every fsync-bound number is hostage to the filesystem under
+//! `/tmp`, the harness first calibrates the device's raw fsync latency
+//! ([`fsync_floor`]) and reports each durability row as a percentage of its
+//! policy's theoretical fsync ceiling — a noisy-FS run then shows up as a
+//! low floor, not as a mysterious regression.
 
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use tsb_common::{FsyncPolicy, SplitPolicyKind, SplitTimeChoice, TsbConfig};
-use tsb_core::TsbTree;
-use tsb_workload::{generate_ops, Op, WorkloadSpec};
+use tsb_core::{ConcurrentTsb, TsbTree};
+use tsb_workload::{drive_durable, generate_ops, DurableDriveSpec, Op, WorkloadSpec};
 
 use crate::measure::{experiment_config, Scale};
 use crate::report::Table;
@@ -82,19 +91,60 @@ fn replay(tree: &mut TsbTree, ops: &[Op]) {
     }
 }
 
-/// Runs the fsync-policy throughput table and the recovery-time table.
-pub fn run(scale: Scale) -> Vec<Table> {
-    vec![fsync_policy_table(scale), recovery_table(scale)]
+/// Calibrates the raw fsync latency of the filesystem backing the bench
+/// temp directories: a small file is rewritten and fsynced `rounds` times
+/// and the median latency returned. Every fsync-bound ceiling in the E12
+/// tables is derived from this floor, so noisy-FS runs stay interpretable.
+pub fn fsync_floor(rounds: usize) -> Duration {
+    use std::io::Write;
+    let dir = TempDir::new("fsync-floor");
+    let path = dir.0.join("probe");
+    let mut file = std::fs::File::create(&path).expect("probe file");
+    let mut samples = Vec::with_capacity(rounds);
+    for i in 0..rounds.max(1) {
+        file.write_all(&[i as u8; 64]).expect("probe write");
+        let start = Instant::now();
+        file.sync_all().expect("probe fsync");
+        samples.push(start.elapsed());
+    }
+    samples.sort();
+    samples[samples.len() / 2]
 }
 
-fn fsync_policy_table(scale: Scale) -> Table {
+/// `throughput / ceiling` as a printable percentage, where the ceiling is
+/// the throughput the run would reach if its fsyncs were its *only* cost
+/// (`ops / (fsyncs × floor)`). Rows that issued no fsync have no ceiling.
+fn pct_of_fsync_ceiling(ops: u64, fsyncs: u64, elapsed: f64, floor: Duration) -> String {
+    if fsyncs == 0 || ops == 0 {
+        return "-".to_string();
+    }
+    let ceiling = ops as f64 / (fsyncs as f64 * floor.as_secs_f64().max(1e-9));
+    let actual = ops as f64 / elapsed.max(1e-9);
+    format!("{:.0}%", 100.0 * actual / ceiling)
+}
+
+/// Runs the fsync-policy throughput table, the recovery-time table, and the
+/// pipelined-group-commit scaling table.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let floor = fsync_floor(33);
+    vec![
+        fsync_policy_table(scale, floor),
+        recovery_table(scale),
+        group_commit_table(scale, floor),
+    ]
+}
+
+fn fsync_policy_table(scale: Scale, floor: Duration) -> Table {
     let ops = generate_ops(&e12_workload(scale));
     let mut table = Table::new(
         "E12a: write throughput by durability level (file-backed stores)",
         format!(
             "{} ops, 4 updates per insert; 'none' is the pre-WAL engine (crash loses \
-             everything unflushed), each WAL row survives any crash up to its fsync horizon",
-            ops.len()
+             everything unflushed), each WAL row survives any crash up to its fsync horizon; \
+             calibrated fsync floor {:.0}us — '% ceiling' is throughput over the pure-fsync \
+             bound ops/(fsyncs x floor)",
+            ops.len(),
+            floor.as_secs_f64() * 1e6
         ),
         &[
             "durability",
@@ -105,6 +155,7 @@ fn fsync_policy_table(scale: Scale) -> Table {
             "wal KiB",
             "wal B/op",
             "syncs/op",
+            "% ceiling",
         ],
     );
 
@@ -147,7 +198,85 @@ fn fsync_policy_table(scale: Scale) -> Table {
             wal_kib(&dir),
             format!("{:.1}", delta.wal_bytes_appended as f64 / ops.len() as f64),
             format!("{:.3}", delta.wal_syncs as f64 / ops.len() as f64),
+            pct_of_fsync_ceiling(ops.len() as u64, delta.wal_syncs, elapsed, floor),
         ]);
+    }
+    table
+}
+
+fn group_commit_table(scale: Scale, floor: Duration) -> Table {
+    let ops_per_thread = match scale {
+        Scale::Tiny => 40,
+        Scale::Small => 200,
+        Scale::Full => 500,
+    };
+    let mut table = Table::new(
+        "E12c: pipelined group commit — committed throughput vs closed-loop writer threads",
+        format!(
+            "each thread commits its next durable insert only after the previous was \
+             acknowledged; the fsync runs on the group-commit thread, so concurrent \
+             commits share drains; {ops_per_thread} ops/thread, value 48B, calibrated \
+             fsync floor {:.0}us",
+            floor.as_secs_f64() * 1e6
+        ),
+        &[
+            "policy",
+            "threads",
+            "committed ops/s",
+            "fsyncs/op",
+            "commits/fsync",
+            "parked us/op",
+            "% ceiling",
+        ],
+    );
+    let policies: &[(&str, FsyncPolicy)] = &[
+        ("Always", FsyncPolicy::Always),
+        ("EveryN(8)", FsyncPolicy::EveryN(8)),
+        ("EveryN(64)", FsyncPolicy::EveryN(64)),
+        ("Os", FsyncPolicy::Os),
+    ];
+    for (label, policy) in policies {
+        for threads in [1usize, 2, 4, 8] {
+            let dir = TempDir::new(&format!("gc-{}-{threads}", label.replace(['(', ')'], "")));
+            let cfg = e12_config(Some(*policy));
+            let db = ConcurrentTsb::open_durable(&dir.0, cfg).expect("durable engine");
+            let spec = DurableDriveSpec {
+                threads,
+                ops_per_thread,
+                num_keys: scale.keys(),
+                value_size: 48,
+                seed: 0xE12C ^ threads as u64,
+            };
+            // Warmup outside the measurement: grow the WAL file and prime
+            // the tree so the measured window excludes extent-allocation
+            // fsyncs and thread spawn-up (they dominate short runs).
+            let warmup = DurableDriveSpec {
+                ops_per_thread: (ops_per_thread / 4).max(8),
+                seed: spec.seed ^ 0xAAAA,
+                ..spec.clone()
+            };
+            drive_durable(&db, &warmup).expect("warmup");
+            let report = drive_durable(&db, &spec).expect("drive");
+            let commits_per_fsync = report
+                .io
+                .commits_per_fsync()
+                .map(|r| format!("{r:.1}"))
+                .unwrap_or_else(|| "-".to_string());
+            table.push_row(vec![
+                label.to_string(),
+                threads.to_string(),
+                format!("{:.0}", report.ops_per_sec()),
+                format!("{:.3}", report.fsyncs_per_op()),
+                commits_per_fsync,
+                format!("{:.1}", report.parked_wait_per_op().as_secs_f64() * 1e6),
+                pct_of_fsync_ceiling(
+                    report.committed_ops,
+                    report.io.wal_syncs,
+                    report.elapsed.as_secs_f64(),
+                    floor,
+                ),
+            ]);
+        }
     }
     table
 }
@@ -230,9 +359,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn e12_produces_both_tables() {
+    fn e12_produces_all_three_tables() {
         let tables = run(Scale::Tiny);
-        assert_eq!(tables.len(), 2);
+        assert_eq!(tables.len(), 3);
         // Throughput table: one row per durability level, baseline first.
         assert_eq!(tables[0].rows.len(), 5);
         assert_eq!(tables[0].rows[0][2], "1.00x");
@@ -253,5 +382,25 @@ mod tests {
             let keys: usize = row[3].parse().unwrap();
             assert!(keys > 0, "recovery must surface the written keys");
         }
+        // Group-commit table: 4 policies x 4 thread counts, Os never parks
+        // and never hits a ceiling; every row commits at a positive rate.
+        assert_eq!(tables[2].rows.len(), 16);
+        for row in &tables[2].rows {
+            let tput: f64 = row[2].parse().unwrap();
+            assert!(tput > 0.0, "all group-commit rows commit");
+            if row[0] == "Os" {
+                assert_eq!(row[5], "0.0", "Os never parks on the watermark");
+            }
+        }
+    }
+
+    #[test]
+    fn fsync_floor_probe_measures_something() {
+        let floor = fsync_floor(9);
+        assert!(floor > Duration::ZERO);
+        assert!(
+            floor < Duration::from_secs(1),
+            "fsync floor implausibly slow"
+        );
     }
 }

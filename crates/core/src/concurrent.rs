@@ -9,7 +9,10 @@
 //!
 //! * **Writes serialize** through one writer lock and run the ordinary
 //!   insert / split / migration path of [`TsbTree`]. There is never more
-//!   than one mutation in flight.
+//!   than one mutation in flight. On a durable engine the lock covers only
+//!   the in-memory mutation and WAL buffer append — the commit fsync runs
+//!   on a background group-commit thread and the writer parks for it
+//!   *outside* the lock, so device syncs overlap the next mutation.
 //! * **Readers never take the writer lock.** They descend the tree through
 //!   the shared decoded-node cache: historical (WORM) nodes are immutable
 //!   and served lock-free forever; current pages are read under the short
@@ -158,14 +161,18 @@ impl ConcurrentTsb {
     /// Creates a fresh **durable** engine: mutations are redo-logged before
     /// they may dirty a page (see [`TsbTree::create_durable`]).
     ///
-    /// Durability composes with the single-writer pipeline as **group
-    /// commit**: writers queue on the writer lock, each appends its records
-    /// to the WAL while holding it, and `cfg.fsync_policy` decides how
-    /// often a commit record forces the log to stable storage —
-    /// [`tsb_common::FsyncPolicy::Always`] fsyncs every commit,
-    /// `EveryN(n)` amortizes one fsync over `n` queued commits, `Os` leaves
-    /// flushing to the operating system. The E12 experiment measures the
-    /// resulting throughput/durability trade.
+    /// Durability composes with the single-writer pipeline as **pipelined
+    /// group commit**: writers queue on the writer lock, each appends its
+    /// records to the WAL buffer while holding it, then releases the lock
+    /// and parks on the WAL's durable-LSN watermark — the fsync itself runs
+    /// on a dedicated group-commit thread, so one drain acknowledges every
+    /// commit appended while the previous sync was in flight.
+    /// `cfg.fsync_policy` decides which commits wait:
+    /// [`tsb_common::FsyncPolicy::Always`] parks every commit until its own
+    /// LSN is durable, `EveryN(n)` parks only the commit that closes each
+    /// group of `n`, `Os` never parks and leaves flushing to the operating
+    /// system. The E12 experiment measures the resulting
+    /// throughput/durability trade.
     pub fn create_durable(
         magnetic: Arc<MagneticStore>,
         worm: Arc<WormStore>,
@@ -198,17 +205,32 @@ impl ConcurrentTsb {
 
     /// Runs `f` while holding the writer lock and advances the fence to
     /// `f`'s commit timestamp once the mutation has fully installed.
+    ///
+    /// On a durable engine the writer lock covers only the in-memory
+    /// mutation and the WAL buffer append; the fsync that makes the commit
+    /// durable runs on the group-commit thread, and this writer parks on
+    /// the durable-LSN watermark *after* releasing the lock — so the next
+    /// writer's mutation overlaps this one's device sync.
     fn write_op<T>(
         &self,
         f: impl FnOnce(&TsbTree) -> TsbResult<T>,
         commit_ts: impl FnOnce(&T) -> Option<Timestamp>,
     ) -> TsbResult<T> {
-        let _writer = self.inner.writer.lock();
-        let out = f(&self.inner.tree)?;
-        if let Some(ts) = commit_ts(&out) {
-            // Single writer, but insert_at may replay an old timestamp:
-            // the fence never regresses.
-            self.inner.fence.fetch_max(ts.value(), Ordering::Release);
+        let (out, wait) = {
+            let _writer = self.inner.writer.lock();
+            let out = f(&self.inner.tree)?;
+            if let Some(ts) = commit_ts(&out) {
+                // Single writer, but insert_at may replay an old timestamp:
+                // the fence never regresses.
+                self.inner.fence.fetch_max(ts.value(), Ordering::Release);
+            }
+            // The pending-wait slot is single-entry and the next writer
+            // overwrites it, so it must be claimed before the lock drops.
+            let wait = self.inner.tree.take_pending_durable_wait();
+            (out, wait)
+        };
+        if let Some(lsn) = wait {
+            self.inner.tree.wait_durable_lsn(lsn)?;
         }
         Ok(out)
     }

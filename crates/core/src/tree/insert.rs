@@ -43,7 +43,8 @@ impl TsbTree {
     /// returning that timestamp. If the key already exists this records an
     /// update (the old version remains readable as of its own time).
     pub fn insert(&mut self, key: impl Into<Key>, value: Vec<u8>) -> TsbResult<Timestamp> {
-        self.insert_shared(key, value)
+        let result = self.insert_shared(key, value);
+        self.settle_durability(result)
     }
 
     /// [`Self::insert`] against `&self`, for callers that serialize writers
@@ -70,7 +71,8 @@ impl TsbTree {
         value: Vec<u8>,
         ts: Timestamp,
     ) -> TsbResult<()> {
-        self.insert_at_shared(key, value, ts)
+        let result = self.insert_at_shared(key, value, ts);
+        self.settle_durability(result)
     }
 
     /// [`Self::insert_at`] against `&self` (externally serialized writers).
@@ -91,7 +93,8 @@ impl TsbTree {
     /// commit timestamp. History remains readable; only reads at or after
     /// the returned timestamp observe the deletion.
     pub fn delete(&mut self, key: impl Into<Key>) -> TsbResult<Timestamp> {
-        self.delete_shared(key)
+        let result = self.delete_shared(key);
+        self.settle_durability(result)
     }
 
     /// [`Self::delete`] against `&self` (externally serialized writers).
@@ -103,7 +106,8 @@ impl TsbTree {
 
     /// Logically deletes `key` at an explicit timestamp (see [`Self::insert_at`]).
     pub fn delete_at(&mut self, key: impl Into<Key>, ts: Timestamp) -> TsbResult<()> {
-        self.delete_at_shared(key, ts)
+        let result = self.delete_at_shared(key, ts);
+        self.settle_durability(result)
     }
 
     /// [`Self::delete_at`] against `&self` (externally serialized writers).

@@ -17,7 +17,7 @@ pub mod insert;
 pub mod scan;
 pub mod search;
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::ops::Deref;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -87,6 +87,54 @@ pub(crate) struct Durability {
     /// makes the phantoms replayable — otherwise recovery would apply a
     /// change the caller was told failed.
     needs_reimage: Mutex<HashSet<PageId>>,
+    /// The durable-LSN wait deferred by the newest commit fence: set by
+    /// [`TsbTree::wal_commit`] when the fsync policy wants the commit
+    /// acknowledged only once durable. Single-writer wrappers consume and
+    /// wait inline ([`TsbTree::settle_durability`]); the concurrent engine
+    /// takes it while still holding its writer lock and parks *after*
+    /// releasing it (early lock release).
+    pending_wait: Mutex<Option<Lsn>>,
+    /// Fence-LSN → commit-timestamp bookkeeping against the WAL's durable
+    /// watermark: what [`TsbTree::last_durable_commit`] reports on live
+    /// durable trees.
+    acks: Mutex<CommitAcks>,
+}
+
+/// Maps the WAL's durable-LSN watermark back to commit timestamps: which
+/// commits are on stable storage right now.
+#[derive(Default)]
+struct CommitAcks {
+    /// Appended commit fences not yet settled, oldest first.
+    pending: VecDeque<(Lsn, Timestamp)>,
+    /// The newest commit timestamp whose fence the watermark covers.
+    durable_ts: Option<Timestamp>,
+}
+
+impl CommitAcks {
+    /// Bounds `pending` under `Os` (nothing waits, so only checkpoints
+    /// drain it): past the cap, a new fence coalesces into the newest
+    /// entry, under-reporting the overwritten commit's durability until
+    /// the newer fence syncs — the safe direction.
+    const CAP: usize = 4096;
+
+    /// Registers an appended commit fence.
+    fn push(&mut self, lsn: Lsn, ts: Timestamp) {
+        if self.pending.len() >= Self::CAP {
+            if let Some(back) = self.pending.back_mut() {
+                *back = (lsn, ts);
+                return;
+            }
+        }
+        self.pending.push_back((lsn, ts));
+    }
+
+    /// Marks every fence at or below `durable_lsn` durable.
+    fn settle(&mut self, durable_lsn: Lsn) {
+        while matches!(self.pending.front(), Some((lsn, _)) if *lsn <= durable_lsn) {
+            let (_, ts) = self.pending.pop_front().expect("front was just checked");
+            self.durable_ts = Some(self.durable_ts.map_or(ts, |prev| prev.max(ts)));
+        }
+    }
 }
 
 /// A page being rebuilt by recovery's replay: the newest logged image,
@@ -444,6 +492,8 @@ impl TsbTree {
             last_fence: Mutex::new(None),
             pending_delta_pages: Mutex::new(HashSet::new()),
             needs_reimage: Mutex::new(HashSet::new()),
+            pending_wait: Mutex::new(None),
+            acks: Mutex::new(CommitAcks::default()),
         }
     }
 
@@ -761,11 +811,22 @@ impl TsbTree {
         Ok(tree)
     }
 
-    /// The commit timestamp of the newest mutation this tree contains, when
-    /// the tree was produced by [`Self::recover`] — the durable prefix's
-    /// upper bound. `None` for trees not born from recovery.
+    /// The commit timestamp of the newest mutation known to be on stable
+    /// storage — the durable prefix's upper bound. For a tree produced by
+    /// [`Self::recover`] this starts at the recovery cut; on a live
+    /// durable tree it then advances with the WAL's durable-LSN watermark
+    /// as commit fences are fsynced (pipelined group commit). `None` for
+    /// non-durable trees that were also not born from recovery.
     pub fn last_durable_commit(&self) -> Option<Timestamp> {
-        self.recovered_to
+        let settled = self.durability.as_ref().and_then(|d| {
+            let mut acks = d.acks.lock();
+            acks.settle(d.wal.durable_lsn());
+            acks.durable_ts
+        });
+        match (self.recovered_to, settled) {
+            (Some(cut), Some(live)) => Some(cut.max(live)),
+            (cut, live) => cut.or(live),
+        }
     }
 
     /// Whether this tree redo-logs its mutations to a write-ahead log.
@@ -1012,6 +1073,11 @@ impl TsbTree {
             // their metadata against it.
             *d.last_fence.lock() = Some((self.current_root(), self.txns.lock().next_id_value()));
             d.worm_synced.store(worm_len, Ordering::Release);
+            // The checkpoint quiesced the commit pipeline: every appended
+            // fence is durable (the reset jumped the watermark over them)
+            // and no deferred wait remains outstanding.
+            d.acks.lock().settle(Lsn::MAX);
+            *d.pending_wait.lock() = None;
         }
         Ok(())
     }
@@ -1113,11 +1179,62 @@ impl TsbTree {
             worm_len,
             meta,
         };
-        self.wal_append(&record)?;
+        // Pipelined commit: the fence is appended (and its sync requested
+        // at policy boundaries) but *never* fsynced on this thread. The
+        // deferred wait lands in `pending_wait` for the engine wrapper to
+        // consume once its locks are released; the fence/timestamp pair
+        // lands in `acks` so `last_durable_commit` can track the watermark.
+        let (lsn, boundary) = d.wal.append_commit(&record).inspect_err(|_| {
+            self.poisoned.store(true, Ordering::Release);
+        })?;
+        {
+            let mut acks = d.acks.lock();
+            acks.push(lsn, ts);
+            acks.settle(d.wal.durable_lsn());
+        }
+        *d.pending_wait.lock() = boundary;
         while let Some((page, node)) = self.cache.any_dirty_overflow_victim() {
             self.write_back_dirty(page, &node)?;
         }
         Ok(())
+    }
+
+    /// Takes the durable-LSN wait deferred by the newest commit fence, if
+    /// any. The concurrent engine calls this while still holding its
+    /// writer lock (the cell is a single slot the next writer overwrites),
+    /// then parks via [`Self::wait_durable_lsn`] after releasing it.
+    pub(crate) fn take_pending_durable_wait(&self) -> Option<Lsn> {
+        self.durability.as_ref()?.pending_wait.lock().take()
+    }
+
+    /// Parks until the WAL's durable watermark covers `lsn` — the
+    /// acknowledgement half of a pipelined commit. A failed wait **poisons
+    /// the tree**: the fence was appended but can never become durable, so
+    /// the in-memory state is permanently ahead of the log.
+    pub(crate) fn wait_durable_lsn(&self, lsn: Lsn) -> TsbResult<()> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        d.wal.wait_durable(lsn).inspect_err(|_| {
+            self.poisoned.store(true, Ordering::Release);
+        })?;
+        d.acks.lock().settle(d.wal.durable_lsn());
+        Ok(())
+    }
+
+    /// Completes a single-writer mutation: consumes the deferred
+    /// durability wait and, when the mutation succeeded, parks on it —
+    /// preserving the acknowledgement contract (`insert` returning under
+    /// `Always` means the commit is on stable storage). The concurrent
+    /// engine splits these two steps around its writer-lock release
+    /// instead.
+    pub(crate) fn settle_durability<T>(&self, result: TsbResult<T>) -> TsbResult<T> {
+        let wait = self.take_pending_durable_wait();
+        let value = result?;
+        if let Some(lsn) = wait {
+            self.wait_durable_lsn(lsn)?;
+        }
+        Ok(value)
     }
 
     // ----- node I/O -------------------------------------------------------

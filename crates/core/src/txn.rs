@@ -151,7 +151,8 @@ impl TsbTree {
     /// [`Self::commit_txn`]). Fails with [`TsbError::WriteConflict`] if
     /// another in-flight transaction already wrote this key.
     pub fn txn_insert(&mut self, txn: TxnId, key: impl Into<Key>, value: Vec<u8>) -> TsbResult<()> {
-        self.txn_insert_shared(txn, key, value)
+        let result = self.txn_insert_shared(txn, key, value);
+        self.settle_durability(result)
     }
 
     /// [`Self::txn_insert`] against `&self` (externally serialized writers).
@@ -167,7 +168,8 @@ impl TsbTree {
 
     /// Logically deletes `key` within transaction `txn`.
     pub fn txn_delete(&mut self, txn: TxnId, key: impl Into<Key>) -> TsbResult<()> {
-        self.txn_delete_shared(txn, key)
+        let result = self.txn_delete_shared(txn, key);
+        self.settle_durability(result)
     }
 
     /// [`Self::txn_delete`] against `&self` (externally serialized writers).
@@ -211,7 +213,8 @@ impl TsbTree {
     /// single commit timestamp (the transaction's commit time), which is
     /// returned.
     pub fn commit_txn(&mut self, txn: TxnId) -> TsbResult<Timestamp> {
-        self.commit_txn_shared(txn)
+        let result = self.commit_txn_shared(txn);
+        self.settle_durability(result)
     }
 
     /// [`Self::commit_txn`] against `&self` (externally serialized writers).
@@ -275,7 +278,8 @@ impl TsbTree {
     /// from the current store. (This erasure is exactly what the write-once
     /// WOBT cannot do — §2.6, §5.)
     pub fn abort_txn(&mut self, txn: TxnId) -> TsbResult<()> {
-        self.abort_txn_shared(txn)
+        let result = self.abort_txn_shared(txn);
+        self.settle_durability(result)
     }
 
     /// [`Self::abort_txn`] against `&self` (externally serialized writers).

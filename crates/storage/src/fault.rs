@@ -36,8 +36,14 @@ pub enum CrashPoint {
     /// A record append reaching the write-ahead log (page image or commit
     /// fence).
     WalAppend,
-    /// The WAL's fsync (group-commit boundary).
+    /// The WAL's fsync (a group-commit drain, mid-capture: the crash lands
+    /// on the group-commit thread before the device sync is issued).
     WalSync,
+    /// The window between the WAL fsync completing and the durable-LSN
+    /// watermark being published: the crash kills the group-commit thread
+    /// holding commits that are durable on the device but were never
+    /// acknowledged to any waiter.
+    WalSyncPublish,
     /// The checkpoint record itself — the crash lands after the full flush
     /// succeeded but before the checkpoint fence is in the log.
     WalCheckpoint,
@@ -50,6 +56,7 @@ pub const ALL_CRASH_POINTS: &[CrashPoint] = &[
     CrashPoint::WormAppend,
     CrashPoint::WalAppend,
     CrashPoint::WalSync,
+    CrashPoint::WalSyncPublish,
     CrashPoint::WalCheckpoint,
 ];
 

@@ -62,6 +62,16 @@ pub struct IoStats {
     /// Bytes appended to the write-ahead log (frame bytes, including the
     /// length/CRC header), the E12a `wal B/op` numerator.
     pub wal_bytes_appended: AtomicU64,
+    /// Commit fences appended to the WAL (one per committed mutation group);
+    /// with `wal_syncs` this yields the commits-per-fsync sharing ratio.
+    pub wal_commits: AtomicU64,
+    /// Drains performed by the group-commit thread (each drain issues at
+    /// most one fsync covering every commit queued behind it).
+    pub group_commit_batches: AtomicU64,
+    /// Times a committer parked waiting for the durable-LSN watermark.
+    pub group_commit_waits: AtomicU64,
+    /// Total nanoseconds committers spent parked on the watermark.
+    pub group_commit_wait_nanos: AtomicU64,
 }
 
 impl IoStats {
@@ -165,6 +175,22 @@ impl IoStats {
         Self::bump(&self.wal_bytes_appended, n);
     }
 
+    /// Records a commit fence appended to the WAL.
+    pub fn record_wal_commit(&self) {
+        Self::bump(&self.wal_commits, 1);
+    }
+
+    /// Records one drain of the group-commit queue.
+    pub fn record_group_commit_batch(&self) {
+        Self::bump(&self.group_commit_batches, 1);
+    }
+
+    /// Records one parked wait on the durable watermark and its duration.
+    pub fn record_group_commit_wait(&self, nanos: u64) {
+        Self::bump(&self.group_commit_waits, 1);
+        Self::bump(&self.group_commit_wait_nanos, nanos);
+    }
+
     /// Takes a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -186,6 +212,10 @@ impl IoStats {
             wal_appends: self.wal_appends.load(Ordering::Relaxed),
             wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
             wal_bytes_appended: self.wal_bytes_appended.load(Ordering::Relaxed),
+            wal_commits: self.wal_commits.load(Ordering::Relaxed),
+            group_commit_batches: self.group_commit_batches.load(Ordering::Relaxed),
+            group_commit_waits: self.group_commit_waits.load(Ordering::Relaxed),
+            group_commit_wait_nanos: self.group_commit_wait_nanos.load(Ordering::Relaxed),
         }
     }
 
@@ -210,6 +240,10 @@ impl IoStats {
             &self.wal_appends,
             &self.wal_syncs,
             &self.wal_bytes_appended,
+            &self.wal_commits,
+            &self.group_commit_batches,
+            &self.group_commit_waits,
+            &self.group_commit_wait_nanos,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -255,6 +289,14 @@ pub struct IoSnapshot {
     pub wal_syncs: u64,
     /// See [`IoStats::wal_bytes_appended`].
     pub wal_bytes_appended: u64,
+    /// See [`IoStats::wal_commits`].
+    pub wal_commits: u64,
+    /// See [`IoStats::group_commit_batches`].
+    pub group_commit_batches: u64,
+    /// See [`IoStats::group_commit_waits`].
+    pub group_commit_waits: u64,
+    /// See [`IoStats::group_commit_wait_nanos`].
+    pub group_commit_wait_nanos: u64,
 }
 
 impl IoSnapshot {
@@ -290,6 +332,16 @@ impl IoSnapshot {
             wal_bytes_appended: self
                 .wal_bytes_appended
                 .saturating_sub(earlier.wal_bytes_appended),
+            wal_commits: self.wal_commits.saturating_sub(earlier.wal_commits),
+            group_commit_batches: self
+                .group_commit_batches
+                .saturating_sub(earlier.group_commit_batches),
+            group_commit_waits: self
+                .group_commit_waits
+                .saturating_sub(earlier.group_commit_waits),
+            group_commit_wait_nanos: self
+                .group_commit_wait_nanos
+                .saturating_sub(earlier.group_commit_wait_nanos),
         }
     }
 
@@ -317,13 +369,23 @@ impl IoSnapshot {
             Some(self.node_cache_hits as f64 / total as f64)
         }
     }
+
+    /// Commit fences acknowledged per WAL fsync — the group-commit sharing
+    /// ratio; `None` if no fsync happened in the window.
+    pub fn commits_per_fsync(&self) -> Option<f64> {
+        if self.wal_syncs == 0 {
+            None
+        } else {
+            Some(self.wal_commits as f64 / self.wal_syncs as f64)
+        }
+    }
 }
 
 impl fmt::Display for IoSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "magnetic r/w/alloc/free {}/{}/{}/{}  worm append/sector/read {}/{}/{}  cache hit/miss {}/{}  node accesses cur/hist {}/{}  node cache hit/miss {}/{}  decode/encode {}/{}  wal append/sync/bytes {}/{}/{}",
+            "magnetic r/w/alloc/free {}/{}/{}/{}  worm append/sector/read {}/{}/{}  cache hit/miss {}/{}  node accesses cur/hist {}/{}  node cache hit/miss {}/{}  decode/encode {}/{}  wal append/sync/bytes {}/{}/{}  commit fence/batch/wait/waitns {}/{}/{}/{}",
             self.magnetic_reads,
             self.magnetic_writes,
             self.magnetic_allocs,
@@ -342,6 +404,10 @@ impl fmt::Display for IoSnapshot {
             self.wal_appends,
             self.wal_syncs,
             self.wal_bytes_appended,
+            self.wal_commits,
+            self.group_commit_batches,
+            self.group_commit_waits,
+            self.group_commit_wait_nanos,
         )
     }
 }

@@ -81,12 +81,34 @@
 //! recovery's replay cut discards un-fenced records anyway.
 //! [`tsb_common::FsyncPolicy`] chooses how often commit records
 //! additionally force the file to stable storage; checkpoints always do.
+//!
+//! ## Pipelined commit: the fsync runs off the append path
+//!
+//! The device sync itself is **pipelined**: no append ever issues an
+//! fsync inline. A commit at a policy boundary instead *requests*
+//! durability of its fence LSN ([`Wal::append_commit`]) and then — on the
+//! caller's schedule, typically after the engine has released its writer
+//! lock — parks on the **durable-LSN watermark**
+//! ([`Wal::wait_durable`]). A dedicated group-commit thread drains the
+//! request queue: each drain captures the log tail, runs the pre-sync
+//! hook, issues **one** `fsync` covering every commit appended up to the
+//! capture, and broadcasts the new watermark to every parked committer.
+//! While the device works, the next mutations keep appending (the inner
+//! lock is not held across the sync), so under concurrent writers dozens
+//! of commits share one fsync — `Always` durability at `EveryN`-like
+//! throughput. A sync failure is sticky: it is published to the
+//! watermark, every parked and future waiter errors, and the engine
+//! poisons the tree. The per-policy wait rule: `Always` waits for its
+//! own fence LSN, `EveryN(n)` waits only when its commit lands on a
+//! group boundary, `Os` never waits.
 
 use std::collections::{HashMap, HashSet};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
@@ -418,8 +440,6 @@ struct WalInner {
     next_lsn: Lsn,
     /// Bytes of intact log (the append position), buffered bytes included.
     len: u64,
-    /// Newest LSN known to be on stable storage (fsynced).
-    synced_lsn: Lsn,
     commits_since_sync: u32,
     /// Appended frames not yet written to the file: the group-commit
     /// append buffer. Drained by one coalesced `write_all` at every fence
@@ -432,7 +452,8 @@ struct WalInner {
     /// in the about-to-be-durable prefix references history that could
     /// fail to survive). Deferring that work here, instead of paying it
     /// per commit, is what keeps `Os`/`EveryN` commits fsync-free.
-    pre_sync: Option<PreSyncHook>,
+    /// `Arc` so a capture can run it outside the inner lock.
+    pre_sync: Option<Arc<dyn Fn() -> TsbResult<()> + Send + Sync>>,
     injector: Option<Arc<FaultInjector>>,
 }
 
@@ -451,21 +472,77 @@ impl WalInner {
     }
 }
 
-/// The write-ahead log: an append-only, checksummed redo log over one file.
-pub struct Wal {
+/// Locks a std mutex, shrugging off poisoning (a panicked committer must
+/// not wedge every waiter — matching the parking_lot contract used
+/// elsewhere in the crate).
+fn lock_std<T>(mutex: &StdMutex<T>) -> StdMutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// What a sync request queue holds: the highest fence LSN whose
+/// durability was requested, and the shutdown flag for the committer
+/// thread. Guarded by [`GroupCommit::queue`] / woken via
+/// [`GroupCommit::work`].
+#[derive(Default)]
+struct SyncQueue {
+    requested: Lsn,
+    shutdown: bool,
+}
+
+/// The durable-LSN watermark: every record at or below `lsn` is on stable
+/// storage. `failed` is the sticky sync error — once a drain fails, every
+/// parked and future waiter observes it.
+#[derive(Default)]
+struct DurableMark {
+    lsn: Lsn,
+    failed: Option<String>,
+}
+
+/// The pipelined group-commit state shared between committers (append
+/// threads) and the dedicated sync thread. Uses `std::sync` primitives
+/// because the workspace's parking_lot shim carries no condvar.
+///
+/// Lock order (never reversed): `queue` before `durable`; the record
+/// state's inner lock before `durable`. `queue` and the inner lock are
+/// never held together.
+#[derive(Default)]
+struct GroupCommit {
+    /// See [`SyncQueue`].
+    queue: StdMutex<SyncQueue>,
+    /// Wakes the committer thread when `queue.requested` advances.
+    work: Condvar,
+    /// See [`DurableMark`].
+    durable: StdMutex<DurableMark>,
+    /// Broadcasts watermark advances (and failures) to parked committers.
+    published: Condvar,
+}
+
+/// The state shared between [`Wal`] handles, their callers, and the
+/// group-commit thread.
+struct WalShared {
     inner: Mutex<WalInner>,
     policy: FsyncPolicy,
-    path: PathBuf,
     stats: Arc<IoStats>,
+    group: GroupCommit,
+}
+
+/// The write-ahead log: an append-only, checksummed redo log over one
+/// file, synced by a dedicated group-commit thread (see the module docs).
+pub struct Wal {
+    shared: Arc<WalShared>,
+    path: PathBuf,
+    /// The group-commit thread, joined on drop.
+    committer: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Wal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock();
+        let inner = self.shared.inner.lock();
         f.debug_struct("Wal")
             .field("next_lsn", &inner.next_lsn)
             .field("bytes", &inner.len)
-            .field("policy", &self.policy)
+            .field("durable_lsn", &self.shared.durable_lsn())
+            .field("policy", &self.shared.policy)
             .finish()
     }
 }
@@ -478,6 +555,226 @@ pub struct WalScan {
     pub records: Vec<(Lsn, WalRecord)>,
     /// Whether a torn tail (partial or corrupt trailing record) was cut off.
     pub truncated_torn_tail: bool,
+}
+
+impl WalShared {
+    /// The durable-LSN watermark (0 when nothing is durable yet).
+    fn durable_lsn(&self) -> Lsn {
+        lock_std(&self.group.durable).lsn
+    }
+
+    /// Advances the watermark to `lsn` (monotonic: a stale publish from a
+    /// drain that raced a checkpoint reset is a no-op) and wakes every
+    /// parked committer.
+    fn publish_durable(&self, lsn: Lsn) {
+        let mut mark = lock_std(&self.group.durable);
+        if lsn > mark.lsn {
+            mark.lsn = lsn;
+        }
+        drop(mark);
+        self.group.published.notify_all();
+    }
+
+    /// Publishes a sticky sync failure: every parked and future
+    /// [`Self::wait_durable`] call errors with it.
+    fn publish_failure(&self, err: &TsbError) {
+        let mut mark = lock_std(&self.group.durable);
+        if mark.failed.is_none() {
+            mark.failed = Some(err.to_string());
+        }
+        drop(mark);
+        self.group.published.notify_all();
+    }
+
+    /// Asks the group-commit thread to make everything through `lsn`
+    /// durable. Returns immediately; callers park via
+    /// [`Self::wait_durable`] when their policy requires it.
+    fn request_sync(&self, lsn: Lsn) {
+        let mut queue = lock_std(&self.group.queue);
+        if lsn > queue.requested {
+            queue.requested = lsn;
+            drop(queue);
+            self.group.work.notify_one();
+        }
+    }
+
+    /// Parks until the watermark reaches `lsn` or a sync failure is
+    /// published. The parked time lands in the group-commit wait counters.
+    fn wait_durable(&self, lsn: Lsn) -> TsbResult<()> {
+        let mut mark = lock_std(&self.group.durable);
+        if mark.lsn >= lsn {
+            return Ok(());
+        }
+        let start = Instant::now();
+        loop {
+            if mark.lsn >= lsn {
+                drop(mark);
+                self.stats
+                    .record_group_commit_wait(start.elapsed().as_nanos() as u64);
+                return Ok(());
+            }
+            // A commit already durable is durable no matter what happened
+            // to a *later* drain, hence the watermark check first.
+            if let Some(msg) = &mark.failed {
+                let err = TsbError::Io(std::io::Error::other(msg.clone()));
+                drop(mark);
+                self.stats
+                    .record_group_commit_wait(start.elapsed().as_nanos() as u64);
+                return Err(err);
+            }
+            mark = self
+                .group
+                .published
+                .wait(mark)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Appends one record under the inner lock: frames it into the append
+    /// buffer, flushes the buffer on fences and overflow, and — for commit
+    /// fences — runs the policy's boundary arithmetic. Returns the record's
+    /// LSN plus, for a boundary commit, the fence LSN the caller must get
+    /// made durable (request + wait). Never syncs inline.
+    fn append_record(&self, record: &WalRecord) -> TsbResult<(Lsn, Option<Lsn>)> {
+        let mut inner = self.inner.lock();
+        let point = match record {
+            WalRecord::Checkpoint { .. } => CrashPoint::WalCheckpoint,
+            _ => CrashPoint::WalAppend,
+        };
+        if let Some(injector) = &inner.injector {
+            injector.check(point)?;
+        }
+        let lsn = inner.next_lsn;
+        let body = record.encode_body(lsn);
+        let frame_len = 8 + body.len();
+        inner.pending.reserve(frame_len);
+        inner
+            .pending
+            .extend_from_slice(&(body.len() as u32).to_le_bytes());
+        let crc = crc32(&body);
+        inner.pending.extend_from_slice(&crc.to_le_bytes());
+        inner.pending.extend_from_slice(&body);
+        inner.next_lsn += 1;
+        inner.len += frame_len as u64;
+        self.stats.record_wal_append();
+        self.stats.record_wal_bytes(frame_len as u64);
+
+        let is_fence = matches!(
+            record,
+            WalRecord::Commit { .. } | WalRecord::Checkpoint { .. }
+        );
+        if is_fence || inner.pending.len() >= APPEND_BUFFER_FLUSH_BYTES {
+            inner.flush_pending()?;
+        }
+        let boundary = match record {
+            WalRecord::Commit { .. } => {
+                self.stats.record_wal_commit();
+                inner.commits_since_sync += 1;
+                let at_boundary = match self.policy {
+                    FsyncPolicy::Always => true,
+                    FsyncPolicy::EveryN(n) => inner.commits_since_sync >= n.max(1),
+                    FsyncPolicy::Os => false,
+                };
+                at_boundary.then_some(lsn)
+            }
+            // Checkpoints always sync, on the caller's thread; page
+            // records never do.
+            _ => None,
+        };
+        Ok((lsn, boundary))
+    }
+
+    /// Forces everything appended so far to stable storage and publishes
+    /// the watermark. The capture (flush + tail LSN + file handle) runs
+    /// under the inner lock; the device sync runs *outside* it, so the
+    /// next mutation's appends proceed while the device works — the
+    /// pipelining that lets concurrent commits share one fsync. Any error
+    /// is published as the sticky failure before it returns. Returns
+    /// whether a sync was actually performed (false = already durable).
+    fn sync_to_tail(&self, from_committer: bool) -> TsbResult<bool> {
+        let result = self.sync_to_tail_inner(from_committer);
+        if let Err(e) = &result {
+            self.publish_failure(e);
+        }
+        result
+    }
+
+    fn sync_to_tail_inner(&self, from_committer: bool) -> TsbResult<bool> {
+        let (target, file, hook, injector) = {
+            let mut inner = self.inner.lock();
+            let target = inner.next_lsn - 1;
+            if target <= self.durable_lsn() {
+                // Nothing undurable; the append buffer is necessarily
+                // empty (un-flushed appends hold LSNs above the mark).
+                return Ok(false);
+            }
+            if let Some(injector) = &inner.injector {
+                injector.check(CrashPoint::WalSync)?;
+            }
+            inner.flush_pending()?;
+            inner.commits_since_sync = 0;
+            (
+                target,
+                inner.file.try_clone()?,
+                inner.pre_sync.clone(),
+                inner.injector.clone(),
+            )
+        };
+        // The target was captured *before* the hook runs: the WORM store
+        // is append-only, so syncing it to its current length covers the
+        // history referenced by every commit at or below the capture. (A
+        // commit appended after the capture may reach the device by this
+        // fsync with WORM references the hook never covered — recovery's
+        // worm_len cut rule discards exactly those, and nothing
+        // acknowledged them.)
+        if let Some(hook) = &hook {
+            hook()?;
+        }
+        file.sync_all()?;
+        if let Some(injector) = &injector {
+            // The window between the device sync and the watermark
+            // broadcast: a crash here has durable-but-unacknowledged
+            // commits, which recovery must keep (they cost nothing) while
+            // the engine must not have reported them committed.
+            injector.check(CrashPoint::WalSyncPublish)?;
+        }
+        // Count the sync *before* broadcasting the watermark: a waiter
+        // woken by the publish must observe its sync in the counters.
+        self.stats.record_wal_sync();
+        if from_committer {
+            self.stats.record_group_commit_batch();
+        }
+        self.publish_durable(target);
+        Ok(true)
+    }
+
+    /// The group-commit thread body: park until a fence LSN beyond the
+    /// watermark is requested, drain (one fsync per wake), repeat. Exits
+    /// on shutdown or after publishing a sync failure — the failure is
+    /// sticky, so staying alive to fail every future drain adds nothing.
+    fn committer_loop(self: &Arc<Self>) {
+        loop {
+            {
+                let mut queue = lock_std(&self.group.queue);
+                loop {
+                    if queue.shutdown {
+                        return;
+                    }
+                    if queue.requested > self.durable_lsn() {
+                        break;
+                    }
+                    queue = self
+                        .group
+                        .work
+                        .wait(queue)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
+            if self.sync_to_tail(true).is_err() {
+                return;
+            }
+        }
+    }
 }
 
 impl Wal {
@@ -510,21 +807,51 @@ impl Wal {
         // the now-unreachable inode.
         file.sync_all()?;
         sync_parent_dir(&path)?;
-        Ok(Wal {
-            inner: Mutex::new(WalInner {
+        Ok(Self::assemble(
+            WalInner {
                 file,
                 next_lsn: 1,
                 len: 0,
-                synced_lsn: 0,
                 commits_since_sync: 0,
                 pending: Vec::new(),
                 pre_sync: None,
                 injector: None,
-            }),
+            },
             policy,
             path,
             stats,
-        })
+            0,
+        ))
+    }
+
+    /// Wraps the opened inner state, seeds the durable watermark, and
+    /// spawns the group-commit thread.
+    fn assemble(
+        inner: WalInner,
+        policy: FsyncPolicy,
+        path: PathBuf,
+        stats: Arc<IoStats>,
+        durable_lsn: Lsn,
+    ) -> Wal {
+        let shared = Arc::new(WalShared {
+            inner: Mutex::new(inner),
+            policy,
+            stats,
+            group: GroupCommit::default(),
+        });
+        lock_std(&shared.group.durable).lsn = durable_lsn;
+        let committer = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tsb-wal-commit".into())
+                .spawn(move || shared.committer_loop())
+                .expect("spawn the WAL group-commit thread")
+        };
+        Wal {
+            shared,
+            path,
+            committer: Some(committer),
+        }
     }
 
     /// Opens (or creates) the log at `path`, scanning every record and
@@ -562,23 +889,23 @@ impl Wal {
         }
         file.seek(SeekFrom::Start(pos as u64))?;
         Ok((
-            Wal {
-                inner: Mutex::new(WalInner {
+            Self::assemble(
+                WalInner {
                     file,
                     next_lsn,
                     len: pos as u64,
-                    // Everything that survived on disk is as durable as it
-                    // will ever be.
-                    synced_lsn: next_lsn - 1,
                     commits_since_sync: 0,
                     pending: Vec::new(),
                     pre_sync: None,
                     injector: None,
-                }),
+                },
                 policy,
                 path,
                 stats,
-            },
+                // Everything that survived on disk is as durable as it
+                // will ever be.
+                next_lsn - 1,
+            ),
             WalScan {
                 records,
                 truncated_torn_tail: torn,
@@ -676,108 +1003,92 @@ impl Wal {
 
     /// The configured fsync policy.
     pub fn policy(&self) -> FsyncPolicy {
-        self.policy
+        self.shared.policy
     }
 
     /// The LSN the next append will receive.
     pub fn next_lsn(&self) -> Lsn {
-        self.inner.lock().next_lsn
+        self.shared.inner.lock().next_lsn
     }
 
     /// The LSN of the newest appended record (0 if the log is empty).
     pub fn last_lsn(&self) -> Lsn {
-        self.inner.lock().next_lsn - 1
+        self.shared.inner.lock().next_lsn - 1
+    }
+
+    /// The durable-LSN watermark: every record at or below it is on
+    /// stable storage.
+    pub fn durable_lsn(&self) -> Lsn {
+        self.shared.durable_lsn()
     }
 
     /// Bytes of intact log on disk.
     pub fn bytes(&self) -> u64 {
-        self.inner.lock().len
+        self.shared.inner.lock().len
     }
 
     /// Wires a fault injector into the append and sync paths (tests only).
     pub fn set_fault_injector(&self, injector: Arc<FaultInjector>) {
-        self.inner.lock().injector = Some(injector);
+        self.shared.inner.lock().injector = Some(injector);
     }
 
     /// Installs the hook that runs before every fsync of the log (see
     /// [`WalInner::pre_sync`]); the sync is abandoned if the hook errors.
     pub fn set_pre_sync_hook(&self, hook: PreSyncHook) {
-        self.inner.lock().pre_sync = Some(hook);
+        self.shared.inner.lock().pre_sync = Some(Arc::from(hook));
     }
 
     /// Appends one record, returning its LSN. The frame lands in the
     /// append buffer; fence records (`Commit` / `Checkpoint`) drain the
     /// buffer to the file in one coalesced `write_all` — the whole
-    /// mutation group in one syscall — and additionally fsync per the
-    /// policy (checkpoints always).
+    /// mutation group in one syscall. A commit at a policy boundary is
+    /// additionally made durable before this returns (request + park on
+    /// the watermark); checkpoints always sync, on this thread. Callers
+    /// that can release locks between the append and the park use
+    /// [`Self::append_commit`] + [`Self::wait_durable`] instead.
     pub fn append(&self, record: &WalRecord) -> TsbResult<Lsn> {
-        let mut inner = self.inner.lock();
-        let point = match record {
-            WalRecord::Checkpoint { .. } => CrashPoint::WalCheckpoint,
-            _ => CrashPoint::WalAppend,
-        };
-        if let Some(injector) = &inner.injector {
-            injector.check(point)?;
-        }
-        let lsn = inner.next_lsn;
-        let body = record.encode_body(lsn);
-        let frame_len = 8 + body.len();
-        inner.pending.reserve(frame_len);
-        inner
-            .pending
-            .extend_from_slice(&(body.len() as u32).to_le_bytes());
-        let crc = crc32(&body);
-        inner.pending.extend_from_slice(&crc.to_le_bytes());
-        inner.pending.extend_from_slice(&body);
-        inner.next_lsn += 1;
-        inner.len += frame_len as u64;
-        self.stats.record_wal_append();
-        self.stats.record_wal_bytes(frame_len as u64);
-
-        let is_fence = matches!(
-            record,
-            WalRecord::Commit { .. } | WalRecord::Checkpoint { .. }
-        );
-        if is_fence || inner.pending.len() >= APPEND_BUFFER_FLUSH_BYTES {
-            inner.flush_pending()?;
-        }
-        let sync_now = match record {
-            WalRecord::Checkpoint { .. } => true,
+        match record {
             WalRecord::Commit { .. } => {
-                inner.commits_since_sync += 1;
-                match self.policy {
-                    FsyncPolicy::Always => true,
-                    FsyncPolicy::EveryN(n) => inner.commits_since_sync >= n.max(1),
-                    FsyncPolicy::Os => false,
+                let (lsn, boundary) = self.append_commit(record)?;
+                if let Some(fence) = boundary {
+                    self.wait_durable(fence)?;
                 }
+                Ok(lsn)
             }
-            WalRecord::PageImage { .. } | WalRecord::PageDelta { .. } => false,
-        };
-        if sync_now {
-            Self::sync_locked(&mut inner, &self.stats)?;
+            WalRecord::Checkpoint { .. } => {
+                let (lsn, _) = self.shared.append_record(record)?;
+                self.shared.sync_to_tail(false)?;
+                Ok(lsn)
+            }
+            _ => Ok(self.shared.append_record(record)?.0),
         }
-        Ok(lsn)
     }
 
-    fn sync_locked(inner: &mut WalInner, stats: &IoStats) -> TsbResult<()> {
-        if let Some(injector) = &inner.injector {
-            injector.check(CrashPoint::WalSync)?;
+    /// Appends a commit fence and *requests* (never performs) its sync.
+    /// Returns `(lsn, boundary)`: `boundary` is `Some(fence_lsn)` exactly
+    /// when the policy wants this commit durable before it is
+    /// acknowledged — the caller should release its locks, then
+    /// [`Self::wait_durable`] on it. `None` means acknowledge immediately
+    /// (`Os` always; `EveryN` off-boundary).
+    pub fn append_commit(&self, record: &WalRecord) -> TsbResult<(Lsn, Option<Lsn>)> {
+        debug_assert!(matches!(record, WalRecord::Commit { .. }));
+        let (lsn, boundary) = self.shared.append_record(record)?;
+        if let Some(fence) = boundary {
+            self.shared.request_sync(fence);
         }
-        if let Some(hook) = &inner.pre_sync {
-            hook()?;
-        }
-        inner.flush_pending()?;
-        inner.file.sync_all()?;
-        inner.synced_lsn = inner.next_lsn - 1;
-        inner.commits_since_sync = 0;
-        stats.record_wal_sync();
-        Ok(())
+        Ok((lsn, boundary))
     }
 
-    /// Forces everything appended so far to stable storage.
+    /// Parks until the durable watermark reaches `lsn`; errors if a sync
+    /// failure was published (the failure is sticky).
+    pub fn wait_durable(&self, lsn: Lsn) -> TsbResult<()> {
+        self.shared.wait_durable(lsn)
+    }
+
+    /// Forces everything appended so far to stable storage before
+    /// returning. No-op when the tail is already durable.
     pub fn sync(&self) -> TsbResult<()> {
-        let mut inner = self.inner.lock();
-        Self::sync_locked(&mut inner, &self.stats)
+        self.shared.sync_to_tail(false).map(|_| ())
     }
 
     /// Forces the log to stable storage only if records were appended since
@@ -785,12 +1096,10 @@ impl Wal {
     /// page may reach the page device only when every log record that could
     /// be needed to reproduce (or supersede) its content is already stable,
     /// whatever the commit fsync policy says. No-op when nothing is pending.
+    /// Runs on the calling thread (synchronously), possibly alongside a
+    /// concurrent committer drain — both publish the watermark.
     pub fn ensure_all_synced(&self) -> TsbResult<()> {
-        let mut inner = self.inner.lock();
-        if inner.synced_lsn + 1 >= inner.next_lsn {
-            return Ok(());
-        }
-        Self::sync_locked(&mut inner, &self.stats)
+        self.shared.sync_to_tail(false).map(|_| ())
     }
 
     /// Atomically replaces the whole log with a single `record` (a
@@ -809,7 +1118,7 @@ impl Wal {
     /// [`Self::open`] rolls forward — never a fence-less hybrid. LSNs keep
     /// counting across generations (the scanner accepts any starting LSN).
     pub fn reset_with(&self, record: &WalRecord) -> TsbResult<Lsn> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shared.inner.lock();
         if let Some(injector) = &inner.injector {
             injector.check(CrashPoint::WalCheckpoint)?;
         }
@@ -831,28 +1140,46 @@ impl Wal {
         file.sync_all()?;
         std::fs::rename(&tmp, &self.path)?;
         sync_parent_dir(&self.path)?;
-        self.stats.record_wal_append();
-        self.stats.record_wal_bytes(frame.len() as u64);
-        self.stats.record_wal_sync();
+        self.shared.stats.record_wal_append();
+        self.shared.stats.record_wal_bytes(frame.len() as u64);
+        self.shared.stats.record_wal_sync();
         inner.file = file;
         inner.next_lsn = lsn + 1;
         inner.len = frame.len() as u64;
-        inner.synced_lsn = lsn;
         inner.commits_since_sync = 0;
         // Anything the old generation still buffered precedes the new
         // fence and is unreplayable by construction.
         inner.pending.clear();
+        drop(inner);
+        // The fence is the newest LSN and it is durable, so this jumps the
+        // watermark over everything the old generation ever held: the
+        // checkpoint quiesces the pipeline (parked committers wake
+        // satisfied, a racing drain's stale publish is a monotonic no-op)
+        // and the committer thread sees its requests already covered. A
+        // drain that raced the rename fsyncs the renamed-over file handle,
+        // which is harmless.
+        self.shared.publish_durable(lsn);
         Ok(lsn)
     }
 }
 
 impl Drop for Wal {
-    /// Best-effort drain of the append buffer: a *clean* shutdown keeps
-    /// every appended record reachable on reopen, exactly as when appends
-    /// wrote through. (A killed process loses only un-fenced buffered
-    /// records, which recovery's replay cut would discard regardless.)
+    /// Shuts down and joins the group-commit thread (an in-flight drain
+    /// completes first), then best-effort drains the append buffer: a
+    /// *clean* shutdown keeps every appended record reachable on reopen,
+    /// exactly as when appends wrote through. (A killed process loses only
+    /// un-fenced buffered records, which recovery's replay cut would
+    /// discard regardless.)
     fn drop(&mut self) {
-        let _ = self.inner.lock().flush_pending();
+        {
+            let mut queue = lock_std(&self.shared.group.queue);
+            queue.shutdown = true;
+        }
+        self.shared.group.work.notify_all();
+        if let Some(committer) = self.committer.take() {
+            let _ = committer.join();
+        }
+        let _ = self.shared.inner.lock().flush_pending();
     }
 }
 

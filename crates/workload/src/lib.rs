@@ -23,6 +23,11 @@
 //!   writer stream plus per-reader query plans whose read times are pinned
 //!   as fractions of the installed history, so multi-threaded runs stay
 //!   oracle-checkable (see [`concurrent`]),
+//! * [`DurableDriveSpec`] / [`drive_durable`] — a closed-loop
+//!   multi-threaded durable write driver: N writer threads each commit
+//!   their next op only after the previous was acknowledged, measuring how
+//!   many commits share each fsync under the engine's group-commit
+//!   pipeline (see [`durable`]),
 //! * [`CrashSpec`] / [`crash_matrix`] — crash scenarios for the durability
 //!   subsystem: a deterministic op stream plus an injected device death
 //!   (write budget or named crash point), driven against a WAL-attached
@@ -34,6 +39,7 @@
 pub mod concurrent;
 pub mod crash;
 pub mod distributions;
+pub mod durable;
 pub mod generator;
 pub mod oracle;
 pub mod queries;
@@ -42,6 +48,7 @@ pub mod scenarios;
 pub use concurrent::{pin_fraction, ConcurrentSpec, ReaderQuery, ReaderQueryKind};
 pub use crash::{crash_matrix, CrashSpec, CrashTrigger};
 pub use distributions::KeyDistribution;
+pub use durable::{drive_durable, DurableDriveReport, DurableDriveSpec};
 pub use generator::{generate_ops, Op, WorkloadSpec};
 pub use oracle::Oracle;
 pub use queries::{generate_queries, Query, QueryMix};
