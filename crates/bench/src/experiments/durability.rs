@@ -114,7 +114,7 @@ pub fn fsync_floor(rounds: usize) -> Duration {
 /// `throughput / ceiling` as a printable percentage, where the ceiling is
 /// the throughput the run would reach if its fsyncs were its *only* cost
 /// (`ops / (fsyncs × floor)`). Rows that issued no fsync have no ceiling.
-fn pct_of_fsync_ceiling(ops: u64, fsyncs: u64, elapsed: f64, floor: Duration) -> String {
+pub(crate) fn pct_of_fsync_ceiling(ops: u64, fsyncs: u64, elapsed: f64, floor: Duration) -> String {
     if fsyncs == 0 || ops == 0 {
         return "-".to_string();
     }
@@ -402,5 +402,21 @@ mod tests {
             floor < Duration::from_secs(1),
             "fsync floor implausibly slow"
         );
+    }
+
+    /// The zero-fsync cells (`Os` rows) and empty runs must render `-`,
+    /// never `NaN`/`inf` — pinned so the tables and BENCH JSON stay clean.
+    #[test]
+    fn ceiling_cell_renders_dash_for_zero_denominators() {
+        let floor = Duration::from_micros(100);
+        assert_eq!(pct_of_fsync_ceiling(100, 0, 1.0, floor), "-");
+        assert_eq!(pct_of_fsync_ceiling(0, 10, 1.0, floor), "-");
+        assert_eq!(pct_of_fsync_ceiling(0, 0, 0.0, floor), "-");
+        // A degenerate floor still yields a finite percentage.
+        let cell = pct_of_fsync_ceiling(100, 10, 1.0, Duration::ZERO);
+        assert!(cell.ends_with('%') && !cell.contains("NaN") && !cell.contains("inf"));
+        // And a sane row renders a percentage.
+        let cell = pct_of_fsync_ceiling(1000, 100, 0.5, floor);
+        assert!(cell.ends_with('%'), "unexpected cell: {cell}");
     }
 }

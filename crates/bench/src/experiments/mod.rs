@@ -12,6 +12,7 @@ pub mod durability;
 pub mod policy_space;
 pub mod query_cost;
 pub mod ratio_sweep;
+pub mod served;
 pub mod worm_utilization;
 
 use crate::measure::Scale;
@@ -19,7 +20,7 @@ use crate::report::Table;
 
 /// Every experiment id the harness knows about.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
 ];
 
 /// Runs one experiment by id, returning its tables.
@@ -45,6 +46,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "e10" | "concurrency" => Some(concurrency::run(scale)),
         "e11" | "descent-fanout" => Some(descent_fanout::run(scale)),
         "e12" | "durability" => Some(durability::run(scale)),
+        "e13" | "served" => Some(served::run(scale)),
         _ => None,
     }
 }
@@ -59,6 +61,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     out.extend(concurrency::run(scale));
     out.extend(descent_fanout::run(scale));
     out.extend(durability::run(scale));
+    out.extend(served::run(scale));
     out.extend(worm_utilization::run(scale));
     out.extend(baseline::run(scale));
     out.extend(ablation::run(scale));

@@ -126,6 +126,13 @@ mod tests {
     use super::*;
 
     #[test]
+    fn speedup_renders_dash_for_zero_or_negative_denominator() {
+        assert_eq!(speedup(100.0, 0.0), "-");
+        assert_eq!(speedup(100.0, -1.0), "-");
+        assert_eq!(speedup(100.0, 50.0), "2.00x");
+    }
+
+    #[test]
     fn table_renders_aligned_columns() {
         let mut t = Table::new("E0: demo", "note line", &["policy", "space", "redundancy"]);
         t.push_row(vec!["wobt-like".into(), "123.4".into(), "1.280".into()]);

@@ -1,0 +1,275 @@
+//! `tsb-client`: a blocking TCP client for `tsb-server` that supports
+//! request pipelining.
+//!
+//! Every request carries a client-chosen id; the server echoes it in the
+//! reply, so a connection may keep many requests in flight and match
+//! responses as they arrive. [`TsbClient`] exposes both styles:
+//!
+//! * **Sync conveniences** ([`TsbClient::put`], [`TsbClient::get`], …)
+//!   send one request and block for its reply — the closed-loop client.
+//! * **Pipelining primitives** ([`TsbClient::send`], [`TsbClient::recv_any`],
+//!   [`TsbClient::wait_for`]) let a caller queue a window of requests
+//!   before reaping replies. With several such connections (or one with a
+//!   deep window), the server batches their commits into shared fsyncs —
+//!   the over-the-wire face of the engine's pipelined group commit.
+//!
+//! Replies that arrive while waiting for a specific id are parked and
+//! handed out later; nothing is dropped. The wire format is re-exported
+//! as [`protocol`].
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use tsb_common::{Key, KeyRange, TimeRange, Timestamp, TsbError, TsbResult, TxnId, Version};
+
+pub use tsb_server::protocol;
+
+use protocol::{FrameDecoder, Reply, Request};
+
+/// One connection to a `tsb-server`.
+///
+/// Not `Sync` by design: a pipelined protocol needs one reader of the
+/// response stream. Open one client per thread (that is also what gives
+/// the server fsync-sharing across connections).
+pub struct TsbClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Replies that arrived while waiting for a different id.
+    parked: BTreeMap<u64, Reply>,
+    next_id: u64,
+    read_buf: Vec<u8>,
+}
+
+impl TsbClient {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> TsbResult<TsbClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(TsbClient {
+            stream,
+            decoder: FrameDecoder::new(),
+            parked: BTreeMap::new(),
+            next_id: 1,
+            read_buf: vec![0u8; 64 * 1024],
+        })
+    }
+
+    // ----- pipelining primitives -----------------------------------------
+
+    /// Sends `req` immediately and returns its request id without waiting
+    /// for the reply. Queue as many as you like; reap with
+    /// [`Self::recv_any`] or [`Self::wait_for`].
+    pub fn send(&mut self, req: &Request) -> TsbResult<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.stream.write_all(&protocol::encode_request(id, req))?;
+        Ok(id)
+    }
+
+    /// Returns the next available reply (a parked one, else blocks on the
+    /// wire). Use when any completion order is acceptable.
+    pub fn recv_any(&mut self) -> TsbResult<(u64, Reply)> {
+        if let Some((&id, _)) = self.parked.iter().next() {
+            let reply = self.parked.remove(&id).unwrap();
+            return Ok((id, reply));
+        }
+        self.read_one()
+    }
+
+    /// Blocks until the reply for `id` arrives, parking any replies to
+    /// other in-flight requests.
+    pub fn wait_for(&mut self, id: u64) -> TsbResult<Reply> {
+        if let Some(reply) = self.parked.remove(&id) {
+            return Ok(reply);
+        }
+        loop {
+            let (got, reply) = self.read_one()?;
+            if got == id {
+                return Ok(reply);
+            }
+            self.parked.insert(got, reply);
+        }
+    }
+
+    /// Number of replies parked (received but not yet handed out).
+    pub fn parked(&self) -> usize {
+        self.parked.len()
+    }
+
+    fn read_one(&mut self) -> TsbResult<(u64, Reply)> {
+        loop {
+            match self.decoder.next_frame()? {
+                Some(body) => {
+                    let (id, reply) = protocol::parse_reply(&body)?;
+                    return Ok((id, reply));
+                }
+                None => {
+                    let n = self.stream.read(&mut self.read_buf)?;
+                    if n == 0 {
+                        return Err(TsbError::Io(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "server closed the connection",
+                        )));
+                    }
+                    let filled = &self.read_buf[..n];
+                    self.decoder.feed(filled);
+                }
+            }
+        }
+    }
+
+    // ----- closed-loop conveniences --------------------------------------
+
+    /// Durable insert; returns the commit timestamp once acknowledged.
+    pub fn put(&mut self, key: impl Into<Key>, value: Vec<u8>) -> TsbResult<Timestamp> {
+        let id = self.send(&Request::Put {
+            key: key.into(),
+            value,
+        })?;
+        committed(self.wait_for(id)?)
+    }
+
+    /// Durable delete; returns the tombstone's commit timestamp.
+    pub fn delete(&mut self, key: impl Into<Key>) -> TsbResult<Timestamp> {
+        let id = self.send(&Request::Delete { key: key.into() })?;
+        committed(self.wait_for(id)?)
+    }
+
+    /// Current-state point read.
+    pub fn get(&mut self, key: impl Into<Key>) -> TsbResult<Option<Vec<u8>>> {
+        let id = self.send(&Request::Get { key: key.into() })?;
+        value(self.wait_for(id)?)
+    }
+
+    /// As-of point read.
+    pub fn get_as_of(
+        &mut self,
+        key: impl Into<Key>,
+        as_of: Timestamp,
+    ) -> TsbResult<Option<Vec<u8>>> {
+        let id = self.send(&Request::GetAsOf {
+            key: key.into(),
+            as_of,
+        })?;
+        value(self.wait_for(id)?)
+    }
+
+    /// Range scan; `as_of: None` reads the current database.
+    pub fn range(
+        &mut self,
+        range: KeyRange,
+        as_of: Option<Timestamp>,
+    ) -> TsbResult<Vec<(Key, Vec<u8>)>> {
+        let id = self.send(&Request::Range { range, as_of })?;
+        match self.wait_for(id)? {
+            Reply::Rows { rows } => Ok(rows),
+            other => unexpected("Rows", other),
+        }
+    }
+
+    /// Version history of `key` within `window`.
+    pub fn history(&mut self, key: impl Into<Key>, window: TimeRange) -> TsbResult<Vec<Version>> {
+        let id = self.send(&Request::History {
+            key: key.into(),
+            window,
+        })?;
+        match self.wait_for(id)? {
+            Reply::Versions { versions } => Ok(versions),
+            other => unexpected("Versions", other),
+        }
+    }
+
+    /// Begins a multi-key transaction on this connection.
+    pub fn txn_begin(&mut self) -> TsbResult<TxnId> {
+        let id = self.send(&Request::TxnBegin)?;
+        match self.wait_for(id)? {
+            Reply::Txn { txn } => Ok(txn),
+            other => unexpected("Txn", other),
+        }
+    }
+
+    /// Buffers a write inside `txn` (`None` = delete).
+    pub fn txn_write(
+        &mut self,
+        txn: TxnId,
+        key: impl Into<Key>,
+        value: Option<Vec<u8>>,
+    ) -> TsbResult<()> {
+        let id = self.send(&Request::TxnWrite {
+            txn,
+            key: key.into(),
+            value,
+        })?;
+        unit(self.wait_for(id)?)
+    }
+
+    /// Commits `txn`; returns its commit timestamp once durable.
+    pub fn txn_commit(&mut self, txn: TxnId) -> TsbResult<Timestamp> {
+        let id = self.send(&Request::TxnCommit { txn })?;
+        committed(self.wait_for(id)?)
+    }
+
+    /// Aborts `txn`.
+    pub fn txn_abort(&mut self, txn: TxnId) -> TsbResult<()> {
+        let id = self.send(&Request::TxnAbort { txn })?;
+        unit(self.wait_for(id)?)
+    }
+
+    /// Liveness probe; returns the server's install fence.
+    pub fn ping(&mut self) -> TsbResult<Timestamp> {
+        let id = self.send(&Request::Ping)?;
+        match self.wait_for(id)? {
+            Reply::Pong { last_installed } => Ok(last_installed),
+            other => unexpected("Pong", other),
+        }
+    }
+
+    /// Asks the server to shut down cleanly (acknowledged before it
+    /// stops).
+    pub fn shutdown_server(&mut self) -> TsbResult<()> {
+        let id = self.send(&Request::Shutdown)?;
+        unit(self.wait_for(id)?)
+    }
+}
+
+/// Converts a remote error reply into a [`TsbError`], preserving the wire
+/// code's class name in the message.
+pub fn remote_error(code: u8, message: &str) -> TsbError {
+    TsbError::internal(format!(
+        "remote error [{}]: {message}",
+        TsbError::wire_code_name(code)
+    ))
+}
+
+fn committed(reply: Reply) -> TsbResult<Timestamp> {
+    match reply {
+        Reply::Committed { ts } => Ok(ts),
+        other => unexpected("Committed", other),
+    }
+}
+
+fn value(reply: Reply) -> TsbResult<Option<Vec<u8>>> {
+    match reply {
+        Reply::Value { value } => Ok(value),
+        other => unexpected("Value", other),
+    }
+}
+
+fn unit(reply: Reply) -> TsbResult<()> {
+    match reply {
+        Reply::Unit => Ok(()),
+        other => unexpected("Unit", other),
+    }
+}
+
+fn unexpected<T>(wanted: &str, got: Reply) -> TsbResult<T> {
+    Err(match got {
+        Reply::Error { code, message } => remote_error(code, &message),
+        other => TsbError::corruption(format!(
+            "protocol: expected a {wanted} reply, got {other:?}"
+        )),
+    })
+}

@@ -97,6 +97,25 @@ pub enum FsyncPolicy {
     Os,
 }
 
+impl FsyncPolicy {
+    /// Returns the policy with the degenerate `EveryN(0)` clamped to
+    /// `EveryN(1)`.
+    ///
+    /// A zero group size can never reach a group boundary, so a WAL
+    /// configured with it would buffer commits forever and never
+    /// acknowledge them — silently worse than `Os`, which at least never
+    /// parks. [`TsbConfig::validate`] rejects `EveryN(0)` outright for
+    /// engine configs; components that accept a bare policy (the WAL
+    /// constructors) clamp through this instead, so a raw
+    /// `Wal::create(.., EveryN(0), ..)` behaves like `Always`.
+    pub fn normalized(self) -> FsyncPolicy {
+        match self {
+            FsyncPolicy::EveryN(0) => FsyncPolicy::EveryN(1),
+            other => other,
+        }
+    }
+}
+
 /// What the write-ahead log records for a content-only node rewrite.
 ///
 /// Structural rewrites (splits, root growth, node initialization) always
@@ -364,6 +383,19 @@ mod tests {
     fn default_config_is_valid() {
         TsbConfig::default().validate().unwrap();
         TsbConfig::small_pages().validate().unwrap();
+    }
+
+    #[test]
+    fn normalized_clamps_only_the_degenerate_group_size() {
+        assert_eq!(FsyncPolicy::EveryN(0).normalized(), FsyncPolicy::EveryN(1));
+        for policy in [
+            FsyncPolicy::Always,
+            FsyncPolicy::EveryN(1),
+            FsyncPolicy::EveryN(64),
+            FsyncPolicy::Os,
+        ] {
+            assert_eq!(policy.normalized(), policy);
+        }
     }
 
     #[test]

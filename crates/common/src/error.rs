@@ -95,6 +95,56 @@ impl TsbError {
     pub fn config(msg: impl Into<String>) -> Self {
         TsbError::Config(msg.into())
     }
+
+    /// Stable one-byte code for this error, carried in `tsb-server`'s wire
+    /// protocol so remote clients can dispatch on the error class without
+    /// parsing the display string. Codes are append-only: a released code
+    /// is never renumbered (see `docs/protocol.md`). Code `0` is reserved
+    /// for "no error" and never returned here.
+    pub fn wire_code(&self) -> u8 {
+        match self {
+            TsbError::Io(_) => 1,
+            TsbError::Corruption(_) => 2,
+            TsbError::EntryTooLarge { .. } => 3,
+            TsbError::KeyTooLarge { .. } => 4,
+            TsbError::WormRewrite { .. } => 5,
+            TsbError::WormOutOfBounds { .. } => 6,
+            TsbError::PageNotFound(_) => 7,
+            TsbError::BufferPoolExhausted => 8,
+            TsbError::WriteConflict { .. } => 9,
+            TsbError::TxnNotActive(_) => 10,
+            TsbError::InvariantViolation(_) => 11,
+            TsbError::Config(_) => 12,
+            TsbError::HistoricalNodeImmutable => 13,
+            TsbError::Internal(_) => 14,
+        }
+    }
+
+    /// Human-readable name of a wire code, including the protocol-layer
+    /// codes (`20..`) minted by `tsb-server` itself for frame/verb errors.
+    pub fn wire_code_name(code: u8) -> &'static str {
+        match code {
+            0 => "ok",
+            1 => "io",
+            2 => "corruption",
+            3 => "entry-too-large",
+            4 => "key-too-large",
+            5 => "worm-rewrite",
+            6 => "worm-out-of-bounds",
+            7 => "page-not-found",
+            8 => "buffer-pool-exhausted",
+            9 => "write-conflict",
+            10 => "txn-not-active",
+            11 => "invariant-violation",
+            12 => "config",
+            13 => "historical-node-immutable",
+            14 => "internal",
+            20 => "protocol-malformed-frame",
+            21 => "protocol-oversized-frame",
+            22 => "protocol-unknown-verb",
+            _ => "unknown",
+        }
+    }
 }
 
 impl fmt::Display for TsbError {
@@ -183,6 +233,41 @@ mod tests {
         let e: TsbError = io_err.into();
         assert!(matches!(e, TsbError::Io(_)));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn wire_codes_are_distinct_nonzero_and_named() {
+        let errs = [
+            TsbError::Io(io::Error::other("x")),
+            TsbError::corruption("x"),
+            TsbError::EntryTooLarge {
+                entry_size: 1,
+                capacity: 0,
+            },
+            TsbError::KeyTooLarge { len: 1, max: 0 },
+            TsbError::WormRewrite { sector: 0 },
+            TsbError::WormOutOfBounds { offset: 0, len: 0 },
+            TsbError::PageNotFound(0),
+            TsbError::BufferPoolExhausted,
+            TsbError::WriteConflict {
+                key: Key::from_u64(1),
+                holder: TxnId(1),
+            },
+            TsbError::TxnNotActive(TxnId(1)),
+            TsbError::invariant("x"),
+            TsbError::config("x"),
+            TsbError::HistoricalNodeImmutable,
+            TsbError::internal("x"),
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for e in &errs {
+            let code = e.wire_code();
+            assert_ne!(code, 0, "0 is reserved for ok");
+            assert!(seen.insert(code), "duplicate wire code {code}");
+            assert_ne!(TsbError::wire_code_name(code), "unknown");
+        }
+        assert_eq!(TsbError::wire_code_name(0), "ok");
+        assert_eq!(TsbError::wire_code_name(255), "unknown");
     }
 
     #[test]

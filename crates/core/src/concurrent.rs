@@ -64,7 +64,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use tsb_common::{Key, KeyRange, TimeRange, Timestamp, TsbConfig, TsbResult, TxnId, Version};
-use tsb_storage::{IoStats, MagneticStore, SpaceSnapshot, Wal, WormStore};
+use tsb_storage::{IoStats, Lsn, MagneticStore, SpaceSnapshot, Wal, WormStore};
 
 use crate::tree::TsbTree;
 
@@ -216,28 +216,82 @@ impl ConcurrentTsb {
         f: impl FnOnce(&TsbTree) -> TsbResult<T>,
         commit_ts: impl FnOnce(&T) -> Option<Timestamp>,
     ) -> TsbResult<T> {
-        let (out, wait) = {
-            let _writer = self.inner.writer.lock();
-            let out = f(&self.inner.tree)?;
-            if let Some(ts) = commit_ts(&out) {
-                // Single writer, but insert_at may replay an old timestamp:
-                // the fence never regresses.
-                self.inner.fence.fetch_max(ts.value(), Ordering::Release);
-            }
-            // The pending-wait slot is single-entry and the next writer
-            // overwrites it, so it must be claimed before the lock drops.
-            let wait = self.inner.tree.take_pending_durable_wait();
-            (out, wait)
-        };
+        let (out, wait) = self.write_op_deferred(f, commit_ts)?;
         if let Some(lsn) = wait {
             self.inner.tree.wait_durable_lsn(lsn)?;
         }
         Ok(out)
     }
 
+    /// The deferred half of [`Self::write_op`]: runs the mutation and
+    /// returns the durable-wait LSN instead of parking on it. The caller
+    /// owns the wait — the mutation is installed in memory and appended to
+    /// the WAL buffer, but must not be *acknowledged* (to a network client,
+    /// say) before [`Self::wait_durable`] returns for the LSN.
+    fn write_op_deferred<T>(
+        &self,
+        f: impl FnOnce(&TsbTree) -> TsbResult<T>,
+        commit_ts: impl FnOnce(&T) -> Option<Timestamp>,
+    ) -> TsbResult<(T, Option<Lsn>)> {
+        let _writer = self.inner.writer.lock();
+        let out = f(&self.inner.tree)?;
+        if let Some(ts) = commit_ts(&out) {
+            // Single writer, but insert_at may replay an old timestamp:
+            // the fence never regresses.
+            self.inner.fence.fetch_max(ts.value(), Ordering::Release);
+        }
+        // The pending-wait slot is single-entry and the next writer
+        // overwrites it, so it must be claimed before the lock drops.
+        let wait = self.inner.tree.take_pending_durable_wait();
+        Ok((out, wait))
+    }
+
     /// Inserts a new version of `key`, returning its commit timestamp.
     pub fn insert(&self, key: impl Into<Key>, value: Vec<u8>) -> TsbResult<Timestamp> {
         self.write_op(|t| t.insert_shared(key, value), |ts| Some(*ts))
+    }
+
+    // ----- deferred-durability writes -------------------------------------
+    //
+    // The `*_deferred` variants are the server-facing batch interface: they
+    // run the mutation but return the pending durable-wait LSN instead of
+    // parking on it. A caller draining a pipelined connection executes a
+    // whole burst of writes back-to-back, then parks **once** on the
+    // maximum returned LSN — the durable watermark is monotonic, so when
+    // the max LSN is durable every earlier commit in the burst is too, and
+    // all of them may be acknowledged. `None` means the engine (or this
+    // particular op) has no durability obligation and may be acknowledged
+    // immediately.
+
+    /// [`Self::insert`] without the durability wait; see the section
+    /// comment. Returns the commit timestamp and the LSN to pass to
+    /// [`Self::wait_durable`] before acknowledging.
+    pub fn insert_deferred(
+        &self,
+        key: impl Into<Key>,
+        value: Vec<u8>,
+    ) -> TsbResult<(Timestamp, Option<Lsn>)> {
+        self.write_op_deferred(|t| t.insert_shared(key, value), |ts| Some(*ts))
+    }
+
+    /// [`Self::delete`] without the durability wait.
+    pub fn delete_deferred(&self, key: impl Into<Key>) -> TsbResult<(Timestamp, Option<Lsn>)> {
+        self.write_op_deferred(|t| t.delete_shared(key), |ts| Some(*ts))
+    }
+
+    /// [`Self::commit_txn`] without the durability wait.
+    pub fn commit_txn_deferred(&self, txn: TxnId) -> TsbResult<(Timestamp, Option<Lsn>)> {
+        self.write_op_deferred(|t| t.commit_txn_shared(txn), |ts| Some(*ts))
+    }
+
+    /// Parks until the durable-LSN watermark covers `lsn`; returns
+    /// immediately for LSNs already durable. Completes the contract of the
+    /// `*_deferred` writes. Only call with LSNs those methods returned:
+    /// they hand out `Some` exactly when the policy schedules a sync that
+    /// will advance the watermark past the LSN (never under `Os`, whose
+    /// watermark moves only at checkpoints).
+    pub fn wait_durable(&self, lsn: Lsn) -> TsbResult<()> {
+        self.inner.tree.wait_durable_lsn(lsn)
     }
 
     /// Inserts a new version of `key` at an explicit timestamp (see

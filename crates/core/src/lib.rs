@@ -98,4 +98,4 @@ pub use tsb_common::{
 };
 // Durability vocabulary: the log handed to `create_durable` and the fault
 // plumbing the recovery test matrix drives.
-pub use tsb_storage::{CrashPoint, FaultInjector, Wal};
+pub use tsb_storage::{CrashPoint, FaultInjector, Lsn, Wal};

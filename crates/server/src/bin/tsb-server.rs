@@ -1,0 +1,108 @@
+//! The `tsb-server` binary: open (or create) a durable engine in a data
+//! directory and serve it over TCP until a client sends the `Shutdown`
+//! verb.
+//!
+//! ```text
+//! tsb-server <data-dir> [--addr HOST:PORT] [--fsync always|os|every:N] [--small-pages]
+//! ```
+//!
+//! On success the first stdout line is
+//! `tsb-server listening on <addr>` (flushed), so harnesses can scrape the
+//! resolved ephemeral port. The process exits 0 after a clean shutdown
+//! (workers drained, engine checkpointed), 1 on an engine error, 2 on a
+//! usage error.
+
+use std::io::Write;
+
+use tsb_common::{FsyncPolicy, TsbConfig};
+use tsb_core::ConcurrentTsb;
+use tsb_server::TsbServer;
+
+struct Args {
+    data_dir: std::path::PathBuf,
+    addr: String,
+    fsync: FsyncPolicy,
+    small_pages: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tsb-server <data-dir> [--addr HOST:PORT] [--fsync always|os|every:N] \
+         [--small-pages]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let mut data_dir = None;
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut fsync = FsyncPolicy::Always;
+    let mut small_pages = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => usage(),
+            },
+            "--fsync" => {
+                let value = match args.next() {
+                    Some(v) => v,
+                    None => usage(),
+                };
+                fsync = match value.as_str() {
+                    "always" => FsyncPolicy::Always,
+                    "os" => FsyncPolicy::Os,
+                    other => match other.strip_prefix("every:").and_then(|n| n.parse().ok()) {
+                        Some(n) => FsyncPolicy::EveryN(n),
+                        None => usage(),
+                    },
+                };
+            }
+            "--small-pages" => small_pages = true,
+            "--help" | "-h" => usage(),
+            other if data_dir.is_none() && !other.starts_with('-') => {
+                data_dir = Some(std::path::PathBuf::from(other));
+            }
+            _ => usage(),
+        }
+    }
+    match data_dir {
+        Some(data_dir) => Args {
+            data_dir,
+            addr,
+            fsync,
+            small_pages,
+        },
+        None => usage(),
+    }
+}
+
+fn run(args: Args) -> tsb_common::TsbResult<()> {
+    let base = if args.small_pages {
+        TsbConfig::small_pages()
+    } else {
+        TsbConfig::default()
+    };
+    let cfg = TsbConfig {
+        fsync_policy: args.fsync,
+        ..base
+    };
+    cfg.validate()?;
+    std::fs::create_dir_all(&args.data_dir)?;
+    let db = ConcurrentTsb::open_durable(&args.data_dir, cfg)?;
+    let server = TsbServer::start(db, args.addr.as_str())?;
+    println!("tsb-server listening on {}", server.local_addr());
+    std::io::stdout().flush()?;
+    server.wait()?;
+    println!("tsb-server shut down cleanly");
+    Ok(())
+}
+
+fn main() {
+    let args = parse_args();
+    if let Err(e) = run(args) {
+        eprintln!("tsb-server: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,447 @@
+//! `tsb-server`: the TSB-tree engine served over TCP.
+//!
+//! The ROADMAP's north star is a server under heavy concurrent traffic;
+//! this crate is the network surface. It is deliberately boring plumbing —
+//! all engine smarts stay in [`ConcurrentTsb`] — built from `std::net`
+//! only (no async runtime, per the workspace's no-new-dependencies rule):
+//!
+//! * **One acceptor thread** blocks on [`TcpListener::accept`] and spawns
+//!   a **worker thread per connection**. The engine is single-writer /
+//!   many-reader, so worker threads are exactly the closed-loop clients
+//!   the pipelined group commit (PR 6) was built for.
+//! * **Each worker drains its socket in batches.** A `read()` returns
+//!   however many pipelined frames the client has in flight; the worker
+//!   executes all of them, issues the writes through the engine's
+//!   *deferred-durability* API ([`ConcurrentTsb::insert_deferred`] &c.),
+//!   then parks **once** on the highest returned LSN before flushing the
+//!   batch's replies in a single `write_all`. The durable watermark is
+//!   monotonic, so when the max LSN is durable every commit in the batch
+//!   is — one fsync wait (often one fsync, shared with other connections'
+//!   batches) acknowledges the whole burst.
+//! * **Acknowledgement means durable.** A `put`/`delete`/`txn_commit`
+//!   reply is written only after the commit's LSN is under the durable
+//!   watermark per the engine's [`FsyncPolicy`](tsb_common::FsyncPolicy).
+//!   If the watermark wait fails (sticky sync failure), the batch's write
+//!   acks are *replaced by error replies* — the server never acknowledges
+//!   a write it cannot prove durable. The kill -9 probe in this crate's
+//!   tests holds the server to that: after SIGKILL mid-load, every
+//!   acknowledged write must survive reopen.
+//!
+//! Wire format and verb set live in [`protocol`]; the spec is
+//! `docs/protocol.md`.
+
+#![warn(missing_docs)]
+
+pub mod protocol;
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use tsb_common::{TsbError, TsbResult, TxnId};
+use tsb_core::{ConcurrentTsb, Lsn};
+
+use protocol::{FrameDecoder, FrameError, Reply, Request, MAX_FRAME_BODY};
+
+/// A running TSB server: an acceptor thread plus one worker thread per
+/// live connection, all sharing one [`ConcurrentTsb`].
+///
+/// Dropping the handle shuts the server down (ungracefully for in-flight
+/// requests — their connections are closed). Prefer [`TsbServer::shutdown`]
+/// or serving until a client sends the `Shutdown` verb and then calling
+/// [`TsbServer::wait`].
+pub struct TsbServer {
+    shared: Arc<ServerShared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+struct ServerShared {
+    db: ConcurrentTsb,
+    listener: TcpListener,
+    addr: SocketAddr,
+    stop: AtomicBool,
+    /// Clones of every live connection's stream, so shutdown can unblock
+    /// workers parked in `read()` by closing their sockets.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+}
+
+impl ServerShared {
+    /// Flags the stop, wakes the acceptor with a throwaway connection, and
+    /// closes every live connection so workers fall out of `read()`.
+    fn request_stop(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+        for stream in self.conns.lock().values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl TsbServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `db`. The engine should be opened durable for acks to mean
+    /// anything, but any engine works.
+    pub fn start(db: ConcurrentTsb, addr: impl ToSocketAddrs) -> TsbResult<TsbServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            db,
+            listener,
+            addr,
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tsb-acceptor".into())
+                .spawn(move || acceptor_loop(&shared))
+                .map_err(TsbError::Io)?
+        };
+        Ok(TsbServer {
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The address the server is listening on (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The shared engine, e.g. for reading I/O stats around a bench run.
+    pub fn db(&self) -> &ConcurrentTsb {
+        &self.shared.db
+    }
+
+    /// Whether a stop has been requested (locally or via the `Shutdown`
+    /// verb).
+    pub fn stop_requested(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the server stops — i.e. until some client sends the
+    /// `Shutdown` verb (or [`TsbServer::shutdown`] is called from another
+    /// thread via a clone of the handle... which does not exist; use the
+    /// verb). Checkpoints the engine once all workers have drained.
+    pub fn wait(mut self) -> TsbResult<()> {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.shared.db.checkpoint()
+    }
+
+    /// Stops accepting, closes live connections, joins all threads, and
+    /// checkpoints the engine.
+    pub fn shutdown(mut self) -> TsbResult<()> {
+        self.shared.request_stop();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.shared.db.checkpoint()
+    }
+}
+
+impl Drop for TsbServer {
+    fn drop(&mut self) {
+        self.shared.request_stop();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+fn acceptor_loop(shared: &Arc<ServerShared>) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        match shared.listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    // The wakeup connection (or a late client): refuse.
+                    let _ = stream.shutdown(Shutdown::Both);
+                    break;
+                }
+                let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+                if let Ok(clone) = stream.try_clone() {
+                    shared.conns.lock().insert(conn_id, clone);
+                }
+                let worker_shared = Arc::clone(shared);
+                let worker = std::thread::Builder::new()
+                    .name(format!("tsb-conn-{conn_id}"))
+                    .spawn(move || {
+                        // Protocol errors and peer disconnects are normal
+                        // connection endings, not server failures.
+                        let _ = serve_conn(&worker_shared, stream);
+                        worker_shared.conns.lock().remove(&conn_id);
+                    });
+                match worker {
+                    Ok(handle) => workers.push(handle),
+                    Err(_) => {
+                        shared.conns.lock().remove(&conn_id);
+                    }
+                }
+            }
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Transient accept failure (e.g. EMFILE burst): keep going.
+            }
+        }
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
+/// What a processed request is waiting on before its reply may be sent.
+enum Outcome {
+    /// Sendable as soon as the batch flushes (reads, errors, txn plumbing).
+    Ready(Reply),
+    /// A write ack that must not be sent unless the batch's max LSN
+    /// (tracked by the caller) becomes durable.
+    AckAtDurable(Reply),
+}
+
+fn serve_conn(shared: &Arc<ServerShared>, mut stream: TcpStream) -> TsbResult<()> {
+    // Replies are batched into one write_all per drain; Nagle would only
+    // add latency on top of that.
+    let _ = stream.set_nodelay(true);
+    let mut decoder = FrameDecoder::new();
+    let mut read_buf = vec![0u8; 64 * 1024];
+    // Transactions begun on this connection; aborted if it drops dead.
+    let mut open_txns: Vec<TxnId> = Vec::new();
+    let result = loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break Ok(());
+        }
+        let n = match stream.read(&mut read_buf) {
+            Ok(0) => break Ok(()),
+            Ok(n) => n,
+            Err(e) => break Err(TsbError::Io(e)),
+        };
+        decoder.feed(&read_buf[..n]);
+
+        // Drain every complete frame the client has pipelined.
+        let mut batch: Vec<(u64, Request)> = Vec::new();
+        let mut fatal: Option<FrameError> = None;
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(body)) => match protocol::parse_request(&body) {
+                    Ok((id, req)) => batch.push((id, req)),
+                    Err(e) if e.recoverable() => {
+                        // Well-framed but unknown verb: answer just that
+                        // frame and keep the connection. The id is the
+                        // first 8 bytes (frames are ≥ MIN_FRAME_BODY).
+                        let id = u64::from_le_bytes(body[..8].try_into().unwrap());
+                        let reply = Reply::Error {
+                            code: e.wire_code(),
+                            message: e.to_string(),
+                        };
+                        stream.write_all(&protocol::encode_reply(id, &reply))?;
+                    }
+                    Err(e) => {
+                        fatal = Some(e);
+                        break;
+                    }
+                },
+                Ok(None) => break,
+                Err(e) => {
+                    fatal = Some(e);
+                    break;
+                }
+            }
+        }
+
+        let stop_after = process_batch(shared, &batch, &mut open_txns, &mut stream)?;
+
+        if let Some(e) = fatal {
+            // The stream is no longer frame-aligned: report on the
+            // reserved id 0 and close.
+            let reply = Reply::Error {
+                code: e.wire_code(),
+                message: e.to_string(),
+            };
+            let _ = stream.write_all(&protocol::encode_reply(0, &reply));
+            break Ok(());
+        }
+        if stop_after {
+            shared.request_stop();
+            break Ok(());
+        }
+    };
+    // A dead connection must not leave zombie transactions holding
+    // write-conflict claims against every future client.
+    for txn in open_txns {
+        let _ = shared.db.abort_txn(txn);
+    }
+    result
+}
+
+/// Executes one drained batch and flushes its replies. Returns whether a
+/// `Shutdown` verb asked the server to stop after this flush.
+fn process_batch(
+    shared: &Arc<ServerShared>,
+    batch: &[(u64, Request)],
+    open_txns: &mut Vec<TxnId>,
+    stream: &mut TcpStream,
+) -> TsbResult<bool> {
+    if batch.is_empty() {
+        return Ok(false);
+    }
+    let db = &shared.db;
+    let mut outcomes: Vec<(u64, Outcome)> = Vec::with_capacity(batch.len());
+    let mut max_lsn: Option<Lsn> = None;
+    let mut stop_after = false;
+
+    for (id, req) in batch {
+        let outcome = match req {
+            Request::Put { key, value } => match db.insert_deferred(key.clone(), value.clone()) {
+                Ok((ts, lsn)) => ack_at(Reply::Committed { ts }, lsn, &mut max_lsn),
+                Err(e) => Outcome::Ready(error_reply(&e)),
+            },
+            Request::Delete { key } => match db.delete_deferred(key.clone()) {
+                Ok((ts, lsn)) => ack_at(Reply::Committed { ts }, lsn, &mut max_lsn),
+                Err(e) => Outcome::Ready(error_reply(&e)),
+            },
+            Request::Get { key } => Outcome::Ready(match db.get_current(key) {
+                Ok(value) => Reply::Value { value },
+                Err(e) => error_reply(&e),
+            }),
+            Request::GetAsOf { key, as_of } => Outcome::Ready(match db.get_as_of(key, *as_of) {
+                Ok(value) => Reply::Value { value },
+                Err(e) => error_reply(&e),
+            }),
+            Request::Range { range, as_of } => {
+                let result = match as_of {
+                    Some(ts) => db.scan_as_of(range, *ts),
+                    None => db.scan_current(range),
+                };
+                Outcome::Ready(match result {
+                    Ok(rows) => Reply::Rows { rows },
+                    Err(e) => error_reply(&e),
+                })
+            }
+            Request::History { key, window } => {
+                Outcome::Ready(match db.history_between(key, *window) {
+                    Ok(versions) => Reply::Versions { versions },
+                    Err(e) => error_reply(&e),
+                })
+            }
+            Request::TxnBegin => {
+                let txn = db.begin_txn();
+                open_txns.push(txn);
+                Outcome::Ready(Reply::Txn { txn })
+            }
+            Request::TxnWrite { txn, key, value } => {
+                // Buffered txn writes carry no commit record, so the
+                // blocking call never parks on the watermark.
+                let result = match value {
+                    Some(v) => db.txn_insert(*txn, key.clone(), v.clone()),
+                    None => db.txn_delete(*txn, key.clone()),
+                };
+                Outcome::Ready(match result {
+                    Ok(()) => Reply::Unit,
+                    Err(e) => error_reply(&e),
+                })
+            }
+            Request::TxnCommit { txn } => match db.commit_txn_deferred(*txn) {
+                Ok((ts, lsn)) => {
+                    open_txns.retain(|t| t != txn);
+                    ack_at(Reply::Committed { ts }, lsn, &mut max_lsn)
+                }
+                Err(e) => Outcome::Ready(error_reply(&e)),
+            },
+            Request::TxnAbort { txn } => {
+                let result = db.abort_txn(*txn);
+                open_txns.retain(|t| t != txn);
+                Outcome::Ready(match result {
+                    Ok(()) => Reply::Unit,
+                    Err(e) => error_reply(&e),
+                })
+            }
+            Request::Ping => Outcome::Ready(Reply::Pong {
+                last_installed: db.last_installed(),
+            }),
+            Request::Shutdown => {
+                stop_after = true;
+                Outcome::Ready(Reply::Unit)
+            }
+        };
+        outcomes.push((*id, outcome));
+    }
+
+    // One durability wait covers the whole burst: the watermark is
+    // monotonic, so max-LSN durable ⇒ every commit in the batch durable.
+    let durable_failed: Option<(u8, String)> = match max_lsn {
+        Some(lsn) => match db.wait_durable(lsn) {
+            Ok(()) => None,
+            Err(e) => Some((e.wire_code(), e.to_string())),
+        },
+        None => None,
+    };
+
+    let mut out = Vec::with_capacity(outcomes.len() * 32);
+    for (id, outcome) in outcomes {
+        let reply = match outcome {
+            Outcome::Ready(reply) => reply,
+            Outcome::AckAtDurable(reply) => match &durable_failed {
+                // The commit may be sitting in a buffer that will never
+                // reach the device: acknowledging it would be lying.
+                Some((code, message)) => Reply::Error {
+                    code: *code,
+                    message: format!("commit not durable: {message}"),
+                },
+                None => reply,
+            },
+        };
+        let frame = protocol::encode_reply(id, &reply);
+        if frame.len() - 4 > MAX_FRAME_BODY {
+            // A scan result too large for one frame: report instead of
+            // shipping an unframeable reply.
+            out.extend_from_slice(&protocol::encode_reply(
+                id,
+                &Reply::Error {
+                    code: protocol::CODE_OVERSIZED,
+                    message: format!(
+                        "reply of {} bytes exceeds the {MAX_FRAME_BODY}-byte frame limit; \
+                         narrow the range",
+                        frame.len() - 4
+                    ),
+                },
+            ));
+        } else {
+            out.extend_from_slice(&frame);
+        }
+    }
+    stream.write_all(&out)?;
+    Ok(stop_after)
+}
+
+fn ack_at(reply: Reply, lsn: Option<Lsn>, max_lsn: &mut Option<Lsn>) -> Outcome {
+    match lsn {
+        Some(lsn) => {
+            *max_lsn = Some(max_lsn.map_or(lsn, |m| m.max(lsn)));
+            Outcome::AckAtDurable(reply)
+        }
+        // No durability obligation (in-memory engine, or the policy's
+        // group is still open): the engine contract says ack now.
+        None => Outcome::Ready(reply),
+    }
+}
+
+fn error_reply(e: &TsbError) -> Reply {
+    Reply::Error {
+        code: e.wire_code(),
+        message: e.to_string(),
+    }
+}

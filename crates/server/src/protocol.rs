@@ -1,0 +1,739 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! This module is the authoritative implementation of the format specified
+//! in `docs/protocol.md`. Both sides of the wire use it: the server decodes
+//! [`Request`]s and encodes [`Reply`]s, `tsb-client` does the reverse.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! +--------------+----------------------------------+
+//! | len: u32 LE  | body (len bytes)                 |
+//! +--------------+----------------------------------+
+//! body = request_id: u64 LE | tag: u8 | payload
+//! ```
+//!
+//! `len` counts the body only. A body is at least [`MIN_FRAME_BODY`] bytes
+//! (id + tag) and at most [`MAX_FRAME_BODY`]; a length prefix outside that
+//! window is a protocol error *before* any allocation happens — the decoder
+//! only ever buffers bytes that actually arrived, so a hostile length
+//! prefix cannot make it reserve memory (mirroring the WAL's
+//! `MAX_RECORD_BODY` guard).
+//!
+//! Payload encoding reuses `tsb-common`'s [`ByteWriter`]/[`ByteReader`]
+//! (little-endian, `u32`-length-prefixed byte strings), so keys, ranges,
+//! timestamps, and versions have the same encoding on the wire as on the
+//! devices. Trailing bytes after a payload are a protocol error: a frame
+//! means exactly one request or reply.
+//!
+//! # Request ids and pipelining
+//!
+//! The `request_id` is chosen by the client and echoed verbatim in the
+//! reply. A connection may have any number of requests in flight; the
+//! server may complete them out of order (it currently answers a drained
+//! batch in arrival order, but clients must match on id, not position).
+//! Id `0` is reserved for connection-level error replies — a frame the
+//! server could not attribute to a request (malformed framing).
+
+use std::fmt;
+
+use tsb_common::encode::{ByteReader, ByteWriter};
+use tsb_common::{Key, KeyRange, TimeRange, Timestamp, TsbError, TxnId, Version};
+
+/// Largest body a frame may declare. Larger prefixes are rejected without
+/// allocating. Big enough for any single page-sized value plus slack; small
+/// enough that one hostile connection cannot balloon the server.
+pub const MAX_FRAME_BODY: usize = 16 << 20;
+
+/// Smallest meaningful body: an 8-byte request id plus a 1-byte tag.
+pub const MIN_FRAME_BODY: usize = 9;
+
+/// Wire codes minted by the protocol layer itself (engine errors travel as
+/// [`TsbError::wire_code`], which stays below 20).
+pub const CODE_MALFORMED: u8 = 20;
+/// See [`CODE_MALFORMED`].
+pub const CODE_OVERSIZED: u8 = 21;
+/// See [`CODE_MALFORMED`].
+pub const CODE_UNKNOWN_VERB: u8 = 22;
+
+/// A framing or parsing failure. Distinct from [`TsbError`] because the
+/// receiving side must react differently: [`FrameError::UnknownVerb`]
+/// leaves the stream synchronized (the frame was well-formed), while the
+/// other two mean the byte stream itself can no longer be trusted and the
+/// connection must close.
+#[derive(Debug)]
+pub enum FrameError {
+    /// A length prefix above [`MAX_FRAME_BODY`] or below [`MIN_FRAME_BODY`].
+    Oversized {
+        /// The declared body length.
+        declared: u64,
+    },
+    /// A body that does not parse as exactly one request/reply.
+    Malformed(String),
+    /// A well-formed frame whose verb tag this side does not know.
+    UnknownVerb(u8),
+}
+
+impl FrameError {
+    /// The wire code an error reply carries for this failure.
+    pub fn wire_code(&self) -> u8 {
+        match self {
+            FrameError::Oversized { .. } => CODE_OVERSIZED,
+            FrameError::Malformed(_) => CODE_MALFORMED,
+            FrameError::UnknownVerb(_) => CODE_UNKNOWN_VERB,
+        }
+    }
+
+    /// Whether the byte stream is still frame-synchronized after this
+    /// error (only an unknown verb inside a well-formed frame is).
+    pub fn recoverable(&self) -> bool {
+        matches!(self, FrameError::UnknownVerb(_))
+    }
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized { declared } => write!(
+                f,
+                "frame body of {declared} bytes is outside [{MIN_FRAME_BODY}, {MAX_FRAME_BODY}]"
+            ),
+            FrameError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+            FrameError::UnknownVerb(tag) => write!(f, "unknown verb tag {tag}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<FrameError> for TsbError {
+    fn from(e: FrameError) -> Self {
+        TsbError::corruption(format!("protocol: {e}"))
+    }
+}
+
+/// One client request. Verbs mirror the `ConcurrentTsb` read/write surface.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Insert a new current version of `key`; acknowledged only once the
+    /// commit is durable under the server's fsync policy.
+    Put {
+        /// Key to write.
+        key: Key,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Write a tombstone for `key` (same durability contract as `Put`).
+    Delete {
+        /// Key to delete.
+        key: Key,
+    },
+    /// Read the current value of `key`.
+    Get {
+        /// Key to read.
+        key: Key,
+    },
+    /// Read the value of `key` as of a past timestamp.
+    GetAsOf {
+        /// Key to read.
+        key: Key,
+        /// As-of time.
+        as_of: Timestamp,
+    },
+    /// Range scan; `as_of: None` scans the current database.
+    Range {
+        /// Key range to scan.
+        range: KeyRange,
+        /// As-of time, or `None` for current.
+        as_of: Option<Timestamp>,
+    },
+    /// Version history of `key` within a commit-time window.
+    History {
+        /// Key whose history to read.
+        key: Key,
+        /// Commit-time window.
+        window: TimeRange,
+    },
+    /// Begin a multi-key transaction owned by this connection.
+    TxnBegin,
+    /// Buffer a write inside a transaction (`value: None` = delete).
+    TxnWrite {
+        /// Transaction id from `TxnBegin`.
+        txn: TxnId,
+        /// Key to write.
+        key: Key,
+        /// New value, or `None` for a tombstone.
+        value: Option<Vec<u8>>,
+    },
+    /// Commit a transaction; acknowledged only once durable.
+    TxnCommit {
+        /// Transaction id.
+        txn: TxnId,
+    },
+    /// Abort a transaction, erasing its uncommitted writes.
+    TxnAbort {
+        /// Transaction id.
+        txn: TxnId,
+    },
+    /// Liveness probe; the reply carries the server's install fence.
+    Ping,
+    /// Ask the server to stop accepting connections and exit cleanly.
+    Shutdown,
+}
+
+const REQ_PUT: u8 = 1;
+const REQ_DELETE: u8 = 2;
+const REQ_GET: u8 = 3;
+const REQ_GET_AS_OF: u8 = 4;
+const REQ_RANGE: u8 = 5;
+const REQ_HISTORY: u8 = 6;
+const REQ_TXN_BEGIN: u8 = 7;
+const REQ_TXN_WRITE: u8 = 8;
+const REQ_TXN_COMMIT: u8 = 9;
+const REQ_TXN_ABORT: u8 = 10;
+const REQ_PING: u8 = 11;
+const REQ_SHUTDOWN: u8 = 12;
+
+/// One server reply. The tag makes replies self-describing, so a client
+/// can park out-of-order responses before knowing which request they
+/// answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// The request failed; `code` is [`TsbError::wire_code`] or one of the
+    /// protocol-layer `CODE_*` constants.
+    Error {
+        /// Stable error class (see `TsbError::wire_code_name`).
+        code: u8,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A durable write's commit timestamp (`put`, `delete`, `txn_commit`).
+    Committed {
+        /// Commit timestamp.
+        ts: Timestamp,
+    },
+    /// A point read's result (`get`, `get_as_of`); `None` = no live value.
+    Value {
+        /// The value, if the key has one at the requested time.
+        value: Option<Vec<u8>>,
+    },
+    /// A range scan's result.
+    Rows {
+        /// Key/value pairs in key order.
+        rows: Vec<(Key, Vec<u8>)>,
+    },
+    /// A history query's result.
+    Versions {
+        /// Matching versions, oldest first.
+        versions: Vec<Version>,
+    },
+    /// A new transaction's id.
+    Txn {
+        /// The transaction id to use in `TxnWrite`/`TxnCommit`/`TxnAbort`.
+        txn: TxnId,
+    },
+    /// Success with nothing to report (`txn_write`, `txn_abort`,
+    /// `shutdown`).
+    Unit,
+    /// Reply to `Ping`.
+    Pong {
+        /// The server's install fence at reply time.
+        last_installed: Timestamp,
+    },
+}
+
+const REP_ERROR: u8 = 0;
+const REP_COMMITTED: u8 = 1;
+const REP_VALUE: u8 = 2;
+const REP_ROWS: u8 = 3;
+const REP_VERSIONS: u8 = 4;
+const REP_TXN: u8 = 5;
+const REP_UNIT: u8 = 6;
+const REP_PONG: u8 = 7;
+
+/// Encodes one request as a complete frame (length prefix included).
+pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(32);
+    w.put_u64(id);
+    match req {
+        Request::Put { key, value } => {
+            w.put_u8(REQ_PUT);
+            w.put_key(key);
+            w.put_bytes(value);
+        }
+        Request::Delete { key } => {
+            w.put_u8(REQ_DELETE);
+            w.put_key(key);
+        }
+        Request::Get { key } => {
+            w.put_u8(REQ_GET);
+            w.put_key(key);
+        }
+        Request::GetAsOf { key, as_of } => {
+            w.put_u8(REQ_GET_AS_OF);
+            w.put_key(key);
+            w.put_timestamp(*as_of);
+        }
+        Request::Range { range, as_of } => {
+            w.put_u8(REQ_RANGE);
+            w.put_key_range(range);
+            match as_of {
+                Some(ts) => {
+                    w.put_u8(1);
+                    w.put_timestamp(*ts);
+                }
+                None => w.put_u8(0),
+            }
+        }
+        Request::History { key, window } => {
+            w.put_u8(REQ_HISTORY);
+            w.put_key(key);
+            w.put_time_range(window);
+        }
+        Request::TxnBegin => w.put_u8(REQ_TXN_BEGIN),
+        Request::TxnWrite { txn, key, value } => {
+            w.put_u8(REQ_TXN_WRITE);
+            w.put_u64(txn.0);
+            w.put_key(key);
+            match value {
+                Some(v) => {
+                    w.put_u8(1);
+                    w.put_bytes(v);
+                }
+                None => w.put_u8(0),
+            }
+        }
+        Request::TxnCommit { txn } => {
+            w.put_u8(REQ_TXN_COMMIT);
+            w.put_u64(txn.0);
+        }
+        Request::TxnAbort { txn } => {
+            w.put_u8(REQ_TXN_ABORT);
+            w.put_u64(txn.0);
+        }
+        Request::Ping => w.put_u8(REQ_PING),
+        Request::Shutdown => w.put_u8(REQ_SHUTDOWN),
+    }
+    frame(w.into_vec())
+}
+
+/// Encodes one reply as a complete frame (length prefix included).
+pub fn encode_reply(id: u64, reply: &Reply) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(32);
+    w.put_u64(id);
+    match reply {
+        Reply::Error { code, message } => {
+            w.put_u8(REP_ERROR);
+            w.put_u8(*code);
+            w.put_bytes(message.as_bytes());
+        }
+        Reply::Committed { ts } => {
+            w.put_u8(REP_COMMITTED);
+            w.put_timestamp(*ts);
+        }
+        Reply::Value { value } => {
+            w.put_u8(REP_VALUE);
+            match value {
+                Some(v) => {
+                    w.put_u8(1);
+                    w.put_bytes(v);
+                }
+                None => w.put_u8(0),
+            }
+        }
+        Reply::Rows { rows } => {
+            w.put_u8(REP_ROWS);
+            w.put_u32(rows.len() as u32);
+            for (key, value) in rows {
+                w.put_key(key);
+                w.put_bytes(value);
+            }
+        }
+        Reply::Versions { versions } => {
+            w.put_u8(REP_VERSIONS);
+            w.put_u32(versions.len() as u32);
+            for v in versions {
+                w.put_version(v);
+            }
+        }
+        Reply::Txn { txn } => {
+            w.put_u8(REP_TXN);
+            w.put_u64(txn.0);
+        }
+        Reply::Unit => w.put_u8(REP_UNIT),
+        Reply::Pong { last_installed } => {
+            w.put_u8(REP_PONG);
+            w.put_timestamp(*last_installed);
+        }
+    }
+    frame(w.into_vec())
+}
+
+fn frame(body: Vec<u8>) -> Vec<u8> {
+    debug_assert!((MIN_FRAME_BODY..=MAX_FRAME_BODY).contains(&body.len()));
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Parses a frame body into `(request_id, Request)`.
+pub fn parse_request(body: &[u8]) -> Result<(u64, Request), FrameError> {
+    let mut r = ByteReader::new(body);
+    let id = r.get_u64().map_err(malformed)?;
+    let tag = r.get_u8().map_err(malformed)?;
+    let req = match tag {
+        REQ_PUT => Request::Put {
+            key: r.get_key().map_err(malformed)?,
+            value: r.get_bytes().map_err(malformed)?,
+        },
+        REQ_DELETE => Request::Delete {
+            key: r.get_key().map_err(malformed)?,
+        },
+        REQ_GET => Request::Get {
+            key: r.get_key().map_err(malformed)?,
+        },
+        REQ_GET_AS_OF => Request::GetAsOf {
+            key: r.get_key().map_err(malformed)?,
+            as_of: r.get_timestamp().map_err(malformed)?,
+        },
+        REQ_RANGE => {
+            let range = r.get_key_range().map_err(malformed)?;
+            let as_of = match r.get_u8().map_err(malformed)? {
+                0 => None,
+                1 => Some(r.get_timestamp().map_err(malformed)?),
+                t => return Err(FrameError::Malformed(format!("invalid as-of tag {t}"))),
+            };
+            Request::Range { range, as_of }
+        }
+        REQ_HISTORY => Request::History {
+            key: r.get_key().map_err(malformed)?,
+            window: r.get_time_range().map_err(malformed)?,
+        },
+        REQ_TXN_BEGIN => Request::TxnBegin,
+        REQ_TXN_WRITE => {
+            let txn = TxnId(r.get_u64().map_err(malformed)?);
+            let key = r.get_key().map_err(malformed)?;
+            let value = match r.get_u8().map_err(malformed)? {
+                0 => None,
+                1 => Some(r.get_bytes().map_err(malformed)?),
+                t => return Err(FrameError::Malformed(format!("invalid value tag {t}"))),
+            };
+            Request::TxnWrite { txn, key, value }
+        }
+        REQ_TXN_COMMIT => Request::TxnCommit {
+            txn: TxnId(r.get_u64().map_err(malformed)?),
+        },
+        REQ_TXN_ABORT => Request::TxnAbort {
+            txn: TxnId(r.get_u64().map_err(malformed)?),
+        },
+        REQ_PING => Request::Ping,
+        REQ_SHUTDOWN => Request::Shutdown,
+        other => return Err(FrameError::UnknownVerb(other)),
+    };
+    expect_exhausted(&r)?;
+    Ok((id, req))
+}
+
+/// Parses a frame body into `(request_id, Reply)`.
+pub fn parse_reply(body: &[u8]) -> Result<(u64, Reply), FrameError> {
+    let mut r = ByteReader::new(body);
+    let id = r.get_u64().map_err(malformed)?;
+    let tag = r.get_u8().map_err(malformed)?;
+    let reply = match tag {
+        REP_ERROR => {
+            let code = r.get_u8().map_err(malformed)?;
+            let message = String::from_utf8_lossy(&r.get_bytes().map_err(malformed)?).into_owned();
+            Reply::Error { code, message }
+        }
+        REP_COMMITTED => Reply::Committed {
+            ts: r.get_timestamp().map_err(malformed)?,
+        },
+        REP_VALUE => Reply::Value {
+            value: match r.get_u8().map_err(malformed)? {
+                0 => None,
+                1 => Some(r.get_bytes().map_err(malformed)?),
+                t => return Err(FrameError::Malformed(format!("invalid value tag {t}"))),
+            },
+        },
+        REP_ROWS => {
+            let count = r.get_u32().map_err(malformed)? as usize;
+            // The count is hostile input: cap the pre-allocation by what
+            // the body could possibly hold (a row is ≥ 8 bytes of length
+            // prefixes), and let truncation surface naturally.
+            let mut rows = Vec::with_capacity(count.min(body.len() / 8 + 1));
+            for _ in 0..count {
+                let key = r.get_key().map_err(malformed)?;
+                let value = r.get_bytes().map_err(malformed)?;
+                rows.push((key, value));
+            }
+            Reply::Rows { rows }
+        }
+        REP_VERSIONS => {
+            let count = r.get_u32().map_err(malformed)? as usize;
+            let mut versions = Vec::with_capacity(count.min(body.len() / 8 + 1));
+            for _ in 0..count {
+                versions.push(r.get_version().map_err(malformed)?);
+            }
+            Reply::Versions { versions }
+        }
+        REP_TXN => Reply::Txn {
+            txn: TxnId(r.get_u64().map_err(malformed)?),
+        },
+        REP_UNIT => Reply::Unit,
+        REP_PONG => Reply::Pong {
+            last_installed: r.get_timestamp().map_err(malformed)?,
+        },
+        other => return Err(FrameError::UnknownVerb(other)),
+    };
+    expect_exhausted(&r)?;
+    Ok((id, reply))
+}
+
+fn malformed(e: TsbError) -> FrameError {
+    FrameError::Malformed(e.to_string())
+}
+
+fn expect_exhausted(r: &ByteReader<'_>) -> Result<(), FrameError> {
+    if r.is_exhausted() {
+        Ok(())
+    } else {
+        Err(FrameError::Malformed(format!(
+            "{} trailing bytes after payload",
+            r.remaining()
+        )))
+    }
+}
+
+/// Incremental frame extractor over a TCP byte stream.
+///
+/// Feed it whatever `read()` returned; [`FrameDecoder::next_frame`] yields
+/// complete frame bodies as they become available. Memory is bounded by
+/// the bytes actually received (plus one frame), never by what a length
+/// prefix *claims* — an oversized or undersized prefix errors before any
+/// allocation, and the caller must then drop the connection (the stream
+/// can no longer be trusted to be frame-aligned).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends received bytes to the internal buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing: everything before `pos` was consumed.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Extracts the next complete frame body, `Ok(None)` if more bytes are
+    /// needed. After an `Err` the decoder is poisoned in spirit: the caller
+    /// must not keep reading from the same stream.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let declared = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if !(MIN_FRAME_BODY..=MAX_FRAME_BODY).contains(&declared) {
+            return Err(FrameError::Oversized {
+                declared: declared as u64,
+            });
+        }
+        if avail.len() < 4 + declared {
+            return Ok(None);
+        }
+        let body = avail[4..4 + declared].to_vec();
+        self.pos += 4 + declared;
+        Ok(Some(body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsb_common::KeyBound;
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Put {
+                key: Key::from("k"),
+                value: b"v".to_vec(),
+            },
+            Request::Delete {
+                key: Key::from_u64(7),
+            },
+            Request::Get {
+                key: Key::from("k"),
+            },
+            Request::GetAsOf {
+                key: Key::from("k"),
+                as_of: Timestamp(42),
+            },
+            Request::Range {
+                range: KeyRange::full(),
+                as_of: None,
+            },
+            Request::Range {
+                range: KeyRange::new(Key::from("a"), KeyBound::Finite(Key::from("z"))),
+                as_of: Some(Timestamp(9)),
+            },
+            Request::History {
+                key: Key::from("k"),
+                window: TimeRange::bounded(Timestamp(1), Timestamp(10)),
+            },
+            Request::TxnBegin,
+            Request::TxnWrite {
+                txn: TxnId(3),
+                key: Key::from("k"),
+                value: Some(b"v".to_vec()),
+            },
+            Request::TxnWrite {
+                txn: TxnId(3),
+                key: Key::from("k"),
+                value: None,
+            },
+            Request::TxnCommit { txn: TxnId(3) },
+            Request::TxnAbort { txn: TxnId(3) },
+            Request::Ping,
+            Request::Shutdown,
+        ]
+    }
+
+    fn all_replies() -> Vec<Reply> {
+        vec![
+            Reply::Error {
+                code: CODE_MALFORMED,
+                message: "bad".into(),
+            },
+            Reply::Committed { ts: Timestamp(5) },
+            Reply::Value { value: None },
+            Reply::Value {
+                value: Some(b"v".to_vec()),
+            },
+            Reply::Rows {
+                rows: vec![(Key::from("a"), b"1".to_vec()), (Key::from("b"), vec![])],
+            },
+            Reply::Versions {
+                versions: vec![
+                    Version::committed("k", Timestamp(1), b"x".to_vec()),
+                    Version::tombstone("k", Timestamp(2)),
+                ],
+            },
+            Reply::Txn { txn: TxnId(8) },
+            Reply::Unit,
+            Reply::Pong {
+                last_installed: Timestamp(77),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        for (i, req) in all_requests().into_iter().enumerate() {
+            let id = 1000 + i as u64;
+            let frame = encode_request(id, &req);
+            let mut dec = FrameDecoder::new();
+            dec.feed(&frame);
+            let body = dec.next_frame().unwrap().unwrap();
+            let (got_id, got) = parse_request(&body).unwrap();
+            assert_eq!(got_id, id);
+            assert_eq!(got, req);
+            assert_eq!(dec.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn every_reply_round_trips() {
+        for (i, reply) in all_replies().into_iter().enumerate() {
+            let id = 2000 + i as u64;
+            let frame = encode_reply(id, &reply);
+            let mut dec = FrameDecoder::new();
+            dec.feed(&frame);
+            let body = dec.next_frame().unwrap().unwrap();
+            let (got_id, got) = parse_reply(&body).unwrap();
+            assert_eq!(got_id, id);
+            assert_eq!(got, reply);
+        }
+    }
+
+    #[test]
+    fn pipelined_frames_come_out_in_order() {
+        let mut wire = Vec::new();
+        for (i, req) in all_requests().into_iter().enumerate() {
+            wire.extend_from_slice(&encode_request(i as u64, &req));
+        }
+        let mut dec = FrameDecoder::new();
+        // Feed one byte at a time: torn frames at every boundary.
+        let mut seen = 0u64;
+        for byte in wire {
+            dec.feed(&[byte]);
+            while let Some(body) = dec.next_frame().unwrap() {
+                let (id, _) = parse_request(&body).unwrap();
+                assert_eq!(id, seen);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen as usize, all_requests().len());
+    }
+
+    #[test]
+    fn oversized_and_undersized_prefixes_are_rejected() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&((MAX_FRAME_BODY as u32 + 1).to_le_bytes()));
+        assert!(matches!(
+            dec.next_frame(),
+            Err(FrameError::Oversized { .. })
+        ));
+
+        let mut dec = FrameDecoder::new();
+        dec.feed(&8u32.to_le_bytes()); // below MIN_FRAME_BODY
+        assert!(matches!(
+            dec.next_frame(),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_malformed() {
+        let mut frame = encode_request(1, &Request::Ping);
+        frame.push(0xEE);
+        // Patch the length to include the junk byte so framing is intact.
+        let body_len = (frame.len() - 4) as u32;
+        frame[..4].copy_from_slice(&body_len.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame);
+        let body = dec.next_frame().unwrap().unwrap();
+        assert!(matches!(
+            parse_request(&body),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_verb_is_recoverable_others_are_not() {
+        let mut w = ByteWriter::new();
+        w.put_u64(1);
+        w.put_u8(200);
+        let err = parse_request(w.as_slice()).unwrap_err();
+        assert!(matches!(err, FrameError::UnknownVerb(200)));
+        assert!(err.recoverable());
+        assert_eq!(err.wire_code(), CODE_UNKNOWN_VERB);
+        assert!(!FrameError::Malformed("x".into()).recoverable());
+        assert!(!FrameError::Oversized { declared: 0 }.recoverable());
+    }
+}

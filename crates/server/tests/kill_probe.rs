@@ -1,0 +1,177 @@
+//! Crash probe: `kill -9` a live `tsb-server` and prove that no
+//! acknowledged write is lost.
+//!
+//! This is the served-path analogue of the in-process recovery matrix: the
+//! server binary runs with `--fsync always`, a client records every put the
+//! server *acknowledged* (an ack means the commit LSN passed the durable
+//! watermark), the process is killed without any chance to flush, and the
+//! data directory is reopened in-process. Every acknowledged key/value must
+//! be there; writes that were in flight but unacknowledged may or may not
+//! be — both are correct.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+use tsb_client::TsbClient;
+use tsb_common::{FsyncPolicy, Key, TsbConfig};
+use tsb_core::ConcurrentTsb;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "tsb-kill-probe-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Kills the child on drop so a failing assertion never leaks a server.
+struct Reaper(Child);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn spawn_server(dir: &std::path::Path, fsync: &str) -> (Reaper, std::net::SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_tsb-server"))
+        .arg(dir)
+        .args(["--addr", "127.0.0.1:0", "--fsync", fsync, "--small-pages"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn tsb-server");
+
+    // The binary prints `tsb-server listening on {addr}` once bound.
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("server printed nothing")
+        .expect("read banner");
+    let addr = banner
+        .rsplit(' ')
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable banner: {banner}"));
+    (Reaper(child), addr)
+}
+
+#[test]
+fn kill_nine_loses_no_acknowledged_write() {
+    let dir = TempDir::new("always");
+    let acked: Vec<(u64, Vec<u8>)> = {
+        let (mut server, addr) = spawn_server(dir.path(), "always");
+        let mut client = TsbClient::connect(addr).expect("connect");
+
+        let mut acked = Vec::new();
+        for i in 0u64..64 {
+            let key = i % 16;
+            let value = format!("acked-{i}").into_bytes();
+            // `put` returns only after the server acknowledged, and the
+            // server acknowledges only at durability. If this returns Ok,
+            // the write must survive SIGKILL.
+            client.put(Key::from_u64(key), value.clone()).expect("put");
+            acked.retain(|(k, _)| *k != key);
+            acked.push((key, value));
+        }
+
+        // SIGKILL: no flush, no checkpoint, no Drop handlers.
+        server.0.kill().expect("kill -9");
+        server.0.wait().expect("reap");
+        acked
+    };
+
+    let cfg = TsbConfig {
+        fsync_policy: FsyncPolicy::Always,
+        ..TsbConfig::small_pages()
+    };
+    let reopened = ConcurrentTsb::open_durable(dir.path(), cfg).expect("reopen after SIGKILL");
+    for (k, value) in &acked {
+        assert_eq!(
+            reopened.get_current(&Key::from_u64(*k)).expect("get"),
+            Some(value.clone()),
+            "acknowledged key {k} lost after kill -9"
+        );
+    }
+}
+
+#[test]
+fn kill_nine_mid_pipeline_keeps_every_acked_group_commit() {
+    use tsb_client::protocol::{Reply, Request};
+
+    // `always` is the one policy whose ack is a per-LSN durability promise;
+    // EveryN acks promise only group-boundary durability, so a SIGKILL may
+    // legitimately drop the unsynced tail there. The pipelining still
+    // exercises batched acks riding a single watermark wait.
+    let dir = TempDir::new("pipelined");
+    let acked: Vec<(u64, Vec<u8>)> = {
+        let (mut server, addr) = spawn_server(dir.path(), "always");
+        let mut client = TsbClient::connect(addr).expect("connect");
+
+        // Pipeline bursts so acks ride the group-commit watermark, then
+        // record exactly the ones that came back Committed.
+        let mut acked = Vec::new();
+        for burst in 0u64..8 {
+            let mut ids = Vec::new();
+            for j in 0u64..8 {
+                let i = burst * 8 + j;
+                let key = i % 16;
+                let value = format!("pipelined-{i}").into_bytes();
+                let id = client
+                    .send(&Request::Put {
+                        key: Key::from_u64(key),
+                        value: value.clone(),
+                    })
+                    .expect("send");
+                ids.push((id, key, value));
+            }
+            for (id, key, value) in ids {
+                match client.wait_for(id).expect("wait_for") {
+                    Reply::Committed { .. } => {
+                        acked.retain(|(k, _)| *k != key);
+                        acked.push((key, value));
+                    }
+                    other => panic!("expected Committed, got {other:?}"),
+                }
+            }
+        }
+
+        server.0.kill().expect("kill -9");
+        server.0.wait().expect("reap");
+        acked
+    };
+
+    let cfg = TsbConfig {
+        fsync_policy: FsyncPolicy::Always,
+        ..TsbConfig::small_pages()
+    };
+    let reopened = ConcurrentTsb::open_durable(dir.path(), cfg).expect("reopen after SIGKILL");
+    for (k, value) in &acked {
+        assert_eq!(
+            reopened.get_current(&Key::from_u64(*k)).expect("get"),
+            Some(value.clone()),
+            "acknowledged key {k} lost after kill -9 mid-pipeline"
+        );
+    }
+}

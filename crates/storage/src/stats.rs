@@ -440,6 +440,18 @@ mod tests {
         assert_eq!(IoSnapshot::default().cache_hit_rate(), None);
     }
 
+    /// Zero-fsync windows (the `Os` policy never syncs between checkpoints)
+    /// must yield `None`, not a NaN ratio the report layer would print.
+    #[test]
+    fn commits_per_fsync_is_none_without_a_sync() {
+        let mut snap = IoSnapshot::default();
+        assert_eq!(snap.commits_per_fsync(), None);
+        snap.wal_commits = 7;
+        assert_eq!(snap.commits_per_fsync(), None);
+        snap.wal_syncs = 2;
+        assert_eq!(snap.commits_per_fsync(), Some(3.5));
+    }
+
     #[test]
     fn delta_since_measures_a_window() {
         let s = IoStats::new();

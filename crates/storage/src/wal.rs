@@ -835,7 +835,11 @@ impl Wal {
     ) -> Wal {
         let shared = Arc::new(WalShared {
             inner: Mutex::new(inner),
-            policy,
+            // `EveryN(0)` can never reach a group boundary, so commits
+            // would never be synced or acknowledged; every constructor
+            // clamps it to `EveryN(1)` here (`TsbConfig::validate` rejects
+            // it earlier for engine configs, but the WAL also stands alone).
+            policy: policy.normalized(),
             stats,
             group: GroupCommit::default(),
         });
@@ -1596,6 +1600,30 @@ mod tests {
             assert_eq!(stats.snapshot().wal_syncs, *expected_syncs + 1);
             let _ = std::fs::remove_file(&path);
         }
+    }
+
+    #[test]
+    fn every_n_zero_is_clamped_to_every_one() {
+        // Regression: EveryN(0) used to be accepted verbatim. Zero-sized
+        // groups never reach a boundary, so commits were buffered forever
+        // and `wait_durable` would hang. The constructors now clamp to
+        // EveryN(1): every commit is its own group boundary.
+        let path = temp_wal_path("everyn0");
+        let _ = std::fs::remove_file(&path);
+        let stats = Arc::new(IoStats::new());
+        let wal = Wal::create(&path, FsyncPolicy::EveryN(0), Arc::clone(&stats)).unwrap();
+        assert_eq!(wal.policy(), FsyncPolicy::EveryN(1));
+        for ts in 0..4 {
+            let (lsn, boundary) = wal.append_commit(&commit(ts)).unwrap();
+            assert_eq!(boundary, Some(lsn), "each commit closes its own group");
+            wal.wait_durable(lsn).unwrap();
+        }
+        assert_eq!(stats.snapshot().wal_syncs, 4);
+        drop(wal);
+        let (wal, scan) = Wal::open(&path, FsyncPolicy::EveryN(0), stats).unwrap();
+        assert_eq!(wal.policy(), FsyncPolicy::EveryN(1), "open clamps too");
+        assert_eq!(scan.records.len(), 4);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

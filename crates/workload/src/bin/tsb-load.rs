@@ -1,0 +1,88 @@
+//! The `tsb-load` binary: drive a running `tsb-server` with the socket
+//! load harness and print a one-line report.
+//!
+//! ```text
+//! tsb-load --addr HOST:PORT [--conns N] [--ops N] [--depth N]
+//!          [--keys N] [--value BYTES] [--seed N] [--shutdown]
+//! ```
+//!
+//! `--depth 1` is the closed loop (default); higher depths pipeline.
+//! `--shutdown` sends the `Shutdown` verb after the run — the CI smoke job
+//! uses it to stop the server cleanly.
+
+use tsb_workload::{drive_socket, SocketDriveSpec};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tsb-load --addr HOST:PORT [--conns N] [--ops N] [--depth N] [--keys N] \
+         [--value BYTES] [--seed N] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn num_arg<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>) -> T {
+    match args.next().and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => usage(),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut addr: Option<String> = None;
+    let mut spec = SocketDriveSpec {
+        connections: 4,
+        ops_per_conn: 250,
+        pipeline_depth: 1,
+        ..SocketDriveSpec::default()
+    };
+    let mut shutdown = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(num_arg::<String>(&mut args)),
+            "--conns" => spec.connections = num_arg(&mut args),
+            "--ops" => spec.ops_per_conn = num_arg(&mut args),
+            "--depth" => spec.pipeline_depth = num_arg(&mut args),
+            "--keys" => spec.num_keys = num_arg(&mut args),
+            "--value" => spec.value_size = num_arg(&mut args),
+            "--seed" => spec.seed = num_arg(&mut args),
+            "--shutdown" => shutdown = true,
+            _ => usage(),
+        }
+    }
+    let addr = match addr.as_deref().and_then(|a| a.parse().ok()) {
+        Some(a) => a,
+        None => usage(),
+    };
+
+    match drive_socket(addr, &spec) {
+        Ok(report) => {
+            println!(
+                "tsb-load: {} ops in {:.3}s = {:.0} ops/s, p50 {:.0}us, p99 {:.0}us \
+                 ({} conns, depth {})",
+                report.committed_ops,
+                report.elapsed.as_secs_f64(),
+                report.ops_per_sec(),
+                report.p50().as_secs_f64() * 1e6,
+                report.p99().as_secs_f64() * 1e6,
+                spec.connections,
+                spec.pipeline_depth,
+            );
+        }
+        Err(e) => {
+            eprintln!("tsb-load: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if shutdown {
+        let result = tsb_client::TsbClient::connect(addr).and_then(|mut c| c.shutdown_server());
+        match result {
+            Ok(()) => println!("tsb-load: server acknowledged shutdown"),
+            Err(e) => {
+                eprintln!("tsb-load: shutdown failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

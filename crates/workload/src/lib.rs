@@ -28,6 +28,10 @@
 //!   their next op only after the previous was acknowledged, measuring how
 //!   many commits share each fsync under the engine's group-commit
 //!   pipeline (see [`durable`]),
+//! * [`SocketDriveSpec`] / [`drive_socket`] — the same measurement over
+//!   the wire: closed-loop and open-loop (bounded-pipeline) connection
+//!   threads driving a `tsb-server` through `tsb-client`, reporting
+//!   committed throughput and p50/p99 ack latency (see [`socket`]),
 //! * [`CrashSpec`] / [`crash_matrix`] — crash scenarios for the durability
 //!   subsystem: a deterministic op stream plus an injected device death
 //!   (write budget or named crash point), driven against a WAL-attached
@@ -44,6 +48,7 @@ pub mod generator;
 pub mod oracle;
 pub mod queries;
 pub mod scenarios;
+pub mod socket;
 
 pub use concurrent::{pin_fraction, ConcurrentSpec, ReaderQuery, ReaderQueryKind};
 pub use crash::{crash_matrix, CrashSpec, CrashTrigger};
@@ -52,3 +57,4 @@ pub use durable::{drive_durable, DurableDriveReport, DurableDriveSpec};
 pub use generator::{generate_ops, Op, WorkloadSpec};
 pub use oracle::Oracle;
 pub use queries::{generate_queries, Query, QueryMix};
+pub use socket::{drive_socket, SocketDriveReport, SocketDriveSpec};

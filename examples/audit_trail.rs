@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  account {:>3}  T={:<6} {}",
             v.key,
-            v.commit_time().unwrap(),
+            v.commit_time().ok_or("uncommitted version in audit")?,
             String::from_utf8_lossy(v.value.as_deref().unwrap_or(b"<deleted>"))
         );
     }
@@ -80,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Cross-check one cell of the audit against point queries.
     if let Some(v) = q3_changes.first() {
-        let ts = v.commit_time().unwrap();
+        let ts = v.commit_time().ok_or("uncommitted version in audit")?;
         assert_eq!(ledger.get_as_of(&v.key, ts)?, v.value);
     }
     ledger.verify()?;

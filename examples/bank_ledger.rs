@@ -71,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- regulator snapshot: every account balance at the last quarter ---------
-    let last_quarter = *quarter_marks.last().expect("at least one quarter");
+    let last_quarter = *quarter_marks.last().ok_or("no quarters recorded")?;
     let snapshot = ledger.snapshot_at(last_quarter)?;
     assert_eq!(snapshot, oracle.snapshot_at(last_quarter));
     println!(

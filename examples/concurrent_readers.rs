@@ -52,44 +52,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let stop = AtomicBool::new(false);
     let reads = AtomicU64::new(0);
-    std::thread::scope(|s| {
+    // Worker closures return `TsbResult` instead of unwrapping, so an
+    // engine error inside a thread surfaces through `join` as the error
+    // message the README promises, not a panic-induced abort.
+    std::thread::scope(|s| -> tsb_core::TsbResult<()> {
         let writer = {
             let db = db.clone();
-            s.spawn(move || {
+            s.spawn(move || -> tsb_core::TsbResult<()> {
                 for i in 0..UPDATES {
                     let account = i % ACCOUNTS;
                     db.insert(
                         Key::from_u64(account),
                         format!("balance={}", i * 10).into_bytes(),
-                    )
-                    .expect("insert");
+                    )?;
                 }
+                Ok(())
             })
         };
+        let mut readers = Vec::new();
         for r in 0..4u64 {
             let db = db.clone();
             let stop = &stop;
             let reads = &reads;
-            s.spawn(move || {
+            readers.push(s.spawn(move || -> tsb_core::TsbResult<()> {
                 let mut i = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     // Fence-pinned reads: always a fully-installed state.
                     let snap = db.begin_snapshot();
                     let account = Key::from_u64((r * 17 + i) % ACCOUNTS);
-                    let balance = snap.get(&account).expect("pinned read");
+                    let balance = snap.get(&account)?;
                     assert!(balance.is_some(), "seeded account vanished");
                     if i.is_multiple_of(64) {
-                        let rows = snap.dump().expect("pinned dump");
+                        let rows = snap.dump()?;
                         assert_eq!(rows.len(), ACCOUNTS as usize);
                     }
                     reads.fetch_add(1, Ordering::Relaxed);
                     i += 1;
                 }
-            });
+                Ok(())
+            }));
         }
-        writer.join().expect("writer");
+        let written = writer.join().expect("writer thread panicked");
         stop.store(true, Ordering::Relaxed);
-    });
+        written?;
+        for reader in readers {
+            reader.join().expect("reader thread panicked")?;
+        }
+        Ok(())
+    })?;
 
     db.verify()?;
     db.verify_cache_coherence()?;
@@ -116,7 +126,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .versions(&Key::from_u64(0))?
         .into_iter()
         .next()
-        .expect("history");
+        .ok_or("account 0 lost its history across reopen")?;
     assert_eq!(first.value.as_deref(), Some(b"balance=0".as_ref()));
     println!(
         "phase 2: reopened from {} — {} accounts recovered, history intact",

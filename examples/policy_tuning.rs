@@ -10,29 +10,33 @@
 use tsb_core::{SplitPolicyKind, SplitTimeChoice, TsbConfig, TsbTree};
 use tsb_workload::{generate_ops, Op, WorkloadSpec};
 
-fn run(policy: SplitPolicyKind, choice: SplitTimeChoice, ops: &[Op]) -> tsb_core::TreeStats {
+fn run(
+    policy: SplitPolicyKind,
+    choice: SplitTimeChoice,
+    ops: &[Op],
+) -> tsb_core::TsbResult<tsb_core::TreeStats> {
     let mut cfg = TsbConfig::default()
         .with_page_size(1024)
         .with_worm_sector_size(512)
         .with_split_policy(policy)
         .with_split_time_choice(choice);
     cfg.max_key_len = 64;
-    let mut tree = TsbTree::new_in_memory(cfg).expect("config is valid");
+    let mut tree = TsbTree::new_in_memory(cfg)?;
     for op in ops {
         match op {
             Op::Put { key, value } => {
-                tree.insert(key.clone(), value.clone()).expect("insert");
+                tree.insert(key.clone(), value.clone())?;
             }
             Op::Delete { key } => {
-                tree.delete(key.clone()).expect("delete");
+                tree.delete(key.clone())?;
             }
         }
     }
-    tree.verify().expect("tree verifies");
-    tree.tree_stats().expect("stats")
+    tree.verify()?;
+    tree.tree_stats()
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = WorkloadSpec::default()
         .with_ops(6_000)
         .with_keys(300)
@@ -92,7 +96,7 @@ fn main() {
     ];
 
     for (label, policy, choice) in policies {
-        let stats = run(policy, choice, &ops);
+        let stats = run(policy, choice, &ops)?;
         println!(
             "{:<28} {:>12.1} {:>12.1} {:>12.1} {:>12.3} {:>10.0}",
             label,
@@ -109,4 +113,5 @@ fn main() {
          redundancy columns; key splits do the opposite; choosing the split time at the last \
          update (instead of 'now') cuts redundancy versus the WOBT-like policy."
     );
+    Ok(())
 }

@@ -18,7 +18,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("wrote history: open@{t_open}, deposit@{t_deposit}, close@{t_close}");
 
     // --- current lookups ---------------------------------------------------
-    let now_1001 = tree.get_current(&Key::from("acct-1001"))?.unwrap();
+    let now_1001 = tree
+        .get_current(&Key::from("acct-1001"))?
+        .ok_or("acct-1001 missing from the current store")?;
     println!(
         "acct-1001 now:           {}",
         String::from_utf8_lossy(&now_1001)
@@ -27,14 +29,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("acct-1002 now:           <deleted>");
 
     // --- as-of lookups (rollback database) ----------------------------------
-    let at_open = tree.get_as_of(&Key::from("acct-1001"), t_open)?.unwrap();
+    let at_open = tree
+        .get_as_of(&Key::from("acct-1001"), t_open)?
+        .ok_or("acct-1001 invisible at its own open time")?;
     println!(
         "acct-1001 as of T={t_open}:    {}",
         String::from_utf8_lossy(&at_open)
     );
     let before_close = tree
         .get_as_of(&Key::from("acct-1002"), t_close.prev())?
-        .unwrap();
+        .ok_or("acct-1002 invisible just before its close")?;
     println!(
         "acct-1002 just before close: {}",
         String::from_utf8_lossy(&before_close)
@@ -51,7 +55,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for version in tree.versions(&Key::from("acct-1001"))? {
         println!(
             "acct-1001 history: {} -> {}",
-            version.commit_time().unwrap(),
+            version
+                .commit_time()
+                .ok_or("uncommitted version in history")?,
             version
                 .value
                 .as_deref()
