@@ -13,6 +13,7 @@ pub mod policy_space;
 pub mod query_cost;
 pub mod ratio_sweep;
 pub mod served;
+pub mod sharded;
 pub mod worm_utilization;
 
 use crate::measure::Scale;
@@ -20,7 +21,7 @@ use crate::report::Table;
 
 /// Every experiment id the harness knows about.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
 ];
 
 /// Runs one experiment by id, returning its tables.
@@ -47,6 +48,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "e11" | "descent-fanout" => Some(descent_fanout::run(scale)),
         "e12" | "durability" => Some(durability::run(scale)),
         "e13" | "served" => Some(served::run(scale)),
+        "e14" | "sharded" => Some(sharded::run(scale)),
         _ => None,
     }
 }
@@ -62,6 +64,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     out.extend(descent_fanout::run(scale));
     out.extend(durability::run(scale));
     out.extend(served::run(scale));
+    out.extend(sharded::run(scale));
     out.extend(worm_utilization::run(scale));
     out.extend(baseline::run(scale));
     out.extend(ablation::run(scale));

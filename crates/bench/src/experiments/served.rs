@@ -124,9 +124,9 @@ pub fn run(scale: Scale) -> Vec<Table> {
             };
             drive_socket(addr, &warmup).expect("warmup");
 
-            let before = server.db().io_stats().snapshot();
+            let before = server.db().io_snapshot();
             let report = drive_socket(addr, &spec).expect("drive");
-            let delta = server.db().io_stats().snapshot().delta_since(&before);
+            let delta = server.db().io_snapshot().delta_since(&before);
             server.shutdown().expect("server shutdown");
 
             let throughput = report.ops_per_sec();

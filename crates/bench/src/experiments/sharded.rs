@@ -1,0 +1,190 @@
+//! E14: sharded write scaling — committed throughput, fsyncs/op, and
+//! writer-lock wait across shard counts.
+//!
+//! Sharding attacks the two serialization points E12c left standing: the
+//! single engine writer lock (every mutation serializes through it) and
+//! the single WAL (every commit fsync queues behind it). An `N`-shard
+//! [`tsb_core::ShardedTsb`] gives each shard its own lock, WAL, and
+//! group-commit thread under one global commit clock, so writers touching
+//! different shards append and fsync independently.
+//!
+//! The table runs the E12c closed loop across
+//! `{1, 2, 4} shards × {1, 4, 8} writers × {Always, EveryN(8), Os}` and
+//! reports, per cell: committed ops/s, the ratio to the same cell at one
+//! shard, fsyncs per op, commits per fsync, mean writer-lock wait per op
+//! (the "how serialized are the writers" number sharding exists to cut),
+//! and the E12 `% ceiling` normalization against the calibrated device
+//! fsync floor.
+//!
+//! On a single-core host the CPU, not the lock, is the ceiling: every
+//! writer and committer thread time-slices one core, so committed ops/s
+//! cannot scale with shard count. What sharding still must deliver here —
+//! and what the acceptance criteria check — is *decoupling*: fsyncs/op at
+//! 4 shards no worse than at 1 (independent WALs don't multiply syncs per
+//! acknowledged commit), and writer-lock wait per op falling steeply as
+//! contended writers spread over `N` locks.
+
+use std::path::PathBuf;
+
+use tsb_common::{FsyncPolicy, SplitPolicyKind, SplitTimeChoice};
+use tsb_core::ShardedTsb;
+use tsb_workload::{drive_sharded, DurableDriveSpec};
+
+use super::durability::{fsync_floor, pct_of_fsync_ceiling};
+use crate::measure::{experiment_config, Scale};
+use crate::report::Table;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "tsb-e14-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn ops_per_thread(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 40,
+        Scale::Small => 200,
+        Scale::Full => 500,
+    }
+}
+
+/// Runs the sharded write-scaling table.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let floor = fsync_floor(33);
+    let ops = ops_per_thread(scale);
+    let mut table = Table::new(
+        "E14: sharded write scaling — ops/s, fsyncs/op, and writer-lock wait vs shard count",
+        format!(
+            "closed-loop writers (E12c harness) over an N-shard engine, one WAL + \
+             group-commit thread per shard, one global commit clock; {ops} ops/writer, \
+             value 48B; 'vs 1 shard' compares the same policy x writers cell; calibrated \
+             fsync floor {:.0}us — '% ceiling' as in E12",
+            floor.as_secs_f64() * 1e6
+        ),
+        &[
+            "fsync policy",
+            "shards",
+            "writers",
+            "ops/s",
+            "vs 1 shard",
+            "fsyncs/op",
+            "commits/fsync",
+            "lock-wait us/op",
+            "% ceiling",
+        ],
+    );
+
+    let policies: &[(&str, FsyncPolicy)] = &[
+        ("Always", FsyncPolicy::Always),
+        ("EveryN(8)", FsyncPolicy::EveryN(8)),
+        ("Os", FsyncPolicy::Os),
+    ];
+    for (label, policy) in policies {
+        for writers in [1usize, 4, 8] {
+            let mut baseline: Option<f64> = None;
+            for shards in [1usize, 2, 4] {
+                let dir = TempDir::new(&format!(
+                    "{}-{writers}w-{shards}s",
+                    label.replace(['(', ')'], "").to_lowercase()
+                ));
+                // Same engine shape as E12c/E13 (1 KiB pages, 128-page
+                // pool per shard) so rows are comparable across tables.
+                let mut cfg =
+                    experiment_config(SplitPolicyKind::TimePreferring, SplitTimeChoice::LastUpdate);
+                cfg.fsync_policy = *policy;
+                let db = ShardedTsb::open_durable(&dir.0, shards, cfg).expect("sharded engine");
+
+                let spec = DurableDriveSpec {
+                    threads: writers,
+                    ops_per_thread: ops,
+                    num_keys: scale.keys(),
+                    value_size: 48,
+                    seed: 0xE14 ^ (writers as u64) << 8 ^ shards as u64,
+                };
+                // Warmup outside the window: prime each shard's tree and
+                // WAL extent so the measured cell is steady state.
+                let warmup = DurableDriveSpec {
+                    ops_per_thread: (ops / 4).max(8),
+                    seed: spec.seed ^ 0xAAAA,
+                    ..spec.clone()
+                };
+                drive_sharded(&db, &warmup).expect("warmup");
+                let report = drive_sharded(&db, &spec).expect("drive");
+
+                let throughput = report.ops_per_sec();
+                let relative = match baseline {
+                    None => {
+                        baseline = Some(throughput);
+                        1.0
+                    }
+                    Some(base) if base > 0.0 => throughput / base,
+                    _ => 0.0,
+                };
+                let commits_per_fsync = report
+                    .io
+                    .commits_per_fsync()
+                    .map(|r| format!("{r:.1}"))
+                    .unwrap_or_else(|| "-".to_string());
+                table.push_row(vec![
+                    label.to_string(),
+                    shards.to_string(),
+                    writers.to_string(),
+                    format!("{throughput:.0}"),
+                    format!("{relative:.2}x"),
+                    format!("{:.3}", report.fsyncs_per_op()),
+                    commits_per_fsync,
+                    format!("{:.1}", report.lock_wait_per_op().as_secs_f64() * 1e6),
+                    pct_of_fsync_ceiling(
+                        report.committed_ops,
+                        report.io.wal_syncs,
+                        report.elapsed.as_secs_f64(),
+                        floor,
+                    ),
+                ]);
+            }
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e14_produces_the_full_matrix() {
+        let tables = run(Scale::Tiny);
+        assert_eq!(tables.len(), 1);
+        // 3 policies x 3 writer counts x 3 shard counts.
+        assert_eq!(tables[0].rows.len(), 27);
+        for row in &tables[0].rows {
+            let tput: f64 = row[3].parse().unwrap();
+            assert!(tput > 0.0, "every cell commits");
+            let fsyncs_per_op: f64 = row[5].parse().unwrap();
+            assert!(fsyncs_per_op.is_finite());
+            if row[0] == "Os" {
+                assert_eq!(row[8], "-", "Os rows have no fsync ceiling");
+            }
+        }
+        // Each (policy, writers) group leads with its own 1-shard baseline.
+        for group in tables[0].rows.chunks(3) {
+            assert_eq!(group[0][1], "1");
+            assert_eq!(group[0][4], "1.00x");
+        }
+    }
+}

@@ -233,7 +233,7 @@ impl ConcurrentTsb {
         f: impl FnOnce(&TsbTree) -> TsbResult<T>,
         commit_ts: impl FnOnce(&T) -> Option<Timestamp>,
     ) -> TsbResult<(T, Option<Lsn>)> {
-        let _writer = self.inner.writer.lock();
+        let _writer = self.lock_writer_timed();
         let out = f(&self.inner.tree)?;
         if let Some(ts) = commit_ts(&out) {
             // Single writer, but insert_at may replay an old timestamp:
@@ -244,6 +244,57 @@ impl ConcurrentTsb {
         // overwrites it, so it must be claimed before the lock drops.
         let wait = self.inner.tree.take_pending_durable_wait();
         Ok((out, wait))
+    }
+
+    /// Acquires the writer lock, charging any blocked time to the
+    /// `writer_lock_wait` counters — the E14 "how serialized are writers"
+    /// metric. The uncontended fast path costs one `try_lock`.
+    fn lock_writer_timed(&self) -> parking_lot::MutexGuard<'_, ()> {
+        if let Some(guard) = self.inner.writer.try_lock() {
+            return guard;
+        }
+        let start = std::time::Instant::now();
+        let guard = self.inner.writer.lock();
+        self.inner
+            .tree
+            .io_stats()
+            .record_writer_lock_wait(start.elapsed().as_nanos() as u64);
+        guard
+    }
+
+    // ----- sharded-engine plumbing (crate-internal) ----------------------
+
+    /// The underlying tree, for the sharded engine's two-phase fence
+    /// protocol. Mutating tree calls require the writer lock
+    /// ([`Self::lock_writer`]).
+    pub(crate) fn tree(&self) -> &TsbTree {
+        &self.inner.tree
+    }
+
+    /// Acquires this shard's writer lock for an externally driven mutation
+    /// (the sharded engine's cross-shard commit holds every participant's
+    /// lock for the span of the protocol).
+    pub(crate) fn lock_writer(&self) -> parking_lot::MutexGuard<'_, ()> {
+        self.lock_writer_timed()
+    }
+
+    /// Advances the install fence to at least `ts`. Caller must hold the
+    /// writer lock: the fence may only move when no mutation is mid-install.
+    pub(crate) fn advance_fence(&self, ts: Timestamp) {
+        self.inner.fence.fetch_max(ts.value(), Ordering::Release);
+    }
+
+    /// Pins this shard's install fence at `ts` or later, so a snapshot
+    /// pinned at `ts` reads a state this shard has caught up to. Sound
+    /// because commit timestamps are ticked *under* the shard writer lock:
+    /// holding it here proves no mutation with a timestamp ≤ `ts` is
+    /// mid-install on this shard.
+    pub(crate) fn pin_fence_at_least(&self, ts: Timestamp) {
+        if self.inner.fence.load(Ordering::Acquire) >= ts.value() {
+            return;
+        }
+        let _writer = self.lock_writer_timed();
+        self.inner.fence.fetch_max(ts.value(), Ordering::Release);
     }
 
     /// Inserts a new version of `key`, returning its commit timestamp.

@@ -27,6 +27,10 @@
 //!   historical nodes with seqlock-validated descents, and owning
 //!   [`ConcurrentSnapshot`] readers pinned behind an install fence (see
 //!   [`concurrent`]).
+//! * [`ShardedTsb`] — an N-way hash-partitioned engine: independent
+//!   per-shard WALs, group-commit pipelines, and checkpoint cadences under
+//!   one global commit clock, with fence-pinned cross-shard snapshots and
+//!   two-phase-fence cross-shard transactions (see [`sharded`]).
 //! * [`SecondaryIndex`] — `<timestamp, secondary key, primary key>` indexes,
 //!   themselves TSB-trees (§3.6).
 //! * **Durability** — [`TsbTree::open_durable`] / [`TsbTree::recover`] /
@@ -74,6 +78,7 @@ mod cache;
 pub mod concurrent;
 pub mod node;
 pub mod secondary;
+pub mod sharded;
 pub mod split;
 pub mod stats;
 pub mod tree;
@@ -85,6 +90,7 @@ pub use node::{
     DataComposition, DataNode, IndexComposition, IndexEntry, IndexNode, Node, NodeAddr,
 };
 pub use secondary::{composite_key, split_composite_key, SecondaryIndex};
+pub use sharded::{ShardLsn, ShardedSnapshot, ShardedTsb};
 pub use split::SplitPlan;
 pub use stats::TreeStats;
 pub use tree::TsbTree;

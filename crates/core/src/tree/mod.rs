@@ -26,10 +26,12 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use tsb_common::encode::{ByteReader, ByteWriter};
-use tsb_common::{LogicalClock, Timestamp, TsbConfig, TsbError, TsbResult, WalMode};
+use tsb_common::{
+    Key, LogicalClock, Timestamp, TsbConfig, TsbError, TsbResult, TxnId, Version, WalMode,
+};
 use tsb_storage::{
-    BufferPool, CostModel, HistAddr, IoStats, Lsn, MagneticStore, PageId, PageOp, SpaceSnapshot,
-    Wal, WalPageTable, WalRecord, WalScan, WormStore,
+    BufferPool, CostModel, FaultInjector, HistAddr, IoStats, Lsn, MagneticStore, PageId, PageOp,
+    SpaceSnapshot, Wal, WalPageTable, WalRecord, WalScan, WormStore,
 };
 
 use crate::cache::NodeCache;
@@ -134,6 +136,116 @@ impl CommitAcks {
             let (_, ts) = self.pending.pop_front().expect("front was just checked");
             self.durable_ts = Some(self.durable_ts.map_or(ts, |prev| prev.max(ts)));
         }
+    }
+}
+
+/// A two-phase-commit prepare that survived recovery's replay with its
+/// transaction still unstamped: the writes exist in the tree as
+/// uncommitted versions, and only the coordinator shard's decision record
+/// says whether they commit at `ts` or roll back (presumed abort).
+#[derive(Clone, Debug)]
+pub(crate) struct InDoubtTxn {
+    /// The global commit timestamp reserved for the transaction.
+    pub(crate) ts: Timestamp,
+    /// The participant-local transaction id whose writes are prepared.
+    pub(crate) txn: TxnId,
+    /// Shard index of the coordinator (where the decision was logged).
+    pub(crate) coordinator: u32,
+}
+
+/// A recovered (or freshly created) durable tree whose in-doubt two-phase
+/// prepares have not yet been resolved, and whose final
+/// purge/reclaim/verify/checkpoint pass has not yet run.
+///
+/// Produced by [`TsbTree::open_durable_staged`] /
+/// [`TsbTree::recover_staged`]. The sharded engine opens every shard
+/// staged, resolves each shard's [`Self::in_doubt`] list against the
+/// *coordinator* shard's [`Self::has_decision`], and only then calls
+/// [`Self::finish`] on each — so a crash mid-2PC never commits a
+/// cross-shard transaction partially. Single-shard callers use
+/// [`Self::resolve_locally`].
+pub(crate) struct StagedRecovery {
+    tree: TsbTree,
+    /// Prepares awaiting a commit/abort decision, in log order.
+    in_doubt: Vec<InDoubtTxn>,
+    /// Commit timestamps of every intact decision record in this tree's
+    /// own log (it was a coordinator for those transactions).
+    decisions: HashSet<u64>,
+    /// Whether the deferred recovery tail (purge, reclaim, verify,
+    /// checkpoint) must run in [`Self::finish`]; `false` for trees that
+    /// were freshly created rather than recovered.
+    needs_finish: bool,
+}
+
+impl StagedRecovery {
+    /// Wraps a freshly created tree: nothing in doubt, nothing to finish.
+    fn fresh(tree: TsbTree) -> Self {
+        StagedRecovery {
+            tree,
+            in_doubt: Vec::new(),
+            decisions: HashSet::new(),
+            needs_finish: false,
+        }
+    }
+
+    /// The prepares that survived replay unresolved, in log order.
+    pub(crate) fn in_doubt(&self) -> &[InDoubtTxn] {
+        &self.in_doubt
+    }
+
+    /// Whether this tree's own log holds the coordinator decision for the
+    /// transaction committed at `ts`.
+    pub(crate) fn has_decision(&self, ts: Timestamp) -> bool {
+        self.decisions.contains(&ts.value())
+    }
+
+    /// Rolls an in-doubt prepare forward: stamps its surviving writes as
+    /// committed at `ts` and fences the stamping with a commit record.
+    pub(crate) fn commit_in_doubt(&mut self, txn: TxnId, ts: Timestamp) -> TsbResult<()> {
+        self.tree.resolve_in_doubt_commit(txn, ts)?;
+        self.tree.recovered_to = Some(self.tree.recovered_to.map_or(ts, |r| r.max(ts)));
+        Ok(())
+    }
+
+    /// Rolls an in-doubt prepare back. The erasure itself is performed by
+    /// [`Self::finish`]'s purge pass (recovery's implicit abort erases all
+    /// remaining uncommitted versions); this records the decision only.
+    pub(crate) fn abort_in_doubt(&mut self, _txn: TxnId) -> TsbResult<()> {
+        Ok(())
+    }
+
+    /// Runs the deferred recovery tail — purge of uncommitted versions,
+    /// free-list reclamation, verification, and the fencing checkpoint —
+    /// and returns the serving-ready tree. Every in-doubt prepare must
+    /// have been decided first: the purge erases whatever was not rolled
+    /// forward.
+    pub(crate) fn finish(self) -> TsbResult<TsbTree> {
+        let tree = self.tree;
+        if self.needs_finish {
+            tree.purge_uncommitted()?;
+            tree.reclaim_unreachable_pages()?;
+            tree.verify()?;
+            tree.flush_shared()?;
+        }
+        Ok(tree)
+    }
+
+    /// Resolves in-doubt prepares against this tree's *own* decision
+    /// records and finishes: the single-shard path, where coordinator and
+    /// participant are the same log. (A participant shard's directory
+    /// opened standalone presumes abort for prepares whose decision lives
+    /// on another shard — open sharded directories through the sharded
+    /// engine.)
+    pub(crate) fn resolve_locally(mut self) -> TsbResult<TsbTree> {
+        let pending: Vec<InDoubtTxn> = self.in_doubt.drain(..).collect();
+        for p in pending {
+            if self.decisions.contains(&p.ts.value()) {
+                self.commit_in_doubt(p.txn, p.ts)?;
+            } else {
+                self.abort_in_doubt(p.txn)?;
+            }
+        }
+        self.finish()
     }
 }
 
@@ -310,7 +422,10 @@ pub struct TsbTree {
     pub(crate) worm: Arc<WormStore>,
     pub(crate) stats: Arc<IoStats>,
     pub(crate) cost: CostModel,
-    pub(crate) clock: LogicalClock,
+    /// The commit clock. Normally private to this tree; a sharded engine
+    /// shares one clock across every shard (`Arc`) so commit timestamps
+    /// form a single global order.
+    pub(crate) clock: Arc<LogicalClock>,
     /// The root pointer, behind a short-latch lock: readers copy it out at
     /// the top of each descent, the (single) writer replaces it when the
     /// root splits.
@@ -363,6 +478,16 @@ impl std::fmt::Debug for TsbTree {
 impl TsbTree {
     /// Creates a fresh tree over in-memory stores sized by `cfg`.
     pub fn new_in_memory(cfg: TsbConfig) -> TsbResult<Self> {
+        Self::new_in_memory_with_clock(cfg, Arc::new(LogicalClock::new()))
+    }
+
+    /// [`Self::new_in_memory`] stamping commits from a caller-supplied
+    /// (possibly shared) clock — the in-memory counterpart of
+    /// [`Self::create_durable_with_clock`] for sharded-engine tests.
+    pub(crate) fn new_in_memory_with_clock(
+        cfg: TsbConfig,
+        clock: Arc<LogicalClock>,
+    ) -> TsbResult<Self> {
         cfg.validate()?;
         let stats = Arc::new(IoStats::new());
         let magnetic = Arc::new(MagneticStore::in_memory(cfg.page_size, Arc::clone(&stats)));
@@ -370,7 +495,7 @@ impl TsbTree {
             cfg.worm_sector_size,
             Arc::clone(&stats),
         ));
-        Self::create(magnetic, worm, cfg)
+        Self::create_with(magnetic, worm, cfg, None, clock)
     }
 
     /// Creates a fresh tree over the provided stores. The magnetic store must
@@ -380,7 +505,7 @@ impl TsbTree {
         worm: Arc<WormStore>,
         cfg: TsbConfig,
     ) -> TsbResult<Self> {
-        Self::create_with(magnetic, worm, cfg, None)
+        Self::create_with(magnetic, worm, cfg, None, Arc::new(LogicalClock::new()))
     }
 
     /// Creates a fresh **durable** tree: every mutation is redo-logged to
@@ -394,7 +519,20 @@ impl TsbTree {
         wal: Wal,
         cfg: TsbConfig,
     ) -> TsbResult<Self> {
-        let tree = Self::create_with(magnetic, worm, cfg, Some(wal))?;
+        Self::create_durable_with_clock(magnetic, worm, wal, cfg, Arc::new(LogicalClock::new()))
+    }
+
+    /// [`Self::create_durable`] stamping commits from a caller-supplied
+    /// (possibly shared) clock — how a sharded engine gives every shard the
+    /// same global commit order.
+    pub(crate) fn create_durable_with_clock(
+        magnetic: Arc<MagneticStore>,
+        worm: Arc<WormStore>,
+        wal: Wal,
+        cfg: TsbConfig,
+        clock: Arc<LogicalClock>,
+    ) -> TsbResult<Self> {
+        let tree = Self::create_with(magnetic, worm, cfg, Some(wal), clock)?;
         // Fence the initial root + metadata so recovery always has a
         // checkpoint to replay from.
         tree.flush_shared()?;
@@ -406,6 +544,7 @@ impl TsbTree {
         worm: Arc<WormStore>,
         cfg: TsbConfig,
         wal: Option<Wal>,
+        clock: Arc<LogicalClock>,
     ) -> TsbResult<Self> {
         cfg.validate()?;
         if magnetic.allocated_pages() != 0 {
@@ -424,7 +563,6 @@ impl TsbTree {
         let pool = BufferPool::new(Arc::clone(&magnetic), cfg.buffer_pool_pages);
         let cache = NodeCache::sharded(cfg.node_cache_entries);
         let cost = CostModel::new(cfg.cost);
-        let clock = LogicalClock::new();
 
         let meta_page = magnetic.allocate()?;
         let root_page = magnetic.allocate()?;
@@ -527,7 +665,7 @@ impl TsbTree {
         let pool = BufferPool::new(Arc::clone(&magnetic), cfg.buffer_pool_pages);
         let cache = NodeCache::sharded(cfg.node_cache_entries);
         let cost = CostModel::new(cfg.cost);
-        let clock = LogicalClock::starting_at(clock_next);
+        let clock = Arc::new(LogicalClock::starting_at(clock_next));
 
         Ok(TsbTree {
             cfg,
@@ -566,16 +704,33 @@ impl TsbTree {
     ///   `redo.wal` — is a hard error instead: recreating it would destroy
     ///   data this method cannot prove disposable.
     pub fn open_durable(dir: impl AsRef<Path>, cfg: TsbConfig) -> TsbResult<Self> {
+        Self::open_durable_staged(dir, cfg, Arc::new(LogicalClock::new()))?.resolve_locally()
+    }
+
+    /// [`Self::open_durable`] split in two for the sharded engine: returns
+    /// a [`StagedRecovery`] whose in-doubt two-phase-commit prepares are
+    /// *not yet resolved* — the caller resolves each against the
+    /// coordinator shard's decision (commit or presumed abort) and then
+    /// calls [`StagedRecovery::finish`]. `clock` is advanced to (never
+    /// reset below) the recovered clock value, so sharing one clock across
+    /// shards re-derives the global clock as the max across all of them.
+    pub(crate) fn open_durable_staged(
+        dir: impl AsRef<Path>,
+        cfg: TsbConfig,
+        clock: Arc<LogicalClock>,
+    ) -> TsbResult<StagedRecovery> {
         cfg.validate()?;
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         let stats = Arc::new(IoStats::new());
         let wal_path = dir.join(WAL_FILE);
         let (wal, scan) = Wal::open(&wal_path, cfg.fsync_policy, Arc::clone(&stats))?;
-        let has_fence = scan
-            .records
-            .iter()
-            .any(|(_, r)| matches!(r, WalRecord::Commit { .. } | WalRecord::Checkpoint { .. }));
+        let has_fence = scan.records.iter().any(|(_, r)| {
+            matches!(
+                r,
+                WalRecord::Commit { .. } | WalRecord::Checkpoint { .. } | WalRecord::Prepare { .. }
+            )
+        });
         let magnetic = Arc::new(MagneticStore::open_file(
             dir.join(MAGNETIC_FILE),
             cfg.page_size,
@@ -587,7 +742,7 @@ impl TsbTree {
             Arc::clone(&stats),
         )?);
         if has_fence {
-            return Self::recover(magnetic, worm, wal, scan, cfg);
+            return Self::recover_staged(magnetic, worm, wal, scan, cfg, clock);
         }
         // No fence: nothing was ever durably committed through this log.
         // Starting fresh is only safe when the stores hold no data of
@@ -595,7 +750,8 @@ impl TsbTree {
         if magnetic.allocated_pages() == 0 && worm.device_bytes() == 0 {
             drop(wal);
             let wal = Wal::create(&wal_path, cfg.fsync_policy, stats)?;
-            return Self::create_durable(magnetic, worm, wal, cfg);
+            return Self::create_durable_with_clock(magnetic, worm, wal, cfg, clock)
+                .map(StagedRecovery::fresh);
         }
         // ...or when every byte in them provably came from an unfinished
         // first create: a non-empty, fence-less log can only be the first
@@ -619,7 +775,8 @@ impl TsbTree {
                 cfg.worm_sector_size,
                 stats,
             )?);
-            return Self::create_durable(magnetic, worm, wal, cfg);
+            return Self::create_durable_with_clock(magnetic, worm, wal, cfg, clock)
+                .map(StagedRecovery::fresh);
         }
         // Real store data, empty log: a pre-WAL database or a lost
         // redo.wal. Refuse rather than guess.
@@ -678,6 +835,35 @@ impl TsbTree {
         scan: WalScan,
         cfg: TsbConfig,
     ) -> TsbResult<Self> {
+        Self::recover_staged(
+            magnetic,
+            worm,
+            wal,
+            scan,
+            cfg,
+            Arc::new(LogicalClock::new()),
+        )?
+        .resolve_locally()
+    }
+
+    /// [`Self::recover`] up to — but not including — the resolution of
+    /// in-doubt two-phase-commit prepares and the final
+    /// purge/reclaim/verify/checkpoint pass. The returned
+    /// [`StagedRecovery`] lists every prepare that survived the cut with
+    /// its transaction still unstamped; the caller decides each one
+    /// (against the coordinator shard's decision record) and then calls
+    /// [`StagedRecovery::finish`]. A `Prepare` record is a cut candidate
+    /// exactly like a commit — its page images must replay so the in-doubt
+    /// writes exist to be stamped or erased — but it never advances the
+    /// recovered-to timestamp (the transaction may yet abort).
+    pub(crate) fn recover_staged(
+        magnetic: Arc<MagneticStore>,
+        worm: Arc<WormStore>,
+        wal: Wal,
+        scan: WalScan,
+        cfg: TsbConfig,
+        clock: Arc<LogicalClock>,
+    ) -> TsbResult<StagedRecovery> {
         cfg.validate()?;
         if magnetic.page_size() != cfg.page_size {
             return Err(TsbError::config(format!(
@@ -704,26 +890,63 @@ impl TsbTree {
         //    predictability `wal_commit` checked before eliding.
         let replay_from = chk_idx.map(|i| i + 1).unwrap_or(0);
         let worm_len_actual = worm.device_bytes();
+        // Any intact decision record is honorable: the coordinator logs it
+        // only after every participant's prepare is durable, so even a
+        // decision past this shard's own cut proves the commit outcome.
+        let decisions: HashSet<u64> = scan
+            .records
+            .iter()
+            .filter_map(|(_, r)| match r {
+                WalRecord::Decision { ts, .. } => Some(*ts),
+                _ => None,
+            })
+            .collect();
+        let mut prepares: Vec<InDoubtTxn> = Vec::new();
         let mut cut_idx = None;
         let mut cut_ts = None;
         for (idx, (_, record)) in scan.records.iter().enumerate().skip(replay_from) {
-            if let WalRecord::Commit { ts, worm_len, meta } = record {
-                if *worm_len > worm_len_actual {
-                    break;
+            match record {
+                WalRecord::Commit { ts, worm_len, meta } => {
+                    if *worm_len > worm_len_actual {
+                        break;
+                    }
+                    let state = if meta.is_empty() {
+                        let (root, _, next_txn) = cut_state.ok_or_else(|| {
+                            TsbError::corruption(
+                                "WAL commit with elided metadata has no prior fence to inherit from",
+                            )
+                        })?;
+                        (root, Timestamp(*ts).next(), next_txn)
+                    } else {
+                        Self::decode_meta(meta)?
+                    };
+                    cut_idx = Some(idx);
+                    cut_ts = Some(Timestamp(*ts));
+                    cut_state = Some(state);
                 }
-                let state = if meta.is_empty() {
-                    let (root, _, next_txn) = cut_state.ok_or_else(|| {
-                        TsbError::corruption(
-                            "WAL commit with elided metadata has no prior fence to inherit from",
-                        )
-                    })?;
-                    (root, Timestamp(*ts).next(), next_txn)
-                } else {
-                    Self::decode_meta(meta)?
-                };
-                cut_idx = Some(idx);
-                cut_ts = Some(Timestamp(*ts));
-                cut_state = Some(state);
+                // A prepare fences like a commit (always full metadata)
+                // but does not advance the commit cut timestamp — whether
+                // its transaction committed is decided later.
+                WalRecord::Prepare {
+                    ts,
+                    worm_len,
+                    meta,
+                    txn,
+                    coordinator,
+                    ..
+                } => {
+                    if *worm_len > worm_len_actual {
+                        break;
+                    }
+                    cut_idx = Some(idx);
+                    cut_state = Some(Self::decode_meta(meta)?);
+                    prepares.push(InDoubtTxn {
+                        ts: Timestamp(*ts),
+                        txn: TxnId(*txn),
+                        coordinator: *coordinator,
+                    });
+                }
+                _ => {}
             }
         }
         let cut_state = cut_state.ok_or_else(|| {
@@ -754,7 +977,10 @@ impl TsbTree {
                         })?;
                         state.apply(op)?;
                     }
-                    WalRecord::Commit { .. } | WalRecord::Checkpoint { .. } => {}
+                    WalRecord::Commit { .. }
+                    | WalRecord::Checkpoint { .. }
+                    | WalRecord::Prepare { .. }
+                    | WalRecord::Decision { .. } => {}
                 }
             }
             for (page, state) in replayed {
@@ -772,7 +998,7 @@ impl TsbTree {
         let pool = BufferPool::new(Arc::clone(&magnetic), cfg.buffer_pool_pages);
         let cache = NodeCache::sharded(cfg.node_cache_entries);
         let cost = CostModel::new(cfg.cost);
-        let clock = LogicalClock::starting_at(clock_next);
+        clock.advance_to(clock_next);
         let recovered_to = cut_ts.unwrap_or_else(|| clock_next.prev());
         let durability = Some(Self::attach_wal(wal, &pool, &worm, meta_page));
 
@@ -800,15 +1026,107 @@ impl TsbTree {
             d.worm_synced.store(worm_len_actual, Ordering::Release);
         }
         tree.write_meta()?;
-        // 5. In-flight transactions died with the process: erase their
-        //    uncommitted versions.
-        tree.purge_uncommitted()?;
-        // 6. Free whatever the recovered root cannot reach.
-        tree.reclaim_unreachable_pages()?;
-        // 7. Never serve an unverified recovery; then fence it.
-        tree.verify()?;
-        tree.flush_shared()?;
-        Ok(tree)
+        // In-doubt = a surviving prepare whose transaction is still
+        // unstamped in the replayed tree. A prepare whose transaction was
+        // later committed (a commit record at or before the cut stamped
+        // it) or aborted leaves no uncommitted versions and needs no
+        // resolution.
+        let unstamped = tree.collect_uncommitted_txns()?;
+        prepares.retain(|p| unstamped.contains(&p.txn));
+        Ok(StagedRecovery {
+            tree,
+            in_doubt: prepares,
+            decisions,
+            needs_finish: true,
+        })
+    }
+
+    /// Walks the current database collecting the transaction ids of every
+    /// surviving uncommitted version (used by staged recovery to tell
+    /// in-doubt prepares from already-resolved ones).
+    fn collect_uncommitted_txns(&self) -> TsbResult<HashSet<TxnId>> {
+        fn walk(tree: &TsbTree, addr: NodeAddr, out: &mut HashSet<TxnId>) -> TsbResult<()> {
+            if addr.as_page().is_none() {
+                return Ok(());
+            }
+            let node = tree.read_node(addr)?;
+            match &*node {
+                Node::Data(data) => {
+                    for v in data.entries() {
+                        if let Some(txn) = v.state.txn_id() {
+                            out.insert(txn);
+                        }
+                    }
+                }
+                Node::Index(index) => {
+                    let children: Vec<NodeAddr> = index.entries().iter().map(|e| e.child).collect();
+                    for child in children {
+                        walk(tree, child, out)?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        let mut out = HashSet::new();
+        walk(self, self.current_root(), &mut out)?;
+        Ok(out)
+    }
+
+    /// Stamps every surviving uncommitted version of `txn` as committed at
+    /// `ts` and fences the stamping with a commit record — recovery's
+    /// roll-forward of an in-doubt two-phase-commit prepare whose
+    /// coordinator decided commit. Mirrors the stamping loop of
+    /// `commit_txn_shared`, but driven by a tree walk (the transaction
+    /// table's write set died with the process).
+    pub(crate) fn resolve_in_doubt_commit(&self, txn: TxnId, ts: Timestamp) -> TsbResult<()> {
+        self.clock.advance_to(ts.next());
+        self.stamp_in_doubt_at(self.current_root(), txn, ts)?;
+        self.wal_commit(ts)?;
+        // Recovery has no ack pipeline; the deferred wait (if the policy
+        // produced one) is settled by the checkpoint in `finish`.
+        let _ = self.take_pending_durable_wait();
+        Ok(())
+    }
+
+    fn stamp_in_doubt_at(&self, addr: NodeAddr, txn: TxnId, ts: Timestamp) -> TsbResult<()> {
+        let Some(page) = addr.as_page() else {
+            return Ok(());
+        };
+        let node = self.read_node(addr)?;
+        match &*node {
+            Node::Data(data) => {
+                let keys: Vec<Key> = data
+                    .entries()
+                    .iter()
+                    .filter(|v| v.state.txn_id() == Some(txn))
+                    .map(|v| v.key.clone())
+                    .collect();
+                if keys.is_empty() {
+                    return Ok(());
+                }
+                let mut leaf = DataNode::clone(data);
+                for key in keys {
+                    let pending = leaf.remove_uncommitted(&key, txn).ok_or_else(|| {
+                        TsbError::internal(format!(
+                            "in-doubt transaction {txn} lost its uncommitted version of key {key}"
+                        ))
+                    })?;
+                    leaf.insert(Version {
+                        key: pending.key,
+                        state: tsb_common::TsState::Committed(ts),
+                        value: pending.value,
+                    })?;
+                }
+                self.write_current(page, Node::Data(leaf))
+            }
+            Node::Index(index) => {
+                let children: Vec<NodeAddr> = index.entries().iter().map(|e| e.child).collect();
+                for child in children {
+                    self.stamp_in_doubt_at(child, txn, ts)?;
+                }
+                Ok(())
+            }
+        }
     }
 
     /// The commit timestamp of the newest mutation known to be on stable
@@ -927,6 +1245,19 @@ impl TsbTree {
     /// The device cost model.
     pub fn cost_model(&self) -> &CostModel {
         &self.cost
+    }
+
+    /// Wires `injector` into every device this tree writes — the magnetic
+    /// store, the WORM store, and (when durable) the WAL — so crash tests
+    /// can kill a fully assembled engine at any instrumented write site.
+    /// Sharded crash tests install one injector across every shard, making
+    /// "crash after k of n prepares" a single armed trigger.
+    pub fn set_fault_injector(&self, injector: &Arc<FaultInjector>) {
+        self.magnetic.set_fault_injector(Arc::clone(injector));
+        self.worm.set_fault_injector(Arc::clone(injector));
+        if let Some(d) = &self.durability {
+            d.wal.set_fault_injector(Arc::clone(injector));
+        }
     }
 
     /// The current logical time (the timestamp the next commit would get).
@@ -1113,33 +1444,7 @@ impl TsbTree {
         let Some(d) = &self.durability else {
             return Ok(());
         };
-        // Neutralize phantoms quarantined by an earlier failed mutation
-        // *before* this fence makes them replayable: each page gets a full
-        // image of its true current state, which supersedes the phantom
-        // deltas at replay (a later image always wins). Pages a successful
-        // write already re-imaged (their first touch after the quarantine)
-        // need nothing. The set is only emptied after every corrective
-        // image landed, so an error here retries at the next fence.
-        let stale: Vec<PageId> = d.needs_reimage.lock().iter().copied().collect();
-        if !stale.is_empty() {
-            for &page in &stale {
-                if d.pages.is_imaged(page) {
-                    continue;
-                }
-                let node = self.read_node(NodeAddr::Current(page))?;
-                let record = WalRecord::PageImage {
-                    page,
-                    bytes: node.encode(),
-                };
-                let lsn = self.wal_append(&record)?;
-                d.pages.record(page, lsn);
-                d.pages.first_touch(page);
-            }
-            let mut set = d.needs_reimage.lock();
-            for page in &stale {
-                set.remove(page);
-            }
-        }
+        self.wal_reimage_stale(d)?;
         // This mutation reached its fence: its pending deltas (if any)
         // composed with the split records that followed them.
         d.pending_delta_pages.lock().clear();
@@ -1196,6 +1501,105 @@ impl TsbTree {
         while let Some((page, node)) = self.cache.any_dirty_overflow_victim() {
             self.write_back_dirty(page, &node)?;
         }
+        Ok(())
+    }
+
+    /// Neutralizes phantoms quarantined by an earlier failed mutation
+    /// *before* a fence makes them replayable: each page gets a full
+    /// image of its true current state, which supersedes the phantom
+    /// deltas at replay (a later image always wins). Pages a successful
+    /// write already re-imaged (their first touch after the quarantine)
+    /// need nothing. The set is only emptied after every corrective
+    /// image landed, so an error here retries at the next fence.
+    fn wal_reimage_stale(&self, d: &Durability) -> TsbResult<()> {
+        let stale: Vec<PageId> = d.needs_reimage.lock().iter().copied().collect();
+        if !stale.is_empty() {
+            for &page in &stale {
+                if d.pages.is_imaged(page) {
+                    continue;
+                }
+                let node = self.read_node(NodeAddr::Current(page))?;
+                let record = WalRecord::PageImage {
+                    page,
+                    bytes: node.encode(),
+                };
+                let lsn = self.wal_append(&record)?;
+                d.pages.record(page, lsn);
+                d.pages.first_touch(page);
+            }
+            let mut set = d.needs_reimage.lock();
+            for page in &stale {
+                set.remove(page);
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends (and force-syncs) a two-phase-commit **prepare** fence: the
+    /// transaction's writes are all in the log before it, its metadata is
+    /// always written in full (a prepare is a cut candidate recovery must
+    /// be able to stand on), and the record is on stable storage when this
+    /// returns — the participant's promise that it can commit. No-op on
+    /// non-durable trees.
+    pub(crate) fn wal_prepare(
+        &self,
+        ts: Timestamp,
+        txn: TxnId,
+        coordinator: u32,
+        participants: &[u32],
+    ) -> TsbResult<()> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        self.wal_reimage_stale(d)?;
+        d.pending_delta_pages.lock().clear();
+        let worm_len = self.worm.device_bytes();
+        let root = self.current_root();
+        let next_txn = self.txns.lock().next_id_value();
+        // A prepare is a full-meta fence: later commits may elide their
+        // metadata against it, exactly as against a checkpoint.
+        *d.last_fence.lock() = Some((root, next_txn));
+        let record = WalRecord::Prepare {
+            ts: ts.value(),
+            worm_len,
+            meta: self.encode_meta_bytes(),
+            txn: txn.value(),
+            coordinator,
+            participants: participants.to_vec(),
+        };
+        self.wal_append(&record)?;
+        self.wal_force_sync()
+    }
+
+    /// Appends (and force-syncs) the coordinator's two-phase-commit
+    /// **decision**: logged only once every participant's prepare is
+    /// durable, it is the single record that decides the transaction —
+    /// recovery commits an in-doubt prepare iff the coordinator's log
+    /// holds its decision. No-op on non-durable trees.
+    pub(crate) fn wal_decision(&self, ts: Timestamp, participants: &[u32]) -> TsbResult<()> {
+        if self.durability.is_none() {
+            return Ok(());
+        }
+        let record = WalRecord::Decision {
+            ts: ts.value(),
+            participants: participants.to_vec(),
+        };
+        self.wal_append(&record)?;
+        self.wal_force_sync()
+    }
+
+    /// Forces the WAL to stable storage on the calling thread, regardless
+    /// of the fsync policy (the 2PC fences must not ride the group-commit
+    /// pipeline: the protocol's next step may only start once the previous
+    /// fence is durable). No-op on non-durable trees.
+    pub(crate) fn wal_force_sync(&self) -> TsbResult<()> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        d.wal.sync().inspect_err(|_| {
+            self.poisoned.store(true, Ordering::Release);
+        })?;
+        d.acks.lock().settle(d.wal.durable_lsn());
         Ok(())
     }
 

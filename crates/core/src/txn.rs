@@ -226,8 +226,17 @@ impl TsbTree {
     /// multi-key commit holds the structure epoch odd for the span of the
     /// loop, making the whole stamping pass atomic to concurrent readers.
     pub(crate) fn commit_txn_shared(&self, txn: TxnId) -> TsbResult<Timestamp> {
-        let writes = self.txns.lock().finish(txn)?;
         let ts = self.clock.tick();
+        self.commit_txn_at_shared(txn, ts)?;
+        Ok(ts)
+    }
+
+    /// [`Self::commit_txn_shared`] at a caller-supplied commit timestamp
+    /// instead of ticking the clock — the participant half of a two-phase
+    /// cross-shard commit, where the coordinator reserved one global `ts`
+    /// for every shard's stamping pass.
+    pub(crate) fn commit_txn_at_shared(&self, txn: TxnId, ts: Timestamp) -> TsbResult<()> {
+        let writes = self.txns.lock().finish(txn)?;
         if writes.len() > 1 {
             self.note_structural_write();
         }
@@ -261,15 +270,12 @@ impl TsbTree {
                 leaf.insert(committed)?;
                 self.write_current_delta(page, Node::Data(leaf), ops)?;
             }
-            Ok(ts)
+            Ok(())
         })()
         // The commit fence covers every stamped leaf: recovery replays the
         // whole commit or none of it, so a crashed multi-key commit can
         // never resurface half-stamped.
-        .and_then(|ts| {
-            self.wal_commit(ts)?;
-            Ok(ts)
-        });
+        .and_then(|()| self.wal_commit(ts));
         self.settle_structure_after(result.is_err());
         result
     }

@@ -3,8 +3,14 @@
 //! verb.
 //!
 //! ```text
-//! tsb-server <data-dir> [--addr HOST:PORT] [--fsync always|os|every:N] [--small-pages]
+//! tsb-server <data-dir> [--addr HOST:PORT] [--fsync always|os|every:N] \
+//!            [--shards N] [--small-pages]
 //! ```
+//!
+//! `--shards N` partitions the keyspace across N independent engine
+//! shards under one global commit clock (default 1). The shard count is
+//! persisted in the data directory and must match on reopen; the wire
+//! protocol is identical at every shard count.
 //!
 //! On success the first stdout line is
 //! `tsb-server listening on <addr>` (flushed), so harnesses can scrape the
@@ -15,20 +21,21 @@
 use std::io::Write;
 
 use tsb_common::{FsyncPolicy, TsbConfig};
-use tsb_core::ConcurrentTsb;
+use tsb_core::ShardedTsb;
 use tsb_server::TsbServer;
 
 struct Args {
     data_dir: std::path::PathBuf,
     addr: String,
     fsync: FsyncPolicy,
+    shards: usize,
     small_pages: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: tsb-server <data-dir> [--addr HOST:PORT] [--fsync always|os|every:N] \
-         [--small-pages]"
+         [--shards N] [--small-pages]"
     );
     std::process::exit(2);
 }
@@ -38,6 +45,7 @@ fn parse_args() -> Args {
     let mut data_dir = None;
     let mut addr = "127.0.0.1:0".to_string();
     let mut fsync = FsyncPolicy::Always;
+    let mut shards = 1usize;
     let mut small_pages = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -59,6 +67,10 @@ fn parse_args() -> Args {
                     },
                 };
             }
+            "--shards" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 1 => shards = n,
+                _ => usage(),
+            },
             "--small-pages" => small_pages = true,
             "--help" | "-h" => usage(),
             other if data_dir.is_none() && !other.starts_with('-') => {
@@ -72,6 +84,7 @@ fn parse_args() -> Args {
             data_dir,
             addr,
             fsync,
+            shards,
             small_pages,
         },
         None => usage(),
@@ -90,7 +103,7 @@ fn run(args: Args) -> tsb_common::TsbResult<()> {
     };
     cfg.validate()?;
     std::fs::create_dir_all(&args.data_dir)?;
-    let db = ConcurrentTsb::open_durable(&args.data_dir, cfg)?;
+    let db = ShardedTsb::open_durable(&args.data_dir, args.shards, cfg)?;
     let server = TsbServer::start(db, args.addr.as_str())?;
     println!("tsb-server listening on {}", server.local_addr());
     std::io::stdout().flush()?;

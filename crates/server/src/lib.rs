@@ -12,12 +12,13 @@
 //! * **Each worker drains its socket in batches.** A `read()` returns
 //!   however many pipelined frames the client has in flight; the worker
 //!   executes all of them, issues the writes through the engine's
-//!   *deferred-durability* API ([`ConcurrentTsb::insert_deferred`] &c.),
-//!   then parks **once** on the highest returned LSN before flushing the
-//!   batch's replies in a single `write_all`. The durable watermark is
-//!   monotonic, so when the max LSN is durable every commit in the batch
-//!   is — one fsync wait (often one fsync, shared with other connections'
-//!   batches) acknowledges the whole burst.
+//!   *deferred-durability* API ([`ShardedTsb::insert_deferred`] &c.),
+//!   then parks **once per shard** on the highest LSN the batch produced
+//!   on that shard before flushing the batch's replies in a single
+//!   `write_all`. Each shard's durable watermark is monotonic, so when a
+//!   shard's max LSN is durable every commit the batch placed there is —
+//!   a handful of fsync waits (often sharing fsyncs with other
+//!   connections' batches) acknowledges the whole burst.
 //! * **Acknowledgement means durable.** A `put`/`delete`/`txn_commit`
 //!   reply is written only after the commit's LSN is under the durable
 //!   watermark per the engine's [`FsyncPolicy`](tsb_common::FsyncPolicy).
@@ -26,6 +27,12 @@
 //!   a write it cannot prove durable. The kill -9 probe in this crate's
 //!   tests holds the server to that: after SIGKILL mid-load, every
 //!   acknowledged write must survive reopen.
+//!
+//! The served engine is a [`ShardedTsb`]: the keyspace may be partitioned
+//! across N shards (`tsb-server --shards N`), each with its own WAL and
+//! group-commit pipeline under one global commit clock. Sharding is
+//! entirely server-side — requests are routed (and range/history results
+//! merged) here, and the wire protocol is identical at every shard count.
 //!
 //! Wire format and verb set live in [`protocol`]; the spec is
 //! `docs/protocol.md`.
@@ -44,12 +51,12 @@ use std::thread::JoinHandle;
 use parking_lot::Mutex;
 
 use tsb_common::{TsbError, TsbResult, TxnId};
-use tsb_core::{ConcurrentTsb, Lsn};
+use tsb_core::{Lsn, ShardedTsb};
 
 use protocol::{FrameDecoder, FrameError, Reply, Request, MAX_FRAME_BODY};
 
 /// A running TSB server: an acceptor thread plus one worker thread per
-/// live connection, all sharing one [`ConcurrentTsb`].
+/// live connection, all sharing one [`ShardedTsb`].
 ///
 /// Dropping the handle shuts the server down (ungracefully for in-flight
 /// requests — their connections are closed). Prefer [`TsbServer::shutdown`]
@@ -61,7 +68,7 @@ pub struct TsbServer {
 }
 
 struct ServerShared {
-    db: ConcurrentTsb,
+    db: ShardedTsb,
     listener: TcpListener,
     addr: SocketAddr,
     stop: AtomicBool,
@@ -88,8 +95,10 @@ impl ServerShared {
 impl TsbServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
     /// `db`. The engine should be opened durable for acks to mean
-    /// anything, but any engine works.
-    pub fn start(db: ConcurrentTsb, addr: impl ToSocketAddrs) -> TsbResult<TsbServer> {
+    /// anything, but any engine works. A plain [`tsb_core::ConcurrentTsb`]
+    /// converts into a one-shard engine via `Into`.
+    pub fn start(db: impl Into<ShardedTsb>, addr: impl ToSocketAddrs) -> TsbResult<TsbServer> {
+        let db = db.into();
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
@@ -119,7 +128,7 @@ impl TsbServer {
     }
 
     /// The shared engine, e.g. for reading I/O stats around a bench run.
-    pub fn db(&self) -> &ConcurrentTsb {
+    pub fn db(&self) -> &ShardedTsb {
         &self.shared.db
     }
 
@@ -207,9 +216,42 @@ fn acceptor_loop(shared: &Arc<ServerShared>) {
 enum Outcome {
     /// Sendable as soon as the batch flushes (reads, errors, txn plumbing).
     Ready(Reply),
-    /// A write ack that must not be sent unless the batch's max LSN
-    /// (tracked by the caller) becomes durable.
+    /// A write ack that must not be sent unless the batch's per-shard max
+    /// LSNs (tracked by the caller) all become durable.
     AckAtDurable(Reply),
+}
+
+/// The batch's durability obligations: the highest deferred LSN per shard.
+/// One wait per touched shard acknowledges every commit the batch placed
+/// there (each shard's watermark is monotonic).
+struct BatchWaits {
+    max_lsns: Vec<Option<Lsn>>,
+}
+
+impl BatchWaits {
+    fn new(shards: usize) -> Self {
+        BatchWaits {
+            max_lsns: vec![None; shards],
+        }
+    }
+
+    fn note(&mut self, (shard, lsn): tsb_core::ShardLsn) {
+        let slot = &mut self.max_lsns[shard];
+        *slot = Some(slot.map_or(lsn, |m| m.max(lsn)));
+    }
+
+    /// Parks on every touched shard's watermark; the first failure wins
+    /// (sticky sync failures poison the shard, so precision is moot).
+    fn settle(&self, db: &ShardedTsb) -> Option<(u8, String)> {
+        for (shard, lsn) in self.max_lsns.iter().enumerate() {
+            if let Some(lsn) = lsn {
+                if let Err(e) = db.wait_durable((shard, *lsn)) {
+                    return Some((e.wire_code(), e.to_string()));
+                }
+            }
+        }
+        None
+    }
 }
 
 fn serve_conn(shared: &Arc<ServerShared>, mut stream: TcpStream) -> TsbResult<()> {
@@ -300,17 +342,17 @@ fn process_batch(
     }
     let db = &shared.db;
     let mut outcomes: Vec<(u64, Outcome)> = Vec::with_capacity(batch.len());
-    let mut max_lsn: Option<Lsn> = None;
+    let mut waits = BatchWaits::new(db.shard_count());
     let mut stop_after = false;
 
     for (id, req) in batch {
         let outcome = match req {
             Request::Put { key, value } => match db.insert_deferred(key.clone(), value.clone()) {
-                Ok((ts, lsn)) => ack_at(Reply::Committed { ts }, lsn, &mut max_lsn),
+                Ok((ts, lsn)) => ack_at(Reply::Committed { ts }, lsn, &mut waits),
                 Err(e) => Outcome::Ready(error_reply(&e)),
             },
             Request::Delete { key } => match db.delete_deferred(key.clone()) {
-                Ok((ts, lsn)) => ack_at(Reply::Committed { ts }, lsn, &mut max_lsn),
+                Ok((ts, lsn)) => ack_at(Reply::Committed { ts }, lsn, &mut waits),
                 Err(e) => Outcome::Ready(error_reply(&e)),
             },
             Request::Get { key } => Outcome::Ready(match db.get_current(key) {
@@ -357,7 +399,7 @@ fn process_batch(
             Request::TxnCommit { txn } => match db.commit_txn_deferred(*txn) {
                 Ok((ts, lsn)) => {
                     open_txns.retain(|t| t != txn);
-                    ack_at(Reply::Committed { ts }, lsn, &mut max_lsn)
+                    ack_at(Reply::Committed { ts }, lsn, &mut waits)
                 }
                 Err(e) => Outcome::Ready(error_reply(&e)),
             },
@@ -380,15 +422,10 @@ fn process_batch(
         outcomes.push((*id, outcome));
     }
 
-    // One durability wait covers the whole burst: the watermark is
-    // monotonic, so max-LSN durable ⇒ every commit in the batch durable.
-    let durable_failed: Option<(u8, String)> = match max_lsn {
-        Some(lsn) => match db.wait_durable(lsn) {
-            Ok(()) => None,
-            Err(e) => Some((e.wire_code(), e.to_string())),
-        },
-        None => None,
-    };
+    // One durability wait per touched shard covers the whole burst: each
+    // shard's watermark is monotonic, so per-shard max-LSN durable ⇒ every
+    // commit the batch placed on that shard durable.
+    let durable_failed: Option<(u8, String)> = waits.settle(db);
 
     let mut out = Vec::with_capacity(outcomes.len() * 32);
     for (id, outcome) in outcomes {
@@ -427,14 +464,15 @@ fn process_batch(
     Ok(stop_after)
 }
 
-fn ack_at(reply: Reply, lsn: Option<Lsn>, max_lsn: &mut Option<Lsn>) -> Outcome {
+fn ack_at(reply: Reply, lsn: Option<tsb_core::ShardLsn>, waits: &mut BatchWaits) -> Outcome {
     match lsn {
         Some(lsn) => {
-            *max_lsn = Some(max_lsn.map_or(lsn, |m| m.max(lsn)));
+            waits.note(lsn);
             Outcome::AckAtDurable(reply)
         }
-        // No durability obligation (in-memory engine, or the policy's
-        // group is still open): the engine contract says ack now.
+        // No durability obligation (in-memory engine, a fully-forced
+        // cross-shard commit, or the policy's group is still open): the
+        // engine contract says ack now.
         None => Outcome::Ready(reply),
     }
 }

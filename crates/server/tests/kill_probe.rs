@@ -15,7 +15,7 @@ use std::process::{Child, Command, Stdio};
 
 use tsb_client::TsbClient;
 use tsb_common::{FsyncPolicy, Key, TsbConfig};
-use tsb_core::ConcurrentTsb;
+use tsb_core::{sharded::shard_of, ConcurrentTsb, ShardedTsb};
 
 struct TempDir(PathBuf);
 
@@ -54,9 +54,18 @@ impl Drop for Reaper {
 }
 
 fn spawn_server(dir: &std::path::Path, fsync: &str) -> (Reaper, std::net::SocketAddr) {
+    spawn_server_with(dir, fsync, &[])
+}
+
+fn spawn_server_with(
+    dir: &std::path::Path,
+    fsync: &str,
+    extra: &[&str],
+) -> (Reaper, std::net::SocketAddr) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_tsb-server"))
         .arg(dir)
         .args(["--addr", "127.0.0.1:0", "--fsync", fsync, "--small-pages"])
+        .args(extra)
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
         .spawn()
@@ -174,4 +183,121 @@ fn kill_nine_mid_pipeline_keeps_every_acked_group_commit() {
             "acknowledged key {k} lost after kill -9 mid-pipeline"
         );
     }
+}
+
+/// One key per shard for a 4-shard server, so every probe transaction
+/// genuinely straddles all four shards and commits through the two-phase
+/// fence.
+fn straddling_keys(round: u64) -> Vec<u64> {
+    const SHARDS: usize = 4;
+    let mut picked: Vec<Option<u64>> = vec![None; SHARDS];
+    let mut candidate = 10_000 + round * 1_000;
+    while picked.iter().any(Option::is_none) {
+        let shard = shard_of(&Key::from_u64(candidate), SHARDS);
+        if picked[shard].is_none() {
+            picked[shard] = Some(candidate);
+        }
+        candidate += 1;
+    }
+    picked.into_iter().map(Option::unwrap).collect()
+}
+
+/// The sharded served path under SIGKILL: `--shards 4 --fsync always`,
+/// plain puts interleaved with cross-shard transactions, the process
+/// killed with a commit still in flight. Zero acknowledged writes lost and
+/// zero partially-committed cross-shard transactions.
+#[test]
+fn kill_nine_sharded_server_loses_no_acks_and_no_partial_commits() {
+    use tsb_client::protocol::Request;
+
+    let dir = TempDir::new("sharded");
+    let mut acked_puts: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut acked_txns: Vec<(Vec<u64>, u64)> = Vec::new();
+    let inflight: (Vec<u64>, u64) = {
+        let (mut server, addr) = spawn_server_with(dir.path(), "always", &["--shards", "4"]);
+        let mut client = TsbClient::connect(addr).expect("connect");
+
+        for round in 0u64..10 {
+            for j in 0u64..6 {
+                let key = round * 6 + j;
+                let value = format!("put-{key}").into_bytes();
+                client.put(Key::from_u64(key), value.clone()).expect("put");
+                acked_puts.retain(|(k, _)| *k != key);
+                acked_puts.push((key, value));
+            }
+            let keys = straddling_keys(round);
+            let txn = client.txn_begin().expect("txn_begin");
+            for k in &keys {
+                client
+                    .txn_write(
+                        txn,
+                        Key::from_u64(*k),
+                        Some(format!("txn-{round}-{k}").into_bytes()),
+                    )
+                    .expect("txn_write");
+            }
+            client.txn_commit(txn).expect("txn_commit");
+            acked_txns.push((keys, round));
+        }
+
+        // One last cross-shard commit sent but never awaited: SIGKILL lands
+        // with the two-phase fence possibly mid-flight. Whatever happened,
+        // it must not be partial.
+        let round = 10u64;
+        let keys = straddling_keys(round);
+        let txn = client.txn_begin().expect("txn_begin");
+        for k in &keys {
+            client
+                .txn_write(
+                    txn,
+                    Key::from_u64(*k),
+                    Some(format!("txn-{round}-{k}").into_bytes()),
+                )
+                .expect("txn_write");
+        }
+        client
+            .send(&Request::TxnCommit { txn })
+            .expect("send commit");
+
+        server.0.kill().expect("kill -9");
+        server.0.wait().expect("reap");
+        (keys, round)
+    };
+
+    let cfg = TsbConfig {
+        fsync_policy: FsyncPolicy::Always,
+        ..TsbConfig::small_pages()
+    };
+    let reopened = ShardedTsb::open_durable(dir.path(), 4, cfg).expect("sharded reopen");
+    reopened.verify().expect("verify");
+    for (k, value) in &acked_puts {
+        assert_eq!(
+            reopened.get_current(&Key::from_u64(*k)).expect("get"),
+            Some(value.clone()),
+            "acknowledged put {k} lost after kill -9"
+        );
+    }
+    for (keys, round) in &acked_txns {
+        for k in keys {
+            assert_eq!(
+                reopened.get_current(&Key::from_u64(*k)).expect("get"),
+                Some(format!("txn-{round}-{k}").into_bytes()),
+                "acknowledged cross-shard txn {round} lost key {k}"
+            );
+        }
+    }
+    // The in-flight commit: all four shards or none of them.
+    let (keys, round) = inflight;
+    let present = keys
+        .iter()
+        .filter(|k| {
+            reopened.get_current(&Key::from_u64(**k)).expect("get")
+                == Some(format!("txn-{round}-{k}").into_bytes())
+        })
+        .count();
+    assert!(
+        present == 0 || present == keys.len(),
+        "in-flight cross-shard txn committed on {present}/{} shards after kill -9",
+        keys.len()
+    );
 }

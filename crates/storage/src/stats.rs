@@ -72,6 +72,11 @@ pub struct IoStats {
     pub group_commit_waits: AtomicU64,
     /// Total nanoseconds committers spent parked on the watermark.
     pub group_commit_wait_nanos: AtomicU64,
+    /// Times a writer found the shard writer lock contended (had to block).
+    pub writer_lock_waits: AtomicU64,
+    /// Total nanoseconds writers spent blocked acquiring the writer lock —
+    /// with `wal_commits` this yields the E14 writer-lock wait per op.
+    pub writer_lock_wait_nanos: AtomicU64,
 }
 
 impl IoStats {
@@ -191,6 +196,12 @@ impl IoStats {
         Self::bump(&self.group_commit_wait_nanos, nanos);
     }
 
+    /// Records one blocked writer-lock acquisition and its duration.
+    pub fn record_writer_lock_wait(&self, nanos: u64) {
+        Self::bump(&self.writer_lock_waits, 1);
+        Self::bump(&self.writer_lock_wait_nanos, nanos);
+    }
+
     /// Takes a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -216,6 +227,8 @@ impl IoStats {
             group_commit_batches: self.group_commit_batches.load(Ordering::Relaxed),
             group_commit_waits: self.group_commit_waits.load(Ordering::Relaxed),
             group_commit_wait_nanos: self.group_commit_wait_nanos.load(Ordering::Relaxed),
+            writer_lock_waits: self.writer_lock_waits.load(Ordering::Relaxed),
+            writer_lock_wait_nanos: self.writer_lock_wait_nanos.load(Ordering::Relaxed),
         }
     }
 
@@ -244,6 +257,8 @@ impl IoStats {
             &self.group_commit_batches,
             &self.group_commit_waits,
             &self.group_commit_wait_nanos,
+            &self.writer_lock_waits,
+            &self.writer_lock_wait_nanos,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -297,6 +312,10 @@ pub struct IoSnapshot {
     pub group_commit_waits: u64,
     /// See [`IoStats::group_commit_wait_nanos`].
     pub group_commit_wait_nanos: u64,
+    /// See [`IoStats::writer_lock_waits`].
+    pub writer_lock_waits: u64,
+    /// See [`IoStats::writer_lock_wait_nanos`].
+    pub writer_lock_wait_nanos: u64,
 }
 
 impl IoSnapshot {
@@ -342,6 +361,44 @@ impl IoSnapshot {
             group_commit_wait_nanos: self
                 .group_commit_wait_nanos
                 .saturating_sub(earlier.group_commit_wait_nanos),
+            writer_lock_waits: self
+                .writer_lock_waits
+                .saturating_sub(earlier.writer_lock_waits),
+            writer_lock_wait_nanos: self
+                .writer_lock_wait_nanos
+                .saturating_sub(earlier.writer_lock_wait_nanos),
+        }
+    }
+
+    /// Adds every counter of `other` into `self` — used to aggregate the
+    /// per-shard [`IoStats`] of a sharded engine into one engine-wide view.
+    pub fn merge(&self, other: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            magnetic_reads: self.magnetic_reads + other.magnetic_reads,
+            magnetic_writes: self.magnetic_writes + other.magnetic_writes,
+            magnetic_allocs: self.magnetic_allocs + other.magnetic_allocs,
+            magnetic_frees: self.magnetic_frees + other.magnetic_frees,
+            worm_appends: self.worm_appends + other.worm_appends,
+            worm_sector_writes: self.worm_sector_writes + other.worm_sector_writes,
+            worm_reads: self.worm_reads + other.worm_reads,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+            node_accesses_current: self.node_accesses_current + other.node_accesses_current,
+            node_accesses_historical: self.node_accesses_historical
+                + other.node_accesses_historical,
+            node_cache_hits: self.node_cache_hits + other.node_cache_hits,
+            node_cache_misses: self.node_cache_misses + other.node_cache_misses,
+            node_decodes: self.node_decodes + other.node_decodes,
+            node_encodes: self.node_encodes + other.node_encodes,
+            wal_appends: self.wal_appends + other.wal_appends,
+            wal_syncs: self.wal_syncs + other.wal_syncs,
+            wal_bytes_appended: self.wal_bytes_appended + other.wal_bytes_appended,
+            wal_commits: self.wal_commits + other.wal_commits,
+            group_commit_batches: self.group_commit_batches + other.group_commit_batches,
+            group_commit_waits: self.group_commit_waits + other.group_commit_waits,
+            group_commit_wait_nanos: self.group_commit_wait_nanos + other.group_commit_wait_nanos,
+            writer_lock_waits: self.writer_lock_waits + other.writer_lock_waits,
+            writer_lock_wait_nanos: self.writer_lock_wait_nanos + other.writer_lock_wait_nanos,
         }
     }
 
@@ -385,7 +442,7 @@ impl fmt::Display for IoSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "magnetic r/w/alloc/free {}/{}/{}/{}  worm append/sector/read {}/{}/{}  cache hit/miss {}/{}  node accesses cur/hist {}/{}  node cache hit/miss {}/{}  decode/encode {}/{}  wal append/sync/bytes {}/{}/{}  commit fence/batch/wait/waitns {}/{}/{}/{}",
+            "magnetic r/w/alloc/free {}/{}/{}/{}  worm append/sector/read {}/{}/{}  cache hit/miss {}/{}  node accesses cur/hist {}/{}  node cache hit/miss {}/{}  decode/encode {}/{}  wal append/sync/bytes {}/{}/{}  commit fence/batch/wait/waitns {}/{}/{}/{}  wlock wait/waitns {}/{}",
             self.magnetic_reads,
             self.magnetic_writes,
             self.magnetic_allocs,
@@ -408,6 +465,8 @@ impl fmt::Display for IoSnapshot {
             self.group_commit_batches,
             self.group_commit_waits,
             self.group_commit_wait_nanos,
+            self.writer_lock_waits,
+            self.writer_lock_wait_nanos,
         )
     }
 }

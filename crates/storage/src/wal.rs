@@ -26,6 +26,10 @@
 //! kind 2  Commit      payload = ts: u64 | worm_len: u64 | meta (u32-len-prefixed)
 //! kind 3  Checkpoint  payload = worm_len: u64 | meta (u32-len-prefixed)
 //! kind 4  PageDelta   payload = page: u64 | op (see PageOp::encode)
+//! kind 5  Prepare     payload = ts: u64 | worm_len: u64 | meta (u32-len-prefixed)
+//!                               | txn: u64 | coordinator: u32
+//!                               | participants (u32 count, u32 each)
+//! kind 6  Decision    payload = ts: u64 | participants (u32 count, u32 each)
 //! ```
 //!
 //! A `PageDelta` is meaningful only relative to the page state built up by
@@ -325,6 +329,37 @@ pub enum WalRecord {
         /// The logical mutation.
         op: PageOp,
     },
+    /// A two-phase-commit **prepare** fence on one participant shard: every
+    /// page image/delta of the prepared (still-uncommitted) writes precedes
+    /// this record, and the record survives as a cut candidate so recovery
+    /// can see the in-doubt transaction and resolve it against the
+    /// coordinator's decision. Always carries full metadata (never elided)
+    /// and is force-synced by the engine before the protocol proceeds.
+    Prepare {
+        /// The global commit timestamp reserved for the transaction.
+        ts: u64,
+        /// WORM device length at prepare time (same cut rule as a commit).
+        worm_len: u64,
+        /// Opaque tree metadata, as in [`WalRecord::Commit`].
+        meta: Vec<u8>,
+        /// The participant-local transaction id whose writes are prepared.
+        txn: u64,
+        /// Shard index of the coordinator (where the decision is logged).
+        coordinator: u32,
+        /// Shard indices of every participant, coordinator included.
+        participants: Vec<u32>,
+    },
+    /// The coordinator's two-phase-commit **decision**: the transaction at
+    /// `ts` is committed on every participant. Logged (and force-synced)
+    /// only after every participant's prepare is durable; recovery commits
+    /// an in-doubt prepare iff a decision with its `ts` survives on the
+    /// coordinator, and aborts it otherwise (presumed abort).
+    Decision {
+        /// The global commit timestamp of the decided transaction.
+        ts: u64,
+        /// Shard indices of every participant, coordinator included.
+        participants: Vec<u32>,
+    },
 }
 
 impl WalRecord {
@@ -334,6 +369,8 @@ impl WalRecord {
             WalRecord::Commit { .. } => 2,
             WalRecord::Checkpoint { .. } => 3,
             WalRecord::PageDelta { .. } => 4,
+            WalRecord::Prepare { .. } => 5,
+            WalRecord::Decision { .. } => 6,
         }
     }
 
@@ -358,6 +395,31 @@ impl WalRecord {
             WalRecord::PageDelta { page, op } => {
                 w.put_u64(page.0);
                 op.encode(&mut w);
+            }
+            WalRecord::Prepare {
+                ts,
+                worm_len,
+                meta,
+                txn,
+                coordinator,
+                participants,
+            } => {
+                w.put_u64(*ts);
+                w.put_u64(*worm_len);
+                w.put_bytes(meta);
+                w.put_u64(*txn);
+                w.put_u32(*coordinator);
+                w.put_u32(participants.len() as u32);
+                for p in participants {
+                    w.put_u32(*p);
+                }
+            }
+            WalRecord::Decision { ts, participants } => {
+                w.put_u64(*ts);
+                w.put_u32(participants.len() as u32);
+                for p in participants {
+                    w.put_u32(*p);
+                }
             }
         }
         w.into_vec()
@@ -384,6 +446,35 @@ impl WalRecord {
                 page: PageId(r.get_u64()?),
                 op: PageOp::decode(&mut r)?,
             },
+            5 => {
+                let ts = r.get_u64()?;
+                let worm_len = r.get_u64()?;
+                let meta = r.get_bytes()?;
+                let txn = r.get_u64()?;
+                let coordinator = r.get_u32()?;
+                let n = r.get_u32()? as usize;
+                let mut participants = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    participants.push(r.get_u32()?);
+                }
+                WalRecord::Prepare {
+                    ts,
+                    worm_len,
+                    meta,
+                    txn,
+                    coordinator,
+                    participants,
+                }
+            }
+            6 => {
+                let ts = r.get_u64()?;
+                let n = r.get_u32()? as usize;
+                let mut participants = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    participants.push(r.get_u32()?);
+                }
+                WalRecord::Decision { ts, participants }
+            }
             t => return Err(TsbError::corruption(format!("invalid WAL record kind {t}"))),
         };
         Ok((lsn, record))
@@ -639,6 +730,8 @@ impl WalShared {
         let mut inner = self.inner.lock();
         let point = match record {
             WalRecord::Checkpoint { .. } => CrashPoint::WalCheckpoint,
+            WalRecord::Prepare { .. } => CrashPoint::WalPrepare,
+            WalRecord::Decision { .. } => CrashPoint::WalDecision,
             _ => CrashPoint::WalAppend,
         };
         if let Some(injector) = &inner.injector {
@@ -661,7 +754,10 @@ impl WalShared {
 
         let is_fence = matches!(
             record,
-            WalRecord::Commit { .. } | WalRecord::Checkpoint { .. }
+            WalRecord::Commit { .. }
+                | WalRecord::Checkpoint { .. }
+                | WalRecord::Prepare { .. }
+                | WalRecord::Decision { .. }
         );
         if is_fence || inner.pending.len() >= APPEND_BUFFER_FLUSH_BYTES {
             inner.flush_pending()?;
@@ -677,8 +773,9 @@ impl WalShared {
                 };
                 at_boundary.then_some(lsn)
             }
-            // Checkpoints always sync, on the caller's thread; page
-            // records never do.
+            // Checkpoints always sync, on the caller's thread; 2PC fences
+            // (Prepare/Decision) are force-synced explicitly by the engine
+            // via `sync()`; page records never sync.
             _ => None,
         };
         Ok((lsn, boundary))

@@ -28,7 +28,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use tsb_common::TsbResult;
-use tsb_core::ConcurrentTsb;
+use tsb_core::{ConcurrentTsb, ShardedTsb};
 use tsb_storage::IoSnapshot;
 
 /// Parameters of one closed-loop durable write run.
@@ -86,6 +86,14 @@ impl DurableDriveReport {
         let nanos = self.io.group_commit_wait_nanos / self.committed_ops.max(1);
         Duration::from_nanos(nanos)
     }
+
+    /// Mean time a writer spent blocked acquiring an engine writer lock,
+    /// per acknowledged commit — the E14 "how serialized are the writers"
+    /// number. Sharding drops it by giving each shard its own lock.
+    pub fn lock_wait_per_op(&self) -> Duration {
+        let nanos = self.io.writer_lock_wait_nanos / self.committed_ops.max(1);
+        Duration::from_nanos(nanos)
+    }
 }
 
 /// Runs the closed-loop driver against `db`: `spec.threads` writer threads,
@@ -122,21 +130,73 @@ pub fn drive_durable(db: &ConcurrentTsb, spec: &DurableDriveSpec) -> TsbResult<D
     })
 }
 
+/// The sharded counterpart of [`drive_durable`]: the same closed loop of
+/// acknowledged single-key inserts, routed across an `N`-shard engine. The
+/// report's I/O delta is the merged sum over every shard, so fsyncs/op and
+/// writer-lock wait/op are directly comparable across shard counts (the
+/// E14 experiment in `tsb-bench`).
+pub fn drive_sharded(db: &ShardedTsb, spec: &DurableDriveSpec) -> TsbResult<DurableDriveReport> {
+    let before = db.io_snapshot();
+    let start = Instant::now();
+    let committed = std::thread::scope(|s| -> TsbResult<u64> {
+        let handles: Vec<_> = (0..spec.threads)
+            .map(|i| {
+                let db = db.clone();
+                let spec = spec.clone();
+                s.spawn(move || sharded_writer_loop(&db, &spec, i as u64))
+            })
+            .collect();
+        let mut committed = 0u64;
+        for h in handles {
+            committed += h.join().expect("writer thread panicked")?;
+        }
+        Ok(committed)
+    })?;
+    let elapsed = start.elapsed();
+    let io = db.io_snapshot().delta_since(&before);
+    Ok(DurableDriveReport {
+        committed_ops: committed,
+        elapsed,
+        io,
+    })
+}
+
 /// One closed-loop writer: commits its deterministic stream one op at a
 /// time, each acknowledged before the next is issued.
 fn writer_loop(db: &ConcurrentTsb, spec: &DurableDriveSpec, thread_idx: u64) -> TsbResult<u64> {
     let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_add(thread_idx));
     let mut committed = 0u64;
     for _ in 0..spec.ops_per_thread {
-        let key = rng.gen_range(0..spec.num_keys.max(1));
-        let mut value = vec![0u8; spec.value_size];
-        for byte in value.iter_mut() {
-            *byte = rng.gen_range(0..=u8::MAX as u32) as u8;
-        }
-        db.insert(tsb_common::Key::from_u64(key), value)?;
+        let (key, value) = next_op(&mut rng, spec);
+        db.insert(key, value)?;
         committed += 1;
     }
     Ok(committed)
+}
+
+/// [`writer_loop`] against a sharded engine: identical stream, routed.
+fn sharded_writer_loop(
+    db: &ShardedTsb,
+    spec: &DurableDriveSpec,
+    thread_idx: u64,
+) -> TsbResult<u64> {
+    let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_add(thread_idx));
+    let mut committed = 0u64;
+    for _ in 0..spec.ops_per_thread {
+        let (key, value) = next_op(&mut rng, spec);
+        db.insert(key, value)?;
+        committed += 1;
+    }
+    Ok(committed)
+}
+
+fn next_op(rng: &mut StdRng, spec: &DurableDriveSpec) -> (tsb_common::Key, Vec<u8>) {
+    let key = rng.gen_range(0..spec.num_keys.max(1));
+    let mut value = vec![0u8; spec.value_size];
+    for byte in value.iter_mut() {
+        *byte = rng.gen_range(0..=u8::MAX as u32) as u8;
+    }
+    (tsb_common::Key::from_u64(key), value)
 }
 
 /// Convenience: the Arc-wrapped stats handle the driver reads is shared

@@ -53,7 +53,7 @@ pub mod socket;
 pub use concurrent::{pin_fraction, ConcurrentSpec, ReaderQuery, ReaderQueryKind};
 pub use crash::{crash_matrix, CrashSpec, CrashTrigger};
 pub use distributions::KeyDistribution;
-pub use durable::{drive_durable, DurableDriveReport, DurableDriveSpec};
+pub use durable::{drive_durable, drive_sharded, DurableDriveReport, DurableDriveSpec};
 pub use generator::{generate_ops, Op, WorkloadSpec};
 pub use oracle::Oracle;
 pub use queries::{generate_queries, Query, QueryMix};

@@ -65,7 +65,7 @@ impl TestRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
         }
-        let seed = h ^ ((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let seed = h ^ ((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ env_salt();
         TestRng {
             inner: StdRng::seed_from_u64(seed),
         }
@@ -86,6 +86,23 @@ impl TestRng {
     pub fn unit_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
+}
+
+/// Optional seed salt from `TSB_PROPTEST_SALT`: runs stay fully
+/// deterministic for a given value, but CI can sweep several salts so
+/// the property suites explore disjoint case streams (the stress-matrix
+/// "seeds 1-3" pattern). Unset or unparseable means salt 0 — identical
+/// to the historical behavior.
+fn env_salt() -> u64 {
+    use std::sync::OnceLock;
+    static SALT: OnceLock<u64> = OnceLock::new();
+    *SALT.get_or_init(|| {
+        std::env::var("TSB_PROPTEST_SALT")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .map(|s: u64| s.wrapping_mul(0xD134_2543_DE82_EF95))
+            .unwrap_or(0)
+    })
 }
 
 #[cfg(test)]
