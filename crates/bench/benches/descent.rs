@@ -57,7 +57,10 @@ fn bench_descent_fanout(c: &mut Criterion) {
 fn bench_warm_tree_descent(c: &mut Criterion) {
     let keys = 2_000u64;
     let cfg = tsb_common::TsbConfig::small_pages().with_node_cache_entries(16_384);
-    let mut tree = tsb_core::TsbTree::new_in_memory(cfg).unwrap();
+    let mut tree = tsb_core::TsbOptions::in_memory()
+        .config(cfg)
+        .open_tree()
+        .unwrap();
     for round in 0..3 {
         for k in 0..keys {
             tree.insert(k, format!("v{round}").into_bytes()).unwrap();

@@ -60,11 +60,10 @@ fn bench_inserts(c: &mut Criterion) {
         for (policy_name, policy) in &policies {
             group.bench_with_input(BenchmarkId::new(*wl_name, policy_name), ops, |b, ops| {
                 b.iter(|| {
-                    let mut tree = TsbTree::new_in_memory(experiment_config(
-                        *policy,
-                        SplitTimeChoice::LastUpdate,
-                    ))
-                    .unwrap();
+                    let mut tree = tsb_core::TsbOptions::in_memory()
+                        .config(experiment_config(*policy, SplitTimeChoice::LastUpdate))
+                        .open_tree()
+                        .unwrap();
                     apply(&mut tree, ops);
                     tree
                 })

@@ -5,7 +5,6 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tsb_common::{SplitPolicyKind, SplitTimeChoice};
-use tsb_core::TsbTree;
 use tsb_workload::{generate_ops, Op, WorkloadSpec};
 
 use tsb_bench::measure::experiment_config;
@@ -66,7 +65,10 @@ fn bench_split_policies(c: &mut Criterion) {
     for (name, policy, choice) in variants {
         group.bench_with_input(BenchmarkId::from_parameter(&name), &ops, |b, ops| {
             b.iter(|| {
-                let mut tree = TsbTree::new_in_memory(experiment_config(policy, choice)).unwrap();
+                let mut tree = tsb_core::TsbOptions::in_memory()
+                    .config(experiment_config(policy, choice))
+                    .open_tree()
+                    .unwrap();
                 for op in ops {
                     match op {
                         Op::Put { key, value } => {
@@ -92,11 +94,13 @@ fn bench_transactions(c: &mut Criterion) {
 
     group.bench_function("autocommit_writes", |b| {
         b.iter(|| {
-            let mut tree = TsbTree::new_in_memory(experiment_config(
-                SplitPolicyKind::default(),
-                SplitTimeChoice::LastUpdate,
-            ))
-            .unwrap();
+            let mut tree = tsb_core::TsbOptions::in_memory()
+                .config(experiment_config(
+                    SplitPolicyKind::default(),
+                    SplitTimeChoice::LastUpdate,
+                ))
+                .open_tree()
+                .unwrap();
             for i in 0..batch {
                 tree.insert(i % 200, vec![b'x'; 100]).unwrap();
             }
@@ -105,11 +109,13 @@ fn bench_transactions(c: &mut Criterion) {
     });
     group.bench_function("txn_writes_commit_every_10", |b| {
         b.iter(|| {
-            let mut tree = TsbTree::new_in_memory(experiment_config(
-                SplitPolicyKind::default(),
-                SplitTimeChoice::LastUpdate,
-            ))
-            .unwrap();
+            let mut tree = tsb_core::TsbOptions::in_memory()
+                .config(experiment_config(
+                    SplitPolicyKind::default(),
+                    SplitTimeChoice::LastUpdate,
+                ))
+                .open_tree()
+                .unwrap();
             let mut i = 0u64;
             while i < batch {
                 let txn = tree.begin_txn();

@@ -15,11 +15,13 @@ fn build_db(ops_count: usize, keys: u64) -> (TsbTree, Vec<Timestamp>) {
         .with_keys(keys)
         .with_update_ratio(4.0)
         .with_value_size(100);
-    let mut tree = TsbTree::new_in_memory(experiment_config(
-        SplitPolicyKind::default(),
-        SplitTimeChoice::LastUpdate,
-    ))
-    .unwrap();
+    let mut tree = tsb_core::TsbOptions::in_memory()
+        .config(experiment_config(
+            SplitPolicyKind::default(),
+            SplitTimeChoice::LastUpdate,
+        ))
+        .open_tree()
+        .unwrap();
     let mut stamps = Vec::new();
     for op in generate_ops(&spec) {
         match op {

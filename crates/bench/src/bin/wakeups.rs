@@ -27,7 +27,7 @@ use std::time::Instant;
 use tsb_client::protocol::{Reply, Request};
 use tsb_client::TsbClient;
 use tsb_common::{FsyncPolicy, Key, SplitPolicyKind, SplitTimeChoice};
-use tsb_core::ShardedTsb;
+use tsb_core::TsbOptions;
 use tsb_server::TsbServer;
 
 use tsb_bench::measure::experiment_config;
@@ -126,7 +126,11 @@ fn main() {
             let mut cfg =
                 experiment_config(SplitPolicyKind::TimePreferring, SplitTimeChoice::LastUpdate);
             cfg.fsync_policy = FsyncPolicy::Os;
-            let db = ShardedTsb::open_durable(&dir, shards, cfg).expect("durable engine");
+            let db = TsbOptions::durable(&dir)
+                .config(cfg)
+                .shards(shards)
+                .open()
+                .expect("durable engine");
             let server = TsbServer::start(db, "127.0.0.1:0").expect("start server");
             let addr = server.local_addr();
 

@@ -12,14 +12,17 @@
 //!   splits.
 
 use tsb_common::{SplitPolicyKind, SplitTimeChoice, TsbConfig};
-use tsb_core::TsbTree;
+use tsb_core::{TsbOptions, TsbTree};
 use tsb_workload::{generate_ops, Op};
 
 use crate::measure::{default_workload, experiment_config, Scale};
 use crate::report::{kib, ratio, Table};
 
 fn run_with(cfg: TsbConfig, ops: &[Op]) -> TsbTree {
-    let mut tree = TsbTree::new_in_memory(cfg).expect("valid config");
+    let mut tree = TsbOptions::in_memory()
+        .config(cfg)
+        .open_tree()
+        .expect("valid config");
     for op in ops {
         match op {
             Op::Put { key, value } => {

@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 use tsb_common::{TimeRange, Timestamp};
-use tsb_core::ConcurrentTsb;
+use tsb_core::{ConcurrentTsb, TsbOptions};
 use tsb_workload::{pin_fraction, ConcurrentSpec, Op, ReaderQueryKind};
 
 use crate::measure::{experiment_config, Scale};
@@ -97,11 +97,13 @@ fn measure_one(
     readers: usize,
     window: Duration,
 ) -> RunMeasurement {
-    let db = ConcurrentTsb::new_in_memory(experiment_config(
-        tsb_common::SplitPolicyKind::TimePreferring,
-        tsb_common::SplitTimeChoice::LastUpdate,
-    ))
-    .expect("in-memory engine");
+    let db = TsbOptions::in_memory()
+        .config(experiment_config(
+            tsb_common::SplitPolicyKind::TimePreferring,
+            tsb_common::SplitTimeChoice::LastUpdate,
+        ))
+        .open_concurrent()
+        .expect("in-memory engine");
     for op in preload {
         apply(&db, op);
     }

@@ -9,7 +9,7 @@
 //! policy is better at each price point.
 
 use tsb_common::{CostParams, SplitPolicyKind, SplitTimeChoice, TsbConfig};
-use tsb_core::TsbTree;
+use tsb_core::TsbOptions;
 use tsb_workload::{generate_ops, Op};
 
 use crate::measure::{default_workload, Scale};
@@ -26,7 +26,10 @@ fn run_with_cost(policy: SplitPolicyKind, cost: CostParams, ops: &[Op]) -> (u64,
         .with_split_time_choice(SplitTimeChoice::LastUpdate)
         .with_cost(cost);
     cfg.max_key_len = 64;
-    let mut tree = TsbTree::new_in_memory(cfg).expect("valid config");
+    let mut tree = TsbOptions::in_memory()
+        .config(cfg)
+        .open_tree()
+        .expect("valid config");
     for op in ops {
         match op {
             Op::Put { key, value } => {

@@ -31,7 +31,7 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use tsb_common::{FsyncPolicy, SplitPolicyKind, SplitTimeChoice, TsbConfig};
-use tsb_core::{ConcurrentTsb, TsbTree};
+use tsb_core::{TsbOptions, TsbTree};
 use tsb_workload::{drive_durable, generate_ops, DurableDriveSpec, Op, WorkloadSpec};
 
 use crate::measure::{experiment_config, Scale};
@@ -171,7 +171,10 @@ fn fsync_policy_table(scale: Scale, floor: Duration) -> Table {
         let dir = TempDir::new(&format!("tput-{}", label.replace([' ', '(', ')'], "")));
         let cfg = e12_config(*policy);
         let mut tree = if policy.is_some() {
-            TsbTree::open_durable(&dir.0, cfg).expect("durable tree")
+            TsbOptions::durable(&dir.0)
+                .config(cfg)
+                .open_tree()
+                .expect("durable tree")
         } else {
             open_plain_file_tree(&dir, cfg)
         };
@@ -239,7 +242,10 @@ fn group_commit_table(scale: Scale, floor: Duration) -> Table {
         for threads in [1usize, 2, 4, 8] {
             let dir = TempDir::new(&format!("gc-{}-{threads}", label.replace(['(', ')'], "")));
             let cfg = e12_config(Some(*policy));
-            let db = ConcurrentTsb::open_durable(&dir.0, cfg).expect("durable engine");
+            let db = TsbOptions::durable(&dir.0)
+                .config(cfg)
+                .open_concurrent()
+                .expect("durable engine");
             let spec = DurableDriveSpec {
                 threads,
                 ops_per_thread,
@@ -305,13 +311,19 @@ fn recovery_table(scale: Scale) -> Table {
         let spec = e12_workload(scale).with_ops(*depth);
         let ops = generate_ops(&spec);
         {
-            let mut tree = TsbTree::open_durable(&dir.0, cfg.clone()).expect("durable tree");
+            let mut tree = TsbOptions::durable(&dir.0)
+                .config(cfg.clone())
+                .open_tree()
+                .expect("durable tree");
             replay(&mut tree, &ops);
             // Dropped hot: every post-create write exists only in the WAL.
         }
         let wal_kib = wal_kib(&dir);
         let start = Instant::now();
-        let tree = TsbTree::open_durable(&dir.0, cfg).expect("recovery");
+        let tree = TsbOptions::durable(&dir.0)
+            .config(cfg)
+            .open_tree()
+            .expect("recovery");
         let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
         let keys = tree
             .scan_current(&tsb_common::KeyRange::full())

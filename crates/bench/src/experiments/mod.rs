@@ -12,6 +12,7 @@ pub mod durability;
 pub mod policy_space;
 pub mod query_cost;
 pub mod ratio_sweep;
+pub mod replication;
 pub mod served;
 pub mod sharded;
 pub mod worm_utilization;
@@ -21,7 +22,7 @@ use crate::report::Table;
 
 /// Every experiment id the harness knows about.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
 /// Runs one experiment by id, returning its tables.
@@ -49,6 +50,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "e12" | "durability" => Some(durability::run(scale)),
         "e13" | "served" => Some(served::run(scale)),
         "e14" | "sharded" => Some(sharded::run(scale)),
+        "e15" | "replication" => Some(replication::run(scale)),
         _ => None,
     }
 }
@@ -65,6 +67,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     out.extend(durability::run(scale));
     out.extend(served::run(scale));
     out.extend(sharded::run(scale));
+    out.extend(replication::run(scale));
     out.extend(worm_utilization::run(scale));
     out.extend(baseline::run(scale));
     out.extend(ablation::run(scale));

@@ -20,7 +20,7 @@
 use std::path::PathBuf;
 
 use tsb_common::{FsyncPolicy, SplitPolicyKind, SplitTimeChoice};
-use tsb_core::ConcurrentTsb;
+use tsb_core::TsbOptions;
 use tsb_server::TsbServer;
 use tsb_workload::{drive_socket, SocketDriveSpec};
 
@@ -103,7 +103,10 @@ pub fn run(scale: Scale) -> Vec<Table> {
             let mut cfg =
                 experiment_config(SplitPolicyKind::TimePreferring, SplitTimeChoice::LastUpdate);
             cfg.fsync_policy = *policy;
-            let db = ConcurrentTsb::open_durable(&dir.0, cfg).expect("durable engine");
+            let db = TsbOptions::durable(&dir.0)
+                .config(cfg)
+                .open_concurrent()
+                .expect("durable engine");
             let server = TsbServer::start(db, "127.0.0.1:0").expect("start server");
             let addr = server.local_addr();
 

@@ -27,7 +27,7 @@
 use std::path::PathBuf;
 
 use tsb_common::{FsyncPolicy, SplitPolicyKind, SplitTimeChoice};
-use tsb_core::ShardedTsb;
+use tsb_core::TsbOptions;
 use tsb_workload::{drive_sharded, DurableDriveSpec};
 
 use super::durability::{fsync_floor, pct_of_fsync_ceiling};
@@ -107,7 +107,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
                 let mut cfg =
                     experiment_config(SplitPolicyKind::TimePreferring, SplitTimeChoice::LastUpdate);
                 cfg.fsync_policy = *policy;
-                let db = ShardedTsb::open_durable(&dir.0, shards, cfg).expect("sharded engine");
+                let db = TsbOptions::durable(&dir.0)
+                    .config(cfg)
+                    .shards(shards)
+                    .open()
+                    .expect("sharded engine");
 
                 let spec = DurableDriveSpec {
                     threads: writers,

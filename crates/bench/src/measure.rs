@@ -4,7 +4,7 @@
 use tsb_common::{
     CostParams, Key, KeyRange, SplitPolicyKind, SplitTimeChoice, Timestamp, TsbConfig,
 };
-use tsb_core::{TreeStats, TsbTree};
+use tsb_core::{TreeStats, TsbOptions, TsbTree};
 use tsb_wobt::{Wobt, WobtConfig, WobtStats};
 use tsb_workload::{generate_queries, Op, Oracle, Query, QueryMix, WorkloadSpec};
 
@@ -127,7 +127,9 @@ pub fn measure_tsb(
     choice: SplitTimeChoice,
     ops: &[Op],
 ) -> (TsbTree, Measurement) {
-    let mut tree = TsbTree::new_in_memory(experiment_config(policy, choice))
+    let mut tree = TsbOptions::in_memory()
+        .config(experiment_config(policy, choice))
+        .open_tree()
         .expect("experiment config is valid");
     for op in ops {
         match op {

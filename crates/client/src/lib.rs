@@ -29,6 +29,43 @@ pub use tsb_server::protocol;
 
 use protocol::{FrameDecoder, Reply, Request};
 
+/// Where a client's read verbs are served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadPreference {
+    /// Every verb goes to the connected server (the default).
+    Primary,
+    /// Point reads, range scans, and history queries go to a read replica
+    /// at this address; writes, transactions, and everything else stay on
+    /// the primary connection. Replica reads are fence-pinned at the
+    /// replica's applied durable prefix, so they may trail the primary
+    /// (bounded staleness) but never observe a torn or uncommitted state.
+    Replica(String),
+}
+
+/// A server's answer to the `role` verb.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerRole {
+    /// `true` for a primary (accepts writes), `false` for a read replica.
+    pub primary: bool,
+    /// The primary's shard count (1 for replicas).
+    pub shards: u32,
+}
+
+/// A replica's answer to the `replica_status` verb.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplicaStatusReport {
+    /// Whether the replica has an installed base and serves reads.
+    pub serving: bool,
+    /// Highest primary LSN applied and locally durable.
+    pub applied_lsn: u64,
+    /// The primary's durable watermark as of the last shipped batch.
+    pub source_durable_lsn: u64,
+    /// Records between the two (the replication lag, in log records).
+    pub lag_records: u64,
+    /// Milliseconds since replication last made progress.
+    pub lag_ms: u64,
+}
+
 /// One connection to a `tsb-server`.
 ///
 /// Not `Sync` by design: a pipelined protocol needs one reader of the
@@ -41,6 +78,9 @@ pub struct TsbClient {
     parked: BTreeMap<u64, Reply>,
     next_id: u64,
     read_buf: Vec<u8>,
+    /// Second connection serving reads under
+    /// [`ReadPreference::Replica`]; `None` routes everything here.
+    replica: Option<Box<TsbClient>>,
 }
 
 impl TsbClient {
@@ -54,7 +94,22 @@ impl TsbClient {
             parked: BTreeMap::new(),
             next_id: 1,
             read_buf: vec![0u8; 64 * 1024],
+            replica: None,
         })
+    }
+
+    /// Chooses where read verbs ([`Self::get`], [`Self::get_as_of`],
+    /// [`Self::range`], [`Self::history`]) are served. Selecting
+    /// [`ReadPreference::Replica`] opens (or replaces) a second connection
+    /// to the replica; [`ReadPreference::Primary`] closes it.
+    pub fn set_read_preference(&mut self, pref: ReadPreference) -> TsbResult<()> {
+        match pref {
+            ReadPreference::Primary => self.replica = None,
+            ReadPreference::Replica(addr) => {
+                self.replica = Some(Box::new(TsbClient::connect(addr.as_str())?));
+            }
+        }
+        Ok(())
     }
 
     // ----- pipelining primitives -----------------------------------------
@@ -138,18 +193,24 @@ impl TsbClient {
         committed(self.wait_for(id)?)
     }
 
-    /// Current-state point read.
+    /// Current-state point read (served per the read preference).
     pub fn get(&mut self, key: impl Into<Key>) -> TsbResult<Option<Vec<u8>>> {
+        if let Some(replica) = self.replica.as_mut() {
+            return replica.get(key);
+        }
         let id = self.send(&Request::Get { key: key.into() })?;
         value(self.wait_for(id)?)
     }
 
-    /// As-of point read.
+    /// As-of point read (served per the read preference).
     pub fn get_as_of(
         &mut self,
         key: impl Into<Key>,
         as_of: Timestamp,
     ) -> TsbResult<Option<Vec<u8>>> {
+        if let Some(replica) = self.replica.as_mut() {
+            return replica.get_as_of(key, as_of);
+        }
         let id = self.send(&Request::GetAsOf {
             key: key.into(),
             as_of,
@@ -157,12 +218,16 @@ impl TsbClient {
         value(self.wait_for(id)?)
     }
 
-    /// Range scan; `as_of: None` reads the current database.
+    /// Range scan; `as_of: None` reads the current database (served per
+    /// the read preference).
     pub fn range(
         &mut self,
         range: KeyRange,
         as_of: Option<Timestamp>,
     ) -> TsbResult<Vec<(Key, Vec<u8>)>> {
+        if let Some(replica) = self.replica.as_mut() {
+            return replica.range(range, as_of);
+        }
         let id = self.send(&Request::Range { range, as_of })?;
         match self.wait_for(id)? {
             Reply::Rows { rows } => Ok(rows),
@@ -170,8 +235,12 @@ impl TsbClient {
         }
     }
 
-    /// Version history of `key` within `window`.
+    /// Version history of `key` within `window` (served per the read
+    /// preference).
     pub fn history(&mut self, key: impl Into<Key>, window: TimeRange) -> TsbResult<Vec<Version>> {
+        if let Some(replica) = self.replica.as_mut() {
+            return replica.history(key, window);
+        }
         let id = self.send(&Request::History {
             key: key.into(),
             window,
@@ -216,6 +285,37 @@ impl TsbClient {
     pub fn txn_abort(&mut self, txn: TxnId) -> TsbResult<()> {
         let id = self.send(&Request::TxnAbort { txn })?;
         unit(self.wait_for(id)?)
+    }
+
+    /// Asks the connected server whether it is a primary or a replica.
+    pub fn role(&mut self) -> TsbResult<ServerRole> {
+        let id = self.send(&Request::Role)?;
+        match self.wait_for(id)? {
+            Reply::RoleInfo { primary, shards } => Ok(ServerRole { primary, shards }),
+            other => unexpected("RoleInfo", other),
+        }
+    }
+
+    /// Replication progress of the connected replica (errors on a
+    /// primary).
+    pub fn replica_status(&mut self) -> TsbResult<ReplicaStatusReport> {
+        let id = self.send(&Request::ReplicaStatus)?;
+        match self.wait_for(id)? {
+            Reply::ReplicaStatusInfo {
+                serving,
+                applied_lsn,
+                source_durable_lsn,
+                lag_records,
+                lag_ms,
+            } => Ok(ReplicaStatusReport {
+                serving,
+                applied_lsn,
+                source_durable_lsn,
+                lag_records,
+                lag_ms,
+            }),
+            other => unexpected("ReplicaStatusInfo", other),
+        }
     }
 
     /// Liveness probe; returns the server's install fence.

@@ -73,6 +73,9 @@ pub enum TsbError {
     HistoricalNodeImmutable,
     /// An internal assumption failed; indicates a bug in this library.
     Internal(String),
+    /// A mutation was attempted against a read-only engine (a replication
+    /// replica). Writes must go to the primary.
+    ReadOnly,
 }
 
 impl TsbError {
@@ -117,6 +120,7 @@ impl TsbError {
             TsbError::Config(_) => 12,
             TsbError::HistoricalNodeImmutable => 13,
             TsbError::Internal(_) => 14,
+            TsbError::ReadOnly => 15,
         }
     }
 
@@ -139,6 +143,7 @@ impl TsbError {
             12 => "config",
             13 => "historical-node-immutable",
             14 => "internal",
+            15 => "read-only",
             20 => "protocol-malformed-frame",
             21 => "protocol-oversized-frame",
             22 => "protocol-unknown-verb",
@@ -184,6 +189,12 @@ impl fmt::Display for TsbError {
                 write!(f, "historical nodes are write-once and cannot be modified")
             }
             TsbError::Internal(msg) => write!(f, "internal error (library bug): {msg}"),
+            TsbError::ReadOnly => {
+                write!(
+                    f,
+                    "engine is read-only (replica): writes must go to the primary"
+                )
+            }
         }
     }
 }
@@ -258,6 +269,7 @@ mod tests {
             TsbError::config("x"),
             TsbError::HistoricalNodeImmutable,
             TsbError::internal("x"),
+            TsbError::ReadOnly,
         ];
         let mut seen = std::collections::BTreeSet::new();
         for e in &errs {

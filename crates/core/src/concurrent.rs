@@ -46,7 +46,7 @@
 //! use tsb_core::ConcurrentTsb;
 //! use tsb_common::{Key, TsbConfig};
 //!
-//! let db = ConcurrentTsb::new_in_memory(TsbConfig::default()).unwrap();
+//! let db = tsb_core::TsbOptions::in_memory().config(TsbConfig::default()).open_concurrent().unwrap();
 //! let t1 = db.insert("acct-1", b"balance=100".to_vec()).unwrap();
 //!
 //! // Readers are cheap clones of the handle; move them into threads.
@@ -134,6 +134,11 @@ impl ConcurrentTsb {
     }
 
     /// Creates a fresh concurrent engine over in-memory stores.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `TsbOptions::in_memory().config(cfg).open_concurrent()`"
+    )]
+    #[allow(deprecated)]
     pub fn new_in_memory(cfg: TsbConfig) -> TsbResult<Self> {
         Ok(Self::from_tree(TsbTree::new_in_memory(cfg)?))
     }
@@ -187,6 +192,11 @@ impl ConcurrentTsb {
     /// Opens (or creates) a durable engine rooted at directory `dir`,
     /// running crash-consistent recovery when the directory holds a
     /// previous session's state (see [`TsbTree::open_durable`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `TsbOptions::durable(dir).config(cfg).open_concurrent()`"
+    )]
+    #[allow(deprecated)]
     pub fn open_durable(dir: impl AsRef<std::path::Path>, cfg: TsbConfig) -> TsbResult<Self> {
         Ok(Self::from_tree(TsbTree::open_durable(dir, cfg)?))
     }
@@ -669,7 +679,10 @@ mod tests {
     use std::thread;
 
     fn engine() -> ConcurrentTsb {
-        ConcurrentTsb::new_in_memory(TsbConfig::small_pages()).unwrap()
+        crate::TsbOptions::in_memory()
+            .config(TsbConfig::small_pages())
+            .open_concurrent()
+            .unwrap()
     }
 
     #[test]

@@ -1,0 +1,562 @@
+//! [`EngineHandle`] — the one object-safe surface every engine flavour
+//! serves through.
+//!
+//! The crate grew three engines with near-identical surfaces but distinct
+//! concrete types: [`ConcurrentTsb`] (single writer, one log),
+//! [`ShardedTsb`] (N-way partitioned, per-shard logs under a global
+//! clock), and [`ReplicaEngine`] (read-only, fed by WAL shipping). The
+//! server dispatch loop, the workload drivers, and the oracle-equivalence
+//! tests all want to be written once against *an engine*, not three
+//! times — this trait is that seam.
+//!
+//! Design notes:
+//!
+//! * **Object-safe by construction**: keys are concrete [`Key`] values
+//!   (callers convert once at the edge), so `Arc<dyn EngineHandle>` works
+//!   as a server/driver field.
+//! * **Durability positions are [`ShardLsn`]s** — `(shard, lsn)` pairs.
+//!   Unsharded engines are the one-shard case: shard index 0. That makes
+//!   the deferred-ack plumbing (`insert_deferred` → `wait_durable`)
+//!   uniform without erasing which log a position lives in.
+//! * **Write verbs are fallible everywhere**, even those infallible on a
+//!   concrete engine (`begin_txn`), because a replica answers every one
+//!   of them with [`TsbError::ReadOnly`] — the single error code the
+//!   wire protocol surfaces so clients know to redirect to the primary.
+//! * **Replication is part of the surface**: [`EngineHandle::role`],
+//!   [`EngineHandle::replica_status`] and
+//!   [`EngineHandle::replication_source`] let the server expose
+//!   role/status verbs and serve `subscribe` without downcasting.
+
+use std::sync::Arc;
+
+use tsb_common::{
+    Key, KeyRange, TimeRange, Timestamp, TsbConfig, TsbError, TsbResult, TxnId, Version,
+};
+use tsb_storage::IoSnapshot;
+
+use crate::concurrent::ConcurrentTsb;
+use crate::replica::{ReplicaEngine, ReplicaStatus, ReplicationSource};
+use crate::sharded::{ShardLsn, ShardedTsb};
+
+/// What an engine is in a replication topology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineRole {
+    /// Accepts writes; may serve a replication stream.
+    Primary,
+    /// Read-only; applies a shipped stream. Writes fail with
+    /// [`TsbError::ReadOnly`].
+    Replica,
+}
+
+impl EngineRole {
+    /// Stable lowercase name (wire `role` verb, logs, reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineRole::Primary => "primary",
+            EngineRole::Replica => "replica",
+        }
+    }
+}
+
+/// The unified engine surface: reads, writes, transactions, durability,
+/// and replication introspection. See the module docs for the design
+/// rules; see each concrete engine for semantics.
+pub trait EngineHandle: Send + Sync {
+    /// This engine's replication role.
+    fn role(&self) -> EngineRole;
+
+    /// Number of independent logs (shards); 1 for unsharded engines.
+    fn shard_count(&self) -> usize;
+
+    // ----- writes ---------------------------------------------------------
+
+    /// Inserts (or updates) `key`, returning the commit timestamp and the
+    /// log position to pass to [`Self::wait_durable`] for a durable ack
+    /// (`None` when the engine is not durable).
+    fn insert_deferred(&self, key: Key, value: Vec<u8>)
+        -> TsbResult<(Timestamp, Option<ShardLsn>)>;
+
+    /// Logically deletes `key` (non-deletion: history is preserved).
+    fn delete_deferred(&self, key: Key) -> TsbResult<(Timestamp, Option<ShardLsn>)>;
+
+    /// Blocks until `pos` is durable on its shard's log.
+    fn wait_durable(&self, pos: ShardLsn) -> TsbResult<()>;
+
+    /// Starts a multi-key transaction.
+    fn begin_txn(&self) -> TsbResult<TxnId>;
+
+    /// Adds an insert to `txn` (uncommitted: invisible, timestampless).
+    fn txn_insert(&self, txn: TxnId, key: Key, value: Vec<u8>) -> TsbResult<()>;
+
+    /// Adds a logical delete to `txn`.
+    fn txn_delete(&self, txn: TxnId, key: Key) -> TsbResult<()>;
+
+    /// Reads `key` as seen by `txn` (its own writes included).
+    fn txn_get(&self, txn: TxnId, key: &Key) -> TsbResult<Option<Vec<u8>>>;
+
+    /// Commits `txn`, stamping every write with one commit timestamp.
+    fn commit_txn_deferred(&self, txn: TxnId) -> TsbResult<(Timestamp, Option<ShardLsn>)>;
+
+    /// Aborts `txn`, erasing its uncommitted versions.
+    fn abort_txn(&self, txn: TxnId) -> TsbResult<()>;
+
+    /// Flushes and fences the log(s). On a replica: [`TsbError::ReadOnly`]
+    /// (a replica never writes fences of its own).
+    fn checkpoint(&self) -> TsbResult<()>;
+
+    // ----- reads ----------------------------------------------------------
+
+    /// The newest committed value for `key`.
+    fn get_current(&self, key: &Key) -> TsbResult<Option<Vec<u8>>>;
+
+    /// The value for `key` as of `ts`.
+    fn get_as_of(&self, key: &Key, ts: Timestamp) -> TsbResult<Option<Vec<u8>>>;
+
+    /// Range scan as of `ts`.
+    fn scan_as_of(&self, range: &KeyRange, ts: Timestamp) -> TsbResult<Vec<(Key, Vec<u8>)>>;
+
+    /// Range scan over current state.
+    fn scan_current(&self, range: &KeyRange) -> TsbResult<Vec<(Key, Vec<u8>)>>;
+
+    /// The versions of `key` committed inside `window`.
+    fn history_between(&self, key: &Key, window: TimeRange) -> TsbResult<Vec<Version>>;
+
+    /// The newest commit timestamp reads may observe (the install fence;
+    /// on a replica, the applied fence).
+    fn last_installed(&self) -> Timestamp;
+
+    /// Newest commit known durable (`None` when not durable / nothing
+    /// committed yet).
+    fn last_durable_commit(&self) -> Option<Timestamp>;
+
+    // ----- introspection --------------------------------------------------
+
+    /// Runs the structural invariant checker.
+    fn verify(&self) -> TsbResult<()>;
+
+    /// The engine configuration.
+    fn config(&self) -> &TsbConfig;
+
+    /// A snapshot of the engine's I/O counters.
+    fn io_snapshot(&self) -> IoSnapshot;
+
+    /// Replication progress when this engine is a replica; `None` on a
+    /// primary.
+    fn replica_status(&self) -> Option<ReplicaStatus> {
+        None
+    }
+
+    /// A replication source for streaming this engine's log to replicas.
+    /// Errors unless this is a durable, single-log primary.
+    fn replication_source(&self) -> TsbResult<ReplicationSource> {
+        Err(TsbError::config(
+            "this engine cannot serve a replication stream",
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ConcurrentTsb: the one-shard case (shard index 0)
+// ---------------------------------------------------------------------------
+
+impl EngineHandle for ConcurrentTsb {
+    fn role(&self) -> EngineRole {
+        EngineRole::Primary
+    }
+
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    fn insert_deferred(
+        &self,
+        key: Key,
+        value: Vec<u8>,
+    ) -> TsbResult<(Timestamp, Option<ShardLsn>)> {
+        let (ts, lsn) = ConcurrentTsb::insert_deferred(self, key, value)?;
+        Ok((ts, lsn.map(|l| (0, l))))
+    }
+
+    fn delete_deferred(&self, key: Key) -> TsbResult<(Timestamp, Option<ShardLsn>)> {
+        let (ts, lsn) = ConcurrentTsb::delete_deferred(self, key)?;
+        Ok((ts, lsn.map(|l| (0, l))))
+    }
+
+    fn wait_durable(&self, (_, lsn): ShardLsn) -> TsbResult<()> {
+        ConcurrentTsb::wait_durable(self, lsn)
+    }
+
+    fn begin_txn(&self) -> TsbResult<TxnId> {
+        Ok(ConcurrentTsb::begin_txn(self))
+    }
+
+    fn txn_insert(&self, txn: TxnId, key: Key, value: Vec<u8>) -> TsbResult<()> {
+        ConcurrentTsb::txn_insert(self, txn, key, value)
+    }
+
+    fn txn_delete(&self, txn: TxnId, key: Key) -> TsbResult<()> {
+        ConcurrentTsb::txn_delete(self, txn, key)
+    }
+
+    fn txn_get(&self, txn: TxnId, key: &Key) -> TsbResult<Option<Vec<u8>>> {
+        ConcurrentTsb::txn_get(self, txn, key)
+    }
+
+    fn commit_txn_deferred(&self, txn: TxnId) -> TsbResult<(Timestamp, Option<ShardLsn>)> {
+        let (ts, lsn) = ConcurrentTsb::commit_txn_deferred(self, txn)?;
+        Ok((ts, lsn.map(|l| (0, l))))
+    }
+
+    fn abort_txn(&self, txn: TxnId) -> TsbResult<()> {
+        ConcurrentTsb::abort_txn(self, txn)
+    }
+
+    fn checkpoint(&self) -> TsbResult<()> {
+        ConcurrentTsb::checkpoint(self)
+    }
+
+    fn get_current(&self, key: &Key) -> TsbResult<Option<Vec<u8>>> {
+        ConcurrentTsb::get_current(self, key)
+    }
+
+    fn get_as_of(&self, key: &Key, ts: Timestamp) -> TsbResult<Option<Vec<u8>>> {
+        ConcurrentTsb::get_as_of(self, key, ts)
+    }
+
+    fn scan_as_of(&self, range: &KeyRange, ts: Timestamp) -> TsbResult<Vec<(Key, Vec<u8>)>> {
+        ConcurrentTsb::scan_as_of(self, range, ts)
+    }
+
+    fn scan_current(&self, range: &KeyRange) -> TsbResult<Vec<(Key, Vec<u8>)>> {
+        ConcurrentTsb::scan_current(self, range)
+    }
+
+    fn history_between(&self, key: &Key, window: TimeRange) -> TsbResult<Vec<Version>> {
+        ConcurrentTsb::history_between(self, key, window)
+    }
+
+    fn last_installed(&self) -> Timestamp {
+        ConcurrentTsb::last_installed(self)
+    }
+
+    fn last_durable_commit(&self) -> Option<Timestamp> {
+        ConcurrentTsb::last_durable_commit(self)
+    }
+
+    fn verify(&self) -> TsbResult<()> {
+        ConcurrentTsb::verify(self)
+    }
+
+    fn config(&self) -> &TsbConfig {
+        ConcurrentTsb::config(self)
+    }
+
+    fn io_snapshot(&self) -> IoSnapshot {
+        self.io_stats().snapshot()
+    }
+
+    fn replication_source(&self) -> TsbResult<ReplicationSource> {
+        ReplicationSource::new(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedTsb
+// ---------------------------------------------------------------------------
+
+impl EngineHandle for ShardedTsb {
+    fn role(&self) -> EngineRole {
+        EngineRole::Primary
+    }
+
+    fn shard_count(&self) -> usize {
+        ShardedTsb::shard_count(self)
+    }
+
+    fn insert_deferred(
+        &self,
+        key: Key,
+        value: Vec<u8>,
+    ) -> TsbResult<(Timestamp, Option<ShardLsn>)> {
+        ShardedTsb::insert_deferred(self, key, value)
+    }
+
+    fn delete_deferred(&self, key: Key) -> TsbResult<(Timestamp, Option<ShardLsn>)> {
+        ShardedTsb::delete_deferred(self, key)
+    }
+
+    fn wait_durable(&self, pos: ShardLsn) -> TsbResult<()> {
+        ShardedTsb::wait_durable(self, pos)
+    }
+
+    fn begin_txn(&self) -> TsbResult<TxnId> {
+        Ok(ShardedTsb::begin_txn(self))
+    }
+
+    fn txn_insert(&self, txn: TxnId, key: Key, value: Vec<u8>) -> TsbResult<()> {
+        ShardedTsb::txn_insert(self, txn, key, value)
+    }
+
+    fn txn_delete(&self, txn: TxnId, key: Key) -> TsbResult<()> {
+        ShardedTsb::txn_delete(self, txn, key)
+    }
+
+    fn txn_get(&self, txn: TxnId, key: &Key) -> TsbResult<Option<Vec<u8>>> {
+        ShardedTsb::txn_get(self, txn, key)
+    }
+
+    fn commit_txn_deferred(&self, txn: TxnId) -> TsbResult<(Timestamp, Option<ShardLsn>)> {
+        ShardedTsb::commit_txn_deferred(self, txn)
+    }
+
+    fn abort_txn(&self, txn: TxnId) -> TsbResult<()> {
+        ShardedTsb::abort_txn(self, txn)
+    }
+
+    fn checkpoint(&self) -> TsbResult<()> {
+        ShardedTsb::checkpoint(self)
+    }
+
+    fn get_current(&self, key: &Key) -> TsbResult<Option<Vec<u8>>> {
+        ShardedTsb::get_current(self, key)
+    }
+
+    fn get_as_of(&self, key: &Key, ts: Timestamp) -> TsbResult<Option<Vec<u8>>> {
+        ShardedTsb::get_as_of(self, key, ts)
+    }
+
+    fn scan_as_of(&self, range: &KeyRange, ts: Timestamp) -> TsbResult<Vec<(Key, Vec<u8>)>> {
+        ShardedTsb::scan_as_of(self, range, ts)
+    }
+
+    fn scan_current(&self, range: &KeyRange) -> TsbResult<Vec<(Key, Vec<u8>)>> {
+        ShardedTsb::scan_current(self, range)
+    }
+
+    fn history_between(&self, key: &Key, window: TimeRange) -> TsbResult<Vec<Version>> {
+        ShardedTsb::history_between(self, key, window)
+    }
+
+    fn last_installed(&self) -> Timestamp {
+        ShardedTsb::last_installed(self)
+    }
+
+    fn last_durable_commit(&self) -> Option<Timestamp> {
+        ShardedTsb::last_durable_commit(self)
+    }
+
+    fn verify(&self) -> TsbResult<()> {
+        ShardedTsb::verify(self)
+    }
+
+    fn config(&self) -> &TsbConfig {
+        ShardedTsb::config(self)
+    }
+
+    fn io_snapshot(&self) -> IoSnapshot {
+        ShardedTsb::io_snapshot(self)
+    }
+
+    fn replication_source(&self) -> TsbResult<ReplicationSource> {
+        // Replication streams one log; a multi-shard engine has N plus
+        // two-phase fences across them, which the replica apply protocol
+        // deliberately rejects.
+        if self.shard_count() != 1 {
+            return Err(TsbError::config(
+                "replication requires a single-shard primary (run with --shards 1)",
+            ));
+        }
+        ReplicationSource::new(&self.shards()[0])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ReplicaEngine: reads delegate, writes refuse
+// ---------------------------------------------------------------------------
+
+/// Every write verb on a replica fails with this.
+fn read_only<T>() -> TsbResult<T> {
+    Err(TsbError::ReadOnly)
+}
+
+impl EngineHandle for ReplicaEngine {
+    fn role(&self) -> EngineRole {
+        EngineRole::Replica
+    }
+
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    fn insert_deferred(&self, _: Key, _: Vec<u8>) -> TsbResult<(Timestamp, Option<ShardLsn>)> {
+        read_only()
+    }
+
+    fn delete_deferred(&self, _: Key) -> TsbResult<(Timestamp, Option<ShardLsn>)> {
+        read_only()
+    }
+
+    fn wait_durable(&self, _: ShardLsn) -> TsbResult<()> {
+        read_only()
+    }
+
+    fn begin_txn(&self) -> TsbResult<TxnId> {
+        read_only()
+    }
+
+    fn txn_insert(&self, _: TxnId, _: Key, _: Vec<u8>) -> TsbResult<()> {
+        read_only()
+    }
+
+    fn txn_delete(&self, _: TxnId, _: Key) -> TsbResult<()> {
+        read_only()
+    }
+
+    fn txn_get(&self, _: TxnId, _: &Key) -> TsbResult<Option<Vec<u8>>> {
+        read_only()
+    }
+
+    fn commit_txn_deferred(&self, _: TxnId) -> TsbResult<(Timestamp, Option<ShardLsn>)> {
+        read_only()
+    }
+
+    fn abort_txn(&self, _: TxnId) -> TsbResult<()> {
+        read_only()
+    }
+
+    fn checkpoint(&self) -> TsbResult<()> {
+        read_only()
+    }
+
+    fn get_current(&self, key: &Key) -> TsbResult<Option<Vec<u8>>> {
+        ReplicaEngine::get_current(self, key)
+    }
+
+    fn get_as_of(&self, key: &Key, ts: Timestamp) -> TsbResult<Option<Vec<u8>>> {
+        ReplicaEngine::get_as_of(self, key, ts)
+    }
+
+    fn scan_as_of(&self, range: &KeyRange, ts: Timestamp) -> TsbResult<Vec<(Key, Vec<u8>)>> {
+        ReplicaEngine::scan_as_of(self, range, ts)
+    }
+
+    fn scan_current(&self, range: &KeyRange) -> TsbResult<Vec<(Key, Vec<u8>)>> {
+        ReplicaEngine::scan_current(self, range)
+    }
+
+    fn history_between(&self, key: &Key, window: TimeRange) -> TsbResult<Vec<Version>> {
+        ReplicaEngine::history_between(self, key, window)
+    }
+
+    fn last_installed(&self) -> Timestamp {
+        ReplicaEngine::last_installed(self)
+    }
+
+    fn last_durable_commit(&self) -> Option<Timestamp> {
+        // The applied fence *is* the replica's durable prefix: nothing is
+        // installed before the local log is synced through it.
+        let ts = ReplicaEngine::last_installed(self);
+        (ts != Timestamp(0)).then_some(ts)
+    }
+
+    fn verify(&self) -> TsbResult<()> {
+        ReplicaEngine::verify(self)
+    }
+
+    fn config(&self) -> &TsbConfig {
+        ReplicaEngine::config(self)
+    }
+
+    fn io_snapshot(&self) -> IoSnapshot {
+        ReplicaEngine::io_snapshot(self)
+    }
+
+    fn replica_status(&self) -> Option<ReplicaStatus> {
+        Some(self.status())
+    }
+
+    fn replication_source(&self) -> TsbResult<ReplicationSource> {
+        Err(TsbError::config(
+            "cascading replication is not supported: subscribe to the primary",
+        ))
+    }
+}
+
+impl<E: EngineHandle + ?Sized> EngineHandle for Arc<E> {
+    fn role(&self) -> EngineRole {
+        (**self).role()
+    }
+    fn shard_count(&self) -> usize {
+        (**self).shard_count()
+    }
+    fn insert_deferred(
+        &self,
+        key: Key,
+        value: Vec<u8>,
+    ) -> TsbResult<(Timestamp, Option<ShardLsn>)> {
+        (**self).insert_deferred(key, value)
+    }
+    fn delete_deferred(&self, key: Key) -> TsbResult<(Timestamp, Option<ShardLsn>)> {
+        (**self).delete_deferred(key)
+    }
+    fn wait_durable(&self, pos: ShardLsn) -> TsbResult<()> {
+        (**self).wait_durable(pos)
+    }
+    fn begin_txn(&self) -> TsbResult<TxnId> {
+        (**self).begin_txn()
+    }
+    fn txn_insert(&self, txn: TxnId, key: Key, value: Vec<u8>) -> TsbResult<()> {
+        (**self).txn_insert(txn, key, value)
+    }
+    fn txn_delete(&self, txn: TxnId, key: Key) -> TsbResult<()> {
+        (**self).txn_delete(txn, key)
+    }
+    fn txn_get(&self, txn: TxnId, key: &Key) -> TsbResult<Option<Vec<u8>>> {
+        (**self).txn_get(txn, key)
+    }
+    fn commit_txn_deferred(&self, txn: TxnId) -> TsbResult<(Timestamp, Option<ShardLsn>)> {
+        (**self).commit_txn_deferred(txn)
+    }
+    fn abort_txn(&self, txn: TxnId) -> TsbResult<()> {
+        (**self).abort_txn(txn)
+    }
+    fn checkpoint(&self) -> TsbResult<()> {
+        (**self).checkpoint()
+    }
+    fn get_current(&self, key: &Key) -> TsbResult<Option<Vec<u8>>> {
+        (**self).get_current(key)
+    }
+    fn get_as_of(&self, key: &Key, ts: Timestamp) -> TsbResult<Option<Vec<u8>>> {
+        (**self).get_as_of(key, ts)
+    }
+    fn scan_as_of(&self, range: &KeyRange, ts: Timestamp) -> TsbResult<Vec<(Key, Vec<u8>)>> {
+        (**self).scan_as_of(range, ts)
+    }
+    fn scan_current(&self, range: &KeyRange) -> TsbResult<Vec<(Key, Vec<u8>)>> {
+        (**self).scan_current(range)
+    }
+    fn history_between(&self, key: &Key, window: TimeRange) -> TsbResult<Vec<Version>> {
+        (**self).history_between(key, window)
+    }
+    fn last_installed(&self) -> Timestamp {
+        (**self).last_installed()
+    }
+    fn last_durable_commit(&self) -> Option<Timestamp> {
+        (**self).last_durable_commit()
+    }
+    fn verify(&self) -> TsbResult<()> {
+        (**self).verify()
+    }
+    fn config(&self) -> &TsbConfig {
+        (**self).config()
+    }
+    fn io_snapshot(&self) -> IoSnapshot {
+        (**self).io_snapshot()
+    }
+    fn replica_status(&self) -> Option<ReplicaStatus> {
+        (**self).replica_status()
+    }
+    fn replication_source(&self) -> TsbResult<ReplicationSource> {
+        (**self).replication_source()
+    }
+}

@@ -52,7 +52,7 @@
 //! use tsb_common::{Key, KeyRange, TsbConfig};
 //! use tsb_core::TsbTree;
 //!
-//! let mut tree = TsbTree::new_in_memory(TsbConfig::default()).unwrap();
+//! let mut tree = tsb_core::TsbOptions::in_memory().config(TsbConfig::default()).open_tree().unwrap();
 //!
 //! // A tiny account history (Figure 1's stepwise-constant data).
 //! let t_open = tree.insert("acct-42", b"balance=100".to_vec()).unwrap();
@@ -76,7 +76,10 @@
 
 mod cache;
 pub mod concurrent;
+pub mod engine;
 pub mod node;
+pub mod options;
+pub mod replica;
 pub mod secondary;
 pub mod sharded;
 pub mod split;
@@ -86,9 +89,12 @@ pub mod txn;
 pub mod verify;
 
 pub use concurrent::{ConcurrentSnapshot, ConcurrentTsb};
+pub use engine::{EngineHandle, EngineRole};
 pub use node::{
     DataComposition, DataNode, IndexComposition, IndexEntry, IndexNode, Node, NodeAddr,
 };
+pub use options::TsbOptions;
+pub use replica::{ReplicaBase, ReplicaEngine, ReplicaStatus, ReplicationSource, ShippedBatch};
 pub use secondary::{composite_key, split_composite_key, SecondaryIndex};
 pub use sharded::{ShardLsn, ShardedSnapshot, ShardedTsb};
 pub use split::SplitPlan;
@@ -104,4 +110,4 @@ pub use tsb_common::{
 };
 // Durability vocabulary: the log handed to `create_durable` and the fault
 // plumbing the recovery test matrix drives.
-pub use tsb_storage::{CrashPoint, FaultInjector, Lsn, Wal};
+pub use tsb_storage::{CrashPoint, FaultInjector, Lsn, PageId, Wal};

@@ -113,7 +113,7 @@ impl SecondaryIndex {
     /// Creates a secondary index with its own in-memory stores.
     pub fn new_in_memory(cfg: TsbConfig) -> TsbResult<Self> {
         Ok(SecondaryIndex {
-            tree: TsbTree::new_in_memory(cfg)?,
+            tree: crate::TsbOptions::in_memory().config(cfg).open_tree()?,
         })
     }
 

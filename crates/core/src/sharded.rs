@@ -181,6 +181,10 @@ impl ShardedTsb {
     /// Creates a fresh sharded engine over in-memory stores: `shards`
     /// independent engines stamping from one clock. No durability — the
     /// oracle-equivalence and routing tests use this.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `TsbOptions::in_memory().config(cfg).shards(n).open()`"
+    )]
     pub fn new_in_memory(shards: usize, cfg: TsbConfig) -> TsbResult<Self> {
         check_shard_count(shards)?;
         let clock = Arc::new(LogicalClock::new());
@@ -210,6 +214,10 @@ impl ShardedTsb {
     /// the shared clock), and resolves in-doubt two-phase prepares against
     /// the coordinator shard's decision record before any shard is
     /// checkpointed — see the [module docs](self).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `TsbOptions::durable(dir).config(cfg).shards(n).open()`"
+    )]
     pub fn open_durable(dir: impl AsRef<Path>, shards: usize, cfg: TsbConfig) -> TsbResult<Self> {
         check_shard_count(shards)?;
         let dir = dir.as_ref();
@@ -244,6 +252,7 @@ impl ShardedTsb {
             }
         }
         if shards == 1 && !persisted {
+            #[allow(deprecated)]
             let db = ConcurrentTsb::open_durable(dir, cfg)?;
             return Ok(Self::single(db));
         }
@@ -873,7 +882,11 @@ mod tests {
     use super::*;
 
     fn engine(shards: usize) -> ShardedTsb {
-        ShardedTsb::new_in_memory(shards, TsbConfig::small_pages()).unwrap()
+        crate::TsbOptions::in_memory()
+            .config(TsbConfig::small_pages())
+            .shards(shards)
+            .open()
+            .unwrap()
     }
 
     #[test]
@@ -991,7 +1004,15 @@ mod tests {
 
     #[test]
     fn shard_count_bounds_are_enforced() {
-        assert!(ShardedTsb::new_in_memory(0, TsbConfig::small_pages()).is_err());
-        assert!(ShardedTsb::new_in_memory(MAX_SHARDS + 1, TsbConfig::small_pages()).is_err());
+        assert!(crate::TsbOptions::in_memory()
+            .config(TsbConfig::small_pages())
+            .shards(0)
+            .open()
+            .is_err());
+        assert!(crate::TsbOptions::in_memory()
+            .config(TsbConfig::small_pages())
+            .shards(MAX_SHARDS + 1)
+            .open()
+            .is_err());
     }
 }

@@ -197,7 +197,10 @@ mod tests {
 
     fn workload(policy: SplitPolicyKind, ops: u64, keys: u64) -> TsbTree {
         let cfg = TsbConfig::small_pages().with_split_policy(policy);
-        let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+        let mut tree = crate::TsbOptions::in_memory()
+            .config(cfg)
+            .open_tree()
+            .unwrap();
         for i in 0..ops {
             tree.insert(i % keys, format!("value-{i}").into_bytes())
                 .unwrap();
@@ -264,7 +267,10 @@ mod tests {
 
     #[test]
     fn empty_tree_stats() {
-        let tree = TsbTree::new_in_memory(TsbConfig::small_pages()).unwrap();
+        let tree = crate::TsbOptions::in_memory()
+            .config(TsbConfig::small_pages())
+            .open_tree()
+            .unwrap();
         let stats = tree.tree_stats().unwrap();
         assert_eq!(stats.distinct_versions, 0);
         assert_eq!(stats.redundancy_ratio(), 0.0);

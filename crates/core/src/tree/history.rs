@@ -129,7 +129,10 @@ mod tests {
     /// timestamp g*20 + k + 1 (deterministic via insert_at).
     fn build() -> TsbTree {
         let cfg = TsbConfig::small_pages().with_split_policy(SplitPolicyKind::TimePreferring);
-        let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+        let mut tree = crate::TsbOptions::in_memory()
+            .config(cfg)
+            .open_tree()
+            .unwrap();
         for gen in 0..10u64 {
             for key in 0..20u64 {
                 let ts = Timestamp(gen * 20 + key + 1);
@@ -198,7 +201,10 @@ mod tests {
     #[test]
     fn changed_keys_between_supports_incremental_backup() {
         let cfg = TsbConfig::small_pages();
-        let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+        let mut tree = crate::TsbOptions::in_memory()
+            .config(cfg)
+            .open_tree()
+            .unwrap();
         for key in 0..30u64 {
             tree.insert(key, b"initial".to_vec()).unwrap();
         }

@@ -679,7 +679,10 @@ mod tests {
 
     fn small_tree(policy: SplitPolicyKind) -> TsbTree {
         let cfg = TsbConfig::small_pages().with_split_policy(policy);
-        TsbTree::new_in_memory(cfg).unwrap()
+        crate::TsbOptions::in_memory()
+            .config(cfg)
+            .open_tree()
+            .unwrap()
     }
 
     #[test]
@@ -797,7 +800,10 @@ mod tests {
         let cfg = TsbConfig::small_pages()
             .with_split_policy(SplitPolicyKind::TimePreferring)
             .with_split_time_choice(SplitTimeChoice::LastUpdate);
-        let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+        let mut tree = crate::TsbOptions::in_memory()
+            .config(cfg)
+            .open_tree()
+            .unwrap();
         for i in 0..120u64 {
             tree.insert(i % 10, format!("v{i}").into_bytes()).unwrap();
         }

@@ -40,10 +40,11 @@ use crate::txn::TxnTable;
 
 const META_MAGIC: u64 = 0x5453_4254_5245_4531; // "TSBTREE1"
 
-/// File names used by [`TsbTree::open_durable`] inside its directory.
-const MAGNETIC_FILE: &str = "current.pages";
-const WORM_FILE: &str = "history.worm";
-const WAL_FILE: &str = "redo.wal";
+/// File names used by [`TsbTree::open_durable`] inside its directory
+/// (`pub(crate)` so the replica engine can wipe a half-installed base).
+pub(crate) const MAGNETIC_FILE: &str = "current.pages";
+pub(crate) const WORM_FILE: &str = "history.worm";
+pub(crate) const WAL_FILE: &str = "redo.wal";
 
 /// The durability state of a WAL-attached tree.
 ///
@@ -249,11 +250,51 @@ impl StagedRecovery {
     }
 }
 
+/// A replication replica's crash-consistent reopen, produced by
+/// [`TsbTree::open_durable_replica`].
+///
+/// A replica keeps a byte-faithful local copy of the primary's log
+/// (shipped record bodies appended via [`Wal::append_shipped`], primary
+/// LSNs preserved), so its restart is ordinary redo recovery — with three
+/// deliberate departures from [`TsbTree::recover_staged`]'s tail:
+///
+/// * **No purge.** Uncommitted versions surviving at the cut fence belong
+///   to primary transactions that are still in flight *on the primary*;
+///   later shipped records will stamp or erase them. Erasing them here
+///   would diverge from the stream.
+/// * **No local checkpoint.** A replica never appends records of its own —
+///   its log is a pure copy, and a locally minted checkpoint would collide
+///   with the primary's LSN namespace. The local log only ever grows (it
+///   is re-based wholesale when the primary's generation outruns it).
+/// * **The un-fenced tail is kept.** Records past the cut are shipped
+///   state whose commit fence has not arrived yet; they re-seed the apply
+///   overlay instead of being discarded.
+pub(crate) struct ReplicaRecovery {
+    /// The recovered tree, serving-ready at the cut fence.
+    pub(crate) tree: TsbTree,
+    /// LSN of the cut fence record — the applied watermark at reopen.
+    pub(crate) applied_lsn: Lsn,
+    /// LSN of the newest record in the local log (≥ `applied_lsn`): the
+    /// resume cursor for the subscription to the primary.
+    pub(crate) last_lsn: Lsn,
+    /// Records after the cut fence, in LSN order — shipped but not yet
+    /// fenced; they re-seed the apply overlay's staging area.
+    pub(crate) tail: Vec<WalRecord>,
+    /// The cut fence's `(root, clock-next, next-txn)`, seeding the
+    /// metadata-elision chain for subsequently shipped commits.
+    pub(crate) cut_state: (NodeAddr, Timestamp, u64),
+}
+
 /// A page being rebuilt by recovery's replay: the newest logged image,
 /// decoded lazily — only when a delta actually has to be applied, so
 /// pages whose last record is an image (structural rewrites, ImagesOnly
 /// mode) are restored without a decode/encode round trip.
-enum ReplayPage {
+///
+/// Also the unit of a replication replica's *apply overlay*
+/// ([`crate::replica::ReplicaEngine`]): shipped page records accumulate
+/// here between commit fences and are installed onto the device only when
+/// their fence arrives.
+pub(crate) enum ReplayPage {
     /// The image bytes as logged; no delta has touched them yet.
     Raw(Vec<u8>),
     /// The decoded node with at least one delta applied.
@@ -267,7 +308,7 @@ impl ReplayPage {
     /// same pure partition functions the forward split path ran, against
     /// the identical node state the log has rebuilt, so they land on the
     /// identical outcome.
-    fn apply(&mut self, op: &PageOp) -> TsbResult<()> {
+    pub(crate) fn apply(&mut self, op: &PageOp) -> TsbResult<()> {
         if let ReplayPage::Raw(bytes) = self {
             *self = ReplayPage::Decoded(Node::decode(bytes)?);
         }
@@ -355,7 +396,7 @@ impl ReplayPage {
     }
 
     /// The page's final image for [`MagneticStore::restore`].
-    fn into_bytes(self) -> Vec<u8> {
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
         match self {
             ReplayPage::Raw(bytes) => bytes,
             ReplayPage::Decoded(node) => node.encode(),
@@ -406,7 +447,7 @@ fn decode_replace_child(payload: &[u8]) -> TsbResult<(NodeAddr, Vec<IndexEntry>)
 /// use tsb_core::TsbTree;
 /// use tsb_common::{Key, TsbConfig};
 ///
-/// let mut tree = TsbTree::new_in_memory(TsbConfig::default()).unwrap();
+/// let mut tree = tsb_core::TsbOptions::in_memory().config(TsbConfig::default()).open_tree().unwrap();
 /// let t1 = tree.insert("acct-1", b"balance=100".to_vec()).unwrap();
 /// let t2 = tree.insert("acct-1", b"balance=250".to_vec()).unwrap();
 /// assert_eq!(tree.get_current(&Key::from("acct-1")).unwrap().unwrap(), b"balance=250".to_vec());
@@ -477,6 +518,10 @@ impl std::fmt::Debug for TsbTree {
 
 impl TsbTree {
     /// Creates a fresh tree over in-memory stores sized by `cfg`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `TsbOptions::in_memory().config(cfg).open_tree()`"
+    )]
     pub fn new_in_memory(cfg: TsbConfig) -> TsbResult<Self> {
         Self::new_in_memory_with_clock(cfg, Arc::new(LogicalClock::new()))
     }
@@ -703,6 +748,10 @@ impl TsbTree {
     ///   data* but no usable log — a pre-WAL database, or a lost/deleted
     ///   `redo.wal` — is a hard error instead: recreating it would destroy
     ///   data this method cannot prove disposable.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `TsbOptions::durable(dir).config(cfg).open_tree()`"
+    )]
     pub fn open_durable(dir: impl AsRef<Path>, cfg: TsbConfig) -> TsbResult<Self> {
         Self::open_durable_staged(dir, cfg, Arc::new(LogicalClock::new()))?.resolve_locally()
     }
@@ -1038,6 +1087,324 @@ impl TsbTree {
             in_doubt: prepares,
             decisions,
             needs_finish: true,
+        })
+    }
+
+    // ----- replication (replica side) -------------------------------------
+
+    /// Reopens a replication replica's local state at directory `dir`, or
+    /// returns `None` when the directory holds nothing usable (fresh, or a
+    /// base install that never finished — the caller wipes and re-fetches
+    /// the base). See [`ReplicaRecovery`] for how this differs from the
+    /// primary's [`Self::open_durable_staged`].
+    pub(crate) fn open_durable_replica(
+        dir: impl AsRef<Path>,
+        cfg: TsbConfig,
+    ) -> TsbResult<Option<ReplicaRecovery>> {
+        cfg.validate()?;
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let wal_path = dir.join(WAL_FILE);
+        if !wal_path.exists() {
+            return Ok(None);
+        }
+        let stats = Arc::new(IoStats::new());
+        let (wal, scan) = Wal::open(&wal_path, cfg.fsync_policy, Arc::clone(&stats))?;
+        let has_fence = scan
+            .records
+            .iter()
+            .any(|(_, r)| matches!(r, WalRecord::Commit { .. } | WalRecord::Checkpoint { .. }));
+        if !has_fence {
+            // A shipped log always starts at a fence (the base image's
+            // checkpoint); no fence means the install never completed.
+            drop(wal);
+            return Ok(None);
+        }
+        let magnetic = Arc::new(MagneticStore::open_file(
+            dir.join(MAGNETIC_FILE),
+            cfg.page_size,
+            Arc::clone(&stats),
+        )?);
+        let worm = Arc::new(WormStore::open_file(
+            dir.join(WORM_FILE),
+            cfg.worm_sector_size,
+            stats,
+        )?);
+        Self::recover_replica(magnetic, worm, wal, scan, cfg).map(Some)
+    }
+
+    /// [`Self::recover_staged`]'s replica variant: replays the local copy
+    /// of the primary's log to the newest fence, but keeps uncommitted
+    /// versions (their transactions are still live on the primary), never
+    /// appends records of its own (no purge fences, no local checkpoint),
+    /// and hands back the un-fenced tail for the apply overlay. A log
+    /// holding two-phase-commit records is rejected: replication ships a
+    /// single shard's log, and a sharded primary must be subscribed to
+    /// per-shard (unsupported in this version).
+    pub(crate) fn recover_replica(
+        magnetic: Arc<MagneticStore>,
+        worm: Arc<WormStore>,
+        wal: Wal,
+        scan: WalScan,
+        cfg: TsbConfig,
+    ) -> TsbResult<ReplicaRecovery> {
+        cfg.validate()?;
+        if magnetic.page_size() != cfg.page_size {
+            return Err(TsbError::config(format!(
+                "magnetic store page size {} does not match config page size {}",
+                magnetic.page_size(),
+                cfg.page_size
+            )));
+        }
+        if scan
+            .records
+            .iter()
+            .any(|(_, r)| matches!(r, WalRecord::Prepare { .. } | WalRecord::Decision { .. }))
+        {
+            return Err(TsbError::config(
+                "replica log holds two-phase-commit records; replicating a \
+                 sharded primary is not supported",
+            ));
+        }
+        // Base: the newest checkpoint (the base image's fence, or a
+        // primary checkpoint that was applied in place).
+        let chk_idx = scan
+            .records
+            .iter()
+            .rposition(|(_, r)| matches!(r, WalRecord::Checkpoint { .. }));
+        let mut cut_state: Option<(NodeAddr, Timestamp, u64)> =
+            match chk_idx.map(|i| &scan.records[i].1) {
+                Some(WalRecord::Checkpoint { meta, .. }) => Some(Self::decode_meta(meta)?),
+                Some(_) => unreachable!("rposition matched a checkpoint"),
+                None => None,
+            };
+        let mut applied_lsn = chk_idx.map(|i| scan.records[i].0);
+        // Cut: the newest commit fence. The batch-apply protocol makes the
+        // WORM durable *before* any record of the batch reaches the local
+        // log, so every logged commit must have its history intact — a
+        // violation is corruption, not a torn tail to skip.
+        let replay_from = chk_idx.map(|i| i + 1).unwrap_or(0);
+        let worm_len_actual = worm.device_bytes();
+        let mut cut_idx = None;
+        let mut cut_ts = None;
+        for (idx, (lsn, record)) in scan.records.iter().enumerate().skip(replay_from) {
+            if let WalRecord::Commit { ts, worm_len, meta } = record {
+                if *worm_len > worm_len_actual {
+                    return Err(TsbError::corruption(format!(
+                        "replica log commit at lsn {lsn} references {worm_len} WORM \
+                         bytes but the device holds {worm_len_actual}; the apply \
+                         protocol syncs history before logging its fence"
+                    )));
+                }
+                let state = if meta.is_empty() {
+                    let (root, _, next_txn) = cut_state.ok_or_else(|| {
+                        TsbError::corruption(
+                            "WAL commit with elided metadata has no prior fence to inherit from",
+                        )
+                    })?;
+                    (root, Timestamp(*ts).next(), next_txn)
+                } else {
+                    Self::decode_meta(meta)?
+                };
+                cut_idx = Some(idx);
+                cut_ts = Some(Timestamp(*ts));
+                cut_state = Some(state);
+                applied_lsn = Some(*lsn);
+            }
+        }
+        let cut_state = cut_state.ok_or_else(|| {
+            TsbError::corruption("replica log has no usable fence; nothing was ever applied")
+        })?;
+        let applied_lsn = applied_lsn
+            .ok_or_else(|| TsbError::corruption("replica log has a fence but no fence lsn"))?;
+        // Repeat history through the cut, exactly as primary recovery does.
+        let replay_to = cut_idx.or(chk_idx);
+        if let Some(replay_to) = replay_to {
+            let mut replayed: HashMap<PageId, ReplayPage> = HashMap::new();
+            for (_, record) in &scan.records[replay_from..=replay_to] {
+                match record {
+                    WalRecord::PageImage { page, bytes } => {
+                        replayed.insert(*page, ReplayPage::Raw(bytes.clone()));
+                    }
+                    WalRecord::PageDelta { page, op } => {
+                        let state = replayed.get_mut(page).ok_or_else(|| {
+                            TsbError::corruption(format!(
+                                "WAL delta for page {page} precedes the page's image \
+                                 in this log generation (first-touch rule violated)"
+                            ))
+                        })?;
+                        state.apply(op)?;
+                    }
+                    _ => {}
+                }
+            }
+            for (page, state) in replayed {
+                magnetic.restore(page, &state.into_bytes())?;
+            }
+        }
+        // The un-fenced tail: shipped records whose commit fence has not
+        // arrived. They re-seed the apply overlay's staging area.
+        let tail: Vec<WalRecord> = replay_to
+            .map(|i| {
+                scan.records[i + 1..]
+                    .iter()
+                    .map(|(_, r)| r.clone())
+                    .collect()
+            })
+            .unwrap_or_default();
+        let last_lsn = wal.last_lsn();
+        // Install the cut's metadata and assemble the tree.
+        let (root, clock_next, next_txn) = cut_state;
+        let meta_page = magnetic
+            .allocated_page_ids()
+            .into_iter()
+            .min()
+            .ok_or_else(|| TsbError::corruption("recovered store has no pages"))?;
+        let stats = Arc::clone(magnetic.stats());
+        let pool = BufferPool::new(Arc::clone(&magnetic), cfg.buffer_pool_pages);
+        let cache = NodeCache::sharded(cfg.node_cache_entries);
+        let cost = CostModel::new(cfg.cost);
+        let clock = Arc::new(LogicalClock::starting_at(clock_next));
+        let recovered_to = cut_ts.unwrap_or_else(|| clock_next.prev());
+        let durability = Some(Self::attach_wal(wal, &pool, &worm, meta_page));
+        let tree = TsbTree {
+            cfg,
+            magnetic,
+            pool,
+            cache,
+            worm,
+            stats,
+            cost,
+            clock,
+            root: RwLock::new(root),
+            meta_page,
+            txns: Mutex::new(TxnTable::starting_at(next_txn)),
+            marked_for_time_split: Mutex::new(HashSet::new()),
+            poisoned: std::sync::atomic::AtomicBool::new(false),
+            durability,
+            recovered_to: Some(recovered_to),
+            structure_seq: AtomicU64::new(0),
+        };
+        if let Some(d) = &tree.durability {
+            d.worm_synced.store(worm_len_actual, Ordering::Release);
+        }
+        tree.write_meta()?;
+        // Reclaim pages unreachable at the cut (a free has no log record;
+        // see `reclaim_unreachable_pages`) and verify — but no purge and
+        // no fencing checkpoint: the replica's state must stay exactly the
+        // primary's state at the cut fence, and its log is a pure copy.
+        tree.reclaim_unreachable_pages()?;
+        tree.verify()?;
+        Ok(ReplicaRecovery {
+            tree,
+            applied_lsn,
+            last_lsn,
+            tail,
+            cut_state,
+        })
+    }
+
+    /// Installs a shipped page image onto the replica's magnetic device and
+    /// invalidates every cached copy. Order matters against concurrent
+    /// readers: device first, then the buffer-pool frame, then the node
+    /// cache — a racing fill that decoded stale bytes began before the
+    /// cache discard bumped the shard stamp, so `complete_fill` refuses to
+    /// install it. Caller must hold the writer lock with the structure
+    /// epoch marked in flight.
+    pub(crate) fn replica_install_page(&self, page: PageId, bytes: &[u8]) -> TsbResult<()> {
+        self.magnetic.restore(page, bytes)?;
+        self.pool.discard(page);
+        self.cache.discard(NodeAddr::Current(page));
+        Ok(())
+    }
+
+    /// Installs a shipped fence's metadata: the root pointer, the commit
+    /// clock, and the transaction counter, mirrored onto the metadata page.
+    /// Caller must hold the writer lock with the structure epoch marked in
+    /// flight.
+    pub(crate) fn replica_install_meta(
+        &self,
+        root: NodeAddr,
+        clock_next: Timestamp,
+        next_txn: u64,
+    ) -> TsbResult<()> {
+        *self.root.write() = root;
+        self.clock.advance_to(clock_next);
+        *self.txns.lock() = TxnTable::starting_at(next_txn);
+        self.write_meta()
+    }
+
+    /// The device image of a current page — the base a shipped delta
+    /// applies to when the apply overlay holds no newer state for the page
+    /// (the page's first-touch image predates the replica's local log
+    /// generation; the device equals the state at the last installed
+    /// fence).
+    pub(crate) fn replica_read_page(&self, page: PageId) -> TsbResult<Vec<u8>> {
+        self.magnetic.read(page)
+    }
+
+    /// Flushes the replica's device stores so a primary checkpoint record
+    /// can become a sound local recovery base: local restart replays from
+    /// the newest checkpoint assuming the device equals that state.
+    pub(crate) fn replica_sync_devices(&self) -> TsbResult<()> {
+        self.pool.flush()?;
+        self.magnetic.sync()?;
+        self.worm.sync()?;
+        if let Some(d) = &self.durability {
+            d.worm_synced
+                .store(self.worm.device_bytes(), Ordering::Release);
+        }
+        Ok(())
+    }
+
+    /// The redo log handle, for the replica's local record appends and
+    /// syncs (`None` on non-durable trees).
+    pub(crate) fn wal_handle(&self) -> Option<Arc<Wal>> {
+        self.durability.as_ref().map(|d| Arc::clone(&d.wal))
+    }
+
+    /// Captures a consistent **base image** for a new (or re-basing)
+    /// replica: checkpoints the tree — after [`Self::flush_shared`] the
+    /// log is exactly `[Checkpoint]` and the devices equal the
+    /// checkpointed state — then snapshots every magnetic page, the whole
+    /// WORM device, and the checkpoint record's exact logged body (the
+    /// replica seeds its local log with it, byte-identical, preserving the
+    /// primary's LSN chain). Caller must hold the writer lock.
+    pub(crate) fn capture_replication_base(&self) -> TsbResult<crate::replica::ReplicaBase> {
+        let wal = self.wal_handle().ok_or_else(|| {
+            TsbError::config("replication requires a durable (WAL-attached) primary")
+        })?;
+        self.flush_shared()?;
+        let checkpoint_lsn = wal.last_lsn();
+        if checkpoint_lsn == 0 {
+            return Err(TsbError::internal(
+                "checkpoint fence landed at lsn 0 (a fresh tree logs page images first)",
+            ));
+        }
+        let mut tailer = tsb_storage::WalTailer::new(wal.path());
+        let checkpoint = match tailer.poll(checkpoint_lsn - 1, checkpoint_lsn, usize::MAX)? {
+            tsb_storage::TailPoll::Batch(mut bodies) if bodies.len() == 1 => bodies.remove(0),
+            _ => {
+                return Err(TsbError::internal(
+                    "the just-written checkpoint fence is not the log's sole record",
+                ))
+            }
+        };
+        let mut pages = Vec::new();
+        let mut ids = self.magnetic.allocated_page_ids();
+        ids.sort_unstable();
+        for page in ids {
+            pages.push((page, self.magnetic.read(page)?));
+        }
+        let worm_len = self.worm.device_bytes();
+        let worm = self.worm.read_raw(0, worm_len as usize)?;
+        Ok(crate::replica::ReplicaBase {
+            checkpoint_lsn,
+            checkpoint,
+            pages,
+            worm,
+            page_size: self.cfg.page_size,
+            worm_sector_size: self.cfg.worm_sector_size,
         })
     }
 
@@ -2057,7 +2424,7 @@ impl TsbTree {
         self.pool.put(self.meta_page, self.encode_meta_bytes())
     }
 
-    fn decode_meta(bytes: &[u8]) -> TsbResult<(NodeAddr, Timestamp, u64)> {
+    pub(crate) fn decode_meta(bytes: &[u8]) -> TsbResult<(NodeAddr, Timestamp, u64)> {
         let mut r = ByteReader::new(bytes);
         if r.get_u64()? != META_MAGIC {
             return Err(TsbError::corruption("bad TSB-tree metadata magic"));
@@ -2138,7 +2505,10 @@ mod tests {
             TsbConfig::small_pages().with_split_policy(tsb_common::SplitPolicyKind::TimePreferring);
         let mut stamps = Vec::new();
         {
-            let tree = TsbTree::open_durable(&dir.0, cfg.clone()).unwrap();
+            let tree = crate::TsbOptions::durable(&dir.0)
+                .config(cfg.clone())
+                .open_tree()
+                .unwrap();
             assert!(tree.is_durable());
             for i in 0..120u64 {
                 let ts = tree
@@ -2149,7 +2519,10 @@ mod tests {
             // No flush, no checkpoint: everything durable lives in the WAL.
             // Dropping the tree models a crash of the caches.
         }
-        let tree = TsbTree::open_durable(&dir.0, cfg).unwrap();
+        let tree = crate::TsbOptions::durable(&dir.0)
+            .config(cfg)
+            .open_tree()
+            .unwrap();
         let cut = tree
             .last_durable_commit()
             .expect("recovered tree has a cut");
@@ -2169,13 +2542,19 @@ mod tests {
         let dir = TempDir::new("wal-clean");
         let cfg = TsbConfig::small_pages();
         {
-            let mut tree = TsbTree::open_durable(&dir.0, cfg.clone()).unwrap();
+            let mut tree = crate::TsbOptions::durable(&dir.0)
+                .config(cfg.clone())
+                .open_tree()
+                .unwrap();
             for i in 0..60u64 {
                 tree.insert(i, format!("x{i}").into_bytes()).unwrap();
             }
             tree.checkpoint().unwrap();
         }
-        let tree = TsbTree::open_durable(&dir.0, cfg).unwrap();
+        let tree = crate::TsbOptions::durable(&dir.0)
+            .config(cfg)
+            .open_tree()
+            .unwrap();
         for i in 0..60u64 {
             assert_eq!(
                 tree.get_current(&Key::from_u64(i)).unwrap().unwrap(),
@@ -2190,7 +2569,10 @@ mod tests {
         let dir = TempDir::new("wal-txn");
         let cfg = TsbConfig::small_pages();
         {
-            let mut tree = TsbTree::open_durable(&dir.0, cfg.clone()).unwrap();
+            let mut tree = crate::TsbOptions::durable(&dir.0)
+                .config(cfg.clone())
+                .open_tree()
+                .unwrap();
             tree.insert(1u64, b"committed".to_vec()).unwrap();
             let txn = tree.begin_txn();
             tree.txn_insert(txn, 1u64, b"pending-update".to_vec())
@@ -2199,7 +2581,10 @@ mod tests {
                 .unwrap();
             // Crash with the transaction still open.
         }
-        let tree = TsbTree::open_durable(&dir.0, cfg).unwrap();
+        let tree = crate::TsbOptions::durable(&dir.0)
+            .config(cfg)
+            .open_tree()
+            .unwrap();
         assert_eq!(
             tree.get_current(&Key::from_u64(1)).unwrap().unwrap(),
             b"committed".to_vec()
@@ -2225,7 +2610,10 @@ mod tests {
         let dir = TempDir::new("wal-phantom");
         let cfg = TsbConfig::small_pages();
         {
-            let tree = TsbTree::open_durable(&dir.0, cfg.clone()).unwrap();
+            let tree = crate::TsbOptions::durable(&dir.0)
+                .config(cfg.clone())
+                .open_tree()
+                .unwrap();
             tree.insert_shared(1u64, b"real".to_vec()).unwrap();
             let page = tree.root_addr().as_page().expect("root is a leaf page");
             assert!(tree.pending_ops_allowed(page), "leaf has a delta base");
@@ -2249,7 +2637,10 @@ mod tests {
             // must win over the phantom at replay.
             tree.insert_shared(2u64, b"after".to_vec()).unwrap();
         }
-        let tree = TsbTree::open_durable(&dir.0, cfg).unwrap();
+        let tree = crate::TsbOptions::durable(&dir.0)
+            .config(cfg)
+            .open_tree()
+            .unwrap();
         tree.verify().unwrap();
         assert!(
             tree.get_current(&Key::from_u64(99)).unwrap().is_none(),
@@ -2280,7 +2671,10 @@ mod tests {
             })
             .unwrap();
         }
-        let tree = TsbTree::open_durable(&dir.0, cfg).unwrap();
+        let tree = crate::TsbOptions::durable(&dir.0)
+            .config(cfg)
+            .open_tree()
+            .unwrap();
         assert!(tree.get_current(&Key::from_u64(1)).unwrap().is_none());
         tree.verify().unwrap();
     }
@@ -2337,7 +2731,10 @@ mod tests {
 
     #[test]
     fn space_and_cost_reflect_the_stores() {
-        let mut tree = TsbTree::new_in_memory(TsbConfig::small_pages()).unwrap();
+        let mut tree = crate::TsbOptions::in_memory()
+            .config(TsbConfig::small_pages())
+            .open_tree()
+            .unwrap();
         for i in 0..50u64 {
             tree.insert(i, vec![b'v'; 20]).unwrap();
         }
@@ -2349,7 +2746,10 @@ mod tests {
     #[test]
     fn warm_descents_perform_zero_decodes() {
         let cfg = TsbConfig::small_pages().with_node_cache_entries(4096);
-        let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+        let mut tree = crate::TsbOptions::in_memory()
+            .config(cfg)
+            .open_tree()
+            .unwrap();
         for i in 0..300u64 {
             tree.insert(i % 30, format!("v{i}").into_bytes()).unwrap();
         }
@@ -2374,7 +2774,10 @@ mod tests {
     #[test]
     fn encode_is_deferred_until_flush() {
         // Large pages: no splits, so the root leaf absorbs every insert.
-        let mut tree = TsbTree::new_in_memory(TsbConfig::default()).unwrap();
+        let mut tree = crate::TsbOptions::in_memory()
+            .config(TsbConfig::default())
+            .open_tree()
+            .unwrap();
         let before = tree.io_stats().snapshot();
         for i in 0..20u64 {
             tree.insert(i, vec![b'x'; 16]).unwrap();
@@ -2391,7 +2794,10 @@ mod tests {
 
     #[test]
     fn a_poisoned_tree_refuses_reads_and_writes() {
-        let mut tree = TsbTree::new_in_memory(TsbConfig::small_pages()).unwrap();
+        let mut tree = crate::TsbOptions::in_memory()
+            .config(TsbConfig::small_pages())
+            .open_tree()
+            .unwrap();
         tree.insert(1u64, b"v".to_vec()).unwrap();
         // Simulate a structural mutation failing part-way through (only
         // reachable through file-backed I/O errors in production).
@@ -2400,7 +2806,10 @@ mod tests {
         assert!(tree.get_current(&Key::from_u64(1)).is_err());
         assert!(tree.insert(2u64, b"w".to_vec()).is_err());
         // A clean failure outside a structural window does not poison.
-        let tree = TsbTree::new_in_memory(TsbConfig::small_pages()).unwrap();
+        let tree = crate::TsbOptions::in_memory()
+            .config(TsbConfig::small_pages())
+            .open_tree()
+            .unwrap();
         tree.settle_structure_after(true);
         assert!(tree.get_current(&Key::from_u64(1)).is_ok());
     }
@@ -2414,7 +2823,10 @@ mod tests {
         let cfg = TsbConfig::small_pages()
             .with_node_cache_entries(64)
             .with_split_policy(tsb_common::SplitPolicyKind::KeyOnly);
-        let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+        let mut tree = crate::TsbOptions::in_memory()
+            .config(cfg)
+            .open_tree()
+            .unwrap();
         let before = tree.io_stats().snapshot();
         for i in 0..2000u64 {
             tree.insert(i, vec![b'v'; 24]).unwrap();
@@ -2436,7 +2848,10 @@ mod tests {
     #[test]
     fn bypass_reads_and_cache_invalidation_agree_with_the_cache() {
         let cfg = TsbConfig::small_pages();
-        let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+        let mut tree = crate::TsbOptions::in_memory()
+            .config(cfg)
+            .open_tree()
+            .unwrap();
         for i in 0..300u64 {
             tree.insert(i % 25, format!("value-{i}").into_bytes())
                 .unwrap();

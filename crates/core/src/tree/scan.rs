@@ -204,7 +204,10 @@ mod tests {
 
     fn build_tree(policy: SplitPolicyKind) -> (TsbTree, Vec<(u64, Timestamp, String)>) {
         let cfg = TsbConfig::small_pages().with_split_policy(policy);
-        let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+        let mut tree = crate::TsbOptions::in_memory()
+            .config(cfg)
+            .open_tree()
+            .unwrap();
         let mut log = Vec::new();
         for i in 0..240u64 {
             let key = i % 24;
@@ -271,7 +274,10 @@ mod tests {
     #[test]
     fn deleted_keys_vanish_from_snapshots_but_keep_history() {
         let cfg = TsbConfig::small_pages();
-        let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+        let mut tree = crate::TsbOptions::in_memory()
+            .config(cfg)
+            .open_tree()
+            .unwrap();
         for i in 0..10u64 {
             tree.insert(i, format!("v{i}").into_bytes()).unwrap();
         }

@@ -175,7 +175,10 @@ mod tests {
 
     fn tree_with_history() -> (TsbTree, Vec<(u64, Timestamp, String)>) {
         let cfg = TsbConfig::small_pages().with_split_policy(SplitPolicyKind::default());
-        let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+        let mut tree = crate::TsbOptions::in_memory()
+            .config(cfg)
+            .open_tree()
+            .unwrap();
         let mut log = Vec::new();
         for i in 0..300u64 {
             let key = i % 30;
@@ -228,7 +231,10 @@ mod tests {
     #[test]
     fn as_of_between_versions_returns_the_earlier_one() {
         let cfg = TsbConfig::small_pages();
-        let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+        let mut tree = crate::TsbOptions::in_memory()
+            .config(cfg)
+            .open_tree()
+            .unwrap();
         let t1 = tree.insert(1u64, b"v1".to_vec()).unwrap();
         // Unrelated activity advances the clock.
         for i in 100..120u64 {
@@ -265,7 +271,10 @@ mod tests {
     #[test]
     fn pending_version_reports_uncommitted_writes() {
         let cfg = TsbConfig::small_pages();
-        let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+        let mut tree = crate::TsbOptions::in_memory()
+            .config(cfg)
+            .open_tree()
+            .unwrap();
         tree.insert(1u64, b"committed".to_vec()).unwrap();
         assert!(tree.pending_version(&Key::from_u64(1)).unwrap().is_none());
         let txn = tree.begin_txn();

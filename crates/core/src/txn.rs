@@ -328,7 +328,10 @@ mod tests {
     use tsb_common::{SplitPolicyKind, TsbConfig};
 
     fn tree() -> TsbTree {
-        TsbTree::new_in_memory(TsbConfig::small_pages()).unwrap()
+        crate::TsbOptions::in_memory()
+            .config(TsbConfig::small_pages())
+            .open_tree()
+            .unwrap()
     }
 
     #[test]
@@ -472,7 +475,10 @@ mod tests {
     #[test]
     fn uncommitted_data_survives_splits_and_never_migrates() {
         let cfg = TsbConfig::small_pages().with_split_policy(SplitPolicyKind::TimePreferring);
-        let mut t = TsbTree::new_in_memory(cfg).unwrap();
+        let mut t = crate::TsbOptions::in_memory()
+            .config(cfg)
+            .open_tree()
+            .unwrap();
         let txn = t.begin_txn();
         t.txn_insert(txn, 500u64, b"pending-through-splits".to_vec())
             .unwrap();

@@ -156,12 +156,14 @@ impl TsbTree {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use tsb_common::{SplitPolicyKind, SplitTimeChoice, TsbConfig};
 
     #[test]
     fn fresh_tree_verifies() {
-        let tree = TsbTree::new_in_memory(TsbConfig::small_pages()).unwrap();
+        let tree = crate::TsbOptions::in_memory()
+            .config(TsbConfig::small_pages())
+            .open_tree()
+            .unwrap();
         tree.verify().unwrap();
     }
 
@@ -182,7 +184,10 @@ mod tests {
                 let cfg = TsbConfig::small_pages()
                     .with_split_policy(policy)
                     .with_split_time_choice(choice);
-                let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+                let mut tree = crate::TsbOptions::in_memory()
+                    .config(cfg)
+                    .open_tree()
+                    .unwrap();
                 for i in 0..250u64 {
                     tree.insert(i % 20, format!("{policy:?}-{i}").into_bytes())
                         .unwrap();
@@ -198,7 +203,10 @@ mod tests {
 
     #[test]
     fn verification_passes_with_transactions_in_flight() {
-        let mut tree = TsbTree::new_in_memory(TsbConfig::small_pages()).unwrap();
+        let mut tree = crate::TsbOptions::in_memory()
+            .config(TsbConfig::small_pages())
+            .open_tree()
+            .unwrap();
         let txn = tree.begin_txn();
         tree.txn_insert(txn, 1000u64, b"pending".to_vec()).unwrap();
         for i in 0..120u64 {

@@ -4,13 +4,19 @@
 //!
 //! ```text
 //! tsb-server <data-dir> [--addr HOST:PORT] [--fsync always|os|every:N] \
-//!            [--shards N] [--small-pages]
+//!            [--shards N] [--small-pages] [--replica-of HOST:PORT]
 //! ```
 //!
 //! `--shards N` partitions the keyspace across N independent engine
 //! shards under one global commit clock (default 1). The shard count is
 //! persisted in the data directory and must match on reopen; the wire
 //! protocol is identical at every shard count.
+//!
+//! `--replica-of HOST:PORT` starts a **read replica**: the data directory
+//! holds a shipped copy of the primary's log, a background thread keeps it
+//! converged (bootstrapping a base image if needed, reconnecting with
+//! backoff on failures), and the listener serves read verbs only — write
+//! verbs get the `read-only` error. Incompatible with `--shards`.
 //!
 //! On success the first stdout line is
 //! `tsb-server listening on <addr>` (flushed), so harnesses can scrape the
@@ -19,9 +25,11 @@
 //! usage error.
 
 use std::io::Write;
+use std::sync::Arc;
 
-use tsb_common::{FsyncPolicy, TsbConfig};
-use tsb_core::ShardedTsb;
+use tsb_common::FsyncPolicy;
+use tsb_core::TsbOptions;
+use tsb_server::replica::ReplicaRunner;
 use tsb_server::TsbServer;
 
 struct Args {
@@ -30,12 +38,13 @@ struct Args {
     fsync: FsyncPolicy,
     shards: usize,
     small_pages: bool,
+    replica_of: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: tsb-server <data-dir> [--addr HOST:PORT] [--fsync always|os|every:N] \
-         [--shards N] [--small-pages]"
+         [--shards N] [--small-pages] [--replica-of HOST:PORT]"
     );
     std::process::exit(2);
 }
@@ -47,6 +56,7 @@ fn parse_args() -> Args {
     let mut fsync = FsyncPolicy::Always;
     let mut shards = 1usize;
     let mut small_pages = false;
+    let mut replica_of = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => match args.next() {
@@ -72,6 +82,10 @@ fn parse_args() -> Args {
                 _ => usage(),
             },
             "--small-pages" => small_pages = true,
+            "--replica-of" => match args.next() {
+                Some(a) => replica_of = Some(a),
+                None => usage(),
+            },
             "--help" | "-h" => usage(),
             other if data_dir.is_none() && !other.starts_with('-') => {
                 data_dir = Some(std::path::PathBuf::from(other));
@@ -86,29 +100,43 @@ fn parse_args() -> Args {
             fsync,
             shards,
             small_pages,
+            replica_of,
         },
         None => usage(),
     }
 }
 
 fn run(args: Args) -> tsb_common::TsbResult<()> {
-    let base = if args.small_pages {
-        TsbConfig::small_pages()
-    } else {
-        TsbConfig::default()
-    };
-    let cfg = TsbConfig {
-        fsync_policy: args.fsync,
-        ..base
-    };
-    cfg.validate()?;
     std::fs::create_dir_all(&args.data_dir)?;
-    let db = ShardedTsb::open_durable(&args.data_dir, args.shards, cfg)?;
+    let mut opts = TsbOptions::durable(&args.data_dir).fsync(args.fsync);
+    if args.small_pages {
+        opts = opts.small_pages();
+    }
+
+    if let Some(source) = args.replica_of {
+        if args.shards != 1 {
+            eprintln!("tsb-server: --replica-of is incompatible with --shards");
+            std::process::exit(2);
+        }
+        let replica = opts.open_replica()?;
+        let server = TsbServer::start_engine(Arc::new(replica.clone()), args.addr.as_str())?;
+        let mut runner = ReplicaRunner::start(replica, source);
+        println!("tsb-server listening on {}", server.local_addr());
+        std::io::stdout().flush()?;
+        server.wait()?;
+        runner.stop();
+        // The parent may have closed our stdout by now; the farewell
+        // line is best-effort.
+        let _ = writeln!(std::io::stdout(), "tsb-server shut down cleanly");
+        return Ok(());
+    }
+
+    let db = opts.shards(args.shards).open()?;
     let server = TsbServer::start(db, args.addr.as_str())?;
     println!("tsb-server listening on {}", server.local_addr());
     std::io::stdout().flush()?;
     server.wait()?;
-    println!("tsb-server shut down cleanly");
+    let _ = writeln!(std::io::stdout(), "tsb-server shut down cleanly");
     Ok(())
 }
 

@@ -28,11 +28,21 @@
 //!   tests holds the server to that: after SIGKILL mid-load, every
 //!   acknowledged write must survive reopen.
 //!
-//! The served engine is a [`ShardedTsb`]: the keyspace may be partitioned
-//! across N shards (`tsb-server --shards N`), each with its own WAL and
-//! group-commit pipeline under one global commit clock. Sharding is
-//! entirely server-side — requests are routed (and range/history results
-//! merged) here, and the wire protocol is identical at every shard count.
+//! The served engine is any [`EngineHandle`]: a [`ShardedTsb`] primary
+//! (the keyspace may be partitioned across N shards, `tsb-server
+//! --shards N`, each with its own WAL and group-commit pipeline under one
+//! global commit clock) or a read-only [`tsb_core::ReplicaEngine`] fed by
+//! WAL shipping (`tsb-server --replica-of ADDR`, see [`replica`]).
+//! Sharding and replication are entirely server-side — requests are
+//! routed (and range/history results merged) here, and the wire protocol
+//! is identical for every engine flavour; a replica simply answers write
+//! verbs with the `read-only` error code.
+//!
+//! Replication itself is served over the same protocol: `subscribe` pulls
+//! record batches off the primary's redo log (stop-and-wait per
+//! connection; the next pull's cursor is the cumulative ACK), and
+//! `fetch_base` + chunked `fetch_base_pages`/`fetch_base_worm` bootstrap
+//! a new replica. See `docs/replication.md`.
 //!
 //! Wire format and verb set live in [`protocol`]; the spec is
 //! `docs/protocol.md`.
@@ -40,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod protocol;
+pub mod replica;
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -51,12 +62,19 @@ use std::thread::JoinHandle;
 use parking_lot::Mutex;
 
 use tsb_common::{TsbError, TsbResult, TxnId};
-use tsb_core::{Lsn, ShardedTsb};
+use tsb_core::{EngineHandle, EngineRole, Lsn, ReplicaBase, ReplicationSource, ShardedTsb};
 
 use protocol::{FrameDecoder, FrameError, Reply, Request, MAX_FRAME_BODY};
 
+/// Soft cap on record bytes per `subscribe` reply, comfortably inside
+/// [`MAX_FRAME_BODY`] with room for the batch's WORM bytes.
+const SUBSCRIBE_MAX_BYTES: usize = 1 << 20;
+
+/// Soft cap on page/WORM bytes per base-transfer chunk.
+const BASE_CHUNK_MAX_BYTES: usize = 4 << 20;
+
 /// A running TSB server: an acceptor thread plus one worker thread per
-/// live connection, all sharing one [`ShardedTsb`].
+/// live connection, all sharing one [`EngineHandle`].
 ///
 /// Dropping the handle shuts the server down (ungracefully for in-flight
 /// requests — their connections are closed). Prefer [`TsbServer::shutdown`]
@@ -68,7 +86,7 @@ pub struct TsbServer {
 }
 
 struct ServerShared {
-    db: ShardedTsb,
+    db: Arc<dyn EngineHandle>,
     listener: TcpListener,
     addr: SocketAddr,
     stop: AtomicBool,
@@ -98,7 +116,16 @@ impl TsbServer {
     /// anything, but any engine works. A plain [`tsb_core::ConcurrentTsb`]
     /// converts into a one-shard engine via `Into`.
     pub fn start(db: impl Into<ShardedTsb>, addr: impl ToSocketAddrs) -> TsbResult<TsbServer> {
-        let db = db.into();
+        Self::start_engine(Arc::new(db.into()), addr)
+    }
+
+    /// [`TsbServer::start`] for any engine behind the [`EngineHandle`]
+    /// trait — in particular a [`tsb_core::ReplicaEngine`] (see
+    /// [`replica::ReplicaRunner`] for the feed side).
+    pub fn start_engine(
+        db: Arc<dyn EngineHandle>,
+        addr: impl ToSocketAddrs,
+    ) -> TsbResult<TsbServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
@@ -128,7 +155,7 @@ impl TsbServer {
     }
 
     /// The shared engine, e.g. for reading I/O stats around a bench run.
-    pub fn db(&self) -> &ShardedTsb {
+    pub fn db(&self) -> &Arc<dyn EngineHandle> {
         &self.shared.db
     }
 
@@ -146,7 +173,7 @@ impl TsbServer {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        self.shared.db.checkpoint()
+        checkpoint_if_primary(&self.shared.db)
     }
 
     /// Stops accepting, closes live connections, joins all threads, and
@@ -156,7 +183,7 @@ impl TsbServer {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        self.shared.db.checkpoint()
+        checkpoint_if_primary(&self.shared.db)
     }
 }
 
@@ -242,7 +269,7 @@ impl BatchWaits {
 
     /// Parks on every touched shard's watermark; the first failure wins
     /// (sticky sync failures poison the shard, so precision is moot).
-    fn settle(&self, db: &ShardedTsb) -> Option<(u8, String)> {
+    fn settle(&self, db: &dyn EngineHandle) -> Option<(u8, String)> {
         for (shard, lsn) in self.max_lsns.iter().enumerate() {
             if let Some(lsn) = lsn {
                 if let Err(e) = db.wait_durable((shard, *lsn)) {
@@ -254,14 +281,35 @@ impl BatchWaits {
     }
 }
 
+/// Checkpoints on shutdown paths — unless the engine is a replica, which
+/// never writes fences of its own (its local log mirrors the primary's).
+fn checkpoint_if_primary(db: &Arc<dyn EngineHandle>) -> TsbResult<()> {
+    if db.role() == EngineRole::Replica {
+        return Ok(());
+    }
+    db.checkpoint()
+}
+
+/// Per-connection server-side state beyond the socket itself.
+#[derive(Default)]
+struct ConnState {
+    /// Transactions begun on this connection; aborted if it drops dead.
+    open_txns: Vec<TxnId>,
+    /// Lazily-created log tailer for `subscribe` (per-connection so each
+    /// subscriber's cursor cache is its own).
+    source: Option<ReplicationSource>,
+    /// The base image captured by this connection's last `fetch_base`,
+    /// held for chunked transfer. Dropped with the connection.
+    base: Option<Arc<ReplicaBase>>,
+}
+
 fn serve_conn(shared: &Arc<ServerShared>, mut stream: TcpStream) -> TsbResult<()> {
     // Replies are batched into one write_all per drain; Nagle would only
     // add latency on top of that.
     let _ = stream.set_nodelay(true);
     let mut decoder = FrameDecoder::new();
     let mut read_buf = vec![0u8; 64 * 1024];
-    // Transactions begun on this connection; aborted if it drops dead.
-    let mut open_txns: Vec<TxnId> = Vec::new();
+    let mut conn = ConnState::default();
     let result = loop {
         if shared.stop.load(Ordering::SeqCst) {
             break Ok(());
@@ -304,7 +352,7 @@ fn serve_conn(shared: &Arc<ServerShared>, mut stream: TcpStream) -> TsbResult<()
             }
         }
 
-        let stop_after = process_batch(shared, &batch, &mut open_txns, &mut stream)?;
+        let stop_after = process_batch(shared, &batch, &mut conn, &mut stream)?;
 
         if let Some(e) = fatal {
             // The stream is no longer frame-aligned: report on the
@@ -323,7 +371,7 @@ fn serve_conn(shared: &Arc<ServerShared>, mut stream: TcpStream) -> TsbResult<()
     };
     // A dead connection must not leave zombie transactions holding
     // write-conflict claims against every future client.
-    for txn in open_txns {
+    for txn in conn.open_txns {
         let _ = shared.db.abort_txn(txn);
     }
     result
@@ -334,13 +382,18 @@ fn serve_conn(shared: &Arc<ServerShared>, mut stream: TcpStream) -> TsbResult<()
 fn process_batch(
     shared: &Arc<ServerShared>,
     batch: &[(u64, Request)],
-    open_txns: &mut Vec<TxnId>,
+    conn: &mut ConnState,
     stream: &mut TcpStream,
 ) -> TsbResult<bool> {
     if batch.is_empty() {
         return Ok(false);
     }
     let db = &shared.db;
+    let ConnState {
+        open_txns,
+        source,
+        base,
+    } = conn;
     let mut outcomes: Vec<(u64, Outcome)> = Vec::with_capacity(batch.len());
     let mut waits = BatchWaits::new(db.shard_count());
     let mut stop_after = false;
@@ -379,11 +432,13 @@ fn process_batch(
                     Err(e) => error_reply(&e),
                 })
             }
-            Request::TxnBegin => {
-                let txn = db.begin_txn();
-                open_txns.push(txn);
-                Outcome::Ready(Reply::Txn { txn })
-            }
+            Request::TxnBegin => Outcome::Ready(match db.begin_txn() {
+                Ok(txn) => {
+                    open_txns.push(txn);
+                    Reply::Txn { txn }
+                }
+                Err(e) => error_reply(&e),
+            }),
             Request::TxnWrite { txn, key, value } => {
                 // Buffered txn writes carry no commit record, so the
                 // blocking call never parks on the watermark.
@@ -418,6 +473,59 @@ fn process_batch(
                 stop_after = true;
                 Outcome::Ready(Reply::Unit)
             }
+            Request::Role => Outcome::Ready(Reply::RoleInfo {
+                primary: db.role() == EngineRole::Primary,
+                shards: db.shard_count() as u32,
+            }),
+            Request::Subscribe {
+                from_lsn,
+                worm_have,
+                max_bytes,
+            } => Outcome::Ready(
+                match subscribe(db, source, *from_lsn, *worm_have, *max_bytes) {
+                    Ok(reply) => reply,
+                    Err(e) => error_reply(&e),
+                },
+            ),
+            Request::FetchBase => Outcome::Ready(match fetch_base(db, source) {
+                Ok(image) => {
+                    let info = Reply::BaseInfo {
+                        checkpoint_lsn: image.checkpoint_lsn,
+                        checkpoint: image.checkpoint.clone(),
+                        page_count: image.pages.len() as u64,
+                        worm_len: image.worm.len() as u64,
+                        page_size: image.page_size as u64,
+                        worm_sector_size: image.worm_sector_size as u64,
+                    };
+                    *base = Some(image);
+                    info
+                }
+                Err(e) => error_reply(&e),
+            }),
+            Request::FetchBasePages { start, max_bytes } => Outcome::Ready(match base.as_deref() {
+                Some(image) => base_pages(image, *start, *max_bytes),
+                None => error_reply(&TsbError::config(
+                    "no base image captured on this connection: send fetch_base first",
+                )),
+            }),
+            Request::FetchBaseWorm { offset, max_bytes } => Outcome::Ready(match base.as_deref() {
+                Some(image) => base_worm(image, *offset, *max_bytes),
+                None => error_reply(&TsbError::config(
+                    "no base image captured on this connection: send fetch_base first",
+                )),
+            }),
+            Request::ReplicaStatus => Outcome::Ready(match db.replica_status() {
+                Some(s) => Reply::ReplicaStatusInfo {
+                    serving: s.serving,
+                    applied_lsn: s.applied_lsn,
+                    source_durable_lsn: s.source_durable_lsn,
+                    lag_records: s.lag_records,
+                    lag_ms: s.lag_ms,
+                },
+                None => error_reply(&TsbError::config(
+                    "this server is a primary: replica_status applies to replicas",
+                )),
+            }),
         };
         outcomes.push((*id, outcome));
     }
@@ -481,5 +589,76 @@ fn error_reply(e: &TsbError) -> Reply {
     Reply::Error {
         code: e.wire_code(),
         message: e.to_string(),
+    }
+}
+
+/// Lazily creates this connection's [`ReplicationSource`] (errors on
+/// engines that cannot serve one: in-memory, multi-shard, replicas).
+fn conn_source<'a>(
+    db: &Arc<dyn EngineHandle>,
+    source: &'a mut Option<ReplicationSource>,
+) -> TsbResult<&'a ReplicationSource> {
+    if source.is_none() {
+        *source = Some(db.replication_source()?);
+    }
+    Ok(source.as_ref().expect("just filled"))
+}
+
+/// Serves one `subscribe` pull: tail the log after `from_lsn`, capped so
+/// the reply fits a frame.
+fn subscribe(
+    db: &Arc<dyn EngineHandle>,
+    source: &mut Option<ReplicationSource>,
+    from_lsn: u64,
+    worm_have: u64,
+    max_bytes: u64,
+) -> TsbResult<Reply> {
+    let source = conn_source(db, source)?;
+    let cap = (max_bytes as usize).clamp(1, SUBSCRIBE_MAX_BYTES);
+    let batch = source.poll(from_lsn, worm_have, cap)?;
+    Ok(Reply::Batch {
+        needs_rebase: batch.needs_rebase,
+        durable_lsn: batch.durable_lsn,
+        worm_start: batch.worm_start,
+        worm: batch.worm,
+        records: batch.records,
+    })
+}
+
+/// Serves `fetch_base`: captures a fresh consistent image (briefly
+/// write-blocking on the primary).
+fn fetch_base(
+    db: &Arc<dyn EngineHandle>,
+    source: &mut Option<ReplicationSource>,
+) -> TsbResult<Arc<ReplicaBase>> {
+    let source = conn_source(db, source)?;
+    Ok(Arc::new(source.base()?))
+}
+
+/// Serves one `fetch_base_pages` chunk.
+fn base_pages(image: &ReplicaBase, start: u64, max_bytes: u64) -> Reply {
+    let cap = (max_bytes as usize).clamp(1, BASE_CHUNK_MAX_BYTES);
+    let start = (start as usize).min(image.pages.len());
+    let mut pages = Vec::new();
+    let mut total = 0usize;
+    for (page, bytes) in &image.pages[start..] {
+        if total >= cap && !pages.is_empty() {
+            break;
+        }
+        total += bytes.len();
+        pages.push((page.value(), bytes.clone()));
+    }
+    let done = start + pages.len() >= image.pages.len();
+    Reply::BasePages { pages, done }
+}
+
+/// Serves one `fetch_base_worm` chunk.
+fn base_worm(image: &ReplicaBase, offset: u64, max_bytes: u64) -> Reply {
+    let cap = (max_bytes as usize).clamp(1, BASE_CHUNK_MAX_BYTES);
+    let offset = (offset as usize).min(image.worm.len());
+    let end = (offset + cap).min(image.worm.len());
+    Reply::BaseWorm {
+        bytes: image.worm[offset..end].to_vec(),
+        done: end >= image.worm.len(),
     }
 }

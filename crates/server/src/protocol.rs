@@ -179,6 +179,44 @@ pub enum Request {
     Ping,
     /// Ask the server to stop accepting connections and exit cleanly.
     Shutdown,
+    /// Ask which role this server plays (primary or replica) and how many
+    /// shards it runs.
+    Role,
+    /// Pull the next batch of redo-log records for replication (the
+    /// subscriber's cursor doubles as the cumulative ACK: asking for
+    /// records after `from_lsn` acknowledges everything at or before it).
+    Subscribe {
+        /// The subscriber's resume cursor: ship records with LSN >
+        /// `from_lsn`.
+        from_lsn: u64,
+        /// The subscriber's WORM device length; the reply carries the
+        /// historical bytes past it that the batch's fences reference.
+        worm_have: u64,
+        /// Soft cap on record bytes in the reply (the server clamps it so
+        /// the reply fits a frame).
+        max_bytes: u64,
+    },
+    /// Capture a replication base image on the primary and learn its
+    /// shape. The image is cached on this connection; fetch its contents
+    /// with `FetchBasePages` / `FetchBaseWorm`.
+    FetchBase,
+    /// Fetch a chunk of the captured base's pages, starting at index
+    /// `start`.
+    FetchBasePages {
+        /// Index of the first page to return (into the base's page list).
+        start: u64,
+        /// Soft cap on page bytes in the reply.
+        max_bytes: u64,
+    },
+    /// Fetch a chunk of the captured base's WORM image.
+    FetchBaseWorm {
+        /// Byte offset into the base's WORM image.
+        offset: u64,
+        /// Soft cap on bytes in the reply.
+        max_bytes: u64,
+    },
+    /// Ask a replica for its replication progress.
+    ReplicaStatus,
 }
 
 const REQ_PUT: u8 = 1;
@@ -193,6 +231,12 @@ const REQ_TXN_COMMIT: u8 = 9;
 const REQ_TXN_ABORT: u8 = 10;
 const REQ_PING: u8 = 11;
 const REQ_SHUTDOWN: u8 = 12;
+const REQ_ROLE: u8 = 13;
+const REQ_SUBSCRIBE: u8 = 14;
+const REQ_FETCH_BASE: u8 = 15;
+const REQ_FETCH_BASE_PAGES: u8 = 16;
+const REQ_FETCH_BASE_WORM: u8 = 17;
+const REQ_REPLICA_STATUS: u8 = 18;
 
 /// One server reply. The tag makes replies self-describing, so a client
 /// can park out-of-order responses before knowing which request they
@@ -240,6 +284,69 @@ pub enum Reply {
         /// The server's install fence at reply time.
         last_installed: Timestamp,
     },
+    /// Reply to `Role`.
+    RoleInfo {
+        /// `true` when this server accepts writes.
+        primary: bool,
+        /// Shard count (1 on unsharded primaries and on replicas).
+        shards: u32,
+    },
+    /// Reply to `Subscribe`: one shipped batch (see
+    /// `tsb_core::ShippedBatch` for field semantics).
+    Batch {
+        /// The subscriber's cursor predates the retained log: re-base.
+        needs_rebase: bool,
+        /// The primary's durable watermark at poll time.
+        durable_lsn: u64,
+        /// Device offset at which `worm` starts.
+        worm_start: u64,
+        /// Historical bytes the batch's fences reference.
+        worm: Vec<u8>,
+        /// Encoded record bodies, contiguous LSNs.
+        records: Vec<Vec<u8>>,
+    },
+    /// Reply to `FetchBase`: the shape of the just-captured base image.
+    BaseInfo {
+        /// LSN of the base's checkpoint fence.
+        checkpoint_lsn: u64,
+        /// The checkpoint record's encoded body.
+        checkpoint: Vec<u8>,
+        /// Number of pages in the image (fetch via `FetchBasePages`).
+        page_count: u64,
+        /// Total WORM image length (fetch via `FetchBaseWorm`).
+        worm_len: u64,
+        /// The primary's page size.
+        page_size: u64,
+        /// The primary's WORM sector size.
+        worm_sector_size: u64,
+    },
+    /// Reply to `FetchBasePages`: a chunk of the base's pages.
+    BasePages {
+        /// `(page id, image)` pairs starting at the requested index.
+        pages: Vec<(u64, Vec<u8>)>,
+        /// Whether this chunk reaches the end of the page list.
+        done: bool,
+    },
+    /// Reply to `FetchBaseWorm`: a chunk of the base's WORM image.
+    BaseWorm {
+        /// Bytes starting at the requested offset.
+        bytes: Vec<u8>,
+        /// Whether this chunk reaches the end of the image.
+        done: bool,
+    },
+    /// Reply to `ReplicaStatus` (see `tsb_core::ReplicaStatus`).
+    ReplicaStatusInfo {
+        /// Whether the replica serves reads yet.
+        serving: bool,
+        /// LSN of the newest installed fence.
+        applied_lsn: u64,
+        /// The primary's durable watermark as last seen.
+        source_durable_lsn: u64,
+        /// Shipped-but-unapplied records.
+        lag_records: u64,
+        /// Milliseconds since last progress (0 when caught up).
+        lag_ms: u64,
+    },
 }
 
 const REP_ERROR: u8 = 0;
@@ -250,6 +357,12 @@ const REP_VERSIONS: u8 = 4;
 const REP_TXN: u8 = 5;
 const REP_UNIT: u8 = 6;
 const REP_PONG: u8 = 7;
+const REP_ROLE_INFO: u8 = 8;
+const REP_BATCH: u8 = 9;
+const REP_BASE_INFO: u8 = 10;
+const REP_BASE_PAGES: u8 = 11;
+const REP_BASE_WORM: u8 = 12;
+const REP_REPLICA_STATUS: u8 = 13;
 
 /// Encodes one request as a complete frame (length prefix included).
 pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
@@ -313,6 +426,29 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
         }
         Request::Ping => w.put_u8(REQ_PING),
         Request::Shutdown => w.put_u8(REQ_SHUTDOWN),
+        Request::Role => w.put_u8(REQ_ROLE),
+        Request::Subscribe {
+            from_lsn,
+            worm_have,
+            max_bytes,
+        } => {
+            w.put_u8(REQ_SUBSCRIBE);
+            w.put_u64(*from_lsn);
+            w.put_u64(*worm_have);
+            w.put_u64(*max_bytes);
+        }
+        Request::FetchBase => w.put_u8(REQ_FETCH_BASE),
+        Request::FetchBasePages { start, max_bytes } => {
+            w.put_u8(REQ_FETCH_BASE_PAGES);
+            w.put_u64(*start);
+            w.put_u64(*max_bytes);
+        }
+        Request::FetchBaseWorm { offset, max_bytes } => {
+            w.put_u8(REQ_FETCH_BASE_WORM);
+            w.put_u64(*offset);
+            w.put_u64(*max_bytes);
+        }
+        Request::ReplicaStatus => w.put_u8(REQ_REPLICA_STATUS),
     }
     frame(w.into_vec())
 }
@@ -364,6 +500,72 @@ pub fn encode_reply(id: u64, reply: &Reply) -> Vec<u8> {
         Reply::Pong { last_installed } => {
             w.put_u8(REP_PONG);
             w.put_timestamp(*last_installed);
+        }
+        Reply::RoleInfo { primary, shards } => {
+            w.put_u8(REP_ROLE_INFO);
+            w.put_u8(u8::from(*primary));
+            w.put_u32(*shards);
+        }
+        Reply::Batch {
+            needs_rebase,
+            durable_lsn,
+            worm_start,
+            worm,
+            records,
+        } => {
+            w.put_u8(REP_BATCH);
+            w.put_u8(u8::from(*needs_rebase));
+            w.put_u64(*durable_lsn);
+            w.put_u64(*worm_start);
+            w.put_bytes(worm);
+            w.put_u32(records.len() as u32);
+            for body in records {
+                w.put_bytes(body);
+            }
+        }
+        Reply::BaseInfo {
+            checkpoint_lsn,
+            checkpoint,
+            page_count,
+            worm_len,
+            page_size,
+            worm_sector_size,
+        } => {
+            w.put_u8(REP_BASE_INFO);
+            w.put_u64(*checkpoint_lsn);
+            w.put_bytes(checkpoint);
+            w.put_u64(*page_count);
+            w.put_u64(*worm_len);
+            w.put_u64(*page_size);
+            w.put_u64(*worm_sector_size);
+        }
+        Reply::BasePages { pages, done } => {
+            w.put_u8(REP_BASE_PAGES);
+            w.put_u32(pages.len() as u32);
+            for (page, bytes) in pages {
+                w.put_u64(*page);
+                w.put_bytes(bytes);
+            }
+            w.put_u8(u8::from(*done));
+        }
+        Reply::BaseWorm { bytes, done } => {
+            w.put_u8(REP_BASE_WORM);
+            w.put_bytes(bytes);
+            w.put_u8(u8::from(*done));
+        }
+        Reply::ReplicaStatusInfo {
+            serving,
+            applied_lsn,
+            source_durable_lsn,
+            lag_records,
+            lag_ms,
+        } => {
+            w.put_u8(REP_REPLICA_STATUS);
+            w.put_u8(u8::from(*serving));
+            w.put_u64(*applied_lsn);
+            w.put_u64(*source_durable_lsn);
+            w.put_u64(*lag_records);
+            w.put_u64(*lag_ms);
         }
     }
     frame(w.into_vec())
@@ -429,6 +631,22 @@ pub fn parse_request(body: &[u8]) -> Result<(u64, Request), FrameError> {
         },
         REQ_PING => Request::Ping,
         REQ_SHUTDOWN => Request::Shutdown,
+        REQ_ROLE => Request::Role,
+        REQ_SUBSCRIBE => Request::Subscribe {
+            from_lsn: r.get_u64().map_err(malformed)?,
+            worm_have: r.get_u64().map_err(malformed)?,
+            max_bytes: r.get_u64().map_err(malformed)?,
+        },
+        REQ_FETCH_BASE => Request::FetchBase,
+        REQ_FETCH_BASE_PAGES => Request::FetchBasePages {
+            start: r.get_u64().map_err(malformed)?,
+            max_bytes: r.get_u64().map_err(malformed)?,
+        },
+        REQ_FETCH_BASE_WORM => Request::FetchBaseWorm {
+            offset: r.get_u64().map_err(malformed)?,
+            max_bytes: r.get_u64().map_err(malformed)?,
+        },
+        REQ_REPLICA_STATUS => Request::ReplicaStatus,
         other => return Err(FrameError::UnknownVerb(other)),
     };
     expect_exhausted(&r)?;
@@ -484,6 +702,59 @@ pub fn parse_reply(body: &[u8]) -> Result<(u64, Reply), FrameError> {
         REP_PONG => Reply::Pong {
             last_installed: r.get_timestamp().map_err(malformed)?,
         },
+        REP_ROLE_INFO => Reply::RoleInfo {
+            primary: parse_bool(&mut r)?,
+            shards: r.get_u32().map_err(malformed)?,
+        },
+        REP_BATCH => {
+            let needs_rebase = parse_bool(&mut r)?;
+            let durable_lsn = r.get_u64().map_err(malformed)?;
+            let worm_start = r.get_u64().map_err(malformed)?;
+            let worm = r.get_bytes().map_err(malformed)?;
+            let count = r.get_u32().map_err(malformed)? as usize;
+            let mut records = Vec::with_capacity(count.min(body.len() / 8 + 1));
+            for _ in 0..count {
+                records.push(r.get_bytes().map_err(malformed)?);
+            }
+            Reply::Batch {
+                needs_rebase,
+                durable_lsn,
+                worm_start,
+                worm,
+                records,
+            }
+        }
+        REP_BASE_INFO => Reply::BaseInfo {
+            checkpoint_lsn: r.get_u64().map_err(malformed)?,
+            checkpoint: r.get_bytes().map_err(malformed)?,
+            page_count: r.get_u64().map_err(malformed)?,
+            worm_len: r.get_u64().map_err(malformed)?,
+            page_size: r.get_u64().map_err(malformed)?,
+            worm_sector_size: r.get_u64().map_err(malformed)?,
+        },
+        REP_BASE_PAGES => {
+            let count = r.get_u32().map_err(malformed)? as usize;
+            let mut pages = Vec::with_capacity(count.min(body.len() / 8 + 1));
+            for _ in 0..count {
+                let page = r.get_u64().map_err(malformed)?;
+                let bytes = r.get_bytes().map_err(malformed)?;
+                pages.push((page, bytes));
+            }
+            let done = parse_bool(&mut r)?;
+            Reply::BasePages { pages, done }
+        }
+        REP_BASE_WORM => {
+            let bytes = r.get_bytes().map_err(malformed)?;
+            let done = parse_bool(&mut r)?;
+            Reply::BaseWorm { bytes, done }
+        }
+        REP_REPLICA_STATUS => Reply::ReplicaStatusInfo {
+            serving: parse_bool(&mut r)?,
+            applied_lsn: r.get_u64().map_err(malformed)?,
+            source_durable_lsn: r.get_u64().map_err(malformed)?,
+            lag_records: r.get_u64().map_err(malformed)?,
+            lag_ms: r.get_u64().map_err(malformed)?,
+        },
         other => return Err(FrameError::UnknownVerb(other)),
     };
     expect_exhausted(&r)?;
@@ -492,6 +763,14 @@ pub fn parse_reply(body: &[u8]) -> Result<(u64, Reply), FrameError> {
 
 fn malformed(e: TsbError) -> FrameError {
     FrameError::Malformed(e.to_string())
+}
+
+fn parse_bool(r: &mut ByteReader<'_>) -> Result<bool, FrameError> {
+    match r.get_u8().map_err(malformed)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        t => Err(FrameError::Malformed(format!("invalid bool tag {t}"))),
+    }
 }
 
 fn expect_exhausted(r: &ByteReader<'_>) -> Result<(), FrameError> {
@@ -611,6 +890,22 @@ mod tests {
             Request::TxnAbort { txn: TxnId(3) },
             Request::Ping,
             Request::Shutdown,
+            Request::Role,
+            Request::Subscribe {
+                from_lsn: 42,
+                worm_have: 4096,
+                max_bytes: 1 << 20,
+            },
+            Request::FetchBase,
+            Request::FetchBasePages {
+                start: 10,
+                max_bytes: 1 << 20,
+            },
+            Request::FetchBaseWorm {
+                offset: 8192,
+                max_bytes: 1 << 20,
+            },
+            Request::ReplicaStatus,
         ]
     }
 
@@ -638,6 +933,47 @@ mod tests {
             Reply::Unit,
             Reply::Pong {
                 last_installed: Timestamp(77),
+            },
+            Reply::RoleInfo {
+                primary: true,
+                shards: 4,
+            },
+            Reply::Batch {
+                needs_rebase: false,
+                durable_lsn: 99,
+                worm_start: 512,
+                worm: vec![3; 32],
+                records: vec![vec![1, 2, 3], vec![]],
+            },
+            Reply::Batch {
+                needs_rebase: true,
+                durable_lsn: 100,
+                worm_start: 0,
+                worm: vec![],
+                records: vec![],
+            },
+            Reply::BaseInfo {
+                checkpoint_lsn: 7,
+                checkpoint: vec![9; 40],
+                page_count: 12,
+                worm_len: 2048,
+                page_size: 4096,
+                worm_sector_size: 512,
+            },
+            Reply::BasePages {
+                pages: vec![(0, vec![1; 16]), (5, vec![2; 16])],
+                done: false,
+            },
+            Reply::BaseWorm {
+                bytes: vec![4; 64],
+                done: true,
+            },
+            Reply::ReplicaStatusInfo {
+                serving: true,
+                applied_lsn: 88,
+                source_durable_lsn: 90,
+                lag_records: 2,
+                lag_ms: 15,
             },
         ]
     }

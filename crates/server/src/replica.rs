@@ -1,0 +1,321 @@
+//! The replica-side replication runner.
+//!
+//! [`ReplicaRunner`] owns a background thread that keeps a local
+//! [`ReplicaEngine`] converged with a primary `tsb-server`:
+//!
+//! 1. **Bootstrap.** If the replica has no usable local state
+//!    ([`ReplicaEngine::needs_base`]), fetch a consistent base image
+//!    (`fetch_base` + chunked `fetch_base_pages`/`fetch_base_worm`) and
+//!    install it.
+//! 2. **Stream.** Pull committed log records with `subscribe` from the
+//!    replica's resume cursor and apply each batch. An empty batch means
+//!    caught up — sleep briefly and poll again.
+//! 3. **Rebase.** A `needs_rebase` reply means a primary checkpoint
+//!    discarded the gap the replica still needed; wipe and re-bootstrap
+//!    from a fresh base.
+//! 4. **Recover.** Any failure — connection loss, a primary restart, an
+//!    apply error (crash-equivalent by contract) — drops the connection,
+//!    reopens the replica from its own disk, and reconnects with
+//!    exponential backoff. The resume cursor is the replica's local
+//!    applied prefix, so every retry is idempotent: the primary skips
+//!    nothing and the replica skips duplicates.
+//!
+//! The runner speaks the raw wire protocol over its own [`TcpStream`]
+//! rather than going through `tsb-client` (which depends on this crate —
+//! using it here would be a dependency cycle).
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tsb_common::{TsbError, TsbResult};
+use tsb_core::{PageId, ReplicaBase, ReplicaEngine, ShippedBatch};
+
+use crate::protocol::{self, FrameDecoder, Reply, Request};
+use crate::{BASE_CHUNK_MAX_BYTES, SUBSCRIBE_MAX_BYTES};
+
+/// First reconnect delay after a failure.
+const BACKOFF_MIN: Duration = Duration::from_millis(10);
+/// Backoff ceiling (doubles per consecutive failure up to here).
+const BACKOFF_MAX: Duration = Duration::from_secs(2);
+/// Sleep between polls while caught up with the primary.
+const IDLE_POLL: Duration = Duration::from_millis(2);
+/// Socket read timeout so the thread notices a stop request promptly.
+const READ_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Background thread replicating a primary into a [`ReplicaEngine`].
+///
+/// Dropping the runner (or calling [`ReplicaRunner::stop`]) signals the
+/// thread and joins it; the replica keeps serving whatever it has applied.
+pub struct ReplicaRunner {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ReplicaRunner {
+    /// Starts replicating from the primary at `source` into `replica`.
+    pub fn start(replica: ReplicaEngine, source: impl Into<String>) -> ReplicaRunner {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let source = source.into();
+        let handle = std::thread::Builder::new()
+            .name("tsb-replica".into())
+            .spawn(move || run(&replica, &source, &thread_stop))
+            .expect("spawn replication thread");
+        ReplicaRunner {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signals the thread to stop and waits for it to exit.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ReplicaRunner {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The thread body: sync until an error, then reopen + backoff + retry.
+fn run(replica: &ReplicaEngine, source: &str, stop: &Arc<AtomicBool>) {
+    let mut backoff = BACKOFF_MIN;
+    while !stop.load(Ordering::Acquire) {
+        match sync_session(replica, source, stop) {
+            // A clean return only happens on a stop request.
+            Ok(()) => return,
+            Err(_) => {
+                // Apply errors are crash-equivalent: recover from the
+                // replica's own disk, then reconnect. Harmless after a
+                // plain connection drop (the local state is already
+                // consistent; reopen just re-reads the log tail).
+                let _ = replica.reopen();
+                interruptible_sleep(stop, backoff);
+                backoff = (backoff * 2).min(BACKOFF_MAX);
+            }
+        }
+    }
+}
+
+/// One connection's worth of work: bootstrap if needed, then stream until
+/// the connection or an apply fails (returned as an error) or a stop is
+/// requested (returned as `Ok`).
+fn sync_session(replica: &ReplicaEngine, source: &str, stop: &Arc<AtomicBool>) -> TsbResult<()> {
+    let mut conn = Conn::connect(source, Arc::clone(stop))?;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        if replica.needs_base() {
+            let base = fetch_base(&mut conn)?;
+            replica.install_base(&base)?;
+        }
+        let from_lsn = replica.resume_lsn().ok_or_else(|| {
+            TsbError::internal("replica has a base installed but no resume cursor")
+        })?;
+        let reply = conn.call(&Request::Subscribe {
+            from_lsn,
+            worm_have: replica.worm_have(),
+            max_bytes: SUBSCRIBE_MAX_BYTES as u64,
+        })?;
+        let batch = match reply {
+            Reply::Batch {
+                needs_rebase,
+                durable_lsn,
+                worm_start,
+                worm,
+                records,
+            } => ShippedBatch {
+                needs_rebase,
+                durable_lsn,
+                worm_start,
+                worm,
+                records,
+            },
+            other => return Err(unexpected("subscribe", &other)),
+        };
+        if batch.needs_rebase {
+            // The primary checkpointed past our cursor: our local copy can
+            // no longer be extended. Re-bootstrap from a fresh image.
+            let base = fetch_base(&mut conn)?;
+            replica.install_base(&base)?;
+            continue;
+        }
+        // Empty batches still go through apply: they refresh the
+        // source-durable watermark the lag accounting reports.
+        let caught_up = batch.records.is_empty();
+        replica.apply_batch(&batch)?;
+        if caught_up {
+            interruptible_sleep(stop, IDLE_POLL);
+        }
+    }
+}
+
+/// Fetches a complete base image over the connection: the `fetch_base`
+/// snapshot descriptor, then every page chunk, then every WORM chunk.
+fn fetch_base(conn: &mut Conn) -> TsbResult<ReplicaBase> {
+    let (checkpoint_lsn, checkpoint, page_count, page_size, worm_sector_size) =
+        match conn.call(&Request::FetchBase)? {
+            Reply::BaseInfo {
+                checkpoint_lsn,
+                checkpoint,
+                page_count,
+                worm_len: _,
+                page_size,
+                worm_sector_size,
+            } => (
+                checkpoint_lsn,
+                checkpoint,
+                page_count,
+                page_size as usize,
+                worm_sector_size as usize,
+            ),
+            other => return Err(unexpected("fetch_base", &other)),
+        };
+
+    let mut pages: Vec<(PageId, Vec<u8>)> = Vec::new();
+    loop {
+        let reply = conn.call(&Request::FetchBasePages {
+            start: pages.len() as u64,
+            max_bytes: BASE_CHUNK_MAX_BYTES as u64,
+        })?;
+        match reply {
+            Reply::BasePages { pages: chunk, done } => {
+                if chunk.is_empty() && !done {
+                    return Err(TsbError::internal(
+                        "primary sent an empty page chunk without finishing",
+                    ));
+                }
+                pages.extend(chunk.into_iter().map(|(id, bytes)| (PageId(id), bytes)));
+                if done {
+                    break;
+                }
+            }
+            other => return Err(unexpected("fetch_base_pages", &other)),
+        }
+    }
+    if pages.len() as u64 != page_count {
+        return Err(TsbError::internal(format!(
+            "base image advertised {page_count} pages but shipped {}",
+            pages.len()
+        )));
+    }
+
+    let mut worm = Vec::new();
+    loop {
+        let reply = conn.call(&Request::FetchBaseWorm {
+            offset: worm.len() as u64,
+            max_bytes: BASE_CHUNK_MAX_BYTES as u64,
+        })?;
+        match reply {
+            Reply::BaseWorm { bytes, done } => {
+                worm.extend_from_slice(&bytes);
+                if done {
+                    break;
+                }
+                if bytes.is_empty() {
+                    return Err(TsbError::internal(
+                        "primary sent an empty WORM chunk without finishing",
+                    ));
+                }
+            }
+            other => return Err(unexpected("fetch_base_worm", &other)),
+        }
+    }
+
+    Ok(ReplicaBase {
+        checkpoint_lsn,
+        checkpoint,
+        pages,
+        worm,
+        page_size,
+        worm_sector_size,
+    })
+}
+
+fn unexpected(verb: &str, reply: &Reply) -> TsbError {
+    match reply {
+        Reply::Error { code, message } => {
+            TsbError::internal(format!("primary rejected {verb} (code {code}): {message}"))
+        }
+        other => TsbError::internal(format!("unexpected reply to {verb}: {other:?}")),
+    }
+}
+
+/// Sleeps up to `total`, waking early if a stop is requested.
+fn interruptible_sleep(stop: &Arc<AtomicBool>, total: Duration) {
+    let step = Duration::from_millis(20).min(total);
+    let mut left = total;
+    while !left.is_zero() && !stop.load(Ordering::Acquire) {
+        let chunk = step.min(left);
+        std::thread::sleep(chunk);
+        left = left.saturating_sub(chunk);
+    }
+}
+
+/// A minimal blocking request/reply connection speaking the wire protocol.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    read_buf: Vec<u8>,
+    next_id: u64,
+    stop: Arc<AtomicBool>,
+}
+
+impl Conn {
+    fn connect(addr: &str, stop: Arc<AtomicBool>) -> TsbResult<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        Ok(Conn {
+            stream,
+            decoder: FrameDecoder::new(),
+            read_buf: vec![0u8; 64 * 1024],
+            next_id: 1,
+            stop,
+        })
+    }
+
+    /// Sends one request and blocks for its reply (this connection is
+    /// strictly stop-and-wait, so ids always match in order).
+    fn call(&mut self, req: &Request) -> TsbResult<Reply> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.stream.write_all(&protocol::encode_request(id, req))?;
+        loop {
+            if let Some(body) = self.decoder.next_frame()? {
+                let (got, reply) = protocol::parse_reply(&body)?;
+                if got != id {
+                    return Err(TsbError::internal(format!(
+                        "primary answered request {got} while {id} was pending"
+                    )));
+                }
+                return Ok(reply);
+            }
+            match self.stream.read(&mut self.read_buf) {
+                Ok(0) => {
+                    return Err(TsbError::Io(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "primary closed the connection",
+                    )))
+                }
+                Ok(n) => self.decoder.feed(&self.read_buf[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    if self.stop.load(Ordering::Acquire) {
+                        return Err(TsbError::internal("replication stopped"));
+                    }
+                }
+                Err(e) => return Err(TsbError::Io(e)),
+            }
+        }
+    }
+}

@@ -15,7 +15,7 @@ use std::process::{Child, Command, Stdio};
 
 use tsb_client::TsbClient;
 use tsb_common::{FsyncPolicy, Key, TsbConfig};
-use tsb_core::{sharded::shard_of, ConcurrentTsb, ShardedTsb};
+use tsb_core::sharded::shard_of;
 
 struct TempDir(PathBuf);
 
@@ -115,7 +115,10 @@ fn kill_nine_loses_no_acknowledged_write() {
         fsync_policy: FsyncPolicy::Always,
         ..TsbConfig::small_pages()
     };
-    let reopened = ConcurrentTsb::open_durable(dir.path(), cfg).expect("reopen after SIGKILL");
+    let reopened = tsb_core::TsbOptions::durable(dir.path())
+        .config(cfg)
+        .open_concurrent()
+        .expect("reopen after SIGKILL");
     for (k, value) in &acked {
         assert_eq!(
             reopened.get_current(&Key::from_u64(*k)).expect("get"),
@@ -175,7 +178,10 @@ fn kill_nine_mid_pipeline_keeps_every_acked_group_commit() {
         fsync_policy: FsyncPolicy::Always,
         ..TsbConfig::small_pages()
     };
-    let reopened = ConcurrentTsb::open_durable(dir.path(), cfg).expect("reopen after SIGKILL");
+    let reopened = tsb_core::TsbOptions::durable(dir.path())
+        .config(cfg)
+        .open_concurrent()
+        .expect("reopen after SIGKILL");
     for (k, value) in &acked {
         assert_eq!(
             reopened.get_current(&Key::from_u64(*k)).expect("get"),
@@ -268,7 +274,11 @@ fn kill_nine_sharded_server_loses_no_acks_and_no_partial_commits() {
         fsync_policy: FsyncPolicy::Always,
         ..TsbConfig::small_pages()
     };
-    let reopened = ShardedTsb::open_durable(dir.path(), 4, cfg).expect("sharded reopen");
+    let reopened = tsb_core::TsbOptions::durable(dir.path())
+        .config(cfg)
+        .shards(4)
+        .open()
+        .expect("sharded reopen");
     reopened.verify().expect("verify");
     for (k, value) in &acked_puts {
         assert_eq!(

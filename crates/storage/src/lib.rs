@@ -44,6 +44,7 @@ pub mod fault;
 pub mod lru;
 pub mod magnetic;
 pub mod page;
+pub mod replication;
 pub mod stats;
 pub mod wal;
 pub mod worm;
@@ -54,6 +55,7 @@ pub use fault::{CrashPoint, FaultInjector, ALL_CRASH_POINTS};
 pub use lru::LruList;
 pub use magnetic::MagneticStore;
 pub use page::{HistAddr, PageId};
+pub use replication::{TailPoll, WalTailer, DEFAULT_BATCH_BYTES};
 pub use stats::{IoSnapshot, IoStats};
 pub use wal::{Lsn, PageOp, Wal, WalPageTable, WalRecord, WalScan};
 pub use worm::{SectorId, WormStore};

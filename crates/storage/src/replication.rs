@@ -1,0 +1,502 @@
+//! WAL shipping: tailing the live redo log for replication.
+//!
+//! The redo log (see [`crate::wal`]) is a self-describing logical stream —
+//! LSN-ordered records, commit fences carrying full tree metadata, and a
+//! replayer that rebuilds state from any checkpoint base. That makes it
+//! shippable as-is: a replica that appends the primary's record bodies to
+//! its own log (via [`crate::Wal::append_shipped`]) and replays them holds
+//! state that is a pure function of the primary's durable prefix.
+//!
+//! [`WalTailer`] is the primary-side reader. It tails the log **by path**,
+//! not through the engine's open file handle: a checkpoint reset replaces
+//! the log file by rename (`Wal::reset_with`), so a descriptor goes stale
+//! while the path always names the live generation. Each poll returns the
+//! record bodies after a cursor LSN, capped by the durable watermark the
+//! caller supplies — only fsynced records may ship, otherwise a primary
+//! crash could roll back state a replica already serves.
+//!
+//! ## Surviving checkpoint resets
+//!
+//! A checkpoint truncates the log to a single `Checkpoint` record (the new
+//! generation's base). Two cases:
+//!
+//! * The subscriber had already consumed everything before the fence: the
+//!   new generation's first record (the checkpoint, at `cursor + 1`)
+//!   continues its sequence — the reset is invisible.
+//! * The subscriber was further behind: the records between its cursor and
+//!   the fence are gone. The tailer reports [`TailPoll::NeedsRebase`]; the
+//!   subscriber must re-base on a full image of the newest checkpoint
+//!   state (see `tsb-core`'s replica engine) and resume from its LSN.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+use tsb_common::TsbResult;
+
+use crate::wal::{Lsn, Wal, WalRecord};
+
+/// Soft cap on the total body bytes one [`WalTailer::poll`] returns. The
+/// final record of a batch may push past it; a batch never splits a record.
+pub const DEFAULT_BATCH_BYTES: usize = 1 << 20;
+
+/// What one poll of the tailer produced.
+#[derive(Debug)]
+pub enum TailPoll {
+    /// Record bodies for LSNs `(cursor, limit]`, in order, possibly empty
+    /// (caught up). Each body is the on-disk encoding from
+    /// [`WalRecord::encode_body`]; the embedded LSNs are contiguous.
+    Batch(Vec<Vec<u8>>),
+    /// The log no longer contains `cursor + 1`: a checkpoint reset
+    /// discarded records the subscriber still needs. It must re-base on a
+    /// checkpoint image before resuming.
+    NeedsRebase,
+}
+
+/// A cursor-based reader over a live redo log file (see the module docs).
+#[derive(Debug)]
+pub struct WalTailer {
+    path: PathBuf,
+    /// Cached resume point: byte offset of the frame expected to carry
+    /// `lsn`. Validated on every poll (frame must parse and match);
+    /// invalidated by checkpoint resets, which trigger a full rescan.
+    cursor: Option<(u64, Lsn)>,
+}
+
+impl WalTailer {
+    /// Creates a tailer over the log at `path` (typically
+    /// [`Wal::path`]).
+    pub fn new(path: impl AsRef<Path>) -> Self {
+        WalTailer {
+            path: path.as_ref().to_path_buf(),
+            cursor: None,
+        }
+    }
+
+    /// Returns the record bodies after `after_lsn`, up to and including
+    /// `limit_lsn` (the caller passes the log's durable watermark), capped
+    /// near `max_bytes`. An empty batch means the subscriber is caught up.
+    ///
+    /// The read races benignly with the appender: a trailing frame still
+    /// being written fails its length or CRC check and is simply not part
+    /// of this batch (it is beyond the durable limit anyway).
+    pub fn poll(
+        &mut self,
+        after_lsn: Lsn,
+        limit_lsn: Lsn,
+        max_bytes: usize,
+    ) -> TsbResult<TailPoll> {
+        // Fast path: resume from the cached offset when it still names the
+        // frame for `after_lsn + 1`.
+        if let Some((offset, lsn)) = self.cursor {
+            if lsn == after_lsn + 1 {
+                if let Some(poll) = self.poll_from(offset, after_lsn, limit_lsn, max_bytes)? {
+                    return Ok(poll);
+                }
+                // The frame at the cached offset no longer matches — the
+                // log was reset. Fall through to a full rescan.
+                self.cursor = None;
+            } else {
+                self.cursor = None;
+            }
+        }
+
+        let buf = match std::fs::read(&self.path) {
+            Ok(buf) => buf,
+            // Between a reset's rename and nothing else, the path always
+            // exists; a missing file means the store is mid-teardown.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(TailPoll::Batch(Vec::new()))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        // Locate the frame carrying `after_lsn + 1`, walking from the
+        // start of the (single-generation) file.
+        let mut pos = 0usize;
+        let mut first = true;
+        loop {
+            let Some((frame_len, body)) = Wal::frame_at(&buf, pos) else {
+                // The log ends before `after_lsn + 1`: caught up (or the
+                // tail is still being written). Remember where the next
+                // frame will land only if the sequence ran out exactly at
+                // the cursor; otherwise leave the cursor cold.
+                return Ok(TailPoll::Batch(Vec::new()));
+            };
+            let Ok((lsn, _)) = WalRecord::decode_body(body) else {
+                return Ok(TailPoll::Batch(Vec::new()));
+            };
+            if first && lsn > after_lsn + 1 {
+                // The generation starts past the subscriber's cursor: the
+                // records it needs were discarded by a checkpoint reset.
+                return Ok(TailPoll::NeedsRebase);
+            }
+            first = false;
+            if lsn == after_lsn + 1 {
+                return self
+                    .collect(&buf, pos, after_lsn, limit_lsn, max_bytes)
+                    .map(TailPoll::Batch);
+            }
+            pos += frame_len;
+        }
+    }
+
+    /// Attempts the fast path: read from `offset` and collect if the frame
+    /// there carries `after_lsn + 1`. Returns `None` when the cached
+    /// offset is stale (reset happened) and a rescan is needed; returns an
+    /// empty batch when the file simply has nothing past the offset yet.
+    fn poll_from(
+        &mut self,
+        offset: u64,
+        after_lsn: Lsn,
+        limit_lsn: Lsn,
+        max_bytes: usize,
+    ) -> TsbResult<Option<TailPoll>> {
+        let mut file = match File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Some(TailPoll::Batch(Vec::new())))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let file_len = file.metadata()?.len();
+        if file_len < offset {
+            // The file shrank: it was replaced by a reset.
+            return Ok(None);
+        }
+        if file_len == offset {
+            // Nothing appended since the last poll — but an equal-length
+            // *replacement* generation is indistinguishable here. The
+            // durable watermark disambiguates: if the caller says records
+            // exist past the cursor yet the file did not grow past it, the
+            // file must have been replaced — force the slow path. When the
+            // watermark equals the cursor this really is a caught-up poll.
+            if limit_lsn > after_lsn {
+                return Ok(None);
+            }
+            return Ok(Some(TailPoll::Batch(Vec::new())));
+        }
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = Vec::with_capacity((file_len - offset) as usize);
+        file.read_to_end(&mut buf)?;
+        let Some((_, body)) = Wal::frame_at(&buf, 0) else {
+            // Not a complete frame yet; could be a mid-append race or a
+            // replaced file. If the file holds bytes past the offset that
+            // do not parse, force the slow path to disambiguate.
+            return Ok(None);
+        };
+        match WalRecord::decode_body(body) {
+            Ok((lsn, _)) if lsn == after_lsn + 1 => self
+                .collect(&buf, 0, after_lsn, limit_lsn, max_bytes)
+                .map(|batch| Some(TailPoll::Batch(batch))),
+            _ => Ok(None),
+        }
+    }
+
+    /// Collects bodies starting at `pos` (which must frame `after_lsn + 1`)
+    /// while LSNs stay at or below `limit_lsn` and the batch stays under
+    /// `max_bytes`, updating the cursor cache to the resume point.
+    fn collect(
+        &mut self,
+        buf: &[u8],
+        mut pos: usize,
+        base_offset_hint: Lsn,
+        limit_lsn: Lsn,
+        max_bytes: usize,
+    ) -> TsbResult<Vec<Vec<u8>>> {
+        let mut expected = base_offset_hint + 1;
+        let mut batch: Vec<Vec<u8>> = Vec::new();
+        let mut total = 0usize;
+        // `pos` is relative to `buf`; track the absolute resume offset via
+        // the delta consumed. The caller's `buf` may start mid-file (fast
+        // path), so remember only the relative advance and rebuild the
+        // absolute offset from the cached cursor when present.
+        let start_pos = pos;
+        while total < max_bytes {
+            let Some((frame_len, body)) = Wal::frame_at(buf, pos) else {
+                break;
+            };
+            let Ok((lsn, _)) = WalRecord::decode_body(body) else {
+                break;
+            };
+            if lsn != expected || lsn > limit_lsn {
+                break;
+            }
+            batch.push(body.to_vec());
+            total += body.len();
+            expected = lsn + 1;
+            pos += frame_len;
+        }
+        let consumed = (pos - start_pos) as u64;
+        self.cursor = Some(match self.cursor {
+            // Fast path: previous cursor held the absolute offset of
+            // `start_pos`.
+            Some((abs, lsn)) if lsn == base_offset_hint + 1 => (abs + consumed, expected),
+            // Slow path: `buf` was the whole file, so `pos` is absolute.
+            _ => (pos as u64, expected),
+        });
+        Ok(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use tsb_common::FsyncPolicy;
+
+    use super::*;
+    use crate::page::PageId;
+    use crate::stats::IoStats;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tsb-tailer-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn image(page: u64, fill: u8) -> WalRecord {
+        WalRecord::PageImage {
+            page: PageId(page),
+            bytes: vec![fill; 24],
+        }
+    }
+
+    fn commit(ts: u64) -> WalRecord {
+        WalRecord::Commit {
+            ts,
+            worm_len: 0,
+            meta: vec![0xCD; 8],
+        }
+    }
+
+    fn lsns(batch: &[Vec<u8>]) -> Vec<Lsn> {
+        batch
+            .iter()
+            .map(|b| WalRecord::decode_body(b).unwrap().0)
+            .collect()
+    }
+
+    #[test]
+    fn tails_records_in_order_and_in_batches() {
+        let dir = temp_dir("order");
+        let path = dir.join("redo.wal");
+        let _ = std::fs::remove_file(&path);
+        let wal = Wal::create(&path, FsyncPolicy::Always, Arc::new(IoStats::new())).unwrap();
+        for i in 0..5u64 {
+            wal.append(&image(i, i as u8)).unwrap();
+        }
+        wal.append(&commit(5)).unwrap();
+
+        let mut tailer = WalTailer::new(&path);
+        let TailPoll::Batch(batch) = tailer.poll(0, wal.durable_lsn(), usize::MAX).unwrap() else {
+            panic!("fresh log never needs a rebase");
+        };
+        assert_eq!(lsns(&batch), vec![1, 2, 3, 4, 5, 6]);
+
+        // Caught up: empty batch, twice in a row (cursor cache path).
+        for _ in 0..2 {
+            let TailPoll::Batch(batch) = tailer.poll(6, wal.durable_lsn(), usize::MAX).unwrap()
+            else {
+                panic!("caught-up tailer never needs a rebase");
+            };
+            assert!(batch.is_empty());
+        }
+
+        // New appends resume from the cached offset.
+        wal.append(&image(9, 9)).unwrap();
+        wal.append(&commit(7)).unwrap();
+        wal.sync().unwrap();
+        let TailPoll::Batch(batch) = tailer.poll(6, wal.durable_lsn(), usize::MAX).unwrap() else {
+            panic!("appended records never need a rebase");
+        };
+        assert_eq!(lsns(&batch), vec![7, 8]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_limit_holds_back_unsynced_records() {
+        let dir = temp_dir("limit");
+        let path = dir.join("redo.wal");
+        let _ = std::fs::remove_file(&path);
+        // `Os` policy: appends reach the file at fences without fsync, so
+        // the durable watermark stays behind the file content.
+        let wal = Wal::create(&path, FsyncPolicy::Os, Arc::new(IoStats::new())).unwrap();
+        wal.append(&image(1, 1)).unwrap();
+        wal.append(&commit(1)).unwrap();
+        assert_eq!(wal.durable_lsn(), 0);
+
+        let mut tailer = WalTailer::new(&path);
+        let TailPoll::Batch(batch) = tailer.poll(0, wal.durable_lsn(), usize::MAX).unwrap() else {
+            panic!("no rebase expected");
+        };
+        assert!(batch.is_empty(), "nothing durable yet");
+
+        wal.sync().unwrap();
+        let TailPoll::Batch(batch) = tailer.poll(0, wal.durable_lsn(), usize::MAX).unwrap() else {
+            panic!("no rebase expected");
+        };
+        assert_eq!(lsns(&batch), vec![1, 2]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn max_bytes_splits_batches_without_splitting_records() {
+        let dir = temp_dir("bytes");
+        let path = dir.join("redo.wal");
+        let _ = std::fs::remove_file(&path);
+        let wal = Wal::create(&path, FsyncPolicy::Always, Arc::new(IoStats::new())).unwrap();
+        for i in 0..10u64 {
+            wal.append(&image(i, 0)).unwrap();
+        }
+        wal.append(&commit(1)).unwrap();
+
+        let mut tailer = WalTailer::new(&path);
+        let mut got = Vec::new();
+        let mut cursor = 0;
+        loop {
+            let TailPoll::Batch(batch) = tailer.poll(cursor, wal.durable_lsn(), 1).unwrap() else {
+                panic!("no rebase expected");
+            };
+            if batch.is_empty() {
+                break;
+            }
+            assert_eq!(batch.len(), 1, "1-byte cap yields one record per batch");
+            cursor = WalRecord::decode_body(batch.last().unwrap()).unwrap().0;
+            got.extend(lsns(&batch));
+        }
+        assert_eq!(got, (1..=11).collect::<Vec<_>>());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_reset_is_seamless_when_caught_up_and_rebases_when_behind() {
+        let dir = temp_dir("reset");
+        let path = dir.join("redo.wal");
+        let _ = std::fs::remove_file(&path);
+        let wal = Wal::create(&path, FsyncPolicy::Always, Arc::new(IoStats::new())).unwrap();
+        wal.append(&image(1, 1)).unwrap();
+        wal.append(&commit(1)).unwrap(); // LSNs 1, 2
+
+        // A caught-up tailer rides through the reset: the checkpoint is
+        // simply the next record in its sequence.
+        let mut caught_up = WalTailer::new(&path);
+        let TailPoll::Batch(b) = caught_up.poll(0, wal.durable_lsn(), usize::MAX).unwrap() else {
+            panic!("no rebase expected");
+        };
+        assert_eq!(lsns(&b), vec![1, 2]);
+
+        wal.reset_with(&WalRecord::Checkpoint {
+            worm_len: 0,
+            meta: vec![1],
+        })
+        .unwrap(); // LSN 3, alone in the new generation
+
+        let TailPoll::Batch(b) = caught_up.poll(2, wal.durable_lsn(), usize::MAX).unwrap() else {
+            panic!("caught-up tailer must survive the reset");
+        };
+        assert_eq!(lsns(&b), vec![3]);
+
+        // A tailer still needing LSN 2 finds the generation starting at 3:
+        // rebase required.
+        let mut behind = WalTailer::new(&path);
+        assert!(matches!(
+            behind.poll(1, wal.durable_lsn(), usize::MAX).unwrap(),
+            TailPoll::NeedsRebase
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn equal_length_replacement_generation_is_detected_via_the_watermark() {
+        let dir = temp_dir("samelen");
+        let path = dir.join("redo.wal");
+        let _ = std::fs::remove_file(&path);
+        let wal = Wal::create(&path, FsyncPolicy::Always, Arc::new(IoStats::new())).unwrap();
+        wal.reset_with(&WalRecord::Checkpoint {
+            worm_len: 0,
+            meta: vec![7; 16],
+        })
+        .unwrap(); // LSN 1
+
+        let mut tailer = WalTailer::new(&path);
+        let TailPoll::Batch(b) = tailer.poll(0, wal.durable_lsn(), usize::MAX).unwrap() else {
+            panic!("no rebase expected");
+        };
+        assert_eq!(lsns(&b), vec![1]);
+
+        // Records the tailer never fetches, then a reset whose lone
+        // checkpoint frame is byte-for-byte the same length as the one the
+        // cursor sits after: the file length alone cannot reveal the
+        // replacement.
+        wal.append(&image(1, 1)).unwrap();
+        wal.append(&commit(1)).unwrap();
+        wal.reset_with(&WalRecord::Checkpoint {
+            worm_len: 0,
+            meta: vec![8; 16],
+        })
+        .unwrap(); // LSN 4, alone
+
+        assert!(
+            matches!(
+                tailer.poll(1, wal.durable_lsn(), usize::MAX).unwrap(),
+                TailPoll::NeedsRebase
+            ),
+            "the durable watermark must expose an equal-length replacement"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shipped_bodies_round_trip_into_a_replica_log() {
+        let dir = temp_dir("ship");
+        let primary = dir.join("primary.wal");
+        let replica = dir.join("replica.wal");
+        let _ = std::fs::remove_file(&primary);
+        let _ = std::fs::remove_file(&replica);
+        let stats = Arc::new(IoStats::new());
+        let src = Wal::create(&primary, FsyncPolicy::Always, Arc::clone(&stats)).unwrap();
+        src.append(&image(4, 4)).unwrap();
+        src.append(&commit(9)).unwrap();
+
+        let mut tailer = WalTailer::new(&primary);
+        let TailPoll::Batch(batch) = tailer.poll(0, src.durable_lsn(), usize::MAX).unwrap() else {
+            panic!("no rebase expected");
+        };
+
+        {
+            let dst = Wal::create(&replica, FsyncPolicy::Always, Arc::clone(&stats)).unwrap();
+            for body in &batch {
+                assert!(dst.append_shipped(body).unwrap());
+            }
+            // Re-shipping the same records is a no-op (reconnect overlap).
+            for body in &batch {
+                assert!(!dst.append_shipped(body).unwrap());
+            }
+            dst.sync().unwrap();
+            assert_eq!(dst.last_lsn(), 2);
+        }
+        let (_, scan) = Wal::open(&replica, FsyncPolicy::Always, stats).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records[0].1, image(4, 4));
+        assert_eq!(scan.records[1].1, commit(9));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shipped_lsn_gap_is_rejected() {
+        let dir = temp_dir("gap");
+        let path = dir.join("replica.wal");
+        let _ = std::fs::remove_file(&path);
+        let dst = Wal::create(&path, FsyncPolicy::Always, Arc::new(IoStats::new())).unwrap();
+        // First record of an empty log may carry any LSN...
+        assert!(dst.append_shipped(&image(1, 1).encode_body(50)).unwrap());
+        // ...but after that the sequence must be contiguous.
+        assert!(dst.append_shipped(&image(2, 2).encode_body(53)).is_err());
+        assert!(dst.append_shipped(&image(2, 2).encode_body(51)).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

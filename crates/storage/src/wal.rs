@@ -374,7 +374,12 @@ impl WalRecord {
         }
     }
 
-    fn encode_body(&self, lsn: Lsn) -> Vec<u8> {
+    /// Encodes the record body (`lsn | kind | payload`) exactly as it is
+    /// framed into the log. Public for WAL shipping: a replication source
+    /// re-frames record bodies onto the wire, and a replica appends the
+    /// same bytes to its local log via [`Wal::append_shipped`], so both
+    /// sides of the stream speak the log's own on-disk encoding.
+    pub fn encode_body(&self, lsn: Lsn) -> Vec<u8> {
         let mut w = ByteWriter::new();
         w.put_u64(lsn);
         w.put_u8(self.kind());
@@ -425,7 +430,10 @@ impl WalRecord {
         w.into_vec()
     }
 
-    fn decode_body(body: &[u8]) -> TsbResult<(Lsn, WalRecord)> {
+    /// Decodes a record body produced by [`Self::encode_body`], returning
+    /// the embedded LSN and the record. The inverse used by a replica to
+    /// interpret shipped record bodies.
+    pub fn decode_body(body: &[u8]) -> TsbResult<(Lsn, WalRecord)> {
         let mut r = ByteReader::new(body);
         let lsn = r.get_u64()?;
         let record = match r.get_u8()? {
@@ -1021,7 +1029,7 @@ impl Wal {
     /// sequence running across log generations); after that a
     /// discontinuity means the file was spliced or a tear was overwritten
     /// — nothing from there on is trustworthy.
-    fn scan_buf(buf: &[u8]) -> (Vec<(Lsn, WalRecord)>, usize, bool) {
+    pub(crate) fn scan_buf(buf: &[u8]) -> (Vec<(Lsn, WalRecord)>, usize, bool) {
         let mut records: Vec<(Lsn, WalRecord)> = Vec::new();
         let mut pos = 0usize;
         let mut next_lsn: Lsn = 1;
@@ -1088,7 +1096,7 @@ impl Wal {
 
     /// Frames the record starting at `pos`: returns `(total frame length,
     /// body slice)` if the frame is complete and its CRC matches.
-    fn frame_at(buf: &[u8], pos: usize) -> Option<(usize, &[u8])> {
+    pub(crate) fn frame_at(buf: &[u8], pos: usize) -> Option<(usize, &[u8])> {
         let header = buf.get(pos..pos + 8)?;
         let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
         let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
@@ -1105,6 +1113,14 @@ impl Wal {
     /// The configured fsync policy.
     pub fn policy(&self) -> FsyncPolicy {
         self.shared.policy
+    }
+
+    /// The path of the log file. A replication tailer reads the log by
+    /// *path* (not through this handle's file descriptor): a checkpoint
+    /// reset replaces the file by rename, so an open descriptor goes stale
+    /// while the path always names the current generation.
+    pub fn path(&self) -> &Path {
+        &self.path
     }
 
     /// The LSN the next append will receive.
@@ -1184,6 +1200,66 @@ impl Wal {
     /// failure was published (the failure is sticky).
     pub fn wait_durable(&self, lsn: Lsn) -> TsbResult<()> {
         self.shared.wait_durable(lsn)
+    }
+
+    /// Appends a record body *shipped from a replication primary*, keeping
+    /// the primary's LSN instead of assigning a local one — a replica's
+    /// local log is a verbatim suffix of the primary's log, so replica
+    /// restart can reuse the standard recovery scan unchanged.
+    ///
+    /// `body` must be a record body as produced by
+    /// [`WalRecord::encode_body`]. The embedded LSN must continue the local
+    /// sequence (`last_lsn + 1`); the first record appended to an *empty*
+    /// log may carry any LSN (exactly as the reopen scanner accepts any
+    /// starting LSN across checkpoint generations). A body whose LSN is at
+    /// or below the local tail is a duplicate from a reconnect overlap and
+    /// is skipped (`Ok(false)`).
+    ///
+    /// The frame lands in the append buffer; fence records drain it, and
+    /// the caller decides when to fsync (via [`Self::sync`]) — the policy's
+    /// group-commit boundary arithmetic never runs for shipped records.
+    /// Returns whether the record was actually appended.
+    pub fn append_shipped(&self, body: &[u8]) -> TsbResult<bool> {
+        let (lsn, record) = WalRecord::decode_body(body)?;
+        let mut inner = self.shared.inner.lock();
+        if let Some(injector) = &inner.injector {
+            injector.check(CrashPoint::WalAppend)?;
+        }
+        let empty = inner.len == 0;
+        if !empty {
+            if lsn < inner.next_lsn {
+                return Ok(false);
+            }
+            if lsn != inner.next_lsn {
+                return Err(TsbError::corruption(format!(
+                    "shipped record LSN {lsn} does not continue the local log \
+                     (expected {})",
+                    inner.next_lsn
+                )));
+            }
+        }
+        let frame_len = 8 + body.len();
+        inner.pending.reserve(frame_len);
+        inner
+            .pending
+            .extend_from_slice(&(body.len() as u32).to_le_bytes());
+        inner.pending.extend_from_slice(&crc32(body).to_le_bytes());
+        inner.pending.extend_from_slice(body);
+        inner.next_lsn = lsn + 1;
+        inner.len += frame_len as u64;
+        self.shared.stats.record_wal_append();
+        self.shared.stats.record_wal_bytes(frame_len as u64);
+        let is_fence = matches!(
+            record,
+            WalRecord::Commit { .. }
+                | WalRecord::Checkpoint { .. }
+                | WalRecord::Prepare { .. }
+                | WalRecord::Decision { .. }
+        );
+        if is_fence || inner.pending.len() >= APPEND_BUFFER_FLUSH_BYTES {
+            inner.flush_pending()?;
+        }
+        Ok(true)
     }
 
     /// Forces everything appended so far to stable storage before

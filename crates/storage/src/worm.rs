@@ -321,6 +321,71 @@ impl WormStore {
         )
     }
 
+    /// Reads a raw device byte range, ignoring node boundaries — the
+    /// replication source's view of the store. Commit fences carry the
+    /// device length (`worm_len`) they depend on, and the store is
+    /// append-only, so a primary ships history to a replica as plain byte
+    /// ranges `[from, to)` between two device lengths. The range must lie
+    /// within the written region.
+    pub fn read_raw(&self, offset: u64, len: usize) -> TsbResult<Vec<u8>> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let mut inner = self.inner.lock();
+        let device = inner.next_free_sector * self.sector_size as u64;
+        if offset + len as u64 > device {
+            return Err(TsbError::WormOutOfBounds {
+                offset,
+                len: len as u64,
+            });
+        }
+        self.stats.record_worm_read();
+        Self::read_at(&mut inner, offset, len)
+    }
+
+    /// Installs shipped device bytes at the current end of the store — the
+    /// replica's write half of [`Self::read_raw`]. `offset` must equal the
+    /// current device length (the stream is cursor-based and append-only)
+    /// and the range must be whole sectors, since shipped ranges run
+    /// between two `worm_len` values, which are always sector-aligned.
+    /// Write-once is preserved: only never-allocated sectors are burned.
+    pub fn restore_tail(&self, offset: u64, bytes: &[u8]) -> TsbResult<()> {
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let mut inner = self.inner.lock();
+        let device = inner.next_free_sector * self.sector_size as u64;
+        if offset != device {
+            return Err(TsbError::corruption(format!(
+                "shipped WORM range starts at {offset} but the local device \
+                 ends at {device}"
+            )));
+        }
+        if !(bytes.len() as u64).is_multiple_of(self.sector_size as u64) {
+            return Err(TsbError::corruption(format!(
+                "shipped WORM range of {} bytes is not sector-aligned",
+                bytes.len()
+            )));
+        }
+        Self::write_at(&mut inner, offset, bytes)?;
+        let sectors = bytes.len() as u64 / self.sector_size as u64;
+        let first = inner.next_free_sector;
+        inner.next_free_sector += sectors;
+        let new_len = inner.next_free_sector as usize;
+        if inner.written.len() < new_len {
+            inner.written.resize(new_len, false);
+        }
+        for s in first..first + sectors {
+            inner.written[s as usize] = true;
+        }
+        // Shipped ranges carry sector padding; the replica cannot tell
+        // payload from padding, so utilization accounting on a replica is
+        // device-granular (an overestimate, stats-only).
+        inner.payload_bytes += bytes.len() as u64;
+        self.stats.record_worm_append();
+        Ok(())
+    }
+
     /// Whether a sector has been burned.
     pub fn is_sector_written(&self, sector: SectorId) -> bool {
         let inner = self.inner.lock();

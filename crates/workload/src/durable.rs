@@ -28,7 +28,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use tsb_common::TsbResult;
-use tsb_core::{ConcurrentTsb, ShardedTsb};
+use tsb_core::{ConcurrentTsb, EngineHandle, ShardedTsb};
 use tsb_storage::IoSnapshot;
 
 /// Parameters of one closed-loop durable write run.
@@ -96,54 +96,25 @@ impl DurableDriveReport {
     }
 }
 
-/// Runs the closed-loop driver against `db`: `spec.threads` writer threads,
-/// each committing `spec.ops_per_thread` durable inserts back-to-back,
-/// every insert acknowledged (per the engine's `FsyncPolicy`) before the
-/// next is issued. Returns throughput plus the I/O counter delta.
+/// Runs the closed-loop driver against any [`EngineHandle`]:
+/// `spec.threads` writer threads, each committing `spec.ops_per_thread`
+/// durable inserts back-to-back, every insert acknowledged (per the
+/// engine's `FsyncPolicy`) before the next is issued. Returns throughput
+/// plus the I/O counter delta.
 ///
-/// The engine should be durable ([`ConcurrentTsb::create_durable`] /
-/// `open_durable`) for the numbers to mean anything; the driver itself
-/// works on any engine.
-pub fn drive_durable(db: &ConcurrentTsb, spec: &DurableDriveSpec) -> TsbResult<DurableDriveReport> {
-    let before = db.io_stats().snapshot();
-    let start = Instant::now();
-    let committed = std::thread::scope(|s| -> TsbResult<u64> {
-        let handles: Vec<_> = (0..spec.threads)
-            .map(|i| {
-                let db = db.clone();
-                let spec = spec.clone();
-                s.spawn(move || writer_loop(&db, &spec, i as u64))
-            })
-            .collect();
-        let mut committed = 0u64;
-        for h in handles {
-            committed += h.join().expect("writer thread panicked")?;
-        }
-        Ok(committed)
-    })?;
-    let elapsed = start.elapsed();
-    let io = db.io_stats().snapshot().delta_since(&before);
-    Ok(DurableDriveReport {
-        committed_ops: committed,
-        elapsed,
-        io,
-    })
-}
-
-/// The sharded counterpart of [`drive_durable`]: the same closed loop of
-/// acknowledged single-key inserts, routed across an `N`-shard engine. The
-/// report's I/O delta is the merged sum over every shard, so fsyncs/op and
-/// writer-lock wait/op are directly comparable across shard counts (the
-/// E14 experiment in `tsb-bench`).
-pub fn drive_sharded(db: &ShardedTsb, spec: &DurableDriveSpec) -> TsbResult<DurableDriveReport> {
+/// The engine should be durable for the numbers to mean anything; the
+/// driver itself works on any engine.
+pub fn drive_engine(
+    db: &dyn EngineHandle,
+    spec: &DurableDriveSpec,
+) -> TsbResult<DurableDriveReport> {
     let before = db.io_snapshot();
     let start = Instant::now();
     let committed = std::thread::scope(|s| -> TsbResult<u64> {
         let handles: Vec<_> = (0..spec.threads)
             .map(|i| {
-                let db = db.clone();
                 let spec = spec.clone();
-                s.spawn(move || sharded_writer_loop(&db, &spec, i as u64))
+                s.spawn(move || writer_loop(db, &spec, i as u64))
             })
             .collect();
         let mut committed = 0u64;
@@ -161,30 +132,32 @@ pub fn drive_sharded(db: &ShardedTsb, spec: &DurableDriveSpec) -> TsbResult<Dura
     })
 }
 
-/// One closed-loop writer: commits its deterministic stream one op at a
-/// time, each acknowledged before the next is issued.
-fn writer_loop(db: &ConcurrentTsb, spec: &DurableDriveSpec, thread_idx: u64) -> TsbResult<u64> {
-    let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_add(thread_idx));
-    let mut committed = 0u64;
-    for _ in 0..spec.ops_per_thread {
-        let (key, value) = next_op(&mut rng, spec);
-        db.insert(key, value)?;
-        committed += 1;
-    }
-    Ok(committed)
+/// [`drive_engine`] on a [`ConcurrentTsb`] (kept for callers that hold the
+/// concrete type).
+pub fn drive_durable(db: &ConcurrentTsb, spec: &DurableDriveSpec) -> TsbResult<DurableDriveReport> {
+    drive_engine(db, spec)
 }
 
-/// [`writer_loop`] against a sharded engine: identical stream, routed.
-fn sharded_writer_loop(
-    db: &ShardedTsb,
-    spec: &DurableDriveSpec,
-    thread_idx: u64,
-) -> TsbResult<u64> {
+/// [`drive_engine`] on an `N`-shard engine. The report's I/O delta is the
+/// merged sum over every shard, so fsyncs/op and writer-lock wait/op are
+/// directly comparable across shard counts (the E14 experiment in
+/// `tsb-bench`).
+pub fn drive_sharded(db: &ShardedTsb, spec: &DurableDriveSpec) -> TsbResult<DurableDriveReport> {
+    drive_engine(db, spec)
+}
+
+/// One closed-loop writer: commits its deterministic stream one op at a
+/// time, each acknowledged (deferred commit + durable wait) before the
+/// next is issued.
+fn writer_loop(db: &dyn EngineHandle, spec: &DurableDriveSpec, thread_idx: u64) -> TsbResult<u64> {
     let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_add(thread_idx));
     let mut committed = 0u64;
     for _ in 0..spec.ops_per_thread {
         let (key, value) = next_op(&mut rng, spec);
-        db.insert(key, value)?;
+        let (_ts, pos) = db.insert_deferred(key, value)?;
+        if let Some(pos) = pos {
+            db.wait_durable(pos)?;
+        }
         committed += 1;
     }
     Ok(committed)
@@ -216,7 +189,10 @@ mod tests {
             fsync_policy: policy,
             ..TsbConfig::small_pages()
         };
-        ConcurrentTsb::open_durable(dir, cfg).unwrap()
+        tsb_core::TsbOptions::durable(dir)
+            .config(cfg)
+            .open_concurrent()
+            .unwrap()
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod concurrent;
 pub mod crash;
 pub mod distributions;
 pub mod durable;
+pub mod equivalence;
 pub mod generator;
 pub mod oracle;
 pub mod queries;
@@ -53,7 +54,10 @@ pub mod socket;
 pub use concurrent::{pin_fraction, ConcurrentSpec, ReaderQuery, ReaderQueryKind};
 pub use crash::{crash_matrix, CrashSpec, CrashTrigger};
 pub use distributions::KeyDistribution;
-pub use durable::{drive_durable, drive_sharded, DurableDriveReport, DurableDriveSpec};
+pub use durable::{
+    drive_durable, drive_engine, drive_sharded, DurableDriveReport, DurableDriveSpec,
+};
+pub use equivalence::{assert_engine_matches_oracle, replay_engine};
 pub use generator::{generate_ops, Op, WorkloadSpec};
 pub use oracle::Oracle;
 pub use queries::{generate_queries, Query, QueryMix};

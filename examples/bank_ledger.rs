@@ -11,7 +11,7 @@
 //!
 //! Run with: `cargo run -p tsb-examples --example bank_ledger`
 
-use tsb_core::{Key, SplitPolicyKind, Timestamp, TsbConfig, TsbTree};
+use tsb_core::{Key, SplitPolicyKind, Timestamp, TsbConfig, TsbOptions};
 use tsb_workload::{generate_ops, scenarios, Op, Oracle};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_split_policy(SplitPolicyKind::Threshold {
                 key_split_live_fraction: 0.6,
             });
-    let mut ledger = TsbTree::new_in_memory(cfg)?;
+    let mut ledger = TsbOptions::in_memory().config(cfg).open_tree()?;
     let mut oracle = Oracle::new();
 
     println!("replaying {transactions} transactions against {accounts} accounts...");

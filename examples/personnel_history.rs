@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run -p tsb-examples --example personnel_history`
 
-use tsb_core::{Key, SecondaryIndex, Timestamp, TsbConfig, TsbTree};
+use tsb_core::{Key, SecondaryIndex, Timestamp, TsbConfig, TsbOptions};
 
 const DEPARTMENTS: &[&str] = &["engineering", "sales", "support"];
 
@@ -18,7 +18,9 @@ fn record(name: &str, dept: &str, salary: u32) -> Vec<u8> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut people = TsbTree::new_in_memory(TsbConfig::default())?;
+    let mut people = TsbOptions::in_memory()
+        .config(TsbConfig::default())
+        .open_tree()?;
     let mut by_dept = SecondaryIndex::new_in_memory(TsbConfig::default())?;
 
     // --- hire 90 employees across three departments -----------------------------

@@ -3,12 +3,14 @@
 //!
 //! Run with: `cargo run -p tsb-examples --example quickstart`
 
-use tsb_core::{Key, KeyRange, TsbConfig, TsbTree};
+use tsb_core::{Key, KeyRange, TsbConfig, TsbOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A tree over in-memory simulated devices: a magnetic-disk page store for
     // the current database and a write-once sector store for history.
-    let mut tree = TsbTree::new_in_memory(TsbConfig::default())?;
+    let mut tree = TsbOptions::in_memory()
+        .config(TsbConfig::default())
+        .open_tree()?;
 
     // --- write a little stepwise-constant history (Figure 1) --------------
     let t_open = tree.insert("acct-1001", b"owner=Joe;balance=100".to_vec())?;

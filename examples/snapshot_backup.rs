@@ -10,10 +10,12 @@
 //!
 //! Run with: `cargo run -p tsb-examples --example snapshot_backup`
 
-use tsb_core::{Key, TsbConfig, TsbTree};
+use tsb_core::{Key, TsbConfig, TsbOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut store = TsbTree::new_in_memory(TsbConfig::default())?;
+    let mut store = TsbOptions::in_memory()
+        .config(TsbConfig::default())
+        .open_tree()?;
 
     // Seed the database.
     for i in 0..500u64 {
@@ -81,7 +83,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(live.len(), 600); // 500 - 1 deleted + 100 new + key 999
 
     // Restoring from the backup is just replaying it into a fresh tree.
-    let mut restored = TsbTree::new_in_memory(TsbConfig::default())?;
+    let mut restored = TsbOptions::in_memory()
+        .config(TsbConfig::default())
+        .open_tree()?;
     for (key, value) in &backup {
         restored.insert(key.clone(), value.clone())?;
     }

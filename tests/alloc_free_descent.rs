@@ -74,7 +74,10 @@ fn count_allocations(f: impl FnOnce()) -> (u64, u64) {
 /// `Option<Vec<u8>>` a lookup returns never needs a backing allocation.
 fn build_tree(keys: u64) -> TsbTree {
     let cfg = TsbConfig::small_pages().with_node_cache_entries(4096);
-    let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+    let mut tree = tsb_core::TsbOptions::in_memory()
+        .config(cfg)
+        .open_tree()
+        .unwrap();
     for _round in 0..4 {
         for k in 0..keys {
             tree.insert(k, Vec::new()).unwrap();

@@ -42,7 +42,10 @@ fn stress_seed() -> u64 {
 }
 
 fn small_engine() -> ConcurrentTsb {
-    ConcurrentTsb::new_in_memory(TsbConfig::small_pages()).unwrap()
+    tsb_core::TsbOptions::in_memory()
+        .config(TsbConfig::small_pages())
+        .open_concurrent()
+        .unwrap()
 }
 
 /// The harness shared between the writer and the readers.
@@ -197,7 +200,10 @@ fn concurrent_readers_match_the_oracle_stress() {
 #[test]
 fn warm_concurrent_reads_perform_zero_decodes() {
     let cfg = TsbConfig::small_pages().with_node_cache_entries(4096);
-    let db = ConcurrentTsb::new_in_memory(cfg).unwrap();
+    let db = tsb_core::TsbOptions::in_memory()
+        .config(cfg)
+        .open_concurrent()
+        .unwrap();
     for i in 0..300u64 {
         db.insert(i % 30, format!("v{i}").into_bytes()).unwrap();
     }

@@ -55,7 +55,7 @@ proptest! {
         seed_batch in batch_strategy(),
         concurrent_batch in batch_strategy(),
     ) {
-        let db = ConcurrentTsb::new_in_memory(TsbConfig::small_pages()).unwrap();
+        let db = tsb_core::TsbOptions::in_memory().config(TsbConfig::small_pages()).open_concurrent().unwrap();
         for op in &seed_batch {
             apply(&db, op);
         }

@@ -10,7 +10,7 @@ use tsb_core::split::{
     choose_index_split_key, local_time_split_point, partition_by_key, partition_by_time,
     partition_index_by_key,
 };
-use tsb_core::{IndexEntry, IndexNode, NodeAddr, TsbTree};
+use tsb_core::{IndexEntry, IndexNode, NodeAddr};
 use tsb_storage::{HistAddr, PageId};
 use tsb_wobt::{Wobt, WobtConfig};
 
@@ -22,7 +22,10 @@ fn v(key: u64, ts: u64, name: &str) -> Version {
 /// given time T, we look at the last entry made before T."
 #[test]
 fn figure1_stepwise_constant_account_balance() {
-    let mut tree = TsbTree::new_in_memory(TsbConfig::default()).unwrap();
+    let mut tree = tsb_core::TsbOptions::in_memory()
+        .config(TsbConfig::default())
+        .open_tree()
+        .unwrap();
     tree.insert_at("account", b"100".to_vec(), Timestamp(10))
         .unwrap();
     tree.insert_at("account", b"250".to_vec(), Timestamp(20))
@@ -103,7 +106,10 @@ fn figure5_pure_key_split_for_insert_only_nodes() {
     // End-to-end: an insert-only workload under the threshold policy never
     // touches the WORM store.
     let cfg = TsbConfig::small_pages().with_split_policy(SplitPolicyKind::default());
-    let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+    let mut tree = tsb_core::TsbOptions::in_memory()
+        .config(cfg)
+        .open_tree()
+        .unwrap();
     for i in 0..200u64 {
         tree.insert(i, format!("ins-{i}").into_bytes()).unwrap();
     }
@@ -263,12 +269,14 @@ fn figures8_and_9_local_index_time_split_condition() {
 /// high (§1, §2.6, §3.4).
 #[test]
 fn consolidation_beats_one_entry_per_sector() {
-    let mut tree = TsbTree::new_in_memory(
-        TsbConfig::small_pages()
-            .with_split_policy(SplitPolicyKind::TimePreferring)
-            .with_split_time_choice(SplitTimeChoice::CurrentTime),
-    )
-    .unwrap();
+    let mut tree = tsb_core::TsbOptions::in_memory()
+        .config(
+            TsbConfig::small_pages()
+                .with_split_policy(SplitPolicyKind::TimePreferring)
+                .with_split_time_choice(SplitTimeChoice::CurrentTime),
+        )
+        .open_tree()
+        .unwrap();
     let mut wobt = Wobt::new_in_memory(WobtConfig {
         sector_size: 64,
         node_sectors: 4,

@@ -3,7 +3,6 @@
 //! like the in-memory oracle, for a variety of workload shapes.
 
 use tsb_common::{SplitPolicyKind, SplitTimeChoice, TsbConfig};
-use tsb_core::TsbTree;
 use tsb_integration::{
     assert_tree_matches_oracle, assert_wobt_matches_oracle, replay, replay_into_wobt,
 };
@@ -18,7 +17,10 @@ fn small_cfg(policy: SplitPolicyKind, choice: SplitTimeChoice) -> TsbConfig {
 
 fn check_policy(policy: SplitPolicyKind, choice: SplitTimeChoice, spec: &WorkloadSpec) {
     let ops = generate_ops(spec);
-    let mut tree = TsbTree::new_in_memory(small_cfg(policy, choice)).unwrap();
+    let mut tree = tsb_core::TsbOptions::in_memory()
+        .config(small_cfg(policy, choice))
+        .open_tree()
+        .unwrap();
     let mut oracle = Oracle::new();
     let log = replay(&mut tree, &mut oracle, &ops);
     tree.verify()
@@ -133,7 +135,10 @@ fn named_scenarios_match_the_oracle() {
             .with_split_time_choice(SplitTimeChoice::LastUpdate);
         cfg.max_key_len = 64;
         let ops = generate_ops(&spec);
-        let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+        let mut tree = tsb_core::TsbOptions::in_memory()
+            .config(cfg)
+            .open_tree()
+            .unwrap();
         let mut oracle = Oracle::new();
         let log = replay(&mut tree, &mut oracle, &ops);
         tree.verify().unwrap();
@@ -150,11 +155,13 @@ fn wobt_baseline_matches_the_oracle_on_the_same_history() {
         .with_value_size(20);
     let ops = generate_ops(&spec);
 
-    let mut tree = TsbTree::new_in_memory(small_cfg(
-        SplitPolicyKind::default(),
-        SplitTimeChoice::LastUpdate,
-    ))
-    .unwrap();
+    let mut tree = tsb_core::TsbOptions::in_memory()
+        .config(small_cfg(
+            SplitPolicyKind::default(),
+            SplitTimeChoice::LastUpdate,
+        ))
+        .open_tree()
+        .unwrap();
     let mut oracle = Oracle::new();
     let log = replay(&mut tree, &mut oracle, &ops);
 
@@ -186,7 +193,10 @@ fn larger_pages_and_default_config_also_match() {
         .with_update_ratio(4.0)
         .with_value_size(100);
     let ops = generate_ops(&spec);
-    let mut tree = TsbTree::new_in_memory(TsbConfig::default()).unwrap();
+    let mut tree = tsb_core::TsbOptions::in_memory()
+        .config(TsbConfig::default())
+        .open_tree()
+        .unwrap();
     let mut oracle = Oracle::new();
     let log = replay(&mut tree, &mut oracle, &ops);
     tree.verify().unwrap();

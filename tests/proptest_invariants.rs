@@ -18,7 +18,7 @@ use proptest::prelude::*;
 
 use tsb_common::{Key, SplitPolicyKind, SplitTimeChoice, Timestamp, TsbConfig, Version};
 use tsb_core::split::{partition_by_key, partition_by_time};
-use tsb_core::{composite_key, split_composite_key, TsbTree};
+use tsb_core::{composite_key, split_composite_key};
 use tsb_workload::Oracle;
 
 // ---------- generators -------------------------------------------------------
@@ -89,7 +89,7 @@ proptest! {
         let cfg = TsbConfig::small_pages()
             .with_split_policy(policy)
             .with_split_time_choice(choice);
-        let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+        let mut tree = tsb_core::TsbOptions::in_memory().config(cfg).open_tree().unwrap();
         let mut oracle = Oracle::new();
         let mut log = Vec::new();
         for op in &ops {
@@ -206,7 +206,7 @@ proptest! {
             .with_split_policy(policy)
             .with_split_time_choice(choice)
             .with_node_cache_entries(4096);
-        let mut tree = TsbTree::new_in_memory(cfg).unwrap();
+        let mut tree = tsb_core::TsbOptions::in_memory().config(cfg).open_tree().unwrap();
         for (i, op) in ops.iter().enumerate() {
             match op {
                 PropOp::Put { key, len } => {

@@ -188,7 +188,10 @@ fn run_crash_scenario(tag: &str, spec: &CrashSpec, cfg: &TsbConfig) -> Timestamp
     let crashed = injector.tripped();
     drop(tree); // the crashed process's memory is gone
 
-    let recovered = TsbTree::open_durable(&dir.0, cfg.clone()).unwrap();
+    let recovered = tsb_core::TsbOptions::durable(&dir.0)
+        .config(cfg.clone())
+        .open_tree()
+        .unwrap();
     assert_recovered_matches_durable_prefix(&recovered, &log, crashed);
     recovered.last_durable_commit().unwrap()
 }
@@ -244,7 +247,10 @@ fn recovered_tree_keeps_serving_and_recovers_again() {
 
     // First recovery, then a second generation of writes on the recovered
     // tree (no injector this time), then a second recovery.
-    let mut recovered = TsbTree::open_durable(&dir.0, cfg.clone()).unwrap();
+    let mut recovered = tsb_core::TsbOptions::durable(&dir.0)
+        .config(cfg.clone())
+        .open_tree()
+        .unwrap();
     let cut = recovered.last_durable_commit().unwrap();
     let mut oracle = durable_oracle(&log, cut);
     for i in 0..150u64 {
@@ -257,7 +263,10 @@ fn recovered_tree_keeps_serving_and_recovers_again() {
     recovered.verify().unwrap();
     drop(recovered); // again: no flush, no checkpoint
 
-    let tree = TsbTree::open_durable(&dir.0, cfg).unwrap();
+    let tree = tsb_core::TsbOptions::durable(&dir.0)
+        .config(cfg)
+        .open_tree()
+        .unwrap();
     tree.verify().unwrap();
     for key in oracle.keys() {
         assert_eq!(
@@ -312,7 +321,10 @@ fn recovery_reclaims_unreachable_magnetic_pages() {
     magnetic.sync().unwrap();
     drop(tree); // crash: no flush, no checkpoint
 
-    let recovered = TsbTree::open_durable(&dir.0, cfg).unwrap();
+    let recovered = tsb_core::TsbOptions::durable(&dir.0)
+        .config(cfg)
+        .open_tree()
+        .unwrap();
     // verify() distinguishes leaked from reclaimed: it hard-errors if any
     // allocated page is unreachable from the root.
     recovered.verify().unwrap();
@@ -354,7 +366,10 @@ fn torn_wal_tail_truncates_to_a_clean_prefix() {
         file.set_len(len - cut_bytes.min(len)).unwrap();
         drop(file);
 
-        let recovered = TsbTree::open_durable(&dir.0, cfg.clone()).unwrap();
+        let recovered = tsb_core::TsbOptions::durable(&dir.0)
+            .config(cfg.clone())
+            .open_tree()
+            .unwrap();
         // The tear may have eaten the last commit(s): the recovered cut can
         // be below the last attempted ts, but consistency must hold.
         assert_recovered_matches_durable_prefix(&recovered, &log, true);
@@ -387,7 +402,10 @@ fn wal_before_page_holds_under_heavy_cache_and_pool_pressure() {
         "the tiny cache must have forced overflow write-backs"
     );
     drop(tree);
-    let recovered = TsbTree::open_durable(&dir.0, cfg).unwrap();
+    let recovered = tsb_core::TsbOptions::durable(&dir.0)
+        .config(cfg)
+        .open_tree()
+        .unwrap();
     assert_recovered_matches_durable_prefix(&recovered, &log, false);
 }
 
@@ -404,7 +422,10 @@ fn uncommitted_transactions_die_with_the_crash() {
         .unwrap();
     drop(tree); // crash with the transaction open
 
-    let tree = TsbTree::open_durable(&dir.0, cfg).unwrap();
+    let tree = tsb_core::TsbOptions::durable(&dir.0)
+        .config(cfg)
+        .open_tree()
+        .unwrap();
     tree.verify().unwrap();
     assert_eq!(
         tree.get_current(&Key::from_u64(1)).unwrap().unwrap(),
@@ -428,7 +449,10 @@ fn committed_transactions_survive_whole_or_not_at_all() {
     let ts = tree.commit_txn(txn).unwrap();
     drop(tree);
 
-    let tree = TsbTree::open_durable(&dir.0, cfg).unwrap();
+    let tree = tsb_core::TsbOptions::durable(&dir.0)
+        .config(cfg)
+        .open_tree()
+        .unwrap();
     for k in 0..6u64 {
         let v = tree
             .get_version_as_of(&Key::from_u64(k), ts)
@@ -465,7 +489,10 @@ fn concurrent_engine_recovers_after_concurrent_traffic() {
     let cfg = crash_cfg();
     let dir = TempDir::new("concurrent");
     {
-        let db = ConcurrentTsb::open_durable(&dir.0, cfg.clone()).unwrap();
+        let db = tsb_core::TsbOptions::durable(&dir.0)
+            .config(cfg.clone())
+            .open_concurrent()
+            .unwrap();
         assert!(db.is_durable());
         std::thread::scope(|s| {
             {
@@ -489,7 +516,10 @@ fn concurrent_engine_recovers_after_concurrent_traffic() {
         db.verify().unwrap();
         // Crash without checkpoint: drop every cache.
     }
-    let db = ConcurrentTsb::open_durable(&dir.0, cfg).unwrap();
+    let db = tsb_core::TsbOptions::durable(&dir.0)
+        .config(cfg)
+        .open_concurrent()
+        .unwrap();
     db.verify().unwrap();
     let cut = db.last_durable_commit().unwrap();
     assert_eq!(cut.value(), 400, "every commit was WAL-fenced");
@@ -549,7 +579,10 @@ fn drive_committer_crash(
 /// engine acknowledged before the crash is present value-exact after
 /// recovery, at or below the recovered durable cut.
 fn assert_no_acknowledged_loss(dir: &TempDir, cfg: &TsbConfig, acked: &[(u64, Timestamp)]) {
-    let recovered = ConcurrentTsb::open_durable(&dir.0, cfg.clone()).unwrap();
+    let recovered = tsb_core::TsbOptions::durable(&dir.0)
+        .config(cfg.clone())
+        .open_concurrent()
+        .unwrap();
     recovered.verify().unwrap();
     let cut = recovered.last_durable_commit().unwrap();
     for (key, ts) in acked {
@@ -630,7 +663,10 @@ fn torn_tail_mid_delta_run_recovers_the_logged_prefix() {
         file.set_len(len - cut_bytes.min(len)).unwrap();
         drop(file);
 
-        let recovered = TsbTree::open_durable(&dir.0, cfg.clone()).unwrap();
+        let recovered = tsb_core::TsbOptions::durable(&dir.0)
+            .config(cfg.clone())
+            .open_tree()
+            .unwrap();
         assert_recovered_matches_durable_prefix(&recovered, &log, true);
     }
 }
@@ -720,7 +756,7 @@ proptest! {
         }
         assert_no_acknowledged_loss(&dir, &cfg, &acked);
         let first_cut = {
-            let db = ConcurrentTsb::open_durable(&dir.0, cfg.clone()).unwrap();
+            let db = tsb_core::TsbOptions::durable(&dir.0).config(cfg.clone()).open_concurrent().unwrap();
             db.last_durable_commit().unwrap()
         };
         if !crashed {
@@ -728,7 +764,7 @@ proptest! {
             prop_assert_eq!(first_cut, newest_ack);
         }
         // Recovery is exact: recovering the recovered state moves nothing.
-        let db = ConcurrentTsb::open_durable(&dir.0, cfg).unwrap();
+        let db = tsb_core::TsbOptions::durable(&dir.0).config(cfg).open_concurrent().unwrap();
         prop_assert_eq!(db.last_durable_commit(), Some(first_cut));
     }
 }
@@ -799,7 +835,7 @@ proptest! {
         }
         let crashed = injector.tripped();
         drop(tree);
-        let recovered = TsbTree::open_durable(&dir.0, cfg).unwrap();
+        let recovered = tsb_core::TsbOptions::durable(&dir.0).config(cfg).open_tree().unwrap();
         assert_recovered_matches_durable_prefix(&recovered, &log, crashed);
     }
 }
@@ -843,7 +879,7 @@ proptest! {
                 attempted = i + 1;
             }
             drop(tree); // crash: caches gone, only the WAL speaks
-            recovered.push(TsbTree::open_durable(&dir.0, cfg).unwrap());
+            recovered.push(tsb_core::TsbOptions::durable(&dir.0).config(cfg).open_tree().unwrap());
             dirs.push(dir);
         }
         let (hybrid, images) = (&recovered[0], &recovered[1]);

@@ -11,7 +11,6 @@ use std::path::PathBuf;
 
 use tsb_client::TsbClient;
 use tsb_common::{FsyncPolicy, Key, KeyBound, KeyRange, TimeRange, TsbConfig};
-use tsb_core::ConcurrentTsb;
 use tsb_server::TsbServer;
 use tsb_workload::Oracle;
 
@@ -46,7 +45,10 @@ fn served_engine(dir: &std::path::Path, policy: FsyncPolicy) -> TsbServer {
         fsync_policy: policy,
         ..TsbConfig::small_pages()
     };
-    let db = ConcurrentTsb::open_durable(dir, cfg).expect("open durable");
+    let db = tsb_core::TsbOptions::durable(dir)
+        .config(cfg)
+        .open_concurrent()
+        .expect("open durable");
     TsbServer::start(db, "127.0.0.1:0").expect("start server")
 }
 
@@ -264,7 +266,10 @@ fn clean_shutdown_persists_every_acknowledged_write() {
         fsync_policy: FsyncPolicy::Always,
         ..TsbConfig::small_pages()
     };
-    let reopened = ConcurrentTsb::open_durable(dir.path(), cfg).expect("reopen");
+    let reopened = tsb_core::TsbOptions::durable(dir.path())
+        .config(cfg)
+        .open_concurrent()
+        .expect("reopen");
     for (k, value) in acked {
         assert_eq!(
             reopened.get_current(&Key::from_u64(k)).expect("get"),

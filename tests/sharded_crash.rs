@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use tsb_common::{FsyncPolicy, Key, SplitPolicyKind, Timestamp, TsbConfig};
 use tsb_core::sharded::shard_of;
-use tsb_core::{CrashPoint, FaultInjector, ShardedTsb};
+use tsb_core::{CrashPoint, FaultInjector};
 
 struct TempDir(PathBuf);
 
@@ -98,7 +98,11 @@ enum Expect {
 fn run_two_pc_crash(tag: &str, point: CrashPoint, skip: u64, expect: Expect) {
     let cfg = crash_cfg();
     let dir = TempDir::new(tag);
-    let db = ShardedTsb::open_durable(&dir.0, SHARDS, cfg.clone()).unwrap();
+    let db = tsb_core::TsbOptions::durable(&dir.0)
+        .config(cfg.clone())
+        .shards(SHARDS)
+        .open()
+        .unwrap();
 
     // Baseline: acknowledged single-key writes on every shard, committed
     // before the injector exists. They must survive any later crash.
@@ -152,7 +156,11 @@ fn run_two_pc_crash(tag: &str, point: CrashPoint, skip: u64, expect: Expect) {
     drop(db); // power cut: caches and transaction tables are gone
 
     for generation in 0..2 {
-        let db = ShardedTsb::open_durable(&dir.0, SHARDS, cfg.clone()).unwrap();
+        let db = tsb_core::TsbOptions::durable(&dir.0)
+            .config(cfg.clone())
+            .shards(SHARDS)
+            .open()
+            .unwrap();
         db.verify().unwrap();
 
         // Zero acknowledged loss: the baseline and every acked transaction.
@@ -319,7 +327,11 @@ fn per_shard_crash_points_lose_no_acknowledged_writes() {
         for skip in [0u64, 7, 40] {
             let cfg = crash_cfg();
             let dir = TempDir::new(&format!("pt-{point:?}-{skip}"));
-            let db = ShardedTsb::open_durable(&dir.0, SHARDS, cfg.clone()).unwrap();
+            let db = tsb_core::TsbOptions::durable(&dir.0)
+                .config(cfg.clone())
+                .shards(SHARDS)
+                .open()
+                .unwrap();
             let injector = Arc::new(FaultInjector::new());
             db.set_fault_injector(Arc::clone(&injector));
             injector.crash_at(point, skip);
@@ -339,7 +351,11 @@ fn per_shard_crash_points_lose_no_acknowledged_writes() {
             }
             drop(db);
 
-            let recovered = ShardedTsb::open_durable(&dir.0, SHARDS, cfg).unwrap();
+            let recovered = tsb_core::TsbOptions::durable(&dir.0)
+                .config(cfg)
+                .shards(SHARDS)
+                .open()
+                .unwrap();
             recovered.verify().unwrap();
             for (k, value) in &acked {
                 assert_eq!(
@@ -360,7 +376,11 @@ fn committed_cross_shard_transactions_survive_reopen_whole() {
     let dir = TempDir::new("clean");
     let mut committed = Vec::new();
     {
-        let db = ShardedTsb::open_durable(&dir.0, SHARDS, cfg.clone()).unwrap();
+        let db = tsb_core::TsbOptions::durable(&dir.0)
+            .config(cfg.clone())
+            .shards(SHARDS)
+            .open()
+            .unwrap();
         for round in 0..6u64 {
             let keys = straddling_keys(round);
             let txn = db.begin_txn();
@@ -373,7 +393,11 @@ fn committed_cross_shard_transactions_survive_reopen_whole() {
         }
         // No checkpoint, no clean shutdown: only the WALs speak.
     }
-    let db = ShardedTsb::open_durable(&dir.0, SHARDS, cfg).unwrap();
+    let db = tsb_core::TsbOptions::durable(&dir.0)
+        .config(cfg)
+        .shards(SHARDS)
+        .open()
+        .unwrap();
     db.verify().unwrap();
     for (keys, ts, round) in &committed {
         for k in keys {

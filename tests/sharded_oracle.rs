@@ -144,14 +144,14 @@ proptest! {
         let cfg = TsbConfig::small_pages();
         let mut routes = Vec::new();
         {
-            let db = ShardedTsb::open_durable(&dir, shards, cfg.clone()).unwrap();
+            let db = tsb_core::TsbOptions::durable(&dir).config(cfg.clone()).shards(shards).open().unwrap();
             for i in 0..64u64 {
                 let key = Key::from_u64(seed.wrapping_add(i));
                 db.insert(key.clone(), vec![i as u8]).unwrap();
                 routes.push((key.clone(), db.shard_of(&key), vec![i as u8]));
             }
         }
-        let db = ShardedTsb::open_durable(&dir, shards, cfg).unwrap();
+        let db = tsb_core::TsbOptions::durable(&dir).config(cfg).shards(shards).open().unwrap();
         for (key, shard, value) in &routes {
             prop_assert_eq!(db.shard_of(key), *shard, "partition moved across reopen");
             // The value is found — which it could not be if the key were
@@ -160,7 +160,7 @@ proptest! {
         }
         // A contradictory shard count is rejected, not silently re-partitioned.
         let wrong = if shards == 4 { 2 } else { shards + 1 };
-        prop_assert!(ShardedTsb::open_durable(&dir, wrong, TsbConfig::small_pages()).is_err());
+        prop_assert!(tsb_core::TsbOptions::durable(&dir).config(TsbConfig::small_pages()).shards(wrong).open().is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
@@ -181,8 +181,8 @@ proptest! {
         n in 2usize..5,
     ) {
         let cfg = TsbConfig::small_pages();
-        let sharded = ShardedTsb::new_in_memory(n, cfg.clone()).unwrap();
-        let single = ShardedTsb::new_in_memory(1, cfg).unwrap();
+        let sharded = tsb_core::TsbOptions::in_memory().config(cfg.clone()).shards(n).open().unwrap();
+        let single = tsb_core::TsbOptions::in_memory().config(cfg).shards(1).open().unwrap();
         let mut oracle = Oracle::new();
         let mut shadow = Oracle::new();
 
@@ -249,7 +249,11 @@ proptest! {
 /// different shards (interleaved routing is the common case, not the edge).
 #[test]
 fn merged_scans_interleave_shards_in_key_order() {
-    let db = ShardedTsb::new_in_memory(4, TsbConfig::small_pages()).unwrap();
+    let db = tsb_core::TsbOptions::in_memory()
+        .config(TsbConfig::small_pages())
+        .shards(4)
+        .open()
+        .unwrap();
     for i in 0..200u64 {
         db.insert(Key::from_u64(i), vec![i as u8]).unwrap();
     }
@@ -269,7 +273,11 @@ fn merged_scans_interleave_shards_in_key_order() {
 /// shard, and one committed before is visible on every shard.
 #[test]
 fn pinned_fence_is_atomic_with_respect_to_cross_shard_commits() {
-    let db = ShardedTsb::new_in_memory(4, TsbConfig::small_pages()).unwrap();
+    let db = tsb_core::TsbOptions::in_memory()
+        .config(TsbConfig::small_pages())
+        .shards(4)
+        .open()
+        .unwrap();
     let before = db.begin_txn();
     for i in 0..32u64 {
         db.txn_insert(before, Key::from_u64(i), b"before".to_vec())

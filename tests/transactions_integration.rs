@@ -6,7 +6,10 @@ use tsb_core::TsbTree;
 use tsb_workload::Oracle;
 
 fn tree(policy: SplitPolicyKind) -> TsbTree {
-    TsbTree::new_in_memory(TsbConfig::small_pages().with_split_policy(policy)).unwrap()
+    tsb_core::TsbOptions::in_memory()
+        .config(TsbConfig::small_pages().with_split_policy(policy))
+        .open_tree()
+        .unwrap()
 }
 
 #[test]
