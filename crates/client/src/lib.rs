@@ -16,18 +16,75 @@
 //! Replies that arrive while waiting for a specific id are parked and
 //! handed out later; nothing is dropped. The wire format is re-exported
 //! as [`protocol`].
+//!
+//! ## Timeouts, deadlines, and failover
+//!
+//! Connections are guarded by default socket timeouts (connect 5 s,
+//! read/write 30 s — see [`ClientOptions`]), so a dead or wedged server
+//! surfaces as an error instead of a hang. An optional per-operation
+//! deadline ([`ClientOptions::op_timeout`]) bounds each closed-loop verb
+//! end to end, failing it with [`TsbError::DeadlineExceeded`].
+//!
+//! [`FailoverClient`] layers a retry loop over a list of candidate
+//! endpoints: idempotent reads rotate across the replica set, writes
+//! follow the primary (re-discovering it by `role` epoch after a
+//! promotion), and transient failures — connection errors, server
+//! overload shedding, a demoted primary's `read-only` — back off with
+//! deterministic jitter ([`RetryPolicy`]) before the next attempt.
 
 #![warn(missing_docs)]
 
 use std::collections::BTreeMap;
-use std::io::{Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use tsb_common::{Key, KeyRange, TimeRange, Timestamp, TsbError, TsbResult, TxnId, Version};
 
 pub use tsb_server::protocol;
 
+mod failover;
+mod retry;
+
+pub use failover::FailoverClient;
+pub use retry::{Deadline, RetryPolicy};
+
 use protocol::{FrameDecoder, Reply, Request};
+
+/// Connection and resilience knobs for [`TsbClient::connect_with`] and
+/// [`FailoverClient`].
+#[derive(Clone, Debug)]
+pub struct ClientOptions {
+    /// TCP connect timeout (per resolved address). Default 5 s.
+    pub connect_timeout: Duration,
+    /// Socket read timeout: the longest a blocking receive may sit
+    /// without a byte from the server before erroring. Default 30 s;
+    /// `None` waits forever.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout. Default 30 s; `None` waits forever.
+    pub write_timeout: Option<Duration>,
+    /// End-to-end budget for each closed-loop verb (send + wait for the
+    /// reply). `None` (the default) bounds operations only by the socket
+    /// timeouts above. When it expires the verb fails with
+    /// [`TsbError::DeadlineExceeded`]; the reply, if it later arrives, is
+    /// parked like any other.
+    pub op_timeout: Option<Duration>,
+    /// Retry schedule used by [`FailoverClient`] (plain [`TsbClient`]s
+    /// never retry on their own).
+    pub retry: RetryPolicy,
+}
+
+impl Default for ClientOptions {
+    fn default() -> ClientOptions {
+        ClientOptions {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            op_timeout: None,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
 
 /// Where a client's read verbs are served.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -49,6 +106,20 @@ pub struct ServerRole {
     pub primary: bool,
     /// The primary's shard count (1 for replicas).
     pub shards: u32,
+    /// The server's promotion epoch. Starts at 1 for a never-promoted
+    /// lineage and is bumped (durably, before the first write is
+    /// accepted) every time a replica is promoted; after a failover the
+    /// true primary is the one presenting the highest epoch.
+    pub epoch: u64,
+    /// The newest durable position in the server's log (0 for in-memory
+    /// or sharded servers; a replica reports its applied fence LSN). The
+    /// no-loss promotion drill: quiesce writers, read this off the
+    /// primary, and promote only once the replica's
+    /// [`ReplicaStatusReport::applied_lsn`] has reached it. The replica's
+    /// own lag counters are relative to the primary watermark it *last
+    /// polled*, so they can momentarily read zero while newer durable
+    /// records exist that never shipped.
+    pub durable_lsn: u64,
 }
 
 /// A replica's answer to the `replica_status` verb.
@@ -58,12 +129,32 @@ pub struct ReplicaStatusReport {
     pub serving: bool,
     /// Highest primary LSN applied and locally durable.
     pub applied_lsn: u64,
+    /// Highest primary LSN received into the replica's local log (it may
+    /// still be ahead of `applied_lsn` while an apply is in flight).
+    pub received_lsn: u64,
     /// The primary's durable watermark as of the last shipped batch.
     pub source_durable_lsn: u64,
-    /// Records between the two (the replication lag, in log records).
+    /// Records between the primary's durable watermark and what this
+    /// replica has **applied** (the end-to-end replication lag).
     pub lag_records: u64,
+    /// Records between the primary's durable watermark and what this
+    /// replica has **received** (the shipping lag; `lag_records -
+    /// ship_lag_records` of it is merely waiting to be applied locally).
+    /// When choosing a promotion candidate, pick the replica with the
+    /// smallest shipping lag — received-but-unapplied records are
+    /// recovered during promotion, records never shipped are gone.
+    pub ship_lag_records: u64,
     /// Milliseconds since replication last made progress.
     pub lag_ms: u64,
+}
+
+impl ReplicaStatusReport {
+    /// Records received but not yet applied locally (`received_lsn -
+    /// applied_lsn`). High values mean the replica is apply-bound rather
+    /// than network-bound.
+    pub fn apply_lag_records(&self) -> u64 {
+        self.received_lsn.saturating_sub(self.applied_lsn)
+    }
 }
 
 /// One connection to a `tsb-server`.
@@ -78,24 +169,63 @@ pub struct TsbClient {
     parked: BTreeMap<u64, Reply>,
     next_id: u64,
     read_buf: Vec<u8>,
+    opts: ClientOptions,
+    /// The read timeout currently programmed on the socket, to avoid a
+    /// setsockopt per read on the (common) deadline-free path.
+    socket_read_timeout: Option<Duration>,
     /// Second connection serving reads under
     /// [`ReadPreference::Replica`]; `None` routes everything here.
     replica: Option<Box<TsbClient>>,
 }
 
 impl TsbClient {
-    /// Connects to a server.
+    /// Connects to a server with [`ClientOptions::default`] (connect
+    /// timeout 5 s, read/write timeouts 30 s).
     pub fn connect(addr: impl ToSocketAddrs) -> TsbResult<TsbClient> {
-        let stream = TcpStream::connect(addr)?;
+        TsbClient::connect_with(addr, &ClientOptions::default())
+    }
+
+    /// Connects to a server with explicit options. Each resolved address
+    /// is tried in turn under `opts.connect_timeout`; the last error is
+    /// returned if none accepts.
+    pub fn connect_with(addr: impl ToSocketAddrs, opts: &ClientOptions) -> TsbResult<TsbClient> {
+        let mut last_err = None;
+        let mut stream = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, opts.connect_timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let stream = match stream {
+            Some(s) => s,
+            None => {
+                return Err(TsbError::Io(last_err.unwrap_or_else(|| {
+                    std::io::Error::new(ErrorKind::InvalidInput, "address resolved to nothing")
+                })))
+            }
+        };
         let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(opts.read_timeout)?;
+        stream.set_write_timeout(opts.write_timeout)?;
         Ok(TsbClient {
             stream,
             decoder: FrameDecoder::new(),
             parked: BTreeMap::new(),
             next_id: 1,
             read_buf: vec![0u8; 64 * 1024],
+            socket_read_timeout: opts.read_timeout,
+            opts: opts.clone(),
             replica: None,
         })
+    }
+
+    /// The remote address this client is connected to.
+    pub fn peer_addr(&self) -> TsbResult<SocketAddr> {
+        Ok(self.stream.peer_addr()?)
     }
 
     /// Chooses where read verbs ([`Self::get`], [`Self::get_as_of`],
@@ -106,7 +236,8 @@ impl TsbClient {
         match pref {
             ReadPreference::Primary => self.replica = None,
             ReadPreference::Replica(addr) => {
-                self.replica = Some(Box::new(TsbClient::connect(addr.as_str())?));
+                let opts = self.opts.clone();
+                self.replica = Some(Box::new(TsbClient::connect_with(addr.as_str(), &opts)?));
             }
         }
         Ok(())
@@ -131,17 +262,28 @@ impl TsbClient {
             let reply = self.parked.remove(&id).unwrap();
             return Ok((id, reply));
         }
-        self.read_one()
+        self.read_one(None)
     }
 
     /// Blocks until the reply for `id` arrives, parking any replies to
     /// other in-flight requests.
     pub fn wait_for(&mut self, id: u64) -> TsbResult<Reply> {
+        self.wait_for_by(id, None)
+    }
+
+    /// [`Self::wait_for`] bounded by a deadline: fails with
+    /// [`TsbError::DeadlineExceeded`] once it passes, leaving the request
+    /// in flight (its reply parks on arrival).
+    pub fn wait_for_deadline(&mut self, id: u64, deadline: Deadline) -> TsbResult<Reply> {
+        self.wait_for_by(id, Some(deadline))
+    }
+
+    fn wait_for_by(&mut self, id: u64, deadline: Option<Deadline>) -> TsbResult<Reply> {
         if let Some(reply) = self.parked.remove(&id) {
             return Ok(reply);
         }
         loop {
-            let (got, reply) = self.read_one()?;
+            let (got, reply) = self.read_one(deadline)?;
             if got == id {
                 return Ok(reply);
             }
@@ -154,43 +296,108 @@ impl TsbClient {
         self.parked.len()
     }
 
-    fn read_one(&mut self) -> TsbResult<(u64, Reply)> {
+    /// The per-operation deadline implied by the options, started now.
+    fn op_deadline(&self) -> Option<Deadline> {
+        self.opts.op_timeout.map(Deadline::after)
+    }
+
+    fn read_one(&mut self, deadline: Option<Deadline>) -> TsbResult<(u64, Reply)> {
         loop {
             match self.decoder.next_frame()? {
                 Some(body) => {
                     let (id, reply) = protocol::parse_reply(&body)?;
+                    // Id 0 is reserved for connection-level conditions the
+                    // server raises unprompted — e.g. `overloaded` when an
+                    // accept is shed past `--max-conns`. Surface it as this
+                    // operation's error instead of parking it forever.
+                    if id == 0 {
+                        if let Reply::Error { code, message } = reply {
+                            return Err(remote_error(code, &message));
+                        }
+                    }
                     return Ok((id, reply));
                 }
                 None => {
-                    let n = self.stream.read(&mut self.read_buf)?;
-                    if n == 0 {
-                        return Err(TsbError::Io(std::io::Error::new(
-                            std::io::ErrorKind::UnexpectedEof,
-                            "server closed the connection",
-                        )));
+                    self.arm_read_timeout(deadline.as_ref())?;
+                    match self.stream.read(&mut self.read_buf) {
+                        Ok(0) => {
+                            return Err(TsbError::Io(std::io::Error::new(
+                                ErrorKind::UnexpectedEof,
+                                "server closed the connection",
+                            )))
+                        }
+                        Ok(n) => {
+                            let filled = &self.read_buf[..n];
+                            self.decoder.feed(filled);
+                        }
+                        Err(e)
+                            if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) =>
+                        {
+                            match deadline {
+                                // The clamped deadline slice elapsed:
+                                // either the budget is gone or we loop to
+                                // re-arm the next slice.
+                                Some(d) if d.expired() => {
+                                    return Err(TsbError::DeadlineExceeded(
+                                        "timed out waiting for the server's reply".into(),
+                                    ))
+                                }
+                                Some(_) => continue,
+                                // No deadline: this is the base socket
+                                // read timeout — a wedged server.
+                                None => return Err(TsbError::Io(e)),
+                            }
+                        }
+                        Err(e) => return Err(TsbError::Io(e)),
                     }
-                    let filled = &self.read_buf[..n];
-                    self.decoder.feed(filled);
                 }
             }
         }
+    }
+
+    /// Programs the socket read timeout for the next blocking read: the
+    /// base timeout, clamped to the deadline's remaining budget (never
+    /// zero — a zero socket timeout is rejected by the OS).
+    fn arm_read_timeout(&mut self, deadline: Option<&Deadline>) -> TsbResult<()> {
+        let want = match deadline {
+            None => self.opts.read_timeout,
+            Some(d) => {
+                if d.expired() {
+                    return Err(TsbError::DeadlineExceeded(
+                        "deadline expired before the server replied".into(),
+                    ));
+                }
+                let remaining = d.remaining().max(Duration::from_millis(1));
+                Some(match self.opts.read_timeout {
+                    Some(base) => base.min(remaining),
+                    None => remaining,
+                })
+            }
+        };
+        if want != self.socket_read_timeout {
+            self.stream.set_read_timeout(want)?;
+            self.socket_read_timeout = want;
+        }
+        Ok(())
     }
 
     // ----- closed-loop conveniences --------------------------------------
 
     /// Durable insert; returns the commit timestamp once acknowledged.
     pub fn put(&mut self, key: impl Into<Key>, value: Vec<u8>) -> TsbResult<Timestamp> {
+        let deadline = self.op_deadline();
         let id = self.send(&Request::Put {
             key: key.into(),
             value,
         })?;
-        committed(self.wait_for(id)?)
+        committed(self.wait_for_by(id, deadline)?)
     }
 
     /// Durable delete; returns the tombstone's commit timestamp.
     pub fn delete(&mut self, key: impl Into<Key>) -> TsbResult<Timestamp> {
+        let deadline = self.op_deadline();
         let id = self.send(&Request::Delete { key: key.into() })?;
-        committed(self.wait_for(id)?)
+        committed(self.wait_for_by(id, deadline)?)
     }
 
     /// Current-state point read (served per the read preference).
@@ -198,8 +405,9 @@ impl TsbClient {
         if let Some(replica) = self.replica.as_mut() {
             return replica.get(key);
         }
+        let deadline = self.op_deadline();
         let id = self.send(&Request::Get { key: key.into() })?;
-        value(self.wait_for(id)?)
+        value(self.wait_for_by(id, deadline)?)
     }
 
     /// As-of point read (served per the read preference).
@@ -211,11 +419,12 @@ impl TsbClient {
         if let Some(replica) = self.replica.as_mut() {
             return replica.get_as_of(key, as_of);
         }
+        let deadline = self.op_deadline();
         let id = self.send(&Request::GetAsOf {
             key: key.into(),
             as_of,
         })?;
-        value(self.wait_for(id)?)
+        value(self.wait_for_by(id, deadline)?)
     }
 
     /// Range scan; `as_of: None` reads the current database (served per
@@ -228,8 +437,9 @@ impl TsbClient {
         if let Some(replica) = self.replica.as_mut() {
             return replica.range(range, as_of);
         }
+        let deadline = self.op_deadline();
         let id = self.send(&Request::Range { range, as_of })?;
-        match self.wait_for(id)? {
+        match self.wait_for_by(id, deadline)? {
             Reply::Rows { rows } => Ok(rows),
             other => unexpected("Rows", other),
         }
@@ -241,11 +451,12 @@ impl TsbClient {
         if let Some(replica) = self.replica.as_mut() {
             return replica.history(key, window);
         }
+        let deadline = self.op_deadline();
         let id = self.send(&Request::History {
             key: key.into(),
             window,
         })?;
-        match self.wait_for(id)? {
+        match self.wait_for_by(id, deadline)? {
             Reply::Versions { versions } => Ok(versions),
             other => unexpected("Versions", other),
         }
@@ -253,8 +464,9 @@ impl TsbClient {
 
     /// Begins a multi-key transaction on this connection.
     pub fn txn_begin(&mut self) -> TsbResult<TxnId> {
+        let deadline = self.op_deadline();
         let id = self.send(&Request::TxnBegin)?;
-        match self.wait_for(id)? {
+        match self.wait_for_by(id, deadline)? {
             Reply::Txn { txn } => Ok(txn),
             other => unexpected("Txn", other),
         }
@@ -267,31 +479,46 @@ impl TsbClient {
         key: impl Into<Key>,
         value: Option<Vec<u8>>,
     ) -> TsbResult<()> {
+        let deadline = self.op_deadline();
         let id = self.send(&Request::TxnWrite {
             txn,
             key: key.into(),
             value,
         })?;
-        unit(self.wait_for(id)?)
+        unit(self.wait_for_by(id, deadline)?)
     }
 
     /// Commits `txn`; returns its commit timestamp once durable.
     pub fn txn_commit(&mut self, txn: TxnId) -> TsbResult<Timestamp> {
+        let deadline = self.op_deadline();
         let id = self.send(&Request::TxnCommit { txn })?;
-        committed(self.wait_for(id)?)
+        committed(self.wait_for_by(id, deadline)?)
     }
 
     /// Aborts `txn`.
     pub fn txn_abort(&mut self, txn: TxnId) -> TsbResult<()> {
+        let deadline = self.op_deadline();
         let id = self.send(&Request::TxnAbort { txn })?;
-        unit(self.wait_for(id)?)
+        unit(self.wait_for_by(id, deadline)?)
     }
 
-    /// Asks the connected server whether it is a primary or a replica.
+    /// Asks the connected server whether it is a primary or a replica,
+    /// and at which promotion epoch.
     pub fn role(&mut self) -> TsbResult<ServerRole> {
+        let deadline = self.op_deadline();
         let id = self.send(&Request::Role)?;
-        match self.wait_for(id)? {
-            Reply::RoleInfo { primary, shards } => Ok(ServerRole { primary, shards }),
+        match self.wait_for_by(id, deadline)? {
+            Reply::RoleInfo {
+                primary,
+                shards,
+                epoch,
+                durable_lsn,
+            } => Ok(ServerRole {
+                primary,
+                shards,
+                epoch,
+                durable_lsn,
+            }),
             other => unexpected("RoleInfo", other),
         }
     }
@@ -299,29 +526,52 @@ impl TsbClient {
     /// Replication progress of the connected replica (errors on a
     /// primary).
     pub fn replica_status(&mut self) -> TsbResult<ReplicaStatusReport> {
+        let deadline = self.op_deadline();
         let id = self.send(&Request::ReplicaStatus)?;
-        match self.wait_for(id)? {
+        match self.wait_for_by(id, deadline)? {
             Reply::ReplicaStatusInfo {
                 serving,
                 applied_lsn,
+                received_lsn,
                 source_durable_lsn,
                 lag_records,
+                ship_lag_records,
                 lag_ms,
             } => Ok(ReplicaStatusReport {
                 serving,
                 applied_lsn,
+                received_lsn,
                 source_durable_lsn,
                 lag_records,
+                ship_lag_records,
                 lag_ms,
             }),
             other => unexpected("ReplicaStatusInfo", other),
         }
     }
 
+    /// Promotes the connected **replica** to primary and returns its new
+    /// promotion epoch. The replica stops replicating, recovers its local
+    /// copy of the log through ordinary primary recovery (acknowledged
+    /// writes survive; a partially shipped tail that was never
+    /// acknowledged anywhere is discarded), durably bumps its epoch, and
+    /// starts accepting writes. Idempotent: promoting a primary returns
+    /// its current epoch. The old primary, if it ever comes back, is
+    /// fenced off — its stale epoch is rejected on `subscribe`.
+    pub fn promote(&mut self) -> TsbResult<u64> {
+        let deadline = self.op_deadline();
+        let id = self.send(&Request::Promote)?;
+        match self.wait_for_by(id, deadline)? {
+            Reply::Promoted { epoch } => Ok(epoch),
+            other => unexpected("Promoted", other),
+        }
+    }
+
     /// Liveness probe; returns the server's install fence.
     pub fn ping(&mut self) -> TsbResult<Timestamp> {
+        let deadline = self.op_deadline();
         let id = self.send(&Request::Ping)?;
-        match self.wait_for(id)? {
+        match self.wait_for_by(id, deadline)? {
             Reply::Pong { last_installed } => Ok(last_installed),
             other => unexpected("Pong", other),
         }
@@ -330,18 +580,60 @@ impl TsbClient {
     /// Asks the server to shut down cleanly (acknowledged before it
     /// stops).
     pub fn shutdown_server(&mut self) -> TsbResult<()> {
+        let deadline = self.op_deadline();
         let id = self.send(&Request::Shutdown)?;
-        unit(self.wait_for(id)?)
+        unit(self.wait_for_by(id, deadline)?)
     }
 }
 
-/// Converts a remote error reply into a [`TsbError`], preserving the wire
-/// code's class name in the message.
+/// Converts a remote error reply into a [`TsbError`]. Codes with a
+/// faithful local variant round-trip to it (`read-only`, `stale-epoch`
+/// loses its numbers, `overloaded`, `deadline-exceeded`), so callers can
+/// classify retryable failures by matching the variant; everything else
+/// becomes an [`TsbError::Internal`] tagged with the wire code's class
+/// name.
 pub fn remote_error(code: u8, message: &str) -> TsbError {
-    TsbError::internal(format!(
-        "remote error [{}]: {message}",
-        TsbError::wire_code_name(code)
-    ))
+    match code {
+        protocol::CODE_READ_ONLY => TsbError::ReadOnly,
+        protocol::CODE_OVERLOADED => TsbError::Overloaded(format!("remote: {message}")),
+        protocol::CODE_DEADLINE_EXCEEDED => {
+            TsbError::DeadlineExceeded(format!("remote: {message}"))
+        }
+        // 20..=22: the server could not parse *our* byte stream (torn or
+        // duplicated bytes between us and it). The connection is
+        // desynchronized beyond repair — classify like a locally detected
+        // torn frame so the failover layer reconnects instead of giving
+        // up on a healthy server.
+        20..=22 => TsbError::Corruption(format!(
+            "protocol: peer rejected our frame stream [{}]: {message}",
+            TsbError::wire_code_name(code)
+        )),
+        _ => TsbError::internal(format!(
+            "remote error [{}]: {message}",
+            TsbError::wire_code_name(code)
+        )),
+    }
+}
+
+/// Whether `e` means the connection itself is unusable (as opposed to a
+/// healthy server answering with an application error).
+pub(crate) fn connection_broken(e: &TsbError) -> bool {
+    match e {
+        TsbError::Io(io) => matches!(
+            io.kind(),
+            ErrorKind::UnexpectedEof
+                | ErrorKind::ConnectionReset
+                | ErrorKind::ConnectionAborted
+                | ErrorKind::ConnectionRefused
+                | ErrorKind::BrokenPipe
+                | ErrorKind::NotConnected
+                | ErrorKind::WouldBlock
+                | ErrorKind::TimedOut
+        ),
+        // A torn frame means the stream is desynchronized beyond repair.
+        TsbError::Corruption(msg) => msg.starts_with("protocol"),
+        _ => false,
+    }
 }
 
 fn committed(reply: Reply) -> TsbResult<Timestamp> {

@@ -1,0 +1,159 @@
+//! Retry and deadline arithmetic for the resilient client paths.
+//!
+//! Everything here is deliberately pure (no clocks, no RNG state): the
+//! backoff schedule is a function of `(policy, attempt, salt)` and the
+//! deadline type owns the only [`Instant`] it ever compares against. That
+//! keeps the arithmetic property-testable — see `tests/retry_props.rs` —
+//! and makes chaos runs reproducible when the harness fixes the salt.
+
+use std::time::{Duration, Instant};
+
+/// How [`crate::FailoverClient`] retries a failed operation.
+///
+/// Attempt `n` (0-based) sleeps a jittered exponential backoff:
+/// `cap = min(base_backoff << n, max_backoff)`, then a duration drawn
+/// deterministically from `[cap/2, cap]` (decorrelated half-jitter — the
+/// floor keeps retry storms from collapsing to zero sleep, the jitter
+/// spreads reconnecting clients so they do not stampede a recovering
+/// server in lockstep).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying). An
+    /// operation is tried at most `max_retries + 1` times.
+    pub max_retries: u32,
+    /// Backoff before the first retry (the exponential's base).
+    pub base_backoff: Duration,
+    /// Ceiling the exponential saturates at.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 5,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The un-jittered exponential cap for `attempt`: monotone
+    /// non-decreasing in `attempt`, never above `max_backoff`, and safe
+    /// at every input (the shift and multiply both saturate, so
+    /// `base_backoff = Duration::MAX` cannot overflow).
+    pub fn cap_for(&self, attempt: u32) -> Duration {
+        let factor = 1u64.checked_shl(attempt.min(63)).unwrap_or(u64::MAX);
+        saturating_scale(self.base_backoff, factor).min(self.max_backoff)
+    }
+
+    /// The backoff to sleep before retry number `attempt` (0-based),
+    /// jittered deterministically by `salt`. Always within
+    /// `[cap_for(attempt) / 2, cap_for(attempt)]`.
+    pub fn backoff_for(&self, attempt: u32, salt: u64) -> Duration {
+        let cap = self.cap_for(attempt);
+        let half = cap / 2;
+        // Mix the salt and attempt into a uniform-ish fraction of `half`.
+        let mix = splitmix64(salt ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let jitter = fraction(half, mix % 1024, 1024);
+        half.saturating_add(jitter)
+    }
+}
+
+/// An absolute per-operation deadline.
+///
+/// `Deadline::after(Duration::MAX)` (and any budget too large for the
+/// platform clock) degrades to "never expires" instead of panicking.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    /// `None` means unbounded.
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now. Saturates to unbounded if the
+    /// platform clock cannot represent `now + budget`.
+    pub fn after(budget: Duration) -> Deadline {
+        Deadline {
+            at: Instant::now().checked_add(budget),
+        }
+    }
+
+    /// A deadline that never expires.
+    pub fn unbounded() -> Deadline {
+        Deadline { at: None }
+    }
+
+    /// Time left before expiry (zero once expired, [`Duration::MAX`] when
+    /// unbounded).
+    pub fn remaining(&self) -> Duration {
+        match self.at {
+            None => Duration::MAX,
+            Some(at) => at.saturating_duration_since(Instant::now()),
+        }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.remaining() == Duration::ZERO
+    }
+}
+
+/// `d * factor`, saturating at [`Duration::MAX`].
+fn saturating_scale(d: Duration, factor: u64) -> Duration {
+    duration_from_nanos_saturating(d.as_nanos().saturating_mul(u128::from(factor)))
+}
+
+/// `d * num / den` for `num <= den` (so the result never exceeds `d`).
+fn fraction(d: Duration, num: u64, den: u64) -> Duration {
+    debug_assert!(num <= den && den > 0);
+    duration_from_nanos_saturating(d.as_nanos() * u128::from(num) / u128::from(den))
+}
+
+fn duration_from_nanos_saturating(nanos: u128) -> Duration {
+    const NANOS_PER_SEC: u128 = 1_000_000_000;
+    let secs = nanos / NANOS_PER_SEC;
+    if secs > u128::from(u64::MAX) {
+        return Duration::MAX;
+    }
+    Duration::new(secs as u64, (nanos % NANOS_PER_SEC) as u32)
+}
+
+/// Fast, well-mixed 64-bit finalizer (public-domain SplitMix64 step);
+/// good enough to decorrelate per-client jitter, not a statistical RNG.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_defaults_look_sane() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.cap_for(0), Duration::from_millis(20));
+        assert_eq!(p.cap_for(1), Duration::from_millis(40));
+        // Saturates at the ceiling, including for absurd attempt counts.
+        assert_eq!(p.cap_for(30), Duration::from_secs(2));
+        assert_eq!(p.cap_for(u32::MAX), Duration::from_secs(2));
+        let b = p.backoff_for(3, 42);
+        assert!(b >= p.cap_for(3) / 2 && b <= p.cap_for(3));
+        // Deterministic for a fixed salt.
+        assert_eq!(b, p.backoff_for(3, 42));
+    }
+
+    #[test]
+    fn deadline_extremes_do_not_panic() {
+        let d = Deadline::after(Duration::MAX);
+        assert!(!d.expired());
+        assert!(d.remaining() > Duration::from_secs(3600));
+        let z = Deadline::after(Duration::ZERO);
+        assert!(z.expired());
+        assert_eq!(z.remaining(), Duration::ZERO);
+        assert!(!Deadline::unbounded().expired());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the retry/deadline arithmetic behind
+//! [`tsb_client::FailoverClient`].
+//!
+//! The backoff schedule runs inside every failover and chaos path, so its
+//! arithmetic must hold at *every* input, including the absurd ones
+//! (`Duration::MAX` bases, `u32::MAX` attempts):
+//!
+//! * jittered backoff always lands in `[cap/2, cap]` and never above
+//!   `max_backoff`;
+//! * the un-jittered cap is monotone non-decreasing in the attempt number
+//!   and saturates at the ceiling instead of overflowing;
+//! * the schedule is a pure function of `(policy, attempt, salt)` —
+//!   identical inputs give identical sleeps (reproducible chaos runs);
+//! * deadline construction never panics, even from `Duration::MAX`.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use tsb_client::{Deadline, RetryPolicy};
+
+fn policy() -> impl Strategy<Value = RetryPolicy> {
+    // Millisecond-scale bases and ceilings in any order (the policy must
+    // behave even when base > max), plus occasional extreme values.
+    (
+        0u32..10,
+        prop_oneof![
+            (0u64..10_000).prop_map(Duration::from_millis),
+            Just(Duration::ZERO),
+            Just(Duration::MAX),
+        ],
+        prop_oneof![
+            (0u64..10_000).prop_map(Duration::from_millis),
+            Just(Duration::ZERO),
+            Just(Duration::MAX),
+        ],
+    )
+        .prop_map(|(max_retries, base_backoff, max_backoff)| RetryPolicy {
+            max_retries,
+            base_backoff,
+            max_backoff,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The jittered sleep stays inside `[cap/2, cap]` and under the
+    /// policy ceiling, for any attempt and salt.
+    #[test]
+    fn backoff_stays_within_the_cap(
+        p in policy(),
+        attempt in any::<u32>(),
+        salt in any::<u64>(),
+    ) {
+        let cap = p.cap_for(attempt);
+        let b = p.backoff_for(attempt, salt);
+        prop_assert!(b >= cap / 2, "backoff {b:?} below half the cap {cap:?}");
+        prop_assert!(b <= cap, "backoff {b:?} above the cap {cap:?}");
+        prop_assert!(b <= p.max_backoff, "backoff {b:?} above the ceiling {:?}", p.max_backoff);
+    }
+
+    /// The un-jittered cap never decreases as attempts accumulate, and
+    /// never exceeds the ceiling — including at `u32::MAX` attempts,
+    /// where the doubling must saturate, not overflow.
+    #[test]
+    fn cap_is_monotone_and_saturates(
+        p in policy(),
+        attempt in any::<u32>(),
+    ) {
+        let here = p.cap_for(attempt);
+        let next = p.cap_for(attempt.saturating_add(1));
+        prop_assert!(next >= here, "cap decreased: {here:?} -> {next:?}");
+        prop_assert!(here <= p.max_backoff);
+        prop_assert!(p.cap_for(u32::MAX) <= p.max_backoff);
+    }
+
+    /// The schedule is deterministic in `(attempt, salt)` — a fixed salt
+    /// replays the exact same sleeps, which is what makes chaos runs
+    /// reproducible.
+    #[test]
+    fn backoff_is_deterministic(
+        p in policy(),
+        attempt in any::<u32>(),
+        salt in any::<u64>(),
+    ) {
+        prop_assert_eq!(p.backoff_for(attempt, salt), p.backoff_for(attempt, salt));
+    }
+
+    /// Deadline construction is total: any budget, including
+    /// `Duration::MAX` (which overflows the platform clock and must
+    /// degrade to "never expires"), produces a usable deadline.
+    #[test]
+    fn deadline_construction_never_panics(millis in any::<u64>()) {
+        let d = Deadline::after(Duration::from_millis(millis));
+        // remaining() is bounded by the budget (it only ever counts down).
+        prop_assert!(d.remaining() <= Duration::from_millis(millis).max(Duration::from_millis(1)));
+        let far = Deadline::after(Duration::MAX);
+        prop_assert!(!far.expired());
+        prop_assert!(Deadline::after(Duration::ZERO).expired());
+    }
+}

@@ -76,6 +76,22 @@ pub enum TsbError {
     /// A mutation was attempted against a read-only engine (a replication
     /// replica). Writes must go to the primary.
     ReadOnly,
+    /// A replication subscriber presented a promotion epoch older than the
+    /// primary's. The subscriber is a demoted (or partitioned) former
+    /// primary and must re-bootstrap from the current primary.
+    StaleEpoch {
+        /// Epoch presented by the subscriber.
+        theirs: u64,
+        /// Epoch held by the serving primary.
+        ours: u64,
+    },
+    /// The server is shedding load: the connection limit is reached.
+    /// Recoverable — retry against another endpoint or after backoff.
+    Overloaded(String),
+    /// A client-side per-operation deadline expired before the operation
+    /// completed. The operation may or may not have taken effect on the
+    /// server; idempotent operations are safe to retry.
+    DeadlineExceeded(String),
 }
 
 impl TsbError {
@@ -121,6 +137,12 @@ impl TsbError {
             TsbError::HistoricalNodeImmutable => 13,
             TsbError::Internal(_) => 14,
             TsbError::ReadOnly => 15,
+            TsbError::StaleEpoch { .. } => 16,
+            // 20..=22 are protocol-layer frame errors minted by tsb-server;
+            // overload shedding and deadline expiry sit above them because
+            // they are connection-lifecycle conditions, not engine faults.
+            TsbError::Overloaded(_) => 23,
+            TsbError::DeadlineExceeded(_) => 24,
         }
     }
 
@@ -144,9 +166,12 @@ impl TsbError {
             13 => "historical-node-immutable",
             14 => "internal",
             15 => "read-only",
+            16 => "stale-epoch",
             20 => "protocol-malformed-frame",
             21 => "protocol-oversized-frame",
             22 => "protocol-unknown-verb",
+            23 => "overloaded",
+            24 => "deadline-exceeded",
             _ => "unknown",
         }
     }
@@ -195,6 +220,13 @@ impl fmt::Display for TsbError {
                     "engine is read-only (replica): writes must go to the primary"
                 )
             }
+            TsbError::StaleEpoch { theirs, ours } => write!(
+                f,
+                "stale promotion epoch {theirs}: primary is at epoch {ours}; \
+                 re-bootstrap from the current primary"
+            ),
+            TsbError::Overloaded(msg) => write!(f, "server overloaded: {msg}"),
+            TsbError::DeadlineExceeded(msg) => write!(f, "deadline exceeded: {msg}"),
         }
     }
 }
@@ -270,6 +302,9 @@ mod tests {
             TsbError::HistoricalNodeImmutable,
             TsbError::internal("x"),
             TsbError::ReadOnly,
+            TsbError::StaleEpoch { theirs: 1, ours: 2 },
+            TsbError::Overloaded("x".into()),
+            TsbError::DeadlineExceeded("x".into()),
         ];
         let mut seen = std::collections::BTreeSet::new();
         for e in &errs {

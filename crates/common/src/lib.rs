@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checksum;
 pub mod config;
 pub mod encode;
 pub mod error;

@@ -32,7 +32,7 @@ use std::sync::Arc;
 use tsb_common::{
     Key, KeyRange, TimeRange, Timestamp, TsbConfig, TsbError, TsbResult, TxnId, Version,
 };
-use tsb_storage::IoSnapshot;
+use tsb_storage::{IoSnapshot, Lsn};
 
 use crate::concurrent::ConcurrentTsb;
 use crate::replica::{ReplicaEngine, ReplicaStatus, ReplicationSource};
@@ -128,6 +128,21 @@ pub trait EngineHandle: Send + Sync {
     /// Newest commit known durable (`None` when not durable / nothing
     /// committed yet).
     fn last_durable_commit(&self) -> Option<Timestamp>;
+
+    /// The newest durable position in this engine's log, on the LSN axis
+    /// replication ships. 0 when there is no single durable log to speak
+    /// of (in-memory engines, sharded engines with per-shard logs). On a
+    /// replica: the applied fence LSN — the prefix a promotion right now
+    /// would preserve.
+    ///
+    /// This is the number promotion tooling must compare a replica's
+    /// `applied_lsn` against: the replica's own lag counters are relative
+    /// to the durable watermark it *last polled*, so they can read zero
+    /// while the primary already holds newer durable records that never
+    /// shipped.
+    fn durable_lsn(&self) -> Lsn {
+        0
+    }
 
     // ----- introspection --------------------------------------------------
 
@@ -243,6 +258,13 @@ impl EngineHandle for ConcurrentTsb {
         ConcurrentTsb::last_durable_commit(self)
     }
 
+    fn durable_lsn(&self) -> Lsn {
+        self.tree()
+            .wal_handle()
+            .map(|w| w.durable_lsn())
+            .unwrap_or(0)
+    }
+
     fn verify(&self) -> TsbResult<()> {
         ConcurrentTsb::verify(self)
     }
@@ -343,6 +365,18 @@ impl EngineHandle for ShardedTsb {
 
     fn last_durable_commit(&self) -> Option<Timestamp> {
         ShardedTsb::last_durable_commit(self)
+    }
+
+    fn durable_lsn(&self) -> Lsn {
+        // Each shard numbers its own log, so a cross-shard maximum would
+        // compare unrelated axes. Promotion tooling only ever reads this
+        // off a single-shard primary (the only configuration that can
+        // feed a replica — see `replication_source`); report 0 otherwise.
+        if self.shard_count() == 1 {
+            self.shards()[0].durable_lsn()
+        } else {
+            0
+        }
     }
 
     fn verify(&self) -> TsbResult<()> {
@@ -459,6 +493,10 @@ impl EngineHandle for ReplicaEngine {
         (ts != Timestamp(0)).then_some(ts)
     }
 
+    fn durable_lsn(&self) -> Lsn {
+        self.status().applied_lsn
+    }
+
     fn verify(&self) -> TsbResult<()> {
         ReplicaEngine::verify(self)
     }
@@ -543,6 +581,9 @@ impl<E: EngineHandle + ?Sized> EngineHandle for Arc<E> {
     }
     fn last_durable_commit(&self) -> Option<Timestamp> {
         (**self).last_durable_commit()
+    }
+    fn durable_lsn(&self) -> Lsn {
+        (**self).durable_lsn()
     }
     fn verify(&self) -> TsbResult<()> {
         (**self).verify()

@@ -77,6 +77,7 @@
 mod cache;
 pub mod concurrent;
 pub mod engine;
+pub mod epoch;
 pub mod node;
 pub mod options;
 pub mod replica;

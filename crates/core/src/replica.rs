@@ -137,11 +137,21 @@ pub struct ReplicaStatus {
     pub serving: bool,
     /// LSN of the newest installed fence (0 before the first install).
     pub applied_lsn: Lsn,
+    /// LSN of the newest record in the replica's local log copy — received
+    /// and durable locally, but possibly past the newest installed fence.
+    /// This is the freshness signal promotion tooling compares across
+    /// replicas: promotion recovers to the newest *fence* at or below it.
+    pub received_lsn: Lsn,
     /// The primary's durable watermark as of the newest poll (0 before
     /// the first).
     pub source_durable_lsn: Lsn,
-    /// `source_durable_lsn − applied_lsn`: shipped-but-unapplied records.
+    /// `source_durable_lsn − applied_lsn`: the full applied-vs-durable LSN
+    /// delta (LSNs are densely assigned, so this is also a record count).
     pub lag_records: u64,
+    /// `source_durable_lsn − received_lsn`: records durable on the primary
+    /// that have not reached this replica's local log yet (ship lag). The
+    /// remainder of `lag_records` is received-but-unapplied.
+    pub ship_lag_records: u64,
     /// Milliseconds since the replica last made progress (applied a fence
     /// or confirmed it was caught up); 0 when not lagging.
     pub lag_ms: u64,
@@ -380,8 +390,16 @@ impl ReplicaEngine {
     pub fn status(&self) -> ReplicaStatus {
         let serving = self.is_serving();
         let applied_lsn = self.inner.applied_lsn.load(Ordering::Acquire);
+        let received_lsn = self
+            .inner
+            .apply
+            .lock()
+            .as_ref()
+            .map(|st| st.last_lsn)
+            .unwrap_or(applied_lsn);
         let source_durable_lsn = self.inner.source_durable.load(Ordering::Acquire);
         let lag_records = source_durable_lsn.saturating_sub(applied_lsn);
+        let ship_lag_records = source_durable_lsn.saturating_sub(received_lsn);
         let lag_ms = if lag_records == 0 && serving {
             0
         } else {
@@ -390,10 +408,26 @@ impl ReplicaEngine {
         ReplicaStatus {
             serving,
             applied_lsn,
+            received_lsn,
             source_durable_lsn,
             lag_records,
+            ship_lag_records,
             lag_ms,
         }
+    }
+
+    /// Releases the replica's hold on its directory for promotion: drops
+    /// the serving engine and the apply overlay (discarding staged
+    /// post-fence state — exactly what primary recovery would discard
+    /// anyway). After this the directory can be reopened as a primary with
+    /// [`crate::TsbOptions::open_concurrent`], whose recovery cuts at the
+    /// newest durable commit fence. The replica stops serving; this handle
+    /// is only good for [`Self::reopen`] afterwards.
+    pub fn close(&self) {
+        let mut apply = self.inner.apply.lock();
+        *self.inner.serving.write() = None;
+        *apply = None;
+        self.inner.applied_lsn.store(0, Ordering::Release);
     }
 
     /// Wires `injector` into every device the replica writes, for crash
@@ -567,6 +601,16 @@ impl ReplicaEngine {
         let st = guard.as_mut().ok_or_else(|| {
             TsbError::config("replica is not serving yet (install a base image first)")
         })?;
+        // Publish the primary's watermark *before* applying: a status read
+        // mid-batch may then over-report lag, never under-report it. Even
+        // so, lag zero only means "applied everything the primary had
+        // durable as of this batch" — promotion tooling that must lose
+        // nothing compares `applied_lsn` against the primary's own
+        // `durable_lsn` instead (see `EngineHandle::durable_lsn`).
+        let durable = self.inner.source_durable.load(Ordering::Acquire);
+        self.inner
+            .source_durable
+            .store(durable.max(batch.durable_lsn), Ordering::Release);
         let db = st.db.clone();
         let tree = db.tree();
         let wal = tree
@@ -680,10 +724,6 @@ impl ReplicaEngine {
         self.inner
             .applied_lsn
             .store(st.applied_lsn, Ordering::Release);
-        let durable = self.inner.source_durable.load(Ordering::Acquire);
-        self.inner
-            .source_durable
-            .store(durable.max(batch.durable_lsn), Ordering::Release);
         *self.inner.last_progress.lock() = Instant::now();
         Ok(())
     }

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! tsb-server <data-dir> [--addr HOST:PORT] [--fsync always|os|every:N] \
-//!            [--shards N] [--small-pages] [--replica-of HOST:PORT]
+//!            [--shards N] [--small-pages] [--replica-of HOST:PORT] \
+//!            [--max-conns N] [--idle-timeout SECS]
 //! ```
 //!
 //! `--shards N` partitions the keyspace across N independent engine
@@ -16,7 +17,15 @@
 //! holds a shipped copy of the primary's log, a background thread keeps it
 //! converged (bootstrapping a base image if needed, reconnecting with
 //! backoff on failures), and the listener serves read verbs only — write
-//! verbs get the `read-only` error. Incompatible with `--shards`.
+//! verbs get the `read-only` error. Incompatible with `--shards`. A
+//! replica can be **promoted** in place with the `Promote` verb
+//! (`tsb-client`'s `promote()`): it stops replicating, recovers its local
+//! copy as a primary at a bumped, fsynced promotion epoch, and starts
+//! accepting writes — see `docs/operations.md` for the failover runbook.
+//!
+//! `--max-conns N` sheds connections beyond N with a recoverable
+//! `Overloaded` (code 23) error frame instead of queueing them;
+//! `--idle-timeout SECS` closes connections that go silent for that long.
 //!
 //! On success the first stdout line is
 //! `tsb-server listening on <addr>` (flushed), so harnesses can scrape the
@@ -25,12 +34,11 @@
 //! usage error.
 
 use std::io::Write;
-use std::sync::Arc;
+use std::time::Duration;
 
 use tsb_common::FsyncPolicy;
 use tsb_core::TsbOptions;
-use tsb_server::replica::ReplicaRunner;
-use tsb_server::TsbServer;
+use tsb_server::{ServerOptions, TsbServer};
 
 struct Args {
     data_dir: std::path::PathBuf,
@@ -39,12 +47,15 @@ struct Args {
     shards: usize,
     small_pages: bool,
     replica_of: Option<String>,
+    max_conns: Option<usize>,
+    idle_timeout: Option<Duration>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: tsb-server <data-dir> [--addr HOST:PORT] [--fsync always|os|every:N] \
-         [--shards N] [--small-pages] [--replica-of HOST:PORT]"
+         [--shards N] [--small-pages] [--replica-of HOST:PORT] [--max-conns N] \
+         [--idle-timeout SECS]"
     );
     std::process::exit(2);
 }
@@ -57,6 +68,8 @@ fn parse_args() -> Args {
     let mut shards = 1usize;
     let mut small_pages = false;
     let mut replica_of = None;
+    let mut max_conns = None;
+    let mut idle_timeout = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => match args.next() {
@@ -86,6 +99,14 @@ fn parse_args() -> Args {
                 Some(a) => replica_of = Some(a),
                 None => usage(),
             },
+            "--max-conns" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 1 => max_conns = Some(n),
+                _ => usage(),
+            },
+            "--idle-timeout" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(secs) if secs >= 1 => idle_timeout = Some(Duration::from_secs(secs)),
+                _ => usage(),
+            },
             "--help" | "-h" => usage(),
             other if data_dir.is_none() && !other.starts_with('-') => {
                 data_dir = Some(std::path::PathBuf::from(other));
@@ -101,6 +122,8 @@ fn parse_args() -> Args {
             shards,
             small_pages,
             replica_of,
+            max_conns,
+            idle_timeout,
         },
         None => usage(),
     }
@@ -112,6 +135,11 @@ fn run(args: Args) -> tsb_common::TsbResult<()> {
     if args.small_pages {
         opts = opts.small_pages();
     }
+    let server_opts = ServerOptions {
+        max_conns: args.max_conns,
+        idle_timeout: args.idle_timeout,
+        ..ServerOptions::default()
+    };
 
     if let Some(source) = args.replica_of {
         if args.shards != 1 {
@@ -119,20 +147,25 @@ fn run(args: Args) -> tsb_common::TsbResult<()> {
             std::process::exit(2);
         }
         let replica = opts.open_replica()?;
-        let server = TsbServer::start_engine(Arc::new(replica.clone()), args.addr.as_str())?;
-        let mut runner = ReplicaRunner::start(replica, source);
+        // The server owns the replication runner: the `Promote` verb stops
+        // it and swaps in a primary engine recovered from the same
+        // directory. `wait()`/drop stop it on the way out.
+        let server = TsbServer::start_replica(replica, source, args.addr.as_str(), server_opts)?;
         println!("tsb-server listening on {}", server.local_addr());
         std::io::stdout().flush()?;
         server.wait()?;
-        runner.stop();
         // The parent may have closed our stdout by now; the farewell
         // line is best-effort.
         let _ = writeln!(std::io::stdout(), "tsb-server shut down cleanly");
         return Ok(());
     }
 
+    let server_opts = ServerOptions {
+        epoch: tsb_core::epoch::read_epoch(&args.data_dir)?,
+        ..server_opts
+    };
     let db = opts.shards(args.shards).open()?;
-    let server = TsbServer::start(db, args.addr.as_str())?;
+    let server = TsbServer::start_with(db, args.addr.as_str(), server_opts)?;
     println!("tsb-server listening on {}", server.local_addr());
     std::io::stdout().flush()?;
     server.wait()?;

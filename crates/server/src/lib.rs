@@ -53,16 +53,20 @@ pub mod protocol;
 pub mod replica;
 
 use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use tsb_common::{TsbError, TsbResult, TxnId};
-use tsb_core::{EngineHandle, EngineRole, Lsn, ReplicaBase, ReplicationSource, ShardedTsb};
+use tsb_core::epoch::INITIAL_EPOCH;
+use tsb_core::{
+    EngineHandle, EngineRole, Lsn, ReplicaBase, ReplicaEngine, ReplicationSource, ShardedTsb,
+};
 
 use protocol::{FrameDecoder, FrameError, Reply, Request, MAX_FRAME_BODY};
 
@@ -73,39 +77,104 @@ const SUBSCRIBE_MAX_BYTES: usize = 1 << 20;
 /// Soft cap on page/WORM bytes per base-transfer chunk.
 const BASE_CHUNK_MAX_BYTES: usize = 4 << 20;
 
+/// How often a worker blocked in `read()` wakes to check the stop flag and
+/// its idle budget. Workers never block unboundedly: a stop request drains
+/// within one poll interval without slamming sockets shut.
+const CONN_POLL: Duration = Duration::from_millis(250);
+
+/// Tunable connection-handling behaviour, separate from the engine's own
+/// configuration. The defaults preserve the pre-options behaviour:
+/// unbounded connections, no idle reaping.
+#[derive(Clone, Debug)]
+pub struct ServerOptions {
+    /// Accept at most this many live connections; further accepts are
+    /// *shed* — answered with one `Overloaded` (code 23) error frame on
+    /// the reserved id 0, then closed — instead of silently queueing
+    /// behind a saturated worker pool. `None` = unbounded.
+    pub max_conns: Option<usize>,
+    /// Close a connection that has not delivered a byte for this long.
+    /// Protects the worker pool (and `--max-conns` slots) from silent
+    /// dead peers. `None` = never reap.
+    pub idle_timeout: Option<Duration>,
+    /// The promotion epoch this server serves at (echoed in `Role`, checked
+    /// against `Subscribe`). Pass `tsb_core::epoch::read_epoch(dir)` for a
+    /// durable primary; the default is [`INITIAL_EPOCH`].
+    pub epoch: u64,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            max_conns: None,
+            idle_timeout: None,
+            epoch: INITIAL_EPOCH,
+        }
+    }
+}
+
 /// A running TSB server: an acceptor thread plus one worker thread per
 /// live connection, all sharing one [`EngineHandle`].
 ///
-/// Dropping the handle shuts the server down (ungracefully for in-flight
-/// requests — their connections are closed). Prefer [`TsbServer::shutdown`]
-/// or serving until a client sends the `Shutdown` verb and then calling
-/// [`TsbServer::wait`].
+/// Dropping the handle shuts the server down. Shutdown is a *graceful
+/// drain*: workers finish the batch they are executing, flush its acks,
+/// and close with a FIN — no half-written frame is ever cut off. Prefer
+/// [`TsbServer::shutdown`] or serving until a client sends the `Shutdown`
+/// verb and then calling [`TsbServer::wait`].
 pub struct TsbServer {
     shared: Arc<ServerShared>,
     acceptor: Option<JoinHandle<()>>,
 }
 
+/// What a replica server needs on hand to honour a `Promote` verb.
+struct PromoteCtx {
+    replica: ReplicaEngine,
+}
+
+/// Promotion state, under one mutex so concurrent `Promote`s serialize.
+#[derive(Default)]
+struct PromotionState {
+    /// The replication runner, owned by the server so promotion (and
+    /// shutdown) can stop it.
+    runner: Option<replica::ReplicaRunner>,
+    ctx: Option<PromoteCtx>,
+}
+
 struct ServerShared {
-    db: Arc<dyn EngineHandle>,
+    /// The served engine. A slot, not a plain field: `Promote` swaps a
+    /// replica for a freshly-recovered primary in place. Workers clone the
+    /// handle out once per batch.
+    engine: RwLock<Arc<dyn EngineHandle>>,
     listener: TcpListener,
     addr: SocketAddr,
     stop: AtomicBool,
-    /// Clones of every live connection's stream, so shutdown can unblock
-    /// workers parked in `read()` by closing their sockets.
+    /// Clones of every live connection's stream (they share the worker's
+    /// fd), so shutdown can shorten their receive timeouts for a prompt
+    /// drain. Also the live-connection count for `max_conns`.
     conns: Mutex<HashMap<u64, TcpStream>>,
     next_conn: AtomicU64,
+    opts: ServerOptions,
+    /// The promotion epoch currently served (see [`ServerOptions::epoch`]).
+    /// Bumped by `Promote`; refreshed by the replication runner when a
+    /// bootstrap adopts the primary's epoch.
+    epoch: Arc<AtomicU64>,
+    promotion: Mutex<PromotionState>,
 }
 
 impl ServerShared {
+    fn engine(&self) -> Arc<dyn EngineHandle> {
+        Arc::clone(&self.engine.read())
+    }
+
     /// Flags the stop, wakes the acceptor with a throwaway connection, and
-    /// closes every live connection so workers fall out of `read()`.
+    /// nudges every worker's blocking `read()` onto a short timeout so it
+    /// notices the flag, finishes its current batch, flushes, and exits.
     fn request_stop(&self) {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
         let _ = TcpStream::connect(self.addr);
         for stream in self.conns.lock().values() {
-            let _ = stream.shutdown(Shutdown::Both);
+            let _ = stream.set_read_timeout(Some(CONN_POLL));
         }
     }
 }
@@ -119,6 +188,15 @@ impl TsbServer {
         Self::start_engine(Arc::new(db.into()), addr)
     }
 
+    /// [`TsbServer::start`] with explicit [`ServerOptions`].
+    pub fn start_with(
+        db: impl Into<ShardedTsb>,
+        addr: impl ToSocketAddrs,
+        opts: ServerOptions,
+    ) -> TsbResult<TsbServer> {
+        Self::start_engine_with(Arc::new(db.into()), addr, opts)
+    }
+
     /// [`TsbServer::start`] for any engine behind the [`EngineHandle`]
     /// trait — in particular a [`tsb_core::ReplicaEngine`] (see
     /// [`replica::ReplicaRunner`] for the feed side).
@@ -126,15 +204,28 @@ impl TsbServer {
         db: Arc<dyn EngineHandle>,
         addr: impl ToSocketAddrs,
     ) -> TsbResult<TsbServer> {
+        Self::start_engine_with(db, addr, ServerOptions::default())
+    }
+
+    /// [`TsbServer::start_engine`] with explicit [`ServerOptions`].
+    pub fn start_engine_with(
+        db: Arc<dyn EngineHandle>,
+        addr: impl ToSocketAddrs,
+        opts: ServerOptions,
+    ) -> TsbResult<TsbServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let epoch = Arc::new(AtomicU64::new(opts.epoch));
         let shared = Arc::new(ServerShared {
-            db,
+            engine: RwLock::new(db),
             listener,
             addr,
             stop: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
+            opts,
+            epoch,
+            promotion: Mutex::new(PromotionState::default()),
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -149,14 +240,53 @@ impl TsbServer {
         })
     }
 
+    /// Starts a *promotable* replica server: serves `replica` read-only,
+    /// owns the [`replica::ReplicaRunner`] streaming from `source`, and
+    /// honours the `Promote` verb (stop the feed, recover the directory as
+    /// a primary at a bumped, fsynced epoch, start accepting writes). The
+    /// server's epoch tracks the replica's persisted epoch (adopted from
+    /// the primary at bootstrap).
+    pub fn start_replica(
+        replica: ReplicaEngine,
+        source: impl Into<String>,
+        addr: impl ToSocketAddrs,
+        opts: ServerOptions,
+    ) -> TsbResult<TsbServer> {
+        let opts = ServerOptions {
+            epoch: tsb_core::epoch::read_epoch(replica.dir())?,
+            ..opts
+        };
+        let server = Self::start_engine_with(
+            Arc::new(replica.clone()) as Arc<dyn EngineHandle>,
+            addr,
+            opts,
+        )?;
+        let runner = replica::ReplicaRunner::start_with_epoch(
+            replica.clone(),
+            source,
+            Arc::clone(&server.shared.epoch),
+        );
+        let mut promo = server.shared.promotion.lock();
+        promo.runner = Some(runner);
+        promo.ctx = Some(PromoteCtx { replica });
+        drop(promo);
+        Ok(server)
+    }
+
     /// The address the server is listening on (with the resolved port).
     pub fn local_addr(&self) -> SocketAddr {
         self.shared.addr
     }
 
     /// The shared engine, e.g. for reading I/O stats around a bench run.
-    pub fn db(&self) -> &Arc<dyn EngineHandle> {
-        &self.shared.db
+    /// A snapshot: after a promotion the slot holds a different engine.
+    pub fn db(&self) -> Arc<dyn EngineHandle> {
+        self.shared.engine()
+    }
+
+    /// The promotion epoch this server currently serves at.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::SeqCst)
     }
 
     /// Whether a stop has been requested (locally or via the `Shutdown`
@@ -173,17 +303,26 @@ impl TsbServer {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        checkpoint_if_primary(&self.shared.db)
+        stop_runner(&self.shared);
+        checkpoint_if_primary(&self.shared.engine())
     }
 
-    /// Stops accepting, closes live connections, joins all threads, and
+    /// Stops accepting, drains live connections, joins all threads, and
     /// checkpoints the engine.
     pub fn shutdown(mut self) -> TsbResult<()> {
         self.shared.request_stop();
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        checkpoint_if_primary(&self.shared.db)
+        stop_runner(&self.shared);
+        checkpoint_if_primary(&self.shared.engine())
+    }
+}
+
+fn stop_runner(shared: &Arc<ServerShared>) {
+    let runner = shared.promotion.lock().runner.take();
+    if let Some(mut runner) = runner {
+        runner.stop();
     }
 }
 
@@ -193,6 +332,7 @@ impl Drop for TsbServer {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
+        stop_runner(&self.shared);
     }
 }
 
@@ -205,6 +345,16 @@ fn acceptor_loop(shared: &Arc<ServerShared>) {
                     // The wakeup connection (or a late client): refuse.
                     let _ = stream.shutdown(Shutdown::Both);
                     break;
+                }
+                if let Some(cap) = shared.opts.max_conns {
+                    if shared.conns.lock().len() >= cap {
+                        // Shed, don't queue: one explicit Overloaded frame
+                        // on the reserved id 0, then close. The peer learns
+                        // immediately (and recoverably) instead of hanging
+                        // behind a saturated worker pool.
+                        shed_connection(stream, cap);
+                        continue;
+                    }
                 }
                 let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
                 if let Ok(clone) = stream.try_clone() {
@@ -237,6 +387,16 @@ fn acceptor_loop(shared: &Arc<ServerShared>) {
     for worker in workers {
         let _ = worker.join();
     }
+}
+
+/// Refuses one connection with an `Overloaded` error frame and a FIN.
+fn shed_connection(mut stream: TcpStream, cap: usize) {
+    let reply = Reply::Error {
+        code: protocol::CODE_OVERLOADED,
+        message: format!("server at its connection limit ({cap}); retry another endpoint"),
+    };
+    let _ = stream.write_all(&protocol::encode_reply(0, &reply));
+    let _ = stream.shutdown(Shutdown::Both);
 }
 
 /// What a processed request is waiting on before its reply may be sent.
@@ -307,6 +467,11 @@ fn serve_conn(shared: &Arc<ServerShared>, mut stream: TcpStream) -> TsbResult<()
     // Replies are batched into one write_all per drain; Nagle would only
     // add latency on top of that.
     let _ = stream.set_nodelay(true);
+    // Never block unboundedly: wake every CONN_POLL to notice a stop
+    // request (graceful drain) and to meter the idle budget.
+    let _ = stream.set_read_timeout(Some(CONN_POLL));
+    let idle_budget = shared.opts.idle_timeout;
+    let mut last_activity = Instant::now();
     let mut decoder = FrameDecoder::new();
     let mut read_buf = vec![0u8; 64 * 1024];
     let mut conn = ConnState::default();
@@ -317,8 +482,17 @@ fn serve_conn(shared: &Arc<ServerShared>, mut stream: TcpStream) -> TsbResult<()
         let n = match stream.read(&mut read_buf) {
             Ok(0) => break Ok(()),
             Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                match idle_budget {
+                    // A silent peer past its budget: close (FIN). Nothing
+                    // is in flight — the previous batch was fully flushed.
+                    Some(budget) if last_activity.elapsed() >= budget => break Ok(()),
+                    _ => continue,
+                }
+            }
             Err(e) => break Err(TsbError::Io(e)),
         };
+        last_activity = Instant::now();
         decoder.feed(&read_buf[..n]);
 
         // Drain every complete frame the client has pipelined.
@@ -371,8 +545,9 @@ fn serve_conn(shared: &Arc<ServerShared>, mut stream: TcpStream) -> TsbResult<()
     };
     // A dead connection must not leave zombie transactions holding
     // write-conflict claims against every future client.
+    let db = shared.engine();
     for txn in conn.open_txns {
-        let _ = shared.db.abort_txn(txn);
+        let _ = db.abort_txn(txn);
     }
     result
 }
@@ -388,7 +563,9 @@ fn process_batch(
     if batch.is_empty() {
         return Ok(false);
     }
-    let db = &shared.db;
+    // One engine snapshot per batch: a concurrent promotion swaps the
+    // slot, and mixing engines inside a batch would confuse the waits.
+    let db = shared.engine();
     let ConnState {
         open_txns,
         source,
@@ -476,18 +653,34 @@ fn process_batch(
             Request::Role => Outcome::Ready(Reply::RoleInfo {
                 primary: db.role() == EngineRole::Primary,
                 shards: db.shard_count() as u32,
+                epoch: shared.epoch.load(Ordering::SeqCst),
+                durable_lsn: db.durable_lsn(),
             }),
             Request::Subscribe {
                 from_lsn,
                 worm_have,
                 max_bytes,
-            } => Outcome::Ready(
-                match subscribe(db, source, *from_lsn, *worm_have, *max_bytes) {
-                    Ok(reply) => reply,
-                    Err(e) => error_reply(&e),
-                },
-            ),
-            Request::FetchBase => Outcome::Ready(match fetch_base(db, source) {
+                epoch,
+            } => Outcome::Ready({
+                let ours = shared.epoch.load(Ordering::SeqCst);
+                if *epoch != 0 && *epoch != ours {
+                    // A subscriber on a different epoch has (or is) a
+                    // diverged history: a demoted primary presenting the
+                    // old epoch, or a fresher node talking to a stale us.
+                    // Either way, shipping a delta would graft divergent
+                    // logs — refuse; the subscriber must re-bootstrap.
+                    error_reply(&TsbError::StaleEpoch {
+                        theirs: *epoch,
+                        ours,
+                    })
+                } else {
+                    match subscribe(&db, source, *from_lsn, *worm_have, *max_bytes) {
+                        Ok(reply) => reply,
+                        Err(e) => error_reply(&e),
+                    }
+                }
+            }),
+            Request::FetchBase => Outcome::Ready(match fetch_base(&db, source) {
                 Ok(image) => {
                     let info = Reply::BaseInfo {
                         checkpoint_lsn: image.checkpoint_lsn,
@@ -496,6 +689,7 @@ fn process_batch(
                         worm_len: image.worm.len() as u64,
                         page_size: image.page_size as u64,
                         worm_sector_size: image.worm_sector_size as u64,
+                        epoch: shared.epoch.load(Ordering::SeqCst),
                     };
                     *base = Some(image);
                     info
@@ -518,13 +712,19 @@ fn process_batch(
                 Some(s) => Reply::ReplicaStatusInfo {
                     serving: s.serving,
                     applied_lsn: s.applied_lsn,
+                    received_lsn: s.received_lsn,
                     source_durable_lsn: s.source_durable_lsn,
                     lag_records: s.lag_records,
+                    ship_lag_records: s.ship_lag_records,
                     lag_ms: s.lag_ms,
                 },
                 None => error_reply(&TsbError::config(
                     "this server is a primary: replica_status applies to replicas",
                 )),
+            }),
+            Request::Promote => Outcome::Ready(match promote(shared) {
+                Ok(epoch) => Reply::Promoted { epoch },
+                Err(e) => error_reply(&e),
             }),
         };
         outcomes.push((*id, outcome));
@@ -533,7 +733,7 @@ fn process_batch(
     // One durability wait per touched shard covers the whole burst: each
     // shard's watermark is monotonic, so per-shard max-LSN durable ⇒ every
     // commit the batch placed on that shard durable.
-    let durable_failed: Option<(u8, String)> = waits.settle(db);
+    let durable_failed: Option<(u8, String)> = waits.settle(db.as_ref());
 
     let mut out = Vec::with_capacity(outcomes.len() * 32);
     for (id, outcome) in outcomes {
@@ -590,6 +790,48 @@ fn error_reply(e: &TsbError) -> Reply {
         code: e.wire_code(),
         message: e.to_string(),
     }
+}
+
+/// Promotes this server to primary. Idempotent when already primary.
+///
+/// The sequence is crash-safe at every step:
+/// 1. **Stop the feed.** Joining the runner guarantees no apply is in
+///    flight; everything shipped up to the last pulled batch is in the
+///    replica's local log, installed through its newest fence.
+/// 2. **Recover as primary.** The replica releases the directory and the
+///    ordinary primary recovery reopens it, cutting at the newest durable
+///    commit fence — the un-fenced shipped tail (records past the last
+///    fence, never acknowledged to any client) is discarded exactly as a
+///    crashed primary's own un-fenced tail would be.
+/// 3. **Fence, then serve.** The bumped epoch is fsynced *before* the new
+///    engine is swapped into the serving slot, so no write can be accepted
+///    at an epoch a crash could roll back. From here, a `Subscribe` from
+///    the demoted primary (still at the old epoch) is rejected.
+fn promote(shared: &Arc<ServerShared>) -> TsbResult<u64> {
+    let mut promo = shared.promotion.lock();
+    if shared.engine().role() == EngineRole::Primary {
+        return Ok(shared.epoch.load(Ordering::SeqCst));
+    }
+    let ctx = promo.ctx.as_ref().ok_or_else(|| {
+        TsbError::config(
+            "this replica server was not started promotable (no local directory context)",
+        )
+    })?;
+    let replica = ctx.replica.clone();
+    if let Some(mut runner) = promo.runner.take() {
+        runner.stop();
+    }
+    replica.close();
+    let dir = replica.dir();
+    let new_epoch = tsb_core::epoch::read_epoch(dir)?.saturating_add(1);
+    let db = tsb_core::TsbOptions::durable(dir)
+        .config(replica.config().clone())
+        .open_concurrent()?;
+    tsb_core::epoch::persist_epoch(dir, new_epoch)?;
+    *shared.engine.write() = Arc::new(db);
+    shared.epoch.store(new_epoch, Ordering::SeqCst);
+    promo.ctx = None;
+    Ok(new_epoch)
 }
 
 /// Lazily creates this connection's [`ReplicationSource`] (errors on

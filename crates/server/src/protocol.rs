@@ -7,9 +7,9 @@
 //! # Frame layout
 //!
 //! ```text
-//! +--------------+----------------------------------+
-//! | len: u32 LE  | body (len bytes)                 |
-//! +--------------+----------------------------------+
+//! +--------------+--------------+----------------------------------+
+//! | len: u32 LE  | crc: u32 LE  | body (len bytes)                 |
+//! +--------------+--------------+----------------------------------+
 //! body = request_id: u64 LE | tag: u8 | payload
 //! ```
 //!
@@ -19,6 +19,15 @@
 //! only ever buffers bytes that actually arrived, so a hostile length
 //! prefix cannot make it reserve memory (mirroring the WAL's
 //! `MAX_RECORD_BODY` guard).
+//!
+//! `crc` is the CRC-32 of the body ([`tsb_common::checksum::crc32`]).
+//! Length prefixes alone cannot keep a TCP stream honest: a duplicated or
+//! torn byte sequence occasionally *re-parses* as a valid frame with
+//! shifted field boundaries — the network chaos harness produced exactly
+//! that, committing a `Put` whose value was a window of wire bytes. The
+//! checksum reduces a desynchronized stream to a detectable
+//! [`FrameError::BadChecksum`], after which the connection must close and
+//! the client retries over a fresh one.
 //!
 //! Payload encoding reuses `tsb-common`'s [`ByteWriter`]/[`ByteReader`]
 //! (little-endian, `u32`-length-prefixed byte strings), so keys, ranges,
@@ -37,6 +46,7 @@
 
 use std::fmt;
 
+use tsb_common::checksum::crc32;
 use tsb_common::encode::{ByteReader, ByteWriter};
 use tsb_common::{Key, KeyRange, TimeRange, Timestamp, TsbError, TxnId, Version};
 
@@ -48,13 +58,28 @@ pub const MAX_FRAME_BODY: usize = 16 << 20;
 /// Smallest meaningful body: an 8-byte request id plus a 1-byte tag.
 pub const MIN_FRAME_BODY: usize = 9;
 
-/// Wire codes minted by the protocol layer itself (engine errors travel as
-/// [`TsbError::wire_code`], which stays below 20).
+/// Wire codes minted by the protocol layer itself (engine faults travel as
+/// [`TsbError::wire_code`], which stays below 20; the connection-lifecycle
+/// codes [`CODE_OVERLOADED`]/[`CODE_DEADLINE_EXCEEDED`] sit above these).
 pub const CODE_MALFORMED: u8 = 20;
 /// See [`CODE_MALFORMED`].
 pub const CODE_OVERSIZED: u8 = 21;
 /// See [`CODE_MALFORMED`].
 pub const CODE_UNKNOWN_VERB: u8 = 22;
+/// `TsbError::ReadOnly`'s wire code, named here because a failover client
+/// dispatches on it over the wire (a write answered `read-only` means the
+/// endpoint is a replica or a demoted primary — go find the promoted one).
+pub const CODE_READ_ONLY: u8 = 15;
+/// `TsbError::StaleEpoch`'s wire code, named here because the replication
+/// runner dispatches on it over the wire (a rejected `Subscribe` from a
+/// demoted primary must trigger a re-bootstrap, not a blind retry).
+pub const CODE_STALE_EPOCH: u8 = 16;
+/// The server shed this connection at accept time (`--max-conns` reached).
+/// Recoverable: retry another endpoint or back off — nothing was executed.
+pub const CODE_OVERLOADED: u8 = 23;
+/// Minted client-side when a per-operation deadline expires before the
+/// reply arrives. The operation may or may not have taken effect.
+pub const CODE_DEADLINE_EXCEEDED: u8 = 24;
 
 /// A framing or parsing failure. Distinct from [`TsbError`] because the
 /// receiving side must react differently: [`FrameError::UnknownVerb`]
@@ -70,6 +95,14 @@ pub enum FrameError {
     },
     /// A body that does not parse as exactly one request/reply.
     Malformed(String),
+    /// A frame whose body does not match its header checksum: the byte
+    /// stream is desynchronized (duplicated/torn bytes) or corrupt.
+    BadChecksum {
+        /// The checksum the header declared.
+        declared: u32,
+        /// The checksum of the bytes that arrived.
+        actual: u32,
+    },
     /// A well-formed frame whose verb tag this side does not know.
     UnknownVerb(u8),
 }
@@ -79,7 +112,7 @@ impl FrameError {
     pub fn wire_code(&self) -> u8 {
         match self {
             FrameError::Oversized { .. } => CODE_OVERSIZED,
-            FrameError::Malformed(_) => CODE_MALFORMED,
+            FrameError::Malformed(_) | FrameError::BadChecksum { .. } => CODE_MALFORMED,
             FrameError::UnknownVerb(_) => CODE_UNKNOWN_VERB,
         }
     }
@@ -99,6 +132,11 @@ impl fmt::Display for FrameError {
                 "frame body of {declared} bytes is outside [{MIN_FRAME_BODY}, {MAX_FRAME_BODY}]"
             ),
             FrameError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+            FrameError::BadChecksum { declared, actual } => write!(
+                f,
+                "frame checksum mismatch (header {declared:#010x}, body {actual:#010x}): \
+                 byte stream desynchronized"
+            ),
             FrameError::UnknownVerb(tag) => write!(f, "unknown verb tag {tag}"),
         }
     }
@@ -195,6 +233,13 @@ pub enum Request {
         /// Soft cap on record bytes in the reply (the server clamps it so
         /// the reply fits a frame).
         max_bytes: u64,
+        /// The promotion epoch the subscriber believes the primary is at
+        /// (learned from `BaseInfo` at bootstrap). A subscriber presenting
+        /// an *older* epoch is a demoted former primary with diverged
+        /// history: the server rejects it with `StaleEpoch` (code 16) and
+        /// it must re-bootstrap. `0` means "unknown" (first contact) and
+        /// is always accepted.
+        epoch: u64,
     },
     /// Capture a replication base image on the primary and learn its
     /// shape. The image is cached on this connection; fetch its contents
@@ -217,6 +262,10 @@ pub enum Request {
     },
     /// Ask a replica for its replication progress.
     ReplicaStatus,
+    /// Promote a replica to primary: stop replicating, recover to the
+    /// newest shipped fence, persist a bumped promotion epoch, and start
+    /// accepting writes. Idempotent on a server that is already primary.
+    Promote,
 }
 
 const REQ_PUT: u8 = 1;
@@ -237,6 +286,7 @@ const REQ_FETCH_BASE: u8 = 15;
 const REQ_FETCH_BASE_PAGES: u8 = 16;
 const REQ_FETCH_BASE_WORM: u8 = 17;
 const REQ_REPLICA_STATUS: u8 = 18;
+const REQ_PROMOTE: u8 = 19;
 
 /// One server reply. The tag makes replies self-describing, so a client
 /// can park out-of-order responses before knowing which request they
@@ -290,6 +340,18 @@ pub enum Reply {
         primary: bool,
         /// Shard count (1 on unsharded primaries and on replicas).
         shards: u32,
+        /// The server's promotion epoch (see `Request::Subscribe::epoch`).
+        /// Clients comparing two claimed primaries must believe the one
+        /// with the higher epoch.
+        epoch: u64,
+        /// The newest durable position in this server's log (0 when it has
+        /// no single durable log: in-memory or sharded). On a replica: the
+        /// applied fence LSN. A no-loss promotion drill quiesces writers,
+        /// reads this off the *primary*, and waits until the replica's
+        /// `applied_lsn` reaches it — the replica's own lag counters are
+        /// relative to the watermark it last polled and can read zero
+        /// while newer durable records exist that never shipped.
+        durable_lsn: u64,
     },
     /// Reply to `Subscribe`: one shipped batch (see
     /// `tsb_core::ShippedBatch` for field semantics).
@@ -319,6 +381,9 @@ pub enum Reply {
         page_size: u64,
         /// The primary's WORM sector size.
         worm_sector_size: u64,
+        /// The primary's promotion epoch at capture time. The replica
+        /// persists it and presents it on every later `Subscribe`.
+        epoch: u64,
     },
     /// Reply to `FetchBasePages`: a chunk of the base's pages.
     BasePages {
@@ -340,12 +405,23 @@ pub enum Reply {
         serving: bool,
         /// LSN of the newest installed fence.
         applied_lsn: u64,
+        /// LSN of the newest record in the replica's local log — the
+        /// freshness signal promotion tooling compares across replicas.
+        received_lsn: u64,
         /// The primary's durable watermark as last seen.
         source_durable_lsn: u64,
-        /// Shipped-but-unapplied records.
+        /// Full applied-vs-durable delta (records ≡ LSNs).
         lag_records: u64,
+        /// Durable-on-primary records not yet in the local log (ship lag);
+        /// the rest of `lag_records` is received-but-unapplied.
+        ship_lag_records: u64,
         /// Milliseconds since last progress (0 when caught up).
         lag_ms: u64,
+    },
+    /// Reply to `Promote`: the server is now primary at this epoch.
+    Promoted {
+        /// The (possibly just bumped) promotion epoch.
+        epoch: u64,
     },
 }
 
@@ -363,6 +439,7 @@ const REP_BASE_INFO: u8 = 10;
 const REP_BASE_PAGES: u8 = 11;
 const REP_BASE_WORM: u8 = 12;
 const REP_REPLICA_STATUS: u8 = 13;
+const REP_PROMOTED: u8 = 14;
 
 /// Encodes one request as a complete frame (length prefix included).
 pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
@@ -431,11 +508,13 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
             from_lsn,
             worm_have,
             max_bytes,
+            epoch,
         } => {
             w.put_u8(REQ_SUBSCRIBE);
             w.put_u64(*from_lsn);
             w.put_u64(*worm_have);
             w.put_u64(*max_bytes);
+            w.put_u64(*epoch);
         }
         Request::FetchBase => w.put_u8(REQ_FETCH_BASE),
         Request::FetchBasePages { start, max_bytes } => {
@@ -449,6 +528,7 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
             w.put_u64(*max_bytes);
         }
         Request::ReplicaStatus => w.put_u8(REQ_REPLICA_STATUS),
+        Request::Promote => w.put_u8(REQ_PROMOTE),
     }
     frame(w.into_vec())
 }
@@ -501,10 +581,17 @@ pub fn encode_reply(id: u64, reply: &Reply) -> Vec<u8> {
             w.put_u8(REP_PONG);
             w.put_timestamp(*last_installed);
         }
-        Reply::RoleInfo { primary, shards } => {
+        Reply::RoleInfo {
+            primary,
+            shards,
+            epoch,
+            durable_lsn,
+        } => {
             w.put_u8(REP_ROLE_INFO);
             w.put_u8(u8::from(*primary));
             w.put_u32(*shards);
+            w.put_u64(*epoch);
+            w.put_u64(*durable_lsn);
         }
         Reply::Batch {
             needs_rebase,
@@ -530,6 +617,7 @@ pub fn encode_reply(id: u64, reply: &Reply) -> Vec<u8> {
             worm_len,
             page_size,
             worm_sector_size,
+            epoch,
         } => {
             w.put_u8(REP_BASE_INFO);
             w.put_u64(*checkpoint_lsn);
@@ -538,6 +626,7 @@ pub fn encode_reply(id: u64, reply: &Reply) -> Vec<u8> {
             w.put_u64(*worm_len);
             w.put_u64(*page_size);
             w.put_u64(*worm_sector_size);
+            w.put_u64(*epoch);
         }
         Reply::BasePages { pages, done } => {
             w.put_u8(REP_BASE_PAGES);
@@ -556,16 +645,24 @@ pub fn encode_reply(id: u64, reply: &Reply) -> Vec<u8> {
         Reply::ReplicaStatusInfo {
             serving,
             applied_lsn,
+            received_lsn,
             source_durable_lsn,
             lag_records,
+            ship_lag_records,
             lag_ms,
         } => {
             w.put_u8(REP_REPLICA_STATUS);
             w.put_u8(u8::from(*serving));
             w.put_u64(*applied_lsn);
+            w.put_u64(*received_lsn);
             w.put_u64(*source_durable_lsn);
             w.put_u64(*lag_records);
+            w.put_u64(*ship_lag_records);
             w.put_u64(*lag_ms);
+        }
+        Reply::Promoted { epoch } => {
+            w.put_u8(REP_PROMOTED);
+            w.put_u64(*epoch);
         }
     }
     frame(w.into_vec())
@@ -573,8 +670,9 @@ pub fn encode_reply(id: u64, reply: &Reply) -> Vec<u8> {
 
 fn frame(body: Vec<u8>) -> Vec<u8> {
     debug_assert!((MIN_FRAME_BODY..=MAX_FRAME_BODY).contains(&body.len()));
-    let mut out = Vec::with_capacity(4 + body.len());
+    let mut out = Vec::with_capacity(8 + body.len());
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
     out.extend_from_slice(&body);
     out
 }
@@ -636,6 +734,7 @@ pub fn parse_request(body: &[u8]) -> Result<(u64, Request), FrameError> {
             from_lsn: r.get_u64().map_err(malformed)?,
             worm_have: r.get_u64().map_err(malformed)?,
             max_bytes: r.get_u64().map_err(malformed)?,
+            epoch: r.get_u64().map_err(malformed)?,
         },
         REQ_FETCH_BASE => Request::FetchBase,
         REQ_FETCH_BASE_PAGES => Request::FetchBasePages {
@@ -647,6 +746,7 @@ pub fn parse_request(body: &[u8]) -> Result<(u64, Request), FrameError> {
             max_bytes: r.get_u64().map_err(malformed)?,
         },
         REQ_REPLICA_STATUS => Request::ReplicaStatus,
+        REQ_PROMOTE => Request::Promote,
         other => return Err(FrameError::UnknownVerb(other)),
     };
     expect_exhausted(&r)?;
@@ -705,6 +805,8 @@ pub fn parse_reply(body: &[u8]) -> Result<(u64, Reply), FrameError> {
         REP_ROLE_INFO => Reply::RoleInfo {
             primary: parse_bool(&mut r)?,
             shards: r.get_u32().map_err(malformed)?,
+            epoch: r.get_u64().map_err(malformed)?,
+            durable_lsn: r.get_u64().map_err(malformed)?,
         },
         REP_BATCH => {
             let needs_rebase = parse_bool(&mut r)?;
@@ -731,6 +833,7 @@ pub fn parse_reply(body: &[u8]) -> Result<(u64, Reply), FrameError> {
             worm_len: r.get_u64().map_err(malformed)?,
             page_size: r.get_u64().map_err(malformed)?,
             worm_sector_size: r.get_u64().map_err(malformed)?,
+            epoch: r.get_u64().map_err(malformed)?,
         },
         REP_BASE_PAGES => {
             let count = r.get_u32().map_err(malformed)? as usize;
@@ -751,9 +854,14 @@ pub fn parse_reply(body: &[u8]) -> Result<(u64, Reply), FrameError> {
         REP_REPLICA_STATUS => Reply::ReplicaStatusInfo {
             serving: parse_bool(&mut r)?,
             applied_lsn: r.get_u64().map_err(malformed)?,
+            received_lsn: r.get_u64().map_err(malformed)?,
             source_durable_lsn: r.get_u64().map_err(malformed)?,
             lag_records: r.get_u64().map_err(malformed)?,
+            ship_lag_records: r.get_u64().map_err(malformed)?,
             lag_ms: r.get_u64().map_err(malformed)?,
+        },
+        REP_PROMOTED => Reply::Promoted {
+            epoch: r.get_u64().map_err(malformed)?,
         },
         other => return Err(FrameError::UnknownVerb(other)),
     };
@@ -833,11 +941,20 @@ impl FrameDecoder {
                 declared: declared as u64,
             });
         }
-        if avail.len() < 4 + declared {
+        if avail.len() < 8 + declared {
             return Ok(None);
         }
-        let body = avail[4..4 + declared].to_vec();
-        self.pos += 4 + declared;
+        let crc = u32::from_le_bytes([avail[4], avail[5], avail[6], avail[7]]);
+        let body = &avail[8..8 + declared];
+        let actual = crc32(body);
+        if actual != crc {
+            return Err(FrameError::BadChecksum {
+                declared: crc,
+                actual,
+            });
+        }
+        let body = body.to_vec();
+        self.pos += 8 + declared;
         Ok(Some(body))
     }
 }
@@ -895,6 +1012,7 @@ mod tests {
                 from_lsn: 42,
                 worm_have: 4096,
                 max_bytes: 1 << 20,
+                epoch: 3,
             },
             Request::FetchBase,
             Request::FetchBasePages {
@@ -906,6 +1024,7 @@ mod tests {
                 max_bytes: 1 << 20,
             },
             Request::ReplicaStatus,
+            Request::Promote,
         ]
     }
 
@@ -937,6 +1056,8 @@ mod tests {
             Reply::RoleInfo {
                 primary: true,
                 shards: 4,
+                epoch: 2,
+                durable_lsn: 4242,
             },
             Reply::Batch {
                 needs_rebase: false,
@@ -959,6 +1080,7 @@ mod tests {
                 worm_len: 2048,
                 page_size: 4096,
                 worm_sector_size: 512,
+                epoch: 5,
             },
             Reply::BasePages {
                 pages: vec![(0, vec![1; 16]), (5, vec![2; 16])],
@@ -971,10 +1093,13 @@ mod tests {
             Reply::ReplicaStatusInfo {
                 serving: true,
                 applied_lsn: 88,
+                received_lsn: 89,
                 source_durable_lsn: 90,
                 lag_records: 2,
+                ship_lag_records: 1,
                 lag_ms: 15,
             },
+            Reply::Promoted { epoch: 9 },
         ]
     }
 
@@ -1048,9 +1173,12 @@ mod tests {
     fn trailing_bytes_are_malformed() {
         let mut frame = encode_request(1, &Request::Ping);
         frame.push(0xEE);
-        // Patch the length to include the junk byte so framing is intact.
-        let body_len = (frame.len() - 4) as u32;
+        // Patch the header (length and checksum) so framing is intact and
+        // only the payload parse can object to the junk byte.
+        let body_len = (frame.len() - 8) as u32;
         frame[..4].copy_from_slice(&body_len.to_le_bytes());
+        let crc = crc32(&frame[8..]);
+        frame[4..8].copy_from_slice(&crc.to_le_bytes());
         let mut dec = FrameDecoder::new();
         dec.feed(&frame);
         let body = dec.next_frame().unwrap().unwrap();
@@ -1071,5 +1199,69 @@ mod tests {
         assert_eq!(err.wire_code(), CODE_UNKNOWN_VERB);
         assert!(!FrameError::Malformed("x".into()).recoverable());
         assert!(!FrameError::Oversized { declared: 0 }.recoverable());
+        assert!(!FrameError::BadChecksum {
+            declared: 0,
+            actual: 1
+        }
+        .recoverable());
+    }
+
+    #[test]
+    fn corrupted_body_fails_the_checksum() {
+        let mut frame = encode_request(7, &Request::Ping);
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(FrameError::BadChecksum { .. })
+        ));
+    }
+
+    /// The chaos proxy's duplicate-partial fault replays a prefix of a
+    /// chunk before the chunk itself. Without the checksum this stream
+    /// occasionally re-parsed as a *valid* `Put` whose value was a window
+    /// of wire bytes — and the server durably committed it. The decoder
+    /// must reject the desynchronized stream instead.
+    #[test]
+    fn duplicated_prefix_cannot_produce_a_clean_frame() {
+        let frame = encode_request(
+            1,
+            &Request::Put {
+                key: Key::from_u64(18),
+                value: b"fault=duplicate-partial seed=1 i=18".to_vec(),
+            },
+        );
+        // Every possible duplicated prefix of the frame, spliced the way
+        // the proxy does it: prefix then the full frame.
+        for cut in 1..frame.len() {
+            let mut wire = Vec::new();
+            wire.extend_from_slice(&frame[..cut]);
+            wire.extend_from_slice(&frame);
+            let mut dec = FrameDecoder::new();
+            dec.feed(&wire);
+            // The decoder either errors (desync detected) or yields only
+            // bodies that re-parse as the original request — never a
+            // mutated one.
+            loop {
+                match dec.next_frame() {
+                    Err(_) => break,
+                    Ok(None) => break,
+                    Ok(Some(body)) => match parse_request(&body) {
+                        Ok((id, req)) => {
+                            assert_eq!(id, 1, "cut={cut}: resynced onto a mutated id");
+                            assert!(
+                                matches!(&req, Request::Put { key, value }
+                                    if *key == Key::from_u64(18)
+                                        && value == b"fault=duplicate-partial seed=1 i=18"),
+                                "cut={cut}: resynced onto a mutated request {req:?}"
+                            );
+                        }
+                        Err(_) => break,
+                    },
+                }
+            }
+        }
     }
 }

@@ -26,15 +26,16 @@
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use tsb_common::{TsbError, TsbResult};
+use tsb_core::epoch::{persist_epoch, read_epoch};
 use tsb_core::{PageId, ReplicaBase, ReplicaEngine, ShippedBatch};
 
-use crate::protocol::{self, FrameDecoder, Reply, Request};
+use crate::protocol::{self, FrameDecoder, Reply, Request, CODE_STALE_EPOCH};
 use crate::{BASE_CHUNK_MAX_BYTES, SUBSCRIBE_MAX_BYTES};
 
 /// First reconnect delay after a failure.
@@ -45,6 +46,15 @@ const BACKOFF_MAX: Duration = Duration::from_secs(2);
 const IDLE_POLL: Duration = Duration::from_millis(2);
 /// Socket read timeout so the thread notices a stop request promptly.
 const READ_TIMEOUT: Duration = Duration::from_millis(250);
+/// How long a pending reply may go without a single byte of progress
+/// before the connection is declared broken. Guards against a link
+/// that is alive at the TCP level but silently stalled — e.g. a
+/// desynchronized byte stream whose next "frame header" declared a
+/// length that never arrives (the checksum can only reject a frame
+/// once it completes). The primary answers every request immediately
+/// (subscribe is not a long-poll), so a quiet link mid-call is a dead
+/// one; reconnecting from the durable cursor is always safe.
+const CALL_STALL_LIMIT: Duration = Duration::from_secs(10);
 
 /// Background thread replicating a primary into a [`ReplicaEngine`].
 ///
@@ -58,12 +68,23 @@ pub struct ReplicaRunner {
 impl ReplicaRunner {
     /// Starts replicating from the primary at `source` into `replica`.
     pub fn start(replica: ReplicaEngine, source: impl Into<String>) -> ReplicaRunner {
+        Self::start_with_epoch(replica, source, Arc::new(AtomicU64::new(0)))
+    }
+
+    /// [`ReplicaRunner::start`], publishing the epoch adopted from the
+    /// primary (at bootstrap) into `epoch` — the serving server's `Role`
+    /// reply reads it from there.
+    pub fn start_with_epoch(
+        replica: ReplicaEngine,
+        source: impl Into<String>,
+        epoch: Arc<AtomicU64>,
+    ) -> ReplicaRunner {
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = Arc::clone(&stop);
         let source = source.into();
         let handle = std::thread::Builder::new()
             .name("tsb-replica".into())
-            .spawn(move || run(&replica, &source, &thread_stop))
+            .spawn(move || run(&replica, &source, &thread_stop, &epoch))
             .expect("spawn replication thread");
         ReplicaRunner {
             stop,
@@ -87,10 +108,10 @@ impl Drop for ReplicaRunner {
 }
 
 /// The thread body: sync until an error, then reopen + backoff + retry.
-fn run(replica: &ReplicaEngine, source: &str, stop: &Arc<AtomicBool>) {
+fn run(replica: &ReplicaEngine, source: &str, stop: &Arc<AtomicBool>, epoch: &Arc<AtomicU64>) {
     let mut backoff = BACKOFF_MIN;
     while !stop.load(Ordering::Acquire) {
-        match sync_session(replica, source, stop) {
+        match sync_session(replica, source, stop, epoch) {
             // A clean return only happens on a stop request.
             Ok(()) => return,
             Err(_) => {
@@ -109,15 +130,24 @@ fn run(replica: &ReplicaEngine, source: &str, stop: &Arc<AtomicBool>) {
 /// One connection's worth of work: bootstrap if needed, then stream until
 /// the connection or an apply fails (returned as an error) or a stop is
 /// requested (returned as `Ok`).
-fn sync_session(replica: &ReplicaEngine, source: &str, stop: &Arc<AtomicBool>) -> TsbResult<()> {
+fn sync_session(
+    replica: &ReplicaEngine,
+    source: &str,
+    stop: &Arc<AtomicBool>,
+    epoch: &Arc<AtomicU64>,
+) -> TsbResult<()> {
     let mut conn = Conn::connect(source, Arc::clone(stop))?;
+    // The epoch we present on every subscribe: the one persisted in our
+    // directory (adopted from the primary at the last bootstrap), or 0 =
+    // "unknown" for a fresh directory that has never seen a base.
+    let mut our_epoch = read_epoch(replica.dir())?;
+    epoch.store(our_epoch, Ordering::SeqCst);
     loop {
         if stop.load(Ordering::Acquire) {
             return Ok(());
         }
         if replica.needs_base() {
-            let base = fetch_base(&mut conn)?;
-            replica.install_base(&base)?;
+            our_epoch = bootstrap(replica, &mut conn, epoch)?;
         }
         let from_lsn = replica.resume_lsn().ok_or_else(|| {
             TsbError::internal("replica has a base installed but no resume cursor")
@@ -126,6 +156,7 @@ fn sync_session(replica: &ReplicaEngine, source: &str, stop: &Arc<AtomicBool>) -
             from_lsn,
             worm_have: replica.worm_have(),
             max_bytes: SUBSCRIBE_MAX_BYTES as u64,
+            epoch: our_epoch,
         })?;
         let batch = match reply {
             Reply::Batch {
@@ -141,13 +172,21 @@ fn sync_session(replica: &ReplicaEngine, source: &str, stop: &Arc<AtomicBool>) -
                 worm,
                 records,
             },
+            Reply::Error { code, .. } if code == CODE_STALE_EPOCH => {
+                // The primary is at a different epoch than the one our
+                // local copy was shipped under: our history may have
+                // diverged (we are a demoted primary, or we replicated
+                // one). The delta stream is useless — re-bootstrap from a
+                // fresh base and adopt the primary's epoch.
+                our_epoch = bootstrap(replica, &mut conn, epoch)?;
+                continue;
+            }
             other => return Err(unexpected("subscribe", &other)),
         };
         if batch.needs_rebase {
             // The primary checkpointed past our cursor: our local copy can
             // no longer be extended. Re-bootstrap from a fresh image.
-            let base = fetch_base(&mut conn)?;
-            replica.install_base(&base)?;
+            our_epoch = bootstrap(replica, &mut conn, epoch)?;
             continue;
         }
         // Empty batches still go through apply: they refresh the
@@ -160,10 +199,29 @@ fn sync_session(replica: &ReplicaEngine, source: &str, stop: &Arc<AtomicBool>) -
     }
 }
 
+/// Fetches a fresh base image, installs it, and durably adopts the
+/// primary's epoch. Returns the adopted epoch (also published to the
+/// shared slot). The epoch is persisted only *after* the install
+/// succeeds: a crash mid-install leaves the marker file, the wipe path
+/// re-bootstraps, and an early epoch bump would have been harmless but
+/// is avoided anyway (the epoch file must never get ahead of the data
+/// it describes).
+fn bootstrap(replica: &ReplicaEngine, conn: &mut Conn, epoch: &Arc<AtomicU64>) -> TsbResult<u64> {
+    let (base, primary_epoch) = fetch_base(conn)?;
+    replica.install_base(&base)?;
+    if primary_epoch != 0 {
+        persist_epoch(replica.dir(), primary_epoch)?;
+    }
+    let adopted = read_epoch(replica.dir())?;
+    epoch.store(adopted, Ordering::SeqCst);
+    Ok(adopted)
+}
+
 /// Fetches a complete base image over the connection: the `fetch_base`
 /// snapshot descriptor, then every page chunk, then every WORM chunk.
-fn fetch_base(conn: &mut Conn) -> TsbResult<ReplicaBase> {
-    let (checkpoint_lsn, checkpoint, page_count, page_size, worm_sector_size) =
+/// Also returns the primary's promotion epoch at capture time.
+fn fetch_base(conn: &mut Conn) -> TsbResult<(ReplicaBase, u64)> {
+    let (checkpoint_lsn, checkpoint, page_count, page_size, worm_sector_size, primary_epoch) =
         match conn.call(&Request::FetchBase)? {
             Reply::BaseInfo {
                 checkpoint_lsn,
@@ -172,12 +230,14 @@ fn fetch_base(conn: &mut Conn) -> TsbResult<ReplicaBase> {
                 worm_len: _,
                 page_size,
                 worm_sector_size,
+                epoch,
             } => (
                 checkpoint_lsn,
                 checkpoint,
                 page_count,
                 page_size as usize,
                 worm_sector_size as usize,
+                epoch,
             ),
             other => return Err(unexpected("fetch_base", &other)),
         };
@@ -232,14 +292,17 @@ fn fetch_base(conn: &mut Conn) -> TsbResult<ReplicaBase> {
         }
     }
 
-    Ok(ReplicaBase {
-        checkpoint_lsn,
-        checkpoint,
-        pages,
-        worm,
-        page_size,
-        worm_sector_size,
-    })
+    Ok((
+        ReplicaBase {
+            checkpoint_lsn,
+            checkpoint,
+            pages,
+            worm,
+            page_size,
+            worm_sector_size,
+        },
+        primary_epoch,
+    ))
 }
 
 fn unexpected(verb: &str, reply: &Reply) -> TsbError {
@@ -291,6 +354,7 @@ impl Conn {
         let id = self.next_id;
         self.next_id += 1;
         self.stream.write_all(&protocol::encode_request(id, req))?;
+        let mut stalled = Duration::ZERO;
         loop {
             if let Some(body) = self.decoder.next_frame()? {
                 let (got, reply) = protocol::parse_reply(&body)?;
@@ -308,10 +372,20 @@ impl Conn {
                         "primary closed the connection",
                     )))
                 }
-                Ok(n) => self.decoder.feed(&self.read_buf[..n]),
+                Ok(n) => {
+                    stalled = Duration::ZERO;
+                    self.decoder.feed(&self.read_buf[..n]);
+                }
                 Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                     if self.stop.load(Ordering::Acquire) {
                         return Err(TsbError::internal("replication stopped"));
+                    }
+                    stalled += READ_TIMEOUT;
+                    if stalled >= CALL_STALL_LIMIT {
+                        return Err(TsbError::Io(std::io::Error::new(
+                            ErrorKind::TimedOut,
+                            "primary stalled mid-reply (no bytes for 10s)",
+                        )));
                     }
                 }
                 Err(e) => return Err(TsbError::Io(e)),

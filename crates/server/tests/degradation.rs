@@ -1,0 +1,228 @@
+//! Server overload protection and client deadline behavior:
+//!
+//! * `--max-conns` sheds the connection **at accept** with one
+//!   `overloaded` (23) error frame on id 0 — a clean, immediate,
+//!   retryable refusal, never a hang — and recovers as soon as a slot
+//!   frees;
+//! * `--idle-timeout` reaps silent connections while leaving active ones
+//!   alone;
+//! * a client per-op deadline fires as [`TsbError::DeadlineExceeded`]
+//!   against a server that accepts but never answers;
+//! * shutdown drains: pipelined requests in flight at shutdown are all
+//!   answered before the server exits 0.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use tsb_client::{protocol, ClientOptions, TsbClient};
+use tsb_common::{Key, TsbError};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "tsb-degrade-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+struct Reaper(Child);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn spawn(dir: &std::path::Path, extra: &[&str]) -> (Reaper, std::net::SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_tsb-server"))
+        .arg(dir)
+        .args(["--addr", "127.0.0.1:0", "--fsync", "os", "--small-pages"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn tsb-server");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("server printed nothing")
+        .expect("read banner");
+    let addr = banner
+        .rsplit(' ')
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable banner: {banner}"));
+    (Reaper(child), addr)
+}
+
+#[test]
+fn max_conns_sheds_with_overloaded_not_a_hang() {
+    let dir = TempDir::new("shed");
+    let (_server, addr) = spawn(dir.path(), &["--max-conns", "1"]);
+
+    let mut first = TsbClient::connect(addr).expect("first connection");
+    first.ping().expect("first connection works");
+
+    // The second connection must be refused promptly with the
+    // `overloaded` wire code — not left hanging.
+    let started = Instant::now();
+    let mut second = TsbClient::connect(addr).expect("TCP connect itself succeeds");
+    match second.ping() {
+        Err(TsbError::Overloaded(msg)) => {
+            assert!(msg.contains("connection limit"), "unhelpful message: {msg}")
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shedding must be prompt, took {:?}",
+        started.elapsed()
+    );
+
+    // Recoverable: free the slot and the next attempt is served.
+    drop(first);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(mut retry) = TsbClient::connect(addr) {
+            if retry.ping().is_ok() {
+                break;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "slot never freed after the first client disconnected"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn idle_timeout_reaps_silent_connections_only() {
+    let dir = TempDir::new("idle");
+    let (_server, addr) = spawn(dir.path(), &["--idle-timeout", "1"]);
+
+    let mut silent = TsbClient::connect(addr).expect("silent connection");
+    silent.ping().expect("alive before idling");
+    let mut busy = TsbClient::connect(addr).expect("busy connection");
+
+    // Stay active on one connection while the other idles past the limit.
+    for _ in 0..10 {
+        busy.ping().expect("busy connection must not be reaped");
+        std::thread::sleep(Duration::from_millis(250));
+    }
+
+    // The silent one was reaped: its next request fails.
+    match silent.ping() {
+        Err(_) => {}
+        Ok(_) => panic!("idle connection survived a 1s idle timeout after 2.5s of silence"),
+    }
+    // And the server is otherwise healthy.
+    busy.ping().expect("server still serving");
+}
+
+#[test]
+fn per_op_deadline_fires_against_a_mute_server() {
+    // A listener that accepts and then says nothing, forever.
+    let mute = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = mute.local_addr().unwrap();
+    let _keep = std::thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((conn, _)) = mute.accept() {
+            held.push(conn);
+        }
+    });
+
+    let opts = ClientOptions {
+        op_timeout: Some(Duration::from_millis(300)),
+        ..ClientOptions::default()
+    };
+    let mut client = TsbClient::connect_with(addr, &opts).expect("connect");
+    let started = Instant::now();
+    match client.ping() {
+        Err(TsbError::DeadlineExceeded(_)) => {}
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    let took = started.elapsed();
+    assert!(
+        took >= Duration::from_millis(250) && took < Duration::from_secs(5),
+        "deadline fired at {took:?}, wanted ~300ms"
+    );
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let dir = TempDir::new("drain");
+    let (mut server, addr) = spawn(dir.path(), &[]);
+
+    // Queue a pipeline of writes and the shutdown *behind* them on the
+    // same connection: the drain contract says every one of them is
+    // answered (acks flushed) before the listener goes down.
+    let mut client = TsbClient::connect(addr).expect("connect");
+    let mut ids = Vec::new();
+    for i in 0..50u64 {
+        let id = client
+            .send(&protocol::Request::Put {
+                key: Key::from_u64(i),
+                value: format!("drain-{i}").into_bytes(),
+            })
+            .expect("send put");
+        ids.push(id);
+    }
+    let shutdown_id = client
+        .send(&protocol::Request::Shutdown)
+        .expect("send shutdown");
+    for id in ids {
+        match client.wait_for(id).expect("reply before shutdown") {
+            protocol::Reply::Committed { .. } => {}
+            other => panic!("put answered {other:?}"),
+        }
+    }
+    assert!(matches!(
+        client.wait_for(shutdown_id).expect("shutdown ack"),
+        protocol::Reply::Unit
+    ));
+
+    // The process exits 0 (clean drain + checkpoint), within a deadline.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = server.0.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "server did not exit after drain");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(status.success(), "server exited {status:?}");
+
+    // Every drained write is durable: reopen and check.
+    let (_server2, addr2) = spawn(dir.path(), &[]);
+    let mut verify = TsbClient::connect(addr2).expect("reconnect");
+    for i in 0..50u64 {
+        assert_eq!(
+            verify.get(Key::from_u64(i)).expect("get"),
+            Some(format!("drain-{i}").into_bytes()),
+            "drained write {i} lost"
+        );
+    }
+}

@@ -86,10 +86,14 @@ impl WalTailer {
         limit_lsn: Lsn,
         max_bytes: usize,
     ) -> TsbResult<TailPoll> {
+        // The cursor the subscriber wants next. Saturating: a hostile or
+        // corrupt `after_lsn` of `u64::MAX` must poll as "caught up", not
+        // overflow (a wire-facing path must not panic on absurd input).
+        let next_lsn = after_lsn.saturating_add(1);
         // Fast path: resume from the cached offset when it still names the
         // frame for `after_lsn + 1`.
         if let Some((offset, lsn)) = self.cursor {
-            if lsn == after_lsn + 1 {
+            if lsn == next_lsn {
                 if let Some(poll) = self.poll_from(offset, after_lsn, limit_lsn, max_bytes)? {
                     return Ok(poll);
                 }
@@ -125,13 +129,13 @@ impl WalTailer {
             let Ok((lsn, _)) = WalRecord::decode_body(body) else {
                 return Ok(TailPoll::Batch(Vec::new()));
             };
-            if first && lsn > after_lsn + 1 {
+            if first && lsn > next_lsn {
                 // The generation starts past the subscriber's cursor: the
                 // records it needs were discarded by a checkpoint reset.
                 return Ok(TailPoll::NeedsRebase);
             }
             first = false;
-            if lsn == after_lsn + 1 {
+            if lsn == next_lsn {
                 return self
                     .collect(&buf, pos, after_lsn, limit_lsn, max_bytes)
                     .map(TailPoll::Batch);
@@ -185,7 +189,7 @@ impl WalTailer {
             return Ok(None);
         };
         match WalRecord::decode_body(body) {
-            Ok((lsn, _)) if lsn == after_lsn + 1 => self
+            Ok((lsn, _)) if lsn == after_lsn.saturating_add(1) => self
                 .collect(&buf, 0, after_lsn, limit_lsn, max_bytes)
                 .map(|batch| Some(TailPoll::Batch(batch))),
             _ => Ok(None),

@@ -116,6 +116,7 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
+use tsb_common::checksum::crc32;
 use tsb_common::encode::{ByteReader, ByteWriter};
 use tsb_common::{FsyncPolicy, Key, Timestamp, TsbError, TsbResult, TxnId, Version};
 
@@ -502,36 +503,6 @@ fn sync_parent_dir(path: &Path) -> TsbResult<()> {
     };
     File::open(parent)?.sync_all()?;
     Ok(())
-}
-
-/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven. Hand-rolled to
-/// keep the dependency set first-party.
-fn crc32(bytes: &[u8]) -> u32 {
-    const fn table() -> [u32; 256] {
-        let mut table = [0u32; 256];
-        let mut i = 0;
-        while i < 256 {
-            let mut crc = i as u32;
-            let mut bit = 0;
-            while bit < 8 {
-                crc = if crc & 1 != 0 {
-                    (crc >> 1) ^ 0xEDB8_8320
-                } else {
-                    crc >> 1
-                };
-                bit += 1;
-            }
-            table[i] = crc;
-            i += 1;
-        }
-        table
-    }
-    const TABLE: [u32; 256] = table();
-    let mut crc = !0u32;
-    for b in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ *b as u32) & 0xFF) as usize];
-    }
-    !crc
 }
 
 struct WalInner {

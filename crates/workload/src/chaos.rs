@@ -1,0 +1,305 @@
+//! [`ChaosProxy`]: a deterministic, fault-injecting TCP relay for
+//! robustness tests.
+//!
+//! The proxy sits on either link of the replicated deployment —
+//! client ↔ server or primary ↔ replica (point `--replica-of` at the
+//! proxy) — and injects the network's unpleasantness on purpose:
+//!
+//! * **Delay** — random per-chunk forwarding stalls (reordering across
+//!   connections, latency spikes);
+//! * **Connection drops** — abrupt severing of an established connection
+//!   after a random number of forwarded chunks (a crashed middlebox, an
+//!   idle-reaped NAT entry);
+//! * **Mid-frame truncation** — the connection dies with only a prefix of
+//!   a chunk delivered, so the peer sees a torn frame (the classic
+//!   partial-write crash);
+//! * **Duplicated partial writes** — a prefix of a chunk is injected
+//!   *twice*, desynchronizing the byte stream the way a broken retry at a
+//!   lower layer would. The peer's frame decoder must detect garbage and
+//!   fail the connection rather than misparse it.
+//!
+//! Every decision is drawn from a [`rand::rngs::StdRng`] seeded by
+//! `(spec.seed, connection id, direction)`, so a failing run replays
+//! exactly from its seed. The proxy never parses frames: it injects
+//! faults at arbitrary byte boundaries, which is precisely what makes
+//! them interesting.
+//!
+//! The two sides must *tolerate* this: no panics, no hangs (bounded
+//! timeouts), no lost acknowledged-durable writes, and — on the
+//! replication link — a replica that re-converges once the weather
+//! clears. The chaos matrix in `crates/server/tests/chaos.rs` asserts all
+//! four.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which fault a [`ChaosProxy`] injects. One proxy injects one fault
+/// class (compose proxies to stack them); [`Fault::None`] relays
+/// faithfully, as the matrix's control arm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Faithful relay (control).
+    None,
+    /// Each forwarded chunk stalls with probability 1/8, for 1–25 ms.
+    Delay,
+    /// Each connection is severed abruptly after 4–64 forwarded chunks.
+    DropConn,
+    /// Each connection dies after 4–64 chunks, delivering only a random
+    /// non-empty prefix of its final chunk (a torn frame).
+    Truncate,
+    /// With probability 1/16 per chunk, a random prefix of the chunk is
+    /// written, then the whole chunk again — duplicated bytes the peer
+    /// must reject as garbage framing.
+    DuplicatePartial,
+}
+
+impl Fault {
+    /// All fault classes, for matrix-style tests.
+    pub const ALL: [Fault; 5] = [
+        Fault::None,
+        Fault::Delay,
+        Fault::DropConn,
+        Fault::Truncate,
+        Fault::DuplicatePartial,
+    ];
+
+    /// A short stable name for test labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fault::None => "none",
+            Fault::Delay => "delay",
+            Fault::DropConn => "drop-conn",
+            Fault::Truncate => "truncate",
+            Fault::DuplicatePartial => "duplicate-partial",
+        }
+    }
+}
+
+/// Configuration for a [`ChaosProxy`].
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosSpec {
+    /// Root seed; every per-connection schedule derives from it.
+    pub seed: u64,
+    /// The fault class to inject.
+    pub fault: Fault,
+}
+
+/// Counters a test can assert on to prove the chaos actually happened.
+#[derive(Debug, Default)]
+pub struct ChaosStats {
+    /// Connections accepted and relayed.
+    pub conns: AtomicU64,
+    /// Connections severed by fault injection (drop or truncate).
+    pub severed: AtomicU64,
+    /// Chunks delayed.
+    pub delayed: AtomicU64,
+    /// Duplicate partial writes injected.
+    pub duplicated: AtomicU64,
+    /// Bytes faithfully forwarded (both directions).
+    pub forwarded_bytes: AtomicU64,
+}
+
+/// A fault-injecting TCP relay. Listens on an ephemeral local port and
+/// forwards every accepted connection to `target`, applying the
+/// configured fault along the way. Stop it with [`ChaosProxy::stop`] (or
+/// drop it).
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ChaosStats>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy in front of `target`.
+    pub fn start(target: SocketAddr, spec: ChaosSpec) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        // Poll for stop without busy-waiting on accept.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ChaosStats::default());
+        let accept_stop = Arc::clone(&stop);
+        let accept_stats = Arc::clone(&stats);
+        let accept_thread = std::thread::Builder::new()
+            .name("chaos-accept".into())
+            .spawn(move || accept_loop(listener, target, spec, &accept_stop, &accept_stats))?;
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            stats,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's listening address (point clients or `--replica-of`
+    /// here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Fault counters so far.
+    pub fn stats(&self) -> &ChaosStats {
+        &self.stats
+    }
+
+    /// Stops accepting and severs the relay threads. In-flight
+    /// connections are abandoned (their sockets close as the threads
+    /// notice the flag).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    target: SocketAddr,
+    spec: ChaosSpec,
+    stop: &Arc<AtomicBool>,
+    stats: &Arc<ChaosStats>,
+) {
+    let mut conn_id = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        let inbound = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(_) => break,
+        };
+        let outbound = match TcpStream::connect_timeout(&target, Duration::from_secs(5)) {
+            Ok(s) => s,
+            Err(_) => {
+                // Target down (e.g. the primary was just killed): refuse
+                // by closing, exactly like a dead host's RST.
+                let _ = inbound.shutdown(Shutdown::Both);
+                continue;
+            }
+        };
+        let _ = inbound.set_nodelay(true);
+        let _ = outbound.set_nodelay(true);
+        stats.conns.fetch_add(1, Ordering::Relaxed);
+        conn_id += 1;
+        for (dir, from, to) in [
+            (0u64, inbound.try_clone(), outbound.try_clone()),
+            (1u64, outbound.try_clone(), inbound.try_clone()),
+        ] {
+            let (from, to) = match (from, to) {
+                (Ok(f), Ok(t)) => (f, t),
+                _ => continue,
+            };
+            let stop = Arc::clone(stop);
+            let stats = Arc::clone(stats);
+            // Decorrelate the two directions and every connection while
+            // staying a pure function of the spec seed.
+            let seed = spec
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(conn_id * 2 + dir);
+            let _ = std::thread::Builder::new()
+                .name(format!("chaos-relay-{conn_id}-{dir}"))
+                .spawn(move || relay(from, to, spec.fault, seed, &stop, &stats));
+        }
+    }
+}
+
+/// One direction of one connection: read chunks, inject the fault,
+/// forward. Exits on EOF, error, severing, or proxy stop.
+fn relay(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    fault: Fault,
+    seed: u64,
+    stop: &Arc<AtomicBool>,
+    stats: &Arc<ChaosStats>,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // How many chunks this connection survives (for the severing faults).
+    let sever_after = match fault {
+        Fault::DropConn | Fault::Truncate => Some(rng.gen_range(4u64..=64)),
+        _ => None,
+    };
+    let _ = from.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut buf = [0u8; 4096];
+    let mut chunks = 0u64;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        chunks += 1;
+        let chunk = &buf[..n];
+        match fault {
+            Fault::None => {}
+            Fault::Delay => {
+                if rng.gen_bool(1.0 / 8.0) {
+                    stats.delayed.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(rng.gen_range(1u64..=25)));
+                }
+            }
+            Fault::DropConn => {
+                if chunks >= sever_after.unwrap() {
+                    stats.severed.fetch_add(1, Ordering::Relaxed);
+                    let _ = from.shutdown(Shutdown::Both);
+                    let _ = to.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+            Fault::Truncate => {
+                if chunks >= sever_after.unwrap() {
+                    // Deliver a non-empty prefix, then die mid-frame.
+                    let cut = rng.gen_range(1usize..=n);
+                    let _ = to.write_all(&chunk[..cut]);
+                    stats.severed.fetch_add(1, Ordering::Relaxed);
+                    let _ = from.shutdown(Shutdown::Both);
+                    let _ = to.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+            Fault::DuplicatePartial => {
+                if rng.gen_bool(1.0 / 16.0) {
+                    let cut = rng.gen_range(1usize..=n);
+                    if to.write_all(&chunk[..cut]).is_err() {
+                        break;
+                    }
+                    stats.duplicated.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if to.write_all(chunk).is_err() {
+            break;
+        }
+        stats.forwarded_bytes.fetch_add(n as u64, Ordering::Relaxed);
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod concurrent;
 pub mod crash;
 pub mod distributions;
@@ -51,6 +52,7 @@ pub mod queries;
 pub mod scenarios;
 pub mod socket;
 
+pub use chaos::{ChaosProxy, ChaosSpec, ChaosStats, Fault};
 pub use concurrent::{pin_fraction, ConcurrentSpec, ReaderQuery, ReaderQueryKind};
 pub use crash::{crash_matrix, CrashSpec, CrashTrigger};
 pub use distributions::KeyDistribution;
